@@ -1,0 +1,67 @@
+"""Experiment A1 — ablation: bridge submeshes (the paper's key new idea).
+
+Same machinery, one switch: ``use_bridges``.  With bridges the hierarchy is
+the paper's access *graph*; without, it degenerates to the access *tree* of
+Maggs et al. [9].  Reports stretch and congestion side by side.
+
+Expected shape: congestion is statistically indistinguishable (both are
+O(C* log n)); stretch collapses from Theta(m) to <= 64 on local traffic —
+bridges buy the stretch for free, which is the paper's contribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import main_print
+
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+
+
+def run_experiment(m: int = 32, seeds=(0, 1, 2)) -> list[dict]:
+    from repro.workloads.generators import local_traffic, nearest_neighbor
+    from repro.workloads.permutations import random_permutation
+
+    mesh = Mesh((m, m))
+    with_bridges = HierarchicalRouter(name="access-graph(bridges)")
+    without = HierarchicalRouter(use_bridges=False, name="access-tree(no bridges)")
+    workloads = [
+        nearest_neighbor(mesh, seed=0),
+        local_traffic(mesh, radius=3, seed=0),
+        random_permutation(mesh, seed=0),
+    ]
+    rows = []
+    for prob in workloads:
+        for router in (with_bridges, without):
+            cs, strs = [], []
+            for seed in seeds:
+                res = router.route(prob, seed=seed)
+                cs.append(res.congestion)
+                strs.append(res.stretch)
+            rows.append(
+                {
+                    "workload": prob.name,
+                    "router": router.name,
+                    "C_mean": float(np.mean(cs)),
+                    "max_stretch": float(np.max(strs)),
+                }
+            )
+    return rows
+
+
+def test_bridges_cut_stretch_keep_congestion(benchmark):
+    rows = benchmark.pedantic(run_experiment, args=(16, (0, 1)), rounds=1, iterations=1)
+    by_key = {(r["workload"], r["router"]): r for r in rows}
+    for wl in ("nearest-neighbor", "local-r3"):
+        with_b = by_key[(wl, "access-graph(bridges)")]
+        without = by_key[(wl, "access-tree(no bridges)")]
+        assert with_b["max_stretch"] <= 64
+        assert without["max_stretch"] > 2 * with_b["max_stretch"]
+        # congestion within a small factor either way
+        assert with_b["C_mean"] <= 3 * without["C_mean"] + 3
+        assert without["C_mean"] <= 3 * with_b["C_mean"] + 3
+
+
+if __name__ == "__main__":
+    main_print(run_experiment, "A1 / ablation: bridges on vs off")

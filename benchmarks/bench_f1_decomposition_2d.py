@@ -1,0 +1,82 @@
+"""Experiment F1 — Figure 1: the 2-D mesh decomposition of the 8x8 mesh.
+
+Regenerates the submesh inventory behind Figure 1 (type-1 and type-2
+submeshes per level) together with the structural properties of Lemma 3.1,
+and benchmarks building the decomposition + access graph.
+
+Paper claims checked:
+* level ``l`` has ``2^{2l}`` type-1 submeshes of side ``2^{k-l}``;
+* level 1 type-2 on the 8x8 mesh: 1 internal + 4 edge pieces (corners
+  discarded), exactly as drawn in Figure 1;
+* Lemma 3.1: disjointness, type-1 partition, type-1 containment (and the
+  documented erratum for literal part (3)).
+"""
+
+from __future__ import annotations
+
+from common import main_print, print_experiment
+
+from repro.core.access_graph import AccessGraph
+from repro.core.decomposition import Decomposition
+from repro.mesh.mesh import Mesh
+
+
+def run_experiment() -> list[dict]:
+    dec = Decomposition(Mesh((8, 8)))
+    graph = AccessGraph(dec)
+    lemma = graph.check_lemma_3_1()
+    rows = []
+    for level in range(dec.k + 1):
+        type1 = dec.type1_at_level(level)
+        shifted = (
+            dec.shifted_at_level(level, 2) if dec.num_types(level) > 1 else []
+        )
+        rows.append(
+            {
+                "level": level,
+                "side": dec.side(level),
+                "type1": len(type1),
+                "type1_expected": 4**level,
+                "type2": len(shifted),
+                "type2_internal": sum(1 for r in shifted if not r.truncated),
+                "type2_clipped": sum(1 for r in shifted if r.truncated),
+                "graph_nodes": len(graph.levels[level]),
+                "lemma31_ok": lemma["disjoint"]
+                and lemma["partition"]
+                and lemma["contained"],
+            }
+        )
+    return rows
+
+
+def test_figure1_inventory(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for row in rows:
+        assert row["type1"] == row["type1_expected"]
+        assert row["lemma31_ok"]
+    # Figure 1, level 1, type 2: one internal 4x4 plus four edge pieces.
+    level1 = rows[1]
+    assert level1["type2"] == 5
+    assert level1["type2_internal"] == 1
+    assert level1["type2_clipped"] == 4
+
+
+def test_access_graph_construction_16(benchmark):
+    mesh = Mesh((16, 16))
+
+    def build():
+        return AccessGraph(Decomposition(mesh)).num_nodes()
+
+    nodes = benchmark(build)
+    assert nodes > mesh.n  # leaves plus the hierarchy above them
+
+
+if __name__ == "__main__":
+    main_print(run_experiment, "F1 / Figure 1: 2-D decomposition inventory (8x8)")
+    dec = Decomposition(Mesh((8, 8)))
+    for level in (1, 2):
+        print(f"Level {level}, type 1:")
+        print(dec.render_level_2d(level, 1))
+        print(f"Level {level}, type 2:")
+        print(dec.render_level_2d(level, 2))
+        print()

@@ -1,0 +1,103 @@
+"""Experiment F2 — Figure 2: the d-dimensional multishift decomposition.
+
+Figure 2 of the paper depicts the Theta(d) translated submesh types of the
+3-dimensional decomposition (shift lambda = m_l / 2^ceil(log2(d+1))).  We
+regenerate the shift table per level and verify the paper's structural
+claims:
+
+* the number of types at a level is at most ``2(d+1)``, and at least
+  ``d+1`` once ``m_l >= d+1``;
+* every shifted grid tiles the mesh (each node in exactly one submesh per
+  type per level);
+* Lemma 4.1's consequence: any region of span ``s`` is contained in some
+  regular submesh at every height whose cells have side ``>= 2(d+1) s``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import main_print
+
+from repro.core.decomposition import Decomposition, num_shift_slots
+from repro.mesh.mesh import Mesh
+from repro.mesh.submesh import Submesh
+
+
+def run_experiment(d: int = 3, m: int = 16) -> list[dict]:
+    dec = Decomposition(Mesh((m,) * d), scheme="multishift")
+    rows = []
+    for level in range(dec.k + 1):
+        shifts = dec.shifts(level)
+        rows.append(
+            {
+                "level": level,
+                "side": dec.side(level),
+                "lambda": dec.lam(level) if level > 0 else 0,
+                "types": len(shifts),
+                "shifts": ",".join(str(s) for s in shifts),
+                "min_types(d+1)": d + 1,
+                "max_types(2(d+1))": 2 * (d + 1),
+            }
+        )
+    return rows
+
+
+def _coverage_check(dec: Decomposition, samples: int, seed: int) -> bool:
+    """Lemma 4.1: a random small region is contained at the pigeonhole height."""
+    mesh = dec.mesh
+    rng = np.random.default_rng(seed)
+    d = mesh.d
+    for _ in range(samples):
+        s, t = (int(x) for x in rng.integers(mesh.n, size=2))
+        if s == t:
+            continue
+        region = Submesh.bounding_box(mesh, s, t)
+        span = max(h - l + 1 for l, h in zip(region.lo, region.hi))
+        for level in range(dec.k + 1):
+            if dec.side(level) >= 2 * (d + 1) * span:
+                if not dec.containing_regulars(region, level):
+                    return False
+    return True
+
+
+def test_figure2_shift_table(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    d = 3
+    assert num_shift_slots(d) == 4
+    for row in rows[1:]:
+        assert row["types"] <= 2 * (d + 1)
+        if row["side"] >= d + 1:
+            assert row["types"] >= d + 1
+
+
+def test_lemma_4_1_coverage(benchmark):
+    dec = Decomposition(Mesh((16, 16, 16)), scheme="multishift")
+    ok = benchmark.pedantic(_coverage_check, args=(dec, 40, 0), rounds=1, iterations=1)
+    assert ok
+
+
+def test_each_node_in_one_submesh_per_type(benchmark):
+    dec = Decomposition(Mesh((8, 8, 8)), scheme="multishift")
+
+    def check():
+        node = dec.mesh.node(3, 5, 6)
+        total = 0
+        for level in range(1, dec.k + 1):
+            for j in range(2, dec.num_types(level) + 1):
+                hits = sum(
+                    1
+                    for r in dec.shifted_at_level(level, j)
+                    if r.box.contains_node(node)
+                )
+                assert hits == 1
+                total += hits
+        return total
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1) > 0
+
+
+if __name__ == "__main__":
+    main_print(
+        run_experiment, "F2 / Figure 2: multishift decomposition shift table (16^3)"
+    )

@@ -1,0 +1,108 @@
+"""Experiment T1 — Theorem 3.4: 2-D stretch is at most 64.
+
+Sweeps mesh sizes, measuring the maximum and mean per-packet stretch of the
+hierarchical router over (a) dense random pairs and (b) adversarial
+boundary-straddling pairs, against the paper's hard ceiling of 64.
+
+Expected shape: measured max stretch is a small constant (well below 64),
+independent of mesh size; the access tree's stretch on the same pairs grows
+linearly with the mesh side (reported for contrast).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import main_print
+
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.routing.base import RoutingProblem
+from repro.routing.baselines import AccessTreeRouter
+
+
+def _adversarial_pairs(mesh: Mesh) -> RoutingProblem:
+    """Adjacent pairs straddling every power-of-two cut, in both axes."""
+    m = mesh.sides[0]
+    sources, dests = [], []
+    cut = 1
+    while cut < m:
+        for y in range(0, m, max(m // 8, 1)):
+            sources.append(mesh.node(cut - 1, y))
+            dests.append(mesh.node(cut, y))
+            sources.append(mesh.node(y, cut - 1))
+            dests.append(mesh.node(y, cut))
+        cut *= 2
+    return RoutingProblem(
+        mesh, np.asarray(sources), np.asarray(dests), "straddling-pairs"
+    )
+
+
+def run_experiment(sizes=(8, 16, 32, 64), pairs_per_mesh: int = 400) -> list[dict]:
+    from repro.analysis.certificates import worst_case_stretch
+    from repro.workloads.generators import random_pairs
+
+    rows = []
+    for m in sizes:
+        mesh = Mesh((m, m))
+        router = HierarchicalRouter()
+        tree = AccessTreeRouter()
+        for prob in (
+            random_pairs(mesh, pairs_per_mesh, seed=m),
+            _adversarial_pairs(mesh),
+        ):
+            res = router.route(prob, seed=1)
+            tree_res = tree.route(prob, seed=1)
+            vals = res.stretches[np.isfinite(res.stretches)]
+            # certificate: worst case over ALL random choices for these pairs
+            certified = max(
+                worst_case_stretch(router, mesh, int(s), int(t))
+                for s, t in prob.pairs()
+                if s != t
+            )
+            rows.append(
+                {
+                    "m": m,
+                    "workload": prob.name,
+                    "packets": prob.num_packets,
+                    "max_stretch": float(vals.max()),
+                    "mean_stretch": float(vals.mean()),
+                    "certified_worst": certified,
+                    "bound": 64,
+                    "tree_max_stretch": tree_res.stretch,
+                }
+            )
+    return rows
+
+
+def test_theorem_3_4(benchmark):
+    rows = benchmark.pedantic(run_experiment, args=((8, 16, 32), 200), rounds=1, iterations=1)
+    for row in rows:
+        assert row["max_stretch"] <= 64
+        # the certificate bounds every possible realisation, not just runs
+        assert row["max_stretch"] <= row["certified_worst"] <= 64
+    # tree stretch on straddling pairs grows with m; ours stays flat
+    straddle = [r for r in rows if r["workload"] == "straddling-pairs"]
+    assert straddle[-1]["tree_max_stretch"] > straddle[-1]["max_stretch"]
+    assert straddle[-1]["tree_max_stretch"] > straddle[0]["tree_max_stretch"]
+
+
+def test_path_selection_throughput_32(benchmark):
+    """Kernel: select 500 paths on a 32x32 mesh."""
+    mesh = Mesh((32, 32))
+    router = HierarchicalRouter()
+    rng = np.random.default_rng(0)
+    pairs = rng.integers(mesh.n, size=(500, 2))
+    pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+
+    def kernel():
+        rr = np.random.default_rng(1)
+        return sum(
+            len(router.select_path(mesh, int(s), int(t), rr)) for s, t in pairs
+        )
+
+    assert benchmark(kernel) > 0
+
+
+if __name__ == "__main__":
+    main_print(run_experiment, "T1 / Theorem 3.4: 2-D stretch <= 64")

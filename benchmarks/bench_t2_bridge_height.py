@@ -1,0 +1,76 @@
+"""Experiment T2 — Lemma 3.3: common-ancestor height <= ceil(log2 dist) + 2.
+
+Buckets sampled pairs by distance and reports the maximum observed meeting
+height per bucket against the lemma's bound.  Expected shape: max height
+tracks ``log2 dist`` with the +2 slack rarely saturated.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from common import main_print
+
+from repro.core.bridges import bridge_height_bound_2d, common_ancestor_2d
+from repro.core.decomposition import Decomposition
+from repro.mesh.mesh import Mesh
+
+
+def run_experiment(m: int = 64, samples: int = 3000) -> list[dict]:
+    mesh = Mesh((m, m))
+    dec = Decomposition(mesh)
+    rng = np.random.default_rng(0)
+    buckets: dict[int, list[int]] = {}
+    for _ in range(samples):
+        s, t = (int(x) for x in rng.integers(mesh.n, size=2))
+        if s == t:
+            continue
+        dist = int(mesh.distance(s, t))
+        h, _ = common_ancestor_2d(dec, s, t)
+        buckets.setdefault(math.ceil(math.log2(dist)) if dist > 1 else 0, []).append(
+            h
+        )
+    rows = []
+    for key in sorted(buckets):
+        hs = buckets[key]
+        dist_hi = 1 << key
+        rows.append(
+            {
+                "dist_bucket": f"<=2^{key}",
+                "pairs": len(hs),
+                "max_height": max(hs),
+                "mean_height": float(np.mean(hs)),
+                "lemma_bound": bridge_height_bound_2d(max(dist_hi, 1)),
+            }
+        )
+    return rows
+
+
+def test_lemma_3_3(benchmark):
+    rows = benchmark.pedantic(run_experiment, args=(32, 1000), rounds=1, iterations=1)
+    for row in rows:
+        assert row["max_height"] <= row["lemma_bound"]
+    # heights genuinely grow with distance (not all met at the root)
+    assert rows[0]["max_height"] < rows[-1]["lemma_bound"]
+
+
+def test_bridge_search_throughput(benchmark):
+    """Kernel: 1000 arithmetic common-ancestor queries on 64x64."""
+    mesh = Mesh((64, 64))
+    dec = Decomposition(mesh)
+    rng = np.random.default_rng(1)
+    pairs = rng.integers(mesh.n, size=(1000, 2))
+    pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+
+    def kernel():
+        return sum(
+            common_ancestor_2d(dec, int(s), int(t))[0] for s, t in pairs
+        )
+
+    assert benchmark(kernel) > 0
+
+
+if __name__ == "__main__":
+    main_print(run_experiment, "T2 / Lemma 3.3: bridge height vs log2(dist) + 2")

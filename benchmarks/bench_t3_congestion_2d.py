@@ -1,0 +1,104 @@
+"""Experiment T3 — Theorem 3.9: 2-D congestion O(C* log n) whp.
+
+Routes the standard permutation workloads with the hierarchical router and
+every oblivious baseline, reporting congestion, the C* lower bound
+(boundary congestion / average load), their ratio, and stretch.
+
+Expected shape (the paper's comparison story):
+* hierarchical: ratio O(log n), stretch <= 64 — both controlled;
+* deterministic XY: stretch 1 but a workload (corner-turn) with ratio
+  Theta(m);
+* Valiant & access tree: good ratios, unbounded stretch on local traffic;
+* offline greedy: the non-oblivious reference the log-factor is paid
+  against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import main_print
+
+from repro.analysis.experiments import sweep
+from repro.analysis.theory import congestion_bound_2d
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.routing.base import RoutingProblem
+from repro.routing.baselines import (
+    AccessTreeRouter,
+    DimensionOrderRouter,
+    GreedyMinCongestionRouter,
+    RandomDimOrderRouter,
+    ValiantRouter,
+)
+
+
+def _corner_turn(mesh: Mesh) -> RoutingProblem:
+    m = mesh.sides[0]
+    sources = np.asarray([mesh.node(i, 0) for i in range(1, m)])
+    dests = np.asarray([mesh.node(0, i) for i in range(1, m)])
+    return RoutingProblem(mesh, sources, dests, "corner-turn")
+
+
+def _workloads(mesh: Mesh) -> list[RoutingProblem]:
+    from repro.workloads.generators import nearest_neighbor
+    from repro.workloads.permutations import (
+        bit_complement,
+        random_permutation,
+        transpose,
+    )
+
+    return [
+        transpose(mesh),
+        bit_complement(mesh),
+        random_permutation(mesh, seed=7),
+        nearest_neighbor(mesh, seed=7),
+        _corner_turn(mesh),
+    ]
+
+
+def _routers():
+    return [
+        HierarchicalRouter(),
+        AccessTreeRouter(),
+        DimensionOrderRouter(),
+        RandomDimOrderRouter(),
+        ValiantRouter(),
+        GreedyMinCongestionRouter(),
+    ]
+
+
+def run_experiment(m: int = 16, seeds=(0, 1)) -> list[dict]:
+    mesh = Mesh((m, m))
+    rows = sweep(_routers(), _workloads(mesh), seeds=seeds)
+    for row in rows:
+        row["log2n"] = float(np.log2(mesh.n))
+    return rows
+
+
+def test_theorem_3_9(benchmark):
+    rows = benchmark.pedantic(run_experiment, args=(16, (0,)), rounds=1, iterations=1)
+    ours = [r for r in rows if r["router"] == "hierarchical"]
+    for row in ours:
+        # Lemma 3.8 ceiling with the measured lower bound in place of C*.
+        ceiling = congestion_bound_2d(row["C_lower"], 2 * 15)
+        assert row["C"] <= ceiling, row
+        assert row["stretch"] <= 64
+    # deterministic XY collapses on corner-turn traffic
+    xy = {r["workload"]: r for r in rows if r["router"] == "dim-order"}
+    hier = {r["workload"]: r for r in ours}
+    assert xy["corner-turn"]["C_ratio"] > 2 * hier["corner-turn"]["C_ratio"]
+
+
+def test_route_transpose_32_throughput(benchmark):
+    mesh = Mesh((32, 32))
+    from repro.workloads.permutations import transpose
+
+    prob = transpose(mesh)
+    router = HierarchicalRouter()
+    result = benchmark(router.route, prob, 0)
+    assert result.congestion > 0
+
+
+if __name__ == "__main__":
+    main_print(run_experiment, "T3 / Theorem 3.9: 2-D congestion vs C* lower bound")

@@ -1,0 +1,83 @@
+"""Experiment T4 — Theorem 4.2: d-dimensional stretch is O(d^2).
+
+Sweeps the dimension d at (roughly) constant node budget, measuring the
+maximum stretch of the general-variant router over random permutations and
+adjacent straddling pairs, against the proof's explicit ceiling
+``32 d (d+1) + 16 d``.
+
+Expected shape: measured max stretch grows slowly with d and sits far below
+the ceiling; the ratio measured/d^2 stays bounded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import main_print
+
+from repro.analysis.theory import stretch_bound_general
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.routing.base import RoutingProblem
+
+
+def _straddling(mesh: Mesh) -> RoutingProblem:
+    """Adjacent pairs across the central cut of dimension 0."""
+    m = mesh.sides[0]
+    rng = np.random.default_rng(0)
+    sources, dests = [], []
+    for _ in range(64):
+        coords = rng.integers(0, m, size=mesh.d)
+        a = coords.copy()
+        a[0] = m // 2 - 1
+        b = coords.copy()
+        b[0] = m // 2
+        sources.append(int(a @ mesh.strides))
+        dests.append(int(b @ mesh.strides))
+    return RoutingProblem(mesh, np.asarray(sources), np.asarray(dests), "straddling")
+
+
+def run_experiment(configs=((1, 64), (2, 16), (3, 8), (4, 4), (5, 4))) -> list[dict]:
+    from repro.workloads.permutations import random_permutation
+
+    rows = []
+    for d, m in configs:
+        mesh = Mesh((m,) * d)
+        router = HierarchicalRouter(variant="general")
+        for prob in (random_permutation(mesh, seed=d), _straddling(mesh)):
+            res = router.route(prob, seed=1)
+            vals = res.stretches[np.isfinite(res.stretches)]
+            rows.append(
+                {
+                    "d": d,
+                    "m": m,
+                    "workload": prob.name,
+                    "max_stretch": float(vals.max()),
+                    "mean_stretch": float(vals.mean()),
+                    "bound_32d(d+1)+16d": stretch_bound_general(d),
+                    "max/d^2": float(vals.max()) / d**2,
+                }
+            )
+    return rows
+
+
+def test_theorem_4_2(benchmark):
+    rows = benchmark.pedantic(run_experiment, args=(((2, 16), (3, 8), (4, 4)),), rounds=1, iterations=1)
+    for row in rows:
+        assert row["max_stretch"] <= row["bound_32d(d+1)+16d"]
+    # normalised stretch stays bounded: O(d^2) shape
+    assert max(r["max/d^2"] for r in rows) <= 16
+
+
+def test_route_permutation_3d_throughput(benchmark):
+    from repro.workloads.permutations import random_permutation
+
+    mesh = Mesh((8, 8, 8))
+    prob = random_permutation(mesh, seed=0)
+    router = HierarchicalRouter(variant="general")
+    result = benchmark(router.route, prob, 0)
+    assert result.dilation > 0
+
+
+if __name__ == "__main__":
+    main_print(run_experiment, "T4 / Theorem 4.2: stretch O(d^2) across dimensions")

@@ -1,0 +1,75 @@
+"""Experiment T5 — Theorem 4.3: d-dimensional congestion O(d^2 C* log n).
+
+Routes random permutations and block exchanges across dimensions, reporting
+the ratio of measured congestion to the C* lower bound against the paper's
+``O(d^2 log n)`` envelope.
+
+Expected shape: ratios grow mildly with d and n (the log factor), far below
+the explicit Lemma-A.3-based envelope.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import main_print
+
+from repro.analysis.theory import congestion_bound_general
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.metrics.bounds import average_load_lower_bound, boundary_congestion
+
+
+def run_experiment(configs=((2, 16), (3, 8), (4, 4))) -> list[dict]:
+    from repro.workloads.adversarial import block_exchange
+    from repro.workloads.permutations import random_permutation
+
+    rows = []
+    for d, m in configs:
+        mesh = Mesh((m,) * d)
+        router = HierarchicalRouter(variant="general")
+        for prob in (
+            random_permutation(mesh, seed=d),
+            block_exchange(mesh, max(m // 4, 1)),
+        ):
+            bound = max(
+                boundary_congestion(mesh, prob.sources, prob.dests),
+                average_load_lower_bound(mesh, prob.sources, prob.dests),
+                1.0,
+            )
+            res = router.route(prob, seed=2)
+            envelope = congestion_bound_general(bound, d, prob.max_distance)
+            rows.append(
+                {
+                    "d": d,
+                    "m": m,
+                    "workload": prob.name,
+                    "C": res.congestion,
+                    "C_lower": bound,
+                    "ratio": res.congestion / bound,
+                    "envelope": envelope,
+                    "log2n": float(np.log2(mesh.n)),
+                }
+            )
+    return rows
+
+
+def test_theorem_4_3(benchmark):
+    rows = benchmark.pedantic(run_experiment, args=(((2, 16), (3, 8)),), rounds=1, iterations=1)
+    for row in rows:
+        assert row["C"] <= row["envelope"], row
+        # sanity: the ratio is a small multiple of log2(n)
+        assert row["ratio"] <= 4 * row["log2n"]
+
+
+def test_boundary_congestion_throughput_3d(benchmark):
+    from repro.workloads.permutations import random_permutation
+
+    mesh = Mesh((16, 16, 16))
+    prob = random_permutation(mesh, seed=5)
+    val = benchmark(boundary_congestion, mesh, prob.sources, prob.dests)
+    assert val > 0
+
+
+if __name__ == "__main__":
+    main_print(run_experiment, "T5 / Theorem 4.3: d-dim congestion vs C* lower bound")

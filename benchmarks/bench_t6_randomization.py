@@ -1,0 +1,127 @@
+"""Experiment T6 — Section 5.1/5.2: randomization is necessary.
+
+For each packet distance ``l``, builds the adversarial instance ``Π_A`` for
+the deterministic dimension-order router (Section 5.1) and compares:
+
+* the congestion the deterministic router is *forced* to (all of ``Π_A``
+  over one edge — Lemma 5.1 with kappa = 1, growing like ``l / d``), vs
+* the congestion of the randomized hierarchical router on the same
+  instance (Lemma 5.2: ``O(B log n)``), and the boundary congestion ``B``
+  of ``Π_A``.
+
+Expected shape: forced congestion grows linearly in ``l`` while the
+randomized router's congestion grows like ``B log n`` — the widening gap is
+exactly the paper's argument that ``Ω(...)`` random bits are unavoidable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import main_print
+
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.metrics.bounds import boundary_congestion
+from repro.routing.baselines import DimensionOrderRouter
+from repro.workloads.adversarial import adversarial_for_router
+
+
+def run_experiment(m: int = 32, ls=(2, 4, 8, 16)) -> list[dict]:
+    mesh = Mesh((m, m))
+    det = DimensionOrderRouter()
+    ours = HierarchicalRouter()
+    rows = []
+    for l in ls:
+        sub, _ = adversarial_for_router(det, mesh, l)
+        forced = det.route(sub, seed=0).congestion
+        randomized = int(
+            np.mean([ours.route(sub, seed=s).congestion for s in range(3)])
+        )
+        b = boundary_congestion(mesh, sub.sources, sub.dests)
+        rows.append(
+            {
+                "l": l,
+                "|Pi_A|": sub.num_packets,
+                "forced_C(det)": forced,
+                "C(hierarchical)": randomized,
+                "B(Pi_A)": b,
+                "l/d": l / mesh.d,
+                "log2n": float(np.log2(mesh.n)),
+            }
+        )
+    return rows
+
+
+def run_kappa_experiment(
+    m: int = 32, l: int = 16, ks=(1, 2, 4, 16, 64), trials: int = 5
+) -> list[dict]:
+    """Lemma 5.1 sweep: hot-edge congestion of κ-choice routers on Π_A.
+
+    The instance is built once against the κ = 1 restriction of the
+    hierarchical router; then κ grows and the expected hot-edge load falls
+    like ``|Π_A| / κ`` (until the fully-random floor).
+    """
+    from repro.routing.kchoice import KChoiceRouter
+
+    mesh = Mesh((m, m))
+    base = HierarchicalRouter()
+    det = KChoiceRouter(base, 1)
+    pi_a, hot_edge = adversarial_for_router(det, mesh, l)
+    rows = []
+    for k in ks:
+        router = KChoiceRouter(base, k)
+        hot = np.mean(
+            [router.route(pi_a, seed=s).edge_loads[hot_edge] for s in range(trials)]
+        )
+        total = np.mean(
+            [router.route(pi_a, seed=s).congestion for s in range(trials)]
+        )
+        rows.append(
+            {
+                "kappa": k,
+                "bits=log2(k)": float(np.log2(k)),
+                "|Pi_A|": pi_a.num_packets,
+                "hot_edge_load": float(hot),
+                "lemma51_floor |Pi_A|/k": pi_a.num_packets / k,
+                "C": float(total),
+            }
+        )
+    return rows
+
+
+def test_lemma_5_1_kappa_sweep(benchmark):
+    rows = benchmark.pedantic(
+        run_kappa_experiment, args=(16, 8, (1, 4, 16), 4), rounds=1, iterations=1
+    )
+    # Lemma 5.1: expected hot-edge load >= |Pi_A| / k.
+    for row in rows:
+        assert row["hot_edge_load"] >= row["lemma51_floor |Pi_A|/k"] - 1e-9
+    # k = 1 saturates, larger k relieves the hot edge
+    assert rows[0]["hot_edge_load"] == rows[0]["|Pi_A|"]
+    assert rows[-1]["hot_edge_load"] < rows[0]["hot_edge_load"]
+
+
+def test_section_5_1(benchmark):
+    rows = benchmark.pedantic(run_experiment, args=(32, (2, 8, 16)), rounds=1, iterations=1)
+    for row in rows:
+        # Lemma 5.1 construction: the deterministic router is forced to
+        # congestion |Pi_A| >= l / d.
+        assert row["forced_C(det)"] == row["|Pi_A|"]
+        assert row["|Pi_A|"] >= row["l/d"]
+    forced = [r["forced_C(det)"] for r in rows]
+    assert forced == sorted(forced) and forced[-1] > forced[0]
+    # the randomized router beats the forced congestion at large l
+    last = rows[-1]
+    assert last["C(hierarchical)"] < last["forced_C(det)"]
+
+
+def test_adversarial_construction_throughput(benchmark):
+    mesh = Mesh((16, 16))
+    det = DimensionOrderRouter()
+    sub, _ = benchmark(adversarial_for_router, det, mesh, 4)
+    assert sub.num_packets >= 2
+
+
+if __name__ == "__main__":
+    main_print(run_experiment, "T6 / Section 5.1: forced congestion of deterministic routing")

@@ -1,0 +1,76 @@
+"""Experiment T7 — Lemma 5.4 / Theorem 5.5: random bits per packet.
+
+Measures bits consumed per packet by the hierarchical router under the
+naive ("fresh") and the paper's recycled scheme, sweeping the packet
+distance ``D`` via block-exchange workloads, against the paper's curves:
+
+* upper (Lemma 5.4): ``O(d log(D d))`` — recycled should track this shape;
+* naive: ``O(d log^2(D d))`` — one fresh draw per bitonic step;
+* lower (Lemma 5.3, reconstructed shape): no comparable-congestion
+  algorithm can beat it.
+
+Expected shape: recycled ~ flat multiple of ``log D``; fresh ~ ``log^2 D``;
+recycled within a constant factor of the lower curve (Theorem 5.5's O(d)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import main_print
+
+from repro.analysis.theory import random_bits_lower_curve, random_bits_upper_curve
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+
+
+def run_experiment(m: int = 64, ls=(2, 4, 8, 16, 32)) -> list[dict]:
+    from repro.workloads.adversarial import block_exchange
+
+    mesh = Mesh((m, m))
+    rows = []
+    for l in ls:
+        prob = block_exchange(mesh, l).subproblem(range(0, mesh.n, 16))
+        fresh = HierarchicalRouter(bit_mode="fresh")
+        fresh.route(prob, seed=0)
+        recycled = HierarchicalRouter(bit_mode="recycled")
+        recycled.route(prob, seed=0)
+        d = mesh.d
+        rows.append(
+            {
+                "D": l,
+                "packets": prob.num_packets,
+                "fresh_bits": float(np.mean(fresh.bits_log)),
+                "recycled_bits": float(np.mean(recycled.bits_log)),
+                "upper_dlog(Dd)": random_bits_upper_curve(d, l),
+                "lower_curve": random_bits_lower_curve(d, l, mesh.n),
+            }
+        )
+    return rows
+
+
+def test_lemma_5_4(benchmark):
+    rows = benchmark.pedantic(run_experiment, args=(32, (2, 8, 16)), rounds=1, iterations=1)
+    for row in rows:
+        assert row["recycled_bits"] < row["fresh_bits"]
+        # Lemma 5.4 shape with a generous constant.
+        assert row["recycled_bits"] <= 10 * row["upper_dlog(Dd)"]
+        # Theorem 5.5: above the lower curve (it is a *lower* bound).
+        assert row["recycled_bits"] >= row["lower_curve"]
+    # bits grow with D for both modes
+    rec = [r["recycled_bits"] for r in rows]
+    assert rec[-1] > rec[0]
+
+
+def test_recycled_routing_throughput(benchmark):
+    from repro.workloads.generators import random_pairs
+
+    mesh = Mesh((32, 32))
+    prob = random_pairs(mesh, 200, seed=0)
+    router = HierarchicalRouter(bit_mode="recycled")
+    result = benchmark(router.route, prob, 1)
+    assert result.validate()
+
+
+if __name__ == "__main__":
+    main_print(run_experiment, "T7 / Lemma 5.4: random bits per packet vs D")

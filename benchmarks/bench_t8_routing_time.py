@@ -1,0 +1,80 @@
+"""Experiment T8 — routing time tracks C + D (Section 1's motivation).
+
+The paper optimises path selection because any schedule needs
+``Omega(C + D)`` steps.  This experiment closes the loop: it schedules the
+selected paths with the synchronous store-and-forward simulator and reports
+``makespan / (C + D)`` per router and workload.
+
+Expected shape: makespan lies in ``[max(C, D), ~C + D]`` for the greedy
+policies, so routers minimising C + D (hierarchical) deliver fastest on
+mixed traffic, while stretch-heavy routers (access tree, Valiant) pay their
+inflated D on local traffic.
+"""
+
+from __future__ import annotations
+
+from common import main_print
+
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.routing.baselines import AccessTreeRouter, RandomDimOrderRouter, ValiantRouter
+from repro.simulation.scheduler import simulate
+
+
+def run_experiment(m: int = 16, policy: str = "farthest-first") -> list[dict]:
+    from repro.workloads.generators import nearest_neighbor
+    from repro.workloads.permutations import random_permutation, transpose
+
+    mesh = Mesh((m, m))
+    routers = [
+        HierarchicalRouter(),
+        AccessTreeRouter(),
+        RandomDimOrderRouter(),
+        ValiantRouter(),
+    ]
+    workloads = [
+        transpose(mesh),
+        random_permutation(mesh, seed=3),
+        nearest_neighbor(mesh, seed=3),
+    ]
+    rows = []
+    for prob in workloads:
+        for router in routers:
+            result = router.route(prob, seed=4)
+            sim = simulate(mesh, result, policy=policy, seed=5)
+            rows.append(
+                {
+                    "workload": prob.name,
+                    "router": router.name,
+                    "C": sim.congestion,
+                    "D": sim.dilation,
+                    "C+D": sim.cd_bound,
+                    "makespan": sim.makespan,
+                    "makespan/(C+D)": sim.efficiency,
+                }
+            )
+    return rows
+
+
+def test_makespan_tracks_cd(benchmark):
+    rows = benchmark.pedantic(run_experiment, args=(16,), rounds=1, iterations=1)
+    for row in rows:
+        assert max(row["C"], row["D"]) <= row["makespan"]
+        assert row["makespan"] <= 2 * row["C+D"] + 8
+    nn = {r["router"]: r for r in rows if r["workload"] == "nearest-neighbor"}
+    # local traffic: constant-stretch routing delivers far faster
+    assert nn["hierarchical"]["makespan"] * 2 < nn["valiant"]["makespan"]
+    assert nn["hierarchical"]["makespan"] * 2 < nn["access-tree"]["makespan"]
+
+
+def test_simulation_throughput(benchmark):
+    from repro.workloads.permutations import random_permutation
+
+    mesh = Mesh((16, 16))
+    result = HierarchicalRouter().route(random_permutation(mesh, seed=0), seed=1)
+    sim = benchmark(simulate, mesh, result)
+    assert sim.makespan > 0
+
+
+if __name__ == "__main__":
+    main_print(run_experiment, "T8 / routing time: makespan vs C + D")

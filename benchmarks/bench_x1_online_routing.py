@@ -1,0 +1,87 @@
+"""Experiment X1 (extension) — online routing: latency vs injection rate.
+
+The paper's introduction argues oblivious path selection is *the* tool for
+online routing, "where packets continuously arrive in the network".  This
+extension experiment quantifies it: Bernoulli packet injection per node per
+step, immediate oblivious path selection, synchronous one-packet-per-edge
+scheduling.
+
+Expected shape:
+* at light load, latency ~ stretch x distance: the hierarchical router and
+  dimension-order routing are near-distance, Valiant pays ~m even when the
+  network is idle;
+* as load rises, congestion determines the knee: routers with balanced
+  paths sustain higher rates before queues grow.
+"""
+
+from __future__ import annotations
+
+from common import main_print
+
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.routing.baselines import RandomDimOrderRouter, ValiantRouter
+from repro.simulation.online import latency_vs_load, simulate_online
+
+
+def _neighbor_dest(mesh, src, rng):
+    nbrs = mesh.neighbors(src)
+    return int(nbrs[int(rng.integers(len(nbrs)))])
+
+
+def run_experiment(m: int = 16, rates=(0.01, 0.05, 0.15), steps: int = 200) -> list[dict]:
+    mesh = Mesh((m, m))
+    rows = []
+    for router in (HierarchicalRouter(), RandomDimOrderRouter(), ValiantRouter()):
+        for traffic, dest_fn in (("uniform", None), ("neighbor", _neighbor_dest)):
+            kwargs = {} if dest_fn is None else {"dest_fn": dest_fn}
+            for rate in rates:
+                stats = simulate_online(
+                    router, mesh, rate=rate, steps=steps, seed=11, **kwargs
+                )
+                rows.append(
+                    {
+                        "router": router.name,
+                        "traffic": traffic,
+                        "rate": rate,
+                        "injected": stats.injected,
+                        "mean_latency": stats.mean_latency,
+                        "p95_latency": stats.p95_latency,
+                        "slowdown": stats.mean_slowdown,
+                        "max_queue": stats.max_queue,
+                    }
+                )
+    return rows
+
+
+def test_online_shapes(benchmark):
+    rows = benchmark.pedantic(
+        run_experiment, args=(16, (0.01, 0.1), 150), rounds=1, iterations=1
+    )
+    by = {(r["router"], r["traffic"], r["rate"]): r for r in rows}
+    # Valiant pays its stretch as latency on idle neighbor traffic.
+    ours = by[("hierarchical", "neighbor", 0.01)]
+    valiant = by[("valiant", "neighbor", 0.01)]
+    assert ours.get("mean_latency") * 1.5 < valiant["mean_latency"]
+    # latency grows with load for every router on uniform traffic
+    for router in ("hierarchical", "random-dim-order", "valiant"):
+        light = by[(router, "uniform", 0.01)]["mean_latency"]
+        heavy = by[(router, "uniform", 0.1)]["mean_latency"]
+        assert heavy >= 0.8 * light  # monotone up to noise
+
+
+def test_online_simulation_throughput(benchmark):
+    mesh = Mesh((16, 16))
+    router = HierarchicalRouter()
+    stats = benchmark.pedantic(
+        simulate_online,
+        args=(router, mesh),
+        kwargs={"rate": 0.05, "steps": 150, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert stats.delivered == stats.injected
+
+
+if __name__ == "__main__":
+    main_print(run_experiment, "X1 / extension: online routing latency vs load")

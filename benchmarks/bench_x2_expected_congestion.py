@@ -1,0 +1,71 @@
+"""Experiment X2 (extension) — Lemma 3.8 verified *in expectation*.
+
+The congestion theorem bounds ``E[C(e)] <= 16 C* (log2 D + 3)`` per edge
+(Lemma 3.8) before applying Chernoff.  Using the closed-form subpath
+probabilities (Lemma 3.5's one-bend structure) we compute ``E[C(e)]``
+*exactly* for the 2-D router — no sampling — and compare the maximum
+against the lemma's ceiling with the multicommodity-LP lower bound in place
+of ``C*``, plus Monte-Carlo agreement.
+
+Expected shape: max_e E[C(e)] sits well below the 16 (log D + 3) envelope
+and matches the empirical mean load to within sampling error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import main_print
+
+from repro.analysis.expected_congestion import expected_edge_loads
+from repro.analysis.theory import congestion_bound_2d
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.metrics.bounds import boundary_congestion, lp_congestion_lower_bound
+
+
+def run_experiment(sizes=(4, 8), mc_trials: int = 200) -> list[dict]:
+    from repro.workloads.permutations import bit_complement, transpose
+
+    rows = []
+    for m in sizes:
+        mesh = Mesh((m, m))
+        for prob in (transpose(mesh), bit_complement(mesh)):
+            router = HierarchicalRouter(drop_cycles=False)
+            exact = expected_edge_loads(router, prob)
+            acc = np.zeros(mesh.num_edges)
+            for seed in range(mc_trials):
+                acc += router.route(prob, seed=seed).edge_loads
+            mc = acc / mc_trials
+            if mesh.n <= 64:
+                c_star = lp_congestion_lower_bound(mesh, prob.sources, prob.dests)
+            else:
+                c_star = boundary_congestion(mesh, prob.sources, prob.dests)
+            rows.append(
+                {
+                    "m": m,
+                    "workload": prob.name,
+                    "max_E[C(e)]": float(exact.max()),
+                    "mc_max_mean_load": float(mc.max()),
+                    "lemma38_ceiling": congestion_bound_2d(c_star, prob.max_distance),
+                    "C*_lower": c_star,
+                    "mc_rel_err": float(
+                        np.abs(exact - mc)[exact > 0.2].max()
+                        / exact[exact > 0.2].max()
+                    ),
+                }
+            )
+    return rows
+
+
+def test_lemma_3_8_in_expectation(benchmark):
+    rows = benchmark.pedantic(
+        run_experiment, args=((4, 8), 150), rounds=1, iterations=1
+    )
+    for row in rows:
+        assert row["max_E[C(e)]"] <= row["lemma38_ceiling"], row
+        assert row["mc_rel_err"] < 0.25
+
+
+if __name__ == "__main__":
+    main_print(run_experiment, "X2 / extension: exact E[C(e)] vs Lemma 3.8 ceiling")

@@ -1,0 +1,92 @@
+"""Experiment X4 (extension) — scaling: the log-n shape and runtime.
+
+Theorem 3.9's ``O(C* log n)`` is a *growth* statement; T3 checks one size.
+This experiment sweeps mesh sizes and reports the congestion ratio against
+``log2 n``: the ratio divided by ``log2 n`` should be (roughly) flat, and
+certainly far from linear growth in the side length ``m``.
+
+It also times path selection per packet across sizes — the arithmetic
+ancestor/bridge machinery is O(log n) per path with no per-mesh
+enumeration, so per-path cost grows only logarithmically.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from common import main_print
+
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.metrics.bounds import average_load_lower_bound, boundary_congestion
+
+
+def run_experiment(sizes=(8, 16, 32, 64), seeds=(0, 1)) -> list[dict]:
+    from repro.workloads.permutations import random_permutation, transpose
+
+    rows = []
+    for m in sizes:
+        mesh = Mesh((m, m))
+        router = HierarchicalRouter()
+        for prob in (transpose(mesh), random_permutation(mesh, seed=m)):
+            bound = max(
+                boundary_congestion(mesh, prob.sources, prob.dests),
+                average_load_lower_bound(mesh, prob.sources, prob.dests),
+                1.0,
+            )
+            cs = []
+            t0 = time.perf_counter()
+            for seed in seeds:
+                cs.append(router.route(prob, seed=seed).congestion)
+            elapsed = (time.perf_counter() - t0) / (len(seeds) * prob.num_packets)
+            ratio = float(np.mean(cs)) / bound
+            rows.append(
+                {
+                    "m": m,
+                    "n": mesh.n,
+                    "workload": prob.name,
+                    "C_mean": float(np.mean(cs)),
+                    "C_lower": bound,
+                    "ratio": ratio,
+                    "ratio/log2n": ratio / np.log2(mesh.n),
+                    "us_per_path": elapsed * 1e6,
+                }
+            )
+    return rows
+
+
+def test_log_n_shape(benchmark):
+    rows = benchmark.pedantic(
+        run_experiment, args=((8, 16, 32), (0,)), rounds=1, iterations=1
+    )
+    # normalised ratio stays bounded as n grows 16x: the log-n shape
+    normalised = {}
+    for row in rows:
+        normalised.setdefault(row["workload"], []).append(row["ratio/log2n"])
+    for workload, vals in normalised.items():
+        assert max(vals) <= 1.5, (workload, vals)
+        # growth from smallest to largest size is sub-2x after normalising
+        assert vals[-1] <= 2 * max(vals[0], 0.25), (workload, vals)
+
+
+def test_path_selection_scales(benchmark):
+    """Per-path selection cost on a 128x128 mesh stays microseconds-scale
+    (no enumeration anywhere on the routing path)."""
+    mesh = Mesh((128, 128))
+    router = HierarchicalRouter()
+    rng = np.random.default_rng(0)
+    pairs = rng.integers(mesh.n, size=(200, 2))
+    pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+
+    def kernel():
+        rr = np.random.default_rng(1)
+        return sum(len(router.select_path(mesh, int(s), int(t), rr)) for s, t in pairs)
+
+    total = benchmark(kernel)
+    assert total > 0
+
+
+if __name__ == "__main__":
+    main_print(run_experiment, "X4 / extension: log-n scaling of congestion ratio")

@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every ``bench_*.py`` module in this directory regenerates one evaluation
+artifact of the paper (a figure or a theorem treated as a table) — see the
+per-experiment index in DESIGN.md.  Each module offers:
+
+* ``run_experiment()`` — computes and returns the experiment's rows
+  (pure, reusable; ``benchmarks/run_all.py`` collects them for
+  EXPERIMENTS.md);
+* ``test_*`` functions — pytest-benchmark entries timing the experiment's
+  computational kernel *and* asserting the paper's qualitative claims on
+  the produced rows;
+* a ``__main__`` block printing the full table.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Mapping, Sequence
+
+from repro.analysis.reporting import format_table
+
+__all__ = ["print_experiment", "main_print"]
+
+
+def print_experiment(
+    title: str, rows: Sequence[Mapping], columns: Sequence[str] | None = None
+) -> None:
+    print()
+    print("=" * len(title))
+    print(title)
+    print("=" * len(title))
+    print(format_table(rows, columns))
+    print()
+
+
+def main_print(run: Callable[[], Sequence[Mapping]], title: str) -> None:
+    rows = run()
+    print_experiment(title, rows)
+    sys.stdout.flush()

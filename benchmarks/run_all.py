@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Regenerate every experiment table (the data behind EXPERIMENTS.md).
+
+Runs the ``run_experiment()`` of every bench module at its default (full)
+parameters and prints the tables.  Pass ``--quick`` for the reduced
+parameters the pytest-benchmark assertions use.
+
+Usage:  python benchmarks/run_all.py [--quick]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from common import print_experiment
+
+import bench_f1_decomposition_2d as f1
+import bench_f2_decomposition_dd as f2
+import bench_t1_stretch_2d as t1
+import bench_t2_bridge_height as t2
+import bench_t3_congestion_2d as t3
+import bench_t4_stretch_dd as t4
+import bench_t5_congestion_dd as t5
+import bench_t6_randomization as t6
+import bench_t7_random_bits as t7
+import bench_t8_routing_time as t8
+import bench_a1_bridge_ablation as a1
+import bench_a2_dim_order_ablation as a2
+import bench_a3_scheme_ablation as a3
+import bench_x1_online_routing as x1
+import bench_x2_expected_congestion as x2
+import bench_x3_torus as x3
+import bench_x4_scaling as x4
+import bench_x5_rectangular as x5
+import bench_x6_adversary_search as x6
+
+
+def main(quick: bool = False) -> None:
+    experiments = [
+        ("F1 / Figure 1: 2-D decomposition inventory (8x8)", f1.run_experiment, {}),
+        ("F2 / Figure 2: multishift shift table (16^3)", f2.run_experiment, {}),
+        (
+            "T1 / Theorem 3.4: 2-D stretch <= 64",
+            t1.run_experiment,
+            {"sizes": (8, 16, 32), "pairs_per_mesh": 200} if quick else {},
+        ),
+        (
+            "T2 / Lemma 3.3: bridge height vs log2(dist)+2",
+            t2.run_experiment,
+            {"m": 32, "samples": 1000} if quick else {},
+        ),
+        (
+            "T3 / Theorem 3.9: 2-D congestion vs C* lower bound",
+            t3.run_experiment,
+            {"m": 16, "seeds": (0,)} if quick else {},
+        ),
+        ("T4 / Theorem 4.2: stretch O(d^2)", t4.run_experiment, {}),
+        ("T5 / Theorem 4.3: d-dim congestion", t5.run_experiment, {}),
+        (
+            "T6 / Section 5.1: forced congestion of deterministic routing",
+            t6.run_experiment,
+            {"m": 32, "ls": (2, 8, 16)} if quick else {},
+        ),
+        (
+            "T6b / Lemma 5.1: kappa-choice hot-edge sweep",
+            t6.run_kappa_experiment,
+            {"m": 16, "l": 8, "ks": (1, 4, 16), "trials": 4} if quick else {},
+        ),
+        (
+            "T7 / Lemma 5.4: random bits per packet",
+            t7.run_experiment,
+            {"m": 32, "ls": (2, 8, 16)} if quick else {},
+        ),
+        ("T8 / routing time: makespan vs C+D", t8.run_experiment, {}),
+        ("A1 / ablation: bridges on vs off", a1.run_experiment, {}),
+        ("A2 / ablation: dimension-order randomization", a2.run_experiment, {}),
+        ("A3 / ablation: multishift vs half-shift generalization", a3.run_experiment, {}),
+        (
+            "X1 / extension: online routing latency vs load",
+            x1.run_experiment,
+            {"rates": (0.01, 0.1), "steps": 150} if quick else {},
+        ),
+        (
+            "X2 / extension: exact E[C(e)] vs Lemma 3.8",
+            x2.run_experiment,
+            {"mc_trials": 100} if quick else {},
+        ),
+        ("X3 / extension: torus vs mesh", x3.run_experiment, {}),
+        (
+            "X4 / extension: log-n scaling",
+            x4.run_experiment,
+            {"sizes": (8, 16, 32), "seeds": (0,)} if quick else {},
+        ),
+        ("X5 / extension: rectangular meshes", x5.run_experiment, {}),
+        (
+            "X6 / extension: adversarial workload search",
+            x6.run_experiment,
+            {"budget": 120} if quick else {},
+        ),
+    ]
+    for title, run, kwargs in experiments:
+        print_experiment(title, run(**kwargs))
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Scenario: capacity planning with exact expected load maps.
+
+A network architect wants per-link utilisation forecasts for a routing
+scheme *before* deploying it — not Monte-Carlo estimates with error bars,
+but the exact expectation.  Because the hierarchical algorithm's submesh
+sequence is deterministic per (source, destination), its per-edge load
+expectation has a closed form (the Lemma 3.5 / A.1 algebra); this example
+computes it for a workload, renders the map as an ASCII heatmap, and
+validates it against an empirical run.
+
+Run:  python examples/expected_congestion_map.py [side]
+"""
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.analysis.expected_congestion import expected_edge_loads
+from repro.analysis.visualize import edge_load_heatmap
+
+
+def main() -> None:
+    side = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    mesh = repro.Mesh((side, side))
+    problem = repro.bit_complement(mesh)
+    router = repro.HierarchicalRouter(drop_cycles=False)
+
+    exact = expected_edge_loads(router, problem)
+    print(f"Exact expected edge loads for {problem.describe()}")
+    print(f"max_e E[C(e)] = {exact.max():.2f}  "
+          f"(total expected edge-hops {exact.sum():.0f})")
+    print()
+    print("Expected-load heatmap (exact, no sampling):")
+    print(edge_load_heatmap(mesh, exact))
+    print()
+
+    trials = 60
+    acc = np.zeros(mesh.num_edges)
+    for seed in range(trials):
+        acc += router.route(problem, seed=seed).edge_loads
+    empirical = acc / trials
+    print(f"Empirical mean over {trials} runs:")
+    print(edge_load_heatmap(mesh, empirical))
+    print()
+    loaded = exact > 0.25
+    rel = np.abs(exact[loaded] - empirical[loaded]) / exact[loaded]
+    print(f"agreement on loaded edges: max relative deviation "
+          f"{rel.max():.1%} (sampling noise)")
+    ceiling = repro.congestion_bound_2d(
+        repro.congestion_lower_bound(mesh, problem.sources, problem.dests,
+                                     use_lp=mesh.n <= 64),
+        problem.max_distance,
+    )
+    print(f"Lemma 3.8 ceiling: 16 C* (log2 D + 3) >= {ceiling:.0f} "
+          f"-- measured max {exact.max():.2f} sits far below it.")
+
+
+if __name__ == "__main__":
+    main()

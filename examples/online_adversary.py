@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Scenario: an online adversary probes a deterministic router.
+
+Oblivious routing is meant for *online* settings where traffic is not known
+in advance.  Section 5 of the paper shows why determinism is fatal there:
+an adversary who knows the (deterministic) path function can construct a
+permutation-with-distance-l whose packets all share one edge.
+
+This example plays that game end to end:
+
+1. the adversary builds ``Π_A`` against deterministic XY routing for a
+   sweep of distances ``l`` (Section 5.1 construction);
+2. the deterministic router is forced to congestion ``|Π_A| >= l/d``;
+3. the randomized hierarchical router routes the *same* hostile instance
+   with congestion ~ ``B log n`` — and we show how many random bits per
+   packet that protection costs (Lemma 5.4).
+
+Run:  python examples/online_adversary.py [side]
+"""
+
+import sys
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    side = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    mesh = repro.Mesh((side, side))
+    victim = repro.DimensionOrderRouter()
+    defender = repro.HierarchicalRouter(bit_mode="recycled")
+
+    rows = []
+    l = 2
+    while l <= side // 2:
+        hostile, hot_edge = repro.adversarial_for_router(victim, mesh, l)
+        forced = victim.route(hostile, seed=0).congestion
+        results = [defender.route(hostile, seed=s) for s in range(3)]
+        randomized = float(np.mean([r.congestion for r in results]))
+        bits = float(np.mean(defender.bits_log))
+        b = repro.boundary_congestion(mesh, hostile.sources, hostile.dests)
+        rows.append(
+            {
+                "l": l,
+                "|Pi_A|": hostile.num_packets,
+                "forced_C(XY)": forced,
+                "C(hierarchical)": randomized,
+                "B(Pi_A)": b,
+                "bits/packet": bits,
+            }
+        )
+        l *= 2
+    u, v = mesh.edge_id_to_endpoints(hot_edge)
+    cu = tuple(int(x) for x in mesh.flat_to_coords(u))
+    cv = tuple(int(x) for x in mesh.flat_to_coords(v))
+    print(f"Adversary on {mesh!r}; last hot edge: {cu} - {cv}")
+    print()
+    print(repro.format_table(rows, title="Online adversary vs deterministic routing"))
+    print()
+    print("Reading: the adversary's leverage over the deterministic router "
+          "grows linearly with l (Lemma 5.1, kappa = 1); randomization caps "
+          "the damage at ~B log n (Lemma 5.2) for a few dozen random bits "
+          "per packet (Lemma 5.4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Scenario: sizing an interconnect for dynamic traffic.
+
+A network architect wants to know how hard each routing strategy can be
+driven before latency departs from the light-load baseline.  Because
+oblivious routers pick paths without global state, they are the only
+candidates for this online setting (the paper's Section 1 argument) — but
+they differ sharply in *which* load they handle:
+
+* dimension-order routing has minimal paths (great light-load latency) but
+  no congestion guarantee;
+* Valiant balances any load but inflates every packet to ~2 crossings of
+  the mesh;
+* the paper's hierarchical router keeps light-load latency near the
+  distance AND balances load.
+
+This example sweeps the injection rate for uniform and neighbor traffic
+and prints the saturation tables.
+
+Run:  python examples/online_saturation.py [side]
+"""
+
+import sys
+
+import repro
+from repro.simulation.online import latency_vs_load
+
+
+def neighbor_dest(mesh, src, rng):
+    nbrs = mesh.neighbors(src)
+    return int(nbrs[int(rng.integers(len(nbrs)))])
+
+
+def main() -> None:
+    side = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    mesh = repro.Mesh((side, side))
+    routers = [
+        repro.HierarchicalRouter(),
+        repro.RandomDimOrderRouter(),
+        repro.ValiantRouter(),
+    ]
+    rates = [0.01, 0.05, 0.1, 0.2]
+
+    print(f"Uniform random destinations on {mesh!r}:")
+    rows = []
+    for router in routers:
+        rows += latency_vs_load(router, mesh, rates, steps=200, seed=3)
+    print(repro.format_table(
+        rows, columns=["router", "rate", "mean_latency", "p95_latency",
+                       "mean_slowdown", "max_queue"]))
+
+    print()
+    print("Nearest-neighbor destinations (locality traffic):")
+    rows = []
+    for router in routers:
+        rows += latency_vs_load(
+            router, mesh, rates, steps=200, seed=3, dest_fn=neighbor_dest
+        )
+    print(repro.format_table(
+        rows, columns=["router", "rate", "mean_latency", "p95_latency",
+                       "mean_slowdown", "max_queue"]))
+    print()
+    print("Reading: on neighbor traffic Valiant's latency is ~the mesh side "
+          "even at 1% load (its stretch), while the hierarchical router "
+          "stays within a small factor of the distance at every load — the "
+          "online payoff of bounding stretch and congestion together.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: route a workload obliviously and inspect path quality.
+
+Demonstrates the core loop of the library:
+
+1. build a mesh (the paper's network: equal power-of-two sides);
+2. pick a workload (here: matrix transpose — every node (x, y) sends one
+   packet to (y, x));
+3. route it with the paper's hierarchical algorithm, fully obliviously —
+   each packet chooses its path independently;
+4. measure congestion C, dilation D and stretch, and compare congestion
+   against a certified lower bound on the optimum C*;
+5. schedule the packets synchronously to see delivery time ~ C + D.
+
+Run:  python examples/quickstart.py [side]
+"""
+
+import sys
+
+import repro
+
+
+def main() -> None:
+    side = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    mesh = repro.Mesh((side, side))
+    print(f"Mesh: {mesh!r} with {mesh.n} nodes and {mesh.num_edges} links")
+
+    problem = repro.transpose(mesh)
+    print(f"Workload: {problem.describe()}")
+
+    router = repro.HierarchicalRouter()
+    result = router.route(problem, seed=0)
+    assert result.validate()
+
+    bound = repro.congestion_lower_bound(
+        mesh, problem.sources, problem.dests, use_lp=False
+    )
+    print()
+    print(f"congestion C          = {result.congestion}")
+    print(f"C* lower bound        = {bound:.2f}")
+    print(f"C / C*-bound          = {result.congestion / bound:.2f}"
+          f"   (Theorem 3.9: O(log n); log2 n = {mesh.n.bit_length() - 1})")
+    print(f"dilation D            = {result.dilation}")
+    print(f"stretch               = {result.stretch:.2f}   (Theorem 3.4: <= 64)")
+
+    sim = repro.simulate(mesh, result)
+    print()
+    print(f"scheduled delivery    : {sim.summary()}")
+    print()
+
+    rows = [
+        repro.evaluate(r, problem, seed=0, bound=bound)
+        for r in (
+            router,
+            repro.AccessTreeRouter(),
+            repro.DimensionOrderRouter(),
+            repro.ValiantRouter(),
+        )
+    ]
+    print(repro.format_table(
+        rows, columns=["router", "C", "D", "stretch", "C_ratio"],
+        title="Router comparison on transpose",
+    ))
+
+
+if __name__ == "__main__":
+    main()

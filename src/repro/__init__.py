@@ -1,0 +1,194 @@
+"""repro — Optimal Oblivious Path Selection on the Mesh.
+
+A full reproduction of Busch, Magdon-Ismail and Xi (IPPS 2005): an
+oblivious path-selection algorithm for the ``d``-dimensional mesh whose
+congestion is ``O(d^2 C* log n)`` with high probability *and* whose stretch
+is ``O(d^2)`` (at most 64 in two dimensions) — the first oblivious scheme
+to control both simultaneously.
+
+Quick start
+-----------
+>>> import repro
+>>> mesh = repro.Mesh((16, 16))
+>>> problem = repro.transpose(mesh)
+>>> router = repro.HierarchicalRouter()
+>>> result = router.route(problem, seed=0)
+>>> result.stretch <= 64
+True
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record of every theorem and figure.
+"""
+
+from repro.mesh import Mesh, Submesh, TorusBox, torus_bounding
+from repro.mesh.mesh import pad_to_power_of_two
+from repro.mesh.paths import (
+    concatenate_paths,
+    dimension_order_path,
+    is_valid_path,
+    path_length,
+    remove_cycles,
+)
+from repro.core import (
+    AccessGraph,
+    BitCounter,
+    Decomposition,
+    HierarchicalRouter,
+    RectDecomposition,
+    RectHierarchicalRouter,
+    RecycledBits,
+    RegularSubmesh,
+    common_ancestor_2d,
+    find_bridge,
+)
+from repro.routing import (
+    AccessTreeRouter,
+    DimensionOrderRouter,
+    GreedyMinCongestionRouter,
+    KChoiceRouter,
+    RandomDimOrderRouter,
+    Router,
+    RoutingProblem,
+    RoutingResult,
+    ShortestPathRouter,
+    ValiantRouter,
+    available_routers,
+    make_router,
+)
+from repro.metrics import (
+    average_load_lower_bound,
+    boundary_congestion,
+    boundary_congestion_exact,
+    congestion,
+    congestion_lower_bound,
+    dilation,
+    edge_loads,
+    lp_congestion_lower_bound,
+    stretch,
+    stretches,
+)
+from repro.io import load_result, rows_to_csv, save_result
+from repro.simulation import (
+    OnlineStats,
+    SimulationResult,
+    latency_vs_load,
+    simulate,
+    simulate_online,
+)
+from repro.workloads import (
+    adversarial_for_router,
+    r_relation,
+    scheme_separating_pairs,
+    all_to_one,
+    bit_complement,
+    bit_reversal,
+    block_exchange,
+    local_traffic,
+    nearest_neighbor,
+    random_pairs,
+    random_permutation,
+    tornado,
+    transpose,
+)
+from repro.analysis import (
+    aggregate,
+    certify_stretch,
+    congestion_distribution,
+    congestion_bound_2d,
+    evaluate,
+    expected_edge_loads,
+    format_table,
+    random_bits_lower_curve,
+    random_bits_upper_curve,
+    stretch_bound_2d,
+    stretch_bound_general,
+    sweep,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # mesh substrate
+    "Mesh",
+    "Submesh",
+    "TorusBox",
+    "torus_bounding",
+    "pad_to_power_of_two",
+    "dimension_order_path",
+    "concatenate_paths",
+    "is_valid_path",
+    "path_length",
+    "remove_cycles",
+    # core contribution
+    "Decomposition",
+    "RegularSubmesh",
+    "AccessGraph",
+    "common_ancestor_2d",
+    "find_bridge",
+    "HierarchicalRouter",
+    "RectDecomposition",
+    "RectHierarchicalRouter",
+    "BitCounter",
+    "RecycledBits",
+    # routing
+    "Router",
+    "RoutingProblem",
+    "RoutingResult",
+    "AccessTreeRouter",
+    "DimensionOrderRouter",
+    "RandomDimOrderRouter",
+    "ValiantRouter",
+    "ShortestPathRouter",
+    "GreedyMinCongestionRouter",
+    "KChoiceRouter",
+    "available_routers",
+    "make_router",
+    # metrics
+    "congestion",
+    "edge_loads",
+    "dilation",
+    "stretch",
+    "stretches",
+    "boundary_congestion",
+    "boundary_congestion_exact",
+    "average_load_lower_bound",
+    "lp_congestion_lower_bound",
+    "congestion_lower_bound",
+    # simulation
+    "simulate",
+    "SimulationResult",
+    "simulate_online",
+    "latency_vs_load",
+    "OnlineStats",
+    # io
+    "save_result",
+    "load_result",
+    "rows_to_csv",
+    # workloads
+    "transpose",
+    "bit_reversal",
+    "bit_complement",
+    "tornado",
+    "random_permutation",
+    "random_pairs",
+    "all_to_one",
+    "nearest_neighbor",
+    "local_traffic",
+    "r_relation",
+    "block_exchange",
+    "adversarial_for_router",
+    "scheme_separating_pairs",
+    # analysis
+    "expected_edge_loads",
+    "congestion_distribution",
+    "certify_stretch",
+    "evaluate",
+    "sweep",
+    "aggregate",
+    "format_table",
+    "stretch_bound_2d",
+    "stretch_bound_general",
+    "congestion_bound_2d",
+    "random_bits_upper_curve",
+    "random_bits_lower_curve",
+]

@@ -1,0 +1,43 @@
+"""Experiment harness: theoretical reference curves, sweep runners and
+plain-text table rendering shared by the benchmarks and examples."""
+
+from repro.analysis.theory import (
+    congestion_bound_2d,
+    random_bits_lower_curve,
+    random_bits_upper_curve,
+    stretch_bound_2d,
+    stretch_bound_general,
+)
+from repro.analysis.adversary_search import adversarial_ratio_search
+from repro.analysis.certificates import (
+    certify_stretch,
+    worst_case_path_length,
+    worst_case_stretch,
+)
+from repro.analysis.concentration import congestion_distribution, tail_fraction
+from repro.analysis.experiments import aggregate, evaluate, sweep
+from repro.analysis.expected_congestion import (
+    expected_edge_loads,
+    subpath_edge_probabilities,
+)
+from repro.analysis.reporting import format_table
+
+__all__ = [
+    "adversarial_ratio_search",
+    "certify_stretch",
+    "worst_case_path_length",
+    "worst_case_stretch",
+    "congestion_distribution",
+    "tail_fraction",
+    "expected_edge_loads",
+    "subpath_edge_probabilities",
+    "stretch_bound_2d",
+    "stretch_bound_general",
+    "congestion_bound_2d",
+    "random_bits_upper_curve",
+    "random_bits_lower_curve",
+    "evaluate",
+    "sweep",
+    "aggregate",
+    "format_table",
+]

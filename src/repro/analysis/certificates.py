@@ -1,0 +1,101 @@
+"""Worst-case certificates: Theorem 3.4 / 4.2 without sampling.
+
+Random tests can only sample the router's choices; a *certificate* bounds
+every possible outcome.  Given a packet (s, t), the submesh sequence is
+deterministic — only waypoints and dimension orders are random — and a
+dimension-by-dimension path between any two nodes of boxes ``A`` and ``B``
+has length at most the L1 diameter of their bounding box.  Summing those
+diameters over the sequence therefore upper-bounds the length of **every**
+path the router could ever select for the packet:
+
+    ``worst_case_path_length(router, mesh, s, t) >= |p|``  for all coins.
+
+Dividing by ``dist(s, t)`` certifies the stretch.  The T1 experiments and
+tests run this over dense pair sets, turning Theorem 3.4's "for any two
+distinct nodes" into an executable, exhaustive check on small meshes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+
+__all__ = ["worst_case_path_length", "worst_case_stretch", "certify_stretch"]
+
+
+def _l1_diameter(mesh: Mesh, box_a, box_b) -> int:
+    """Max L1 distance between any node of ``box_a`` and any node of ``box_b``.
+
+    On the mesh this is the bounding box's L1 extent; on the torus each
+    dimension contributes the larger arc distance, capped at ``m_i // 2``.
+    """
+    total = 0
+    sides_a = box_a.sides
+    sides_b = box_b.sides
+    if mesh.torus:
+        from repro.mesh.torus_box import TorusBox, torus_bounding
+
+        bb = torus_bounding(box_a, box_b)
+        for ln, m in zip(bb.lengths, mesh.sides):
+            total += min(ln - 1, m // 2)
+        return total
+    del sides_a, sides_b
+    for a_lo, a_hi, b_lo, b_hi in zip(box_a.lo, box_a.hi, box_b.lo, box_b.hi):
+        total += max(a_hi, b_hi) - min(a_lo, b_lo)
+    return total
+
+
+def worst_case_path_length(router, mesh: Mesh, s: int, t: int) -> int:
+    """Deterministic upper bound on the length of any selected path.
+
+    ``router`` must expose ``submesh_sequence`` (the hierarchical routers
+    do).  Holds for every realisation of waypoints and dimension orders;
+    cycle removal only shortens paths further.
+    """
+    if s == t:
+        return 0
+    seq, _ = router.submesh_sequence(mesh, s, t)
+    return sum(_l1_diameter(mesh, a, b) for a, b in zip(seq, seq[1:]))
+
+
+def worst_case_stretch(router, mesh: Mesh, s: int, t: int) -> float:
+    """Certified stretch ceiling for one packet."""
+    dist = int(mesh.distance(s, t))
+    if dist == 0:
+        return 0.0
+    return worst_case_path_length(router, mesh, s, t) / dist
+
+
+def certify_stretch(
+    router,
+    mesh: Mesh,
+    *,
+    pairs=None,
+    exhaustive_limit: int = 4096,
+) -> dict:
+    """Certify the stretch over a pair set (all ordered pairs by default).
+
+    Returns the worst certified stretch, its witnessing pair, and the pair
+    count.  Exhaustive enumeration is refused above ``exhaustive_limit``
+    pairs unless an explicit ``pairs`` iterable is given.
+    """
+    if pairs is None:
+        if mesh.n * (mesh.n - 1) > exhaustive_limit:
+            raise ValueError(
+                f"{mesh.n * (mesh.n - 1)} ordered pairs exceed the exhaustive "
+                "limit; pass an explicit pair set"
+            )
+        pairs = [
+            (s, t) for s in range(mesh.n) for t in range(mesh.n) if s != t
+        ]
+    worst = 0.0
+    witness = None
+    count = 0
+    for s, t in pairs:
+        val = worst_case_stretch(router, mesh, int(s), int(t))
+        count += 1
+        if val > worst:
+            worst = val
+            witness = (int(s), int(t))
+    return {"worst_stretch": worst, "witness": witness, "pairs": count}

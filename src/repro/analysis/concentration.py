@@ -1,0 +1,54 @@
+"""Empirical concentration of the congestion (the "whp" in Theorem 3.9).
+
+Theorem 3.9 is a *high-probability* statement: because every packet selects
+its path independently, per-edge loads are sums of independent indicators
+and Chernoff bounds make the maximum concentrate tightly around its
+expectation.  :func:`congestion_distribution` routes a problem many times
+and summarises the distribution of ``C``; the experiments check that the
+observed spread (max/median, relative standard deviation) is small — the
+empirical face of the union-bound argument in the paper's proof.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.base import Router, RoutingProblem
+
+__all__ = ["congestion_distribution", "tail_fraction"]
+
+
+def congestion_distribution(
+    router: Router, problem: RoutingProblem, num_seeds: int = 50, *, seed0: int = 0
+) -> dict:
+    """Distribution summary of ``C`` over independent routing runs.
+
+    Returns min / median / mean / max / std plus the raw sample, all under
+    seeds ``seed0 .. seed0 + num_seeds - 1``.
+    """
+    if num_seeds < 1:
+        raise ValueError("need at least one seed")
+    samples = np.asarray(
+        [router.route(problem, seed=seed0 + s).congestion for s in range(num_seeds)],
+        dtype=np.float64,
+    )
+    return {
+        "router": router.name,
+        "workload": problem.name,
+        "runs": num_seeds,
+        "min": float(samples.min()),
+        "median": float(np.median(samples)),
+        "mean": float(samples.mean()),
+        "max": float(samples.max()),
+        "std": float(samples.std()),
+        "max/median": float(samples.max() / max(np.median(samples), 1e-12)),
+        "samples": samples,
+    }
+
+
+def tail_fraction(samples: np.ndarray, threshold: float) -> float:
+    """Fraction of runs whose congestion exceeded ``threshold``."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        return 0.0
+    return float(np.mean(samples > threshold))

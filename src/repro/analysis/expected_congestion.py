@@ -1,0 +1,204 @@
+"""Exact expected edge loads of the hierarchical router (closed forms).
+
+The congestion analysis of Section 3.3 bounds, for every edge ``e``, the
+probability that one subpath of the bitonic construction uses ``e`` (Lemma
+3.5) and sums the bounds (Lemmas 3.6-3.8).  Because the submesh *sequence*
+of a packet is deterministic given (s, t) — only the waypoints and the
+dimension order are random — those probabilities have closed forms in two
+dimensions, and we can compute ``E[C(e)]`` exactly:
+
+For a subpath from ``u`` uniform in box ``A`` to ``v`` uniform in box ``B``
+with dimension order XY or YX equally likely (the at-most-one-bend paths of
+step 7):
+
+* under XY order, the horizontal edge ``(x, y)-(x+1, y)`` is used iff
+  ``u_y = y`` and ``x`` lies in ``[min(u_x, v_x), max(u_x, v_x))``;
+  by independence ``P = P[u_y = y] * (P[u_x <= x] P[v_x > x] +
+  P[v_x <= x] P[u_x > x])`` — products of uniform CDFs;
+* the vertical edge ``(x, y)-(x, y+1)`` is used iff ``v_x = x`` and ``y``
+  lies between ``u_y`` and ``v_y``; YX order is symmetric.
+
+Summing over the packet's subpaths and all packets yields the exact
+expected load vector, against which Lemma 3.8's
+``E[C(e)] <= 16 C* (log2 D + 3)`` ceiling — and Monte-Carlo agreement — is
+tested.  Exact analysis assumes ``drop_cycles=False`` (the paper removes
+cycles only *after* bounding the expectation, which can only lower loads).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.mesh.submesh import Submesh
+from repro.routing.base import RoutingProblem
+
+__all__ = [
+    "expected_edge_loads",
+    "subpath_edge_probabilities",
+    "subpath_edge_probabilities_general",
+]
+
+
+def _uniform_cdf(lo: int, hi: int, xs: np.ndarray) -> np.ndarray:
+    """``P[U <= x]`` for ``U`` uniform on the integers ``[lo, hi]``."""
+    return np.clip((xs - lo + 1) / (hi - lo + 1), 0.0, 1.0)
+
+
+def _between_prob(
+    a_lo: int, a_hi: int, b_lo: int, b_hi: int, xs: np.ndarray
+) -> np.ndarray:
+    """``P[min(U,V) <= x < max(U,V)]`` for independent uniforms U on A, V on B."""
+    fu = _uniform_cdf(a_lo, a_hi, xs)
+    fv = _uniform_cdf(b_lo, b_hi, xs)
+    return fu * (1.0 - fv) + fv * (1.0 - fu)
+
+
+def _point_prob(lo: int, hi: int, xs: np.ndarray) -> np.ndarray:
+    """``P[U = x]`` for ``U`` uniform on ``[lo, hi]``."""
+    inside = (xs >= lo) & (xs <= hi)
+    return inside / (hi - lo + 1)
+
+
+def subpath_edge_probabilities(
+    mesh: Mesh, box_a: Submesh, box_b: Submesh
+) -> np.ndarray:
+    """Per-edge use probability of one subpath from ``box_a`` to ``box_b``.
+
+    Returns a dense ``(E,)`` vector.  Two-dimensional one-bend closed form;
+    :func:`subpath_edge_probabilities_general` covers any dimension.
+    """
+    if mesh.d != 2:
+        raise ValueError("closed-form subpath probabilities require d = 2")
+    if mesh.torus:
+        raise ValueError("closed forms assume non-wrapping paths (mesh only)")
+    probs = np.zeros(mesh.num_edges)
+    (a_x0, a_y0), (a_x1, a_y1) = box_a.lo, box_a.hi
+    (b_x0, b_y0), (b_x1, b_y1) = box_b.lo, box_b.hi
+    lo_x, hi_x = min(a_x0, b_x0), max(a_x1, b_x1)
+    lo_y, hi_y = min(a_y0, b_y0), max(a_y1, b_y1)
+
+    # --- horizontal edges (dim 0): (x, y) - (x+1, y), x in [lo_x, hi_x) ---
+    if hi_x > lo_x:
+        xs = np.arange(lo_x, hi_x)
+        ys = np.arange(lo_y, hi_y + 1)
+        travel = _between_prob(a_x0, a_x1, b_x0, b_x1, xs)  # (X,)
+        # XY order: the row is the start's y; YX order: the end's y.
+        row_xy = _point_prob(a_y0, a_y1, ys)  # (Y,)
+        row_yx = _point_prob(b_y0, b_y1, ys)
+        grid = 0.5 * travel[:, None] * (row_xy + row_yx)[None, :]  # (X, Y)
+        tails = (xs[:, None] * mesh.strides[0] + ys[None, :] * mesh.strides[1]).ravel()
+        heads = tails + mesh.strides[0]
+        probs[mesh.edge_ids(tails, heads)] += grid.ravel()
+
+    # --- vertical edges (dim 1): (x, y) - (x, y+1), y in [lo_y, hi_y) ---
+    if hi_y > lo_y:
+        xs = np.arange(lo_x, hi_x + 1)
+        ys = np.arange(lo_y, hi_y)
+        travel = _between_prob(a_y0, a_y1, b_y0, b_y1, ys)  # (Y,)
+        col_xy = _point_prob(b_x0, b_x1, xs)  # XY: column is the end's x
+        col_yx = _point_prob(a_x0, a_x1, xs)  # YX: column is the start's x
+        grid = 0.5 * (col_xy + col_yx)[:, None] * travel[None, :]  # (X, Y)
+        tails = (xs[:, None] * mesh.strides[0] + ys[None, :] * mesh.strides[1]).ravel()
+        heads = tails + mesh.strides[1]
+        probs[mesh.edge_ids(tails, heads)] += grid.ravel()
+
+    return probs
+
+
+def subpath_edge_probabilities_general(
+    mesh: Mesh, box_a: Submesh, box_b: Submesh
+) -> np.ndarray:
+    """Per-edge use probability of one subpath, any dimension.
+
+    This is exactly the probability structure behind Lemma A.1: under a
+    uniformly random dimension ordering, the edge ``e`` along dimension
+    ``l`` at position ``x`` is used iff every dimension corrected *before*
+    ``l`` already matches the endpoint ``v``'s coordinate at ``x``, every
+    dimension corrected *after* still matches ``u``'s, and the dimension-
+    ``l`` sweep crosses the edge.  Averaging over orderings reduces to
+    position-weighted elementary symmetric sums of the per-dimension point
+    probabilities, computed by a small DP (O(d^2) per edge) instead of
+    enumerating all ``d!`` orderings.
+
+    Agrees with :func:`subpath_edge_probabilities` for ``d = 2`` and with
+    Monte Carlo in any dimension.  Mesh only (no wrap).
+    """
+    if mesh.torus:
+        raise ValueError("closed forms assume non-wrapping paths (mesh only)")
+    d = mesh.d
+    probs = np.zeros(mesh.num_edges)
+    lo = [min(a, b) for a, b in zip(box_a.lo, box_b.lo)]
+    hi = [max(a, b) for a, b in zip(box_a.hi, box_b.hi)]
+    # Position weights: P[exactly k of the other dims precede dim l]
+    # = k! (d-1-k)! / d! summed over the relevant orderings.
+    fact = [1.0] * (d + 1)
+    for i in range(1, d + 1):
+        fact[i] = fact[i - 1] * i
+    weights = [fact[k] * fact[d - 1 - k] / fact[d] for k in range(d)]
+
+    for l in range(d):
+        if hi[l] <= lo[l]:
+            continue
+        xs_l = np.arange(lo[l], hi[l])
+        travel = _between_prob(box_a.lo[l], box_a.hi[l], box_b.lo[l], box_b.hi[l], xs_l)
+        other_dims = [j for j in range(d) if j != l]
+        ranges = [np.arange(lo[j], hi[j] + 1) for j in other_dims]
+        grids = np.meshgrid(xs_l, *ranges, indexing="ij")
+        shape = grids[0].shape
+        # Per other dim: a_j = P[v_j = x_j] (before-l factor), b_j = P[u_j = x_j].
+        factor_pairs = []
+        for idx, j in enumerate(other_dims):
+            xj = grids[1 + idx]
+            a_j = _point_prob(box_b.lo[j], box_b.hi[j], xj)
+            b_j = _point_prob(box_a.lo[j], box_a.hi[j], xj)
+            factor_pairs.append((a_j, b_j))
+        # DP over the polynomial prod_j (b_j + a_j t); coeff of t^k is the
+        # sum over k-subsets preceding dim l.
+        coeffs = [np.ones(shape)] + [np.zeros(shape) for _ in range(d - 1)]
+        for a_j, b_j in factor_pairs:
+            for k in range(len(coeffs) - 1, 0, -1):
+                coeffs[k] = coeffs[k] * b_j + coeffs[k - 1] * a_j
+            coeffs[0] = coeffs[0] * b_j
+        mix = sum(w * c for w, c in zip(weights, coeffs))
+        prob_grid = travel.reshape((-1,) + (1,) * (d - 1)) * mix
+        # Edge ids: tails at coordinate x (dim l), heads one step up.
+        coord_arrays = [None] * d
+        coord_arrays[l] = grids[0]
+        for idx, j in enumerate(other_dims):
+            coord_arrays[j] = grids[1 + idx]
+        tails = sum(
+            coord_arrays[j].ravel() * int(mesh.strides[j]) for j in range(d)
+        )
+        heads = tails + int(mesh.strides[l])
+        np.add.at(probs, mesh.edge_ids(tails, heads), prob_grid.ravel())
+    return probs
+
+
+def expected_edge_loads(
+    router: HierarchicalRouter, problem: RoutingProblem
+) -> np.ndarray:
+    """Exact ``E[C(e)]`` vector for the hierarchical router (any d, mesh).
+
+    Sums the closed-form subpath probabilities over every packet's
+    (deterministic) submesh sequence; the 2-D one-bend specialisation is
+    used when available.  Matches Monte-Carlo loads of the router run with
+    ``dim_order="random"`` and ``drop_cycles=False``.
+    """
+    mesh = problem.mesh
+    if mesh.torus:
+        raise ValueError("exact expected loads require a non-torus mesh")
+    if router.dim_order != "random":
+        raise ValueError('exact analysis assumes dim_order="random"')
+    per_subpath = (
+        subpath_edge_probabilities if mesh.d == 2 else subpath_edge_probabilities_general
+    )
+    expected = np.zeros(mesh.num_edges)
+    for s, t in problem.pairs():
+        if s == t:
+            continue
+        seq, _ = router.submesh_sequence(mesh, s, t)
+        for box_a, box_b in zip(seq, seq[1:]):
+            expected += per_subpath(mesh, box_a, box_b)
+    return expected

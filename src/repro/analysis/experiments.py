@@ -1,0 +1,108 @@
+"""Sweep runners shared by the benchmark harness and the examples.
+
+An *evaluation row* is a plain dict (router, workload, mesh parameters,
+measured metrics, lower bounds, ratios) so results can be tabulated,
+aggregated across seeds, or dumped as CSV without any framework.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.metrics.bounds import (
+    average_load_lower_bound,
+    boundary_congestion,
+)
+from repro.routing.base import Router, RoutingProblem
+
+__all__ = ["evaluate", "sweep", "aggregate"]
+
+
+def evaluate(
+    router: Router,
+    problem: RoutingProblem,
+    seed: int | None = 0,
+    *,
+    bound: float | None = None,
+) -> dict:
+    """Route ``problem`` and return one evaluation row.
+
+    ``bound`` (a lower bound on ``C*``) may be precomputed and shared
+    across routers; otherwise the boundary-congestion/average-load bound is
+    computed here.
+    """
+    mesh = problem.mesh
+    if bound is None:
+        bound = max(
+            boundary_congestion(mesh, problem.sources, problem.dests),
+            average_load_lower_bound(mesh, problem.sources, problem.dests),
+            1.0 if problem.num_packets else 0.0,
+        )
+    result = router.route(problem, seed=seed)
+    row = {
+        "router": router.name,
+        "workload": problem.name,
+        "d": mesh.d,
+        "n": mesh.n,
+        "side": mesh.sides[0],
+        "packets": problem.num_packets,
+        "seed": seed,
+        "C": result.congestion,
+        "D": result.dilation,
+        "stretch": result.stretch,
+        "C_lower": bound,
+        "C_ratio": result.congestion / bound if bound else float("nan"),
+        "C+D": result.congestion + result.dilation,
+    }
+    return row
+
+
+def sweep(
+    routers: Sequence[Router],
+    problems: Sequence[RoutingProblem],
+    seeds: Sequence[int] = (0,),
+) -> list[dict]:
+    """Cross product of routers x problems x seeds, one row each.
+
+    The ``C*`` lower bound is computed once per problem and shared.
+    """
+    rows = []
+    for problem in problems:
+        bound = max(
+            boundary_congestion(problem.mesh, problem.sources, problem.dests),
+            average_load_lower_bound(problem.mesh, problem.sources, problem.dests),
+            1.0 if problem.num_packets else 0.0,
+        )
+        for router in routers:
+            for seed in seeds:
+                rows.append(evaluate(router, problem, seed, bound=bound))
+    return rows
+
+
+def aggregate(
+    rows: Iterable[Mapping],
+    group_by: Sequence[str],
+    fields: Sequence[str],
+    how: str = "mean",
+) -> list[dict]:
+    """Aggregate rows over seeds (or any other residual key).
+
+    ``how`` is ``"mean"``, ``"max"`` or ``"min"``; grouped keys are kept,
+    aggregated fields are replaced by their statistic, and a ``count``
+    column records group sizes.
+    """
+    reducer = {"mean": np.mean, "max": np.max, "min": np.min}[how]
+    groups: dict[tuple, list[Mapping]] = {}
+    for row in rows:
+        key = tuple(row[k] for k in group_by)
+        groups.setdefault(key, []).append(row)
+    out = []
+    for key, members in groups.items():
+        agg = dict(zip(group_by, key))
+        for f in fields:
+            agg[f] = float(reducer([m[f] for m in members]))
+        agg["count"] = len(members)
+        out.append(agg)
+    return out

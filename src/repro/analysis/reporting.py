@@ -1,0 +1,50 @@
+"""Plain-text table rendering for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value) -> str:
+    """Human-friendly scalar formatting (floats to 3 significant decimals)."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "-"
+        if value == int(value) and abs(value) < 1e6:
+            return str(int(value))
+        return f"{value:.3g}" if abs(value) < 0.01 or abs(value) >= 1000 else f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping],
+    columns: Sequence[str] | None = None,
+    *,
+    title: str | None = None,
+) -> str:
+    """Fixed-width table of dict rows; columns default to first row's keys."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[format_value(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(str(c)), *(len(cell[i]) for cell in cells))
+        for i, c in enumerate(columns)
+    ]
+    header = "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell[i].rjust(widths[i]) for i in range(len(columns)))
+        for cell in cells
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, sep, body])
+    return "\n".join(parts)

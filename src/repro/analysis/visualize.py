@@ -1,0 +1,85 @@
+"""Plain-text visualisation of 2-D meshes: load heatmaps and path drawings.
+
+No plotting dependencies — figures render as ASCII, which keeps them usable
+in terminals, logs, doctests and CI output.  Only 2-D meshes are drawable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+
+__all__ = ["edge_load_heatmap", "node_load_heatmap", "draw_path"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def _shade(value: float, peak: float) -> str:
+    if peak <= 0:
+        return _SHADES[0]
+    idx = int(round(value / peak * (len(_SHADES) - 1)))
+    return _SHADES[max(0, min(idx, len(_SHADES) - 1))]
+
+
+def node_load_heatmap(mesh: Mesh, node_values: np.ndarray, *, legend: bool = True) -> str:
+    """Render per-node scalars as a character grid (dim 0 = rows)."""
+    if mesh.d != 2:
+        raise ValueError("heatmaps require a 2-D mesh")
+    values = np.asarray(node_values, dtype=np.float64)
+    if values.shape != (mesh.n,):
+        raise ValueError(f"expected {mesh.n} node values")
+    peak = float(values.max()) if values.size else 0.0
+    grid = values.reshape(mesh.sides)
+    lines = ["".join(_shade(v, peak) for v in row) for row in grid]
+    if legend:
+        lines.append(f"scale: ' '=0 .. '@'={peak:g}")
+    return "\n".join(lines)
+
+
+def edge_load_heatmap(mesh: Mesh, edge_values: np.ndarray, *, legend: bool = True) -> str:
+    """Render per-edge scalars on an interleaved grid.
+
+    Nodes sit at even (row, col) positions; the character between two nodes
+    shades the load of the connecting edge.  Wrap (torus) edges are not
+    drawn.
+    """
+    if mesh.d != 2:
+        raise ValueError("heatmaps require a 2-D mesh")
+    values = np.asarray(edge_values, dtype=np.float64)
+    if values.shape != (mesh.num_edges,):
+        raise ValueError(f"expected {mesh.num_edges} edge values")
+    peak = float(values.max()) if values.size else 0.0
+    rows, cols = mesh.sides
+    canvas = np.full((2 * rows - 1, 2 * cols - 1), " ", dtype="<U1")
+    canvas[0::2, 0::2] = "o"
+    for e in range(mesh.num_edges):
+        u, v = mesh.edge_id_to_endpoints(e)
+        cu = mesh.flat_to_coords(u)
+        cv = mesh.flat_to_coords(v)
+        if np.abs(cu - cv).sum() != 1:
+            continue  # wrap edge: skip
+        r = cu[0] + cv[0]
+        c = cu[1] + cv[1]
+        canvas[r, c] = _shade(values[e], peak)
+    lines = ["".join(row) for row in canvas]
+    if legend:
+        lines.append(f"scale: ' '=0 .. '@'={peak:g}  ('o' = node)")
+    return "\n".join(lines)
+
+
+def draw_path(mesh: Mesh, path: np.ndarray, *, mark_ends: bool = True) -> str:
+    """Draw one path on the node grid: 'S' source, 'T' target, '*' interior."""
+    if mesh.d != 2:
+        raise ValueError("path drawing requires a 2-D mesh")
+    path = np.asarray(path, dtype=np.int64)
+    grid = np.full(mesh.sides, ".", dtype="<U1")
+    for v in path:
+        c = mesh.flat_to_coords(int(v))
+        grid[c[0], c[1]] = "*"
+    if mark_ends and path.size:
+        cs = mesh.flat_to_coords(int(path[0]))
+        ct = mesh.flat_to_coords(int(path[-1]))
+        grid[cs[0], cs[1]] = "S"
+        grid[ct[0], ct[1]] = "T"
+    return "\n".join("".join(row) for row in grid)

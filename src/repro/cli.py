@@ -1,0 +1,307 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``route``       route one workload with one router; print metrics (optionally
+                an edge-load heatmap and a sample path drawing in 2-D).
+``compare``     route one workload with several routers; print the table.
+``decompose``   print the decomposition inventory (and 2-D level renders).
+``simulate``    route, then schedule synchronously; print makespan vs C+D.
+``online``      dynamic-arrival simulation; print the latency-vs-load curve.
+
+Examples
+--------
+::
+
+    python -m repro route --mesh 16x16 --workload transpose --heatmap
+    python -m repro compare --mesh 32x32 --workload nearest-neighbor \
+        --routers hierarchical,access-tree,valiant --seeds 0,1,2
+    python -m repro decompose --mesh 8x8 --render-level 1
+    python -m repro online --mesh 16x16 --rates 0.01,0.05,0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.experiments import aggregate, sweep
+from repro.analysis.reporting import format_table
+from repro.analysis.visualize import draw_path, edge_load_heatmap
+from repro.core.decomposition import Decomposition
+from repro.mesh.mesh import Mesh
+from repro.routing.registry import available_routers, make_router
+
+__all__ = ["main", "parse_mesh", "build_workload"]
+
+WORKLOAD_CHOICES = (
+    "transpose",
+    "bit-reversal",
+    "bit-complement",
+    "tornado",
+    "random-permutation",
+    "random-pairs",
+    "all-to-one",
+    "nearest-neighbor",
+    "block-exchange",
+)
+
+
+def parse_mesh(spec: str, torus: bool = False) -> Mesh:
+    """Parse ``"16x16"``, ``"8x8x8"`` or ``"16^2"`` into a mesh."""
+    spec = spec.strip().lower()
+    try:
+        if "^" in spec:
+            side, d = spec.split("^")
+            sides = (int(side),) * int(d)
+        else:
+            sides = tuple(int(p) for p in spec.split("x"))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad mesh spec {spec!r}") from exc
+    return Mesh(sides, torus=torus)
+
+
+def build_workload(name: str, mesh: Mesh, seed: int):
+    """Instantiate a workload by CLI name."""
+    from repro import workloads as wl
+
+    if name == "transpose":
+        return wl.transpose(mesh)
+    if name == "bit-reversal":
+        return wl.bit_reversal(mesh)
+    if name == "bit-complement":
+        return wl.bit_complement(mesh)
+    if name == "tornado":
+        return wl.tornado(mesh)
+    if name == "random-permutation":
+        return wl.random_permutation(mesh, seed=seed)
+    if name == "random-pairs":
+        return wl.random_pairs(mesh, mesh.n, seed=seed)
+    if name == "all-to-one":
+        return wl.all_to_one(mesh)
+    if name == "nearest-neighbor":
+        return wl.nearest_neighbor(mesh, seed=seed)
+    if name == "block-exchange":
+        return wl.block_exchange(mesh, max(mesh.sides[0] // 4, 1))
+    raise argparse.ArgumentTypeError(f"unknown workload {name!r}")
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--mesh", default="16x16", help="e.g. 16x16, 8x8x8, 16^2")
+    p.add_argument("--torus", action="store_true", help="wrap-around links")
+    p.add_argument("--workload", default="transpose", choices=WORKLOAD_CHOICES)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_route(args) -> int:
+    mesh = parse_mesh(args.mesh, args.torus)
+    problem = build_workload(args.workload, mesh, args.seed)
+    router = make_router(args.router)
+    result = router.route(problem, seed=args.seed)
+    from repro.metrics.bounds import congestion_lower_bound
+
+    bound = congestion_lower_bound(mesh, problem.sources, problem.dests, use_lp=False)
+    print(problem.describe())
+    print(result.summary())
+    print(f"C* lower bound = {bound:.2f}; C / bound = {result.congestion / max(bound, 1e-9):.2f}")
+    if args.heatmap:
+        if mesh.d != 2:
+            print("(heatmap skipped: needs a 2-D mesh)", file=sys.stderr)
+        else:
+            print()
+            print(edge_load_heatmap(mesh, result.edge_loads))
+    if args.show_path is not None:
+        i = args.show_path
+        if not (0 <= i < problem.num_packets):
+            print(f"(no packet {i})", file=sys.stderr)
+        elif mesh.d != 2:
+            print("(path drawing needs a 2-D mesh)", file=sys.stderr)
+        else:
+            print()
+            print(draw_path(mesh, result.paths[i]))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    mesh = parse_mesh(args.mesh, args.torus)
+    problem = build_workload(args.workload, mesh, args.seed)
+    routers = [make_router(name) for name in args.routers.split(",")]
+    seeds = [int(s) for s in args.seeds.split(",")]
+    rows = sweep(routers, [problem], seeds=seeds)
+    agg = aggregate(
+        rows, group_by=["router", "workload"], fields=["C", "D", "stretch", "C_ratio"]
+    )
+    print(format_table(agg, title=f"{problem.name} on {mesh!r} (mean over {len(seeds)} seeds)"))
+    return 0
+
+
+def _cmd_decompose(args) -> int:
+    mesh = parse_mesh(args.mesh, args.torus)
+    dec = Decomposition(mesh, scheme=args.scheme)
+    print(dec.summary())
+    if args.render_level is not None:
+        if mesh.d != 2:
+            print("(render skipped: needs a 2-D mesh)", file=sys.stderr)
+        else:
+            for j in range(1, dec.num_types(args.render_level) + 1):
+                print(f"\nlevel {args.render_level}, type {j}:")
+                print(dec.render_level_2d(args.render_level, j))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    mesh = parse_mesh(args.mesh, args.torus)
+    problem = build_workload(args.workload, mesh, args.seed)
+    router = make_router(args.router)
+    result = router.route(problem, seed=args.seed)
+    from repro.simulation.scheduler import simulate
+
+    sim = simulate(mesh, result, policy=args.policy, seed=args.seed)
+    print(problem.describe())
+    print(sim.summary())
+    return 0
+
+
+def _cmd_online(args) -> int:
+    mesh = parse_mesh(args.mesh, args.torus)
+    router = make_router(args.router)
+    from repro.simulation.online import latency_vs_load
+
+    rates = [float(r) for r in args.rates.split(",")]
+    rows = latency_vs_load(router, mesh, rates, steps=args.steps, seed=args.seed)
+    print(format_table(rows, title=f"online: {router.name} on {mesh!r}"))
+    return 0
+
+
+def _cmd_certify(args) -> int:
+    mesh = parse_mesh(args.mesh, args.torus)
+    router = make_router(args.router)
+    from repro.analysis.certificates import certify_stretch
+
+    if mesh.n * (mesh.n - 1) <= args.exhaustive_limit:
+        cert = certify_stretch(router, mesh, exhaustive_limit=args.exhaustive_limit)
+        mode = "exhaustive"
+    else:
+        rng = np.random.default_rng(args.seed)
+        pairs = [
+            (int(a), int(b))
+            for a, b in rng.integers(mesh.n, size=(args.samples, 2))
+            if a != b
+        ]
+        cert = certify_stretch(router, mesh, pairs=pairs)
+        mode = f"sampled ({len(pairs)} pairs)"
+    s, t = cert["witness"]
+    cs = tuple(int(x) for x in mesh.flat_to_coords(s))
+    ct = tuple(int(x) for x in mesh.flat_to_coords(t))
+    print(f"{router.name} on {mesh!r} [{mode}]:")
+    print(f"  certified worst-case stretch over ALL random choices: "
+          f"{cert['worst_stretch']:.2f}")
+    print(f"  witness pair: {cs} -> {ct}")
+    bound = 64 if mesh.d <= 2 else None
+    if bound is not None:
+        verdict = "HOLDS" if cert["worst_stretch"] <= bound else "VIOLATED"
+        print(f"  Theorem 3.4 bound ({bound}): {verdict}")
+    return 0
+
+
+def _cmd_bits(args) -> int:
+    mesh = parse_mesh(args.mesh, args.torus)
+    from repro.core.path_selection import HierarchicalRouter
+    from repro.workloads.generators import random_pairs
+
+    problem = random_pairs(mesh, args.packets, seed=args.seed)
+    rows = []
+    for mode in ("fresh", "recycled"):
+        router = HierarchicalRouter(bit_mode=mode)
+        router.route(problem, seed=args.seed)
+        bits = np.asarray(router.bits_log, dtype=np.float64)
+        rows.append(
+            {
+                "mode": mode,
+                "packets": problem.num_packets,
+                "mean_bits": float(bits.mean()),
+                "max_bits": int(bits.max()),
+            }
+        )
+    from repro.analysis.theory import random_bits_upper_curve
+
+    print(format_table(rows, title=f"random bits per packet on {mesh!r}"))
+    print(f"Lemma 5.4 shape d*log2(D*d) = "
+          f"{random_bits_upper_curve(mesh.d, problem.max_distance):.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Oblivious path selection on the mesh (Busch et al., IPPS 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("route", help="route one workload, print metrics")
+    _add_common(p)
+    p.add_argument("--router", default="hierarchical", choices=available_routers())
+    p.add_argument("--heatmap", action="store_true", help="ASCII edge-load heatmap (2-D)")
+    p.add_argument("--show-path", type=int, default=None, metavar="I",
+                   help="draw packet I's path (2-D)")
+    p.set_defaults(func=_cmd_route)
+
+    p = sub.add_parser("compare", help="compare routers on one workload")
+    _add_common(p)
+    p.add_argument("--routers", default="hierarchical,access-tree,dim-order,valiant")
+    p.add_argument("--seeds", default="0,1,2")
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("decompose", help="print the decomposition inventory")
+    p.add_argument("--mesh", default="8x8")
+    p.add_argument("--torus", action="store_true")
+    p.add_argument("--scheme", default="auto", choices=("auto", "paper2d", "multishift"))
+    p.add_argument("--render-level", type=int, default=None)
+    p.set_defaults(func=_cmd_decompose)
+
+    p = sub.add_parser("simulate", help="route then schedule; makespan vs C+D")
+    _add_common(p)
+    p.add_argument("--router", default="hierarchical", choices=available_routers())
+    p.add_argument("--policy", default="farthest-first",
+                   choices=("farthest-first", "fifo", "random"))
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "certify", help="worst-case stretch certificate over all random choices"
+    )
+    p.add_argument("--mesh", default="8x8")
+    p.add_argument("--torus", action="store_true")
+    p.add_argument("--router", default="hierarchical", choices=available_routers())
+    p.add_argument("--exhaustive-limit", type=int, default=4096)
+    p.add_argument("--samples", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_certify)
+
+    p = sub.add_parser("bits", help="measure random bits per packet (Lemma 5.4)")
+    p.add_argument("--mesh", default="16x16")
+    p.add_argument("--torus", action="store_true")
+    p.add_argument("--packets", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_bits)
+
+    p = sub.add_parser("online", help="dynamic arrivals: latency vs load")
+    p.add_argument("--mesh", default="16x16")
+    p.add_argument("--torus", action="store_true")
+    p.add_argument("--router", default="hierarchical", choices=available_routers())
+    p.add_argument("--rates", default="0.01,0.05,0.1")
+    p.add_argument("--steps", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_online)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

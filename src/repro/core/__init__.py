@@ -1,0 +1,40 @@
+"""Core contribution: hierarchical decomposition, access graph, bridges,
+and the oblivious path-selection algorithm of Busch, Magdon-Ismail and Xi.
+
+Modules
+-------
+``decomposition``
+    Type-1 and shifted (type-2 / type-j) submesh hierarchies
+    (Sections 3.1 and 4.1).
+``access_graph``
+    The explicit leveled access graph ``G(M)`` (Section 3.2), used for
+    analysis and property tests on small meshes.
+``bridges``
+    Arithmetic common-ancestor / bridge-submesh location that scales to
+    large meshes without materialising the graph (Lemmas 3.3 and 4.1).
+``path_selection``
+    The oblivious routing algorithm ``H`` (Sections 3.3 and 4), both the
+    faithful 2-D bitonic variant and the general ``d``-dimensional one.
+``randomness``
+    Bit-counting RNG and the paper's recycled-bit scheme (Section 5.3).
+"""
+
+from repro.core.decomposition import Decomposition, RegularSubmesh
+from repro.core.access_graph import AccessGraph
+from repro.core.bridges import common_ancestor_2d, find_bridge
+from repro.core.path_selection import HierarchicalRouter
+from repro.core.rect import RectDecomposition, RectHierarchicalRouter
+from repro.core.randomness import BitCounter, RecycledBits
+
+__all__ = [
+    "Decomposition",
+    "RegularSubmesh",
+    "AccessGraph",
+    "common_ancestor_2d",
+    "find_bridge",
+    "HierarchicalRouter",
+    "RectDecomposition",
+    "RectHierarchicalRouter",
+    "BitCounter",
+    "RecycledBits",
+]

@@ -1,0 +1,229 @@
+"""The access graph ``G(M)`` (Section 3.2).
+
+A leveled graph with ``k + 1`` node levels; nodes are the *distinct* regular
+submeshes (a region appearing under several types at one level is a single
+node), and an edge ``(u_l, u_{l+1})`` exists iff the level-``l`` submesh
+completely contains the level-``l+1`` submesh.  The graph generalises the
+access *tree* of Maggs et al.: shifted submeshes give leaves many bitonic
+paths, in particular much shorter ones.
+
+This explicit construction is an analysis substrate: the router proper uses
+arithmetic ancestor/bridge queries (:mod:`repro.core.bridges`) and never
+materialises the graph.  Property tests certify the two agree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.bridges import common_ancestor_2d
+from repro.core.decomposition import Decomposition, RegularSubmesh
+from repro.mesh.submesh import Submesh
+
+__all__ = ["AccessGraph"]
+
+
+class AccessGraph:
+    """Explicit access graph of a decomposition (small meshes only).
+
+    Nodes are :class:`RegularSubmesh` records, deduplicated per level by
+    region (type-1 representative wins).  Levels run ``0`` (root, the whole
+    mesh) to ``k`` (leaves, single nodes).
+    """
+
+    def __init__(self, dec: Decomposition):
+        self.dec = dec
+        self.levels: list[list[RegularSubmesh]] = []
+        self._by_box: list[dict[Submesh, RegularSubmesh]] = []
+        for level in range(dec.k + 1):
+            seen: dict[Submesh, RegularSubmesh] = {}
+            for reg in dec.at_level(level):
+                seen.setdefault(reg.box, reg)
+            self._by_box.append(seen)
+            self.levels.append(list(seen.values()))
+        self._parents: dict[RegularSubmesh, list[RegularSubmesh]] = {}
+        self._children: dict[RegularSubmesh, list[RegularSubmesh]] = {}
+        for level in range(1, dec.k + 1):
+            for child in self.levels[level]:
+                parents = []
+                for cand in dec.containing_regulars(child.box, level - 1):
+                    canonical = self._by_box[level - 1][cand.box]
+                    if canonical not in parents:
+                        parents.append(canonical)
+                self._parents[child] = parents
+                for p in parents:
+                    self._children.setdefault(p, []).append(child)
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> RegularSubmesh:
+        return self.levels[0][0]
+
+    def canonical(self, reg: RegularSubmesh) -> RegularSubmesh:
+        """The graph node representing ``reg``'s region at its level."""
+        return self._by_box[reg.level][reg.box]
+
+    def node_for_box(self, box: Submesh, level: int) -> RegularSubmesh | None:
+        return self._by_box[level].get(box)
+
+    def leaf(self, node: int) -> RegularSubmesh:
+        """The leaf (single-node submesh) ``g^{-1}(node)``."""
+        box = Submesh.single(self.dec.mesh, node)
+        leaf = self._by_box[self.dec.k].get(box)
+        assert leaf is not None, "every mesh node is a leaf"
+        return leaf
+
+    def parents(self, reg: RegularSubmesh) -> list[RegularSubmesh]:
+        """Access-graph parents (level ``l - 1`` submeshes containing ``reg``)."""
+        if reg.level == 0:
+            return []
+        return list(self._parents[self.canonical(reg)])
+
+    def children(self, reg: RegularSubmesh) -> list[RegularSubmesh]:
+        if reg.level == self.dec.k:
+            return []
+        return list(self._children.get(self.canonical(reg), []))
+
+    def num_nodes(self) -> int:
+        return sum(len(lv) for lv in self.levels)
+
+    def num_edges(self) -> int:
+        return sum(len(v) for v in self._parents.values())
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def is_monotonic_path(self, seq: Sequence[RegularSubmesh]) -> bool:
+        """Section 3.2: strictly rising levels, all but the top of type-1.
+
+        ``seq`` is ordered top (lowest level) to bottom (leaf); every node
+        except possibly the first must be type-1, and each consecutive pair
+        must be an access-graph edge.
+        """
+        if not seq:
+            return False
+        for top, bot in zip(seq, seq[1:]):
+            if bot.level != top.level + 1:
+                return False
+            if not top.box.contains_submesh(bot.box):
+                return False
+        return all(r.is_type1 for r in seq[1:])
+
+    def monotonic_chain(self, node: int, height: int) -> list[RegularSubmesh]:
+        """Type-1 ancestor chain of a leaf, from ``height`` down to the leaf."""
+        chain = []
+        for h in range(height, -1, -1):
+            box = self.dec.type1_ancestor(node, h)
+            level = self.dec.level_of_height(h)
+            reg = self._by_box[level].get(box)
+            assert reg is not None, "type-1 submeshes are always graph nodes"
+            chain.append(reg)
+        return chain
+
+    def bitonic_path(self, s: int, t: int) -> list[RegularSubmesh]:
+        """The bitonic path ``(u, ..., A, ..., v)`` between two leaves.
+
+        Concatenates the two monotonic chains through the deepest common
+        ancestor ``A`` found by :func:`common_ancestor_2d`; the bridge
+        appears once.  ``s == t`` yields the single leaf.
+        """
+        if s == t:
+            return [self.leaf(s)]
+        h, bridge = common_ancestor_2d(self.dec, s, t)
+        up = list(reversed(self.monotonic_chain(s, h - 1)))
+        down = self.monotonic_chain(t, h - 1)
+        return up + [self.canonical(bridge)] + down
+
+    def deepest_common_ancestor(self, s: int, t: int) -> tuple[int, RegularSubmesh]:
+        h, bridge = common_ancestor_2d(self.dec, s, t)
+        return h, self.canonical(bridge)
+
+    # ------------------------------------------------------------------
+    # Lemma checks (used by tests and the Figure-1 bench)
+    # ------------------------------------------------------------------
+    def check_lemma_3_1(self) -> dict[str, bool]:
+        """Empirically verify the properties of Lemma 3.1.
+
+        (1) ``disjoint`` — same-level same-type submeshes are disjoint;
+        (2) ``partition`` — every regular submesh at level ``l`` is
+            partitioned by the type-1 submeshes at level ``l+1`` it
+            contains;
+        (3) ``contained`` — every *type-1* submesh at level ``l+1`` is
+            completely contained in some regular submesh at level ``l``.
+
+        Reproduction note (erratum): the paper states (3) for *every*
+        regular submesh, but that literal claim is false — e.g. on the 8x8
+        mesh the level-2 type-2 submesh ``[1,2][3,4]`` straddles both the
+        type-1 and the type-2 level-1 grids (on the mesh and on the torus
+        alike).  The algorithm never needs it: shifted submeshes appear
+        only at the *top* of bitonic paths, where (2) — which does hold —
+        provides their type-1 children.  ``contained_all_types`` reports
+        the literal claim for reference.
+        """
+        dec = self.dec
+        results = {
+            "disjoint": True,
+            "partition": True,
+            "contained": True,
+            "contained_all_types": True,
+        }
+        for level in range(dec.k + 1):
+            by_type: dict[int, list[RegularSubmesh]] = {}
+            for reg in dec.at_level(level):
+                by_type.setdefault(reg.type_index, []).append(reg)
+            for regs in by_type.values():
+                for i, a in enumerate(regs):
+                    for b in regs[i + 1 :]:
+                        if a.box.overlaps(b.box):
+                            results["disjoint"] = False
+        for level in range(dec.k):
+            type1_next = dec.type1_at_level(level + 1)
+            for reg in self.levels[level]:
+                covered = sum(
+                    t.box.size for t in type1_next if reg.box.contains_submesh(t.box)
+                )
+                if covered != reg.box.size:
+                    results["partition"] = False
+        for level in range(1, dec.k + 1):
+            for reg in self.levels[level]:
+                if not self._parents.get(self.canonical(reg)):
+                    results["contained_all_types"] = False
+            for reg in dec.type1_at_level(level):
+                if not self._parents.get(self.canonical(reg)):
+                    results["contained"] = False
+        return results
+
+    def check_lemma_3_2(self, samples: Iterable[tuple[int, RegularSubmesh]]) -> bool:
+        """Lemma 3.2: for any node ``v`` of a regular submesh ``M'``,
+        ``g^{-1}(M')`` is an ancestor of ``g^{-1}(v)`` — i.e. a monotonic
+        (all type-1 below the top) chain descends from ``M'`` to the leaf.
+
+        The candidate chain is ``M'`` followed by the type-1 ancestors of
+        ``v`` at every deeper level; it is monotonic iff ``M'`` contains the
+        type-1 ancestor of ``v`` one level down (deeper containments nest).
+        """
+        dec = self.dec
+        for v, reg in samples:
+            if not reg.box.contains_node(v):
+                raise ValueError("sample node must lie inside the submesh")
+            if reg.level == dec.k:
+                continue  # the leaf itself
+            child = dec.type1_ancestor(v, dec.height(reg.level + 1))
+            if not reg.box.contains_submesh(child):
+                return False
+        return True
+
+    def to_networkx(self):
+        """Directed graph (parent -> child) for external analysis."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for level, regs in enumerate(self.levels):
+            for reg in regs:
+                g.add_node(reg, level=level, type_index=reg.type_index)
+        for child, parents in self._parents.items():
+            for p in parents:
+                g.add_edge(p, child)
+        return g

@@ -1,0 +1,414 @@
+"""Hierarchical mesh decomposition into regular submeshes.
+
+Implements the decompositions of Sections 3.1 (two dimensions) and 4.1
+(``d`` dimensions) for meshes with equal side lengths ``m = 2^k``:
+
+Type-1 submeshes
+    Defined recursively: the whole mesh is the only level-0 submesh; every
+    level-``l`` submesh splits into ``2^d`` level-``l+1`` submeshes by
+    halving each side.  Level ``k`` submeshes are single nodes (the access
+    graph's leaves).
+
+Shifted submeshes (type-2 ... type-j)
+    At every level ``l >= 1`` the type-1 grid is extended by one layer of
+    cells along every dimension and translated.  Two schemes:
+
+    * ``"paper2d"`` (Section 3.1, and the paper's "direct generalization"):
+      a single shifted type with translation ``m_l / 2`` in each dimension.
+      External pieces are clipped to the mesh; pieces clipped in *every*
+      dimension ("corner submeshes") are discarded because they coincide
+      with type-1 submeshes of the next level.
+
+    * ``"multishift"`` (Section 4.1): ``λ = max(1, m_l / 2^ceil(log2(d+1)))``
+      and type-``j`` uses translation ``(j-1) λ``, giving between ``d+1``
+      and ``2(d+1)`` distinct types per level.  All nonempty clipped pieces
+      are kept.
+
+A submesh of ``M`` is *regular* if it is produced by either construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+from repro.mesh.submesh import Submesh
+
+__all__ = ["Decomposition", "RegularSubmesh", "num_shift_slots"]
+
+
+def _contains(candidate, box) -> bool:
+    """Containment across the Submesh / TorusBox kinds."""
+    from repro.mesh.torus_box import TorusBox
+
+    if isinstance(candidate, TorusBox):
+        return candidate.contains_box(box)
+    if isinstance(box, TorusBox):
+        # cyclic-arc inclusion equals node-set inclusion for arcs, so the
+        # wrapped-box algebra answers this exactly
+        return TorusBox.from_submesh(candidate).contains_box(box)
+    return candidate.contains_submesh(box)
+
+
+def num_shift_slots(d: int) -> int:
+    """``2^ceil(log2(d+1))``: the shift-grid granularity of Section 4.1.
+
+    This is the number of distinct translation offsets used at levels where
+    the cell side is large enough; it lies in ``[d+1, 2(d+1))``.
+    """
+    if d < 1:
+        raise ValueError("dimension must be >= 1")
+    return 1 << math.ceil(math.log2(d + 1))
+
+
+@dataclass(frozen=True)
+class RegularSubmesh:
+    """A regular submesh: its box, level, type and grid cell.
+
+    ``type_index`` is 1 for the unshifted (type-1) grid and ``j >= 2`` for
+    the shifted grids.  ``cell`` is the per-dimension index of the grid cell
+    the box came from; shifted grids include the extension layer, so cell
+    indices range over ``-1 .. 2^level - 1``.
+    """
+
+    box: Submesh
+    level: int
+    type_index: int
+    cell: tuple[int, ...]
+
+    @property
+    def is_type1(self) -> bool:
+        return self.type_index == 1
+
+    @property
+    def truncated(self) -> bool:
+        """Whether the box was clipped against the mesh border.
+
+        Always false on the torus, where translation wraps instead.
+        """
+        m_l = 1 << (self.box.mesh.k - self.level)
+        return any(side != m_l for side in self.box.sides)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RegularSubmesh(level={self.level}, type={self.type_index}, "
+            f"cell={self.cell}, box={self.box!r})"
+        )
+
+
+class Decomposition:
+    """The regular-submesh hierarchy of a power-of-two cube mesh.
+
+    Parameters
+    ----------
+    mesh:
+        Mesh with equal power-of-two side lengths (``mesh.is_power_of_two_cube``).
+    scheme:
+        ``"paper2d"``, ``"multishift"`` or ``"auto"`` (default): ``paper2d``
+        when ``d <= 2`` else ``multishift``, matching the paper's choice.
+
+    The class offers both arithmetic O(1)-per-query accessors (used by the
+    router on large meshes) and explicit per-level enumeration (used by the
+    access graph, tests and figures on small meshes).
+    """
+
+    def __init__(self, mesh: Mesh, scheme: str = "auto"):
+        if not mesh.is_power_of_two_cube:
+            raise ValueError(
+                "the hierarchical decomposition requires equal power-of-two "
+                f"side lengths; got {mesh.sides} "
+                "(see repro.mesh.pad_to_power_of_two)"
+            )
+        if scheme == "auto":
+            scheme = "paper2d" if mesh.d <= 2 else "multishift"
+        if scheme not in ("paper2d", "multishift"):
+            raise ValueError(f"unknown scheme {scheme!r}")
+        self.mesh = mesh
+        self.scheme = scheme
+        self.d = mesh.d
+        self.k = mesh.k
+        self.m = mesh.sides[0]
+
+    # ------------------------------------------------------------------
+    # Level geometry
+    # ------------------------------------------------------------------
+    def side(self, level: int) -> int:
+        """Cell side length ``m_l = 2^{k-l}`` at the given level."""
+        self._check_level(level)
+        return 1 << (self.k - level)
+
+    def height(self, level: int) -> int:
+        """Height ``k - level`` (leaves have height 0)."""
+        self._check_level(level)
+        return self.k - level
+
+    def level_of_height(self, height: int) -> int:
+        return self.k - height
+
+    def num_cells(self, level: int) -> int:
+        """Cells per dimension of the type-1 grid at ``level`` (``2^l``)."""
+        self._check_level(level)
+        return 1 << level
+
+    def lam(self, level: int) -> int:
+        """The shift unit ``λ`` of Section 4.1 at ``level``."""
+        return max(1, self.side(level) // num_shift_slots(self.d))
+
+    def shifts(self, level: int) -> list[int]:
+        """Translation offsets of all types at ``level`` (index 0 = type-1).
+
+        Level 0 has only the unshifted whole mesh.  The paper guarantees at
+        most ``2(d+1)`` types per level and at least ``d+1`` when
+        ``m_l >= d+1``.
+        """
+        self._check_level(level)
+        if level == 0:
+            return [0]
+        m_l = self.side(level)
+        if self.scheme == "paper2d":
+            return [0] if m_l < 2 else [0, m_l // 2]
+        lam = self.lam(level)
+        out = [0]
+        shift = lam
+        while shift < m_l:
+            out.append(shift)
+            shift += lam
+        return out
+
+    def num_types(self, level: int) -> int:
+        return len(self.shifts(level))
+
+    def _check_level(self, level: int) -> None:
+        if not (0 <= level <= self.k):
+            raise ValueError(f"level must be in 0..{self.k}, got {level}")
+
+    # ------------------------------------------------------------------
+    # Arithmetic accessors (no enumeration)
+    # ------------------------------------------------------------------
+    def type1_cell(self, node: int, level: int) -> tuple[int, ...]:
+        """Grid-cell index of the type-1 submesh at ``level`` containing ``node``."""
+        m_l = self.side(level)
+        coords = self.mesh.flat_to_coords(node)
+        return tuple(int(c) // m_l for c in coords)
+
+    def type1_box(self, level: int, cell: Sequence[int]) -> Submesh:
+        """Box of the type-1 submesh at ``level`` with the given cell index."""
+        m_l = self.side(level)
+        g = self.num_cells(level)
+        cell = tuple(int(c) for c in cell)
+        if any(not (0 <= c < g) for c in cell):
+            raise ValueError(f"type-1 cell index out of range: {cell}")
+        lo = tuple(c * m_l for c in cell)
+        hi = tuple(c * m_l + m_l - 1 for c in cell)
+        return Submesh(self.mesh, lo, hi)
+
+    def type1_ancestor(self, node: int, height: int) -> Submesh:
+        """The unique type-1 submesh at the given *height* containing ``node``.
+
+        Heights are counted from the leaves (``height 0`` is the single-node
+        submesh ``{node}``); this is the ancestor chain every monotonic
+        access-graph path follows (Section 3.2).
+        """
+        level = self.level_of_height(height)
+        return self.type1_box(level, self.type1_cell(node, level))
+
+    def shifted_box(self, level: int, type_index: int, cell: Sequence[int]):
+        """Box of a shifted-grid cell, or ``None`` if discarded/empty.
+
+        On the **mesh**, cells are clipped against the border; ``cell``
+        entries range over ``-1 .. 2^level - 1`` (the extension layer sits
+        at index ``-1`` before translation) and, under the ``paper2d``
+        scheme, pieces clipped in every dimension (the 2-D "corner
+        submeshes") return ``None``.
+
+        On the **torus** — the setting of the paper's proofs — translation
+        wraps instead of clipping: cells range over ``0 .. 2^level - 1``,
+        every piece is full-size, and the return type is a
+        :class:`~repro.mesh.torus_box.TorusBox` whenever the piece actually
+        wraps (a plain :class:`Submesh` otherwise).
+        """
+        shifts = self.shifts(level)
+        if not (2 <= type_index <= len(shifts)):
+            raise ValueError(
+                f"type index {type_index} invalid at level {level} "
+                f"(valid: 2..{len(shifts)})"
+            )
+        shift = shifts[type_index - 1]
+        m_l = self.side(level)
+        g = self.num_cells(level)
+        m = self.m
+        cell = tuple(int(c) for c in cell)
+        if self.mesh.torus:
+            from repro.mesh.torus_box import TorusBox
+
+            if any(not (0 <= c < g) for c in cell):
+                raise ValueError(f"torus shifted cell index out of range: {cell}")
+            start = tuple((c * m_l + shift) % m for c in cell)
+            box = TorusBox(self.mesh, start, (m_l,) * self.d)
+            return box if box.wraps() else box.to_submesh()
+        if any(not (-1 <= c <= g - 1) for c in cell):
+            raise ValueError(f"shifted cell index out of range: {cell}")
+        lo, hi, clipped = [], [], []
+        for c in cell:
+            a = c * m_l + shift
+            b = a + m_l - 1
+            ca, cb = max(a, 0), min(b, m - 1)
+            if ca > cb:
+                return None
+            lo.append(ca)
+            hi.append(cb)
+            clipped.append(cb - ca + 1 != m_l)
+        if self.scheme == "paper2d" and all(clipped):
+            return None  # corner submesh: coincides with a next-level type-1
+        return Submesh(self.mesh, tuple(lo), tuple(hi))
+
+    @staticmethod
+    def _arc(box) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """(start, lengths) of a plain or wrapped box."""
+        from repro.mesh.torus_box import TorusBox
+
+        if isinstance(box, TorusBox):
+            return box.start, box.lengths
+        return box.lo, box.sides
+
+    def cell_of_box(self, level: int, type_index: int, box) -> tuple[int, ...] | None:
+        """Cell of the (un-clipped) type grid whose span covers ``box``.
+
+        Returns ``None`` when ``box`` straddles a grid line in some
+        dimension, i.e. no single cell of this type contains it.  Because
+        mesh clipping only removes territory outside the mesh and ``box``
+        lies inside the mesh, a covering un-clipped cell also covers
+        ``box`` after clipping; on the torus the arithmetic is modular.
+        """
+        shifts = self.shifts(level)
+        if not (1 <= type_index <= len(shifts)):
+            return None
+        shift = shifts[type_index - 1]
+        m_l = self.side(level)
+        start, lengths = self._arc(box)
+        cell = []
+        if self.mesh.torus:
+            for a, ln in zip(start, lengths):
+                rel = (a - shift) % self.m
+                if m_l == self.m:
+                    cell.append(0)  # one cell covers the whole ring
+                    continue
+                if rel % m_l + ln > m_l:
+                    return None
+                cell.append(int(rel // m_l))
+            return tuple(cell)
+        for a, ln in zip(start, lengths):
+            ca = (a - shift) // m_l
+            cb = (a + ln - 1 - shift) // m_l
+            if ca != cb:
+                return None
+            cell.append(int(ca))
+        return tuple(cell)
+
+    def containing_regulars(self, box, level: int) -> list[RegularSubmesh]:
+        """All regular submeshes at ``level`` completely containing ``box``.
+
+        ``box`` may be a plain :class:`Submesh` or (on torus meshes) a
+        :class:`~repro.mesh.torus_box.TorusBox`.
+        """
+        out: list[RegularSubmesh] = []
+        for j in range(1, self.num_types(level) + 1):
+            cell = self.cell_of_box(level, j, box)
+            if cell is None:
+                continue
+            if j == 1:
+                g = self.num_cells(level)
+                if any(not (0 <= c < g) for c in cell):
+                    continue
+                candidate = self.type1_box(level, cell)
+            else:
+                maybe = self.shifted_box(level, j, cell)
+                if maybe is None:
+                    continue
+                candidate = maybe
+            if _contains(candidate, box):
+                out.append(RegularSubmesh(candidate, level, j, cell))
+        return out
+
+    # ------------------------------------------------------------------
+    # Explicit enumeration (small meshes: figures, tests, access graph)
+    # ------------------------------------------------------------------
+    def type1_at_level(self, level: int) -> list[RegularSubmesh]:
+        from itertools import product
+
+        g = self.num_cells(level)
+        return [
+            RegularSubmesh(self.type1_box(level, cell), level, 1, cell)
+            for cell in product(range(g), repeat=self.d)
+        ]
+
+    def shifted_at_level(self, level: int, type_index: int) -> list[RegularSubmesh]:
+        from itertools import product
+
+        g = self.num_cells(level)
+        lo_cell = 0 if self.mesh.torus else -1
+        out = []
+        for cell in product(range(lo_cell, g), repeat=self.d):
+            box = self.shifted_box(level, type_index, cell)
+            if box is not None:
+                out.append(RegularSubmesh(box, level, type_index, cell))
+        return out
+
+    def at_level(self, level: int) -> list[RegularSubmesh]:
+        """All regular submeshes at ``level`` (type-1 first)."""
+        out = self.type1_at_level(level)
+        for j in range(2, self.num_types(level) + 1):
+            out.extend(self.shifted_at_level(level, j))
+        return out
+
+    def iter_all(self) -> Iterator[RegularSubmesh]:
+        """All regular submeshes, level by level (levels ``0..k``)."""
+        for level in range(self.k + 1):
+            yield from self.at_level(level)
+
+    # ------------------------------------------------------------------
+    # Rendering (Figure 1 / Figure 2 reproduction)
+    # ------------------------------------------------------------------
+    def render_level_2d(self, level: int, type_index: int = 1) -> str:
+        """ASCII rendering of one level of a 2-D decomposition (Figure 1).
+
+        Each node is drawn as a letter identifying the submesh that owns it
+        (``.`` for nodes not covered by this type, e.g. discarded corners).
+        """
+        if self.d != 2:
+            raise ValueError("rendering is only supported for 2-D meshes")
+        if self.mesh.torus:
+            raise ValueError("rendering wrapped (torus) pieces is not supported")
+        regs = (
+            self.type1_at_level(level)
+            if type_index == 1
+            else self.shifted_at_level(level, type_index)
+        )
+        m = self.m
+        grid = np.full((m, m), ".", dtype="<U1")
+        letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+        for idx, reg in enumerate(regs):
+            ch = letters[idx % len(letters)]
+            lo, hi = reg.box.lo, reg.box.hi
+            grid[lo[0] : hi[0] + 1, lo[1] : hi[1] + 1] = ch
+        return "\n".join("".join(row) for row in grid)
+
+    def summary(self) -> str:
+        """Tabular inventory of submeshes per level and type."""
+        lines = [
+            f"Decomposition of {self.mesh!r} (scheme={self.scheme}, k={self.k})",
+            f"{'level':>5} {'side':>6} {'types':>5}  counts per type",
+        ]
+        for level in range(self.k + 1):
+            counts = [len(self.type1_at_level(level))]
+            for j in range(2, self.num_types(level) + 1):
+                counts.append(len(self.shifted_at_level(level, j)))
+            lines.append(
+                f"{level:>5} {self.side(level):>6} {len(counts):>5}  "
+                + " ".join(str(c) for c in counts)
+            )
+        return "\n".join(lines)

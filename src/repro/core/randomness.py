@@ -1,0 +1,164 @@
+"""Random-bit accounting and the recycled-bit scheme (Section 5).
+
+The paper proves that oblivious algorithms with near-optimal congestion
+*must* randomize — ``Ω((d / (1 + d/log n)) log(D/d))`` random bits per
+packet — and that algorithm ``H`` needs only ``O(d log(D d))`` bits, which
+is within ``O(d)`` of that lower bound (Theorem 5.5).  The saving over the
+naive ``O(d log^2(D d))`` comes from two tricks (Section 5.3):
+
+i.  pick the random dimension ordering *once* per path and reuse it in
+    every step;
+ii. draw two random "master" nodes ``v1``, ``v2`` in the *largest* submesh
+    of the bitonic path and derive the random node of every smaller submesh
+    from prefixes of their bits, alternating between ``v1`` (odd steps) and
+    ``v2`` (even steps) so that consecutive subpath endpoints stay
+    independent.
+
+:class:`BitCounter` wraps a numpy generator and counts every bit drawn;
+:class:`RecycledBits` implements trick (ii).  The routers accept either a
+plain ``numpy.random.Generator`` or a :class:`BitCounter`, so accounting is
+pay-for-use.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["BitCounter", "RecycledBits", "bits_for_range"]
+
+
+def bits_for_range(extent: int) -> int:
+    """Bits needed to cover ``extent`` outcomes: ``ceil(log2 extent)``."""
+    if extent < 1:
+        raise ValueError("extent must be >= 1")
+    return (extent - 1).bit_length()
+
+
+class BitCounter:
+    """A bit-metered source of randomness.
+
+    All randomness is drawn bit-by-bit from the wrapped generator and
+    tallied in :attr:`bits_used`.  Sampling a uniform integer below a
+    non-power-of-two bound uses rejection, so the tally is itself a random
+    variable slightly above the entropy — exactly what an implementation
+    consuming a physical bit stream would pay.
+    """
+
+    def __init__(self, rng: np.random.Generator | int | None = None):
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        self._rng = rng
+        self.bits_used = 0
+
+    def reset(self) -> None:
+        self.bits_used = 0
+
+    def bits(self, n: int) -> int:
+        """Draw ``n`` random bits, returned as an integer in ``[0, 2^n)``."""
+        if n < 0:
+            raise ValueError("cannot draw a negative number of bits")
+        if n == 0:
+            return 0
+        self.bits_used += n
+        out = 0
+        remaining = n
+        while remaining > 0:
+            chunk = min(remaining, 32)
+            out = (out << chunk) | int(self._rng.integers(0, 1 << chunk))
+            remaining -= chunk
+        return out
+
+    def integer_below(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)`` via rejection sampling."""
+        if bound < 1:
+            raise ValueError("bound must be >= 1")
+        if bound == 1:
+            return 0
+        width = bits_for_range(bound)
+        while True:
+            x = self.bits(width)
+            if x < bound:
+                return x
+
+    def permutation(self, d: int) -> tuple[int, ...]:
+        """A uniformly random ordering of ``d`` dimensions (Fisher-Yates).
+
+        Costs about ``log2(d!)`` bits — the ``O(d log d)`` term of
+        Lemma 5.4.
+        """
+        order = list(range(d))
+        for i in range(d - 1, 0, -1):
+            j = self.integer_below(i + 1)
+            order[i], order[j] = order[j], order[i]
+        return tuple(order)
+
+    def uniform_node(self, box) -> int:
+        """A uniformly random node of ``box`` (step 5 of the algorithm).
+
+        Works for plain and wrapped boxes via the shared ``sides`` /
+        ``offset_node`` interface.
+        """
+        offsets = [self.integer_below(side) for side in box.sides]
+        return box.offset_node(offsets)
+
+
+class RecycledBits:
+    """Derives all intermediate random nodes of one path from two masters.
+
+    Parameters
+    ----------
+    source:
+        The bit-metered randomness source.
+    largest:
+        The largest submesh of the bitonic path (the bridge); both master
+        draws are sized to it.
+
+    Each master stores, per dimension, a uniform ``ceil(log2 side)``-bit
+    word ``W``.  The node for a smaller power-of-two-sided submesh takes the
+    low bits of ``W`` — exactly uniform in its box.  The master's own
+    coordinate is ``lo + (W mod side)``: exactly uniform when the bridge
+    side is a power of two (every untruncated bridge), and at most a
+    factor-2 biased on border-clipped bridges — the "minor technical details
+    due to edge effects" the paper waves at in Lemma 3.3's proof.  Masters
+    alternate by step parity, the paper's device for keeping the two
+    endpoints of every subpath independent.
+    """
+
+    def __init__(self, source: BitCounter, largest):
+        self.source = source
+        self.largest = largest
+        d = largest.mesh.d
+        self._widths = [bits_for_range(side) for side in largest.sides]
+        self._masters: list[list[int]] = [
+            [source.bits(self._widths[i]) for i in range(d)] for _ in range(2)
+        ]
+
+    def master_node(self, which: int) -> int:
+        """The flat id of master ``which`` (0 or 1) inside the largest box."""
+        words = self._masters[which % 2]
+        offsets = [w % side for side, w in zip(self.largest.sides, words)]
+        return self.largest.offset_node(offsets)
+
+    def node_for(self, step: int, box: Submesh) -> int:
+        """Uniform node of ``box`` derived from master ``step % 2``.
+
+        ``box`` must have power-of-two side lengths (type-1 submeshes always
+        do); for the largest box itself the master node is returned.
+        """
+        if box == self.largest:
+            return self.master_node(step)
+        words = self._masters[step % 2]
+        offsets = []
+        for i, side in enumerate(box.sides):
+            if side & (side - 1):
+                raise ValueError(
+                    "recycled bits require power-of-two sides for derived "
+                    f"boxes, got side {side}"
+                )
+            need = bits_for_range(side)
+            if need > self._widths[i]:
+                raise ValueError("derived box is wider than the master box")
+            offsets.append(words[i] & (side - 1))
+        return box.offset_node(offsets)

@@ -1,0 +1,220 @@
+"""Extension: hierarchical oblivious routing on *rectangular* meshes.
+
+The paper's network model (Section 2) allows a different side length
+``m_i`` per dimension, but its algorithm assumes equal sides ``2^k``.  This
+module generalises the construction to any mesh whose sides are powers of
+two (possibly unequal): the type-1 recursion halves every dimension that is
+still larger than one node, so levels simply stop refining exhausted
+dimensions, and the shifted grids translate by a per-dimension
+``λ_i = max(1, side_i / 2^ceil(log2(d+1)))``.
+
+Status: an engineering extension, not a theorem.  Path validity and the
+bitonic structure carry over verbatim; the stretch/congestion *proofs* do
+not (the pigeonhole of Lemma 4.1 needs equal sides), so the guarantees here
+are empirical — the tests measure stretch against the cube bound and it
+holds comfortably on every workload tried.  For proof-backed routing,
+embed into the enclosing cube via :func:`repro.mesh.pad_to_power_of_two`.
+
+Kept deliberately separate from :mod:`repro.core.decomposition` so the
+certified equal-sided implementation stays untouched.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.decomposition import num_shift_slots
+from repro.mesh.mesh import Mesh
+from repro.mesh.paths import concatenate_paths, dimension_order_path, remove_cycles
+from repro.mesh.submesh import Submesh
+from repro.routing.base import Router
+
+__all__ = ["RectDecomposition", "RectHierarchicalRouter"]
+
+
+def _is_pow2(x: int) -> bool:
+    return x >= 1 and (x & (x - 1)) == 0
+
+
+class RectDecomposition:
+    """Type-1 / shifted hierarchy of a rectangular power-of-two mesh."""
+
+    def __init__(self, mesh: Mesh):
+        if mesh.torus:
+            raise ValueError("the rectangular extension supports meshes only")
+        if not all(_is_pow2(s) for s in mesh.sides):
+            raise ValueError(
+                f"all sides must be powers of two, got {mesh.sides}"
+            )
+        self.mesh = mesh
+        self.d = mesh.d
+        #: number of levels: the largest dimension drives the recursion
+        self.k = max(int(math.log2(s)) for s in mesh.sides)
+
+    # ------------------------------------------------------------------
+    def sides_at_level(self, level: int) -> tuple[int, ...]:
+        """Per-dimension cell sides at ``level`` (floored at one node)."""
+        self._check_level(level)
+        return tuple(max(s >> level, 1) for s in self.mesh.sides)
+
+    def height(self, level: int) -> int:
+        return self.k - level
+
+    def level_of_height(self, height: int) -> int:
+        return self.k - height
+
+    def _check_level(self, level: int) -> None:
+        if not (0 <= level <= self.k):
+            raise ValueError(f"level must be in 0..{self.k}, got {level}")
+
+    def lam(self, level: int) -> tuple[int, ...]:
+        """Per-dimension shift unit λ_i at ``level``."""
+        slots = num_shift_slots(self.d)
+        return tuple(max(1, s // slots) for s in self.sides_at_level(level))
+
+    def num_types(self, level: int) -> int:
+        """Types at ``level``: 1 (unshifted) + shifted translates.
+
+        The shifted count is limited by the most-refined *active* dimension
+        (dimensions already at a single node are never shifted).
+        """
+        self._check_level(level)
+        if level == 0:
+            return 1
+        sides = self.sides_at_level(level)
+        lam = self.lam(level)
+        counts = [s // l for s, l in zip(sides, lam) if s > 1]
+        return min(counts) if counts else 1
+
+    def shift_vector(self, level: int, type_index: int) -> tuple[int, ...]:
+        """Per-dimension translation of type ``type_index`` at ``level``."""
+        if not (1 <= type_index <= self.num_types(level)):
+            raise ValueError(
+                f"type index {type_index} invalid at level {level}"
+            )
+        lam = self.lam(level)
+        sides = self.sides_at_level(level)
+        return tuple(
+            (type_index - 1) * l if s > 1 else 0 for l, s in zip(lam, sides)
+        )
+
+    # ------------------------------------------------------------------
+    def type1_cell(self, node: int, level: int) -> tuple[int, ...]:
+        sides = self.sides_at_level(level)
+        coords = self.mesh.flat_to_coords(node)
+        return tuple(int(c) // s for c, s in zip(coords, sides))
+
+    def type1_box(self, level: int, cell: Sequence[int]) -> Submesh:
+        sides = self.sides_at_level(level)
+        lo = tuple(c * s for c, s in zip(cell, sides))
+        hi = tuple(
+            min(c * s + s - 1, m - 1)
+            for c, s, m in zip(cell, sides, self.mesh.sides)
+        )
+        return Submesh(self.mesh, lo, hi)
+
+    def type1_ancestor(self, node: int, height: int) -> Submesh:
+        level = self.level_of_height(height)
+        return self.type1_box(level, self.type1_cell(node, level))
+
+    def containing_regulars(self, box: Submesh, level: int) -> list[Submesh]:
+        """Regular submeshes at ``level`` containing ``box`` (clipped)."""
+        out: list[Submesh] = []
+        sides = self.sides_at_level(level)
+        m = self.mesh.sides
+        for j in range(1, self.num_types(level) + 1):
+            shift = self.shift_vector(level, j)
+            lo, hi = [], []
+            ok = True
+            for a, b, s, sh, m_i in zip(box.lo, box.hi, sides, shift, m):
+                ca = (a - sh) // s
+                cb = (b - sh) // s
+                if ca != cb:
+                    ok = False
+                    break
+                lo.append(max(ca * s + sh, 0))
+                hi.append(min(ca * s + sh + s - 1, m_i - 1))
+            if not ok:
+                continue
+            candidate = Submesh(self.mesh, lo, hi)
+            if candidate.contains_submesh(box) and candidate not in out:
+                out.append(candidate)
+        return out
+
+    def find_bridge(
+        self, box_s: Submesh, box_t: Submesh, min_height: int
+    ) -> tuple[int, Submesh]:
+        """Lowest regular submesh at height >= ``min_height`` containing both."""
+        target = box_s.bounding_with(box_t)
+        for h in range(min(min_height, self.k), self.k + 1):
+            found = self.containing_regulars(target, self.level_of_height(h))
+            if found:
+                found.sort(key=lambda b: b.size)
+                return h, found[0]
+        raise AssertionError("unreachable: the root contains every box")
+
+
+class RectHierarchicalRouter(Router):
+    """Oblivious hierarchical routing on rectangular power-of-two meshes.
+
+    Same algorithm shape as :class:`~repro.core.path_selection
+    .HierarchicalRouter` (general variant): type-1 chains to height
+    ``h' = ceil(log2 dist)``, a bridge above, chains back down; random
+    waypoints; random-order dimension subpaths.  On cube meshes it runs the
+    same construction as the proved router; the tests cross-check the two.
+    """
+
+    is_oblivious = True
+    name = "rect-hierarchical"
+
+    def __init__(self, *, drop_cycles: bool = True):
+        self.drop_cycles = drop_cycles
+        self._dec_cache: dict[Mesh, RectDecomposition] = {}
+
+    def decomposition(self, mesh: Mesh) -> RectDecomposition:
+        dec = self._dec_cache.get(mesh)
+        if dec is None:
+            dec = RectDecomposition(mesh)
+            self._dec_cache[mesh] = dec
+        return dec
+
+    def submesh_sequence(self, mesh: Mesh, s: int, t: int) -> tuple[list[Submesh], int]:
+        dec = self.decomposition(mesh)
+        if s == t:
+            return [Submesh.single(mesh, s)], 0
+        dist = int(mesh.distance(s, t))
+        h_prime = min(max(math.ceil(math.log2(dist)), 0), max(dec.k - 1, 0))
+        m1 = dec.type1_ancestor(s, h_prime)
+        m3 = dec.type1_ancestor(t, h_prime)
+        if m1 == m3:
+            # deepest common type-1 ancestor
+            h = next(
+                hh
+                for hh in range(dec.k + 1)
+                if dec.type1_cell(s, dec.level_of_height(hh))
+                == dec.type1_cell(t, dec.level_of_height(hh))
+            )
+            up = [dec.type1_ancestor(s, i) for i in range(h)]
+            down = [dec.type1_ancestor(t, i) for i in range(h - 1, -1, -1)]
+            return up + [dec.type1_ancestor(s, h)] + down, h
+        h_b, bridge = dec.find_bridge(m1, m3, h_prime + 1)
+        up = [dec.type1_ancestor(s, i) for i in range(h_prime + 1)]
+        down = [dec.type1_ancestor(t, i) for i in range(h_prime, -1, -1)]
+        return up + [bridge] + down, h_prime + 1
+
+    def select_path(self, mesh: Mesh, s: int, t: int, rng: np.random.Generator) -> np.ndarray:
+        if s == t:
+            return np.asarray([s], dtype=np.int64)
+        seq, _ = self.submesh_sequence(mesh, s, t)
+        waypoints = [s] + [box.sample_node(rng) for box in seq[1:-1]] + [t]
+        pieces = [
+            dimension_order_path(
+                mesh, a, b, tuple(int(x) for x in rng.permutation(mesh.d))
+            )
+            for a, b in zip(waypoints, waypoints[1:])
+        ]
+        path = concatenate_paths(pieces)
+        return remove_cycles(path) if self.drop_cycles else path

@@ -1,0 +1,100 @@
+"""Persistence helpers: save/load routing results and export sweep rows.
+
+Routing large instances and LP bounds can take minutes; experiments want to
+route once and analyse many times.  Results serialise to a single ``.npz``
+(paths are ragged, so they are stored as one concatenated array plus
+offsets); sweep rows export to CSV for external tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+from repro.routing.base import RoutingProblem, RoutingResult
+
+__all__ = ["save_result", "load_result", "rows_to_csv", "rows_from_csv"]
+
+
+def save_result(path: str | Path, result: RoutingResult) -> None:
+    """Serialise a routing result (mesh, problem, paths) to ``.npz``."""
+    problem = result.problem
+    mesh = problem.mesh
+    flat = (
+        np.concatenate([np.asarray(p, dtype=np.int64) for p in result.paths])
+        if result.paths
+        else np.empty(0, dtype=np.int64)
+    )
+    lengths = np.asarray([len(p) for p in result.paths], dtype=np.int64)
+    np.savez_compressed(
+        Path(path),
+        sides=np.asarray(mesh.sides, dtype=np.int64),
+        torus=np.asarray([int(mesh.torus)]),
+        sources=problem.sources,
+        dests=problem.dests,
+        problem_name=np.asarray([problem.name]),
+        router_name=np.asarray([result.router_name]),
+        seed=np.asarray([-1 if result.seed is None else int(result.seed)]),
+        path_data=flat,
+        path_lengths=lengths,
+    )
+
+
+def load_result(path: str | Path) -> RoutingResult:
+    """Inverse of :func:`save_result`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        mesh = Mesh(tuple(int(s) for s in data["sides"]), torus=bool(data["torus"][0]))
+        problem = RoutingProblem(
+            mesh,
+            data["sources"],
+            data["dests"],
+            str(data["problem_name"][0]),
+        )
+        lengths = data["path_lengths"]
+        flat = data["path_data"]
+        paths = []
+        offset = 0
+        for ln in lengths.tolist():
+            paths.append(flat[offset : offset + ln].copy())
+            offset += ln
+        seed = int(data["seed"][0])
+        return RoutingResult(
+            problem,
+            paths,
+            str(data["router_name"][0]),
+            None if seed == -1 else seed,
+        )
+
+
+def rows_to_csv(path: str | Path, rows: Sequence[Mapping]) -> None:
+    """Write evaluation rows (dicts) as CSV; columns from the first row."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("no rows to write")
+    columns = list(rows[0].keys())
+    with open(Path(path), "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def rows_from_csv(path: str | Path) -> list[dict]:
+    """Read rows back; numeric-looking fields are converted."""
+    out = []
+    with open(Path(path), newline="") as fh:
+        for row in csv.DictReader(fh):
+            parsed: dict = {}
+            for key, value in row.items():
+                try:
+                    parsed[key] = int(value)
+                except (TypeError, ValueError):
+                    try:
+                        parsed[key] = float(value)
+                    except (TypeError, ValueError):
+                        parsed[key] = value
+            out.append(parsed)
+    return out

@@ -1,0 +1,35 @@
+"""Mesh substrate: d-dimensional mesh/torus model, submesh algebra, paths.
+
+This subpackage provides the network model the paper routes on:
+
+* :class:`~repro.mesh.mesh.Mesh` — the ``d``-dimensional mesh (optionally a
+  torus) with side lengths ``m_1, ..., m_d``.  Nodes are flat integer ids in
+  C order; all coordinate arithmetic is vectorised.
+* :class:`~repro.mesh.submesh.Submesh` — an axis-aligned box of nodes with
+  the containment / intersection / partition algebra the decomposition
+  needs, plus ``out(M')`` (the number of boundary edges, Section 2).
+* :mod:`~repro.mesh.paths` — path construction and validation, including the
+  dimension-by-dimension ("one-bend" in 2-D) shortest paths of the paper's
+  path-selection algorithm (Section 3.3, step 7).
+"""
+
+from repro.mesh.mesh import Mesh
+from repro.mesh.submesh import Submesh
+from repro.mesh.torus_box import TorusBox, torus_bounding
+from repro.mesh.paths import (
+    dimension_order_path,
+    is_valid_path,
+    path_length,
+    remove_cycles,
+)
+
+__all__ = [
+    "Mesh",
+    "Submesh",
+    "TorusBox",
+    "torus_bounding",
+    "dimension_order_path",
+    "is_valid_path",
+    "path_length",
+    "remove_cycles",
+]

@@ -1,0 +1,332 @@
+"""The ``d``-dimensional mesh network model (Section 2 of the paper).
+
+The mesh ``M`` is a ``d``-dimensional grid of nodes with side length ``m_i``
+in dimension ``i``.  A link connects a node with each of its (up to) ``2d``
+neighbors.  We additionally support the torus variant (wrap-around links),
+which the paper uses inside proofs "for simplicity"; all routing experiments
+run on the mesh.
+
+Nodes are represented as flat integer ids in C order (row-major), i.e. the
+node with coordinate vector ``c`` has id ``sum(c[i] * strides[i])`` where
+``strides[i] = prod(sides[i+1:])``.  All conversions are vectorised so that
+congestion accounting over millions of path edges stays in numpy.
+
+Edges get dense integer ids so that edge loads can be accumulated with
+``np.bincount``:  edges along dimension ``i`` are numbered contiguously in a
+block starting at ``edge_offsets[i]``; within the block an edge is identified
+by the coordinates of its lower endpoint (with dimension ``i``'s range
+shortened by one on the mesh).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Mesh"]
+
+
+def _as_coord_array(coords: np.ndarray | Sequence[Sequence[int]], d: int) -> np.ndarray:
+    """Coerce ``coords`` to a 2-D ``(k, d)`` int64 array."""
+    arr = np.asarray(coords, dtype=np.int64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, d)
+    if arr.ndim != 2 or arr.shape[1] != d:
+        raise ValueError(f"expected coordinates of shape (k, {d}), got {arr.shape}")
+    return arr
+
+
+class Mesh:
+    """A ``d``-dimensional mesh (or torus) with side lengths ``sides``.
+
+    Parameters
+    ----------
+    sides:
+        Sequence of per-dimension side lengths ``m_1, ..., m_d`` (each >= 1).
+    torus:
+        If true, add wrap-around links in every dimension with ``m_i >= 3``
+        (a wrap link on a side-2 ring would duplicate an existing link).
+
+    Examples
+    --------
+    >>> m = Mesh((4, 4))
+    >>> m.n, m.num_edges
+    (16, 24)
+    >>> m.flat_to_coords(5)
+    array([1, 1])
+    >>> int(m.distance(0, 15))
+    6
+    """
+
+    def __init__(self, sides: Sequence[int], *, torus: bool = False):
+        sides = tuple(int(s) for s in sides)
+        if len(sides) == 0:
+            raise ValueError("mesh needs at least one dimension")
+        if any(s < 1 for s in sides):
+            raise ValueError(f"side lengths must be >= 1, got {sides}")
+        self.sides: tuple[int, ...] = sides
+        self.d: int = len(sides)
+        self.torus: bool = bool(torus)
+        self.n: int = int(np.prod(np.asarray(sides, dtype=np.int64)))
+        # C-order strides: strides[-1] == 1.
+        strides = np.ones(self.d, dtype=np.int64)
+        for i in range(self.d - 2, -1, -1):
+            strides[i] = strides[i + 1] * sides[i + 1]
+        self.strides: np.ndarray = strides
+        self._sides_arr = np.asarray(sides, dtype=np.int64)
+        # Per-dimension number of edges and block offsets for edge ids.
+        edge_counts = []
+        for i, m_i in enumerate(sides):
+            if m_i == 1:
+                per_line = 0
+            elif self.torus and m_i >= 3:
+                per_line = m_i
+            else:
+                per_line = m_i - 1
+            edge_counts.append(self.n // m_i * per_line)
+        self._edge_counts = np.asarray(edge_counts, dtype=np.int64)
+        self.edge_offsets: np.ndarray = np.concatenate(
+            ([0], np.cumsum(self._edge_counts)[:-1])
+        )
+        self.num_edges: int = int(self._edge_counts.sum())
+
+    # ------------------------------------------------------------------
+    # Basic identity / repr
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "Torus" if self.torus else "Mesh"
+        return f"{kind}{self.sides}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Mesh)
+            and self.sides == other.sides
+            and self.torus == other.torus
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.sides, self.torus))
+
+    # ------------------------------------------------------------------
+    # Coordinate arithmetic
+    # ------------------------------------------------------------------
+    def coords_to_flat(self, coords: np.ndarray | Sequence[Sequence[int]]) -> np.ndarray:
+        """Convert ``(k, d)`` coordinates to ``(k,)`` flat node ids."""
+        arr = _as_coord_array(coords, self.d)
+        if np.any(arr < 0) or np.any(arr >= self._sides_arr):
+            raise ValueError("coordinates out of mesh bounds")
+        return arr @ self.strides
+
+    def flat_to_coords(self, flat: np.ndarray | int | Sequence[int]) -> np.ndarray:
+        """Convert flat node ids to coordinates.
+
+        A scalar id yields a ``(d,)`` vector; an array of ids yields a
+        ``(k, d)`` array.
+        """
+        scalar = np.isscalar(flat)
+        ids = np.atleast_1d(np.asarray(flat, dtype=np.int64))
+        if np.any(ids < 0) or np.any(ids >= self.n):
+            raise ValueError("node id out of range")
+        out = (ids[:, None] // self.strides[None, :]) % self._sides_arr[None, :]
+        return out[0] if scalar else out
+
+    def node(self, *coords: int) -> int:
+        """Flat id of the node at the given coordinates (scalar helper)."""
+        if len(coords) != self.d:
+            raise ValueError(f"expected {self.d} coordinates, got {len(coords)}")
+        return int(self.coords_to_flat([list(coords)])[0])
+
+    def contains_coords(self, coords: np.ndarray | Sequence[Sequence[int]]) -> np.ndarray:
+        """Vectorised bounds check; returns a boolean mask."""
+        arr = _as_coord_array(coords, self.d)
+        return np.all((arr >= 0) & (arr < self._sides_arr), axis=1)
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def distance(self, u: int | np.ndarray, v: int | np.ndarray) -> np.ndarray | int:
+        """Shortest-path (L1) distance ``dist(u, v)``, vectorised.
+
+        On the torus the per-dimension distance is the shorter way around.
+        """
+        scalar = np.isscalar(u) and np.isscalar(v)
+        cu = np.atleast_2d(self.flat_to_coords(u))
+        cv = np.atleast_2d(self.flat_to_coords(v))
+        diff = np.abs(cu - cv)
+        if self.torus:
+            diff = np.minimum(diff, self._sides_arr[None, :] - diff)
+        dist = diff.sum(axis=1)
+        return int(dist[0]) if scalar else dist
+
+    @property
+    def diameter(self) -> int:
+        """Maximum shortest-path distance between any two nodes."""
+        if self.torus:
+            return int(sum(s // 2 for s in self.sides))
+        return int(sum(s - 1 for s in self.sides))
+
+    # ------------------------------------------------------------------
+    # Neighbors / edges
+    # ------------------------------------------------------------------
+    def neighbors(self, u: int) -> list[int]:
+        """Flat ids of the (up to ``2d``) neighbors of node ``u``."""
+        c = self.flat_to_coords(u)
+        out: list[int] = []
+        for i, m_i in enumerate(self.sides):
+            if m_i == 1:
+                continue
+            for delta in (-1, 1):
+                ci = c[i] + delta
+                if 0 <= ci < m_i:
+                    out.append(int(u + delta * self.strides[i]))
+                elif self.torus and m_i >= 3:
+                    wrapped = ci % m_i
+                    out.append(int(u + (wrapped - c[i]) * self.strides[i]))
+        return sorted(set(out))
+
+    def degree(self, u: int) -> int:
+        """Number of links incident to node ``u``."""
+        return len(self.neighbors(u))
+
+    def iter_nodes(self) -> Iterator[int]:
+        """Iterate over all flat node ids."""
+        return iter(range(self.n))
+
+    def edge_ids(self, tails: np.ndarray, heads: np.ndarray) -> np.ndarray:
+        """Dense undirected edge ids for node-id pairs ``(tails, heads)``.
+
+        Each pair must be a mesh link.  The id layout groups edges by
+        dimension (block ``i`` starts at ``edge_offsets[i]``) and within a
+        block enumerates the *lower* endpoint's coordinates in C order, with
+        dimension ``i``'s extent shortened to ``m_i - 1`` on the mesh (or
+        kept at ``m_i`` on the torus, where the wrap edge has lower-endpoint
+        coordinate ``m_i - 1``).
+
+        Raises ``ValueError`` if any pair is not a link.
+        """
+        tails = np.asarray(tails, dtype=np.int64)
+        heads = np.asarray(heads, dtype=np.int64)
+        if tails.shape != heads.shape:
+            raise ValueError("tails and heads must have the same shape")
+        if tails.size == 0:
+            return np.empty(0, dtype=np.int64)
+        ct = self.flat_to_coords(tails)
+        ch = self.flat_to_coords(heads)
+        diff = ch - ct
+        nz = diff != 0
+        if np.any(nz.sum(axis=1) != 1):
+            raise ValueError("some pairs differ in != 1 dimension (not links)")
+        dims = np.argmax(nz, axis=1)
+        step = diff[np.arange(diff.shape[0]), dims]
+        m_dim = self._sides_arr[dims]
+        plain = np.abs(step) == 1
+        wrap = np.abs(step) == (m_dim - 1)
+        if self.torus:
+            ok = plain | (wrap & (m_dim >= 3))
+        else:
+            ok = plain
+        if not np.all(ok):
+            raise ValueError("some pairs are not mesh links")
+        # Lower endpoint along the edge's dimension.  For a wrap edge the
+        # "lower" endpoint is the one at coordinate m_i - 1.
+        lower = np.where(
+            (plain & (step > 0)) | (~plain & (step < 0)),
+            ct[np.arange(ct.shape[0]), dims],
+            ch[np.arange(ch.shape[0]), dims],
+        )
+        low_coords = ct.copy()
+        low_coords[np.arange(ct.shape[0]), dims] = lower
+        ids = np.zeros(tails.shape[0], dtype=np.int64)
+        for i, m_i in enumerate(self.sides):
+            mask = dims == i
+            if not np.any(mask):
+                continue
+            extent = self._sides_arr.copy()
+            if not (self.torus and m_i >= 3):
+                extent[i] = m_i - 1
+            stride = np.ones(self.d, dtype=np.int64)
+            for j in range(self.d - 2, -1, -1):
+                stride[j] = stride[j + 1] * extent[j + 1]
+            ids[mask] = self.edge_offsets[i] + low_coords[mask] @ stride
+        return ids
+
+    def edge_id_to_endpoints(self, edge_id: int) -> tuple[int, int]:
+        """Inverse of :meth:`edge_ids` for a single edge id."""
+        if not (0 <= edge_id < self.num_edges):
+            raise ValueError("edge id out of range")
+        dim = int(np.searchsorted(self.edge_offsets, edge_id, side="right") - 1)
+        rem = edge_id - int(self.edge_offsets[dim])
+        extent = list(self.sides)
+        m_i = self.sides[dim]
+        wrap_dim = self.torus and m_i >= 3
+        if not wrap_dim:
+            extent[dim] = m_i - 1
+        coords = []
+        for j in range(self.d - 1, -1, -1):
+            coords.append(rem % extent[j])
+            rem //= extent[j]
+        low = np.asarray(coords[::-1], dtype=np.int64)
+        high = low.copy()
+        high[dim] = (low[dim] + 1) % m_i
+        u = int(low @ self.strides)
+        v = int(high @ self.strides)
+        return (u, v)
+
+    def all_edges(self) -> np.ndarray:
+        """All edges as an ``(E, 2)`` array of endpoint node ids.
+
+        Row ``e`` holds the endpoints of the edge with id ``e``.
+        """
+        out = np.empty((self.num_edges, 2), dtype=np.int64)
+        for e in range(self.num_edges):
+            out[e] = self.edge_id_to_endpoints(e)
+        return out
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Build a ``networkx.Graph`` view of the mesh (small meshes only)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        for e in range(self.num_edges):
+            u, v = self.edge_id_to_endpoints(e)
+            g.add_edge(u, v, edge_id=e)
+        return g
+
+    # ------------------------------------------------------------------
+    # Paper-specific helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_power_of_two_cube(self) -> bool:
+        """True iff all sides are equal and a power of two (paper's setting)."""
+        m = self.sides[0]
+        return all(s == m for s in self.sides) and (m & (m - 1)) == 0
+
+    @property
+    def k(self) -> int:
+        """``log2`` of the side length, for power-of-two cube meshes."""
+        if not self.is_power_of_two_cube:
+            raise ValueError("k is only defined for equal power-of-two sides")
+        return int(math.log2(self.sides[0]))
+
+
+def pad_to_power_of_two(mesh: Mesh) -> Mesh:
+    """Smallest equal-sided power-of-two mesh containing ``mesh``.
+
+    The paper's hierarchical algorithm assumes equal side lengths ``2^k``.
+    Problems on arbitrary meshes can be embedded: node coordinates are
+    unchanged, so any (s, t) pair of the original mesh is a valid pair of the
+    padded mesh.  Selected paths may leave the original mesh, which is why
+    this is an embedding helper rather than a transparent fallback.
+    """
+    m = max(mesh.sides)
+    m = 1 << (m - 1).bit_length()
+    return Mesh((m,) * mesh.d, torus=mesh.torus)
+
+
+__all__.append("pad_to_power_of_two")

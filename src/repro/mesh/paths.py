@@ -1,0 +1,163 @@
+"""Path construction and validation on the mesh.
+
+The paper's path-selection algorithm builds each packet path by
+concatenating *subpaths*, each of which is a "dimension by dimension
+shortest path (an at most one-bend path), according to a random ordering of
+the dimensions" (Section 3.3, step 7).  :func:`dimension_order_path`
+implements that primitive; the higher-level concatenation lives in
+:mod:`repro.core.path_selection`.
+
+Paths are numpy ``int64`` arrays of flat node ids, including both endpoints;
+a path visiting ``L+1`` nodes has length (number of edges) ``L``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+
+__all__ = [
+    "dimension_order_path",
+    "concatenate_paths",
+    "is_valid_path",
+    "path_length",
+    "path_edge_endpoints",
+    "remove_cycles",
+]
+
+
+def dimension_order_path(
+    mesh: Mesh,
+    src: int,
+    dst: int,
+    order: Sequence[int] | None = None,
+) -> np.ndarray:
+    """Shortest path from ``src`` to ``dst`` correcting one dimension at a time.
+
+    Parameters
+    ----------
+    mesh:
+        The mesh to route on.
+    src, dst:
+        Flat node ids.
+    order:
+        Permutation of ``range(mesh.d)`` giving the order in which
+        dimensions are corrected.  Defaults to ``(0, 1, ..., d-1)`` —
+        classic XY / e-cube routing.  In two dimensions any order yields an
+        at-most-one-bend path.
+
+    On a torus each dimension takes the shorter way around (positive
+    direction on ties).
+
+    Returns the path as an array of flat node ids; ``src == dst`` yields the
+    single-node path ``[src]``.
+    """
+    d = mesh.d
+    if order is None:
+        order = tuple(range(d))
+    else:
+        order = tuple(int(i) for i in order)
+        if sorted(order) != list(range(d)):
+            raise ValueError(f"order must be a permutation of 0..{d - 1}, got {order}")
+    cs = mesh.flat_to_coords(src)
+    ct = mesh.flat_to_coords(dst)
+    segments: list[np.ndarray] = []
+    cur = cs.astype(np.int64).copy()
+    cur_flat = int(src)
+    total = [cur_flat]
+    for dim in order:
+        m_i = mesh.sides[dim]
+        delta = int(ct[dim] - cur[dim])
+        if delta == 0:
+            continue
+        if mesh.torus and m_i >= 3:
+            # Choose the shorter way around; ties go positive.
+            fwd = delta % m_i
+            back = m_i - fwd
+            steps = fwd if fwd <= back else -back
+        else:
+            steps = delta
+        sign = 1 if steps > 0 else -1
+        for _ in range(abs(steps)):
+            cur[dim] = (cur[dim] + sign) % m_i
+            cur_flat = int(cur @ mesh.strides)
+            total.append(cur_flat)
+    del segments
+    return np.asarray(total, dtype=np.int64)
+
+
+def concatenate_paths(pieces: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate subpaths ``r_0 r_1 ... r_l`` (Section 3.3, step 8).
+
+    Consecutive pieces must share their junction node, which is dropped from
+    the later piece so it appears once.
+    """
+    pieces = [np.asarray(p, dtype=np.int64) for p in pieces if len(p) > 0]
+    if not pieces:
+        raise ValueError("cannot concatenate zero subpaths")
+    out = [pieces[0]]
+    for prev, nxt in zip(pieces, pieces[1:]):
+        if prev[-1] != nxt[0]:
+            raise ValueError(
+                f"subpaths do not chain: ...{int(prev[-1])} then {int(nxt[0])}..."
+            )
+        out.append(nxt[1:])
+    return np.concatenate(out)
+
+
+def path_length(path: np.ndarray) -> int:
+    """Number of edges ``|p|`` used by the path."""
+    return max(len(path) - 1, 0)
+
+
+def path_edge_endpoints(path: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The (tails, heads) arrays of the path's consecutive node pairs."""
+    path = np.asarray(path, dtype=np.int64)
+    return path[:-1], path[1:]
+
+
+def is_valid_path(mesh: Mesh, path: np.ndarray, src: int | None = None, dst: int | None = None) -> bool:
+    """Whether ``path`` is a walk along mesh links (endpoints optional)."""
+    path = np.asarray(path, dtype=np.int64)
+    if path.ndim != 1 or path.size == 0:
+        return False
+    if np.any(path < 0) or np.any(path >= mesh.n):
+        return False
+    if src is not None and path[0] != src:
+        return False
+    if dst is not None and path[-1] != dst:
+        return False
+    if path.size == 1:
+        return True
+    tails, heads = path_edge_endpoints(path)
+    try:
+        mesh.edge_ids(tails, heads)
+    except ValueError:
+        return False
+    return True
+
+
+def remove_cycles(path: np.ndarray) -> np.ndarray:
+    """Shortcut any revisited node out of the path.
+
+    The paper notes (before Theorem 3.9) that removing cycles never
+    increases congestion, so selected paths may be assumed acyclic.  Keeps
+    the earliest visit of every retained node.
+    """
+    path = np.asarray(path, dtype=np.int64)
+    seen: dict[int, int] = {}
+    out: list[int] = []
+    for node in path.tolist():
+        if node in seen:
+            # Rewind to the first visit of `node`, dropping the loop.
+            keep = seen[node] + 1
+            for dropped in out[keep:]:
+                del seen[dropped]
+            out = out[:keep]
+        else:
+            seen[node] = len(out)
+            out.append(node)
+    return np.asarray(out, dtype=np.int64)

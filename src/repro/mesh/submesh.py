@@ -1,0 +1,282 @@
+"""Axis-aligned submeshes and their algebra (Section 2 of the paper).
+
+A submesh ``M' ⊆ M`` is a box of nodes, denoted in the paper by its end
+points in every dimension, e.g. ``[0,3][2,5]`` is the 4x4 submesh with x in
+0..3 and y in 2..5.  We mirror that convention: a :class:`Submesh` stores
+inclusive lower/upper corners ``lo`` / ``hi``.
+
+The decomposition (Section 3.1 / 4.1), the access graph (Section 3.2), and
+the boundary-congestion lower bound (Section 2) are all built on this
+algebra; ``out(M')`` — the number of edges crossing the boundary of ``M'`` —
+is the denominator of the boundary congestion ``B(M', Π) = |Π'| / out(M')``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+
+__all__ = ["Submesh"]
+
+
+class Submesh:
+    """A box of nodes ``[lo_1, hi_1] x ... x [lo_d, hi_d]`` inside ``mesh``.
+
+    Corners are inclusive.  Instances are immutable and hashable so they can
+    serve as access-graph node keys.
+
+    Examples
+    --------
+    >>> m = Mesh((8, 8))
+    >>> s = Submesh(m, (0, 2), (3, 5))
+    >>> s.sides, s.size
+    ((4, 4), 16)
+    >>> s.contains_node(m.node(1, 3))
+    True
+    """
+
+    __slots__ = ("mesh", "lo", "hi", "_hash")
+
+    def __init__(self, mesh: Mesh, lo: Sequence[int], hi: Sequence[int]):
+        lo_t = tuple(int(x) for x in lo)
+        hi_t = tuple(int(x) for x in hi)
+        if len(lo_t) != mesh.d or len(hi_t) != mesh.d:
+            raise ValueError(f"corners must have {mesh.d} coordinates")
+        for i in range(mesh.d):
+            if not (0 <= lo_t[i] <= hi_t[i] < mesh.sides[i]):
+                raise ValueError(
+                    f"invalid extent [{lo_t[i]}, {hi_t[i]}] in dim {i} "
+                    f"for side {mesh.sides[i]}"
+                )
+        object.__setattr__(self, "mesh", mesh)
+        object.__setattr__(self, "lo", lo_t)
+        object.__setattr__(self, "hi", hi_t)
+        object.__setattr__(self, "_hash", hash((mesh.sides, mesh.torus, lo_t, hi_t)))
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Submesh instances are immutable")
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        spans = "".join(f"[{a},{b}]" for a, b in zip(self.lo, self.hi))
+        return f"Submesh{spans}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Submesh)
+            and self.mesh == other.mesh
+            and self.lo == other.lo
+            and self.hi == other.hi
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def sides(self) -> tuple[int, ...]:
+        """Per-dimension side lengths (in nodes)."""
+        return tuple(h - l + 1 for l, h in zip(self.lo, self.hi))
+
+    @property
+    def size(self) -> int:
+        """Number of nodes, ``size(M') = prod_i m'_i``."""
+        out = 1
+        for s in self.sides:
+            out *= s
+        return out
+
+    @property
+    def is_single_node(self) -> bool:
+        return self.lo == self.hi
+
+    @classmethod
+    def whole(cls, mesh: Mesh) -> "Submesh":
+        """The submesh covering all of ``mesh``."""
+        return cls(mesh, (0,) * mesh.d, tuple(s - 1 for s in mesh.sides))
+
+    @classmethod
+    def single(cls, mesh: Mesh, node: int) -> "Submesh":
+        """The single-node submesh ``{node}`` (an access-graph leaf)."""
+        c = mesh.flat_to_coords(node)
+        return cls(mesh, c, c)
+
+    # ------------------------------------------------------------------
+    # Membership / containment
+    # ------------------------------------------------------------------
+    def contains_coords(self, coords: np.ndarray | Sequence[int]) -> bool | np.ndarray:
+        """Whether coordinate vector(s) lie inside the box."""
+        arr = np.asarray(coords, dtype=np.int64)
+        scalar = arr.ndim == 1
+        arr = np.atleast_2d(arr)
+        lo = np.asarray(self.lo, dtype=np.int64)
+        hi = np.asarray(self.hi, dtype=np.int64)
+        inside = np.all((arr >= lo) & (arr <= hi), axis=1)
+        return bool(inside[0]) if scalar else inside
+
+    def contains_node(self, node: int | np.ndarray) -> bool | np.ndarray:
+        """Whether flat node id(s) lie inside the box."""
+        return self.contains_coords(self.mesh.flat_to_coords(node))
+
+    def contains_submesh(self, other: "Submesh") -> bool:
+        """Whether ``other`` is completely contained in ``self``."""
+        return all(
+            sl <= ol and oh <= sh
+            for sl, ol, oh, sh in zip(self.lo, other.lo, other.hi, self.hi)
+        )
+
+    def intersect(self, other: "Submesh") -> "Submesh | None":
+        """Intersection box, or ``None`` when disjoint."""
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        if any(l > h for l, h in zip(lo, hi)):
+            return None
+        return Submesh(self.mesh, lo, hi)
+
+    def overlaps(self, other: "Submesh") -> bool:
+        return self.intersect(other) is not None
+
+    # ------------------------------------------------------------------
+    # Node enumeration / sampling
+    # ------------------------------------------------------------------
+    def nodes(self) -> np.ndarray:
+        """All flat node ids inside the box (C order), vectorised."""
+        ranges = [np.arange(l, h + 1, dtype=np.int64) for l, h in zip(self.lo, self.hi)]
+        grids = np.meshgrid(*ranges, indexing="ij")
+        coords = np.stack([g.ravel() for g in grids], axis=1)
+        return coords @ self.mesh.strides
+
+    def iter_coords(self) -> Iterator[tuple[int, ...]]:
+        """Iterate coordinates inside the box (C order)."""
+        from itertools import product
+
+        yield from product(*(range(l, h + 1) for l, h in zip(self.lo, self.hi)))
+
+    def sample_node(self, rng: np.random.Generator) -> int:
+        """A uniformly random node of the box (step 5 of the algorithm)."""
+        coords = [int(rng.integers(l, h + 1)) for l, h in zip(self.lo, self.hi)]
+        return int(np.asarray(coords, dtype=np.int64) @ self.mesh.strides)
+
+    def offset_node(self, offsets: Sequence[int]) -> int:
+        """Flat id of the node at the given in-box offsets.
+
+        Shared interface with :class:`~repro.mesh.torus_box.TorusBox` so
+        samplers (notably the recycled-bit scheme) can address nodes of
+        either box kind uniformly.
+        """
+        coords = []
+        for lo, hi, o in zip(self.lo, self.hi, offsets):
+            o = int(o)
+            if not (0 <= o <= hi - lo):
+                raise ValueError(f"offset {o} outside box extent {hi - lo + 1}")
+            coords.append(lo + o)
+        return int(np.asarray(coords, dtype=np.int64) @ self.mesh.strides)
+
+    def clamp_coords(self, coords: Sequence[int]) -> tuple[int, ...]:
+        """Project a coordinate vector onto the box (used by bit recycling)."""
+        return tuple(
+            min(max(int(c), l), h) for c, l, h in zip(coords, self.lo, self.hi)
+        )
+
+    # ------------------------------------------------------------------
+    # Boundary edges: out(M')
+    # ------------------------------------------------------------------
+    def out(self) -> int:
+        """Number of edges crossing the boundary of the box, ``out(M')``.
+
+        On the mesh, dimension ``i`` contributes one *face* of area
+        ``size / m'_i`` for each of its two sides that is not flush with the
+        mesh border.  On the torus every face counts unless the box spans
+        the whole dimension (then there is no boundary in that dimension).
+
+        Lemma A.4 of the paper shows ``out(M') >= (n')^{(d-1)/d}`` whenever
+        every dimension keeps at least one interior face.
+        """
+        total = 0
+        size = self.size
+        for i, m_i in enumerate(self.mesh.sides):
+            if self.lo[i] == 0 and self.hi[i] == m_i - 1:
+                continue  # spans the whole dimension: no boundary faces
+            face = size // (self.hi[i] - self.lo[i] + 1)
+            if self.mesh.torus and m_i >= 3:
+                total += 2 * face
+            else:
+                if self.lo[i] > 0:
+                    total += face
+                if self.hi[i] < m_i - 1:
+                    total += face
+        return total
+
+    def boundary_edge_ids(self) -> np.ndarray:
+        """Edge ids of all boundary edges (for cross-checking :meth:`out`)."""
+        ids: list[np.ndarray] = []
+        mesh = self.mesh
+        for i, m_i in enumerate(mesh.sides):
+            if self.lo[i] == 0 and self.hi[i] == m_i - 1:
+                continue
+            face_ranges = [
+                np.arange(l, h + 1, dtype=np.int64) for l, h in zip(self.lo, self.hi)
+            ]
+            for side, coord, nbr in (
+                ("lo", self.lo[i], self.lo[i] - 1),
+                ("hi", self.hi[i], self.hi[i] + 1),
+            ):
+                wrap = mesh.torus and m_i >= 3
+                if not (0 <= nbr < m_i) and not wrap:
+                    continue
+                nbr %= m_i
+                ranges = list(face_ranges)
+                ranges[i] = np.asarray([coord], dtype=np.int64)
+                grids = np.meshgrid(*ranges, indexing="ij")
+                inside = np.stack([g.ravel() for g in grids], axis=1)
+                outside = inside.copy()
+                outside[:, i] = nbr
+                tails = inside @ mesh.strides
+                heads = outside @ mesh.strides
+                ids.append(mesh.edge_ids(tails, heads))
+        if not ids:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(ids))
+
+    # ------------------------------------------------------------------
+    # Decomposition helpers
+    # ------------------------------------------------------------------
+    def halve(self) -> list["Submesh"]:
+        """Partition into ``2^d`` children by dividing each side by 2.
+
+        This is the type-1 refinement step of Section 3.1 ("Every submesh at
+        level l can be partitioned into 4 submeshes by dividing each side by
+        2").  Requires all sides even.
+        """
+        from itertools import product
+
+        sides = self.sides
+        if any(s % 2 for s in sides):
+            raise ValueError(f"cannot halve submesh with odd sides {sides}")
+        halves = [s // 2 for s in sides]
+        children = []
+        for picks in product((0, 1), repeat=self.mesh.d):
+            lo = tuple(self.lo[i] + picks[i] * halves[i] for i in range(self.mesh.d))
+            hi = tuple(lo[i] + halves[i] - 1 for i in range(self.mesh.d))
+            children.append(Submesh(self.mesh, lo, hi))
+        return children
+
+    def bounding_with(self, other: "Submesh") -> "Submesh":
+        """Smallest box containing both ``self`` and ``other``."""
+        lo = tuple(min(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(max(a, b) for a, b in zip(self.hi, other.hi))
+        return Submesh(self.mesh, lo, hi)
+
+    @classmethod
+    def bounding_box(cls, mesh: Mesh, s: int, t: int) -> "Submesh":
+        """The region ``R`` of Section 4.1: the box spanned by nodes s, t."""
+        cs = mesh.flat_to_coords(s)
+        ct = mesh.flat_to_coords(t)
+        return cls(mesh, np.minimum(cs, ct), np.maximum(cs, ct))

@@ -1,0 +1,196 @@
+"""Wrapped (torus) boxes.
+
+The paper's proofs repeatedly "assume, for simplicity, that we are on the
+torus": there every shifted submesh is full-size — translation wraps around
+instead of clipping against the border, so no corner/edge pieces exist and
+all the constants are clean.  A :class:`TorusBox` is the wrap-around
+analogue of :class:`~repro.mesh.submesh.Submesh`: per dimension it occupies
+the ``length_i`` consecutive coordinates starting at ``start_i``, modulo
+the mesh side.
+
+Only the operations the decomposition and router need are provided:
+membership, containment of (possibly wrapped) boxes, sampling, node
+enumeration, and ``offset_node`` for the recycled-bit scheme.  A
+``TorusBox`` that happens not to wrap converts to a plain ``Submesh``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+from repro.mesh.submesh import Submesh
+
+__all__ = ["TorusBox", "torus_bounding"]
+
+
+class TorusBox:
+    """A wrap-around box on a torus mesh.
+
+    ``start_i`` is the first coordinate of the occupied arc in dimension
+    ``i`` and ``length_i`` its extent (``1 <= length_i <= m_i``).
+    """
+
+    __slots__ = ("mesh", "start", "lengths", "_hash")
+
+    def __init__(self, mesh: Mesh, start: Sequence[int], lengths: Sequence[int]):
+        start_t = tuple(int(s) % mesh.sides[i] for i, s in enumerate(start))
+        lengths_t = tuple(int(x) for x in lengths)
+        if len(start_t) != mesh.d or len(lengths_t) != mesh.d:
+            raise ValueError(f"need {mesh.d} coordinates")
+        for i, ln in enumerate(lengths_t):
+            if not (1 <= ln <= mesh.sides[i]):
+                raise ValueError(
+                    f"length {ln} invalid in dim {i} (side {mesh.sides[i]})"
+                )
+        object.__setattr__(self, "mesh", mesh)
+        object.__setattr__(self, "start", start_t)
+        object.__setattr__(self, "lengths", lengths_t)
+        object.__setattr__(
+            self, "_hash", hash((mesh.sides, mesh.torus, start_t, lengths_t))
+        )
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("TorusBox instances are immutable")
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        spans = "".join(
+            f"[{s}:+{l}]" for s, l in zip(self.start, self.lengths)
+        )
+        return f"TorusBox{spans}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TorusBox)
+            and self.mesh == other.mesh
+            and self.start == other.start
+            and self.lengths == other.lengths
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # ------------------------------------------------------------------
+    @property
+    def sides(self) -> tuple[int, ...]:
+        return self.lengths
+
+    @property
+    def size(self) -> int:
+        out = 1
+        for ln in self.lengths:
+            out *= ln
+        return out
+
+    @property
+    def is_single_node(self) -> bool:
+        return all(ln == 1 for ln in self.lengths)
+
+    def wraps(self) -> bool:
+        """Whether any dimension actually wraps past the mesh border."""
+        return any(
+            s + ln > m for s, ln, m in zip(self.start, self.lengths, self.mesh.sides)
+        )
+
+    def to_submesh(self) -> Submesh:
+        """Convert to a plain box; requires no dimension to wrap."""
+        if self.wraps():
+            raise ValueError(f"{self!r} wraps and has no Submesh equivalent")
+        lo = self.start
+        hi = tuple(s + ln - 1 for s, ln in zip(self.start, self.lengths))
+        return Submesh(self.mesh, lo, hi)
+
+    @classmethod
+    def from_submesh(cls, box: Submesh) -> "TorusBox":
+        return cls(box.mesh, box.lo, box.sides)
+
+    # ------------------------------------------------------------------
+    def _offsets(self, coords: np.ndarray) -> np.ndarray:
+        sides = np.asarray(self.mesh.sides, dtype=np.int64)
+        start = np.asarray(self.start, dtype=np.int64)
+        return (coords - start) % sides
+
+    def contains_coords(self, coords: np.ndarray | Sequence[int]) -> bool | np.ndarray:
+        arr = np.asarray(coords, dtype=np.int64)
+        scalar = arr.ndim == 1
+        arr = np.atleast_2d(arr)
+        off = self._offsets(arr)
+        inside = np.all(off < np.asarray(self.lengths, dtype=np.int64), axis=1)
+        return bool(inside[0]) if scalar else inside
+
+    def contains_node(self, node: int | np.ndarray) -> bool | np.ndarray:
+        return self.contains_coords(self.mesh.flat_to_coords(node))
+
+    def contains_box(self, other: "TorusBox | Submesh") -> bool:
+        """Whether ``other``'s arc lies inside this arc in every dimension."""
+        if isinstance(other, Submesh):
+            other = TorusBox.from_submesh(other)
+        for i, m in enumerate(self.mesh.sides):
+            if self.lengths[i] == m:
+                continue  # covers the whole ring in this dimension
+            rel = (other.start[i] - self.start[i]) % m
+            if rel + other.lengths[i] > self.lengths[i]:
+                return False
+        return True
+
+    # alias so Submesh-consuming code can duck-type
+    contains_submesh = contains_box
+
+    # ------------------------------------------------------------------
+    def nodes(self) -> np.ndarray:
+        ranges = [
+            (np.arange(s, s + ln) % m)
+            for s, ln, m in zip(self.start, self.lengths, self.mesh.sides)
+        ]
+        grids = np.meshgrid(*ranges, indexing="ij")
+        coords = np.stack([g.ravel() for g in grids], axis=1)
+        return coords @ self.mesh.strides
+
+    def offset_node(self, offsets: Sequence[int]) -> int:
+        """Flat id of the node at the given in-box offsets (wrapping)."""
+        coords = [
+            (s + int(o)) % m
+            for s, o, m in zip(self.start, offsets, self.mesh.sides)
+        ]
+        for o, ln in zip(offsets, self.lengths):
+            if not (0 <= int(o) < ln):
+                raise ValueError(f"offset {o} outside box extent {ln}")
+        return int(np.asarray(coords, dtype=np.int64) @ self.mesh.strides)
+
+    def sample_node(self, rng: np.random.Generator) -> int:
+        offsets = [int(rng.integers(ln)) for ln in self.lengths]
+        return self.offset_node(offsets)
+
+
+def torus_bounding(a: Submesh | TorusBox, b: Submesh | TorusBox) -> TorusBox:
+    """Smallest wrapped box containing both arguments, preferring per
+    dimension the shorter way around the torus.
+
+    For each dimension the candidate arcs are "start at a, run to the end
+    of b" and "start at b, run to the end of a"; the shorter is kept.
+    """
+    if isinstance(a, Submesh):
+        a = TorusBox.from_submesh(a)
+    if isinstance(b, Submesh):
+        b = TorusBox.from_submesh(b)
+    mesh = a.mesh
+    start, lengths = [], []
+    for i, m in enumerate(mesh.sides):
+        sa, la = a.start[i], a.lengths[i]
+        sb, lb = b.start[i], b.lengths[i]
+        # arc from a's start covering b
+        len_ab = max(la, (sb - sa) % m + lb)
+        len_ba = max(lb, (sa - sb) % m + la)
+        if min(len_ab, len_ba) >= m:
+            start.append(0)
+            lengths.append(m)
+        elif len_ab <= len_ba:
+            start.append(sa)
+            lengths.append(len_ab)
+        else:
+            start.append(sb)
+            lengths.append(len_ba)
+    return TorusBox(mesh, start, lengths)

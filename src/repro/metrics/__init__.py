@@ -1,0 +1,32 @@
+"""Path-quality metrics: congestion ``C``, dilation ``D``, stretch, and
+lower bounds on the optimal congestion ``C*`` (Section 2 of the paper)."""
+
+from repro.metrics.congestion import (
+    congestion,
+    directed_edge_loads,
+    edge_loads,
+    node_loads,
+)
+from repro.metrics.stretch import dilation, stretch, stretches
+from repro.metrics.bounds import (
+    average_load_lower_bound,
+    boundary_congestion,
+    boundary_congestion_exact,
+    congestion_lower_bound,
+    lp_congestion_lower_bound,
+)
+
+__all__ = [
+    "congestion",
+    "edge_loads",
+    "directed_edge_loads",
+    "node_loads",
+    "dilation",
+    "stretch",
+    "stretches",
+    "boundary_congestion",
+    "boundary_congestion_exact",
+    "average_load_lower_bound",
+    "lp_congestion_lower_bound",
+    "congestion_lower_bound",
+]

@@ -1,0 +1,294 @@
+"""Lower bounds on the optimal congestion ``C*`` (Section 2 and Appendix A.2).
+
+``C*`` — the best congestion *any* (even offline, non-oblivious) algorithm
+can achieve — is not efficiently computable, so the paper compares against
+the **boundary congestion**
+
+    ``B = max_{M'} |Π'| / out(M')  <=  C*``
+
+where ``Π'`` are the packets with exactly one endpoint inside submesh
+``M'`` and ``out(M')`` is the number of edges leaving ``M'``.  We provide:
+
+* :func:`boundary_congestion` — ``B`` maximised over a hierarchy of grid
+  windows (all decomposition levels and shifts, plus single nodes), in
+  O(N) per window family via vectorised cell-bucketing;
+* :func:`boundary_congestion_exact` — ``B`` over *every* axis-aligned box
+  (tiny meshes only);
+* :func:`average_load_lower_bound` — ``sum_i dist(s_i, t_i) / E``: total
+  unavoidable edge usage spread over all edges;
+* :func:`lp_congestion_lower_bound` — the fractional multicommodity-flow
+  optimum (an LP), the strongest tractable bound, for small instances;
+* :func:`congestion_lower_bound` — the best available combination.
+
+Every bound here is a true lower bound on ``C*``, so measured ratios
+``C / bound`` *over*-estimate the real competitive ratio ``C / C*``.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import product
+from typing import Iterable
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+from repro.mesh.submesh import Submesh
+
+__all__ = [
+    "boundary_congestion",
+    "boundary_congestion_exact",
+    "average_load_lower_bound",
+    "lp_congestion_lower_bound",
+    "congestion_lower_bound",
+]
+
+
+def _grid_boundary_congestion(
+    mesh: Mesh,
+    sources: np.ndarray,
+    dests: np.ndarray,
+    cell_side: int,
+    shift: int,
+) -> float:
+    """Max ``|Π'| / out`` over the grid of ``cell_side`` windows at ``shift``.
+
+    The grid tiles the mesh with boxes anchored at ``i * cell_side + shift``
+    (clipped to the mesh); every box of the grid is a legitimate submesh, so
+    the maximum over them lower-bounds ``B`` and hence ``C*``.
+    """
+    cs = mesh.flat_to_coords(sources)
+    ct = mesh.flat_to_coords(dests)
+    # Per-dimension cell index, offset by +1 so the clipped layer at -1 maps
+    # to a valid bucket.
+    dims = tuple(m // cell_side + 2 for m in mesh.sides)
+    idx_s = tuple(((cs[:, i] - shift) // cell_side + 1) for i in range(mesh.d))
+    idx_t = tuple(((ct[:, i] - shift) // cell_side + 1) for i in range(mesh.d))
+    cell_s = np.ravel_multi_index(idx_s, dims)
+    cell_t = np.ravel_multi_index(idx_t, dims)
+    differ = cell_s != cell_t
+    if not np.any(differ):
+        return 0.0
+    total = int(np.prod(dims))
+    crossing = np.bincount(cell_s[differ], minlength=total) + np.bincount(
+        cell_t[differ], minlength=total
+    )
+    best = 0.0
+    for cell in np.nonzero(crossing)[0]:
+        cell_idx = np.unravel_index(int(cell), dims)
+        lo, hi = [], []
+        for i, ci in enumerate(cell_idx):
+            a = (int(ci) - 1) * cell_side + shift
+            b = a + cell_side - 1
+            lo.append(max(a, 0))
+            hi.append(min(b, mesh.sides[i] - 1))
+        box = Submesh(mesh, lo, hi)
+        out = box.out()
+        if out > 0:
+            best = max(best, float(crossing[cell]) / out)
+    return best
+
+
+def _single_node_bound(mesh: Mesh, sources: np.ndarray, dests: np.ndarray) -> float:
+    """``B`` restricted to single-node submeshes: endpoint count / degree."""
+    differ = sources != dests
+    counts = np.bincount(sources[differ], minlength=mesh.n) + np.bincount(
+        dests[differ], minlength=mesh.n
+    )
+    best = 0.0
+    for v in np.nonzero(counts)[0]:
+        best = max(best, float(counts[v]) / mesh.degree(int(v)))
+    return best
+
+
+def boundary_congestion(
+    mesh: Mesh,
+    sources: np.ndarray,
+    dests: np.ndarray,
+    *,
+    extra_shifts: bool = True,
+) -> float:
+    """Boundary congestion ``B`` over a rich family of grid windows.
+
+    Window sides sweep all powers of two up to the largest mesh side; each
+    side is tried at shift 0 and (when ``extra_shifts``) at every quarter
+    shift, which covers both the paper's type-1 and shifted grids.  Single
+    nodes are always included.  Runs in ``O(N log m)`` plus the number of
+    occupied windows.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    dests = np.asarray(dests, dtype=np.int64)
+    if sources.size == 0:
+        return 0.0
+    best = _single_node_bound(mesh, sources, dests)
+    side = 2
+    max_side = max(mesh.sides)
+    while side <= max_side:
+        shifts = {0}
+        if extra_shifts:
+            shifts.update({side // 2, side // 4, 3 * side // 4} - {0})
+        for shift in sorted(shifts):
+            best = max(
+                best, _grid_boundary_congestion(mesh, sources, dests, side, shift)
+            )
+        side *= 2
+    return best
+
+
+def boundary_congestion_exact(
+    mesh: Mesh, sources: np.ndarray, dests: np.ndarray
+) -> float:
+    """``B`` maximised over *every* axis-aligned box.  O(#boxes * N) — tiny
+    meshes only; used to validate :func:`boundary_congestion`."""
+    sources = np.asarray(sources, dtype=np.int64)
+    dests = np.asarray(dests, dtype=np.int64)
+    cs = mesh.flat_to_coords(sources)
+    ct = mesh.flat_to_coords(dests)
+    best = 0.0
+    spans_per_dim = [
+        [(a, b) for a in range(m) for b in range(a, m)] for m in mesh.sides
+    ]
+    for spans in product(*spans_per_dim):
+        lo = tuple(a for a, _ in spans)
+        hi = tuple(b for _, b in spans)
+        box = Submesh(mesh, lo, hi)
+        out = box.out()
+        if out == 0:
+            continue
+        in_s = box.contains_coords(cs)
+        in_t = box.contains_coords(ct)
+        crossing = int(np.count_nonzero(in_s ^ in_t))
+        if crossing:
+            best = max(best, crossing / out)
+    return best
+
+
+def average_load_lower_bound(
+    mesh: Mesh, sources: np.ndarray, dests: np.ndarray
+) -> float:
+    """``sum_i dist(s_i, t_i) / E``: some edge carries at least the average."""
+    sources = np.asarray(sources, dtype=np.int64)
+    dests = np.asarray(dests, dtype=np.int64)
+    if sources.size == 0 or mesh.num_edges == 0:
+        return 0.0
+    total = int(np.sum(mesh.distance(sources, dests)))
+    return total / mesh.num_edges
+
+
+def lp_congestion_lower_bound(
+    mesh: Mesh,
+    sources: np.ndarray,
+    dests: np.ndarray,
+    *,
+    max_variables: int = 2_000_000,
+) -> float:
+    """Fractional multicommodity-flow optimum: minimise the max edge load.
+
+    Packets are grouped into commodities by (source, dest); each commodity
+    routes its demand as splittable flow.  The optimum of this LP is a lower
+    bound on the integral optimal congestion ``C*`` (and is usually very
+    close to it on meshes).  Solved with ``scipy.optimize.linprog`` (HiGHS)
+    over sparse constraints; refuses instances above ``max_variables``.
+    """
+    import scipy.sparse as sp
+    from scipy.optimize import linprog
+
+    sources = np.asarray(sources, dtype=np.int64)
+    dests = np.asarray(dests, dtype=np.int64)
+    keep = sources != dests
+    sources, dests = sources[keep], dests[keep]
+    if sources.size == 0:
+        return 0.0
+    pairs: dict[tuple[int, int], int] = {}
+    for s, t in zip(sources.tolist(), dests.tolist()):
+        pairs[(s, t)] = pairs.get((s, t), 0) + 1
+    commodities = list(pairs.items())
+    E = mesh.num_edges
+    n_nodes = mesh.n
+    K = len(commodities)
+    n_vars = 2 * E * K + 1  # directed arc flows per commodity, plus z
+    if n_vars > max_variables:
+        raise ValueError(
+            f"LP too large: {n_vars} variables (cap {max_variables}); use "
+            "boundary_congestion for big instances"
+        )
+    endpoints = mesh.all_edges()  # (E, 2)
+    # Arc a = 2e goes endpoints[e,0] -> endpoints[e,1]; arc 2e+1 reverses.
+    arc_tail = np.empty(2 * E, dtype=np.int64)
+    arc_head = np.empty(2 * E, dtype=np.int64)
+    arc_tail[0::2], arc_head[0::2] = endpoints[:, 0], endpoints[:, 1]
+    arc_tail[1::2], arc_head[1::2] = endpoints[:, 1], endpoints[:, 0]
+
+    rows, cols, vals = [], [], []
+    b_eq = np.zeros(K * n_nodes)
+    for c, ((s, t), demand) in enumerate(commodities):
+        base = c * 2 * E
+        row0 = c * n_nodes
+        # Conservation: sum(out) - sum(in) = demand at s, -demand at t, 0 else.
+        rows.extend((row0 + arc_tail).tolist())
+        cols.extend(range(base, base + 2 * E))
+        vals.extend([1.0] * (2 * E))
+        rows.extend((row0 + arc_head).tolist())
+        cols.extend(range(base, base + 2 * E))
+        vals.extend([-1.0] * (2 * E))
+        b_eq[row0 + s] = demand
+        b_eq[row0 + t] = -demand
+    a_eq = sp.coo_matrix(
+        (vals, (rows, cols)), shape=(K * n_nodes, n_vars)
+    ).tocsr()
+
+    # Capacity: for each undirected edge, total flow (both directions, all
+    # commodities) <= z.
+    rows, cols, vals = [], [], []
+    for c in range(K):
+        base = c * 2 * E
+        rows.extend(np.repeat(np.arange(E), 2).tolist())
+        cols.extend(range(base, base + 2 * E))
+        vals.extend([1.0] * (2 * E))
+    rows.extend(range(E))
+    cols.extend([n_vars - 1] * E)
+    vals.extend([-1.0] * E)
+    a_ub = sp.coo_matrix((vals, (rows, cols)), shape=(E, n_vars)).tocsr()
+
+    cost = np.zeros(n_vars)
+    cost[-1] = 1.0
+    res = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=np.zeros(E),
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=[(0, None)] * n_vars,
+        method="highs",
+    )
+    if not res.success:  # pragma: no cover - should not happen on feasible input
+        raise RuntimeError(f"LP solve failed: {res.message}")
+    return float(res.fun)
+
+
+def congestion_lower_bound(
+    mesh: Mesh,
+    sources: np.ndarray,
+    dests: np.ndarray,
+    *,
+    use_lp: bool | None = None,
+) -> float:
+    """Best available lower bound on ``C*``.
+
+    Combines boundary congestion, the average-load bound and (for small
+    instances, or when ``use_lp`` forces it) the multicommodity LP.  Always
+    at least 1 when some packet has distinct endpoints.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    dests = np.asarray(dests, dtype=np.int64)
+    bound = max(
+        boundary_congestion(mesh, sources, dests),
+        average_load_lower_bound(mesh, sources, dests),
+    )
+    if np.any(sources != dests):
+        bound = max(bound, 1.0)
+    if use_lp is None:
+        use_lp = mesh.n <= 256 and len(set(zip(sources.tolist(), dests.tolist()))) <= 128
+    if use_lp:
+        bound = max(bound, lp_congestion_lower_bound(mesh, sources, dests))
+    return bound

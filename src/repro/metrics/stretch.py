@@ -1,0 +1,58 @@
+"""Dilation and stretch (Section 2).
+
+* dilation ``D`` — the maximum path length of the collection;
+* ``stretch(p_i) = |p_i| / dist(s_i, t_i)`` — path length relative to the
+  shortest-path distance;
+* ``stretch(P) = max_i stretch(p_i)`` — the collection's stretch factor.
+
+Packets with ``s_i == t_i`` have empty paths and are excluded from stretch
+(the ratio is 0/0); the paper implicitly assumes distinct endpoints
+(Theorem 3.4 is stated "for any two distinct nodes").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+from repro.mesh.paths import path_length
+
+__all__ = ["dilation", "stretches", "stretch"]
+
+
+def dilation(paths: Sequence[np.ndarray]) -> int:
+    """The dilation ``D = max_i |p_i|`` (0 for empty collections)."""
+    return max((path_length(p) for p in paths), default=0)
+
+
+def stretches(
+    mesh: Mesh,
+    sources: np.ndarray,
+    dests: np.ndarray,
+    paths: Sequence[np.ndarray],
+) -> np.ndarray:
+    """Per-packet stretch factors; ``nan`` where ``s == t``."""
+    sources = np.asarray(sources, dtype=np.int64)
+    dests = np.asarray(dests, dtype=np.int64)
+    if not (len(paths) == sources.size == dests.size):
+        raise ValueError("sources, dests and paths must have matching lengths")
+    lengths = np.asarray([path_length(p) for p in paths], dtype=np.float64)
+    dists = np.asarray(mesh.distance(sources, dests), dtype=np.float64)
+    out = np.full(sources.size, np.nan)
+    nonzero = dists > 0
+    out[nonzero] = lengths[nonzero] / dists[nonzero]
+    return out
+
+
+def stretch(
+    mesh: Mesh,
+    sources: np.ndarray,
+    dests: np.ndarray,
+    paths: Sequence[np.ndarray],
+) -> float:
+    """The collection stretch ``max_i stretch(p_i)`` (0 if all trivial)."""
+    vals = stretches(mesh, sources, dests, paths)
+    finite = vals[np.isfinite(vals)]
+    return float(finite.max()) if finite.size else 0.0

@@ -1,0 +1,70 @@
+"""Routers and routing problems.
+
+:class:`~repro.routing.base.RoutingProblem` bundles a mesh with the packet
+(source, destination) pairs; a :class:`~repro.routing.base.Router` turns a
+problem into a :class:`~repro.routing.base.RoutingResult` holding the
+selected paths and lazily computed quality metrics.
+
+The paper's algorithm lives in :mod:`repro.core.path_selection`
+(:class:`~repro.core.path_selection.HierarchicalRouter`); this package
+provides the protocol plus every comparison baseline:
+
+* :class:`DimensionOrderRouter` — deterministic XY / e-cube routing;
+* :class:`RandomDimOrderRouter` — a random dimension order per packet;
+* :class:`ValiantRouter` — routing through a uniformly random intermediate
+  node (Valiant & Brebner [14]);
+* :class:`AccessTreeRouter` — the hierarchy *without* bridge submeshes,
+  i.e. the access tree of Maggs et al. [9] (the paper's key ablation);
+* :class:`ShortestPathRouter` — deterministic shortest paths (networkx);
+* :class:`GreedyMinCongestionRouter` — offline, non-oblivious greedy that
+  routes each packet on a minimum-load path given all previous choices;
+* :class:`KChoiceRouter` — restrict any oblivious router to κ path choices
+  per pair (the Section 5.1 randomization-measuring formalism).
+
+Baseline classes are imported lazily (PEP 562) because
+:class:`AccessTreeRouter` builds on the core router, which itself depends
+on :mod:`repro.routing.base`.
+"""
+
+from repro.routing.base import Router, RoutingProblem, RoutingResult
+
+__all__ = [
+    "Router",
+    "RoutingProblem",
+    "RoutingResult",
+    "DimensionOrderRouter",
+    "RandomDimOrderRouter",
+    "ValiantRouter",
+    "AccessTreeRouter",
+    "ShortestPathRouter",
+    "GreedyMinCongestionRouter",
+    "KChoiceRouter",
+    "available_routers",
+    "make_router",
+]
+
+_BASELINE_NAMES = {
+    "DimensionOrderRouter",
+    "RandomDimOrderRouter",
+    "ValiantRouter",
+    "AccessTreeRouter",
+    "ShortestPathRouter",
+    "GreedyMinCongestionRouter",
+}
+_REGISTRY_NAMES = {"available_routers", "make_router"}
+
+
+def __getattr__(name: str):
+    if name == "KChoiceRouter":
+        from repro.routing.kchoice import KChoiceRouter
+
+        return KChoiceRouter
+    if name in _BASELINE_NAMES:
+        from repro.routing import baselines
+
+        return getattr(baselines, name)
+    if name in _REGISTRY_NAMES:
+        from repro.routing import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,201 @@
+"""Routing problems, results and the router protocol.
+
+The *path selection problem* (Section 2): the input is the mesh ``M`` and a
+set of ``N`` source/destination pairs ``Π = {(s_i, t_i)}``; the output is a
+set of paths ``P = {p_i}`` with ``p_i`` from ``s_i`` to ``t_i``.  A routing
+algorithm is **oblivious** when every path is chosen independently of every
+other path — each packet's selection may see only its own (s, t) and its
+own random bits.
+
+:class:`Router.route` enforces that discipline for oblivious routers by
+handing each packet an independent random stream; non-oblivious routers
+(``is_oblivious = False``) override :meth:`Router.route` wholesale.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+from repro.mesh.paths import is_valid_path
+from repro.metrics.congestion import congestion as _congestion
+from repro.metrics.congestion import edge_loads as _edge_loads
+from repro.metrics.stretch import dilation as _dilation
+from repro.metrics.stretch import stretch as _stretch
+from repro.metrics.stretch import stretches as _stretches
+
+__all__ = ["RoutingProblem", "RoutingResult", "Router"]
+
+
+@dataclass(frozen=True)
+class RoutingProblem:
+    """A set of packet transfer requests ``Π`` on a mesh.
+
+    ``sources[i]`` / ``dests[i]`` are flat node ids.  Problems are
+    immutable; workload generators in :mod:`repro.workloads` build them.
+    """
+
+    mesh: Mesh
+    sources: np.ndarray
+    dests: np.ndarray
+    name: str = "custom"
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "sources", np.ascontiguousarray(self.sources, dtype=np.int64)
+        )
+        object.__setattr__(
+            self, "dests", np.ascontiguousarray(self.dests, dtype=np.int64)
+        )
+        if self.sources.ndim != 1 or self.sources.shape != self.dests.shape:
+            raise ValueError("sources and dests must be 1-D arrays of equal length")
+        for arr, label in ((self.sources, "source"), (self.dests, "dest")):
+            if arr.size and (arr.min() < 0 or arr.max() >= self.mesh.n):
+                raise ValueError(f"{label} node id out of range")
+
+    @property
+    def num_packets(self) -> int:
+        return int(self.sources.size)
+
+    def __len__(self) -> int:
+        return self.num_packets
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        """Iterate (source, dest) pairs."""
+        return zip(self.sources.tolist(), self.dests.tolist())
+
+    @cached_property
+    def distances(self) -> np.ndarray:
+        """Per-packet shortest-path distances ``dist(s_i, t_i)``."""
+        if self.num_packets == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.asarray(self.mesh.distance(self.sources, self.dests))
+
+    @property
+    def max_distance(self) -> int:
+        """``D`` of Section 2: the maximum shortest distance of any packet."""
+        return int(self.distances.max()) if self.num_packets else 0
+
+    def subproblem(self, indices: Sequence[int] | np.ndarray, name: str | None = None) -> "RoutingProblem":
+        """Restriction of the problem to the selected packets."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return RoutingProblem(
+            self.mesh,
+            self.sources[idx],
+            self.dests[idx],
+            name or f"{self.name}[{idx.size}]",
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.num_packets} packets on {self.mesh!r}, "
+            f"D = {self.max_distance}"
+        )
+
+
+@dataclass
+class RoutingResult:
+    """Selected paths plus lazily computed quality metrics."""
+
+    problem: RoutingProblem
+    paths: list[np.ndarray]
+    router_name: str
+    seed: int | None = None
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        if len(self.paths) != self.problem.num_packets:
+            raise ValueError("one path per packet required")
+
+    # -- metrics -------------------------------------------------------
+    @property
+    def edge_loads(self) -> np.ndarray:
+        if "edge_loads" not in self._cache:
+            self._cache["edge_loads"] = _edge_loads(self.problem.mesh, self.paths)
+        return self._cache["edge_loads"]
+
+    @property
+    def congestion(self) -> int:
+        """``C``: the maximum number of paths over any edge."""
+        if "congestion" not in self._cache:
+            loads = self.edge_loads
+            self._cache["congestion"] = int(loads.max()) if loads.size else 0
+        return self._cache["congestion"]
+
+    @property
+    def dilation(self) -> int:
+        """``D``: the maximum path length."""
+        if "dilation" not in self._cache:
+            self._cache["dilation"] = _dilation(self.paths)
+        return self._cache["dilation"]
+
+    @property
+    def stretches(self) -> np.ndarray:
+        if "stretches" not in self._cache:
+            self._cache["stretches"] = _stretches(
+                self.problem.mesh, self.problem.sources, self.problem.dests, self.paths
+            )
+        return self._cache["stretches"]
+
+    @property
+    def stretch(self) -> float:
+        """``stretch(P)``: the maximum per-packet stretch."""
+        if "stretch" not in self._cache:
+            self._cache["stretch"] = _stretch(
+                self.problem.mesh, self.problem.sources, self.problem.dests, self.paths
+            )
+        return self._cache["stretch"]
+
+    @property
+    def total_path_length(self) -> int:
+        return int(sum(max(len(p) - 1, 0) for p in self.paths))
+
+    def validate(self) -> bool:
+        """Every path is a mesh walk from its source to its destination."""
+        return all(
+            is_valid_path(self.problem.mesh, p, int(s), int(t))
+            for p, s, t in zip(self.paths, self.problem.sources, self.problem.dests)
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.router_name} on {self.problem.name}: C={self.congestion} "
+            f"D={self.dilation} stretch={self.stretch:.2f}"
+        )
+
+
+class Router(ABC):
+    """Base class for path-selection algorithms.
+
+    Oblivious routers implement :meth:`select_path`; :meth:`route` calls it
+    once per packet with an independently seeded generator, making the
+    "each path chosen independently" property structural rather than a
+    convention.
+    """
+
+    #: human-readable identifier used in tables and the registry
+    name: str = "router"
+    #: whether paths are chosen independently per packet
+    is_oblivious: bool = True
+
+    @abstractmethod
+    def select_path(self, mesh: Mesh, s: int, t: int, rng: np.random.Generator) -> np.ndarray:
+        """Select a path from ``s`` to ``t`` using only ``rng``'s bits."""
+
+    def route(self, problem: RoutingProblem, seed: int | None = None) -> RoutingResult:
+        """Route every packet of ``problem`` independently."""
+        root = np.random.default_rng(seed)
+        streams = root.spawn(problem.num_packets)
+        paths = [
+            self.select_path(problem.mesh, int(s), int(t), stream)
+            for (s, t), stream in zip(problem.pairs(), streams)
+        ]
+        return RoutingResult(problem, paths, self.name, seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,203 @@
+"""Baseline routers the paper compares against (explicitly or implicitly).
+
+* :class:`DimensionOrderRouter` — deterministic dimension-by-dimension
+  (XY / e-cube) shortest paths.  Stretch 1, but deterministic oblivious
+  routing has unavoidable ``Ω(sqrt(n)/d)``-type congestion on worst-case
+  permutations (Section 5.1; Borodin-Hopcroft / Kaklamanis et al.).
+* :class:`RandomDimOrderRouter` — same, with a random dimension order per
+  packet.  Still stretch 1; the randomization spreads load across the
+  ``d!`` staircase paths (the ingredient the paper says improves Maggs et
+  al. by a factor of ``d``).
+* :class:`ValiantRouter` — route to a uniformly random intermediate node,
+  then to the destination (Valiant & Brebner [14]).  Good congestion on
+  permutations, but stretch ``Θ(m)`` for nearby pairs — the unbounded
+  stretch the paper criticises.
+* :class:`AccessTreeRouter` — the hierarchical scheme *without* bridges:
+  exactly the access tree of Maggs et al. [9].  Near-optimal congestion but
+  unbounded stretch (adjacent nodes straddling the top-level cut travel
+  ``Θ(m)``).
+* :class:`ShortestPathRouter` — one fixed shortest path per pair (networkx
+  bidirectional search on the mesh graph); deterministic, minimal stretch.
+* :class:`GreedyMinCongestionRouter` — an *offline, non-oblivious*
+  sequential heuristic: each packet takes a path minimising the current
+  maximum load (Dijkstra over congestion-aware weights).  Stands in for the
+  offline algorithms of [1, 2, 12, 13] when we report "oblivious is within
+  a log factor of offline".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.mesh.paths import concatenate_paths, dimension_order_path, remove_cycles
+from repro.routing.base import Router, RoutingProblem, RoutingResult
+
+__all__ = [
+    "DimensionOrderRouter",
+    "RandomDimOrderRouter",
+    "ValiantRouter",
+    "AccessTreeRouter",
+    "ShortestPathRouter",
+    "GreedyMinCongestionRouter",
+]
+
+
+class DimensionOrderRouter(Router):
+    """Deterministic dimension-order (XY / e-cube) routing."""
+
+    is_oblivious = True
+
+    def __init__(self, order: Sequence[int] | None = None):
+        self.order = tuple(order) if order is not None else None
+        suffix = "" if order is None else "-" + "".join(map(str, self.order))
+        self.name = f"dim-order{suffix}"
+
+    def select_path(self, mesh: Mesh, s: int, t: int, rng: np.random.Generator) -> np.ndarray:
+        return dimension_order_path(mesh, s, t, self.order)
+
+
+class RandomDimOrderRouter(Router):
+    """Dimension-order routing with a random permutation per packet."""
+
+    is_oblivious = True
+    name = "random-dim-order"
+
+    def select_path(self, mesh: Mesh, s: int, t: int, rng: np.random.Generator) -> np.ndarray:
+        order = tuple(int(x) for x in rng.permutation(mesh.d))
+        return dimension_order_path(mesh, s, t, order)
+
+
+class ValiantRouter(Router):
+    """Valiant-Brebner two-phase routing via a random intermediate node.
+
+    Both phases use (independently) random dimension orders, matching the
+    randomized-dimension-routing convention of the other routers.
+    """
+
+    is_oblivious = True
+    name = "valiant"
+    #: the analyzer contract: every subpath uses a fresh random dim order
+    dim_order = "random"
+
+    def __init__(self, *, drop_cycles: bool = True):
+        self.drop_cycles = drop_cycles
+
+    def submesh_sequence(self, mesh: Mesh, s: int, t: int):
+        """Valiant as a (degenerate) bitonic sequence: leaf -> mesh -> leaf.
+
+        The random intermediate node is exactly a uniform waypoint in the
+        whole mesh, so the exact expected-load analyzer
+        (:mod:`repro.analysis.expected_congestion`) applies verbatim.
+        """
+        from repro.mesh.submesh import Submesh
+
+        if s == t:
+            return [Submesh.single(mesh, s)], 0
+        return (
+            [Submesh.single(mesh, s), Submesh.whole(mesh), Submesh.single(mesh, t)],
+            1,
+        )
+
+    def select_path(self, mesh: Mesh, s: int, t: int, rng: np.random.Generator) -> np.ndarray:
+        if s == t:
+            return np.asarray([s], dtype=np.int64)
+        w = int(rng.integers(mesh.n))
+        first = dimension_order_path(
+            mesh, s, w, tuple(int(x) for x in rng.permutation(mesh.d))
+        )
+        second = dimension_order_path(
+            mesh, w, t, tuple(int(x) for x in rng.permutation(mesh.d))
+        )
+        path = concatenate_paths([first, second])
+        return remove_cycles(path) if self.drop_cycles else path
+
+
+class AccessTreeRouter(HierarchicalRouter):
+    """The access-tree algorithm of Maggs et al. [9]: no bridge submeshes.
+
+    Identical machinery to :class:`HierarchicalRouter` with bridges
+    switched off, so the comparison isolates exactly the paper's new idea.
+    """
+
+    def __init__(self, *, dim_order: str = "random", **kwargs):
+        kwargs.setdefault("name", "access-tree")
+        super().__init__(use_bridges=False, dim_order=dim_order, **kwargs)
+
+
+class ShortestPathRouter(Router):
+    """A fixed shortest path per pair, via networkx bidirectional search.
+
+    Deterministic (networkx tie-breaking), so congestion concentrates on
+    median lines for structured permutations — the cautionary baseline for
+    "just take shortest paths".  Small meshes only (builds the graph).
+    """
+
+    is_oblivious = True
+    name = "shortest-path"
+
+    def __init__(self):
+        self._graph_cache: dict[Mesh, object] = {}
+
+    def _graph(self, mesh: Mesh):
+        g = self._graph_cache.get(mesh)
+        if g is None:
+            g = mesh.to_networkx()
+            self._graph_cache[mesh] = g
+        return g
+
+    def select_path(self, mesh: Mesh, s: int, t: int, rng: np.random.Generator) -> np.ndarray:
+        import networkx as nx
+
+        path = nx.bidirectional_shortest_path(self._graph(mesh), s, t)
+        return np.asarray(path, dtype=np.int64)
+
+
+class GreedyMinCongestionRouter(Router):
+    """Offline sequential greedy: route each packet to minimise current load.
+
+    Not oblivious — the path of packet ``i`` depends on packets ``< i``.
+    Edge weights are ``(1 + load)^alpha`` so heavily used edges repel new
+    paths; with ``alpha`` large this approximates min-max-load routing
+    (cf. the exponential-weights schemes of Aspnes et al. [1]).
+    """
+
+    is_oblivious = False
+    name = "greedy-offline"
+
+    def __init__(self, alpha: float = 8.0, shuffle: bool = True):
+        self.alpha = float(alpha)
+        self.shuffle = bool(shuffle)
+
+    def select_path(self, mesh: Mesh, s: int, t: int, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError("greedy routing is not per-packet oblivious")
+
+    def route(self, problem: RoutingProblem, seed: int | None = None) -> RoutingResult:
+        import networkx as nx
+
+        mesh = problem.mesh
+        g = mesh.to_networkx()
+        loads = np.zeros(mesh.num_edges, dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        order = np.arange(problem.num_packets)
+        if self.shuffle:
+            rng.shuffle(order)
+
+        def weight(u, v, data):
+            return float((1.0 + loads[data["edge_id"]]) ** self.alpha)
+
+        paths: list[np.ndarray | None] = [None] * problem.num_packets
+        for i in order.tolist():
+            s = int(problem.sources[i])
+            t = int(problem.dests[i])
+            if s == t:
+                paths[i] = np.asarray([s], dtype=np.int64)
+                continue
+            node_path = nx.dijkstra_path(g, s, t, weight=weight)
+            p = np.asarray(node_path, dtype=np.int64)
+            loads[mesh.edge_ids(p[:-1], p[1:])] += 1
+            paths[i] = p
+        return RoutingResult(problem, paths, self.name, seed)  # type: ignore[arg-type]

@@ -1,0 +1,78 @@
+"""κ-choice routers (Section 5.1).
+
+The paper measures randomization in *path choices*: "a path selection
+algorithm A is a κ-choice algorithm if for every source-destination pair
+(s, t), A chooses the resulting path from κ possible different paths",
+i.e. ``log2 κ`` random bits per packet.  κ = 1 is deterministic; the
+hierarchical router is effectively κ-choice for a large κ.
+
+:class:`KChoiceRouter` turns any oblivious router into a κ-choice one: the
+menu of κ paths for a pair is generated *deterministically from (s, t)* by
+running the base router with derived seeds, and each packet picks uniformly
+from its menu.  This makes Lemma 5.1 empirically sweepable: on the
+adversarial instance ``Π_A``, expected congestion is at least
+``l / (d κ)`` — interpolating between the forced congestion of
+deterministic routing (κ = 1) and the ``O(B log n)`` of full randomization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+from repro.routing.base import Router
+
+__all__ = ["KChoiceRouter"]
+
+
+class KChoiceRouter(Router):
+    """Restrict an oblivious router to κ path choices per pair.
+
+    Parameters
+    ----------
+    base:
+        The oblivious router whose paths populate the menus.
+    k:
+        Number of choices per (s, t) pair (κ >= 1).
+    menu_seed:
+        Seed of the deterministic menu construction.  Menus depend only on
+        (s, t, menu_seed) — crucially *not* on the per-packet stream — so
+        an adversary who knows the algorithm can enumerate them, exactly
+        the Section 5.1 threat model.
+    """
+
+    is_oblivious = True
+
+    def __init__(self, base: Router, k: int, *, menu_seed: int = 0):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if not base.is_oblivious:
+            raise ValueError("the base router must be oblivious")
+        self.base = base
+        self.k = int(k)
+        self.menu_seed = int(menu_seed)
+        self.name = f"{base.name}[k={k}]"
+        self._menus: dict[tuple[Mesh, int, int], list[np.ndarray]] = {}
+
+    def menu(self, mesh: Mesh, s: int, t: int) -> list[np.ndarray]:
+        """The κ candidate paths for pair (s, t), deterministic in (s, t)."""
+        key = (mesh, s, t)
+        cached = self._menus.get(key)
+        if cached is not None:
+            return cached
+        paths = []
+        for i in range(self.k):
+            rng = np.random.default_rng(
+                (self.menu_seed, s, t, i)  # SeedSequence-style entropy tuple
+            )
+            paths.append(self.base.select_path(mesh, s, t, rng))
+        self._menus[key] = paths
+        return paths
+
+    def select_path(self, mesh: Mesh, s: int, t: int, rng: np.random.Generator) -> np.ndarray:
+        choices = self.menu(mesh, s, t)
+        return choices[int(rng.integers(self.k))]
+
+    def random_bits_per_packet(self) -> float:
+        """``log2 κ`` — the randomness budget of Section 5."""
+        return float(np.log2(self.k))

@@ -1,0 +1,53 @@
+"""Router registry: build routers by name for benches, examples and CLIs."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.routing.base import Router
+
+__all__ = ["available_routers", "make_router"]
+
+
+def _factories() -> dict[str, Callable[..., Router]]:
+    from repro.core.path_selection import HierarchicalRouter
+    from repro.core.rect import RectHierarchicalRouter
+    from repro.routing.baselines import (
+        AccessTreeRouter,
+        DimensionOrderRouter,
+        GreedyMinCongestionRouter,
+        RandomDimOrderRouter,
+        ShortestPathRouter,
+        ValiantRouter,
+    )
+
+    return {
+        "hierarchical": HierarchicalRouter,
+        "hierarchical-general": lambda **kw: HierarchicalRouter(
+            variant="general", name="hierarchical-general", **kw
+        ),
+        "access-tree": AccessTreeRouter,
+        "dim-order": DimensionOrderRouter,
+        "random-dim-order": RandomDimOrderRouter,
+        "valiant": ValiantRouter,
+        "shortest-path": ShortestPathRouter,
+        "greedy-offline": GreedyMinCongestionRouter,
+        "rect-hierarchical": RectHierarchicalRouter,
+    }
+
+
+def available_routers() -> list[str]:
+    """Names accepted by :func:`make_router`."""
+    return sorted(_factories())
+
+
+def make_router(name: str, **kwargs) -> Router:
+    """Instantiate a router by registry name.
+
+    Keyword arguments are forwarded to the router's constructor, e.g.
+    ``make_router("hierarchical", bit_mode="recycled")``.
+    """
+    factories = _factories()
+    if name not in factories:
+        raise KeyError(f"unknown router {name!r}; choose from {sorted(factories)}")
+    return factories[name](**kwargs)

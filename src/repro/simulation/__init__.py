@@ -1,0 +1,21 @@
+"""Synchronous store-and-forward packet scheduling.
+
+The paper's routing model (Section 1): time is synchronous and at most one
+packet traverses any edge per time step, so any schedule needs at least
+``max(C, D) >= (C + D) / 2`` steps — the ``Ω(C + D)`` folklore bound that
+motivates judging path selection by congestion *and* dilation together.
+:func:`~repro.simulation.scheduler.simulate` schedules selected paths
+greedily under several contention policies and reports the makespan, which
+experiments compare against ``C + D``.
+"""
+
+from repro.simulation.scheduler import SimulationResult, simulate
+from repro.simulation.online import OnlineStats, latency_vs_load, simulate_online
+
+__all__ = [
+    "simulate",
+    "SimulationResult",
+    "simulate_online",
+    "latency_vs_load",
+    "OnlineStats",
+]

@@ -1,0 +1,213 @@
+"""Online (dynamic-arrival) routing simulation.
+
+The paper motivates oblivious algorithms because they are "by their nature
+distributed and capable of solving online routing problems, where packets
+continuously arrive in the network" (Section 1).  This module closes that
+loop: packets are injected over time, each one picks its path *immediately
+and independently* via an oblivious router, and a synchronous scheduler
+(one packet per edge per step) delivers them.
+
+The headline quantity is the latency-vs-load curve: a router whose paths
+have low congestion sustains higher injection rates before queues blow up,
+and a router with low stretch keeps latency near the distance at light
+load.  The hierarchical router is the only one good on both ends — the
+online restatement of the paper's contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+from repro.routing.base import Router
+
+__all__ = ["OnlineStats", "simulate_online", "latency_vs_load"]
+
+
+@dataclass
+class OnlineStats:
+    """Outcome of an online simulation run."""
+
+    steps: int
+    injected: int
+    delivered: int
+    mean_latency: float
+    p95_latency: float
+    max_latency: int
+    mean_distance: float
+    max_queue: int
+    #: delivered packets per step during the injection phase
+    throughput: float
+    latencies: np.ndarray = field(repr=False)
+
+    @property
+    def mean_slowdown(self) -> float:
+        """Mean latency / mean distance: the online stretch analogue."""
+        return self.mean_latency / self.mean_distance if self.mean_distance else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.delivered}/{self.injected} delivered in {self.steps} steps; "
+            f"latency mean={self.mean_latency:.1f} p95={self.p95_latency:.1f} "
+            f"max_queue={self.max_queue}"
+        )
+
+
+def _uniform_dest(mesh: Mesh, src: int, rng: np.random.Generator) -> int:
+    t = int(rng.integers(mesh.n))
+    while t == src:
+        t = int(rng.integers(mesh.n))
+    return t
+
+
+def simulate_online(
+    router: Router,
+    mesh: Mesh,
+    *,
+    rate: float,
+    steps: int,
+    seed: int | None = 0,
+    dest_fn: Callable[[Mesh, int, np.random.Generator], int] = _uniform_dest,
+    drain_steps: int | None = None,
+    policy: str = "fifo",
+) -> OnlineStats:
+    """Inject Bernoulli(rate) packets per node per step and schedule them.
+
+    Parameters
+    ----------
+    rate:
+        Per-node per-step injection probability.
+    steps:
+        Injection phase length; afterwards the network drains for
+        ``drain_steps`` (default ``8 * steps + 200``) or until empty.
+    dest_fn:
+        Destination chooser (default: uniform over other nodes).  Use a
+        local chooser to model locality traffic.
+    policy:
+        ``"fifo"`` (oldest packet wins an edge) or ``"random"``.
+
+    The router must be oblivious: paths are selected at injection time with
+    a per-packet spawned stream, independent of network state.
+    """
+    if not router.is_oblivious:
+        raise ValueError("online simulation requires an oblivious router")
+    if policy not in ("fifo", "random"):
+        raise ValueError(f"unknown policy {policy!r}")
+    rng = np.random.default_rng(seed)
+    path_rng = np.random.default_rng(None if seed is None else seed + 1)
+
+    # Active packet state (python lists: the population is modest).
+    edge_seq: list[np.ndarray] = []
+    pos: list[int] = []
+    born: list[int] = []
+    dist: list[int] = []
+    active: list[int] = []  # indices into the packet arrays
+    done_latency: list[int] = []
+    done_distance: list[int] = []
+
+    max_queue = 0
+    injected = 0
+    if drain_steps is None:
+        drain_steps = 8 * steps + 200
+    total_steps = steps + drain_steps
+    step = 0
+    delivered_during_injection = 0
+    for step in range(1, total_steps + 1):
+        injecting = step <= steps
+        if injecting:
+            arrivals = np.nonzero(rng.random(mesh.n) < rate)[0]
+            for src in arrivals.tolist():
+                dst = dest_fn(mesh, int(src), rng)
+                path = router.select_path(
+                    mesh, int(src), dst, np.random.default_rng(path_rng.integers(2**63))
+                )
+                if len(path) < 2:
+                    continue
+                edge_seq.append(mesh.edge_ids(path[:-1], path[1:]))
+                pos.append(0)
+                born.append(step)
+                dist.append(int(mesh.distance(int(src), dst)))
+                active.append(len(edge_seq) - 1)
+                injected += 1
+        if not active:
+            if not injecting:
+                break
+            continue
+        # queue sizes: packets waiting per next-edge tail node (proxy: per edge)
+        max_queue = max(max_queue, _max_contention(edge_seq, pos, active))
+        # contention resolution
+        edges = np.asarray([edge_seq[i][pos[i]] for i in active], dtype=np.int64)
+        if policy == "fifo":
+            prio = np.asarray([born[i] for i in active], dtype=np.int64)
+        else:
+            prio = rng.permutation(len(active))
+        order = np.lexsort((prio, edges))
+        sorted_edges = edges[order]
+        first = np.ones(sorted_edges.size, dtype=bool)
+        first[1:] = sorted_edges[1:] != sorted_edges[:-1]
+        winners = [active[int(j)] for j in np.asarray(order)[first]]
+        still = set(active)
+        for i in winners:
+            pos[i] += 1
+            if pos[i] == len(edge_seq[i]):
+                still.discard(i)
+                done_latency.append(step - born[i] + 1)
+                done_distance.append(dist[i])
+                if step <= steps:
+                    delivered_during_injection += 1
+        active = [i for i in active if i in still]
+
+    lat = np.asarray(done_latency, dtype=np.int64)
+    return OnlineStats(
+        steps=step,
+        injected=injected,
+        delivered=int(lat.size),
+        mean_latency=float(lat.mean()) if lat.size else 0.0,
+        p95_latency=float(np.percentile(lat, 95)) if lat.size else 0.0,
+        max_latency=int(lat.max()) if lat.size else 0,
+        mean_distance=float(np.mean(done_distance)) if done_distance else 0.0,
+        max_queue=max_queue,
+        throughput=delivered_during_injection / max(steps, 1),
+        latencies=lat,
+    )
+
+
+def _max_contention(edge_seq, pos, active) -> int:
+    """Largest number of active packets waiting on one edge."""
+    if not active:
+        return 0
+    edges = np.asarray([edge_seq[i][pos[i]] for i in active], dtype=np.int64)
+    return int(np.bincount(edges).max())
+
+
+def latency_vs_load(
+    router: Router,
+    mesh: Mesh,
+    rates: list[float],
+    *,
+    steps: int = 200,
+    seed: int = 0,
+    dest_fn: Callable[[Mesh, int, np.random.Generator], int] = _uniform_dest,
+) -> list[dict]:
+    """Sweep injection rates, one row per rate (the saturation curve)."""
+    rows = []
+    for rate in rates:
+        stats = simulate_online(
+            router, mesh, rate=rate, steps=steps, seed=seed, dest_fn=dest_fn
+        )
+        rows.append(
+            {
+                "router": router.name,
+                "rate": rate,
+                "injected": stats.injected,
+                "delivered": stats.delivered,
+                "mean_latency": stats.mean_latency,
+                "p95_latency": stats.p95_latency,
+                "mean_slowdown": stats.mean_slowdown,
+                "max_queue": stats.max_queue,
+            }
+        )
+    return rows

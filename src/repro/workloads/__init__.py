@@ -1,0 +1,50 @@
+"""Routing-problem generators.
+
+Standard mesh traffic patterns (:mod:`permutations`), random/parametric
+traffic (:mod:`generators`), and the adversarial constructions of
+Section 5.1 (:mod:`adversarial`).
+"""
+
+from repro.workloads.permutations import (
+    bit_complement,
+    bit_reversal,
+    random_permutation,
+    tornado,
+    transpose,
+)
+from repro.workloads.generators import (
+    all_to_one,
+    local_traffic,
+    nearest_neighbor,
+    r_relation,
+    random_pairs,
+)
+from repro.workloads.adversarial import (
+    adversarial_for_router,
+    block_exchange,
+    scheme_separating_pairs,
+)
+
+__all__ = [
+    "transpose",
+    "bit_reversal",
+    "bit_complement",
+    "tornado",
+    "random_permutation",
+    "random_pairs",
+    "all_to_one",
+    "nearest_neighbor",
+    "local_traffic",
+    "r_relation",
+    "block_exchange",
+    "adversarial_for_router",
+    "scheme_separating_pairs",
+]
+
+WORKLOADS = {
+    "transpose": transpose,
+    "bit-reversal": bit_reversal,
+    "bit-complement": bit_complement,
+    "tornado": tornado,
+    "random-permutation": random_permutation,
+}

@@ -1,0 +1,131 @@
+"""Adversarial constructions of Section 5.1.
+
+The paper shows randomization is unavoidable by building, for any
+``κ``-choice algorithm ``A``, a routing problem ``Π_A`` on which ``A``'s
+expected congestion is at least ``l / (d κ)``:
+
+1. partition the mesh into blocks of side ``l`` and pair blocks so that
+   paired blocks exchange packets between corresponding nodes — a
+   permutation in which every packet travels distance exactly ``l``
+   (:func:`block_exchange`);
+2. route it with ``A``'s most-probable path per packet (for deterministic
+   routers, *the* path); by averaging, some edge is crossed by at least
+   ``l / d`` packets;
+3. keep only those packets (:func:`adversarial_for_router`).
+
+For deterministic routers the resulting instance *forces* congestion
+``|Π_A|``; the paper's hierarchical algorithm routes the same instance with
+congestion ``O(B log n)`` where ``B(Π_A) <= l / (d (1 + d))`` (Lemma 5.2) —
+the gap that makes random bits necessary (Lemma 5.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+from repro.mesh.paths import path_edge_endpoints
+from repro.routing.base import Router, RoutingProblem
+
+__all__ = ["block_exchange", "adversarial_for_router", "scheme_separating_pairs"]
+
+
+def scheme_separating_pairs(mesh: Mesh) -> RoutingProblem:
+    """Adjacent-ish pairs that defeat the half-shift ("direct
+    generalization") decomposition but not the multishift one.
+
+    Section 4 opens by noting that generalizing the 2-D construction
+    directly (one shifted type, translation ``m_l / 2``) drives the stretch
+    to ``O(2^d)``.  The mechanism: a pair can straddle the type-1 grid at
+    *every* level in dimension 0 (the central cut) while each remaining
+    dimension straddles the half-shift grid at a *different* level, killing
+    both available types for ``d - 1`` consecutive levels — the meeting
+    height rises by ``Theta(d)`` and each extra level doubles the bitonic
+    subpaths.  The multishift scheme's ``>= d + 1`` offsets survive by the
+    pigeonhole of Lemma 4.1.
+
+    Pairs are emitted for every straddle depth ``j = 1 .. d-1`` (dims
+    ``1..j`` straddle the half-shift grid at levels ``1..j``); the
+    remaining free dimensions take several non-straddling positions, giving
+    a small family rather than a single pair.
+    """
+    d, m = mesh.d, mesh.sides[0]
+    if not mesh.is_power_of_two_cube:
+        raise ValueError("needs equal power-of-two sides")
+    k = mesh.k
+    if d < 2 or k < d:
+        raise ValueError("needs d >= 2 and side >= 2^d")
+    free_positions = sorted({1, m // 2 + 1, m - 2})
+    sources, dests = [], []
+    for depth in range(1, d):
+        for pos in free_positions:
+            a = [m // 2 - 1]
+            b = [m // 2]
+            for i in range(1, d):
+                if i <= depth:
+                    boundary = 1 << (k - 1 - i)
+                    a.append(boundary - 1)
+                    b.append(boundary)
+                else:
+                    a.append(pos)
+                    b.append(pos)
+            sources.append(int(np.asarray(a) @ mesh.strides))
+            dests.append(int(np.asarray(b) @ mesh.strides))
+    return RoutingProblem(
+        mesh, np.asarray(sources), np.asarray(dests), "scheme-separating"
+    )
+
+
+def block_exchange(mesh: Mesh, l: int) -> RoutingProblem:
+    """Pair blocks of side ``l`` along dimension 0 and exchange their nodes.
+
+    Every node is the source of one packet and destination of another, and
+    every packet's distance is exactly ``l``.  Requires ``mesh.sides[0]``
+    divisible by ``2 l``.
+    """
+    if l < 1:
+        raise ValueError("block side must be >= 1")
+    m0 = mesh.sides[0]
+    if m0 % (2 * l) != 0:
+        raise ValueError(f"side {m0} not divisible by 2*l = {2 * l}")
+    coords = mesh.flat_to_coords(np.arange(mesh.n, dtype=np.int64))
+    block = coords[:, 0] // l
+    offset = np.where(block % 2 == 0, l, -l)
+    dest_coords = coords.copy()
+    dest_coords[:, 0] += offset
+    dests = mesh.coords_to_flat(dest_coords)
+    return RoutingProblem(
+        mesh, np.arange(mesh.n, dtype=np.int64), dests, f"block-exchange-l{l}"
+    )
+
+
+def adversarial_for_router(
+    router: Router,
+    mesh: Mesh,
+    l: int,
+    seed: int | None = 0,
+) -> tuple[RoutingProblem, int]:
+    """Build ``Π_A`` for ``router``: the packets sharing its busiest edge.
+
+    Routes :func:`block_exchange` with ``router`` (for randomized routers
+    this samples one realisation in place of the paper's "most probable
+    path" — exact for deterministic routers, a Monte-Carlo stand-in
+    otherwise) and returns ``(Π_A, hot_edge_id)``.
+
+    By the paper's averaging argument ``|Π_A| >= l / d`` for deterministic
+    routers, and re-routing ``Π_A`` with the *same* deterministic router
+    reproduces congestion ``|Π_A|`` on ``hot_edge_id``.
+    """
+    problem = block_exchange(mesh, l)
+    result = router.route(problem, seed=seed)
+    loads = result.edge_loads
+    hot_edge = int(np.argmax(loads))
+    crossing = []
+    for i, p in enumerate(result.paths):
+        if len(p) < 2:
+            continue
+        tails, heads = path_edge_endpoints(p)
+        if hot_edge in mesh.edge_ids(tails, heads):
+            crossing.append(i)
+    sub = problem.subproblem(crossing, name=f"adversarial-{router.name}-l{l}")
+    return sub, hot_edge

@@ -1,0 +1,120 @@
+"""Random and parametric traffic generators (non-permutation workloads)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+from repro.routing.base import RoutingProblem
+
+__all__ = [
+    "random_pairs",
+    "all_to_one",
+    "nearest_neighbor",
+    "local_traffic",
+    "r_relation",
+]
+
+
+def r_relation(mesh: Mesh, r: int, seed: int | None = None) -> RoutingProblem:
+    """A random ``r``-relation: every node sends and receives ``r`` packets.
+
+    The standard generalisation of permutation routing (r = 1 recovers a
+    random permutation); built as ``r`` independent random permutations, so
+    the optimal congestion scales linearly in ``r`` while the paper's
+    guarantees apply unchanged (the router never looks at the workload).
+    Self-packets are dropped.
+    """
+    if r < 1:
+        raise ValueError("r must be >= 1")
+    rng = np.random.default_rng(seed)
+    sources = []
+    dests = []
+    for _ in range(r):
+        perm = rng.permutation(mesh.n).astype(np.int64)
+        src = np.arange(mesh.n, dtype=np.int64)
+        keep = src != perm
+        sources.append(src[keep])
+        dests.append(perm[keep])
+    return RoutingProblem(
+        mesh,
+        np.concatenate(sources),
+        np.concatenate(dests),
+        f"{r}-relation",
+    )
+
+
+def random_pairs(
+    mesh: Mesh, num_packets: int, seed: int | None = None
+) -> RoutingProblem:
+    """``num_packets`` independent uniform (source, dest) pairs, s != t."""
+    rng = np.random.default_rng(seed)
+    if mesh.n < 2:
+        raise ValueError("need at least two nodes")
+    sources = rng.integers(mesh.n, size=num_packets).astype(np.int64)
+    dests = rng.integers(mesh.n, size=num_packets).astype(np.int64)
+    clash = sources == dests
+    while np.any(clash):
+        dests[clash] = rng.integers(mesh.n, size=int(clash.sum()))
+        clash = sources == dests
+    return RoutingProblem(mesh, sources, dests, "random-pairs")
+
+
+def all_to_one(mesh: Mesh, target: int | None = None) -> RoutingProblem:
+    """Every node sends one packet to ``target`` (default: the center).
+
+    The hot-spot pattern: optimal congestion is forced to
+    ``~ (n-1) / degree(target)`` no matter the router.
+    """
+    if target is None:
+        target = mesh.node(*[s // 2 for s in mesh.sides])
+    sources = np.asarray(
+        [v for v in range(mesh.n) if v != target], dtype=np.int64
+    )
+    dests = np.full(sources.size, target, dtype=np.int64)
+    return RoutingProblem(mesh, sources, dests, "all-to-one")
+
+
+def nearest_neighbor(mesh: Mesh, seed: int | None = None) -> RoutingProblem:
+    """Every node sends to a uniformly random neighbor.
+
+    Short-haul traffic: any constant-stretch router keeps paths local,
+    while Valiant-style routers blow every packet across the mesh — the
+    motivating scenario of the paper's introduction.
+    """
+    rng = np.random.default_rng(seed)
+    sources = np.arange(mesh.n, dtype=np.int64)
+    dests = np.asarray(
+        [mesh.neighbors(int(v))[int(rng.integers(mesh.degree(int(v))))] for v in sources],
+        dtype=np.int64,
+    )
+    return RoutingProblem(mesh, sources, dests, "nearest-neighbor")
+
+
+def local_traffic(
+    mesh: Mesh, radius: int, seed: int | None = None
+) -> RoutingProblem:
+    """Every node sends to a random node within L1 distance ``radius``.
+
+    Sampled by rejection over the enclosing coordinate box, so the radius
+    may not exceed the mesh diameter.
+    """
+    if radius < 1:
+        raise ValueError("radius must be >= 1")
+    rng = np.random.default_rng(seed)
+    coords = mesh.flat_to_coords(np.arange(mesh.n, dtype=np.int64))
+    sides = np.asarray(mesh.sides, dtype=np.int64)
+    dests = np.empty(mesh.n, dtype=np.int64)
+    for v in range(mesh.n):
+        c = coords[v]
+        while True:
+            offset = rng.integers(-radius, radius + 1, size=mesh.d)
+            if np.abs(offset).sum() == 0 or np.abs(offset).sum() > radius:
+                continue
+            cand = c + offset
+            if np.all((cand >= 0) & (cand < sides)):
+                dests[v] = int(cand @ mesh.strides)
+                break
+    return RoutingProblem(
+        mesh, np.arange(mesh.n, dtype=np.int64), dests, f"local-r{radius}"
+    )

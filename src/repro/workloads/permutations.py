@@ -1,0 +1,99 @@
+"""Classic permutation traffic patterns on the mesh.
+
+Each generator returns a :class:`~repro.routing.base.RoutingProblem` in
+which every node is the source of exactly one packet and the destination of
+exactly one packet — the permutation setting the paper's Section 5
+constructions use.  Packets with ``source == destination`` (fixed points)
+are dropped unless ``keep_fixed_points`` is set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+from repro.routing.base import RoutingProblem
+
+__all__ = [
+    "transpose",
+    "bit_reversal",
+    "bit_complement",
+    "tornado",
+    "random_permutation",
+]
+
+
+def _problem(
+    mesh: Mesh, dests: np.ndarray, name: str, keep_fixed_points: bool
+) -> RoutingProblem:
+    sources = np.arange(mesh.n, dtype=np.int64)
+    dests = np.asarray(dests, dtype=np.int64)
+    if np.unique(dests).size != mesh.n:
+        raise AssertionError(f"{name} must be a permutation")
+    if not keep_fixed_points:
+        keep = sources != dests
+        sources, dests = sources[keep], dests[keep]
+    return RoutingProblem(mesh, sources, dests, name)
+
+
+def transpose(mesh: Mesh, *, keep_fixed_points: bool = False) -> RoutingProblem:
+    """``(x_1, ..., x_d) -> (x_d, x_1, ..., x_{d-1})``; matrix transpose in 2-D.
+
+    The classic adversary for deterministic dimension-order routing: all
+    traffic from the lower triangle squeezes through the diagonal.
+    Requires equal side lengths.
+    """
+    if len(set(mesh.sides)) != 1:
+        raise ValueError("transpose needs equal side lengths")
+    coords = mesh.flat_to_coords(np.arange(mesh.n, dtype=np.int64))
+    rolled = np.roll(coords, 1, axis=1)
+    return _problem(mesh, mesh.coords_to_flat(rolled), "transpose", keep_fixed_points)
+
+
+def bit_reversal(mesh: Mesh, *, keep_fixed_points: bool = False) -> RoutingProblem:
+    """Reverse the bits of each coordinate; needs power-of-two sides."""
+    for s in mesh.sides:
+        if s & (s - 1):
+            raise ValueError("bit reversal needs power-of-two sides")
+    coords = mesh.flat_to_coords(np.arange(mesh.n, dtype=np.int64))
+    out = np.empty_like(coords)
+    for i, m_i in enumerate(mesh.sides):
+        bits = max(int(m_i).bit_length() - 1, 0)
+        col = coords[:, i]
+        rev = np.zeros_like(col)
+        for b in range(bits):
+            rev |= ((col >> b) & 1) << (bits - 1 - b)
+        out[:, i] = rev
+    return _problem(mesh, mesh.coords_to_flat(out), "bit-reversal", keep_fixed_points)
+
+
+def bit_complement(mesh: Mesh, *, keep_fixed_points: bool = False) -> RoutingProblem:
+    """``x_i -> m_i - 1 - x_i``: every packet crosses the mesh center."""
+    coords = mesh.flat_to_coords(np.arange(mesh.n, dtype=np.int64))
+    flipped = np.asarray(mesh.sides, dtype=np.int64)[None, :] - 1 - coords
+    return _problem(
+        mesh, mesh.coords_to_flat(flipped), "bit-complement", keep_fixed_points
+    )
+
+
+def tornado(mesh: Mesh, dim: int = 0, *, keep_fixed_points: bool = False) -> RoutingProblem:
+    """Shift by ``ceil(m/2) - 1`` along one dimension (wrapping).
+
+    A long-haul pattern that stresses one dimension uniformly.
+    """
+    if not (0 <= dim < mesh.d):
+        raise ValueError("invalid dimension")
+    m_i = mesh.sides[dim]
+    shift = max((m_i + 1) // 2 - 1, 1 if m_i > 1 else 0)
+    coords = mesh.flat_to_coords(np.arange(mesh.n, dtype=np.int64))
+    coords[:, dim] = (coords[:, dim] + shift) % m_i
+    return _problem(mesh, mesh.coords_to_flat(coords), "tornado", keep_fixed_points)
+
+
+def random_permutation(
+    mesh: Mesh, seed: int | None = None, *, keep_fixed_points: bool = False
+) -> RoutingProblem:
+    """A uniformly random permutation of the nodes."""
+    rng = np.random.default_rng(seed)
+    dests = rng.permutation(mesh.n).astype(np.int64)
+    return _problem(mesh, dests, "random-permutation", keep_fixed_points)

@@ -1,0 +1,97 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.mesh.mesh import Mesh
+from repro.mesh.submesh import Submesh
+
+
+@pytest.fixture
+def mesh8() -> Mesh:
+    """The paper's running example: the 8x8 mesh of Figure 1."""
+    return Mesh((8, 8))
+
+
+@pytest.fixture
+def mesh16() -> Mesh:
+    return Mesh((16, 16))
+
+
+@pytest.fixture
+def mesh3d() -> Mesh:
+    return Mesh((8, 8, 8))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+def meshes(
+    max_d: int = 3, max_side: int = 9, min_side: int = 1, torus: bool | None = False
+) -> st.SearchStrategy[Mesh]:
+    """Arbitrary (not necessarily power-of-two) meshes."""
+    def build(sides, is_torus):
+        return Mesh(sides, torus=is_torus)
+
+    sides = st.lists(
+        st.integers(min_side, max_side), min_size=1, max_size=max_d
+    ).map(tuple)
+    torus_st = st.booleans() if torus is None else st.just(bool(torus))
+    return st.builds(build, sides, torus_st)
+
+
+def pow2_cube_meshes(max_d: int = 3, max_k: int = 4) -> st.SearchStrategy[Mesh]:
+    """Equal-sided power-of-two meshes (the paper's setting)."""
+    return st.tuples(
+        st.integers(1, max_d), st.integers(1, max_k)
+    ).map(lambda dk: Mesh(((1 << dk[1]),) * dk[0]))
+
+
+@st.composite
+def mesh_and_node(draw, mesh_strategy=None):
+    mesh = draw(meshes() if mesh_strategy is None else mesh_strategy)
+    node = draw(st.integers(0, mesh.n - 1))
+    return mesh, node
+
+
+@st.composite
+def mesh_and_pair(draw, mesh_strategy=None, distinct: bool = False):
+    mesh = draw(meshes() if mesh_strategy is None else mesh_strategy)
+    s = draw(st.integers(0, mesh.n - 1))
+    t = draw(st.integers(0, mesh.n - 1))
+    if distinct and mesh.n > 1:
+        if s == t:
+            t = (t + 1) % mesh.n
+    return mesh, s, t
+
+
+def _draw_box(draw, mesh: Mesh) -> Submesh:
+    lo, hi = [], []
+    for m_i in mesh.sides:
+        a = draw(st.integers(0, m_i - 1))
+        b = draw(st.integers(a, m_i - 1))
+        lo.append(a)
+        hi.append(b)
+    return Submesh(mesh, lo, hi)
+
+
+@st.composite
+def submeshes(draw, mesh_strategy=None):
+    mesh = draw(meshes() if mesh_strategy is None else mesh_strategy)
+    return _draw_box(draw, mesh)
+
+
+@st.composite
+def submesh_pairs(draw, mesh_strategy=None):
+    """Two submeshes of the *same* mesh."""
+    mesh = draw(meshes() if mesh_strategy is None else mesh_strategy)
+    return _draw_box(draw, mesh), _draw_box(draw, mesh)

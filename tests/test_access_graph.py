@@ -1,0 +1,206 @@
+"""Tests for the explicit access graph (Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.access_graph import AccessGraph
+from repro.core.decomposition import Decomposition
+from repro.mesh.mesh import Mesh
+from repro.mesh.submesh import Submesh
+
+
+@pytest.fixture(scope="module")
+def graph8():
+    return AccessGraph(Decomposition(Mesh((8, 8))))
+
+
+@pytest.fixture(scope="module")
+def graph16():
+    return AccessGraph(Decomposition(Mesh((16, 16))))
+
+
+class TestStructure:
+    def test_root_is_whole_mesh(self, graph8):
+        assert graph8.root.box == Submesh.whole(graph8.dec.mesh)
+        assert graph8.root.level == 0
+
+    def test_leaves_are_nodes(self, graph8):
+        leaves = graph8.levels[graph8.dec.k]
+        assert len(leaves) == graph8.dec.mesh.n
+        assert all(r.box.is_single_node for r in leaves)
+
+    def test_leaf_lookup(self, graph8):
+        node = graph8.dec.mesh.node(3, 6)
+        leaf = graph8.leaf(node)
+        assert leaf.box.contains_node(node)
+        assert leaf.box.is_single_node
+
+    def test_levels_count(self, graph8):
+        assert len(graph8.levels) == graph8.dec.k + 1
+
+    def test_region_dedup(self, graph8):
+        """Distinct regular submeshes: one graph node per (level, region)."""
+        for level, regs in enumerate(graph8.levels):
+            boxes = [r.box for r in regs]
+            assert len(boxes) == len(set(boxes))
+
+    def test_edges_are_containments(self, graph8):
+        for level in range(1, graph8.dec.k + 1):
+            for child in graph8.levels[level]:
+                for parent in graph8.parents(child):
+                    assert parent.level == level - 1
+                    assert parent.box.contains_submesh(child.box)
+
+    def test_children_inverse_of_parents(self, graph8):
+        for level in range(1, graph8.dec.k + 1):
+            for child in graph8.levels[level]:
+                for parent in graph8.parents(child):
+                    assert child in graph8.children(parent)
+
+    def test_root_has_no_parents(self, graph8):
+        assert graph8.parents(graph8.root) == []
+
+    def test_leaves_have_no_children(self, graph8):
+        leaf = graph8.leaf(0)
+        assert graph8.children(leaf) == []
+
+    def test_not_a_tree(self, graph8):
+        """The access graph is NOT a tree: some node has two parents
+        (Lemma 3.1 part (3) gives type-1 *or* type-2 containment, or both)."""
+        multi = [
+            r
+            for level in range(1, graph8.dec.k + 1)
+            for r in graph8.levels[level]
+            if len(graph8.parents(r)) >= 2
+        ]
+        assert multi, "bridges must create multi-parent nodes"
+
+    def test_counts(self, graph8):
+        assert graph8.num_nodes() == sum(len(l) for l in graph8.levels)
+        assert graph8.num_edges() > 0
+
+
+class TestLemmas:
+    def test_lemma_3_1(self, graph8):
+        results = graph8.check_lemma_3_1()
+        assert results["disjoint"] and results["partition"] and results["contained"]
+
+    def test_lemma_3_1_16x16(self, graph16):
+        results = graph16.check_lemma_3_1()
+        assert results["disjoint"] and results["partition"] and results["contained"]
+
+    def test_lemma_3_1_part3_erratum(self, graph8):
+        """The literal part (3) fails for deep shifted submeshes: a
+        documented erratum (see AccessGraph.check_lemma_3_1)."""
+        results = graph8.check_lemma_3_1()
+        assert results["contained_all_types"] is False
+        # concrete witness from the reproduction notes
+        from repro.mesh.submesh import Submesh
+
+        witness = graph8.node_for_box(Submesh(graph8.dec.mesh, (1, 3), (2, 4)), 2)
+        assert witness is not None
+        assert graph8.parents(witness) == []
+
+    def test_lemma_3_2_samples(self, graph8):
+        rng = np.random.default_rng(0)
+        samples = []
+        for level in range(graph8.dec.k + 1):
+            for reg in graph8.levels[level]:
+                v = int(reg.box.sample_node(rng))
+                samples.append((v, reg))
+        assert graph8.check_lemma_3_2(samples)
+
+    def test_lemma_3_2_rejects_outside_node(self, graph8):
+        reg = graph8.levels[1][0]
+        outside = [
+            v for v in range(graph8.dec.mesh.n) if not reg.box.contains_node(v)
+        ][0]
+        with pytest.raises(ValueError):
+            graph8.check_lemma_3_2([(outside, reg)])
+
+
+class TestPaths:
+    def test_monotonic_chain(self, graph8):
+        node = graph8.dec.mesh.node(5, 5)
+        chain = graph8.monotonic_chain(node, graph8.dec.k)
+        assert chain[0] == graph8.root
+        assert chain[-1] == graph8.leaf(node)
+        assert graph8.is_monotonic_path(chain)
+
+    def test_bitonic_path_structure(self, graph8):
+        mesh = graph8.dec.mesh
+        rng = np.random.default_rng(1)
+        for _ in range(40):
+            s, t = (int(x) for x in rng.integers(mesh.n, size=2))
+            if s == t:
+                continue
+            path = graph8.bitonic_path(s, t)
+            assert path[0] == graph8.leaf(s)
+            assert path[-1] == graph8.leaf(t)
+            levels = [r.level for r in path]
+            top = min(levels)
+            peak = levels.index(top)
+            # strictly rising to the bridge, strictly falling after
+            assert levels[: peak + 1] == list(range(levels[0], top - 1, -1))
+            assert levels[peak:] == list(range(top, levels[-1] + 1))
+
+    def test_bitonic_path_consecutive_containment(self, graph8):
+        mesh = graph8.dec.mesh
+        rng = np.random.default_rng(2)
+        for _ in range(40):
+            s, t = (int(x) for x in rng.integers(mesh.n, size=2))
+            if s == t:
+                continue
+            path = graph8.bitonic_path(s, t)
+            for a, b in zip(path, path[1:]):
+                smaller, larger = (a, b) if a.level > b.level else (b, a)
+                assert larger.box.contains_submesh(smaller.box)
+
+    def test_bitonic_path_single_bridge_not_type1_only_at_top(self, graph8):
+        """Only the top of the bitonic path may be a shifted submesh."""
+        mesh = graph8.dec.mesh
+        for s, t in [(0, 63), (7, 56), (0, 1)]:
+            path = graph8.bitonic_path(s, t)
+            levels = [r.level for r in path]
+            peak = levels.index(min(levels))
+            for i, reg in enumerate(path):
+                if i != peak:
+                    assert reg.is_type1
+
+    def test_trivial_bitonic_path(self, graph8):
+        assert graph8.bitonic_path(5, 5) == [graph8.leaf(5)]
+
+    def test_dca_matches_bitonic_peak(self, graph8):
+        s, t = 3, 60
+        h, bridge = graph8.deepest_common_ancestor(s, t)
+        path = graph8.bitonic_path(s, t)
+        top = min(path, key=lambda r: r.level)
+        assert top.level == graph8.dec.level_of_height(h)
+        assert top.box == bridge.box
+
+    def test_is_monotonic_rejects_shifted_interior(self, graph8):
+        # A chain whose non-top node is type-2 is not monotonic.
+        type2 = next(r for r in graph8.levels[1] if r.type_index == 2)
+        chain = [graph8.root, type2]
+        assert not graph8.is_monotonic_path(chain)
+
+    def test_empty_not_monotonic(self, graph8):
+        assert not graph8.is_monotonic_path([])
+
+
+class TestNetworkx:
+    def test_dag_export(self, graph8):
+        import networkx as nx
+
+        g = graph8.to_networkx()
+        assert g.number_of_nodes() == graph8.num_nodes()
+        assert g.number_of_edges() == graph8.num_edges()
+        assert nx.is_directed_acyclic_graph(g)
+
+    def test_all_leaves_reachable_from_root(self, graph8):
+        import networkx as nx
+
+        g = graph8.to_networkx()
+        reachable = nx.descendants(g, graph8.root)
+        for leaf in graph8.levels[graph8.dec.k]:
+            assert leaf in reachable

@@ -1,0 +1,62 @@
+"""Tests for the adversarial workload search."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.adversary_search import adversarial_ratio_search
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.routing.baselines import DimensionOrderRouter
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return Mesh((8, 8))
+
+
+class TestSearch:
+    def test_trajectory_monotone(self, mesh):
+        res = adversarial_ratio_search(
+            HierarchicalRouter(), mesh, iterations=15, seeds=(0,)
+        )
+        traj = res["trajectory"]
+        assert all(a <= b + 1e-12 for a, b in zip(traj, traj[1:]))
+        assert res["best_ratio"] == traj[-1]
+
+    def test_permutation_mode_stays_permutation(self, mesh):
+        res = adversarial_ratio_search(
+            HierarchicalRouter(), mesh, iterations=10, seeds=(0,),
+            mode="permutation",
+        )
+        prob = res["problem"]
+        # permutations have all-distinct sources and destinations
+        assert np.unique(prob.dests).size == prob.num_packets
+        assert np.unique(prob.sources).size == prob.num_packets
+
+    def test_invalid_args(self, mesh):
+        with pytest.raises(ValueError):
+            adversarial_ratio_search(HierarchicalRouter(), mesh, iterations=0)
+        with pytest.raises(ValueError):
+            adversarial_ratio_search(
+                HierarchicalRouter(), mesh, iterations=5, mode="nope"
+            )
+
+    def test_hierarchical_resists_the_adversary(self, mesh):
+        """After a real search budget the ratio stays a small multiple of
+        log2 n — the router has no easily-findable bad workload."""
+        res = adversarial_ratio_search(
+            HierarchicalRouter(), mesh, iterations=60, seeds=(0, 1)
+        )
+        assert res["best_ratio"] <= 1.5 * res["log2n"]
+
+    def test_search_has_teeth_against_deterministic(self, mesh):
+        """The same adversary finds worse workloads for deterministic XY
+        than for the randomized hierarchical router."""
+        xy = adversarial_ratio_search(
+            DimensionOrderRouter(), mesh, iterations=200, seeds=(0,),
+            rng_seed=1,
+        )
+        hier = adversarial_ratio_search(
+            HierarchicalRouter(), mesh, iterations=60, seeds=(0, 1), rng_seed=1
+        )
+        assert xy["best_ratio"] > hier["best_ratio"]

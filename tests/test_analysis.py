@@ -1,0 +1,128 @@
+"""Tests for theory curves, sweep helpers and table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import aggregate, evaluate, sweep
+from repro.analysis.reporting import format_table, format_value
+from repro.analysis.theory import (
+    bridge_height_bound,
+    congestion_bound_2d,
+    congestion_bound_general,
+    random_bits_lower_curve,
+    random_bits_upper_curve,
+    stretch_bound_2d,
+    stretch_bound_general,
+)
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.routing.baselines import DimensionOrderRouter
+from repro.workloads.generators import random_pairs
+
+
+class TestTheory:
+    def test_2d_constant(self):
+        assert stretch_bound_2d() == 64.0
+
+    def test_general_grows_quadratically(self):
+        vals = [stretch_bound_general(d) for d in (1, 2, 4, 8)]
+        assert vals == sorted(vals)
+        # doubling d roughly quadruples the bound for large d
+        assert vals[3] / vals[2] > 3
+
+    def test_general_rejects_bad_d(self):
+        with pytest.raises(ValueError):
+            stretch_bound_general(0)
+
+    def test_congestion_bound_monotone_in_distance(self):
+        assert congestion_bound_2d(1.0, 16) > congestion_bound_2d(1.0, 2)
+        assert congestion_bound_2d(1.0, 0) == 0.0
+        assert congestion_bound_2d(2.0, 8) == 2 * congestion_bound_2d(1.0, 8)
+
+    def test_congestion_bound_general(self):
+        assert congestion_bound_general(1.0, 3, 16) > congestion_bound_general(
+            1.0, 2, 16
+        )
+        assert congestion_bound_general(1.0, 2, 0) == 0.0
+
+    def test_bridge_height_bound(self):
+        assert bridge_height_bound(1) == 2
+        assert bridge_height_bound(8) == 5
+        with pytest.raises(ValueError):
+            bridge_height_bound(0)
+
+    def test_bits_curves_shapes(self):
+        assert random_bits_upper_curve(2, 16) == 2 * math.log2(32)
+        # the lower curve never exceeds the upper curve (Theorem 5.5)
+        for d in (1, 2, 3, 4):
+            for dist in (4, 16, 64):
+                lo = random_bits_lower_curve(d, dist, n=1 << 12)
+                hi = random_bits_upper_curve(d, dist)
+                assert lo <= hi
+        assert random_bits_lower_curve(2, 16, n=1) == 0.0
+
+
+class TestExperiments:
+    @pytest.fixture
+    def mesh(self):
+        return Mesh((8, 8))
+
+    def test_evaluate_row_fields(self, mesh):
+        row = evaluate(HierarchicalRouter(), random_pairs(mesh, 20, seed=0), seed=1)
+        for key in ("router", "workload", "C", "D", "stretch", "C_lower", "C_ratio"):
+            assert key in row
+        assert row["C_ratio"] >= 1.0 - 1e-9
+
+    def test_evaluate_shared_bound(self, mesh):
+        prob = random_pairs(mesh, 20, seed=0)
+        row = evaluate(HierarchicalRouter(), prob, seed=1, bound=2.0)
+        assert row["C_lower"] == 2.0
+        assert row["C_ratio"] == row["C"] / 2.0
+
+    def test_sweep_cross_product(self, mesh):
+        routers = [HierarchicalRouter(), DimensionOrderRouter()]
+        problems = [random_pairs(mesh, 10, seed=s) for s in (0, 1)]
+        rows = sweep(routers, problems, seeds=(0, 1, 2))
+        assert len(rows) == 2 * 2 * 3
+
+    def test_aggregate_mean(self):
+        rows = [
+            {"router": "a", "C": 2},
+            {"router": "a", "C": 4},
+            {"router": "b", "C": 10},
+        ]
+        agg = aggregate(rows, group_by=["router"], fields=["C"])
+        by_name = {r["router"]: r for r in agg}
+        assert by_name["a"]["C"] == 3.0
+        assert by_name["a"]["count"] == 2
+        assert by_name["b"]["C"] == 10.0
+
+    def test_aggregate_max_min(self):
+        rows = [{"g": 1, "x": 1.0}, {"g": 1, "x": 5.0}]
+        assert aggregate(rows, ["g"], ["x"], how="max")[0]["x"] == 5.0
+        assert aggregate(rows, ["g"], ["x"], how="min")[0]["x"] == 1.0
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(3.0) == "3"
+        assert format_value(float("nan")) == "-"
+        assert format_value(3.14159) == "3.14"
+        assert format_value("x") == "x"
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 222, "b": "y"}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert len({len(l) for l in lines[1:]}) == 1  # aligned widths
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="t")
+
+    def test_format_table_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]

@@ -1,0 +1,182 @@
+"""Tests for the baseline routers."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.mesh import Mesh
+from repro.mesh.paths import path_length
+from repro.routing.baselines import (
+    AccessTreeRouter,
+    DimensionOrderRouter,
+    GreedyMinCongestionRouter,
+    RandomDimOrderRouter,
+    ShortestPathRouter,
+    ValiantRouter,
+)
+from repro.routing.registry import available_routers, make_router
+from repro.workloads.generators import random_pairs
+from repro.workloads.permutations import transpose
+
+
+@pytest.fixture
+def mesh():
+    return Mesh((16, 16))
+
+
+@pytest.fixture
+def problem(mesh):
+    return random_pairs(mesh, 40, seed=0)
+
+
+ALL_BASELINES = [
+    DimensionOrderRouter,
+    RandomDimOrderRouter,
+    ValiantRouter,
+    AccessTreeRouter,
+    ShortestPathRouter,
+    GreedyMinCongestionRouter,
+]
+
+
+@pytest.mark.parametrize("cls", ALL_BASELINES)
+def test_all_baselines_produce_valid_paths(cls, problem):
+    result = cls().route(problem, seed=1)
+    assert result.validate()
+
+
+@pytest.mark.parametrize("cls", ALL_BASELINES)
+def test_all_baselines_valid_3d(cls):
+    mesh = Mesh((4, 4, 4))
+    problem = random_pairs(mesh, 20, seed=1)
+    result = cls().route(problem, seed=2)
+    assert result.validate()
+
+
+class TestDimensionOrder:
+    def test_stretch_one(self, problem):
+        assert DimensionOrderRouter().route(problem, seed=0).stretch == 1.0
+        assert RandomDimOrderRouter().route(problem, seed=0).stretch == 1.0
+
+    def test_deterministic(self, problem):
+        r = DimensionOrderRouter()
+        a = r.route(problem, seed=0)
+        b = r.route(problem, seed=999)
+        for pa, pb in zip(a.paths, b.paths):
+            np.testing.assert_array_equal(pa, pb)
+
+    def test_custom_order_name(self):
+        assert DimensionOrderRouter(order=(1, 0)).name == "dim-order-10"
+
+    def test_transpose_congestion_blowup(self, mesh):
+        """XY routing on transpose funnels Theta(m) paths through the
+        diagonal — congestion ~ m while C* ~ const."""
+        result = DimensionOrderRouter().route(transpose(mesh), seed=0)
+        assert result.congestion >= mesh.sides[0] - 2
+
+
+class TestValiant:
+    def test_unbounded_stretch_on_neighbors(self, mesh):
+        """Valiant sends adjacent-destination packets across the mesh."""
+        from repro.workloads.generators import nearest_neighbor
+
+        result = ValiantRouter().route(nearest_neighbor(mesh, seed=1), seed=2)
+        assert result.stretch > 8  # paths of length ~m for distance-1 pairs
+
+    def test_path_through_intermediate(self, mesh):
+        router = ValiantRouter(drop_cycles=False)
+        rng = np.random.default_rng(0)
+        p = router.select_path(mesh, 0, 1, rng)
+        assert p[0] == 0 and p[-1] == 1
+
+    def test_trivial(self, mesh):
+        p = ValiantRouter().select_path(mesh, 5, 5, np.random.default_rng(0))
+        assert p.tolist() == [5]
+
+
+class TestAccessTree:
+    def test_is_hierarchical_without_bridges(self):
+        router = AccessTreeRouter()
+        assert router.use_bridges is False
+        assert router.name == "access-tree"
+
+    def test_center_straddling_pair_crosses_root(self, mesh):
+        """Without bridges, adjacent nodes straddling the center meet at
+        the root: expected path length Theta(m) for distance 1."""
+        router = AccessTreeRouter()
+        rng = np.random.default_rng(3)
+        s, t = mesh.node(7, 8), mesh.node(8, 8)
+        lengths = [
+            path_length(router.select_path(mesh, s, t, rng)) for _ in range(30)
+        ]
+        assert max(lengths) > 8
+
+    def test_bridges_beat_tree_on_straddling_pair(self, mesh):
+        from repro.core.path_selection import HierarchicalRouter
+
+        tree = AccessTreeRouter()
+        graph = HierarchicalRouter()
+        rng = np.random.default_rng(4)
+        s, t = mesh.node(7, 8), mesh.node(8, 8)
+        tree_len = np.mean(
+            [path_length(tree.select_path(mesh, s, t, rng)) for _ in range(50)]
+        )
+        graph_len = np.mean(
+            [path_length(graph.select_path(mesh, s, t, rng)) for _ in range(50)]
+        )
+        assert graph_len * 2 < tree_len
+
+
+class TestShortestPath:
+    def test_stretch_one(self, problem):
+        assert ShortestPathRouter().route(problem, seed=0).stretch == 1.0
+
+    def test_graph_cached(self, mesh):
+        r = ShortestPathRouter()
+        r.select_path(mesh, 0, 5, np.random.default_rng(0))
+        assert mesh in r._graph_cache
+
+
+class TestGreedyOffline:
+    def test_beats_deterministic_on_transpose(self):
+        mesh = Mesh((8, 8))
+        prob = transpose(mesh)
+        greedy = GreedyMinCongestionRouter().route(prob, seed=0)
+        xy = DimensionOrderRouter().route(prob, seed=0)
+        assert greedy.congestion < xy.congestion
+
+    def test_select_path_not_supported(self, mesh):
+        with pytest.raises(NotImplementedError):
+            GreedyMinCongestionRouter().select_path(
+                mesh, 0, 1, np.random.default_rng(0)
+            )
+
+    def test_no_shuffle_deterministic(self):
+        mesh = Mesh((8, 8))
+        prob = random_pairs(mesh, 15, seed=5)
+        r = GreedyMinCongestionRouter(shuffle=False)
+        a = r.route(prob, seed=1)
+        b = r.route(prob, seed=2)
+        for pa, pb in zip(a.paths, b.paths):
+            np.testing.assert_array_equal(pa, pb)
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_routers()
+        assert "hierarchical" in names
+        assert "access-tree" in names
+        assert "valiant" in names
+
+    def test_make_router_all(self, problem):
+        for name in available_routers():
+            router = make_router(name)
+            result = router.route(problem, seed=0)
+            assert result.validate()
+
+    def test_make_router_kwargs(self):
+        router = make_router("hierarchical", bit_mode="recycled")
+        assert router.bit_mode == "recycled"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_router("nope")

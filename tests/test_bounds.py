@@ -1,0 +1,144 @@
+"""Tests for the C* lower bounds (boundary congestion, LP, average load)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.mesh import Mesh
+from repro.metrics.bounds import (
+    average_load_lower_bound,
+    boundary_congestion,
+    boundary_congestion_exact,
+    congestion_lower_bound,
+    lp_congestion_lower_bound,
+)
+from repro.routing.baselines import GreedyMinCongestionRouter
+from repro.workloads.generators import all_to_one, random_pairs
+from repro.workloads.permutations import bit_complement, transpose
+
+
+class TestBoundaryCongestion:
+    def test_single_hot_node(self):
+        """All-to-one: the target's 4 incident edges carry n-1 paths."""
+        mesh = Mesh((8, 8))
+        prob = all_to_one(mesh)
+        b = boundary_congestion(mesh, prob.sources, prob.dests)
+        assert b >= (mesh.n - 1) / 4
+
+    def test_fast_is_lower_bound_of_exact(self):
+        mesh = Mesh((4, 4))
+        for seed in range(5):
+            prob = random_pairs(mesh, 12, seed=seed)
+            fast = boundary_congestion(mesh, prob.sources, prob.dests)
+            exact = boundary_congestion_exact(mesh, prob.sources, prob.dests)
+            assert fast <= exact + 1e-9
+
+    def test_fast_close_to_exact_on_structured(self):
+        mesh = Mesh((8, 8))
+        prob = bit_complement(mesh)
+        fast = boundary_congestion(mesh, prob.sources, prob.dests)
+        exact = boundary_congestion_exact(mesh, prob.sources, prob.dests)
+        assert fast <= exact + 1e-9
+        assert fast >= 0.5 * exact  # window family is a good proxy
+
+    def test_empty_problem(self):
+        mesh = Mesh((4, 4))
+        empty = np.asarray([], dtype=np.int64)
+        assert boundary_congestion(mesh, empty, empty) == 0.0
+
+    def test_no_crossing_traffic(self):
+        """Packets fully inside one half never cross its boundary."""
+        mesh = Mesh((4, 4))
+        sources = np.asarray([mesh.node(0, 0)])
+        dests = np.asarray([mesh.node(0, 1)])
+        b = boundary_congestion(mesh, sources, dests)
+        assert 0 < b <= 1.0
+
+    def test_is_lower_bound_on_any_routing(self):
+        """B <= C for every router on every workload (Section 2: C >= B)."""
+        from repro.core.path_selection import HierarchicalRouter
+        from repro.routing.baselines import DimensionOrderRouter
+
+        mesh = Mesh((8, 8))
+        for prob in (transpose(mesh), random_pairs(mesh, 64, seed=1)):
+            b = boundary_congestion(mesh, prob.sources, prob.dests)
+            for router in (HierarchicalRouter(), DimensionOrderRouter()):
+                c = router.route(prob, seed=0).congestion
+                assert c >= b - 1e-9
+
+
+class TestAverageLoad:
+    def test_formula(self):
+        mesh = Mesh((4, 4))
+        sources = np.asarray([0])
+        dests = np.asarray([15])
+        assert average_load_lower_bound(mesh, sources, dests) == 6 / mesh.num_edges
+
+    def test_empty(self):
+        mesh = Mesh((4, 4))
+        e = np.asarray([], dtype=np.int64)
+        assert average_load_lower_bound(mesh, e, e) == 0.0
+
+
+class TestLP:
+    def test_all_to_one_exact(self):
+        """All-to-one on 4x4: every path must enter the target through one
+        of its 4 edges, so the LP optimum is exactly (n-1)/4."""
+        mesh = Mesh((4, 4))
+        prob = all_to_one(mesh)
+        val = lp_congestion_lower_bound(mesh, prob.sources, prob.dests)
+        assert val == pytest.approx(15 / 4, rel=1e-6)
+
+    def test_single_packet(self):
+        mesh = Mesh((4, 4))
+        val = lp_congestion_lower_bound(mesh, np.asarray([0]), np.asarray([15]))
+        assert 0 < val <= 1.0 + 1e-9
+
+    def test_dominates_is_true_lower_bound(self):
+        """LP <= congestion achieved by the strongest router we have."""
+        mesh = Mesh((4, 4))
+        prob = transpose(mesh)
+        val = lp_congestion_lower_bound(mesh, prob.sources, prob.dests)
+        best = GreedyMinCongestionRouter().route(prob, seed=0).congestion
+        assert val <= best + 1e-9
+
+    def test_at_least_boundary(self):
+        """The LP is at least as strong as boundary congestion."""
+        mesh = Mesh((4, 4))
+        for seed in range(3):
+            prob = random_pairs(mesh, 10, seed=seed)
+            lp = lp_congestion_lower_bound(mesh, prob.sources, prob.dests)
+            b = boundary_congestion_exact(mesh, prob.sources, prob.dests)
+            assert lp >= b - 1e-6
+
+    def test_self_packets_ignored(self):
+        mesh = Mesh((4, 4))
+        val = lp_congestion_lower_bound(mesh, np.asarray([3]), np.asarray([3]))
+        assert val == 0.0
+
+    def test_size_cap(self):
+        mesh = Mesh((16, 16))
+        prob = random_pairs(mesh, 200, seed=0)
+        with pytest.raises(ValueError):
+            lp_congestion_lower_bound(
+                mesh, prob.sources, prob.dests, max_variables=1000
+            )
+
+
+class TestCombined:
+    def test_at_least_one_for_nontrivial(self):
+        mesh = Mesh((8, 8))
+        bound = congestion_lower_bound(mesh, np.asarray([0]), np.asarray([1]))
+        assert bound >= 1.0
+
+    def test_uses_lp_when_forced(self):
+        mesh = Mesh((4, 4))
+        prob = all_to_one(mesh)
+        with_lp = congestion_lower_bound(
+            mesh, prob.sources, prob.dests, use_lp=True
+        )
+        assert with_lp == pytest.approx(15 / 4, rel=1e-6)
+
+    def test_zero_for_empty(self):
+        mesh = Mesh((4, 4))
+        e = np.asarray([], dtype=np.int64)
+        assert congestion_lower_bound(mesh, e, e, use_lp=False) == 0.0

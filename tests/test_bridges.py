@@ -1,0 +1,177 @@
+"""Tests for bridge-submesh location (Lemmas 3.3 and 4.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bridges import (
+    bridge_height_bound_2d,
+    common_ancestor_2d,
+    common_ancestor_brute,
+    find_bridge,
+)
+from repro.core.decomposition import Decomposition
+from repro.mesh.mesh import Mesh
+from repro.mesh.submesh import Submesh
+
+
+@pytest.fixture
+def dec8():
+    return Decomposition(Mesh((8, 8)))
+
+
+@pytest.fixture
+def dec16():
+    return Decomposition(Mesh((16, 16)))
+
+
+class TestCommonAncestor2D:
+    def test_bridge_contains_both_chains(self, dec16):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            s, t = rng.integers(dec16.mesh.n, size=2)
+            if s == t:
+                continue
+            h, bridge = common_ancestor_2d(dec16, int(s), int(t))
+            assert bridge.box.contains_submesh(dec16.type1_ancestor(int(s), h - 1))
+            assert bridge.box.contains_submesh(dec16.type1_ancestor(int(t), h - 1))
+
+    def test_identical_nodes_rejected(self, dec8):
+        with pytest.raises(ValueError):
+            common_ancestor_2d(dec8, 3, 3)
+
+    def test_matches_brute_force_exhaustively(self, dec8):
+        """Arithmetic and exhaustive searches agree on the meeting height
+        for every pair of the 8x8 mesh."""
+        n = dec8.mesh.n
+        for s in range(n):
+            for t in range(s + 1, n):
+                h_fast, _ = common_ancestor_2d(dec8, s, t)
+                h_brute, _ = common_ancestor_brute(dec8, s, t)
+                assert h_fast == h_brute
+
+    def test_lemma_3_3_height_bound(self, dec16):
+        """Height <= ceil(log2 dist) + 2 for every sampled pair."""
+        mesh = dec16.mesh
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            s, t = rng.integers(mesh.n, size=2)
+            if s == t:
+                continue
+            dist = int(mesh.distance(int(s), int(t)))
+            h, _ = common_ancestor_2d(dec16, int(s), int(t))
+            assert h <= bridge_height_bound_2d(dist)
+
+    def test_lemma_3_3_exhaustive_8x8(self, dec8):
+        mesh = dec8.mesh
+        for s in range(mesh.n):
+            for t in range(mesh.n):
+                if s == t:
+                    continue
+                dist = int(mesh.distance(s, t))
+                h, _ = common_ancestor_2d(dec8, s, t)
+                assert h <= bridge_height_bound_2d(dist)
+
+    def test_adjacent_center_pair_uses_bridge(self, dec16):
+        """Adjacent nodes straddling the top-level cut: the access *tree*
+        meets only at the root, the bridge meets at constant height."""
+        mesh = dec16.mesh
+        s, t = mesh.node(7, 5), mesh.node(8, 5)
+        h, bridge = common_ancestor_2d(dec16, s, t)
+        assert h <= 3  # Lemma 3.3: dist = 1 -> height <= 2 (+1 headroom)
+        assert bridge.type_index == 2
+
+    def test_same_cell_pair_meets_in_type1(self, dec16):
+        mesh = dec16.mesh
+        s, t = mesh.node(0, 0), mesh.node(1, 1)
+        h, bridge = common_ancestor_2d(dec16, s, t)
+        assert bridge.type_index == 1
+        assert h == 1
+
+    def test_bound_helper(self):
+        assert bridge_height_bound_2d(1) == 2
+        assert bridge_height_bound_2d(2) == 3
+        assert bridge_height_bound_2d(5) == 5
+        with pytest.raises(ValueError):
+            bridge_height_bound_2d(0)
+
+
+class TestFindBridge:
+    def test_contains_both_boxes(self, dec16):
+        mesh = dec16.mesh
+        rng = np.random.default_rng(2)
+        for _ in range(60):
+            s, t = (int(x) for x in rng.integers(mesh.n, size=2))
+            if s == t:
+                continue
+            dist = int(mesh.distance(s, t))
+            h_prime = min(max(math.ceil(math.log2(dist)), 0), dec16.k - 1)
+            m1 = dec16.type1_ancestor(s, h_prime)
+            m3 = dec16.type1_ancestor(t, h_prime)
+            h, bridge = find_bridge(dec16, m1, m3, h_prime + 1)
+            assert h >= h_prime + 1
+            assert bridge.box.contains_submesh(m1)
+            assert bridge.box.contains_submesh(m3)
+
+    def test_side_condition_enforced(self, dec16):
+        mesh = dec16.mesh
+        s, t = mesh.node(7, 7), mesh.node(8, 8)
+        m1 = dec16.type1_ancestor(s, 1)
+        m3 = dec16.type1_ancestor(t, 1)
+        h, bridge = find_bridge(dec16, m1, m3, 2, require_double_side=2)
+        assert all(side >= 4 for side in bridge.box.sides)
+
+    def test_bridge_height_scales_with_distance(self, dec16):
+        """Lemma 4.1 consequence: bridge side is O(d * dist)."""
+        mesh = dec16.mesh
+        rng = np.random.default_rng(5)
+        for _ in range(60):
+            s, t = (int(x) for x in rng.integers(mesh.n, size=2))
+            if s == t:
+                continue
+            dist = int(mesh.distance(s, t))
+            h_prime = min(max(math.ceil(math.log2(dist)), 0), dec16.k - 1)
+            m1 = dec16.type1_ancestor(s, h_prime)
+            m3 = dec16.type1_ancestor(t, h_prime)
+            h, bridge = find_bridge(
+                dec16, m1, m3, h_prime + 1, require_double_side=1 << h_prime
+            )
+            # bridge cell side 2^h <= 8 * (d+1) * dist with d = 2 (generous)
+            assert (1 << h) <= 24 * dist
+
+    def test_min_height_above_root_rejected(self, dec16):
+        whole = Submesh.whole(dec16.mesh)
+        with pytest.raises(ValueError):
+            find_bridge(dec16, whole, whole, dec16.k + 1)
+
+    def test_root_always_works(self, dec16):
+        mesh = dec16.mesh
+        m1 = dec16.type1_ancestor(mesh.node(0, 0), 3)
+        m3 = dec16.type1_ancestor(mesh.node(15, 15), 3)
+        h, bridge = find_bridge(dec16, m1, m3, 4, require_double_side=8)
+        assert h == dec16.k
+        assert bridge.box == Submesh.whole(mesh)
+
+
+class TestMultishiftBridges:
+    def test_3d_bridge_exists_at_low_height(self):
+        """Lemma 4.1: a shifted type contains any small region at height
+        with cell side >= 2(d+1) * span."""
+        dec = Decomposition(Mesh((16, 16, 16)), scheme="multishift")
+        mesh = dec.mesh
+        rng = np.random.default_rng(7)
+        for _ in range(40):
+            s, t = (int(x) for x in rng.integers(mesh.n, size=2))
+            if s == t:
+                continue
+            dist = int(mesh.distance(s, t))
+            h_prime = min(max(math.ceil(math.log2(dist)), 0), dec.k - 1)
+            m1 = dec.type1_ancestor(s, h_prime)
+            m3 = dec.type1_ancestor(t, h_prime)
+            h, bridge = find_bridge(
+                dec, m1, m3, h_prime + 1, require_double_side=1 << h_prime
+            )
+            assert bridge.box.contains_submesh(m1)
+            assert bridge.box.contains_submesh(m3)
+            assert all(side >= 2 * (1 << h_prime) for side in bridge.box.sides)

@@ -1,0 +1,115 @@
+"""Tests for worst-case stretch certificates (Theorem 3.4/4.2 sans sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.certificates import (
+    certify_stretch,
+    worst_case_path_length,
+    worst_case_stretch,
+)
+from repro.analysis.theory import stretch_bound_2d, stretch_bound_general
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.mesh.paths import path_length
+
+
+class TestWorstCaseBound:
+    def test_dominates_sampled_paths(self):
+        """The certificate really upper-bounds every sampled path."""
+        mesh = Mesh((16, 16))
+        router = HierarchicalRouter()
+        rng = np.random.default_rng(0)
+        for _ in range(80):
+            s, t = (int(x) for x in rng.integers(mesh.n, size=2))
+            if s == t:
+                continue
+            ceiling = worst_case_path_length(router, mesh, s, t)
+            for _ in range(5):
+                p = router.select_path(mesh, s, t, rng)
+                assert path_length(p) <= ceiling
+
+    def test_trivial_pair(self):
+        mesh = Mesh((8, 8))
+        assert worst_case_path_length(HierarchicalRouter(), mesh, 5, 5) == 0
+        assert worst_case_stretch(HierarchicalRouter(), mesh, 5, 5) == 0.0
+
+    def test_dominates_on_torus(self):
+        torus = Mesh((16, 16), torus=True)
+        router = HierarchicalRouter()
+        rng = np.random.default_rng(1)
+        for _ in range(40):
+            s, t = (int(x) for x in rng.integers(torus.n, size=2))
+            if s == t:
+                continue
+            ceiling = worst_case_path_length(router, torus, s, t)
+            for _ in range(5):
+                p = router.select_path(torus, s, t, rng)
+                assert path_length(p) <= ceiling
+
+
+class TestTheoremCertificates:
+    @pytest.mark.parametrize("m", [4, 8])
+    def test_theorem_3_4_certified_exhaustively(self, m):
+        """Every pair of the mesh has certified stretch <= 64: the theorem
+        holds over ALL random choices, not just sampled ones."""
+        mesh = Mesh((m, m))
+        cert = certify_stretch(
+            HierarchicalRouter(), mesh, exhaustive_limit=m**4
+        )
+        assert cert["pairs"] == mesh.n * (mesh.n - 1)
+        assert cert["worst_stretch"] <= stretch_bound_2d()
+
+    def test_theorem_3_4_certified_dense_16(self):
+        """Dense deterministic pair grid on 16x16 (full enumeration is a
+        33s job; the strided grid covers every source row/column pattern)."""
+        mesh = Mesh((16, 16))
+        pairs = [
+            (s, t)
+            for s in range(0, mesh.n, 3)
+            for t in range(0, mesh.n, 5)
+            if s != t
+        ]
+        cert = certify_stretch(HierarchicalRouter(), mesh, pairs=pairs)
+        assert cert["worst_stretch"] <= stretch_bound_2d()
+
+    def test_theorem_4_2_certified_sampled(self):
+        mesh = Mesh((8, 8, 8))
+        rng = np.random.default_rng(2)
+        pairs = [
+            (int(a), int(b))
+            for a, b in rng.integers(mesh.n, size=(400, 2))
+            if a != b
+        ]
+        cert = certify_stretch(HierarchicalRouter(), mesh, pairs=pairs)
+        assert cert["worst_stretch"] <= stretch_bound_general(3)
+
+    def test_torus_certified(self):
+        torus = Mesh((8, 8), torus=True)
+        cert = certify_stretch(HierarchicalRouter(), torus)
+        assert cert["worst_stretch"] <= stretch_bound_2d()
+
+    def test_witness_reported(self):
+        mesh = Mesh((4, 4))
+        cert = certify_stretch(HierarchicalRouter(), mesh)
+        s, t = cert["witness"]
+        assert worst_case_stretch(HierarchicalRouter(), mesh, s, t) == cert[
+            "worst_stretch"
+        ]
+
+    def test_exhaustive_limit_enforced(self):
+        mesh = Mesh((32, 32))
+        with pytest.raises(ValueError):
+            certify_stretch(HierarchicalRouter(), mesh)
+
+    def test_access_tree_certificate_is_worse(self):
+        """The certificate also quantifies the ablation: without bridges
+        the certified worst case explodes."""
+        from repro.routing.baselines import AccessTreeRouter
+
+        mesh = Mesh((16, 16))
+        s, t = mesh.node(7, 8), mesh.node(8, 8)
+        with_b = worst_case_stretch(HierarchicalRouter(), mesh, s, t)
+        without = worst_case_stretch(AccessTreeRouter(), mesh, s, t)
+        assert with_b <= 64
+        assert without > 2 * with_b

@@ -1,0 +1,177 @@
+"""Tests for the command-line interface and ASCII visualisation."""
+
+import argparse
+
+import numpy as np
+import pytest
+
+from repro.analysis.visualize import draw_path, edge_load_heatmap, node_load_heatmap
+from repro.cli import build_workload, main, parse_mesh
+from repro.mesh.mesh import Mesh
+from repro.mesh.paths import dimension_order_path
+
+
+class TestParseMesh:
+    def test_x_syntax(self):
+        assert parse_mesh("16x16").sides == (16, 16)
+        assert parse_mesh("8x8x8").sides == (8, 8, 8)
+        assert parse_mesh("4").sides == (4,)
+
+    def test_power_syntax(self):
+        assert parse_mesh("16^2").sides == (16, 16)
+        assert parse_mesh("8^3").sides == (8, 8, 8)
+
+    def test_torus_flag(self):
+        assert parse_mesh("8x8", torus=True).torus
+
+    def test_bad_spec(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_mesh("8xx8")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_mesh("abc")
+
+
+class TestBuildWorkload:
+    @pytest.mark.parametrize(
+        "name",
+        ["transpose", "bit-reversal", "bit-complement", "tornado",
+         "random-permutation", "random-pairs", "all-to-one",
+         "nearest-neighbor", "block-exchange"],
+    )
+    def test_all_workloads(self, name):
+        mesh = Mesh((8, 8))
+        prob = build_workload(name, mesh, seed=0)
+        assert prob.num_packets > 0
+
+    def test_unknown(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            build_workload("nope", Mesh((4, 4)), 0)
+
+
+class TestCommands:
+    def test_route(self, capsys):
+        assert main(["route", "--mesh", "8x8", "--workload", "transpose"]) == 0
+        out = capsys.readouterr().out
+        assert "C* lower bound" in out
+
+    def test_route_heatmap_and_path(self, capsys):
+        rc = main(
+            ["route", "--mesh", "8x8", "--heatmap", "--show-path", "0"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scale:" in out
+        assert "S" in out and "T" in out
+
+    def test_route_heatmap_3d_skipped(self, capsys):
+        assert main(["route", "--mesh", "4x4x4", "--workload", "random-permutation",
+                     "--heatmap"]) == 0
+        err = capsys.readouterr().err
+        assert "skipped" in err
+
+    def test_compare(self, capsys):
+        rc = main(
+            ["compare", "--mesh", "8x8", "--workload", "nearest-neighbor",
+             "--routers", "hierarchical,valiant", "--seeds", "0,1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hierarchical" in out and "valiant" in out
+
+    def test_decompose(self, capsys):
+        assert main(["decompose", "--mesh", "8x8", "--render-level", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "scheme=paper2d" in out
+        assert "aaaabbbb" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--mesh", "8x8", "--policy", "fifo"]) == 0
+        assert "makespan=" in capsys.readouterr().out
+
+    def test_online(self, capsys):
+        assert main(["online", "--mesh", "8x8", "--rates", "0.02",
+                     "--steps", "40"]) == 0
+        assert "mean_latency" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestVisualize:
+    def test_node_heatmap_shape(self):
+        mesh = Mesh((4, 4))
+        art = node_load_heatmap(mesh, np.arange(16), legend=False)
+        lines = art.splitlines()
+        assert len(lines) == 4 and all(len(l) == 4 for l in lines)
+        assert art[0] == " "  # zero cell is blank
+
+    def test_node_heatmap_peak_is_at(self):
+        mesh = Mesh((2, 2))
+        art = node_load_heatmap(mesh, np.asarray([0, 0, 0, 9]), legend=False)
+        assert art.splitlines()[1][1] == "@"
+
+    def test_edge_heatmap_dimensions(self):
+        mesh = Mesh((3, 3))
+        art = edge_load_heatmap(mesh, np.zeros(mesh.num_edges), legend=False)
+        lines = art.splitlines()
+        assert len(lines) == 5 and all(len(l) == 5 for l in lines)
+        assert lines[0][0] == "o"
+
+    def test_edge_heatmap_marks_loaded_edge(self):
+        mesh = Mesh((3, 3))
+        loads = np.zeros(mesh.num_edges)
+        eid = int(mesh.edge_ids(np.asarray([0]), np.asarray([1]))[0])
+        loads[eid] = 5.0
+        art = edge_load_heatmap(mesh, loads, legend=False)
+        # edge (0,0)-(0,1) sits at canvas row 0, col 1
+        assert art.splitlines()[0][1] == "@"
+
+    def test_draw_path_marks(self):
+        mesh = Mesh((4, 4))
+        p = dimension_order_path(mesh, 0, 15)
+        art = draw_path(mesh, p)
+        assert art.count("S") == 1
+        assert art.count("T") == 1
+        assert art.count("*") == len(p) - 2
+
+    def test_requires_2d(self):
+        m3 = Mesh((2, 2, 2))
+        with pytest.raises(ValueError):
+            node_load_heatmap(m3, np.zeros(8))
+        with pytest.raises(ValueError):
+            edge_load_heatmap(m3, np.zeros(m3.num_edges))
+        with pytest.raises(ValueError):
+            draw_path(m3, np.asarray([0, 1]))
+
+    def test_value_shape_validated(self):
+        mesh = Mesh((4, 4))
+        with pytest.raises(ValueError):
+            node_load_heatmap(mesh, np.zeros(5))
+        with pytest.raises(ValueError):
+            edge_load_heatmap(mesh, np.zeros(3))
+
+
+class TestCertifyAndBits:
+    def test_certify_exhaustive(self, capsys):
+        assert main(["certify", "--mesh", "4x4"]) == 0
+        out = capsys.readouterr().out
+        assert "exhaustive" in out
+        assert "HOLDS" in out
+
+    def test_certify_sampled(self, capsys):
+        assert main(["certify", "--mesh", "16x16", "--samples", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "sampled" in out
+        assert "witness pair" in out
+
+    def test_certify_3d_no_2d_bound_line(self, capsys):
+        assert main(["certify", "--mesh", "4x4x4", "--samples", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 3.4" not in out
+
+    def test_bits(self, capsys):
+        assert main(["bits", "--mesh", "8x8", "--packets", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "fresh" in out and "recycled" in out
+        assert "Lemma 5.4" in out

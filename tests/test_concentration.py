@@ -1,0 +1,47 @@
+"""Tests for the empirical concentration analysis (Theorem 3.9 'whp')."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.concentration import congestion_distribution, tail_fraction
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.workloads.permutations import transpose
+
+
+@pytest.fixture(scope="module")
+def dist():
+    mesh = Mesh((16, 16))
+    return congestion_distribution(
+        HierarchicalRouter(), transpose(mesh), num_seeds=40
+    )
+
+
+class TestDistribution:
+    def test_summary_fields(self, dist):
+        assert dist["runs"] == 40
+        assert dist["min"] <= dist["median"] <= dist["max"]
+        assert dist["samples"].size == 40
+
+    def test_congestion_concentrates(self, dist):
+        """The whp content of Theorem 3.9: independent path choices give a
+        tight max-load distribution — the extreme run is within a small
+        factor of the median."""
+        assert dist["max/median"] <= 1.6
+        assert dist["std"] <= 0.25 * dist["mean"]
+
+    def test_tail_fraction(self, dist):
+        samples = dist["samples"]
+        assert tail_fraction(samples, dist["max"]) == 0.0
+        assert tail_fraction(samples, dist["min"] - 1) == 1.0
+        assert tail_fraction(samples, 1.3 * dist["median"]) <= 0.2
+
+    def test_tail_fraction_empty(self):
+        assert tail_fraction(np.asarray([]), 5) == 0.0
+
+    def test_needs_at_least_one_seed(self):
+        mesh = Mesh((8, 8))
+        with pytest.raises(ValueError):
+            congestion_distribution(
+                HierarchicalRouter(), transpose(mesh), num_seeds=0
+            )

@@ -1,0 +1,285 @@
+"""Unit tests for the mesh decomposition (Sections 3.1 and 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import Decomposition, RegularSubmesh, num_shift_slots
+from repro.mesh.mesh import Mesh
+from repro.mesh.submesh import Submesh
+
+
+@pytest.fixture
+def dec8():
+    """paper2d decomposition of the 8x8 mesh of Figure 1."""
+    return Decomposition(Mesh((8, 8)))
+
+
+class TestBasics:
+    def test_requires_pow2_cube(self):
+        with pytest.raises(ValueError):
+            Decomposition(Mesh((8, 4)))
+        with pytest.raises(ValueError):
+            Decomposition(Mesh((6, 6)))
+
+    def test_auto_scheme(self):
+        assert Decomposition(Mesh((8, 8))).scheme == "paper2d"
+        assert Decomposition(Mesh((8, 8, 8))).scheme == "multishift"
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            Decomposition(Mesh((8, 8)), scheme="bogus")
+
+    def test_levels_and_sides(self, dec8):
+        assert dec8.k == 3
+        assert [dec8.side(l) for l in range(4)] == [8, 4, 2, 1]
+        assert [dec8.height(l) for l in range(4)] == [3, 2, 1, 0]
+        assert dec8.level_of_height(2) == 1
+
+    def test_level_bounds_checked(self, dec8):
+        with pytest.raises(ValueError):
+            dec8.side(4)
+        with pytest.raises(ValueError):
+            dec8.side(-1)
+
+    def test_num_shift_slots(self):
+        assert num_shift_slots(1) == 2
+        assert num_shift_slots(2) == 4
+        assert num_shift_slots(3) == 4
+        assert num_shift_slots(4) == 8
+        assert num_shift_slots(7) == 8
+        with pytest.raises(ValueError):
+            num_shift_slots(0)
+
+
+class TestShifts:
+    def test_paper2d_shifts(self, dec8):
+        assert dec8.shifts(0) == [0]
+        assert dec8.shifts(1) == [0, 2]  # m_1 = 4
+        assert dec8.shifts(2) == [0, 1]  # m_2 = 2
+        assert dec8.shifts(3) == [0]  # single nodes: no shifted grid
+
+    def test_multishift_shift_counts(self):
+        dec = Decomposition(Mesh((16, 16, 16)), scheme="multishift")
+        # Level 1: m_l = 8, slots = 4 (d=3), lambda = 2 -> shifts 0,2,4,6.
+        assert dec.shifts(1) == [0, 2, 4, 6]
+        assert dec.lam(1) == 2
+        # The paper: at least d+1 types when m_l >= d+1, at most 2(d+1).
+        for level in range(1, dec.k + 1):
+            assert dec.num_types(level) <= 2 * (dec.d + 1)
+            if dec.side(level) >= dec.d + 1:
+                assert dec.num_types(level) >= dec.d + 1
+
+    def test_multishift_small_cells(self):
+        dec = Decomposition(Mesh((8, 8, 8)), scheme="multishift")
+        # At the deepest level, m_l = 1: only the unshifted type remains.
+        assert dec.shifts(dec.k) == [0]
+        # m_l = 2 -> lambda = 1 -> shifts {0, 1}.
+        assert dec.shifts(dec.k - 1) == [0, 1]
+
+
+class TestType1:
+    def test_counts(self, dec8):
+        for level in range(dec8.k + 1):
+            assert len(dec8.type1_at_level(level)) == 4**level
+
+    def test_cells_and_boxes(self, dec8):
+        mesh = dec8.mesh
+        node = mesh.node(5, 2)
+        assert dec8.type1_cell(node, 1) == (1, 0)
+        box = dec8.type1_box(1, (1, 0))
+        assert box == Submesh(mesh, (4, 0), (7, 3))
+        assert box.contains_node(node)
+
+    def test_cell_out_of_range(self, dec8):
+        with pytest.raises(ValueError):
+            dec8.type1_box(1, (2, 0))
+
+    def test_ancestor_chain_nested(self, dec8):
+        node = dec8.mesh.node(6, 3)
+        prev = dec8.type1_ancestor(node, 0)
+        assert prev.is_single_node
+        for h in range(1, dec8.k + 1):
+            cur = dec8.type1_ancestor(node, h)
+            assert cur.contains_submesh(prev)
+            assert cur.sides == (1 << h, 1 << h)
+            prev = cur
+        assert prev == Submesh.whole(dec8.mesh)
+
+    def test_level_k_are_leaves(self, dec8):
+        leaves = dec8.type1_at_level(dec8.k)
+        assert len(leaves) == dec8.mesh.n
+        assert all(r.box.is_single_node for r in leaves)
+
+    def test_partition_property(self, dec8):
+        """Lemma 3.1(1): same-level type-1 submeshes partition the mesh."""
+        for level in range(dec8.k + 1):
+            sizes = sum(r.box.size for r in dec8.type1_at_level(level))
+            assert sizes == dec8.mesh.n
+
+
+class TestShifted2D:
+    def test_level1_matches_figure1(self, dec8):
+        """Figure 1, 'Level 1, type 2': one internal 4x4 plus 4 edge pieces."""
+        regs = dec8.shifted_at_level(1, 2)
+        assert len(regs) == 5
+        boxes = {r.box for r in regs}
+        assert Submesh(dec8.mesh, (2, 2), (5, 5)) in boxes  # internal
+        assert Submesh(dec8.mesh, (0, 2), (1, 5)) in boxes  # top edge piece
+        assert Submesh(dec8.mesh, (6, 2), (7, 5)) in boxes
+        assert Submesh(dec8.mesh, (2, 0), (5, 1)) in boxes
+        assert Submesh(dec8.mesh, (2, 6), (5, 7)) in boxes
+
+    def test_corners_discarded(self, dec8):
+        """The 2x2 corner pieces coincide with next-level type-1 submeshes."""
+        assert dec8.shifted_box(1, 2, (-1, -1)) is None
+        assert dec8.shifted_box(1, 2, (1, 1)) is None
+        assert dec8.shifted_box(1, 2, (-1, 1)) is None
+
+    def test_edge_piece_clipping(self, dec8):
+        box = dec8.shifted_box(1, 2, (-1, 0))
+        assert box == Submesh(dec8.mesh, (0, 2), (1, 5))
+        reg = RegularSubmesh(box, 1, 2, (-1, 0))
+        assert reg.truncated
+
+    def test_internal_not_truncated(self, dec8):
+        box = dec8.shifted_box(1, 2, (0, 0))
+        reg = RegularSubmesh(box, 1, 2, (0, 0))
+        assert not reg.truncated
+
+    def test_min_side_half_cell(self, dec8):
+        """All kept type-2 submeshes have every side >= m_l / 2."""
+        for level in range(1, dec8.k + 1):
+            m_l = dec8.side(level)
+            for j in range(2, dec8.num_types(level) + 1):
+                for reg in dec8.shifted_at_level(level, j):
+                    assert min(reg.box.sides) >= m_l // 2
+
+    def test_same_type_disjoint(self, dec8):
+        """Lemma 3.1(1) for type-2."""
+        for level in range(1, dec8.k + 1):
+            if dec8.num_types(level) < 2:
+                continue
+            regs = dec8.shifted_at_level(level, 2)
+            for i, a in enumerate(regs):
+                for b in regs[i + 1 :]:
+                    assert not a.box.overlaps(b.box)
+
+    def test_invalid_type_index(self, dec8):
+        with pytest.raises(ValueError):
+            dec8.shifted_box(1, 3, (0, 0))
+        with pytest.raises(ValueError):
+            dec8.shifted_box(1, 1, (0, 0))
+
+    def test_invalid_cell(self, dec8):
+        with pytest.raises(ValueError):
+            dec8.shifted_box(1, 2, (-2, 0))
+
+
+class TestShiftedMultishift:
+    @pytest.fixture
+    def dec3d(self):
+        return Decomposition(Mesh((8, 8, 8)), scheme="multishift")
+
+    def test_all_types_disjoint_within_type(self, dec3d):
+        for level in range(1, dec3d.k + 1):
+            for j in range(2, dec3d.num_types(level) + 1):
+                regs = dec3d.shifted_at_level(level, j)
+                for i, a in enumerate(regs):
+                    for b in regs[i + 1 :]:
+                        assert not a.box.overlaps(b.box)
+
+    def test_each_type_covers_mesh(self, dec3d):
+        """Every shifted grid tiles the whole mesh (kept pieces cover it)."""
+        for level in range(1, dec3d.k):
+            for j in range(2, dec3d.num_types(level) + 1):
+                covered = sum(
+                    r.box.size for r in dec3d.shifted_at_level(level, j)
+                )
+                assert covered == dec3d.mesh.n
+
+    def test_edge_in_O_d_submeshes_per_level(self, dec3d):
+        """Each node lies in exactly one submesh per type per level."""
+        node = dec3d.mesh.node(3, 5, 6)
+        for level in range(1, dec3d.k + 1):
+            for j in range(2, dec3d.num_types(level) + 1):
+                hits = [
+                    r
+                    for r in dec3d.shifted_at_level(level, j)
+                    if r.box.contains_node(node)
+                ]
+                assert len(hits) == 1
+
+
+class TestContainingRegulars:
+    def test_results_contain_box(self, dec8):
+        box = Submesh(dec8.mesh, (3, 3), (4, 4))
+        for level in range(dec8.k + 1):
+            for reg in dec8.containing_regulars(box, level):
+                assert reg.box.contains_submesh(box)
+
+    def test_straddling_box_needs_type2(self, dec8):
+        """A box straddling the central type-1 cut is caught by type-2."""
+        box = Submesh(dec8.mesh, (3, 3), (4, 4))
+        regs = dec8.containing_regulars(box, 1)
+        assert regs, "the central type-2 submesh must contain the box"
+        assert all(r.type_index == 2 for r in regs)
+
+    def test_aligned_box_found_in_type1(self, dec8):
+        box = Submesh(dec8.mesh, (0, 0), (3, 3))
+        regs = dec8.containing_regulars(box, 1)
+        assert any(r.type_index == 1 for r in regs)
+
+    def test_matches_brute_force(self, dec8):
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            a = rng.integers(0, 8, size=2)
+            b = rng.integers(0, 8, size=2)
+            lo, hi = np.minimum(a, b), np.maximum(a, b)
+            box = Submesh(dec8.mesh, lo, hi)
+            for level in range(dec8.k + 1):
+                fast = {r.box for r in dec8.containing_regulars(box, level)}
+                brute = {
+                    r.box
+                    for r in dec8.at_level(level)
+                    if r.box.contains_submesh(box)
+                }
+                assert fast == brute
+
+    def test_matches_brute_force_3d(self):
+        dec = Decomposition(Mesh((8, 8, 8)), scheme="multishift")
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            a = rng.integers(0, 8, size=3)
+            b = rng.integers(0, 8, size=3)
+            lo, hi = np.minimum(a, b), np.maximum(a, b)
+            box = Submesh(dec.mesh, lo, hi)
+            for level in range(dec.k + 1):
+                fast = {r.box for r in dec.containing_regulars(box, level)}
+                brute = {
+                    r.box
+                    for r in dec.at_level(level)
+                    if r.box.contains_submesh(box)
+                }
+                assert fast == brute
+
+
+class TestRendering:
+    def test_render_level_type1(self, dec8):
+        art = dec8.render_level_2d(1)
+        lines = art.splitlines()
+        assert len(lines) == 8 and all(len(l) == 8 for l in lines)
+        assert "." not in art  # type-1 covers everything
+
+    def test_render_level_type2_has_holes(self, dec8):
+        art = dec8.render_level_2d(1, type_index=2)
+        assert art.count(".") == 16  # four discarded 2x2 corners
+
+    def test_render_requires_2d(self):
+        dec = Decomposition(Mesh((8, 8, 8)))
+        with pytest.raises(ValueError):
+            dec.render_level_2d(1)
+
+    def test_summary_mentions_levels(self, dec8):
+        text = dec8.summary()
+        assert "level" in text
+        assert str(dec8.k) in text

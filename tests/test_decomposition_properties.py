@@ -1,0 +1,111 @@
+"""Property-based tests for the decomposition and bridge arithmetic.
+
+The arithmetic (cell-index) implementations are certified against geometry:
+whatever hypothesis draws, the O(1)-per-level queries must agree with brute
+force over the explicit enumeration.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bridges import common_ancestor_2d, common_ancestor_brute
+from repro.core.decomposition import Decomposition
+from repro.mesh.mesh import Mesh
+from repro.mesh.submesh import Submesh
+
+
+@st.composite
+def dec_and_box(draw, max_d: int = 3, torus=False):
+    d = draw(st.integers(1, max_d))
+    k = draw(st.integers(1, 3))
+    scheme = draw(st.sampled_from(["paper2d", "multishift"]))
+    mesh = Mesh(((1 << k),) * d, torus=torus)
+    dec = Decomposition(mesh, scheme=scheme)
+    lo, hi = [], []
+    for m_i in mesh.sides:
+        a = draw(st.integers(0, m_i - 1))
+        b = draw(st.integers(a, m_i - 1))
+        lo.append(a)
+        hi.append(b)
+    return dec, Submesh(mesh, lo, hi)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dec_and_box())
+def test_containing_regulars_matches_brute_force(case):
+    dec, box = case
+    for level in range(dec.k + 1):
+        fast = {r.box for r in dec.containing_regulars(box, level)}
+        brute = {
+            r.box for r in dec.at_level(level) if r.box.contains_submesh(box)
+        }
+        assert fast == brute
+
+
+@settings(max_examples=60, deadline=None)
+@given(dec_and_box(torus=True))
+def test_containing_regulars_torus_results_contain(case):
+    dec, box = case
+    for level in range(dec.k + 1):
+        for reg in dec.containing_regulars(box, level):
+            nodes = set(box.nodes().tolist())
+            reg_nodes = set(reg.box.nodes().tolist())
+            assert nodes <= reg_nodes
+
+
+@settings(max_examples=50, deadline=None)
+@given(dec_and_box())
+def test_type1_ancestors_nested(case):
+    dec, box = case
+    node = int(box.nodes()[0])
+    prev = dec.type1_ancestor(node, 0)
+    for h in range(1, dec.k + 1):
+        cur = dec.type1_ancestor(node, h)
+        assert cur.contains_submesh(prev)
+        prev = cur
+
+
+@settings(max_examples=50, deadline=None)
+@given(dec_and_box())
+def test_type1_partition_per_level(case):
+    dec, _ = case
+    n = dec.mesh.n
+    for level in range(dec.k + 1):
+        covered = np.zeros(n, dtype=int)
+        for reg in dec.type1_at_level(level):
+            covered[reg.box.nodes()] += 1
+        assert np.all(covered == 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(dec_and_box())
+def test_shifted_types_tile_within_type(case):
+    """Each shifted type covers every node exactly once per level (with
+    paper2d corner discards, mesh corners may be uncovered)."""
+    dec, _ = case
+    n = dec.mesh.n
+    for level in range(1, dec.k + 1):
+        for j in range(2, dec.num_types(level) + 1):
+            covered = np.zeros(n, dtype=int)
+            for reg in dec.shifted_at_level(level, j):
+                covered[reg.box.nodes()] += 1
+            assert covered.max() <= 1
+            if dec.scheme == "multishift" or dec.mesh.torus:
+                assert covered.min() == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(dec_and_box(max_d=2), st.integers(0, 10**6))
+def test_common_ancestor_matches_brute(case, pairseed):
+    dec, _ = case
+    mesh = dec.mesh
+    rng = np.random.default_rng(pairseed)
+    s, t = (int(x) for x in rng.integers(mesh.n, size=2))
+    if s == t:
+        t = (t + 1) % mesh.n
+    h_fast, fast = common_ancestor_2d(dec, s, t)
+    h_brute, _ = common_ancestor_brute(dec, s, t)
+    assert h_fast == h_brute
+    assert fast.box.contains_submesh(dec.type1_ancestor(s, h_fast - 1))
+    assert fast.box.contains_submesh(dec.type1_ancestor(t, h_fast - 1))

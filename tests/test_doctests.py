@@ -1,0 +1,20 @@
+"""Run the executable examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.mesh.mesh
+import repro.mesh.submesh
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.mesh.mesh, repro.mesh.submesh],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,73 @@
+"""Smoke tests: every example script runs end to end on small inputs."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [script] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", ["8"], capsys)
+    assert "congestion C" in out
+    assert "Router comparison" in out
+    assert "hierarchical" in out
+
+
+def test_data_management_locality(capsys):
+    out = _run("data_management_locality.py", ["16", "2"], capsys)
+    assert "Locality-sensitive data management" in out
+    assert "access-tree" in out
+
+
+def test_online_adversary(capsys):
+    out = _run("online_adversary.py", ["16"], capsys)
+    assert "Online adversary" in out
+    assert "forced_C(XY)" in out
+
+
+def test_torus_and_dimensions(capsys):
+    out = _run("torus_and_dimensions.py", [], capsys)
+    assert "Stretch across dimensions" in out
+    assert "torus" in out
+    assert "Multishift decomposition" in out
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "data_management_locality.py", "online_adversary.py",
+     "torus_and_dimensions.py", "online_saturation.py",
+     "expected_congestion_map.py"],
+)
+def test_examples_exist_and_documented(script):
+    path = EXAMPLES / script
+    assert path.exists()
+    text = path.read_text()
+    assert text.startswith("#!/usr/bin/env python")
+    assert '"""' in text  # module docstring
+
+
+def test_online_saturation(capsys):
+    out = _run("online_saturation.py", ["8"], capsys)
+    assert "Uniform random destinations" in out
+    assert "Nearest-neighbor destinations" in out
+    assert "hierarchical" in out
+
+
+def test_expected_congestion_map(capsys):
+    out = _run("expected_congestion_map.py", ["8"], capsys)
+    assert "Exact expected edge loads" in out
+    assert "Lemma 3.8 ceiling" in out
+    assert "agreement on loaded edges" in out

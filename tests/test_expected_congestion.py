@@ -1,0 +1,268 @@
+"""Tests for the exact expected-congestion analyzer (Lemmas 3.5-3.8)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.expected_congestion import (
+    expected_edge_loads,
+    subpath_edge_probabilities,
+)
+from repro.analysis.theory import congestion_bound_2d
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.mesh.paths import dimension_order_path
+from repro.mesh.submesh import Submesh
+from repro.metrics.bounds import lp_congestion_lower_bound
+from repro.metrics.congestion import edge_loads
+from repro.routing.base import RoutingProblem
+
+
+@pytest.fixture
+def mesh():
+    return Mesh((8, 8))
+
+
+def _monte_carlo_subpath(mesh, box_a, box_b, trials, seed):
+    rng = np.random.default_rng(seed)
+    acc = np.zeros(mesh.num_edges)
+    for _ in range(trials):
+        u = box_a.sample_node(rng)
+        v = box_b.sample_node(rng)
+        order = tuple(int(x) for x in rng.permutation(2))
+        p = dimension_order_path(mesh, u, v, order)
+        acc += edge_loads(mesh, [p])
+    return acc / trials
+
+
+class TestSubpathProbabilities:
+    def test_requires_2d(self):
+        m3 = Mesh((4, 4, 4))
+        with pytest.raises(ValueError):
+            subpath_edge_probabilities(
+                m3, Submesh.whole(m3), Submesh.whole(m3)
+            )
+
+    def test_point_to_point_is_indicator(self, mesh):
+        """Two single-node boxes: the probability mass is 1/2 per staircase."""
+        a = Submesh.single(mesh, mesh.node(1, 1))
+        b = Submesh.single(mesh, mesh.node(3, 4))
+        probs = subpath_edge_probabilities(mesh, a, b)
+        # total expected edges = distance (both orders have the same length)
+        assert probs.sum() == pytest.approx(mesh.distance(a.nodes()[0], b.nodes()[0]))
+        # the two bend edges at the corners have probability exactly 1/2
+        assert np.isclose(probs[probs > 0], 0.5).any()
+
+    def test_total_mass_is_expected_length(self, mesh):
+        """Sum over edges of P[use] = E[path length]."""
+        a = Submesh(mesh, (0, 0), (1, 1))
+        b = Submesh(mesh, (0, 0), (3, 3))
+        probs = subpath_edge_probabilities(mesh, a, b)
+        mc = _monte_carlo_subpath(mesh, a, b, 4000, seed=0)
+        assert probs.sum() == pytest.approx(mc.sum(), rel=0.05)
+
+    @pytest.mark.parametrize(
+        "a_corners,b_corners",
+        [
+            (((0, 0), (1, 1)), ((0, 0), (3, 3))),  # nested (up-chain step)
+            (((2, 2), (3, 3)), ((0, 0), (7, 7))),  # nested interior
+            (((0, 0), (0, 0)), ((0, 0), (1, 1))),  # leaf to parent
+            (((2, 0), (5, 3)), ((2, 0), (5, 3))),  # same box both sides
+        ],
+    )
+    def test_matches_monte_carlo(self, mesh, a_corners, b_corners):
+        a = Submesh(mesh, *a_corners)
+        b = Submesh(mesh, *b_corners)
+        exact = subpath_edge_probabilities(mesh, a, b)
+        mc = _monte_carlo_subpath(mesh, a, b, 6000, seed=1)
+        # compare where either is non-negligible
+        mask = (exact > 0.01) | (mc > 0.01)
+        assert np.allclose(exact[mask], mc[mask], atol=0.03)
+
+    def test_probabilities_bounded(self, mesh):
+        a = Submesh(mesh, (0, 0), (3, 3))
+        b = Submesh(mesh, (0, 0), (7, 7))
+        probs = subpath_edge_probabilities(mesh, a, b)
+        assert np.all(probs >= 0) and np.all(probs <= 1.0 + 1e-12)
+
+    def test_lemma_3_5_bound(self, mesh):
+        """Lemma 3.5: a subpath from type-1 M' (side m_l) into a containing
+        box uses any fixed edge with probability at most 2 / m_l."""
+        a = Submesh(mesh, (0, 0), (3, 3))  # side 4
+        b = Submesh(mesh, (0, 0), (7, 7))
+        probs = subpath_edge_probabilities(mesh, a, b)
+        assert probs.max() <= 2 / 4 + 1e-12
+
+
+class TestExpectedLoads:
+    def test_matches_monte_carlo_router(self, mesh):
+        """Exact E[C(e)] equals the empirical mean of the actual router."""
+        from repro.workloads.generators import random_pairs
+
+        problem = random_pairs(mesh, 12, seed=3)
+        router = HierarchicalRouter(drop_cycles=False)
+        exact = expected_edge_loads(router, problem)
+        acc = np.zeros(mesh.num_edges)
+        trials = 600
+        for seed in range(trials):
+            res = router.route(problem, seed=seed)
+            acc += res.edge_loads
+        mc = acc / trials
+        mask = (exact > 0.05) | (mc > 0.05)
+        assert np.allclose(exact[mask], mc[mask], rtol=0.25, atol=0.08)
+
+    def test_lemma_3_8_ceiling(self, mesh):
+        """max_e E[C(e)] <= 16 C* (log2 D + 3) with the LP bound for C*."""
+        from repro.workloads.permutations import transpose
+
+        problem = transpose(mesh)
+        router = HierarchicalRouter(drop_cycles=False)
+        exact = expected_edge_loads(router, problem)
+        c_star_lb = lp_congestion_lower_bound(mesh, problem.sources, problem.dests)
+        ceiling = congestion_bound_2d(c_star_lb, problem.max_distance)
+        assert exact.max() <= ceiling
+
+    def test_self_packets_contribute_nothing(self, mesh):
+        problem = RoutingProblem(mesh, np.asarray([3]), np.asarray([3]))
+        router = HierarchicalRouter()
+        assert expected_edge_loads(router, problem).sum() == 0.0
+
+    def test_requires_random_dim_order(self, mesh):
+        router = HierarchicalRouter(dim_order="fixed")
+        problem = RoutingProblem(mesh, np.asarray([0]), np.asarray([9]))
+        with pytest.raises(ValueError):
+            expected_edge_loads(router, problem)
+
+    def test_requires_non_torus(self):
+        t = Mesh((8, 8), torus=True)
+        problem = RoutingProblem(t, np.asarray([0]), np.asarray([9]))
+        with pytest.raises(ValueError):
+            expected_edge_loads(HierarchicalRouter(), problem)
+
+    def test_total_mass_is_expected_total_length(self, mesh):
+        from repro.workloads.generators import random_pairs
+
+        problem = random_pairs(mesh, 10, seed=4)
+        router = HierarchicalRouter(drop_cycles=False)
+        exact_total = expected_edge_loads(router, problem).sum()
+        totals = [
+            router.route(problem, seed=s).total_path_length for s in range(300)
+        ]
+        assert exact_total == pytest.approx(np.mean(totals), rel=0.05)
+
+
+class TestGeneralDimension:
+    def test_agrees_with_2d_closed_form(self, mesh):
+        from repro.analysis.expected_congestion import (
+            subpath_edge_probabilities_general,
+        )
+
+        cases = [
+            (Submesh(mesh, (1, 2), (2, 5)), Submesh(mesh, (0, 0), (7, 7))),
+            (Submesh(mesh, (0, 0), (0, 0)), Submesh(mesh, (0, 0), (3, 3))),
+            (Submesh(mesh, (2, 2), (5, 5)), Submesh(mesh, (2, 2), (5, 5))),
+        ]
+        for a, b in cases:
+            p2 = subpath_edge_probabilities(mesh, a, b)
+            pg = subpath_edge_probabilities_general(mesh, a, b)
+            np.testing.assert_allclose(p2, pg, atol=1e-12)
+
+    def test_matches_monte_carlo_3d(self):
+        from repro.analysis.expected_congestion import (
+            subpath_edge_probabilities_general,
+        )
+
+        m3 = Mesh((4, 4, 4))
+        a = Submesh(m3, (0, 1, 0), (1, 2, 1))
+        b = Submesh(m3, (0, 0, 0), (3, 3, 3))
+        exact = subpath_edge_probabilities_general(m3, a, b)
+        rng = np.random.default_rng(0)
+        acc = np.zeros(m3.num_edges)
+        trials = 5000
+        for _ in range(trials):
+            u = a.sample_node(rng)
+            v = b.sample_node(rng)
+            order = tuple(int(x) for x in rng.permutation(3))
+            p = dimension_order_path(m3, u, v, order)
+            acc += edge_loads(m3, [p])
+        mc = acc / trials
+        mask = (exact > 0.02) | (mc > 0.02)
+        assert np.allclose(exact[mask], mc[mask], atol=0.03)
+
+    def test_lemma_a1_bound(self):
+        """Lemma A.1: a subpath from type-1 M1 (sides a) into M2 with
+        sides >= 2a uses any edge with probability <= 2/a."""
+        from repro.analysis.expected_congestion import (
+            subpath_edge_probabilities_general,
+        )
+
+        m3 = Mesh((8, 8, 8))
+        a_box = Submesh(m3, (0, 0, 0), (1, 1, 1))  # a = 2
+        b_box = Submesh(m3, (0, 0, 0), (7, 7, 7))
+        probs = subpath_edge_probabilities_general(m3, a_box, b_box)
+        assert probs.max() <= 2 / 2 + 1e-12
+
+    def test_expected_loads_3d_router(self):
+        """End-to-end exact E[C(e)] matches Monte Carlo for the 3-D router."""
+        from repro.analysis.expected_congestion import expected_edge_loads
+        from repro.workloads.generators import random_pairs
+
+        m3 = Mesh((8, 8, 8))
+        problem = random_pairs(m3, 6, seed=1)
+        router = HierarchicalRouter(drop_cycles=False)
+        exact = expected_edge_loads(router, problem)
+        acc = np.zeros(m3.num_edges)
+        trials = 400
+        for seed in range(trials):
+            acc += router.route(problem, seed=seed).edge_loads
+        mc = acc / trials
+        mask = (exact > 0.1) | (mc > 0.1)
+        assert np.allclose(exact[mask], mc[mask], rtol=0.35, atol=0.1)
+
+    def test_torus_rejected(self):
+        from repro.analysis.expected_congestion import (
+            subpath_edge_probabilities_general,
+        )
+
+        t = Mesh((4, 4), torus=True)
+        with pytest.raises(ValueError):
+            subpath_edge_probabilities_general(
+                t, Submesh.whole(t), Submesh.whole(t)
+            )
+
+
+class TestValiantAnalyzer:
+    def test_valiant_sequence_shape(self, mesh):
+        from repro.routing.baselines import ValiantRouter
+
+        seq, peak = ValiantRouter().submesh_sequence(mesh, 3, 40)
+        assert len(seq) == 3 and peak == 1
+        assert seq[0].is_single_node and seq[2].is_single_node
+        assert seq[1].size == mesh.n
+
+    def test_valiant_exact_matches_monte_carlo(self, mesh):
+        from repro.routing.baselines import ValiantRouter
+        from repro.workloads.generators import random_pairs
+
+        prob = random_pairs(mesh, 8, seed=5)
+        v = ValiantRouter(drop_cycles=False)
+        exact = expected_edge_loads(v, prob)
+        acc = np.zeros(mesh.num_edges)
+        trials = 500
+        for seed in range(trials):
+            acc += v.route(prob, seed=seed).edge_loads
+        mc = acc / trials
+        mask = (exact > 0.05) | (mc > 0.05)
+        assert np.allclose(exact[mask], mc[mask], rtol=0.3, atol=0.1)
+
+    def test_valiant_spreads_load_on_hotspot_pairs(self, mesh):
+        """Analytical comparison: for packets sharing one XY staircase,
+        Valiant's exact expected max load beats deterministic XY's 1-per-
+        packet pileup."""
+        from repro.routing.base import RoutingProblem
+        from repro.routing.baselines import ValiantRouter
+
+        sources = np.asarray([mesh.node(i, 0) for i in range(1, 8)])
+        dests = np.asarray([mesh.node(0, i) for i in range(1, 8)])
+        prob = RoutingProblem(mesh, sources, dests, "corner-turn")
+        exact = expected_edge_loads(ValiantRouter(drop_cycles=False), prob)
+        assert exact.max() < 7  # deterministic XY would pile all 7 on one edge

@@ -1,0 +1,163 @@
+"""Integration tests: the paper's claims exercised end-to-end.
+
+Each test routes whole workloads through the public API and checks the
+paper's qualitative claims — who wins on which metric — rather than
+absolute constants.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return repro.Mesh((16, 16))
+
+
+class TestHeadlineClaim:
+    """Congestion AND stretch controlled simultaneously (the paper's title)."""
+
+    def test_stretch_bounded_on_every_workload(self, mesh):
+        router = repro.HierarchicalRouter()
+        workloads = [
+            repro.transpose(mesh),
+            repro.bit_complement(mesh),
+            repro.tornado(mesh),
+            repro.nearest_neighbor(mesh, seed=0),
+            repro.random_permutation(mesh, seed=0),
+            repro.local_traffic(mesh, radius=2, seed=0),
+        ]
+        for prob in workloads:
+            result = router.route(prob, seed=1)
+            assert result.validate()
+            assert result.stretch <= repro.stretch_bound_2d(), prob.name
+
+    def test_congestion_near_optimal(self, mesh):
+        """C <= 16 (log2 D + 3) * C_lower on permutations (Lemma 3.8 with
+        the measured lower bound standing in for C*)."""
+        router = repro.HierarchicalRouter()
+        for prob in (repro.transpose(mesh), repro.random_permutation(mesh, seed=1)):
+            bound = repro.congestion_lower_bound(
+                mesh, prob.sources, prob.dests, use_lp=False
+            )
+            result = router.route(prob, seed=2)
+            ceiling = repro.congestion_bound_2d(bound, prob.max_distance)
+            assert result.congestion <= ceiling
+
+    def test_tree_has_unbounded_stretch_graph_does_not(self, mesh):
+        """The ablation that motivates the paper: same machinery, bridges
+        on/off; only the bridge version keeps stretch constant."""
+        nn = repro.nearest_neighbor(mesh, seed=3)
+        with_bridges = repro.HierarchicalRouter().route(nn, seed=4)
+        without = repro.AccessTreeRouter().route(nn, seed=4)
+        assert with_bridges.stretch <= 64
+        assert without.stretch > 64 / 4  # tree pays ~m on straddling pairs
+        assert without.stretch > 2 * with_bridges.stretch
+
+    def test_valiant_good_congestion_bad_stretch(self, mesh):
+        nn = repro.nearest_neighbor(mesh, seed=5)
+        valiant = repro.ValiantRouter().route(nn, seed=6)
+        ours = repro.HierarchicalRouter().route(nn, seed=6)
+        assert valiant.stretch > 4 * ours.stretch
+
+    def test_xy_good_stretch_bad_congestion(self, mesh):
+        """Corner-turn traffic (column 0 -> row 0): C* = O(1) via disjoint
+        staircases, but deterministic XY funnels every packet through the
+        corner node, congestion Theta(m)."""
+        import numpy as np
+
+        m = mesh.sides[0]
+        sources = np.asarray([mesh.node(i, 0) for i in range(1, m)])
+        dests = np.asarray([mesh.node(0, i) for i in range(1, m)])
+        prob = repro.RoutingProblem(mesh, sources, dests, "corner-turn")
+        xy = repro.DimensionOrderRouter().route(prob, seed=0)
+        ours = repro.HierarchicalRouter().route(prob, seed=0)
+        assert xy.stretch == 1.0
+        assert xy.congestion == m - 1  # all paths share the corner edge
+        assert ours.congestion < xy.congestion / 1.5
+
+
+class TestDDimensional:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_stretch_scaling(self, d):
+        mesh = repro.Mesh((8 if d < 4 else 4,) * d)
+        prob = repro.random_permutation(mesh, seed=d)
+        result = repro.HierarchicalRouter().route(prob, seed=0)
+        assert result.validate()
+        assert result.stretch <= repro.stretch_bound_general(d)
+
+    def test_3d_congestion_vs_bound(self):
+        mesh = repro.Mesh((8, 8, 8))
+        prob = repro.random_permutation(mesh, seed=9)
+        bound = repro.congestion_lower_bound(
+            mesh, prob.sources, prob.dests, use_lp=False
+        )
+        result = repro.HierarchicalRouter().route(prob, seed=1)
+        from repro.analysis.theory import congestion_bound_general
+
+        assert result.congestion <= congestion_bound_general(
+            bound, 3, prob.max_distance
+        )
+
+
+class TestEndToEndScheduling:
+    def test_routing_time_tracks_c_plus_d(self, mesh):
+        prob = repro.random_permutation(mesh, seed=11)
+        result = repro.HierarchicalRouter().route(prob, seed=2)
+        sim = repro.simulate(mesh, result)
+        assert max(sim.congestion, sim.dilation) <= sim.makespan
+        assert sim.makespan <= 3 * sim.cd_bound
+
+    def test_sweep_pipeline(self, mesh):
+        routers = [repro.HierarchicalRouter(), repro.RandomDimOrderRouter()]
+        problems = [repro.transpose(mesh)]
+        rows = repro.sweep(routers, problems, seeds=(0, 1))
+        agg = repro.aggregate(
+            rows, group_by=["router", "workload"], fields=["C", "stretch"]
+        )
+        assert len(agg) == 2
+        table = repro.format_table(agg)
+        assert "hierarchical" in table
+
+
+class TestRandomizationSection5:
+    def test_deterministic_router_forced_congestion(self):
+        """Sweep l: congestion of the deterministic router on its own Pi_A
+        grows linearly with l (Lemma 5.1 with kappa = 1)."""
+        mesh = repro.Mesh((16, 16))
+        router = repro.DimensionOrderRouter()
+        sizes = []
+        for l in (2, 4, 8):
+            sub, _ = repro.adversarial_for_router(router, mesh, l)
+            forced = router.route(sub, seed=0).congestion
+            assert forced == sub.num_packets
+            sizes.append(forced)
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+    def test_hierarchical_beats_forced_congestion(self):
+        """On the adversarial instance built for XY routing, the randomized
+        hierarchical router spreads the load."""
+        mesh = repro.Mesh((32, 32))
+        router = repro.DimensionOrderRouter()
+        sub, _ = repro.adversarial_for_router(router, mesh, l=16)
+        forced = router.route(sub, seed=0).congestion
+        ours = min(
+            repro.HierarchicalRouter().route(sub, seed=s).congestion
+            for s in range(3)
+        )
+        assert ours < forced
+
+    def test_bits_between_curves(self):
+        """Measured recycled bits sit between the paper's lower and a
+        constant multiple of its upper curve."""
+        mesh = repro.Mesh((32, 32))
+        prob = repro.random_pairs(mesh, 100, seed=13)
+        router = repro.HierarchicalRouter(bit_mode="recycled")
+        router.route(prob, seed=3)
+        mean_bits = float(np.mean(router.bits_log))
+        lo = repro.random_bits_lower_curve(2, prob.max_distance, mesh.n)
+        hi = repro.random_bits_upper_curve(2, prob.max_distance)
+        assert lo <= mean_bits <= 8 * hi

@@ -1,0 +1,86 @@
+"""Tests for result persistence and CSV export."""
+
+import numpy as np
+import pytest
+
+from repro.core.path_selection import HierarchicalRouter
+from repro.io import load_result, rows_from_csv, rows_to_csv, save_result
+from repro.mesh.mesh import Mesh
+from repro.workloads.generators import random_pairs
+
+
+class TestResultRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        mesh = Mesh((8, 8))
+        problem = random_pairs(mesh, 20, seed=0)
+        result = HierarchicalRouter().route(problem, seed=5)
+        file = tmp_path / "result.npz"
+        save_result(file, result)
+        loaded = load_result(file)
+        assert loaded.problem.mesh == mesh
+        assert loaded.problem.name == problem.name
+        assert loaded.router_name == result.router_name
+        assert loaded.seed == 5
+        np.testing.assert_array_equal(loaded.problem.sources, problem.sources)
+        np.testing.assert_array_equal(loaded.problem.dests, problem.dests)
+        for a, b in zip(loaded.paths, result.paths):
+            np.testing.assert_array_equal(a, b)
+
+    def test_metrics_preserved(self, tmp_path):
+        mesh = Mesh((8, 8))
+        result = HierarchicalRouter().route(random_pairs(mesh, 15, seed=1), seed=2)
+        file = tmp_path / "r.npz"
+        save_result(file, result)
+        loaded = load_result(file)
+        assert loaded.congestion == result.congestion
+        assert loaded.dilation == result.dilation
+        assert loaded.stretch == result.stretch
+        assert loaded.validate()
+
+    def test_torus_flag_roundtrip(self, tmp_path):
+        mesh = Mesh((8, 8), torus=True)
+        result = HierarchicalRouter().route(random_pairs(mesh, 5, seed=2), seed=0)
+        file = tmp_path / "t.npz"
+        save_result(file, result)
+        assert load_result(file).problem.mesh.torus
+
+    def test_none_seed_roundtrip(self, tmp_path):
+        mesh = Mesh((4, 4))
+        result = HierarchicalRouter().route(random_pairs(mesh, 3, seed=3), seed=None)
+        file = tmp_path / "n.npz"
+        save_result(file, result)
+        assert load_result(file).seed is None
+
+    def test_trivial_paths_roundtrip(self, tmp_path):
+        from repro.routing.base import RoutingProblem, RoutingResult
+
+        mesh = Mesh((4, 4))
+        problem = RoutingProblem(mesh, np.asarray([7]), np.asarray([7]))
+        result = RoutingResult(problem, [np.asarray([7])], "x")
+        file = tmp_path / "triv.npz"
+        save_result(file, result)
+        loaded = load_result(file)
+        assert loaded.paths[0].tolist() == [7]
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        rows = [
+            {"router": "a", "C": 3, "stretch": 1.5},
+            {"router": "b", "C": 7, "stretch": 2.0},
+        ]
+        file = tmp_path / "rows.csv"
+        rows_to_csv(file, rows)
+        back = rows_from_csv(file)
+        assert back == rows
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            rows_to_csv(tmp_path / "x.csv", [])
+
+    def test_extra_fields_ignored(self, tmp_path):
+        rows = [{"a": 1, "b": 2}, {"a": 3, "b": 4, "c": 5}]
+        file = tmp_path / "rows.csv"
+        rows_to_csv(file, rows)
+        back = rows_from_csv(file)
+        assert all("c" not in r for r in back)

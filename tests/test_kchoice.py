@@ -1,0 +1,100 @@
+"""Tests for κ-choice routers (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.routing.baselines import GreedyMinCongestionRouter
+from repro.routing.kchoice import KChoiceRouter
+from repro.workloads.adversarial import adversarial_for_router, block_exchange
+from repro.workloads.generators import random_pairs
+
+
+@pytest.fixture
+def mesh():
+    return Mesh((16, 16))
+
+
+class TestConstruction:
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            KChoiceRouter(HierarchicalRouter(), 0)
+
+    def test_requires_oblivious_base(self):
+        with pytest.raises(ValueError):
+            KChoiceRouter(GreedyMinCongestionRouter(), 2)
+
+    def test_name_and_bits(self):
+        r = KChoiceRouter(HierarchicalRouter(), 8)
+        assert r.name == "hierarchical[k=8]"
+        assert r.random_bits_per_packet() == 3.0
+
+
+class TestMenus:
+    def test_menu_size_and_validity(self, mesh):
+        from repro.mesh.paths import is_valid_path
+
+        r = KChoiceRouter(HierarchicalRouter(), 4)
+        menu = r.menu(mesh, 3, 200)
+        assert len(menu) == 4
+        for p in menu:
+            assert is_valid_path(mesh, p, 3, 200)
+
+    def test_menu_deterministic_in_pair(self, mesh):
+        a = KChoiceRouter(HierarchicalRouter(), 3, menu_seed=7)
+        b = KChoiceRouter(HierarchicalRouter(), 3, menu_seed=7)
+        for pa, pb in zip(a.menu(mesh, 0, 50), b.menu(mesh, 0, 50)):
+            np.testing.assert_array_equal(pa, pb)
+
+    def test_menu_seed_changes_menu(self, mesh):
+        a = KChoiceRouter(HierarchicalRouter(), 4, menu_seed=1)
+        b = KChoiceRouter(HierarchicalRouter(), 4, menu_seed=2)
+        differs = any(
+            len(pa) != len(pb) or not np.array_equal(pa, pb)
+            for pa, pb in zip(a.menu(mesh, 0, 255), b.menu(mesh, 0, 255))
+        )
+        assert differs
+
+    def test_selection_always_from_menu(self, mesh):
+        r = KChoiceRouter(HierarchicalRouter(), 3)
+        menu = [p.tolist() for p in r.menu(mesh, 5, 100)]
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert r.select_path(mesh, 5, 100, rng).tolist() in menu
+
+    def test_k1_is_deterministic(self, mesh):
+        r = KChoiceRouter(HierarchicalRouter(), 1)
+        prob = random_pairs(mesh, 15, seed=0)
+        a = r.route(prob, seed=10)
+        b = r.route(prob, seed=999)
+        for pa, pb in zip(a.paths, b.paths):
+            np.testing.assert_array_equal(pa, pb)
+
+
+class TestLemma51:
+    def test_congestion_decreases_with_k(self, mesh):
+        """Lemma 5.1: on Π_A built for the κ = 1 restriction, expected
+        congestion scales like l / (d κ)."""
+        l = 8
+        base = HierarchicalRouter()
+        det = KChoiceRouter(base, 1)
+        pi_a, hot_edge = adversarial_for_router(det, mesh, l)
+        congestion = {}
+        for k in (1, 4, 16):
+            router = KChoiceRouter(base, k)
+            cs = [router.route(pi_a, seed=s).edge_loads[hot_edge] for s in range(5)]
+            congestion[k] = float(np.mean(cs))
+        # k = 1 is forced to the full |Pi_A| on the hot edge
+        assert congestion[1] == pi_a.num_packets
+        # more choices spread the hot-edge load monotonically (on average)
+        assert congestion[4] < congestion[1]
+        assert congestion[16] <= congestion[4] + 1
+
+    def test_block_exchange_average_argument(self, mesh):
+        """The Section 5.1 averaging step: some edge carries >= l/d packets
+        under any fixed path assignment of the block exchange."""
+        det = KChoiceRouter(HierarchicalRouter(), 1)
+        prob = block_exchange(mesh, 4)
+        res = det.route(prob, seed=0)
+        assert res.congestion >= 4 / mesh.d

@@ -1,0 +1,257 @@
+"""Unit tests for the d-dimensional mesh model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mesh.mesh import Mesh, pad_to_power_of_two
+
+
+class TestConstruction:
+    def test_basic_2d(self):
+        m = Mesh((4, 4))
+        assert m.d == 2
+        assert m.n == 16
+        assert m.sides == (4, 4)
+        assert not m.torus
+
+    def test_strides_c_order(self):
+        m = Mesh((3, 4, 5))
+        assert m.strides.tolist() == [20, 5, 1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Mesh(())
+
+    def test_rejects_nonpositive_side(self):
+        with pytest.raises(ValueError):
+            Mesh((4, 0))
+
+    def test_single_node_mesh(self):
+        m = Mesh((1,))
+        assert m.n == 1
+        assert m.num_edges == 0
+        assert m.neighbors(0) == []
+
+    def test_1d_mesh(self):
+        m = Mesh((5,))
+        assert m.num_edges == 4
+        assert m.neighbors(2) == [1, 3]
+
+    def test_equality_and_hash(self):
+        assert Mesh((4, 4)) == Mesh((4, 4))
+        assert Mesh((4, 4)) != Mesh((4, 4), torus=True)
+        assert Mesh((4, 4)) != Mesh((4, 8))
+        assert hash(Mesh((2, 2))) == hash(Mesh((2, 2)))
+
+    def test_edge_count_formula_mesh(self):
+        # d-dim mesh edges: sum_i n/m_i * (m_i - 1)
+        m = Mesh((3, 4, 5))
+        expected = sum(m.n // s * (s - 1) for s in m.sides)
+        assert m.num_edges == expected
+
+    def test_edge_count_torus(self):
+        t = Mesh((4, 4), torus=True)
+        assert t.num_edges == 2 * 16  # every dim contributes n edges
+
+    def test_torus_side2_no_duplicate_wrap(self):
+        t = Mesh((2, 2), torus=True)
+        # wrap links on side-2 rings would duplicate mesh links
+        assert t.num_edges == Mesh((2, 2)).num_edges
+
+
+class TestCoordinates:
+    def test_roundtrip_scalar(self):
+        m = Mesh((4, 6))
+        for v in range(m.n):
+            c = m.flat_to_coords(v)
+            assert int(m.coords_to_flat([c])[0]) == v
+
+    def test_node_helper(self):
+        m = Mesh((8, 8))
+        assert m.node(0, 0) == 0
+        assert m.node(1, 1) == 9
+        assert m.node(7, 7) == 63
+
+    def test_node_wrong_arity(self):
+        with pytest.raises(ValueError):
+            Mesh((4, 4)).node(1)
+
+    def test_out_of_bounds_coords(self):
+        m = Mesh((4, 4))
+        with pytest.raises(ValueError):
+            m.coords_to_flat([(4, 0)])
+        with pytest.raises(ValueError):
+            m.coords_to_flat([(-1, 0)])
+
+    def test_out_of_range_flat(self):
+        with pytest.raises(ValueError):
+            Mesh((4, 4)).flat_to_coords(16)
+
+    def test_vectorized_conversion(self):
+        m = Mesh((5, 7))
+        ids = np.arange(m.n)
+        coords = m.flat_to_coords(ids)
+        assert coords.shape == (m.n, 2)
+        np.testing.assert_array_equal(m.coords_to_flat(coords), ids)
+
+    def test_contains_coords(self):
+        m = Mesh((4, 4))
+        mask = m.contains_coords([(0, 0), (3, 3), (4, 0), (-1, 2)])
+        assert mask.tolist() == [True, True, False, False]
+
+
+class TestDistance:
+    def test_l1_distance(self):
+        m = Mesh((8, 8))
+        assert m.distance(m.node(0, 0), m.node(3, 4)) == 7
+
+    def test_distance_symmetric(self):
+        m = Mesh((5, 5))
+        a, b = m.node(1, 2), m.node(4, 0)
+        assert m.distance(a, b) == m.distance(b, a)
+
+    def test_torus_distance_wraps(self):
+        t = Mesh((8, 8), torus=True)
+        assert t.distance(t.node(0, 0), t.node(7, 0)) == 1
+        assert t.distance(t.node(0, 0), t.node(4, 0)) == 4
+
+    def test_diameter(self):
+        assert Mesh((8, 8)).diameter == 14
+        assert Mesh((8, 8), torus=True).diameter == 8
+        assert Mesh((4, 4, 4)).diameter == 9
+
+    def test_vectorized_distance(self):
+        m = Mesh((4, 4))
+        u = np.asarray([0, 0, 5])
+        v = np.asarray([15, 0, 10])
+        np.testing.assert_array_equal(m.distance(u, v), [6, 0, 2])
+
+
+class TestNeighbors:
+    def test_interior_degree(self):
+        m = Mesh((5, 5))
+        assert m.degree(m.node(2, 2)) == 4
+
+    def test_corner_degree(self):
+        m = Mesh((5, 5))
+        assert m.degree(m.node(0, 0)) == 2
+
+    def test_torus_degree_uniform(self):
+        t = Mesh((5, 5), torus=True)
+        assert all(t.degree(v) == 4 for v in range(t.n))
+
+    def test_neighbors_symmetric(self):
+        m = Mesh((4, 3))
+        for u in range(m.n):
+            for v in m.neighbors(u):
+                assert u in m.neighbors(v)
+
+    def test_neighbors_are_distance_one(self):
+        m = Mesh((4, 4, 2))
+        for u in [0, 5, 17, 31]:
+            for v in m.neighbors(u):
+                assert m.distance(u, v) == 1
+
+    def test_3d_interior_degree(self):
+        m = Mesh((4, 4, 4))
+        center = m.node(2, 2, 2)
+        assert m.degree(center) == 6
+
+
+class TestEdgeIds:
+    def test_bijection_mesh(self):
+        m = Mesh((4, 5))
+        seen = set()
+        for e in range(m.num_edges):
+            u, v = m.edge_id_to_endpoints(e)
+            eid = int(m.edge_ids(np.asarray([u]), np.asarray([v]))[0])
+            assert eid == e
+            seen.add((min(u, v), max(u, v)))
+        assert len(seen) == m.num_edges
+
+    def test_direction_invariant(self):
+        m = Mesh((4, 4))
+        u, v = 0, 1
+        a = m.edge_ids(np.asarray([u]), np.asarray([v]))
+        b = m.edge_ids(np.asarray([v]), np.asarray([u]))
+        assert a[0] == b[0]
+
+    def test_bijection_torus(self):
+        t = Mesh((4, 4), torus=True)
+        for e in range(t.num_edges):
+            u, v = t.edge_id_to_endpoints(e)
+            assert int(t.edge_ids(np.asarray([u]), np.asarray([v]))[0]) == e
+
+    def test_wrap_edge_identified(self):
+        t = Mesh((4,), torus=True)
+        eid = t.edge_ids(np.asarray([3]), np.asarray([0]))
+        assert 0 <= eid[0] < t.num_edges
+
+    def test_non_adjacent_raises(self):
+        m = Mesh((4, 4))
+        with pytest.raises(ValueError):
+            m.edge_ids(np.asarray([0]), np.asarray([2]))
+
+    def test_diagonal_raises(self):
+        m = Mesh((4, 4))
+        with pytest.raises(ValueError):
+            m.edge_ids(np.asarray([0]), np.asarray([5]))
+
+    def test_empty_input(self):
+        m = Mesh((4, 4))
+        assert m.edge_ids(np.empty(0), np.empty(0)).size == 0
+
+    def test_all_edges_shape(self):
+        m = Mesh((3, 3))
+        edges = m.all_edges()
+        assert edges.shape == (m.num_edges, 2)
+
+    def test_3d_bijection(self):
+        m = Mesh((2, 3, 2))
+        for e in range(m.num_edges):
+            u, v = m.edge_id_to_endpoints(e)
+            assert m.distance(u, v) == 1
+            assert int(m.edge_ids(np.asarray([u]), np.asarray([v]))[0]) == e
+
+    def test_edge_id_out_of_range(self):
+        m = Mesh((3, 3))
+        with pytest.raises(ValueError):
+            m.edge_id_to_endpoints(m.num_edges)
+
+
+class TestNetworkx:
+    def test_graph_matches_mesh(self):
+        m = Mesh((4, 4))
+        g = m.to_networkx()
+        assert g.number_of_nodes() == m.n
+        assert g.number_of_edges() == m.num_edges
+        for u in range(m.n):
+            assert sorted(g.neighbors(u)) == m.neighbors(u)
+
+    def test_torus_graph(self):
+        t = Mesh((4, 4), torus=True)
+        g = t.to_networkx()
+        assert g.number_of_edges() == t.num_edges
+        assert all(d == 4 for _, d in g.degree())
+
+
+class TestPaperHelpers:
+    def test_is_power_of_two_cube(self):
+        assert Mesh((8, 8)).is_power_of_two_cube
+        assert Mesh((1, 1)).is_power_of_two_cube
+        assert not Mesh((8, 4)).is_power_of_two_cube
+        assert not Mesh((6, 6)).is_power_of_two_cube
+
+    def test_k(self):
+        assert Mesh((8, 8)).k == 3
+        assert Mesh((16, 16, 16)).k == 4
+        with pytest.raises(ValueError):
+            _ = Mesh((6, 6)).k
+
+    def test_pad_to_power_of_two(self):
+        padded = pad_to_power_of_two(Mesh((5, 7)))
+        assert padded.sides == (8, 8)
+        assert pad_to_power_of_two(Mesh((8, 8))).sides == (8, 8)
+        assert math.log2(padded.sides[0]).is_integer()

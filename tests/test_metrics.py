@@ -1,0 +1,106 @@
+"""Tests for congestion / dilation / stretch metrics."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.mesh import Mesh
+from repro.mesh.paths import dimension_order_path
+from repro.metrics.congestion import (
+    congestion,
+    directed_edge_loads,
+    edge_loads,
+    node_loads,
+)
+from repro.metrics.stretch import dilation, stretch, stretches
+
+
+@pytest.fixture
+def mesh():
+    return Mesh((4, 4))
+
+
+class TestEdgeLoads:
+    def test_single_path(self, mesh):
+        p = np.asarray([0, 1, 2])
+        loads = edge_loads(mesh, [p])
+        assert loads.sum() == 2
+        assert loads.max() == 1
+
+    def test_overlapping_paths(self, mesh):
+        a = np.asarray([0, 1, 2])
+        b = np.asarray([1, 2, 3])
+        loads = edge_loads(mesh, [a, b])
+        shared = mesh.edge_ids(np.asarray([1]), np.asarray([2]))[0]
+        assert loads[shared] == 2
+        assert congestion(mesh, [a, b]) == 2
+
+    def test_direction_agnostic(self, mesh):
+        a = np.asarray([0, 1])
+        b = np.asarray([1, 0])
+        assert congestion(mesh, [a, b]) == 2
+
+    def test_double_crossing_counts_twice(self, mesh):
+        p = np.asarray([0, 1, 0, 1])
+        eid = mesh.edge_ids(np.asarray([0]), np.asarray([1]))[0]
+        assert edge_loads(mesh, [p])[eid] == 3
+
+    def test_empty_and_trivial(self, mesh):
+        assert congestion(mesh, []) == 0
+        assert congestion(mesh, [np.asarray([3])]) == 0
+        assert edge_loads(mesh, [np.asarray([3])]).sum() == 0
+
+    def test_total_equals_sum_of_lengths(self, mesh):
+        paths = [
+            dimension_order_path(mesh, 0, 15),
+            dimension_order_path(mesh, 3, 12),
+            dimension_order_path(mesh, 5, 5),
+        ]
+        assert edge_loads(mesh, paths).sum() == sum(len(p) - 1 for p in paths)
+
+
+class TestDirectedLoads:
+    def test_split_by_direction(self, mesh):
+        fwd = np.asarray([0, 1])
+        bwd = np.asarray([1, 0])
+        loads = directed_edge_loads(mesh, [fwd, fwd, bwd])
+        eid = int(mesh.edge_ids(np.asarray([0]), np.asarray([1]))[0])
+        assert loads[eid].tolist() == [2, 1]
+
+    def test_sums_match_undirected(self, mesh):
+        paths = [dimension_order_path(mesh, 0, 15), dimension_order_path(mesh, 15, 0)]
+        undirected = edge_loads(mesh, paths)
+        directed = directed_edge_loads(mesh, paths)
+        np.testing.assert_array_equal(directed.sum(axis=1), undirected)
+
+
+class TestNodeLoads:
+    def test_counts_visits(self, mesh):
+        p = dimension_order_path(mesh, 0, 5)
+        loads = node_loads(mesh, [p, p])
+        for v in p:
+            assert loads[v] == 2
+        assert loads.sum() == 2 * len(p)
+
+
+class TestStretch:
+    def test_values(self, mesh):
+        sources = np.asarray([0, 0])
+        dests = np.asarray([3, 5])
+        paths = [np.asarray([0, 1, 2, 3]), np.asarray([0, 1, 2, 6, 5])]
+        vals = stretches(mesh, sources, dests, paths)
+        assert vals[0] == 1.0
+        assert vals[1] == 2.0
+        assert stretch(mesh, sources, dests, paths) == 2.0
+
+    def test_nan_for_self_packets(self, mesh):
+        vals = stretches(mesh, np.asarray([4]), np.asarray([4]), [np.asarray([4])])
+        assert np.isnan(vals[0])
+        assert stretch(mesh, np.asarray([4]), np.asarray([4]), [np.asarray([4])]) == 0.0
+
+    def test_length_mismatch(self, mesh):
+        with pytest.raises(ValueError):
+            stretches(mesh, np.asarray([0]), np.asarray([1]), [])
+
+    def test_dilation(self):
+        assert dilation([np.asarray([0, 1, 2]), np.asarray([5])]) == 2
+        assert dilation([]) == 0

@@ -1,0 +1,310 @@
+"""Tests for the paper's oblivious path-selection algorithm (Sections 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import stretch_bound_2d, stretch_bound_general
+from repro.core.path_selection import HierarchicalRouter, common_type1_height
+from repro.mesh.mesh import Mesh
+from repro.mesh.paths import is_valid_path, path_length
+from repro.routing.base import RoutingProblem
+from repro.workloads.generators import random_pairs
+
+
+@pytest.fixture
+def mesh16():
+    return Mesh((16, 16))
+
+
+def _pairs(mesh, count, seed):
+    rng = np.random.default_rng(seed)
+    out = []
+    while len(out) < count:
+        s, t = (int(x) for x in rng.integers(mesh.n, size=2))
+        if s != t:
+            out.append((s, t))
+    return out
+
+
+class TestCommonType1Height:
+    def test_same_node(self):
+        dec = HierarchicalRouter().decomposition(Mesh((8, 8)))
+        assert common_type1_height(dec, 5, 5) == 0
+
+    def test_same_cell(self):
+        mesh = Mesh((8, 8))
+        dec = HierarchicalRouter().decomposition(mesh)
+        assert common_type1_height(dec, mesh.node(0, 0), mesh.node(1, 1)) == 1
+
+    def test_straddling_center_meets_at_root(self):
+        mesh = Mesh((8, 8))
+        dec = HierarchicalRouter().decomposition(mesh)
+        s, t = mesh.node(3, 0), mesh.node(4, 0)
+        assert common_type1_height(dec, s, t) == dec.k
+
+
+class TestPathValidity:
+    def test_paths_valid_2d(self, mesh16):
+        router = HierarchicalRouter()
+        rng = np.random.default_rng(0)
+        for s, t in _pairs(mesh16, 200, 1):
+            p = router.select_path(mesh16, s, t, rng)
+            assert is_valid_path(mesh16, p, s, t)
+
+    def test_paths_valid_3d(self):
+        mesh = Mesh((8, 8, 8))
+        router = HierarchicalRouter()
+        rng = np.random.default_rng(0)
+        for s, t in _pairs(mesh, 100, 2):
+            p = router.select_path(mesh, s, t, rng)
+            assert is_valid_path(mesh, p, s, t)
+
+    def test_paths_valid_1d(self):
+        mesh = Mesh((16,))
+        router = HierarchicalRouter()
+        rng = np.random.default_rng(0)
+        for s, t in _pairs(mesh, 50, 3):
+            p = router.select_path(mesh, s, t, rng)
+            assert is_valid_path(mesh, p, s, t)
+
+    def test_trivial_packet(self, mesh16):
+        router = HierarchicalRouter()
+        p = router.select_path(mesh16, 7, 7, np.random.default_rng(0))
+        assert p.tolist() == [7]
+
+    def test_acyclic_by_default(self, mesh16):
+        router = HierarchicalRouter()
+        rng = np.random.default_rng(4)
+        for s, t in _pairs(mesh16, 100, 5):
+            p = router.select_path(mesh16, s, t, rng)
+            assert len(set(p.tolist())) == len(p)
+
+    def test_tiny_mesh(self):
+        mesh = Mesh((2, 2))
+        router = HierarchicalRouter()
+        rng = np.random.default_rng(0)
+        for s in range(4):
+            for t in range(4):
+                p = router.select_path(mesh, s, t, rng)
+                assert is_valid_path(mesh, p, s, t)
+
+
+class TestStretchTheorem34:
+    """Theorem 3.4: stretch <= 64 in two dimensions, path by path."""
+
+    @pytest.mark.parametrize("m", [8, 16, 32])
+    def test_random_pairs(self, m):
+        mesh = Mesh((m, m))
+        router = HierarchicalRouter()
+        rng = np.random.default_rng(10)
+        for s, t in _pairs(mesh, 150, m):
+            p = router.select_path(mesh, s, t, rng)
+            dist = mesh.distance(s, t)
+            assert path_length(p) <= stretch_bound_2d() * dist
+
+    def test_adversarial_boundary_pairs(self):
+        """Adjacent pairs straddling every power-of-two cut — the worst
+        cases for hierarchical schemes."""
+        mesh = Mesh((32, 32))
+        router = HierarchicalRouter()
+        rng = np.random.default_rng(11)
+        cuts = [1, 2, 4, 8, 16]
+        for c in cuts:
+            for y in (0, 13, 31):
+                s, t = mesh.node(c - 1, y), mesh.node(c, y)
+                for _ in range(20):
+                    p = router.select_path(mesh, s, t, rng)
+                    assert path_length(p) <= 64
+
+    def test_exhaustive_8x8_sampled_randomness(self):
+        mesh = Mesh((8, 8))
+        router = HierarchicalRouter()
+        rng = np.random.default_rng(12)
+        for s in range(0, mesh.n, 3):
+            for t in range(0, mesh.n, 5):
+                if s == t:
+                    continue
+                p = router.select_path(mesh, s, t, rng)
+                assert path_length(p) <= 64 * mesh.distance(s, t)
+
+
+class TestStretchTheorem42:
+    """Theorem 4.2: stretch O(d^2), against the explicit proof constant."""
+
+    @pytest.mark.parametrize("d,m", [(3, 8), (4, 8), (5, 4)])
+    def test_general_variant(self, d, m):
+        mesh = Mesh((m,) * d)
+        router = HierarchicalRouter()
+        bound = stretch_bound_general(d)
+        rng = np.random.default_rng(13)
+        for s, t in _pairs(mesh, 80, d):
+            p = router.select_path(mesh, s, t, rng)
+            assert path_length(p) <= bound * mesh.distance(s, t)
+
+    def test_adjacent_pairs_3d(self):
+        mesh = Mesh((8, 8, 8))
+        router = HierarchicalRouter()
+        rng = np.random.default_rng(14)
+        s, t = mesh.node(3, 4, 4), mesh.node(4, 4, 4)  # straddle the center
+        for _ in range(30):
+            p = router.select_path(mesh, s, t, rng)
+            assert path_length(p) <= stretch_bound_general(3)
+
+
+class TestSubmeshSequence:
+    def test_sequence_nested_to_bridge(self, mesh16):
+        router = HierarchicalRouter()
+        for s, t in _pairs(mesh16, 50, 15):
+            seq, peak = router.submesh_sequence(mesh16, s, t)
+            assert seq[0].is_single_node and seq[0].contains_node(s)
+            assert seq[-1].is_single_node and seq[-1].contains_node(t)
+            for i in range(peak):
+                assert seq[i + 1].contains_submesh(seq[i])
+            for i in range(peak, len(seq) - 1):
+                assert seq[i].contains_submesh(seq[i + 1])
+
+    def test_bridge_is_largest(self, mesh16):
+        router = HierarchicalRouter()
+        for s, t in _pairs(mesh16, 50, 16):
+            seq, peak = router.submesh_sequence(mesh16, s, t)
+            assert seq[peak].size == max(b.size for b in seq)
+
+    def test_general_variant_sequence(self):
+        mesh = Mesh((8, 8, 8))
+        router = HierarchicalRouter(variant="general")
+        for s, t in _pairs(mesh, 50, 17):
+            seq, peak = router.submesh_sequence(mesh, s, t)
+            for i in range(peak):
+                assert seq[i + 1].contains_submesh(seq[i])
+            for i in range(peak, len(seq) - 1):
+                assert seq[i].contains_submesh(seq[i + 1])
+
+    def test_nobridge_sequence_all_type1_aligned(self, mesh16):
+        router = HierarchicalRouter(use_bridges=False)
+        dec = router.decomposition(mesh16)
+        s, t = mesh16.node(7, 3), mesh16.node(8, 3)
+        seq, peak = router.submesh_sequence(mesh16, s, t)
+        # without bridges the meeting point is the root for this pair
+        assert seq[peak].size == mesh16.n
+
+
+class TestOptions:
+    def test_variants_explicit(self, mesh16):
+        for variant in ("bitonic2d", "general"):
+            router = HierarchicalRouter(variant=variant)
+            rng = np.random.default_rng(20)
+            for s, t in _pairs(mesh16, 40, 21):
+                p = router.select_path(mesh16, s, t, rng)
+                assert is_valid_path(mesh16, p, s, t)
+
+    def test_invalid_options(self):
+        with pytest.raises(ValueError):
+            HierarchicalRouter(variant="nope")
+        with pytest.raises(ValueError):
+            HierarchicalRouter(dim_order="nope")
+        with pytest.raises(ValueError):
+            HierarchicalRouter(bit_mode="nope")
+
+    def test_dim_order_modes(self, mesh16):
+        for mode in ("random", "shared", "fixed"):
+            router = HierarchicalRouter(dim_order=mode)
+            rng = np.random.default_rng(22)
+            p = router.select_path(mesh16, 3, 200, rng)
+            assert is_valid_path(mesh16, p, 3, 200)
+
+    def test_recycled_forces_shared_order(self):
+        router = HierarchicalRouter(bit_mode="recycled", dim_order="random")
+        assert router.dim_order == "shared"
+
+    def test_keep_cycles_option(self, mesh16):
+        router = HierarchicalRouter(drop_cycles=False)
+        rng = np.random.default_rng(23)
+        for s, t in _pairs(mesh16, 30, 24):
+            p = router.select_path(mesh16, s, t, rng)
+            assert is_valid_path(mesh16, p, s, t)
+
+    def test_custom_name(self):
+        assert HierarchicalRouter(name="algoH").name == "algoH"
+        assert HierarchicalRouter(use_bridges=False).name == "hierarchical-nobridge"
+
+    def test_decomposition_cached(self, mesh16):
+        router = HierarchicalRouter()
+        assert router.decomposition(mesh16) is router.decomposition(mesh16)
+
+    def test_rejects_non_pow2_mesh(self):
+        router = HierarchicalRouter()
+        with pytest.raises(ValueError):
+            router.select_path(Mesh((6, 6)), 0, 5, np.random.default_rng(0))
+
+
+class TestBitsAccounting:
+    def test_bits_logged_per_packet(self, mesh16):
+        router = HierarchicalRouter(bit_mode="fresh")
+        problem = random_pairs(mesh16, 20, seed=0)
+        router.route(problem, seed=1)
+        assert len(router.bits_log) == 20
+        assert all(b > 0 for b in router.bits_log)
+
+    def test_recycled_uses_fewer_bits(self, mesh16):
+        problem = random_pairs(mesh16, 60, seed=1)
+        fresh = HierarchicalRouter(bit_mode="fresh")
+        fresh.route(problem, seed=2)
+        recycled = HierarchicalRouter(bit_mode="recycled")
+        recycled.route(problem, seed=2)
+        assert np.mean(recycled.bits_log) < np.mean(fresh.bits_log)
+
+    def test_recycled_upper_bound_shape(self):
+        """Lemma 5.4: O(d log(D d)) bits per packet — generous constant 8."""
+        from repro.analysis.theory import random_bits_upper_curve
+
+        for d, m in ((2, 16), (3, 8)):
+            mesh = Mesh((m,) * d)
+            problem = random_pairs(mesh, 40, seed=3)
+            router = HierarchicalRouter(bit_mode="recycled")
+            router.route(problem, seed=4)
+            ceiling = 8 * random_bits_upper_curve(d, problem.max_distance)
+            assert max(router.bits_log) <= ceiling
+
+    def test_trivial_packet_costs_nothing(self, mesh16):
+        router = HierarchicalRouter(bit_mode="fresh")
+        problem = RoutingProblem(
+            mesh16, np.asarray([5]), np.asarray([5]), "self"
+        )
+        router.route(problem, seed=0)
+        assert router.bits_log == [0]
+
+    def test_no_accounting_by_default(self, mesh16):
+        router = HierarchicalRouter()
+        router.route(random_pairs(mesh16, 5, seed=5), seed=0)
+        assert router.bits_log == []
+
+    def test_recycled_paths_valid(self, mesh16):
+        router = HierarchicalRouter(bit_mode="recycled")
+        result = router.route(random_pairs(mesh16, 50, seed=6), seed=7)
+        assert result.validate()
+
+    def test_recycled_paths_valid_3d(self):
+        mesh = Mesh((8, 8, 8))
+        router = HierarchicalRouter(bit_mode="recycled")
+        result = router.route(random_pairs(mesh, 50, seed=7), seed=8)
+        assert result.validate()
+
+
+class TestDeterminism:
+    def test_same_seed_same_paths(self, mesh16):
+        router = HierarchicalRouter()
+        problem = random_pairs(mesh16, 30, seed=9)
+        a = router.route(problem, seed=42)
+        b = router.route(problem, seed=42)
+        for pa, pb in zip(a.paths, b.paths):
+            np.testing.assert_array_equal(pa, pb)
+
+    def test_different_seeds_differ(self, mesh16):
+        router = HierarchicalRouter()
+        problem = random_pairs(mesh16, 30, seed=9)
+        a = router.route(problem, seed=42)
+        b = router.route(problem, seed=43)
+        assert any(
+            len(pa) != len(pb) or not np.array_equal(pa, pb)
+            for pa, pb in zip(a.paths, b.paths)
+        )

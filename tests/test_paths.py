@@ -1,0 +1,183 @@
+"""Unit tests for path construction and validation."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.mesh import Mesh
+from repro.mesh.paths import (
+    concatenate_paths,
+    dimension_order_path,
+    is_valid_path,
+    path_edge_endpoints,
+    path_length,
+    remove_cycles,
+)
+
+
+@pytest.fixture
+def mesh():
+    return Mesh((8, 8))
+
+
+class TestDimensionOrderPath:
+    def test_is_shortest(self, mesh):
+        s, t = mesh.node(1, 2), mesh.node(5, 7)
+        p = dimension_order_path(mesh, s, t)
+        assert path_length(p) == mesh.distance(s, t)
+
+    def test_endpoints(self, mesh):
+        s, t = mesh.node(0, 0), mesh.node(7, 7)
+        p = dimension_order_path(mesh, s, t)
+        assert p[0] == s and p[-1] == t
+
+    def test_valid_walk(self, mesh):
+        p = dimension_order_path(mesh, mesh.node(3, 1), mesh.node(0, 6))
+        assert is_valid_path(mesh, p)
+
+    def test_trivial(self, mesh):
+        p = dimension_order_path(mesh, 5, 5)
+        assert p.tolist() == [5]
+
+    def test_default_order_is_xy(self, mesh):
+        # Default order corrects dim 0 (x, the row coordinate) first.
+        p = dimension_order_path(mesh, mesh.node(0, 0), mesh.node(2, 3))
+        coords = mesh.flat_to_coords(p)
+        # first two steps move in dim 0
+        assert coords[1].tolist() == [1, 0]
+        assert coords[2].tolist() == [2, 0]
+
+    def test_reversed_order_is_yx(self, mesh):
+        p = dimension_order_path(mesh, mesh.node(0, 0), mesh.node(2, 3), order=(1, 0))
+        coords = mesh.flat_to_coords(p)
+        assert coords[1].tolist() == [0, 1]
+
+    def test_one_bend_in_2d(self, mesh):
+        # at most one bend: direction changes at most once
+        p = dimension_order_path(mesh, mesh.node(1, 1), mesh.node(6, 5))
+        coords = mesh.flat_to_coords(p)
+        deltas = np.diff(coords, axis=0)
+        dims_used = [int(np.argmax(np.abs(row))) for row in deltas]
+        changes = sum(1 for a, b in zip(dims_used, dims_used[1:]) if a != b)
+        assert changes <= 1
+
+    def test_invalid_order_raises(self, mesh):
+        with pytest.raises(ValueError):
+            dimension_order_path(mesh, 0, 5, order=(0, 0))
+        with pytest.raises(ValueError):
+            dimension_order_path(mesh, 0, 5, order=(0,))
+
+    def test_3d_order_respected(self):
+        m = Mesh((4, 4, 4))
+        s, t = m.node(0, 0, 0), m.node(1, 1, 1)
+        p = dimension_order_path(m, s, t, order=(2, 0, 1))
+        coords = m.flat_to_coords(p)
+        assert coords[1].tolist() == [0, 0, 1]
+        assert coords[2].tolist() == [1, 0, 1]
+        assert coords[3].tolist() == [1, 1, 1]
+
+    def test_torus_takes_short_way(self):
+        t = Mesh((8, 8), torus=True)
+        s, dst = t.node(0, 0), t.node(7, 0)
+        p = dimension_order_path(t, s, dst)
+        assert path_length(p) == 1
+
+    def test_torus_tie_goes_positive(self):
+        t = Mesh((8,), torus=True)
+        p = dimension_order_path(t, 0, 4)
+        assert p.tolist() == [0, 1, 2, 3, 4]
+
+    def test_all_pairs_shortest(self):
+        m = Mesh((4, 5))
+        for s in range(m.n):
+            for t in range(m.n):
+                p = dimension_order_path(m, s, t)
+                assert path_length(p) == m.distance(s, t)
+
+
+class TestConcatenate:
+    def test_basic(self, mesh):
+        a = dimension_order_path(mesh, 0, 9)
+        b = dimension_order_path(mesh, 9, 20)
+        joined = concatenate_paths([a, b])
+        assert joined[0] == 0 and joined[-1] == 20
+        assert path_length(joined) == path_length(a) + path_length(b)
+
+    def test_mismatched_junction_raises(self, mesh):
+        a = dimension_order_path(mesh, 0, 9)
+        b = dimension_order_path(mesh, 10, 20)
+        with pytest.raises(ValueError):
+            concatenate_paths([a, b])
+
+    def test_single_piece(self, mesh):
+        a = dimension_order_path(mesh, 0, 9)
+        np.testing.assert_array_equal(concatenate_paths([a]), a)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            concatenate_paths([])
+
+    def test_trivial_pieces(self, mesh):
+        a = np.asarray([5])
+        b = dimension_order_path(mesh, 5, 12)
+        joined = concatenate_paths([a, b])
+        np.testing.assert_array_equal(joined, b)
+
+
+class TestValidation:
+    def test_valid(self, mesh):
+        assert is_valid_path(mesh, np.asarray([0, 1, 2, 10]))
+
+    def test_endpoint_constraints(self, mesh):
+        p = np.asarray([0, 1, 2])
+        assert is_valid_path(mesh, p, src=0, dst=2)
+        assert not is_valid_path(mesh, p, src=1)
+        assert not is_valid_path(mesh, p, dst=1)
+
+    def test_teleport_invalid(self, mesh):
+        assert not is_valid_path(mesh, np.asarray([0, 2]))
+
+    def test_out_of_range_invalid(self, mesh):
+        assert not is_valid_path(mesh, np.asarray([0, -1]))
+        assert not is_valid_path(mesh, np.asarray([63, 64]))
+
+    def test_single_node_valid(self, mesh):
+        assert is_valid_path(mesh, np.asarray([7]), src=7, dst=7)
+
+    def test_empty_invalid(self, mesh):
+        assert not is_valid_path(mesh, np.asarray([], dtype=np.int64))
+
+    def test_edge_endpoints(self):
+        tails, heads = path_edge_endpoints(np.asarray([3, 4, 5]))
+        assert tails.tolist() == [3, 4]
+        assert heads.tolist() == [4, 5]
+
+
+class TestRemoveCycles:
+    def test_no_cycle_unchanged(self, mesh):
+        p = dimension_order_path(mesh, 0, 20)
+        np.testing.assert_array_equal(remove_cycles(p), p)
+
+    def test_simple_loop_removed(self, mesh):
+        # 0 -> 1 -> 9 -> 8 -> 0 -> 1 ... revisits 0
+        p = np.asarray([0, 1, 9, 8, 0, 8, 16])
+        out = remove_cycles(p)
+        assert out.tolist() == [0, 8, 16]
+
+    def test_idempotent(self, mesh):
+        p = np.asarray([0, 1, 9, 1, 2, 3])
+        once = remove_cycles(p)
+        np.testing.assert_array_equal(remove_cycles(once), once)
+
+    def test_result_has_no_repeats(self):
+        p = np.asarray([0, 1, 2, 1, 0, 1, 2, 3])
+        out = remove_cycles(p)
+        assert len(set(out.tolist())) == len(out)
+
+    def test_preserves_endpoints(self):
+        p = np.asarray([5, 6, 7, 6, 5, 6, 7, 8])
+        out = remove_cycles(p)
+        assert out[0] == 5 and out[-1] == 8
+
+    def test_full_collapse(self):
+        p = np.asarray([4, 5, 4])
+        assert remove_cycles(p).tolist() == [4]

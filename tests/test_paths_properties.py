@@ -1,0 +1,71 @@
+"""Property-based tests for path construction."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import mesh_and_pair, meshes
+
+from repro.mesh.paths import (
+    dimension_order_path,
+    is_valid_path,
+    path_length,
+    remove_cycles,
+)
+
+
+@given(mesh_and_pair(mesh_strategy=meshes(max_d=3, max_side=8, torus=None)), st.randoms())
+def test_dim_order_path_is_shortest_valid(case, pyrandom):
+    mesh, s, t = case
+    order = list(range(mesh.d))
+    pyrandom.shuffle(order)
+    p = dimension_order_path(mesh, s, t, order)
+    assert is_valid_path(mesh, p, s, t)
+    assert path_length(p) == mesh.distance(s, t)
+
+
+@given(mesh_and_pair(mesh_strategy=meshes(max_d=3, max_side=8)))
+def test_dim_order_path_monotone_progress(case):
+    """Every step of a dimension-order path decreases the distance to t."""
+    mesh, s, t = case
+    p = dimension_order_path(mesh, s, t)
+    dists = mesh.distance(p, np.full(p.size, t))
+    assert np.all(np.diff(np.atleast_1d(dists)) == -1) or p.size == 1
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(0, 15), min_size=1, max_size=30))
+def test_remove_cycles_no_repeats_and_endpoints(raw):
+    p = np.asarray(raw, dtype=np.int64)
+    out = remove_cycles(p)
+    assert len(set(out.tolist())) == len(out)
+    assert out[0] == p[0]
+    assert out[-1] == p[-1]
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(0, 15), min_size=1, max_size=30))
+def test_remove_cycles_idempotent(raw):
+    p = np.asarray(raw, dtype=np.int64)
+    once = remove_cycles(p)
+    np.testing.assert_array_equal(remove_cycles(once), once)
+
+
+@settings(max_examples=50)
+@given(mesh_and_pair(mesh_strategy=meshes(max_d=2, max_side=6)), st.integers(0, 10**9))
+def test_remove_cycles_preserves_walk_validity(case, seed):
+    """Cycle removal of a random valid walk yields a valid path."""
+    mesh, s, _ = case
+    rng = np.random.default_rng(seed)
+    walk = [s]
+    cur = s
+    for _ in range(15):
+        nbrs = mesh.neighbors(cur)
+        if not nbrs:
+            break
+        cur = int(nbrs[int(rng.integers(len(nbrs)))])
+        walk.append(cur)
+    p = np.asarray(walk, dtype=np.int64)
+    out = remove_cycles(p)
+    assert is_valid_path(mesh, out, int(p[0]), int(p[-1]))
+    assert path_length(out) <= path_length(p)

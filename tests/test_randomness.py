@@ -1,0 +1,189 @@
+"""Tests for bit-metered randomness and the recycled-bit scheme (Section 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.randomness import BitCounter, RecycledBits, bits_for_range
+from repro.mesh.mesh import Mesh
+from repro.mesh.submesh import Submesh
+
+
+class TestBitsForRange:
+    def test_values(self):
+        assert bits_for_range(1) == 0
+        assert bits_for_range(2) == 1
+        assert bits_for_range(3) == 2
+        assert bits_for_range(4) == 2
+        assert bits_for_range(5) == 3
+        assert bits_for_range(1024) == 10
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            bits_for_range(0)
+
+
+class TestBitCounter:
+    def test_counts_bits(self):
+        bc = BitCounter(0)
+        bc.bits(5)
+        bc.bits(3)
+        assert bc.bits_used == 8
+
+    def test_zero_bits_free(self):
+        bc = BitCounter(0)
+        assert bc.bits(0) == 0
+        assert bc.bits_used == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            BitCounter(0).bits(-1)
+
+    def test_bits_in_range(self):
+        bc = BitCounter(1)
+        for n in (1, 7, 31, 40, 64):
+            x = bc.bits(n)
+            assert 0 <= x < (1 << n)
+
+    def test_wide_draw(self):
+        bc = BitCounter(2)
+        x = bc.bits(100)
+        assert 0 <= x < (1 << 100)
+        assert bc.bits_used == 100
+
+    def test_integer_below_range(self):
+        bc = BitCounter(3)
+        for bound in (1, 2, 3, 7, 10, 100):
+            for _ in range(20):
+                assert 0 <= bc.integer_below(bound) < bound
+
+    def test_integer_below_deterministic_for_one(self):
+        bc = BitCounter(4)
+        assert bc.integer_below(1) == 0
+        assert bc.bits_used == 0
+
+    def test_integer_below_power_of_two_exact_cost(self):
+        bc = BitCounter(5)
+        bc.integer_below(8)
+        assert bc.bits_used == 3
+
+    def test_integer_below_rejects_zero(self):
+        with pytest.raises(ValueError):
+            BitCounter(0).integer_below(0)
+
+    def test_integer_below_roughly_uniform(self):
+        bc = BitCounter(6)
+        counts = np.bincount([bc.integer_below(4) for _ in range(4000)], minlength=4)
+        assert counts.min() > 800  # expectation 1000 each
+
+    def test_permutation_valid(self):
+        bc = BitCounter(7)
+        for d in (1, 2, 3, 5):
+            perm = bc.permutation(d)
+            assert sorted(perm) == list(range(d))
+
+    def test_permutation_costs_bits(self):
+        bc = BitCounter(8)
+        bc.permutation(4)
+        assert bc.bits_used >= 4  # log2(4!) ~ 4.58 entropy, rejection >= that
+
+    def test_permutation_covers_all_orderings(self):
+        bc = BitCounter(9)
+        seen = {bc.permutation(3) for _ in range(500)}
+        assert len(seen) == 6
+
+    def test_uniform_node_in_box(self):
+        mesh = Mesh((8, 8))
+        box = Submesh(mesh, (2, 3), (5, 6))
+        bc = BitCounter(10)
+        for _ in range(100):
+            assert box.contains_node(bc.uniform_node(box))
+
+    def test_uniform_node_covers_box(self):
+        mesh = Mesh((4, 4))
+        box = Submesh(mesh, (0, 0), (1, 1))
+        bc = BitCounter(11)
+        seen = {bc.uniform_node(box) for _ in range(200)}
+        assert seen == set(box.nodes().tolist())
+
+    def test_reset(self):
+        bc = BitCounter(12)
+        bc.bits(10)
+        bc.reset()
+        assert bc.bits_used == 0
+
+    def test_deterministic_given_seed(self):
+        a = BitCounter(np.random.default_rng(42))
+        b = BitCounter(np.random.default_rng(42))
+        assert [a.bits(9) for _ in range(10)] == [b.bits(9) for _ in range(10)]
+
+
+class TestRecycledBits:
+    @pytest.fixture
+    def mesh(self):
+        return Mesh((16, 16))
+
+    def test_master_node_in_largest(self, mesh):
+        largest = Submesh(mesh, (4, 4), (11, 11))
+        rb = RecycledBits(BitCounter(0), largest)
+        assert largest.contains_node(rb.master_node(0))
+        assert largest.contains_node(rb.master_node(1))
+
+    def test_bit_budget_is_two_masters(self, mesh):
+        largest = Submesh(mesh, (0, 0), (7, 7))  # 8x8 -> 3 bits/dim
+        bc = BitCounter(0)
+        RecycledBits(bc, largest)
+        assert bc.bits_used == 2 * 2 * 3
+
+    def test_derived_nodes_inside_their_boxes(self, mesh):
+        largest = Submesh(mesh, (0, 0), (7, 7))
+        rb = RecycledBits(BitCounter(1), largest)
+        small = Submesh(mesh, (2, 4), (3, 5))  # 2x2 power-of-two box
+        for step in range(6):
+            assert small.contains_node(rb.node_for(step, small))
+
+    def test_derivation_consumes_no_new_bits(self, mesh):
+        largest = Submesh(mesh, (0, 0), (7, 7))
+        bc = BitCounter(2)
+        rb = RecycledBits(bc, largest)
+        before = bc.bits_used
+        rb.node_for(1, Submesh(mesh, (0, 0), (3, 3)))
+        rb.node_for(2, Submesh(mesh, (4, 4), (7, 7)))
+        assert bc.bits_used == before
+
+    def test_largest_box_returns_master(self, mesh):
+        largest = Submesh(mesh, (0, 0), (7, 7))
+        rb = RecycledBits(BitCounter(3), largest)
+        assert rb.node_for(0, largest) == rb.master_node(0)
+        assert rb.node_for(1, largest) == rb.master_node(1)
+
+    def test_alternation_by_parity(self, mesh):
+        largest = Submesh(mesh, (0, 0), (7, 7))
+        rb = RecycledBits(BitCounter(4), largest)
+        box = Submesh(mesh, (0, 0), (3, 3))
+        assert rb.node_for(0, box) == rb.node_for(2, box)
+        assert rb.node_for(1, box) == rb.node_for(3, box)
+
+    def test_non_power_of_two_derived_rejected(self, mesh):
+        largest = Submesh(mesh, (0, 0), (7, 7))
+        rb = RecycledBits(BitCounter(5), largest)
+        with pytest.raises(ValueError):
+            rb.node_for(0, Submesh(mesh, (0, 0), (2, 2)))  # side 3
+
+    def test_wider_than_master_rejected(self, mesh):
+        largest = Submesh(mesh, (0, 0), (3, 3))
+        rb = RecycledBits(BitCounter(6), largest)
+        with pytest.raises(ValueError):
+            rb.node_for(0, Submesh(mesh, (0, 0), (7, 7)))
+
+    def test_derived_nodes_uniform(self, mesh):
+        """Low-bit derivation keeps per-box uniformity."""
+        largest = Submesh(mesh, (0, 0), (7, 7))
+        box = Submesh(mesh, (0, 0), (1, 1))
+        counts = np.zeros(mesh.n, dtype=int)
+        rng = np.random.default_rng(123)
+        for _ in range(2000):
+            rb = RecycledBits(BitCounter(rng), largest)
+            counts[rb.node_for(0, box)] += 1
+        hits = counts[box.nodes()]
+        assert hits.sum() == 2000
+        assert hits.min() > 380  # expectation 500 each

@@ -1,0 +1,160 @@
+"""Tests for the rectangular-mesh extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.path_selection import HierarchicalRouter
+from repro.core.rect import RectDecomposition, RectHierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.mesh.paths import is_valid_path, path_length
+from repro.workloads.generators import random_pairs
+
+
+class TestRectDecomposition:
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            RectDecomposition(Mesh((6, 8)))
+
+    def test_rejects_torus(self):
+        with pytest.raises(ValueError):
+            RectDecomposition(Mesh((8, 8), torus=True))
+
+    def test_levels_follow_largest_side(self):
+        dec = RectDecomposition(Mesh((32, 4)))
+        assert dec.k == 5
+        assert dec.sides_at_level(0) == (32, 4)
+        assert dec.sides_at_level(3) == (4, 1)
+        assert dec.sides_at_level(5) == (1, 1)
+
+    def test_exhausted_dimension_not_shifted(self):
+        dec = RectDecomposition(Mesh((32, 4)))
+        # at level 3 dim 1 is a single node: its shift must be zero
+        for j in range(1, dec.num_types(3) + 1):
+            assert dec.shift_vector(3, j)[1] == 0
+
+    def test_type1_partition(self):
+        dec = RectDecomposition(Mesh((16, 4)))
+        for level in range(dec.k + 1):
+            covered = np.zeros(dec.mesh.n, dtype=int)
+            g = [m // s for m, s in zip(dec.mesh.sides, dec.sides_at_level(level))]
+            from itertools import product
+
+            for cell in product(*(range(x) for x in g)):
+                covered[dec.type1_box(level, cell).nodes()] += 1
+            assert np.all(covered == 1)
+
+    def test_type1_ancestors_nested(self):
+        dec = RectDecomposition(Mesh((16, 4, 8)))
+        node = dec.mesh.node(13, 2, 5)
+        prev = dec.type1_ancestor(node, 0)
+        for h in range(1, dec.k + 1):
+            cur = dec.type1_ancestor(node, h)
+            assert cur.contains_submesh(prev)
+            prev = cur
+
+    def test_containing_regulars_contain(self):
+        dec = RectDecomposition(Mesh((32, 8)))
+        from repro.mesh.submesh import Submesh
+
+        box = Submesh(dec.mesh, (14, 3), (17, 4))
+        for level in range(dec.k + 1):
+            for cand in dec.containing_regulars(box, level):
+                assert cand.contains_submesh(box)
+
+    def test_bridge_contains_both(self):
+        dec = RectDecomposition(Mesh((32, 8)))
+        mesh = dec.mesh
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            s, t = (int(x) for x in rng.integers(mesh.n, size=2))
+            if s == t:
+                continue
+            m1 = dec.type1_ancestor(s, 1)
+            m3 = dec.type1_ancestor(t, 1)
+            h, bridge = dec.find_bridge(m1, m3, 2)
+            assert bridge.contains_submesh(m1)
+            assert bridge.contains_submesh(m3)
+
+    def test_matches_cube_decomposition_on_cubes(self):
+        from repro.core.decomposition import Decomposition
+
+        mesh = Mesh((8, 8))
+        rect = RectDecomposition(mesh)
+        cube = Decomposition(mesh, scheme="multishift")
+        assert rect.k == cube.k
+        for level in range(rect.k + 1):
+            assert rect.sides_at_level(level) == (cube.side(level),) * 2
+        node = mesh.node(5, 2)
+        for h in range(rect.k + 1):
+            assert rect.type1_ancestor(node, h) == cube.type1_ancestor(node, h)
+
+
+class TestRectRouter:
+    @pytest.mark.parametrize("sides", [(32, 8), (16, 4, 4), (64, 2), (4, 16)])
+    def test_paths_valid(self, sides):
+        mesh = Mesh(sides)
+        router = RectHierarchicalRouter()
+        prob = random_pairs(mesh, 150, seed=1)
+        res = router.route(prob, seed=2)
+        assert res.validate()
+
+    @pytest.mark.parametrize("sides", [(32, 8), (16, 4, 4), (4, 16)])
+    def test_stretch_empirically_bounded(self, sides):
+        """No proof on rectangles; empirically the cube envelope holds for
+        moderate aspect ratios (documented extension caveat)."""
+        from repro.analysis.theory import stretch_bound_general
+
+        mesh = Mesh(sides)
+        router = RectHierarchicalRouter()
+        prob = random_pairs(mesh, 200, seed=3)
+        res = router.route(prob, seed=4)
+        assert res.stretch <= stretch_bound_general(mesh.d)
+
+    def test_trivial_packet(self):
+        router = RectHierarchicalRouter()
+        p = router.select_path(Mesh((32, 8)), 5, 5, np.random.default_rng(0))
+        assert p.tolist() == [5]
+
+    def test_sequence_nested(self):
+        mesh = Mesh((32, 8))
+        router = RectHierarchicalRouter()
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            s, t = (int(x) for x in rng.integers(mesh.n, size=2))
+            if s == t:
+                continue
+            seq, peak = router.submesh_sequence(mesh, s, t)
+            for i in range(peak):
+                assert seq[i + 1].contains_submesh(seq[i])
+            for i in range(peak, len(seq) - 1):
+                assert seq[i].contains_submesh(seq[i + 1])
+
+    def test_agrees_with_cube_router_quality_on_cubes(self):
+        """On an actual cube the rectangular router's quality matches the
+        proved router's (same construction, independent code path)."""
+        mesh = Mesh((16, 16))
+        prob = random_pairs(mesh, 200, seed=6)
+        rect = RectHierarchicalRouter().route(prob, seed=7)
+        cube = HierarchicalRouter(variant="general", scheme="multishift").route(
+            prob, seed=7
+        )
+        assert rect.validate() and cube.validate()
+        assert rect.stretch <= 2 * cube.stretch + 4
+        assert rect.congestion <= 2 * cube.congestion + 4
+
+    def test_long_thin_mesh_degenerates_gracefully(self):
+        """Extreme aspect ratios lose the bridge guarantee but stay valid
+        and within a small multiple of the cube envelope."""
+        mesh = Mesh((64, 2))
+        router = RectHierarchicalRouter()
+        prob = random_pairs(mesh, 200, seed=8)
+        res = router.route(prob, seed=9)
+        assert res.validate()
+        assert res.stretch <= 128  # 2x the cube bound; documented caveat
+
+    def test_drop_cycles_flag(self):
+        mesh = Mesh((16, 4))
+        router = RectHierarchicalRouter(drop_cycles=False)
+        rng = np.random.default_rng(10)
+        p = router.select_path(mesh, 0, mesh.n - 1, rng)
+        assert is_valid_path(mesh, p, 0, mesh.n - 1)

@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) for the path-selection algorithm.
+
+These drive the core theorems as *universally quantified* properties over
+random meshes (dimension, size, torus flag), random endpoint pairs and
+random seeds — the strongest form of the reproduction's correctness claims.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.theory import stretch_bound_2d, stretch_bound_general
+from repro.core.bridges import bridge_height_bound_2d, common_ancestor_2d
+from repro.core.decomposition import Decomposition
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.mesh.paths import is_valid_path, path_length
+
+
+@st.composite
+def pow2_mesh_and_pair(draw, max_d: int = 3, max_k: int = 4, torus=None):
+    d = draw(st.integers(1, max_d))
+    k = draw(st.integers(1, max_k if d < 3 else 3))
+    is_torus = draw(st.booleans()) if torus is None else torus
+    mesh = Mesh(((1 << k),) * d, torus=is_torus)
+    s = draw(st.integers(0, mesh.n - 1))
+    t = draw(st.integers(0, mesh.n - 1))
+    if s == t:
+        t = (t + 1) % mesh.n
+    return mesh, s, t
+
+
+@settings(max_examples=120, deadline=None)
+@given(pow2_mesh_and_pair(), st.integers(0, 2**31))
+def test_selected_paths_always_valid(case, seed):
+    mesh, s, t = case
+    router = HierarchicalRouter()
+    p = router.select_path(mesh, s, t, np.random.default_rng(seed))
+    assert is_valid_path(mesh, p, s, t)
+
+
+@settings(max_examples=120, deadline=None)
+@given(pow2_mesh_and_pair(), st.integers(0, 2**31))
+def test_stretch_theorem_universal(case, seed):
+    """Theorem 3.4 / 4.2 as a property: every path of every packet on every
+    power-of-two mesh respects the dimension-appropriate stretch ceiling."""
+    mesh, s, t = case
+    router = HierarchicalRouter()
+    p = router.select_path(mesh, s, t, np.random.default_rng(seed))
+    bound = stretch_bound_2d() if mesh.d <= 2 else stretch_bound_general(mesh.d)
+    assert path_length(p) <= bound * mesh.distance(s, t)
+
+
+@settings(max_examples=100, deadline=None)
+@given(pow2_mesh_and_pair(max_d=2), st.integers(0, 2**31))
+def test_bridge_height_lemma_universal(case, seed):
+    """Lemma 3.3 as a property over 1-D/2-D meshes and tori."""
+    mesh, s, t = case
+    dec = Decomposition(mesh)
+    h, bridge = common_ancestor_2d(dec, s, t)
+    dist = int(mesh.distance(s, t))
+    assert h <= max(bridge_height_bound_2d(dist), 2)
+    assert bridge.box.contains_submesh(dec.type1_ancestor(s, h - 1))
+    assert bridge.box.contains_submesh(dec.type1_ancestor(t, h - 1))
+
+
+@settings(max_examples=60, deadline=None)
+@given(pow2_mesh_and_pair(), st.integers(0, 2**31))
+def test_recycled_bits_paths_valid_universal(case, seed):
+    mesh, s, t = case
+    router = HierarchicalRouter(bit_mode="recycled")
+    p = router.select_path(mesh, s, t, np.random.default_rng(seed))
+    assert is_valid_path(mesh, p, s, t)
+    assert router.bits_log[-1] > 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(pow2_mesh_and_pair(torus=False), st.integers(0, 2**31))
+def test_sequence_structure_universal(case, seed):
+    """The bitonic sequence is nested up to the bridge and down after it."""
+    mesh, s, t = case
+    router = HierarchicalRouter()
+    seq, peak = router.submesh_sequence(mesh, s, t)
+    assert seq[0].contains_node(s) and seq[0].is_single_node
+    assert seq[-1].contains_node(t) and seq[-1].is_single_node
+    for i in range(peak):
+        assert seq[i + 1].contains_submesh(seq[i])
+    for i in range(peak, len(seq) - 1):
+        assert seq[i].contains_submesh(seq[i + 1])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(1, 2),
+    st.integers(2, 3),
+    st.integers(0, 2**31),
+    st.integers(4, 24),
+)
+def test_congestion_dominates_boundary_bound(d, k, seed, packets):
+    """C >= B for the hierarchical router on random problems (Section 2)."""
+    from repro.metrics.bounds import boundary_congestion
+    from repro.workloads.generators import random_pairs
+
+    mesh = Mesh(((1 << k),) * d)
+    prob = random_pairs(mesh, packets, seed=seed % 1000)
+    res = HierarchicalRouter().route(prob, seed=seed % 997)
+    b = boundary_congestion(mesh, prob.sources, prob.dests)
+    assert res.congestion >= b - 1e-9

@@ -1,0 +1,113 @@
+"""Tests for routing problems, results and the oblivious routing protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.routing.base import RoutingProblem, RoutingResult
+from repro.workloads.generators import random_pairs
+
+
+@pytest.fixture
+def mesh():
+    return Mesh((8, 8))
+
+
+class TestRoutingProblem:
+    def test_construction(self, mesh):
+        p = RoutingProblem(mesh, np.asarray([0, 1]), np.asarray([5, 6]), "t")
+        assert p.num_packets == 2
+        assert len(p) == 2
+        assert list(p.pairs()) == [(0, 5), (1, 6)]
+
+    def test_shape_mismatch(self, mesh):
+        with pytest.raises(ValueError):
+            RoutingProblem(mesh, np.asarray([0, 1]), np.asarray([5]))
+
+    def test_out_of_range(self, mesh):
+        with pytest.raises(ValueError):
+            RoutingProblem(mesh, np.asarray([0]), np.asarray([64]))
+        with pytest.raises(ValueError):
+            RoutingProblem(mesh, np.asarray([-1]), np.asarray([0]))
+
+    def test_distances_and_max(self, mesh):
+        p = RoutingProblem(mesh, np.asarray([0, 0]), np.asarray([63, 1]))
+        assert p.distances.tolist() == [14, 1]
+        assert p.max_distance == 14
+
+    def test_empty_problem(self, mesh):
+        p = RoutingProblem(mesh, np.asarray([], dtype=int), np.asarray([], dtype=int))
+        assert p.num_packets == 0
+        assert p.max_distance == 0
+
+    def test_subproblem(self, mesh):
+        p = RoutingProblem(mesh, np.asarray([0, 1, 2]), np.asarray([5, 6, 7]), "x")
+        sub = p.subproblem([0, 2])
+        assert sub.num_packets == 2
+        assert list(sub.pairs()) == [(0, 5), (2, 7)]
+
+    def test_describe(self, mesh):
+        p = RoutingProblem(mesh, np.asarray([0]), np.asarray([63]), "demo")
+        text = p.describe()
+        assert "demo" in text and "1 packets" in text
+
+    def test_immutable(self, mesh):
+        p = RoutingProblem(mesh, np.asarray([0]), np.asarray([1]))
+        with pytest.raises(AttributeError):
+            p.name = "other"
+
+
+class TestRoutingResult:
+    def test_metrics_cached_and_consistent(self, mesh):
+        router = HierarchicalRouter()
+        problem = random_pairs(mesh, 25, seed=0)
+        res = router.route(problem, seed=0)
+        assert res.congestion == int(res.edge_loads.max())
+        assert res.dilation == max(len(p) - 1 for p in res.paths)
+        assert res.stretch == np.nanmax(res.stretches)
+        assert res.total_path_length == sum(len(p) - 1 for p in res.paths)
+
+    def test_path_count_enforced(self, mesh):
+        problem = random_pairs(mesh, 3, seed=1)
+        with pytest.raises(ValueError):
+            RoutingResult(problem, [np.asarray([0, 1])], "x")
+
+    def test_validate_detects_bad_path(self, mesh):
+        problem = RoutingProblem(mesh, np.asarray([0]), np.asarray([2]))
+        bad = RoutingResult(problem, [np.asarray([0, 2])], "bad")
+        assert not bad.validate()
+
+    def test_summary(self, mesh):
+        router = HierarchicalRouter()
+        res = router.route(random_pairs(mesh, 5, seed=2), seed=0)
+        text = res.summary()
+        assert "C=" in text and "stretch=" in text
+
+
+class TestObliviousness:
+    def test_other_paths_unchanged_when_one_packet_changes(self, mesh):
+        """The structural oblivious property: packet i's path depends only
+        on (s_i, t_i) and its own random stream — changing packet 0's
+        destination must leave every other packet's path identical."""
+        router = HierarchicalRouter()
+        base = random_pairs(mesh, 20, seed=3)
+        dests2 = base.dests.copy()
+        dests2[0] = (dests2[0] + 7) % mesh.n
+        if dests2[0] == base.sources[0]:
+            dests2[0] = (dests2[0] + 1) % mesh.n
+        altered = RoutingProblem(mesh, base.sources, dests2, "altered")
+        a = router.route(base, seed=99)
+        b = router.route(altered, seed=99)
+        for i in range(1, 20):
+            np.testing.assert_array_equal(a.paths[i], b.paths[i])
+
+    def test_is_oblivious_flags(self):
+        from repro.routing.baselines import (
+            GreedyMinCongestionRouter,
+            ValiantRouter,
+        )
+
+        assert HierarchicalRouter.is_oblivious
+        assert ValiantRouter.is_oblivious
+        assert not GreedyMinCongestionRouter.is_oblivious

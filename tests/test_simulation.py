@@ -1,0 +1,142 @@
+"""Tests for the synchronous store-and-forward scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.mesh.paths import dimension_order_path
+from repro.routing.baselines import DimensionOrderRouter
+from repro.simulation.scheduler import simulate
+from repro.workloads.generators import random_pairs
+from repro.workloads.permutations import transpose
+
+
+@pytest.fixture
+def mesh():
+    return Mesh((8, 8))
+
+
+class TestBasics:
+    def test_single_packet_takes_its_length(self, mesh):
+        p = dimension_order_path(mesh, 0, 63)
+        res = simulate(mesh, [p])
+        assert res.makespan == len(p) - 1
+        assert res.delivery_times[0] == res.makespan
+
+    def test_no_packets(self, mesh):
+        res = simulate(mesh, [])
+        assert res.makespan == 0
+
+    def test_stationary_packet(self, mesh):
+        res = simulate(mesh, [np.asarray([5])])
+        assert res.makespan == 0
+        assert res.delivery_times[0] == 0
+
+    def test_two_packets_share_edge(self, mesh):
+        p = np.asarray([0, 1])
+        res = simulate(mesh, [p, p])
+        assert res.makespan == 2  # one per step over the shared edge
+
+    def test_disjoint_packets_parallel(self, mesh):
+        a = np.asarray([0, 1])
+        b = np.asarray([62, 63])
+        res = simulate(mesh, [a, b])
+        assert res.makespan == 1
+
+    def test_invalid_policy(self, mesh):
+        with pytest.raises(ValueError):
+            simulate(mesh, [np.asarray([0, 1])], policy="nope")
+
+    def test_max_steps_guard(self, mesh):
+        p = dimension_order_path(mesh, 0, 63)
+        with pytest.raises(RuntimeError):
+            simulate(mesh, [p], max_steps=3)
+
+
+class TestBounds:
+    @pytest.mark.parametrize("policy", ["farthest-first", "fifo", "random"])
+    def test_makespan_bounds(self, mesh, policy):
+        problem = random_pairs(mesh, 60, seed=0)
+        result = HierarchicalRouter().route(problem, seed=1)
+        sim = simulate(mesh, result, policy=policy, seed=2)
+        assert sim.makespan >= max(sim.congestion, sim.dilation)
+        assert sim.makespan <= sim.congestion * sim.dilation + sim.dilation
+        assert np.all(sim.delivery_times <= sim.makespan)
+
+    def test_every_packet_delivered_once(self, mesh):
+        problem = random_pairs(mesh, 40, seed=3)
+        result = DimensionOrderRouter().route(problem, seed=0)
+        sim = simulate(mesh, result)
+        lengths = np.asarray([len(p) - 1 for p in result.paths])
+        assert np.all(sim.delivery_times >= lengths)
+
+    def test_cd_metrics_match_routing_result(self, mesh):
+        problem = transpose(mesh)
+        result = HierarchicalRouter().route(problem, seed=4)
+        sim = simulate(mesh, result)
+        assert sim.congestion == result.congestion
+        assert sim.dilation == result.dilation
+        assert sim.cd_bound == result.congestion + result.dilation
+
+    def test_efficiency_range(self, mesh):
+        problem = random_pairs(mesh, 30, seed=5)
+        result = HierarchicalRouter().route(problem, seed=6)
+        sim = simulate(mesh, result)
+        assert 0.4 <= sim.efficiency  # >= 0.5 up to rounding of tiny cases
+
+    def test_summary(self, mesh):
+        sim = simulate(mesh, [np.asarray([0, 1])])
+        assert "makespan=1" in sim.summary()
+
+
+class TestPolicies:
+    def test_fifo_priority_order(self, mesh):
+        """Under FIFO (by index), the lower-index packet wins the edge."""
+        p = np.asarray([0, 1])
+        res = simulate(mesh, [p, p], policy="fifo")
+        assert res.delivery_times[0] == 1
+        assert res.delivery_times[1] == 2
+
+    def test_farthest_first_prefers_long_paths(self, mesh):
+        long = dimension_order_path(mesh, 0, 63)
+        short = long[:2].copy()
+        res = simulate(mesh, [short, long], policy="farthest-first")
+        # The long packet wins the first shared edge.
+        assert res.delivery_times[1] == len(long) - 1
+
+    def test_random_policy_seeded(self, mesh):
+        problem = random_pairs(mesh, 30, seed=7)
+        result = HierarchicalRouter().route(problem, seed=8)
+        a = simulate(mesh, result, policy="random", seed=1)
+        b = simulate(mesh, result, policy="random", seed=1)
+        assert a.makespan == b.makespan
+        np.testing.assert_array_equal(a.delivery_times, b.delivery_times)
+
+
+class TestRandomDelayPolicy:
+    def test_delivers_everything(self, mesh):
+        problem = random_pairs(mesh, 50, seed=9)
+        result = HierarchicalRouter().route(problem, seed=10)
+        sim = simulate(mesh, result, policy="random-delay", seed=11)
+        assert np.all(sim.delivery_times >= 0)
+        assert sim.makespan >= max(sim.congestion, sim.dilation)
+        # delays are bounded by C, so makespan <= 2C + schedule length
+        assert sim.makespan <= 3 * sim.cd_bound + 8
+
+    def test_reproducible(self, mesh):
+        problem = random_pairs(mesh, 30, seed=12)
+        result = HierarchicalRouter().route(problem, seed=13)
+        a = simulate(mesh, result, policy="random-delay", seed=1)
+        b = simulate(mesh, result, policy="random-delay", seed=1)
+        assert a.makespan == b.makespan
+
+
+class TestTorusSimulation:
+    def test_wrap_edges_schedule(self):
+        torus = Mesh((8, 8), torus=True)
+        problem = random_pairs(torus, 40, seed=14)
+        result = HierarchicalRouter().route(problem, seed=15)
+        sim = simulate(torus, result)
+        assert sim.makespan >= max(sim.congestion, sim.dilation)
+        assert np.all(sim.delivery_times <= sim.makespan)

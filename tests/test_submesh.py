@@ -1,0 +1,215 @@
+"""Unit tests for the submesh (axis-aligned box) algebra."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.mesh import Mesh
+from repro.mesh.submesh import Submesh
+
+
+@pytest.fixture
+def mesh():
+    return Mesh((8, 8))
+
+
+class TestConstruction:
+    def test_paper_notation_example(self, mesh):
+        # "[0,3][2,5] refers to a 4x4 submesh" (Section 2)
+        s = Submesh(mesh, (0, 2), (3, 5))
+        assert s.sides == (4, 4)
+        assert s.size == 16
+
+    def test_rejects_inverted(self, mesh):
+        with pytest.raises(ValueError):
+            Submesh(mesh, (3, 0), (2, 5))
+
+    def test_rejects_out_of_bounds(self, mesh):
+        with pytest.raises(ValueError):
+            Submesh(mesh, (0, 0), (8, 5))
+        with pytest.raises(ValueError):
+            Submesh(mesh, (-1, 0), (3, 5))
+
+    def test_rejects_wrong_arity(self, mesh):
+        with pytest.raises(ValueError):
+            Submesh(mesh, (0,), (3,))
+
+    def test_whole(self, mesh):
+        w = Submesh.whole(mesh)
+        assert w.size == mesh.n
+        assert w.sides == mesh.sides
+
+    def test_single(self, mesh):
+        s = Submesh.single(mesh, mesh.node(3, 4))
+        assert s.is_single_node
+        assert s.size == 1
+        assert s.contains_node(mesh.node(3, 4))
+
+    def test_immutable(self, mesh):
+        s = Submesh.whole(mesh)
+        with pytest.raises(AttributeError):
+            s.lo = (1, 1)
+
+    def test_equality_and_hash(self, mesh):
+        a = Submesh(mesh, (0, 0), (3, 3))
+        b = Submesh(mesh, (0, 0), (3, 3))
+        c = Submesh(mesh, (0, 0), (3, 4))
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_repr(self, mesh):
+        assert repr(Submesh(mesh, (0, 2), (3, 5))) == "Submesh[0,3][2,5]"
+
+
+class TestMembership:
+    def test_contains_node(self, mesh):
+        s = Submesh(mesh, (2, 2), (5, 5))
+        assert s.contains_node(mesh.node(2, 2))
+        assert s.contains_node(mesh.node(5, 5))
+        assert not s.contains_node(mesh.node(1, 3))
+        assert not s.contains_node(mesh.node(6, 3))
+
+    def test_contains_node_vectorized(self, mesh):
+        s = Submesh(mesh, (0, 0), (3, 3))
+        nodes = np.asarray([mesh.node(0, 0), mesh.node(4, 4), mesh.node(3, 3)])
+        np.testing.assert_array_equal(s.contains_node(nodes), [True, False, True])
+
+    def test_contains_submesh(self, mesh):
+        outer = Submesh(mesh, (0, 0), (5, 5))
+        inner = Submesh(mesh, (1, 2), (3, 4))
+        assert outer.contains_submesh(inner)
+        assert not inner.contains_submesh(outer)
+        assert outer.contains_submesh(outer)
+
+    def test_intersect(self, mesh):
+        a = Submesh(mesh, (0, 0), (3, 3))
+        b = Submesh(mesh, (2, 2), (5, 5))
+        i = a.intersect(b)
+        assert i == Submesh(mesh, (2, 2), (3, 3))
+        assert a.intersect(b) == b.intersect(a)
+
+    def test_disjoint_intersection(self, mesh):
+        a = Submesh(mesh, (0, 0), (1, 1))
+        b = Submesh(mesh, (4, 4), (6, 6))
+        assert a.intersect(b) is None
+        assert not a.overlaps(b)
+
+
+class TestNodes:
+    def test_nodes_count(self, mesh):
+        s = Submesh(mesh, (1, 2), (3, 5))
+        assert s.nodes().size == s.size
+
+    def test_nodes_all_inside(self, mesh):
+        s = Submesh(mesh, (1, 2), (3, 5))
+        assert np.all(s.contains_node(s.nodes()))
+
+    def test_iter_coords_matches_nodes(self, mesh):
+        s = Submesh(mesh, (0, 6), (1, 7))
+        from_iter = sorted(
+            mesh.node(*c) for c in s.iter_coords()
+        )
+        assert from_iter == sorted(s.nodes().tolist())
+
+    def test_sample_node_inside(self, mesh):
+        rng = np.random.default_rng(0)
+        s = Submesh(mesh, (2, 3), (4, 6))
+        for _ in range(50):
+            assert s.contains_node(s.sample_node(rng))
+
+    def test_sample_node_covers_box(self, mesh):
+        rng = np.random.default_rng(0)
+        s = Submesh(mesh, (0, 0), (1, 1))
+        seen = {s.sample_node(rng) for _ in range(200)}
+        assert seen == set(s.nodes().tolist())
+
+    def test_clamp_coords(self, mesh):
+        s = Submesh(mesh, (2, 2), (5, 5))
+        assert s.clamp_coords((0, 7)) == (2, 5)
+        assert s.clamp_coords((3, 3)) == (3, 3)
+
+
+class TestOut:
+    def test_interior_square(self, mesh):
+        s = Submesh(mesh, (2, 2), (5, 5))
+        assert s.out() == 16  # 4 faces x 4 edges
+
+    def test_corner_square(self, mesh):
+        s = Submesh(mesh, (0, 0), (3, 3))
+        assert s.out() == 8  # only 2 interior faces
+
+    def test_whole_mesh_no_boundary(self, mesh):
+        assert Submesh.whole(mesh).out() == 0
+
+    def test_single_node(self, mesh):
+        assert Submesh.single(mesh, mesh.node(3, 3)).out() == 4
+        assert Submesh.single(mesh, mesh.node(0, 0)).out() == 2
+
+    def test_full_span_dimension(self, mesh):
+        # A row spanning the full x extent: boundary only along y.
+        s = Submesh(mesh, (0, 3), (7, 4))
+        assert s.out() == 16
+
+    def test_out_matches_enumeration(self, mesh):
+        boxes = [
+            Submesh(mesh, (2, 2), (5, 5)),
+            Submesh(mesh, (0, 0), (3, 3)),
+            Submesh(mesh, (0, 3), (7, 4)),
+            Submesh.single(mesh, mesh.node(4, 0)),
+            Submesh(mesh, (1, 0), (6, 7)),
+        ]
+        for b in boxes:
+            assert b.out() == b.boundary_edge_ids().size
+
+    def test_out_torus(self):
+        t = Mesh((8, 8), torus=True)
+        s = Submesh(t, (0, 0), (3, 3))
+        # On the torus every face of every dimension counts.
+        assert s.out() == 16
+        assert s.out() == s.boundary_edge_ids().size
+
+    def test_out_3d(self):
+        m = Mesh((4, 4, 4))
+        s = Submesh(m, (1, 1, 1), (2, 2, 2))
+        assert s.out() == 6 * 4
+        assert s.out() == s.boundary_edge_ids().size
+
+    def test_lemma_a4_examples(self):
+        # out(M') >= (n')^{(d-1)/d} when every dim keeps an interior face
+        m = Mesh((16, 16))
+        for lo, hi in [((2, 2), (5, 5)), ((1, 1), (8, 12)), ((3, 7), (3, 7))]:
+            s = Submesh(m, lo, hi)
+            assert s.out() >= s.size ** ((m.d - 1) / m.d) - 1e-9
+
+
+class TestDecompositionHelpers:
+    def test_halve_counts(self, mesh):
+        children = Submesh.whole(mesh).halve()
+        assert len(children) == 4
+        assert all(c.sides == (4, 4) for c in children)
+
+    def test_halve_partitions(self, mesh):
+        whole = Submesh.whole(mesh)
+        children = whole.halve()
+        all_nodes = np.sort(np.concatenate([c.nodes() for c in children]))
+        np.testing.assert_array_equal(all_nodes, np.sort(whole.nodes()))
+
+    def test_halve_odd_raises(self, mesh):
+        with pytest.raises(ValueError):
+            Submesh(mesh, (0, 0), (2, 2)).halve()
+
+    def test_halve_3d(self):
+        m = Mesh((4, 4, 4))
+        children = Submesh.whole(m).halve()
+        assert len(children) == 8
+        assert sum(c.size for c in children) == m.n
+
+    def test_bounding_with(self, mesh):
+        a = Submesh(mesh, (0, 0), (1, 1))
+        b = Submesh(mesh, (4, 2), (5, 3))
+        bb = a.bounding_with(b)
+        assert bb == Submesh(mesh, (0, 0), (5, 3))
+        assert bb.contains_submesh(a) and bb.contains_submesh(b)
+
+    def test_bounding_box_of_pair(self, mesh):
+        r = Submesh.bounding_box(mesh, mesh.node(5, 1), mesh.node(2, 6))
+        assert r == Submesh(mesh, (2, 1), (5, 6))

@@ -1,0 +1,99 @@
+"""Property-based tests for submesh algebra."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import meshes, submesh_pairs, submeshes
+
+from repro.mesh.mesh import Mesh
+from repro.mesh.submesh import Submesh
+
+
+SMALL = meshes(max_d=3, max_side=6, min_side=2)
+
+
+@settings(max_examples=60)
+@given(submeshes(mesh_strategy=SMALL))
+def test_out_matches_boundary_enumeration(box):
+    assert box.out() == box.boundary_edge_ids().size
+
+
+@settings(max_examples=60)
+@given(submeshes(mesh_strategy=meshes(max_d=2, max_side=6, min_side=2, torus=True)))
+def test_out_matches_boundary_enumeration_torus(box):
+    assert box.out() == box.boundary_edge_ids().size
+
+
+@given(submeshes(mesh_strategy=SMALL))
+def test_size_matches_node_count(box):
+    assert box.nodes().size == box.size
+
+
+@given(submesh_pairs(mesh_strategy=SMALL))
+def test_intersection_commutative(pair):
+    a, b = pair
+    assert a.intersect(b) == b.intersect(a)
+
+
+@given(submesh_pairs(mesh_strategy=SMALL))
+def test_intersection_is_contained(pair):
+    a, b = pair
+    i = a.intersect(b)
+    if i is not None:
+        assert a.contains_submesh(i)
+        assert b.contains_submesh(i)
+
+
+@given(submesh_pairs(mesh_strategy=SMALL))
+def test_intersection_exact_membership(pair):
+    a, b = pair
+    nodes_a = set(a.nodes().tolist())
+    nodes_b = set(b.nodes().tolist())
+    i = a.intersect(b)
+    expected = nodes_a & nodes_b
+    if i is None:
+        assert not expected
+    else:
+        assert set(i.nodes().tolist()) == expected
+
+
+@given(submeshes(mesh_strategy=SMALL))
+def test_bounding_with_self_is_identity(box):
+    assert box.bounding_with(box) == box
+
+
+@given(submesh_pairs(mesh_strategy=SMALL))
+def test_bounding_contains_both(pair):
+    a, b = pair
+    bb = a.bounding_with(b)
+    assert bb.contains_submesh(a) and bb.contains_submesh(b)
+
+
+@settings(max_examples=40)
+@given(st.integers(1, 3), st.integers(1, 3))
+def test_halve_partitions_pow2_cubes(d, k):
+    mesh = Mesh(((1 << k),) * d)
+    whole = Submesh.whole(mesh)
+    children = whole.halve()
+    assert len(children) == 2**d
+    nodes = np.concatenate([c.nodes() for c in children])
+    assert np.unique(nodes).size == mesh.n
+
+
+@settings(max_examples=60)
+@given(submeshes(mesh_strategy=meshes(max_d=3, max_side=8, min_side=4)))
+def test_lemma_a4_lower_bound(box):
+    """Lemma A.4: out(M') >= (n')^{(d-1)/d}, given an interior face per dim."""
+    mesh = box.mesh
+    for i in range(mesh.d):
+        assume(box.lo[i] > 0 or box.hi[i] < mesh.sides[i] - 1)
+    d = mesh.d
+    assert box.out() >= box.size ** ((d - 1) / d) - 1e-9
+
+
+@given(submeshes(mesh_strategy=SMALL))
+def test_sample_node_always_inside(box):
+    rng = np.random.default_rng(7)
+    for _ in range(10):
+        assert box.contains_node(box.sample_node(rng))

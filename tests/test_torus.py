@@ -1,0 +1,241 @@
+"""Tests for the torus model: wrapped boxes, decomposition and routing.
+
+The paper's proofs "assume, for simplicity, that we are on the torus",
+where all shifted submeshes are full-size.  These tests exercise that model
+end to end, including the characteristic torus-only behaviour: pairs
+adjacent *across the wrap-around border* meet at constant height through a
+wrapped bridge.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bridges import common_ancestor_2d
+from repro.core.decomposition import Decomposition
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.mesh.submesh import Submesh
+from repro.mesh.torus_box import TorusBox, torus_bounding
+
+
+@pytest.fixture
+def torus():
+    return Mesh((16, 16), torus=True)
+
+
+class TestTorusBox:
+    def test_basic_geometry(self, torus):
+        b = TorusBox(torus, (14, 3), (4, 2))
+        assert b.sides == (4, 2)
+        assert b.size == 8
+        assert b.wraps()
+
+    def test_start_normalised(self, torus):
+        assert TorusBox(torus, (-2, 0), (4, 2)).start == (14, 0)
+
+    def test_invalid_lengths(self, torus):
+        with pytest.raises(ValueError):
+            TorusBox(torus, (0, 0), (17, 2))
+        with pytest.raises(ValueError):
+            TorusBox(torus, (0, 0), (0, 2))
+
+    def test_contains_wrapped_nodes(self, torus):
+        b = TorusBox(torus, (14, 0), (4, 4))
+        assert b.contains_node(torus.node(15, 2))
+        assert b.contains_node(torus.node(1, 0))
+        assert not b.contains_node(torus.node(4, 0))
+
+    def test_nodes_count_and_membership(self, torus):
+        b = TorusBox(torus, (14, 14), (4, 4))
+        nodes = b.nodes()
+        assert nodes.size == 16
+        assert np.all(b.contains_node(nodes))
+
+    def test_to_submesh_roundtrip(self, torus):
+        plain = Submesh(torus, (2, 3), (5, 6))
+        tb = TorusBox.from_submesh(plain)
+        assert not tb.wraps()
+        assert tb.to_submesh() == plain
+
+    def test_to_submesh_rejects_wrapped(self, torus):
+        with pytest.raises(ValueError):
+            TorusBox(torus, (14, 0), (4, 4)).to_submesh()
+
+    def test_contains_box_wrapped(self, torus):
+        outer = TorusBox(torus, (12, 12), (8, 8))
+        inner = TorusBox(torus, (14, 15), (2, 2))
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+    def test_contains_box_matches_node_sets(self, torus):
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            a = TorusBox(
+                torus,
+                rng.integers(0, 16, size=2),
+                rng.integers(1, 9, size=2),
+            )
+            b = TorusBox(
+                torus,
+                rng.integers(0, 16, size=2),
+                rng.integers(1, 17, size=2),
+            )
+            set_a = set(a.nodes().tolist())
+            set_b = set(b.nodes().tolist())
+            assert b.contains_box(a) == (set_a <= set_b)
+
+    def test_whole_ring_contains_everything(self, torus):
+        whole = TorusBox(torus, (5, 9), (16, 16))
+        assert whole.contains_box(TorusBox(torus, (13, 2), (7, 7)))
+
+    def test_offset_node_wraps(self, torus):
+        b = TorusBox(torus, (15, 15), (2, 2))
+        assert b.offset_node((1, 1)) == torus.node(0, 0)
+        with pytest.raises(ValueError):
+            b.offset_node((2, 0))
+
+    def test_sample_node_inside(self, torus):
+        b = TorusBox(torus, (14, 14), (4, 4))
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            assert b.contains_node(b.sample_node(rng))
+
+    def test_equality_and_hash(self, torus):
+        a = TorusBox(torus, (1, 2), (3, 4))
+        b = TorusBox(torus, (1, 2), (3, 4))
+        assert a == b and hash(a) == hash(b)
+        assert a != TorusBox(torus, (1, 2), (3, 5))
+
+
+class TestTorusBounding:
+    def test_prefers_short_way_around(self, torus):
+        a = Submesh(torus, (0, 0), (1, 1))
+        b = Submesh(torus, (14, 0), (15, 1))
+        bb = torus_bounding(a, b)
+        assert bb.lengths[0] == 4  # via the wrap, not 16
+        assert bb.contains_box(TorusBox.from_submesh(a))
+        assert bb.contains_box(TorusBox.from_submesh(b))
+
+    def test_interior_matches_plain_bounding(self, torus):
+        a = Submesh(torus, (2, 3), (4, 5))
+        b = Submesh(torus, (6, 1), (8, 2))
+        bb = torus_bounding(a, b)
+        plain = a.bounding_with(b)
+        assert not bb.wraps()
+        assert bb.to_submesh() == plain
+
+    def test_contains_both_randomised(self, torus):
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            a = TorusBox(torus, rng.integers(0, 16, size=2), rng.integers(1, 8, size=2))
+            b = TorusBox(torus, rng.integers(0, 16, size=2), rng.integers(1, 8, size=2))
+            bb = torus_bounding(a, b)
+            assert bb.contains_box(a)
+            assert bb.contains_box(b)
+
+
+class TestTorusDecomposition:
+    def test_all_pieces_full_size(self, torus):
+        dec = Decomposition(torus)
+        for level in range(1, dec.k + 1):
+            m_l = dec.side(level)
+            for j in range(2, dec.num_types(level) + 1):
+                regs = dec.shifted_at_level(level, j)
+                assert len(regs) == dec.num_cells(level) ** 2
+                for reg in regs:
+                    assert reg.box.sides == (m_l, m_l)
+                    assert not reg.truncated
+
+    def test_shifted_grid_tiles_torus(self, torus):
+        dec = Decomposition(torus)
+        for level in (1, 2):
+            covered = np.zeros(torus.n, dtype=int)
+            for reg in dec.shifted_at_level(level, 2):
+                covered[reg.box.nodes()] += 1
+            assert np.all(covered == 1)
+
+    def test_wrapped_pieces_exist(self, torus):
+        dec = Decomposition(torus)
+        wrapped = [
+            r for r in dec.shifted_at_level(1, 2) if isinstance(r.box, TorusBox)
+        ]
+        assert wrapped, "translation must wrap on the torus"
+
+    def test_containing_regulars_accepts_wrapped_target(self, torus):
+        dec = Decomposition(torus)
+        target = TorusBox(torus, (15, 15), (2, 2))
+        found = dec.containing_regulars(target, 1)
+        assert found
+        for reg in found:
+            assert reg.box.contains_box(target) if isinstance(
+                reg.box, TorusBox
+            ) else TorusBox.from_submesh(reg.box).contains_box(target)
+
+    def test_root_contains_everything(self, torus):
+        dec = Decomposition(torus)
+        target = TorusBox(torus, (9, 11), (14, 14))
+        assert dec.containing_regulars(target, 0)
+
+
+class TestTorusRouting:
+    def test_border_straddling_pair_meets_low(self, torus):
+        """(0, y) and (m-1, y) are adjacent on the torus; the wrapped
+        type-2 submeshes give them a constant-height bridge."""
+        dec = Decomposition(torus)
+        s, t = torus.node(0, 5), torus.node(15, 5)
+        h, bridge = common_ancestor_2d(dec, s, t)
+        assert h <= 3  # Lemma 3.3 with dist = 1
+
+    def test_stretch_bounded_on_torus(self, torus):
+        from repro.workloads.generators import random_pairs
+
+        router = HierarchicalRouter()
+        prob = random_pairs(torus, 300, seed=1)
+        res = router.route(prob, seed=2)
+        assert res.validate()
+        assert res.stretch <= 64
+
+    def test_wraparound_neighbors_stay_local(self, torus):
+        from repro.mesh.paths import path_length
+
+        router = HierarchicalRouter()
+        rng = np.random.default_rng(3)
+        for y in (0, 7, 15):
+            s, t = torus.node(15, y), torus.node(0, y)
+            for _ in range(10):
+                p = router.select_path(torus, s, t, rng)
+                assert path_length(p) <= 64
+
+    def test_3d_torus_routing(self):
+        from repro.workloads.permutations import random_permutation
+
+        mesh = Mesh((8, 8, 8), torus=True)
+        router = HierarchicalRouter()
+        res = router.route(random_permutation(mesh, seed=4), seed=5)
+        assert res.validate()
+        from repro.analysis.theory import stretch_bound_general
+
+        assert res.stretch <= stretch_bound_general(3)
+
+    def test_recycled_bits_on_torus(self, torus):
+        from repro.workloads.generators import random_pairs
+
+        router = HierarchicalRouter(bit_mode="recycled")
+        res = router.route(random_pairs(torus, 60, seed=6), seed=7)
+        assert res.validate()
+        assert all(b > 0 for b in router.bits_log)
+
+    def test_torus_vs_mesh_border_stretch(self):
+        """Border-wrap traffic: the mesh sees distance 15, the torus
+        distance 1 — both must keep their own stretch bounded."""
+        from repro.mesh.paths import path_length
+
+        for torus_flag in (False, True):
+            mesh = Mesh((16, 16), torus=torus_flag)
+            router = HierarchicalRouter()
+            rng = np.random.default_rng(8)
+            s, t = mesh.node(0, 8), mesh.node(15, 8)
+            dist = mesh.distance(s, t)
+            for _ in range(10):
+                p = router.select_path(mesh, s, t, rng)
+                assert path_length(p) <= 64 * dist

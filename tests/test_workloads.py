@@ -1,0 +1,254 @@
+"""Tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.mesh import Mesh
+from repro.routing.baselines import DimensionOrderRouter
+from repro.workloads.adversarial import adversarial_for_router, block_exchange
+from repro.workloads.generators import (
+    all_to_one,
+    local_traffic,
+    nearest_neighbor,
+    random_pairs,
+)
+from repro.workloads.permutations import (
+    bit_complement,
+    bit_reversal,
+    random_permutation,
+    tornado,
+    transpose,
+)
+
+
+@pytest.fixture
+def mesh():
+    return Mesh((8, 8))
+
+
+def _is_permutation_with_fixed(problem, mesh):
+    assert np.unique(problem.sources).size == problem.num_packets
+    assert np.unique(problem.dests).size == problem.num_packets
+
+
+class TestPermutations:
+    def test_transpose_mapping(self, mesh):
+        prob = transpose(mesh, keep_fixed_points=True)
+        src_coords = mesh.flat_to_coords(prob.sources)
+        dst_coords = mesh.flat_to_coords(prob.dests)
+        np.testing.assert_array_equal(dst_coords[:, 0], src_coords[:, 1])
+        np.testing.assert_array_equal(dst_coords[:, 1], src_coords[:, 0])
+
+    def test_transpose_drops_diagonal(self, mesh):
+        prob = transpose(mesh)
+        assert prob.num_packets == mesh.n - 8  # 8 diagonal fixed points
+        assert np.all(prob.sources != prob.dests)
+
+    def test_transpose_needs_square(self):
+        with pytest.raises(ValueError):
+            transpose(Mesh((8, 4)))
+
+    def test_transpose_3d_rolls(self):
+        mesh = Mesh((4, 4, 4))
+        prob = transpose(mesh, keep_fixed_points=True)
+        src = mesh.flat_to_coords(prob.sources)
+        dst = mesh.flat_to_coords(prob.dests)
+        np.testing.assert_array_equal(dst, np.roll(src, 1, axis=1))
+
+    def test_bit_reversal(self, mesh):
+        prob = bit_reversal(mesh, keep_fixed_points=True)
+        _is_permutation_with_fixed(prob, mesh)
+        # (1,0,0) -> (0,0,1) per coordinate: coord 1 -> 4 on side 8
+        idx = int(np.where(prob.sources == mesh.node(1, 0))[0][0])
+        assert prob.dests[idx] == mesh.node(4, 0)
+
+    def test_bit_reversal_needs_pow2(self):
+        with pytest.raises(ValueError):
+            bit_reversal(Mesh((6, 6)))
+
+    def test_bit_complement(self, mesh):
+        prob = bit_complement(mesh, keep_fixed_points=True)
+        idx = int(np.where(prob.sources == mesh.node(0, 0))[0][0])
+        assert prob.dests[idx] == mesh.node(7, 7)
+        assert prob.num_packets == mesh.n
+
+    def test_tornado_shift(self, mesh):
+        prob = tornado(mesh, keep_fixed_points=True)
+        src = mesh.flat_to_coords(prob.sources)
+        dst = mesh.flat_to_coords(prob.dests)
+        np.testing.assert_array_equal(dst[:, 0], (src[:, 0] + 3) % 8)
+        np.testing.assert_array_equal(dst[:, 1], src[:, 1])
+
+    def test_tornado_invalid_dim(self, mesh):
+        with pytest.raises(ValueError):
+            tornado(mesh, dim=5)
+
+    def test_random_permutation_reproducible(self, mesh):
+        a = random_permutation(mesh, seed=1)
+        b = random_permutation(mesh, seed=1)
+        np.testing.assert_array_equal(a.dests, b.dests)
+        _is_permutation_with_fixed(random_permutation(mesh, seed=2, keep_fixed_points=True), mesh)
+
+    def test_all_nontrivial_by_default(self, mesh):
+        for prob in (bit_reversal(mesh), bit_complement(mesh), tornado(mesh)):
+            assert np.all(prob.sources != prob.dests)
+
+
+class TestGenerators:
+    def test_random_pairs_count_and_distinct(self, mesh):
+        prob = random_pairs(mesh, 33, seed=0)
+        assert prob.num_packets == 33
+        assert np.all(prob.sources != prob.dests)
+
+    def test_random_pairs_tiny_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            random_pairs(Mesh((1,)), 2)
+
+    def test_all_to_one_default_center(self, mesh):
+        prob = all_to_one(mesh)
+        assert prob.num_packets == mesh.n - 1
+        assert np.all(prob.dests == mesh.node(4, 4))
+
+    def test_all_to_one_custom_target(self, mesh):
+        prob = all_to_one(mesh, target=0)
+        assert np.all(prob.dests == 0)
+        assert 0 not in prob.sources
+
+    def test_nearest_neighbor_distance_one(self, mesh):
+        prob = nearest_neighbor(mesh, seed=1)
+        assert prob.num_packets == mesh.n
+        assert np.all(prob.distances == 1)
+
+    def test_local_traffic_radius(self, mesh):
+        for r in (1, 2, 4):
+            prob = local_traffic(mesh, radius=r, seed=2)
+            assert np.all(prob.distances >= 1)
+            assert np.all(prob.distances <= r)
+
+    def test_local_traffic_invalid_radius(self, mesh):
+        with pytest.raises(ValueError):
+            local_traffic(mesh, radius=0)
+
+
+class TestAdversarial:
+    def test_block_exchange_distances(self, mesh):
+        for l in (1, 2, 4):
+            prob = block_exchange(mesh, l)
+            assert prob.num_packets == mesh.n
+            assert np.all(prob.distances == l)
+
+    def test_block_exchange_is_permutation(self, mesh):
+        prob = block_exchange(mesh, 2)
+        assert np.unique(prob.dests).size == mesh.n
+
+    def test_block_exchange_involution(self, mesh):
+        """Paired blocks exchange: applying the map twice is the identity."""
+        prob = block_exchange(mesh, 2)
+        mapping = dict(prob.pairs())
+        assert all(mapping[mapping[s]] == s for s in mapping)
+
+    def test_block_exchange_divisibility(self, mesh):
+        with pytest.raises(ValueError):
+            block_exchange(mesh, 3)
+        with pytest.raises(ValueError):
+            block_exchange(mesh, 8)
+        with pytest.raises(ValueError):
+            block_exchange(mesh, 0)
+
+    def test_adversarial_forces_deterministic_congestion(self):
+        """Section 5.1: re-routing Pi_A with the same deterministic router
+        pushes all |Pi_A| packets over one edge."""
+        mesh = Mesh((16, 16))
+        router = DimensionOrderRouter()
+        sub, hot_edge = adversarial_for_router(router, mesh, l=4)
+        assert sub.num_packets >= 4 // mesh.d  # paper: >= l / d
+        rerouted = router.route(sub, seed=0)
+        assert rerouted.congestion == sub.num_packets
+        assert rerouted.edge_loads[hot_edge] == sub.num_packets
+
+    def test_adversarial_all_same_distance(self):
+        mesh = Mesh((16, 16))
+        sub, _ = adversarial_for_router(DimensionOrderRouter(), mesh, l=4)
+        assert np.all(sub.distances == 4)
+
+    def test_adversarial_named(self):
+        mesh = Mesh((8, 8))
+        sub, _ = adversarial_for_router(DimensionOrderRouter(), mesh, l=2)
+        assert "adversarial" in sub.name
+
+
+class TestSchemeSeparatingPairs:
+    def test_valid_and_distance_one(self):
+        from repro.workloads.adversarial import scheme_separating_pairs
+        from repro.mesh.mesh import Mesh
+
+        mesh = Mesh((32, 32, 32))
+        prob = scheme_separating_pairs(mesh)
+        assert prob.num_packets > 0
+        import numpy as np
+
+        assert np.all(prob.distances >= 1)
+        assert np.all(prob.distances <= mesh.d)
+
+    def test_separates_the_schemes(self):
+        """The half-shift scheme's stretch exceeds multishift's (Section 4's
+        O(2^d) motivation)."""
+        from repro.core.path_selection import HierarchicalRouter
+        from repro.mesh.mesh import Mesh
+        from repro.workloads.adversarial import scheme_separating_pairs
+
+        mesh = Mesh((32, 32, 32))
+        prob = scheme_separating_pairs(mesh)
+        half = HierarchicalRouter(scheme="paper2d", variant="general").route(
+            prob, seed=0
+        )
+        multi = HierarchicalRouter(scheme="multishift", variant="general").route(
+            prob, seed=0
+        )
+        assert half.stretch > 1.5 * multi.stretch
+
+    def test_requirements(self):
+        from repro.mesh.mesh import Mesh
+        from repro.workloads.adversarial import scheme_separating_pairs
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            scheme_separating_pairs(Mesh((6, 6)))
+        with _pytest.raises(ValueError):
+            scheme_separating_pairs(Mesh((16,)))
+        with _pytest.raises(ValueError):
+            scheme_separating_pairs(Mesh((4, 4, 4)))  # side < 2^d
+
+
+class TestRRelation:
+    def test_counts(self, mesh):
+        from repro.workloads.generators import r_relation
+
+        prob = r_relation(mesh, 3, seed=0)
+        # each node sends at most 3 (fixed points dropped) and exactly 3
+        # minus its fixed-point count
+        sends = np.bincount(prob.sources, minlength=mesh.n)
+        recvs = np.bincount(prob.dests, minlength=mesh.n)
+        assert sends.max() <= 3 and recvs.max() <= 3
+        assert np.all(prob.sources != prob.dests)
+
+    def test_r1_is_permutation_sized(self, mesh):
+        from repro.workloads.generators import r_relation
+
+        prob = r_relation(mesh, 1, seed=1)
+        assert prob.num_packets <= mesh.n
+
+    def test_congestion_scales_with_r(self, mesh):
+        from repro.core.path_selection import HierarchicalRouter
+        from repro.workloads.generators import r_relation
+
+        router = HierarchicalRouter()
+        c1 = router.route(r_relation(mesh, 1, seed=2), seed=0).congestion
+        c4 = router.route(r_relation(mesh, 4, seed=2), seed=0).congestion
+        assert c4 > c1
+
+    def test_invalid_r(self, mesh):
+        from repro.workloads.generators import r_relation
+
+        with pytest.raises(ValueError):
+            r_relation(mesh, 0)
