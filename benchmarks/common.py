@@ -15,12 +15,14 @@ per-experiment index in DESIGN.md.  Each module offers:
 
 from __future__ import annotations
 
+import os
 import sys
+import time
 from typing import Callable, Mapping, Sequence
 
 from repro.analysis.reporting import format_table
 
-__all__ = ["print_experiment", "main_print"]
+__all__ = ["print_experiment", "main_print", "profiled_run"]
 
 
 def print_experiment(
@@ -34,7 +36,36 @@ def print_experiment(
     print()
 
 
+def profiled_run(run: Callable[[], Sequence[Mapping]]) -> Sequence[Mapping]:
+    """Run an experiment, printing wall time and cache stats when profiling.
+
+    Profiling is enabled by ``REPRO_PROFILE=1`` in the environment (so
+    ``REPRO_PROFILE=1 python benchmarks/bench_*.py`` works for every
+    benchmark without per-module flags).  ``REPRO_PROFILE_TRACE=<path>``
+    additionally captures a JSONL summary of the run.
+    """
+    if not os.environ.get("REPRO_PROFILE"):
+        return run()
+    from repro import cache
+    from repro.obs import Profiler
+
+    profiler = Profiler()
+    before = cache.stats()
+    t0 = time.perf_counter()
+    with profiler.stage("experiment"):
+        rows = run()
+    wall = time.perf_counter() - t0
+    after = cache.stats()
+    print(f"[profile] wall={wall:.3f}s cache: "
+          f"hits +{after.hits - before.hits}, misses +{after.misses - before.misses}, "
+          f"entries={after.entries}", file=sys.stderr)
+    trace = os.environ.get("REPRO_PROFILE_TRACE")
+    if trace:
+        profiler.write_trace(trace)
+    return rows
+
+
 def main_print(run: Callable[[], Sequence[Mapping]], title: str) -> None:
-    rows = run()
+    rows = profiled_run(run)
     print_experiment(title, rows)
     sys.stdout.flush()

@@ -20,7 +20,9 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-vs-measured record of every theorem and figure.
 """
 
+from repro import cache
 from repro.mesh import Mesh, Submesh, TorusBox, torus_bounding
+from repro.obs import Profiler
 from repro.mesh.mesh import pad_to_power_of_two
 from repro.mesh.paths import (
     concatenate_paths,
@@ -108,6 +110,9 @@ from repro.analysis import (
 __version__ = "1.0.0"
 
 __all__ = [
+    # engine infrastructure
+    "cache",
+    "Profiler",
     # mesh substrate
     "Mesh",
     "Submesh",

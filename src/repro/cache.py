@@ -1,0 +1,193 @@
+"""Process-wide keyed caches for decomposition-derived state.
+
+Building a :class:`~repro.core.decomposition.Decomposition` is cheap, but
+the *derived* state — vectorised ancestor/bridge tables
+(:class:`~repro.core.tables.SequenceTables`), networkx graph views, and
+anything else keyed by ``(mesh shape, scheme)`` — is not, and before this
+module every router instance, benchmark and simulator rebuilt its own
+copy.  Compact oblivious routing (Räcke & Schmid 2018) makes the point
+that the *state footprint* of a routing scheme is what decides whether it
+deploys; here we make that footprint explicit, shared and measurable.
+
+The cache is a flat keyed store:
+
+* :func:`get_decomposition` — the canonical entry point: one
+  ``Decomposition`` per ``(sides, torus, resolved scheme)`` for the whole
+  process, shared by routers, benchmarks and the online simulator.
+* :func:`memo` — generic ``(kind, key) -> factory()`` memoisation for any
+  derived table; ``repro.core.tables`` and the batch engine use it.
+* :func:`stats` — hit/miss/entry accounting (the ``repro.cache`` stats
+  API); :func:`invalidate` — explicit invalidation, all or by kind.
+* :func:`configure` — disable to force rebuild-per-call (benchmarks use
+  this to measure the cache's own contribution).
+
+Doctest::
+
+    >>> import repro.cache as cache
+    >>> from repro.mesh.mesh import Mesh
+    >>> _ = cache.invalidate()
+    >>> d1 = cache.get_decomposition(Mesh((8, 8)))
+    >>> d2 = cache.get_decomposition(Mesh((8, 8)))
+    >>> d1 is d2
+    True
+    >>> cache.stats().hits >= 1
+    True
+
+Thread-safety: reads and writes go through a lock, so concurrent routers
+share one build instead of racing to duplicate it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+from repro.mesh.mesh import Mesh
+
+__all__ = [
+    "CacheStats",
+    "configure",
+    "enabled",
+    "get_decomposition",
+    "invalidate",
+    "memo",
+    "resolve_scheme",
+    "stats",
+]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of the cache's accounting counters."""
+
+    hits: int
+    misses: int
+    entries: int
+    invalidations: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": self.entries,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+_lock = threading.Lock()
+_store: dict[tuple, Any] = {}
+_enabled = True
+_hits = 0
+_misses = 0
+_invalidations = 0
+
+
+def configure(*, enabled: bool = True) -> None:
+    """Enable or disable the cache process-wide.
+
+    Disabling makes every :func:`memo` call a miss that is *not* stored,
+    so each caller gets a fresh build — the rebuild-per-router behaviour
+    the codebase had before the cache existed.  Existing entries are kept
+    (and ignored) so re-enabling restores them.
+    """
+    global _enabled
+    with _lock:
+        _enabled = bool(enabled)
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def memo(kind: str, key: Hashable, factory: Callable[[], Any]) -> Any:
+    """Return the cached value for ``(kind, key)``, building it on miss.
+
+    ``kind`` namespaces independent derived-state families
+    (``"decomposition"``, ``"tables"``, ``"mesh-graph"``, ...), so
+    :func:`invalidate` can drop one family without touching the others.
+    The factory runs outside the lock-held fast path but inside a
+    per-process lock overall, so concurrent callers see one build.
+    """
+    global _hits, _misses
+    full_key = (kind, key)
+    with _lock:
+        if _enabled and full_key in _store:
+            _hits += 1
+            return _store[full_key]
+        _misses += 1
+    value = factory()
+    if _enabled:
+        with _lock:
+            # Another thread may have raced us; keep the first build.
+            value = _store.setdefault(full_key, value)
+    return value
+
+
+def invalidate(kind: str | None = None) -> int:
+    """Drop cached entries (all, or only one ``kind``); returns the count."""
+    global _invalidations
+    with _lock:
+        if kind is None:
+            dropped = len(_store)
+            _store.clear()
+        else:
+            doomed = [k for k in _store if k[0] == kind]
+            for k in doomed:
+                del _store[k]
+            dropped = len(doomed)
+        _invalidations += dropped
+    return dropped
+
+
+def stats() -> CacheStats:
+    """Current hit/miss/entry counters (process-wide)."""
+    with _lock:
+        return CacheStats(
+            hits=_hits,
+            misses=_misses,
+            entries=len(_store),
+            invalidations=_invalidations,
+        )
+
+
+def reset_stats() -> None:
+    """Zero the counters without touching the entries (test helper)."""
+    global _hits, _misses, _invalidations
+    with _lock:
+        _hits = 0
+        _misses = 0
+        _invalidations = 0
+
+
+# ----------------------------------------------------------------------
+# Decomposition-specific entry points
+# ----------------------------------------------------------------------
+def resolve_scheme(mesh: Mesh, scheme: str) -> str:
+    """The concrete scheme ``"auto"`` resolves to for this mesh.
+
+    Mirrors :class:`~repro.core.decomposition.Decomposition`'s rule so two
+    routers asking for ``"auto"`` and the resolved name share one entry.
+    """
+    if scheme == "auto":
+        return "paper2d" if mesh.d <= 2 else "multishift"
+    return scheme
+
+
+def get_decomposition(mesh: Mesh, scheme: str = "auto"):
+    """The shared :class:`Decomposition` for ``(mesh shape, scheme)``.
+
+    Keyed by ``(sides, torus, resolved scheme)`` — mesh objects with equal
+    shape share one decomposition even when the instances differ.
+    """
+    from repro.core.decomposition import Decomposition
+
+    resolved = resolve_scheme(mesh, scheme)
+    key = (mesh.sides, mesh.torus, resolved)
+    return memo("decomposition", key, lambda: Decomposition(mesh, resolved))

@@ -99,6 +99,12 @@ def _cmd_route(args) -> int:
     mesh = parse_mesh(args.mesh, args.torus)
     problem = build_workload(args.workload, mesh, args.seed)
     router = make_router(args.router)
+    profiler = None
+    if args.profile or args.trace:
+        from repro.obs import Profiler
+
+        profiler = Profiler(trace=args.trace)
+        router.profiler = profiler
     result = router.route(problem, seed=args.seed)
     from repro.metrics.bounds import congestion_lower_bound
 
@@ -106,6 +112,18 @@ def _cmd_route(args) -> int:
     print(problem.describe())
     print(result.summary())
     print(f"C* lower bound = {bound:.2f}; C / bound = {result.congestion / max(bound, 1e-9):.2f}")
+    if profiler is not None:
+        from repro import cache
+
+        print()
+        print(profiler.format())
+        st = cache.stats()
+        print(f"cache: hits={st.hits} misses={st.misses} entries={st.entries} "
+              f"hit_rate={st.hit_rate:.0%}")
+        if args.trace:
+            profiler.write_summary()
+            profiler.close()
+            print(f"trace written to {args.trace}")
     if args.heatmap:
         if mesh.d != 2:
             print("(heatmap skipped: needs a 2-D mesh)", file=sys.stderr)
@@ -246,6 +264,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--heatmap", action="store_true", help="ASCII edge-load heatmap (2-D)")
     p.add_argument("--show-path", type=int, default=None, metavar="I",
                    help="draw packet I's path (2-D)")
+    p.add_argument("--profile", action="store_true",
+                   help="print per-stage timings, counters and cache stats")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a JSONL event trace (implies profiling)")
     p.set_defaults(func=_cmd_route)
 
     p = sub.add_parser("compare", help="compare routers on one workload")

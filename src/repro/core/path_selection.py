@@ -41,6 +41,7 @@ import math
 
 import numpy as np
 
+from repro import cache
 from repro.core.bridges import common_ancestor_2d, find_bridge
 from repro.core.decomposition import Decomposition
 from repro.core.randomness import BitCounter, RecycledBits
@@ -95,6 +96,10 @@ class HierarchicalRouter(Router):
     drop_cycles:
         Shortcut revisited nodes out of the final path (default, as in the
         paper's congestion analysis).
+    profiler:
+        Optional :class:`repro.obs.Profiler`; when set, :meth:`route`
+        stages (sequence construction, draws, assembly) are timed and
+        packet/edge/random-value counters accumulate on it.
     """
 
     is_oblivious = True
@@ -109,6 +114,7 @@ class HierarchicalRouter(Router):
         bit_mode: str | None = None,
         drop_cycles: bool = True,
         name: str | None = None,
+        profiler=None,
     ):
         if variant not in ("auto", "bitonic2d", "general"):
             raise ValueError(f"unknown variant {variant!r}")
@@ -125,18 +131,15 @@ class HierarchicalRouter(Router):
         self.bit_mode = bit_mode
         self.drop_cycles = drop_cycles
         self.name = name or ("hierarchical" if use_bridges else "hierarchical-nobridge")
-        self._dec_cache: dict[Mesh, Decomposition] = {}
+        self.profiler = profiler
         #: per-packet random bits consumed by the latest :meth:`route` call
         #: (populated only when ``bit_mode`` is set)
         self.bits_log: list[int] = []
 
     # ------------------------------------------------------------------
     def decomposition(self, mesh: Mesh) -> Decomposition:
-        dec = self._dec_cache.get(mesh)
-        if dec is None:
-            dec = Decomposition(mesh, self.scheme)
-            self._dec_cache[mesh] = dec
-        return dec
+        """The (process-wide shared) decomposition for ``mesh``."""
+        return cache.get_decomposition(mesh, self.scheme)
 
     def _variant_for(self, mesh: Mesh) -> str:
         if self.variant != "auto":
@@ -259,6 +262,47 @@ class HierarchicalRouter(Router):
         return [s, *inner, t]
 
     # ------------------------------------------------------------------
-    def route(self, problem: RoutingProblem, seed: int | None = None) -> RoutingResult:
+    # Batched engine support
+    # ------------------------------------------------------------------
+    def batch_spec(self, problem: RoutingProblem):
+        """Batched-engine spec; ``None`` when this run needs the loop.
+
+        Ineligible cases: bit-metered randomness (``bit_mode``), torus
+        meshes (wrap-around assembly), and meshes the decomposition does
+        not accept (non-power-of-two-cube) — all fall back to
+        :meth:`select_path` per packet with identical behaviour.
+        """
+        mesh = problem.mesh
+        if self.bit_mode is not None or mesh.torus or not mesh.is_power_of_two_cube:
+            return None
+        from repro.core.tables import SequenceTables
+        from repro.routing.engine import BatchSpec
+
+        tables = SequenceTables.for_mesh(mesh, self.scheme)
+        box_lo, box_len, _ = tables.batch_boxes(
+            problem.sources,
+            problem.dests,
+            variant=self._variant_for(mesh),
+            use_bridges=self.use_bridges,
+        )
+        return BatchSpec(
+            mesh=mesh,
+            coords_s=np.atleast_2d(mesh.flat_to_coords(problem.sources)),
+            coords_t=np.atleast_2d(mesh.flat_to_coords(problem.dests)),
+            box_lo=box_lo,
+            box_len=box_len,
+            dim_order=self.dim_order,
+            fixed_order=tuple(range(mesh.d)) if self.dim_order == "fixed" else None,
+            drop_cycles=self.drop_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    def route(
+        self,
+        problem: RoutingProblem,
+        seed: int | None = None,
+        *,
+        batch: bool | str = True,
+    ) -> RoutingResult:
         self.bits_log = []
-        return super().route(problem, seed)
+        return super().route(problem, seed, batch=batch)

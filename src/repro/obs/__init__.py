@@ -1,0 +1,32 @@
+"""Observability: per-stage wall-time timers, counters, JSONL tracing.
+
+The routing engine, the online simulator and the benchmark harness all
+accept an optional :class:`Profiler`.  When one is attached, every pipeline
+stage (sequence construction, random draws, path assembly, cycle removal,
+metric accumulation, ...) is timed with ``time.perf_counter`` and every
+quantity of interest (packets routed, path edges produced, random values
+drawn, cache hits) is counted.  When no profiler is attached the
+instrumented code paths cost a single ``is None`` check.
+
+Why this exists: the congestion-scaling benchmarks (T3/T5/X4) previously
+reported only end-to-end wall time, so "make routing faster" had no
+denominator.  Sparse semi-oblivious routing (Zuzic et al. 2023) and compact
+oblivious routing (Räcke & Schmid 2018) both argue that *per-packet work*
+and *routing-state footprint* are what make oblivious schemes deployable;
+the profiler measures the first and ``repro.cache`` bounds the second.
+
+Quick use::
+
+    from repro.obs import Profiler
+    prof = Profiler()
+    router = repro.HierarchicalRouter(profiler=prof)
+    router.route(problem, seed=0)
+    print(prof.format())            # per-stage table + counters
+    prof.write_trace("run.jsonl")   # machine-readable trace
+
+See ``docs/PERFORMANCE.md`` for the JSONL schema.
+"""
+
+from repro.obs.profiler import NULL_PROFILER, Profiler, StageStats
+
+__all__ = ["Profiler", "StageStats", "NULL_PROFILER"]

@@ -15,6 +15,7 @@ handing each packet an independent random stream; non-oblivious routers
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import nullcontext as _nullcontext
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Iterator, Sequence
@@ -172,29 +173,73 @@ class RoutingResult:
 class Router(ABC):
     """Base class for path-selection algorithms.
 
-    Oblivious routers implement :meth:`select_path`; :meth:`route` calls it
-    once per packet with an independently seeded generator, making the
-    "each path chosen independently" property structural rather than a
-    convention.
+    Oblivious routers implement :meth:`select_path`; the per-packet half of
+    :meth:`route` calls it once per packet with an independently seeded
+    generator, making the "each path chosen independently" property
+    structural rather than a convention.
+
+    Routers whose path distribution fits the batched engine
+    (:mod:`repro.routing.engine`) additionally implement
+    :meth:`batch_spec`; :meth:`route` then assembles all paths array-wise.
+    The batched protocol draws fixed, mesh-determined shapes per packet, so
+    packet ``i``'s path still depends only on ``(seed, i, s_i, t_i)`` —
+    obliviousness is preserved, but the random *stream* differs from the
+    per-packet spawn protocol (pass ``batch=False`` for the legacy one).
     """
 
     #: human-readable identifier used in tables and the registry
     name: str = "router"
     #: whether paths are chosen independently per packet
     is_oblivious: bool = True
+    #: optional :class:`repro.obs.Profiler`; attach to time route() stages
+    profiler = None
 
     @abstractmethod
     def select_path(self, mesh: Mesh, s: int, t: int, rng: np.random.Generator) -> np.ndarray:
         """Select a path from ``s`` to ``t`` using only ``rng``'s bits."""
 
-    def route(self, problem: RoutingProblem, seed: int | None = None) -> RoutingResult:
-        """Route every packet of ``problem`` independently."""
+    def batch_spec(self, problem: RoutingProblem):
+        """A :class:`repro.routing.engine.BatchSpec` when this router can be
+        routed by the batched engine on this problem, else ``None``.
+
+        The default is ``None``: exotic routers keep the per-packet loop.
+        """
+        return None
+
+    def route(
+        self,
+        problem: RoutingProblem,
+        seed: int | None = None,
+        *,
+        batch: bool | str = True,
+    ) -> RoutingResult:
+        """Route every packet of ``problem`` independently.
+
+        ``batch=True`` uses the vectorised engine when :meth:`batch_spec`
+        offers one; ``batch="loop"`` runs the engine's scalar reference
+        assembly (byte-identical paths, for testing); ``batch=False``
+        forces the legacy per-packet spawned-stream loop.
+        """
+        if not isinstance(batch, bool) and batch != "loop":
+            raise ValueError(f"unknown batch mode {batch!r}; use True, False or 'loop'")
+        profiler = self.profiler
+        if batch and problem.num_packets:
+            with profiler.stage("engine.sequence") if profiler else _nullcontext():
+                spec = self.batch_spec(problem)
+            if spec is not None:
+                from repro.routing.engine import run_batch
+
+                mode = "loop" if batch == "loop" else "array"
+                return run_batch(self, spec, problem, seed, assemble=mode)
         root = np.random.default_rng(seed)
         streams = root.spawn(problem.num_packets)
-        paths = [
-            self.select_path(problem.mesh, int(s), int(t), stream)
-            for (s, t), stream in zip(problem.pairs(), streams)
-        ]
+        with profiler.stage("route.select_loop") if profiler else _nullcontext():
+            paths = [
+                self.select_path(problem.mesh, int(s), int(t), stream)
+                for (s, t), stream in zip(problem.pairs(), streams)
+            ]
+        if profiler is not None:
+            profiler.count("route.packets", problem.num_packets)
         return RoutingResult(problem, paths, self.name, seed)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

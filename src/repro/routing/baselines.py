@@ -46,6 +46,25 @@ __all__ = [
 ]
 
 
+def _stageless_spec(problem: RoutingProblem, dim_order: str, fixed_order=None):
+    """A :class:`BatchSpec` with zero inner boxes: a single dimension-order
+    subpath from source to destination (the dim-order router family)."""
+    from repro.routing.engine import BatchSpec
+
+    mesh = problem.mesh
+    N = problem.num_packets
+    return BatchSpec(
+        mesh=mesh,
+        coords_s=np.atleast_2d(mesh.flat_to_coords(problem.sources)),
+        coords_t=np.atleast_2d(mesh.flat_to_coords(problem.dests)),
+        box_lo=np.empty((N, 0, mesh.d), dtype=np.int64),
+        box_len=np.empty((N, 0, mesh.d), dtype=np.int64),
+        dim_order=dim_order,
+        fixed_order=tuple(fixed_order) if fixed_order is not None else None,
+        drop_cycles=False,  # a single dimension-order subpath never cycles
+    )
+
+
 class DimensionOrderRouter(Router):
     """Deterministic dimension-order (XY / e-cube) routing."""
 
@@ -59,6 +78,11 @@ class DimensionOrderRouter(Router):
     def select_path(self, mesh: Mesh, s: int, t: int, rng: np.random.Generator) -> np.ndarray:
         return dimension_order_path(mesh, s, t, self.order)
 
+    def batch_spec(self, problem: RoutingProblem):
+        if problem.mesh.torus:
+            return None
+        return _stageless_spec(problem, "fixed", fixed_order=self.order)
+
 
 class RandomDimOrderRouter(Router):
     """Dimension-order routing with a random permutation per packet."""
@@ -69,6 +93,13 @@ class RandomDimOrderRouter(Router):
     def select_path(self, mesh: Mesh, s: int, t: int, rng: np.random.Generator) -> np.ndarray:
         order = tuple(int(x) for x in rng.permutation(mesh.d))
         return dimension_order_path(mesh, s, t, order)
+
+    def batch_spec(self, problem: RoutingProblem):
+        if problem.mesh.torus:
+            return None
+        # "shared" = one random ordering per packet; with a single subpath
+        # that is exactly "a random permutation per packet".
+        return _stageless_spec(problem, "shared")
 
 
 class ValiantRouter(Router):
@@ -114,6 +145,30 @@ class ValiantRouter(Router):
         )
         path = concatenate_paths([first, second])
         return remove_cycles(path) if self.drop_cycles else path
+
+    def batch_spec(self, problem: RoutingProblem):
+        mesh = problem.mesh
+        if mesh.torus:
+            return None
+        from repro.routing.engine import BatchSpec
+
+        cs = np.atleast_2d(mesh.flat_to_coords(problem.sources))
+        ct = np.atleast_2d(mesh.flat_to_coords(problem.dests))
+        alive = (cs != ct).any(axis=1, keepdims=True)
+        sides = np.asarray(mesh.sides, dtype=np.int64)
+        # One inner box per packet: the whole mesh (a uniform waypoint),
+        # padded to the destination's single-node box for s == t packets.
+        box_lo = np.where(alive, 0, ct)[:, None, :]
+        box_len = np.where(alive, sides, 1)[:, None, :]
+        return BatchSpec(
+            mesh=mesh,
+            coords_s=cs,
+            coords_t=ct,
+            box_lo=box_lo,
+            box_len=box_len,
+            dim_order="random",
+            drop_cycles=self.drop_cycles,
+        )
 
 
 class AccessTreeRouter(HierarchicalRouter):
@@ -175,16 +230,73 @@ class GreedyMinCongestionRouter(Router):
     def select_path(self, mesh: Mesh, s: int, t: int, rng: np.random.Generator) -> np.ndarray:
         raise NotImplementedError("greedy routing is not per-packet oblivious")
 
-    def route(self, problem: RoutingProblem, seed: int | None = None) -> RoutingResult:
-        import networkx as nx
+    @staticmethod
+    def _csr_structure(mesh: Mesh):
+        """Fixed CSR sparsity of the directed mesh graph (cached per shape):
+        ``(indptr, indices, eid)`` where ``eid`` maps each directed entry to
+        its undirected edge id, in CSR data order.  Only the data vector
+        (the congestion-aware weights) changes between Dijkstra calls."""
+        from repro import cache
 
+        def build():
+            edges = mesh.all_edges()
+            eid = np.arange(mesh.num_edges, dtype=np.int64)
+            tails = np.concatenate([edges[:, 0], edges[:, 1]])
+            heads = np.concatenate([edges[:, 1], edges[:, 0]])
+            eid2 = np.concatenate([eid, eid])
+            perm = np.lexsort((heads, tails))
+            tails, heads, eid2 = tails[perm], heads[perm], eid2[perm]
+            indptr = np.zeros(mesh.n + 1, dtype=np.int64)
+            np.cumsum(np.bincount(tails, minlength=mesh.n), out=indptr[1:])
+            return indptr, heads, eid2
+
+        return cache.memo("greedy-csr", (mesh.sides, mesh.torus), build)
+
+    def route(self, problem: RoutingProblem, seed: int | None = None) -> RoutingResult:
         mesh = problem.mesh
-        g = mesh.to_networkx()
         loads = np.zeros(mesh.num_edges, dtype=np.int64)
         rng = np.random.default_rng(seed)
         order = np.arange(problem.num_packets)
         if self.shuffle:
             rng.shuffle(order)
+        try:
+            from scipy.sparse import csr_matrix
+            from scipy.sparse.csgraph import dijkstra
+        except ImportError:  # pragma: no cover - scipy is a hard dependency
+            return self._route_networkx(problem, loads, order)
+
+        indptr, indices, eid = self._csr_structure(mesh)
+        # One CSR whose sparsity never changes; only .data (the weights) is
+        # rewritten between Dijkstra calls, skipping per-packet validation.
+        graph = csr_matrix(
+            (np.ones(indices.size, dtype=np.float64), indices, indptr),
+            shape=(mesh.n, mesh.n),
+        )
+        paths: list[np.ndarray | None] = [None] * problem.num_packets
+        for i in order.tolist():
+            s = int(problem.sources[i])
+            t = int(problem.dests[i])
+            if s == t:
+                paths[i] = np.asarray([s], dtype=np.int64)
+                continue
+            np.power(1.0 + loads[eid], self.alpha, out=graph.data)
+            _, pred = dijkstra(graph, indices=s, return_predecessors=True)
+            node_path = [t]
+            while node_path[-1] != s:
+                node_path.append(int(pred[node_path[-1]]))
+            p = np.asarray(node_path[::-1], dtype=np.int64)
+            loads[mesh.edge_ids(p[:-1], p[1:])] += 1
+            paths[i] = p
+        return RoutingResult(problem, paths, self.name, seed)  # type: ignore[arg-type]
+
+    def _route_networkx(
+        self, problem: RoutingProblem, loads: np.ndarray, order: np.ndarray
+    ) -> RoutingResult:
+        """Pure-networkx fallback (same greedy, Python-speed Dijkstra)."""
+        import networkx as nx
+
+        mesh = problem.mesh
+        g = mesh.to_networkx()
 
         def weight(u, v, data):
             return float((1.0 + loads[data["edge_id"]]) ** self.alpha)
@@ -200,4 +312,4 @@ class GreedyMinCongestionRouter(Router):
             p = np.asarray(node_path, dtype=np.int64)
             loads[mesh.edge_ids(p[:-1], p[1:])] += 1
             paths[i] = p
-        return RoutingResult(problem, paths, self.name, seed)  # type: ignore[arg-type]
+        return RoutingResult(problem, paths, self.name, seed=None)  # type: ignore[arg-type]

@@ -1,0 +1,243 @@
+"""The batched path-assembly engine.
+
+Vectorised replacement for the per-packet ``select_path`` loop of
+:class:`~repro.routing.base.Router.route`.  A router that can express its
+path distribution as
+
+    *draw one uniform node per inner box, then connect consecutive
+    waypoints by dimension-order subpaths under per-subpath /
+    per-packet / fixed dimension orderings*
+
+returns a :class:`BatchSpec` from :meth:`Router.batch_spec` and the engine
+does the rest with a handful of numpy passes over *all* packets at once:
+
+1. **draw** — one RNG call per stage: a single packet-major
+   ``rng.random((N, S_max, d))`` for the waypoint uniforms followed by one
+   call for the dimension-order uniforms.  Draw shapes depend only on the
+   mesh and router (padded to ``S_max``), never on other packets'
+   endpoints, so packet ``i``'s path is a function of ``(seed, i, s_i,
+   t_i)`` alone — the obliviousness discipline of Section 2 is preserved
+   structurally, exactly as with per-packet spawned streams.
+2. **assemble** — signed per-dimension deltas between waypoints, ordered
+   by ``argsort`` of the order uniforms, expanded to unit steps with one
+   ``np.repeat``, and integrated per packet with a segmented cumulative
+   sum.  No Python-level per-packet work.
+3. **cycles** — duplicate nodes are detected array-wise (sorted
+   ``segment * n + node`` keys); only the few offending paths go through
+   :func:`~repro.mesh.paths.remove_cycles`.
+
+``assemble="loop"`` builds the same waypoints/orders but connects them
+with the scalar :func:`~repro.mesh.paths.dimension_order_path` — the
+byte-identical reference that ``tests/test_engine.py`` compares against.
+
+Torus meshes are *not* supported (wrap-around steps break the
+constant-stride expansion); ``batch_spec`` implementations return ``None``
+there and ``route`` falls back to the per-packet loop.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+from repro.mesh.paths import concatenate_paths, dimension_order_path, remove_cycles
+from repro.routing.base import RoutingProblem, RoutingResult
+
+__all__ = ["BatchSpec", "run_batch", "draw_plan", "build_waypoints", "resolve_orders"]
+
+
+@dataclass
+class BatchSpec:
+    """Everything the engine needs to route one problem array-wise.
+
+    ``box_lo`` / ``box_len`` are ``(N, S, d)``: per packet, ``S`` padded
+    inner boxes (lower corner and side lengths).  Padded slots must be the
+    single-node box of the packet's destination so the drawn waypoint is
+    the destination itself and contributes zero movement; this keeps draw
+    shapes mesh-determined (obliviousness) without altering any path.
+    """
+
+    mesh: Mesh
+    coords_s: np.ndarray  #: (N, d) source coordinates
+    coords_t: np.ndarray  #: (N, d) destination coordinates
+    box_lo: np.ndarray  #: (N, S, d) inner-box lower corners
+    box_len: np.ndarray  #: (N, S, d) inner-box side lengths
+    dim_order: str  #: "random" (per subpath), "shared" (per packet), "fixed"
+    fixed_order: tuple[int, ...] | None = None  #: ordering for "fixed"
+    drop_cycles: bool = False
+
+    def __post_init__(self):
+        if self.dim_order not in ("random", "shared", "fixed"):
+            raise ValueError(f"unknown dim_order {self.dim_order!r}")
+        if self.mesh.torus:
+            raise ValueError("the batch engine does not support torus meshes")
+
+    @property
+    def num_packets(self) -> int:
+        return self.box_lo.shape[0]
+
+    @property
+    def num_stages(self) -> int:
+        """``S``: padded inner waypoints per packet."""
+        return self.box_lo.shape[1]
+
+    @property
+    def num_subpaths(self) -> int:
+        """``L = S + 1`` dimension-order subpaths per packet."""
+        return self.num_stages + 1
+
+
+def draw_plan(
+    rng: np.random.Generator, spec: BatchSpec
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """All random values for the whole batch: one RNG call per stage.
+
+    Returns ``(U_way, U_ord)`` — waypoint uniforms ``(N, S, d)`` and
+    dimension-order uniforms (``(N, L, d)`` for ``"random"``, ``(N, 1, d)``
+    for ``"shared"``, ``None`` for ``"fixed"``).  The draw order (waypoints
+    first, then orderings) is part of the canonical protocol; the loop
+    reference consumes the identical plan.
+    """
+    N, S, d = spec.box_lo.shape
+    U_way = rng.random((N, S, d))
+    if spec.dim_order == "random":
+        U_ord = rng.random((N, spec.num_subpaths, d))
+    elif spec.dim_order == "shared":
+        U_ord = rng.random((N, 1, d))
+    else:
+        U_ord = None
+    return U_way, U_ord
+
+
+def build_waypoints(spec: BatchSpec, U_way: np.ndarray) -> np.ndarray:
+    """Waypoint coordinate array ``(N, S + 2, d)``: source, inner draws, dest.
+
+    A uniform ``u`` in ``[0, 1)`` maps to ``lo + floor(u * len)`` — the
+    uniform node of the box, matching ``Submesh.sample_node`` in law.
+    """
+    N, S, d = spec.box_lo.shape
+    W = np.empty((N, S + 2, d), dtype=np.int64)
+    W[:, 0] = spec.coords_s
+    W[:, S + 1] = spec.coords_t
+    if S:
+        W[:, 1 : S + 1] = spec.box_lo + (U_way * spec.box_len).astype(np.int64)
+    return W
+
+
+def resolve_orders(spec: BatchSpec, U_ord: np.ndarray | None) -> np.ndarray:
+    """Per-subpath dimension orderings ``(N, L, d)`` (broadcast views)."""
+    N, _, d = spec.box_lo.shape
+    L = spec.num_subpaths
+    if spec.dim_order == "fixed":
+        base = np.asarray(
+            spec.fixed_order if spec.fixed_order is not None else range(d),
+            dtype=np.int64,
+        )
+        return np.broadcast_to(base, (N, L, d))
+    orders = np.argsort(U_ord, axis=2)
+    if spec.dim_order == "shared":
+        return np.broadcast_to(orders, (N, L, d))
+    return orders
+
+
+def _assemble_array(
+    spec: BatchSpec, W: np.ndarray, orders: np.ndarray, profiler=None
+) -> list[np.ndarray]:
+    """Segmented-cumsum assembly of every path at once."""
+    mesh = spec.mesh
+    N = W.shape[0]
+    deltas = np.diff(W, axis=1)  # (N, L, d)
+    ordered = np.take_along_axis(deltas, orders, axis=2)
+    counts = np.abs(ordered)
+    values = np.sign(ordered) * mesh.strides[orders]
+    # Unit steps of every packet, concatenated in path order (C-order ravel
+    # == per packet, per subpath, per ordered dimension — exactly the step
+    # sequence dimension_order_path emits).
+    steps = np.repeat(values.reshape(-1), counts.reshape(-1))
+    lens = counts.reshape(N, -1).sum(axis=1) + 1  # nodes per path
+    starts = np.zeros(N, dtype=np.int64)
+    np.cumsum(lens[:-1], out=starts[1:])
+    total = int(lens.sum())
+    buf = np.zeros(total, dtype=np.int64)
+    mask = np.ones(total, dtype=bool)
+    mask[starts] = False
+    buf[mask] = steps
+    # Segmented integration: global cumsum, then re-anchor each segment to
+    # its source node.
+    nodes = np.cumsum(buf)
+    flat_s = spec.coords_s @ mesh.strides
+    nodes -= np.repeat(nodes[starts] - flat_s, lens)
+    paths: list[np.ndarray] = np.split(nodes, starts[1:])
+    if spec.drop_cycles:
+        seg_id = np.repeat(np.arange(N, dtype=np.int64), lens)
+        keys = np.sort(seg_id * mesh.n + nodes)
+        dup = keys[1:] == keys[:-1]
+        if dup.any():
+            dup_segs = np.unique(keys[1:][dup] // mesh.n)
+            for i in dup_segs.tolist():
+                paths[i] = remove_cycles(paths[i])
+            if profiler is not None:
+                profiler.count("engine.paths_decycled", dup_segs.size)
+    if profiler is not None:
+        profiler.count("engine.edges", sum(len(p) for p in paths) - N)
+    return paths
+
+
+def _assemble_loop(spec: BatchSpec, W: np.ndarray, orders: np.ndarray) -> list[np.ndarray]:
+    """Scalar reference: same plan, assembled with the classic primitives.
+
+    Exists so the byte-identity of the array assembly is *testable* — both
+    consume identical waypoints and orderings, so their outputs must match
+    to the last byte.
+    """
+    mesh = spec.mesh
+    strides = mesh.strides
+    paths = []
+    for i in range(W.shape[0]):
+        pieces = []
+        for j in range(spec.num_subpaths):
+            a = int(W[i, j] @ strides)
+            b = int(W[i, j + 1] @ strides)
+            pieces.append(dimension_order_path(mesh, a, b, tuple(orders[i, j])))
+        path = concatenate_paths(pieces)
+        if spec.drop_cycles:
+            path = remove_cycles(path)
+        paths.append(path)
+    return paths
+
+
+def run_batch(
+    router,
+    spec: BatchSpec,
+    problem: RoutingProblem,
+    seed: int | None = None,
+    *,
+    assemble: str = "array",
+) -> RoutingResult:
+    """Route ``problem`` under ``spec``; the batched half of ``Router.route``."""
+    profiler = getattr(router, "profiler", None)
+
+    def stage(name):
+        return profiler.stage(name) if profiler is not None else nullcontext()
+
+    rng = np.random.default_rng(seed)
+    with stage("engine.draw"):
+        U_way, U_ord = draw_plan(rng, spec)
+        W = build_waypoints(spec, U_way)
+        orders = resolve_orders(spec, U_ord)
+    if profiler is not None:
+        profiler.count("engine.packets", spec.num_packets)
+        profiler.count(
+            "engine.rng_values", U_way.size + (U_ord.size if U_ord is not None else 0)
+        )
+    with stage("engine.assemble"):
+        if assemble == "array":
+            paths = _assemble_array(spec, W, orders, profiler)
+        elif assemble == "loop":
+            paths = _assemble_loop(spec, W, orders)
+        else:
+            raise ValueError(f"unknown assemble mode {assemble!r}")
+    return RoutingResult(problem, paths, router.name, seed)

@@ -73,6 +73,7 @@ def simulate_online(
     dest_fn: Callable[[Mesh, int, np.random.Generator], int] = _uniform_dest,
     drain_steps: int | None = None,
     policy: str = "fifo",
+    profiler=None,
 ) -> OnlineStats:
     """Inject Bernoulli(rate) packets per node per step and schedule them.
 
@@ -88,6 +89,10 @@ def simulate_online(
         local chooser to model locality traffic.
     policy:
         ``"fifo"`` (oldest packet wins an edge) or ``"random"``.
+    profiler:
+        Optional :class:`repro.obs.Profiler`: times the ``online.inject``
+        (path selection) and ``online.advance`` (contention/scheduling)
+        stages and counts ``online.injected`` / ``online.delivered``.
 
     The router must be oblivious: paths are selected at injection time with
     a per-packet spawned stream, independent of network state.
@@ -96,6 +101,11 @@ def simulate_online(
         raise ValueError("online simulation requires an oblivious router")
     if policy not in ("fifo", "random"):
         raise ValueError(f"unknown policy {policy!r}")
+    from contextlib import nullcontext
+
+    def stage(name):
+        return profiler.stage(name) if profiler is not None else nullcontext()
+
     rng = np.random.default_rng(seed)
     path_rng = np.random.default_rng(None if seed is None else seed + 1)
 
@@ -118,48 +128,56 @@ def simulate_online(
     for step in range(1, total_steps + 1):
         injecting = step <= steps
         if injecting:
-            arrivals = np.nonzero(rng.random(mesh.n) < rate)[0]
-            for src in arrivals.tolist():
-                dst = dest_fn(mesh, int(src), rng)
-                path = router.select_path(
-                    mesh, int(src), dst, np.random.default_rng(path_rng.integers(2**63))
-                )
-                if len(path) < 2:
-                    continue
-                edge_seq.append(mesh.edge_ids(path[:-1], path[1:]))
-                pos.append(0)
-                born.append(step)
-                dist.append(int(mesh.distance(int(src), dst)))
-                active.append(len(edge_seq) - 1)
-                injected += 1
+            with stage("online.inject"):
+                arrivals = np.nonzero(rng.random(mesh.n) < rate)[0]
+                for src in arrivals.tolist():
+                    dst = dest_fn(mesh, int(src), rng)
+                    path = router.select_path(
+                        mesh,
+                        int(src),
+                        dst,
+                        np.random.default_rng(path_rng.integers(2**63)),
+                    )
+                    if len(path) < 2:
+                        continue
+                    edge_seq.append(mesh.edge_ids(path[:-1], path[1:]))
+                    pos.append(0)
+                    born.append(step)
+                    dist.append(int(mesh.distance(int(src), dst)))
+                    active.append(len(edge_seq) - 1)
+                    injected += 1
         if not active:
             if not injecting:
                 break
             continue
-        # queue sizes: packets waiting per next-edge tail node (proxy: per edge)
-        max_queue = max(max_queue, _max_contention(edge_seq, pos, active))
-        # contention resolution
-        edges = np.asarray([edge_seq[i][pos[i]] for i in active], dtype=np.int64)
-        if policy == "fifo":
-            prio = np.asarray([born[i] for i in active], dtype=np.int64)
-        else:
-            prio = rng.permutation(len(active))
-        order = np.lexsort((prio, edges))
-        sorted_edges = edges[order]
-        first = np.ones(sorted_edges.size, dtype=bool)
-        first[1:] = sorted_edges[1:] != sorted_edges[:-1]
-        winners = [active[int(j)] for j in np.asarray(order)[first]]
-        still = set(active)
-        for i in winners:
-            pos[i] += 1
-            if pos[i] == len(edge_seq[i]):
-                still.discard(i)
-                done_latency.append(step - born[i] + 1)
-                done_distance.append(dist[i])
-                if step <= steps:
-                    delivered_during_injection += 1
-        active = [i for i in active if i in still]
+        with stage("online.advance"):
+            # queue sizes: packets waiting per next-edge tail (proxy: per edge)
+            max_queue = max(max_queue, _max_contention(edge_seq, pos, active))
+            # contention resolution
+            edges = np.asarray([edge_seq[i][pos[i]] for i in active], dtype=np.int64)
+            if policy == "fifo":
+                prio = np.asarray([born[i] for i in active], dtype=np.int64)
+            else:
+                prio = rng.permutation(len(active))
+            order = np.lexsort((prio, edges))
+            sorted_edges = edges[order]
+            first = np.ones(sorted_edges.size, dtype=bool)
+            first[1:] = sorted_edges[1:] != sorted_edges[:-1]
+            winners = [active[int(j)] for j in np.asarray(order)[first]]
+            still = set(active)
+            for i in winners:
+                pos[i] += 1
+                if pos[i] == len(edge_seq[i]):
+                    still.discard(i)
+                    done_latency.append(step - born[i] + 1)
+                    done_distance.append(dist[i])
+                    if step <= steps:
+                        delivered_during_injection += 1
+            active = [i for i in active if i in still]
 
+    if profiler is not None:
+        profiler.count("online.injected", injected)
+        profiler.count("online.delivered", len(done_latency))
     lat = np.asarray(done_latency, dtype=np.int64)
     return OnlineStats(
         steps=step,

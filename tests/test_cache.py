@@ -1,0 +1,129 @@
+"""The process-wide cache: sharing, accounting, invalidation, disabling."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import cache
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.workloads.permutations import transpose
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    cache.configure(enabled=True)
+    cache.invalidate()
+    cache.reset_stats()
+    yield
+    cache.configure(enabled=True)
+    cache.invalidate()
+    cache.reset_stats()
+
+
+class TestMemo:
+    def test_miss_then_hit(self):
+        calls = []
+        value = cache.memo("t", "k", lambda: calls.append(1) or "v")
+        again = cache.memo("t", "k", lambda: calls.append(1) or "v2")
+        assert value == again == "v"
+        assert len(calls) == 1
+        st = cache.stats()
+        assert st.hits == 1 and st.misses == 1 and st.entries == 1
+
+    def test_distinct_keys_distinct_entries(self):
+        cache.memo("t", 1, lambda: "a")
+        cache.memo("t", 2, lambda: "b")
+        cache.memo("u", 1, lambda: "c")
+        assert cache.stats().entries == 3
+
+    def test_invalidate_all(self):
+        cache.memo("t", 1, lambda: "a")
+        cache.memo("u", 2, lambda: "b")
+        assert cache.invalidate() == 2
+        assert cache.stats().entries == 0
+        assert cache.stats().invalidations == 2
+
+    def test_invalidate_by_kind(self):
+        cache.memo("t", 1, lambda: "a")
+        cache.memo("u", 2, lambda: "b")
+        assert cache.invalidate("t") == 1
+        assert cache.stats().entries == 1
+        # the surviving entry still hits
+        cache.memo("u", 2, lambda: "fresh")
+        assert cache.stats().hits == 1
+
+    def test_disabled_rebuilds_every_call(self):
+        cache.configure(enabled=False)
+        calls = []
+        cache.memo("t", "k", lambda: calls.append(1) or len(calls))
+        cache.memo("t", "k", lambda: calls.append(1) or len(calls))
+        assert len(calls) == 2
+        assert cache.stats().entries == 0
+        assert not cache.enabled()
+
+    def test_hit_rate(self):
+        assert cache.stats().hit_rate == 0.0
+        cache.memo("t", "k", lambda: 1)
+        cache.memo("t", "k", lambda: 1)
+        assert cache.stats().hit_rate == pytest.approx(0.5)
+
+    def test_thread_shared_build(self):
+        results = []
+
+        def worker():
+            results.append(cache.memo("t", "k", lambda: object()))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r is results[0] for r in results)
+
+
+class TestGetDecomposition:
+    def test_shared_across_equal_meshes(self):
+        d1 = cache.get_decomposition(Mesh((8, 8)))
+        d2 = cache.get_decomposition(Mesh((8, 8)))
+        assert d1 is d2
+
+    def test_auto_resolves_to_concrete_scheme(self):
+        d1 = cache.get_decomposition(Mesh((8, 8)), "auto")
+        d2 = cache.get_decomposition(Mesh((8, 8)), "paper2d")
+        assert d1 is d2
+        assert cache.resolve_scheme(Mesh((8, 8)), "auto") == "paper2d"
+        assert cache.resolve_scheme(Mesh((4, 4, 4)), "auto") == "multishift"
+
+    def test_schemes_do_not_collide(self):
+        d1 = cache.get_decomposition(Mesh((8, 8)), "paper2d")
+        d2 = cache.get_decomposition(Mesh((8, 8)), "multishift")
+        assert d1 is not d2
+
+    def test_routers_share_one_decomposition(self):
+        mesh = Mesh((8, 8))
+        r1 = HierarchicalRouter()
+        r2 = HierarchicalRouter()
+        assert r1.decomposition(mesh) is r2.decomposition(mesh)
+
+    def test_routing_with_cache_disabled_still_works(self):
+        cache.configure(enabled=False)
+        mesh = Mesh((8, 8))
+        result = HierarchicalRouter().route(transpose(mesh), seed=0)
+        assert result.validate()
+
+    def test_routing_populates_cache(self):
+        mesh = Mesh((16, 16))
+        HierarchicalRouter().route(transpose(mesh), seed=0)
+        st = cache.stats()
+        assert st.entries >= 2  # decomposition + sequence tables
+        HierarchicalRouter().route(transpose(mesh), seed=1)
+        assert cache.stats().hits > st.hits
+
+    def test_invalidation_forces_rebuild(self):
+        mesh = Mesh((8, 8))
+        d1 = cache.get_decomposition(mesh)
+        cache.invalidate("decomposition")
+        d2 = cache.get_decomposition(mesh)
+        assert d1 is not d2

@@ -1,20 +1,33 @@
-"""Run the executable examples embedded in module docstrings."""
+"""Run the executable examples embedded in module docstrings and docs files."""
 
 import doctest
+import pathlib
 
 import pytest
 
 import repro
+import repro.cache
 import repro.mesh.mesh
 import repro.mesh.submesh
+import repro.obs.profiler
+
+DOCS = pathlib.Path(__file__).resolve().parent.parent / "docs"
 
 
 @pytest.mark.parametrize(
     "module",
-    [repro, repro.mesh.mesh, repro.mesh.submesh],
+    [repro, repro.mesh.mesh, repro.mesh.submesh, repro.cache, repro.obs.profiler],
     ids=lambda m: m.__name__,
 )
 def test_module_doctests(module):
     results = doctest.testmod(module, verbose=False)
     assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
     assert results.attempted > 0, f"no doctests found in {module.__name__}"
+
+
+@pytest.mark.parametrize("name", ["API.md", "PERFORMANCE.md"])
+def test_docs_doctests(name):
+    path = DOCS / name
+    results = doctest.testfile(str(path), module_relative=False, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {name}"
+    assert results.attempted > 0, f"no doctests found in {name}"

@@ -1,0 +1,226 @@
+"""The batched engine: byte-identity, faithfulness of the vectorised
+sequence tables, fallback behaviour, and obliviousness of the protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.path_selection import HierarchicalRouter
+from repro.core.tables import SequenceTables, bit_length
+from repro.mesh.mesh import Mesh
+from repro.mesh.paths import is_valid_path
+from repro.routing.base import RoutingProblem
+from repro.routing.baselines import (
+    AccessTreeRouter,
+    DimensionOrderRouter,
+    RandomDimOrderRouter,
+    ValiantRouter,
+)
+from repro.workloads.generators import nearest_neighbor, random_pairs
+from repro.workloads.permutations import random_permutation, transpose
+
+HIER_CONFIGS = [
+    {},
+    {"dim_order": "shared"},
+    {"dim_order": "fixed"},
+    {"use_bridges": False},
+    {"variant": "general"},
+    {"variant": "general", "use_bridges": False},
+    {"drop_cycles": False},
+    {"scheme": "multishift"},
+]
+
+
+def _assert_identical(result_a, result_b, mesh, problem):
+    assert len(result_a.paths) == len(result_b.paths)
+    for pa, pb, s, t in zip(
+        result_a.paths, result_b.paths, problem.sources, problem.dests
+    ):
+        assert pa.dtype == np.int64 and pb.dtype == np.int64
+        assert pa.tobytes() == pb.tobytes()
+        assert is_valid_path(mesh, pa, int(s), int(t))
+
+
+class TestByteIdentity:
+    """The acceptance contract: array assembly == scalar loop assembly,
+    byte for byte, from the same random plan."""
+
+    @pytest.mark.parametrize("config", HIER_CONFIGS, ids=lambda c: str(c) or "default")
+    def test_hierarchical(self, config):
+        mesh = Mesh((16, 16))
+        problem = transpose(mesh)
+        router = HierarchicalRouter(**config)
+        _assert_identical(
+            router.route(problem, seed=7),
+            router.route(problem, seed=7, batch="loop"),
+            mesh,
+            problem,
+        )
+
+    @pytest.mark.parametrize("sides", [(8, 8), (4, 4, 4), (2, 2, 2, 2, 2)])
+    def test_dimensions(self, sides):
+        mesh = Mesh(sides)
+        problem = random_pairs(mesh, 64, seed=5)
+        router = HierarchicalRouter()
+        _assert_identical(
+            router.route(problem, seed=2),
+            router.route(problem, seed=2, batch="loop"),
+            mesh,
+            problem,
+        )
+
+    @pytest.mark.parametrize(
+        "router",
+        [
+            DimensionOrderRouter(),
+            DimensionOrderRouter(order=(1, 0)),
+            RandomDimOrderRouter(),
+            ValiantRouter(),
+            ValiantRouter(drop_cycles=False),
+            AccessTreeRouter(),
+        ],
+        ids=lambda r: r.name + ("" if getattr(r, "drop_cycles", True) else "-keepcycles"),
+    )
+    def test_baselines(self, router):
+        mesh = Mesh((16, 16))
+        problem = nearest_neighbor(mesh, seed=9)
+        _assert_identical(
+            router.route(problem, seed=3),
+            router.route(problem, seed=3, batch="loop"),
+            mesh,
+            problem,
+        )
+
+    def test_self_loops_and_duplicates(self):
+        mesh = Mesh((8, 8))
+        problem = RoutingProblem(
+            mesh,
+            np.array([5, 9, 9, 0]),
+            np.array([5, 41, 41, 63]),
+        )
+        router = HierarchicalRouter()
+        res = router.route(problem, seed=1)
+        _assert_identical(res, router.route(problem, seed=1, batch="loop"), mesh, problem)
+        assert res.paths[0].tolist() == [5]
+
+    def test_deterministic_router_matches_legacy_exactly(self):
+        # dim-order has no randomness, so even the legacy loop must agree.
+        mesh = Mesh((16, 16))
+        problem = transpose(mesh)
+        router = DimensionOrderRouter()
+        _assert_identical(
+            router.route(problem, seed=0),
+            router.route(problem, seed=0, batch=False),
+            mesh,
+            problem,
+        )
+
+
+class TestSequenceTables:
+    """The vectorised tables must reproduce the scalar submesh sequences."""
+
+    @pytest.mark.parametrize("sides,scheme", [((16, 16), "paper2d"), ((16, 16), "multishift"), ((8, 8, 8), "multishift")])
+    @pytest.mark.parametrize("variant", ["bitonic2d", "general"])
+    @pytest.mark.parametrize("use_bridges", [True, False])
+    def test_boxes_match_scalar(self, sides, scheme, variant, use_bridges):
+        mesh = Mesh(sides)
+        rng = np.random.default_rng(0)
+        src = rng.integers(mesh.n, size=100)
+        dst = rng.integers(mesh.n, size=100)
+        dst[:3] = src[:3]  # include s == t packets
+        router = HierarchicalRouter(scheme=scheme, variant=variant, use_bridges=use_bridges)
+        tables = SequenceTables.for_mesh(mesh, scheme)
+        box_lo, box_len, n_inner = tables.batch_boxes(
+            src, dst, variant=variant, use_bridges=use_bridges
+        )
+        for i in range(src.size):
+            seq, _ = router.submesh_sequence(mesh, int(src[i]), int(dst[i]))
+            inner = seq[1:-1]
+            assert n_inner[i] == len(inner)
+            for j, box in enumerate(inner):
+                assert box_lo[i, j].tolist() == list(box.lo)
+                assert box_len[i, j].tolist() == [
+                    hi - lo + 1 for lo, hi in zip(box.lo, box.hi)
+                ]
+            # padded slots: the destination's single-node box
+            ct = mesh.flat_to_coords(int(dst[i]))
+            assert (box_lo[i, len(inner):] == ct).all()
+            assert (box_len[i, len(inner):] == 1).all()
+
+    def test_tables_are_cached_per_shape(self):
+        t1 = SequenceTables.for_mesh(Mesh((8, 8)))
+        t2 = SequenceTables.for_mesh(Mesh((8, 8)))
+        assert t1 is t2
+
+    def test_torus_rejected(self):
+        from repro.core.decomposition import Decomposition
+
+        with pytest.raises(ValueError, match="[Tt]orus|power"):
+            SequenceTables(Decomposition(Mesh((8, 8), torus=True)))
+
+    def test_bit_length(self):
+        xs = np.array([0, 1, 2, 3, 4, 7, 8, 1023, 1024])
+        assert bit_length(xs).tolist() == [int(x).bit_length() for x in xs]
+
+
+class TestFallbacks:
+    def test_torus_uses_legacy_loop(self):
+        mesh = Mesh((8, 8), torus=True)
+        for router in (HierarchicalRouter(), ValiantRouter(), DimensionOrderRouter()):
+            assert router.batch_spec(transpose(mesh)) is None
+            assert router.route(transpose(mesh), seed=0).validate()
+
+    def test_bit_mode_uses_legacy_loop(self):
+        mesh = Mesh((8, 8))
+        router = HierarchicalRouter(bit_mode="fresh")
+        problem = transpose(mesh)
+        assert router.batch_spec(problem) is None
+        router.route(problem, seed=0)
+        assert len(router.bits_log) == problem.num_packets
+
+    def test_non_power_of_two_uses_legacy_loop(self):
+        mesh = Mesh((6, 6))
+        assert HierarchicalRouter().batch_spec(transpose(mesh)) is None
+
+    def test_batch_false_forces_legacy(self):
+        mesh = Mesh((8, 8))
+        problem = transpose(mesh)
+        res = HierarchicalRouter().route(problem, seed=0, batch=False)
+        assert res.validate()
+
+    def test_unknown_batch_mode_rejected(self):
+        mesh = Mesh((8, 8))
+        with pytest.raises(ValueError, match="batch mode"):
+            HierarchicalRouter().route(transpose(mesh), seed=0, batch="nonsense")
+
+
+class TestObliviousness:
+    """The batched protocol must keep paths per-packet independent: packet
+    i's path is a function of (seed, i, s_i, t_i) only."""
+
+    def test_other_packets_unchanged_when_one_changes(self):
+        mesh = Mesh((16, 16))
+        base = random_permutation(mesh, seed=4)
+        dests = base.dests.copy()
+        dests[0] = (dests[0] + 17) % mesh.n
+        changed = RoutingProblem(mesh, base.sources, dests)
+        router = HierarchicalRouter()
+        r1 = router.route(base, seed=11)
+        r2 = router.route(changed, seed=11)
+        for i in range(1, base.num_packets):
+            assert r1.paths[i].tobytes() == r2.paths[i].tobytes()
+
+    def test_same_seed_reproducible(self):
+        mesh = Mesh((16, 16))
+        problem = transpose(mesh)
+        router = HierarchicalRouter()
+        a = router.route(problem, seed=5)
+        b = router.route(problem, seed=5)
+        assert all(x.tobytes() == y.tobytes() for x, y in zip(a.paths, b.paths))
+
+    def test_different_seeds_differ(self):
+        mesh = Mesh((16, 16))
+        problem = transpose(mesh)
+        router = HierarchicalRouter()
+        a = router.route(problem, seed=5)
+        b = router.route(problem, seed=6)
+        assert any(x.tobytes() != y.tobytes() for x, y in zip(a.paths, b.paths))
