@@ -16,6 +16,12 @@ the cache disabled.  The qualitative claims asserted here:
 * batch and loop produce byte-identical paths (the engine's contract);
 * batch is at least several times faster than legacy at default sizes;
 * a warm cache makes the sequence stage cheaper than a cold one.
+
+``run_metrics_experiment`` times the *metrics* stage: the columnar
+``PathSet`` passes (``congestion`` / ``node_loads`` / ``stretches``)
+against the pre-PathSet list-of-arrays implementations, kept below as the
+baseline.  The contract recorded here: every metric is at least 5x faster
+on a 100k-packet 64x64 workload.
 """
 
 from __future__ import annotations
@@ -29,7 +35,10 @@ from common import main_print
 from repro import cache
 from repro.core.path_selection import HierarchicalRouter
 from repro.mesh.mesh import Mesh
+from repro.metrics.congestion import edge_loads, node_loads
+from repro.metrics.stretch import stretches
 from repro.obs import Profiler
+from repro.workloads.generators import random_pairs
 from repro.workloads.permutations import transpose
 
 
@@ -77,6 +86,106 @@ def run_experiment(m: int = 32, seed: int = 0) -> list[dict]:
     return rows
 
 
+# ---------------------------------------------------------------------------
+# Metrics stage: columnar PathSet passes vs the list-of-arrays baseline.
+# The baselines below are the seed's metric implementations, kept verbatim
+# so the speedup is measured against real history, not a strawman.
+# ---------------------------------------------------------------------------
+
+def _baseline_edge_loads(mesh, paths):
+    from repro.mesh.paths import path_edge_endpoints
+
+    tails_parts, heads_parts = [], []
+    for p in paths:
+        p = np.asarray(p, dtype=np.int64)
+        if p.size < 2:
+            continue
+        t, h = path_edge_endpoints(p)
+        tails_parts.append(t)
+        heads_parts.append(h)
+    if not tails_parts:
+        return np.zeros(mesh.num_edges, dtype=np.int64)
+    ids = mesh.edge_ids(np.concatenate(tails_parts), np.concatenate(heads_parts))
+    return np.bincount(ids, minlength=mesh.num_edges).astype(np.int64)
+
+
+def _baseline_node_loads(mesh, paths):
+    counts = np.zeros(mesh.n, dtype=np.int64)
+    for p in paths:
+        p = np.asarray(p, dtype=np.int64)
+        if p.size:
+            counts += np.bincount(np.unique(p), minlength=mesh.n)
+    return counts
+
+
+def _baseline_stretches(mesh, sources, dests, paths):
+    from repro.mesh.paths import path_length
+
+    lengths = np.asarray([path_length(p) for p in paths], dtype=np.float64)
+    dists = np.asarray(mesh.distance(sources, dests), dtype=np.float64)
+    out = np.full(sources.size, np.nan)
+    nonzero = dists > 0
+    out[nonzero] = lengths[nonzero] / dists[nonzero]
+    return out
+
+
+def run_metrics_experiment(
+    m: int = 64, packets: int = 100_000, seed: int = 0
+) -> list[dict]:
+    """Time each metric on one routed workload, columnar vs list baseline."""
+    mesh = Mesh((m, m))
+    problem = random_pairs(mesh, packets, seed=seed)
+    result = HierarchicalRouter().route(problem, seed=seed)
+    ps = result.paths
+    as_list = ps.to_list()
+
+    pairs = [
+        (
+            "congestion (edge_loads)",
+            lambda: edge_loads(mesh, ps),
+            lambda: _baseline_edge_loads(mesh, as_list),
+        ),
+        (
+            "node_loads",
+            lambda: node_loads(mesh, ps),
+            lambda: _baseline_node_loads(mesh, as_list),
+        ),
+        (
+            "stretch (stretches)",
+            lambda: stretches(mesh, problem.sources, problem.dests, ps),
+            lambda: _baseline_stretches(
+                mesh, problem.sources, problem.dests, as_list
+            ),
+        ),
+    ]
+    rows = []
+    total_ps = total_list = 0.0
+    for name, columnar, baseline in pairs:
+        ref_val = baseline()
+        np.testing.assert_allclose(np.asarray(columnar(), dtype=np.float64), ref_val)
+        t_ps = _time(columnar)
+        t_list = _time(baseline, repeats=1 if m >= 64 else 2)
+        total_ps += t_ps
+        total_list += t_list
+        rows.append(
+            {
+                "metric": name,
+                "list_s": round(t_list, 4),
+                "pathset_s": round(t_ps, 4),
+                "speedup": round(t_list / t_ps, 1),
+            }
+        )
+    rows.append(
+        {
+            "metric": "all three (metrics stage)",
+            "list_s": round(total_list, 4),
+            "pathset_s": round(total_ps, 4),
+            "speedup": round(total_list / total_ps, 1),
+        }
+    )
+    return rows
+
+
 def test_t9_batch_loop_identical():
     mesh = Mesh((16, 16))
     problem = transpose(mesh)
@@ -96,6 +205,14 @@ def test_t9_batch_beats_legacy():
     assert legacy / batch > 3.0, f"batch speedup only {legacy / batch:.1f}x"
 
 
+def test_t9_metrics_columnar_speedup():
+    # Reduced workload for pytest; the full 100k-packet 64x64 run (where
+    # the contract is >= 5x per metric) is run_metrics_experiment's default.
+    rows = run_metrics_experiment(m=32, packets=20_000)
+    for row in rows:
+        assert row["speedup"] >= 3.0, f"{row['metric']}: only {row['speedup']}x"
+
+
 def test_t9_cache_hits_accumulate():
     mesh = Mesh((16, 16))
     problem = transpose(mesh)
@@ -109,3 +226,7 @@ def test_t9_cache_hits_accumulate():
 
 if __name__ == "__main__":
     main_print(run_experiment, "T9: batched engine profile (32x32 transpose)")
+    main_print(
+        run_metrics_experiment,
+        "T9: metrics stage, PathSet vs list baseline (100k packets, 64x64)",
+    )

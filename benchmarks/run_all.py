@@ -1,11 +1,15 @@
 #!/usr/bin/env python
 """Regenerate every experiment table (the data behind EXPERIMENTS.md).
 
-Runs the ``run_experiment()`` of every bench module at its default (full)
-parameters and prints the tables.  Pass ``--quick`` for the reduced
-parameters the pytest-benchmark assertions use.
+Runs the ``run_experiment()`` of every bench module and prints the tables.
+Three parameter tiers:
 
-Usage:  python benchmarks/run_all.py [--quick]
+* default — the full parameters behind EXPERIMENTS.md;
+* ``--quick`` — the reduced parameters the pytest-benchmark assertions use;
+* ``--smoke`` — tiny meshes, one seed: exercises every experiment
+  end-to-end in well under a minute (CI runs this on every push).
+
+Usage:  python benchmarks/run_all.py [--quick | --smoke]
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import bench_t5_congestion_dd as t5
 import bench_t6_randomization as t6
 import bench_t7_random_bits as t7
 import bench_t8_routing_time as t8
+import bench_t9_engine_profile as t9
 import bench_a1_bridge_ablation as a1
 import bench_a2_dim_order_ablation as a2
 import bench_a3_scheme_ablation as a3
@@ -34,73 +39,153 @@ import bench_x4_scaling as x4
 import bench_x5_rectangular as x5
 import bench_x6_adversary_search as x6
 
+# (title, runner, quick kwargs, smoke kwargs); default runs use {}.
+EXPERIMENTS = [
+    (
+        "F1 / Figure 1: 2-D decomposition inventory (8x8)",
+        f1.run_experiment,
+        {},
+        {},
+    ),
+    (
+        "F2 / Figure 2: multishift shift table (16^3)",
+        f2.run_experiment,
+        {},
+        {"d": 2, "m": 8},
+    ),
+    (
+        "T1 / Theorem 3.4: 2-D stretch <= 64",
+        t1.run_experiment,
+        {"sizes": (8, 16, 32), "pairs_per_mesh": 200},
+        {"sizes": (8,), "pairs_per_mesh": 50},
+    ),
+    (
+        "T2 / Lemma 3.3: bridge height vs log2(dist)+2",
+        t2.run_experiment,
+        {"m": 32, "samples": 1000},
+        {"m": 16, "samples": 100},
+    ),
+    (
+        "T3 / Theorem 3.9: 2-D congestion vs C* lower bound",
+        t3.run_experiment,
+        {"m": 16, "seeds": (0,)},
+        {"m": 8, "seeds": (0,)},
+    ),
+    (
+        "T4 / Theorem 4.2: stretch O(d^2)",
+        t4.run_experiment,
+        {},
+        {"configs": ((2, 8),)},
+    ),
+    (
+        "T5 / Theorem 4.3: d-dim congestion",
+        t5.run_experiment,
+        {},
+        {"configs": ((2, 8),)},
+    ),
+    (
+        "T6 / Section 5.1: forced congestion of deterministic routing",
+        t6.run_experiment,
+        {"m": 32, "ls": (2, 8, 16)},
+        {"m": 16, "ls": (2, 4)},
+    ),
+    (
+        "T6b / Lemma 5.1: kappa-choice hot-edge sweep",
+        t6.run_kappa_experiment,
+        {"m": 16, "l": 8, "ks": (1, 4, 16), "trials": 4},
+        {"m": 8, "l": 4, "ks": (1, 2), "trials": 2},
+    ),
+    (
+        "T7 / Lemma 5.4: random bits per packet",
+        t7.run_experiment,
+        {"m": 32, "ls": (2, 8, 16)},
+        {"m": 16, "ls": (2, 4)},
+    ),
+    (
+        "T8 / routing time: makespan vs C+D",
+        t8.run_experiment,
+        {},
+        {"m": 8},
+    ),
+    (
+        "T9 / engineering: batched engine profile",
+        t9.run_experiment,
+        {"m": 16},
+        {"m": 16},
+    ),
+    (
+        "T9 / engineering: metrics stage, PathSet vs list baseline",
+        t9.run_metrics_experiment,
+        {"m": 32, "packets": 20_000},
+        {"m": 16, "packets": 2_000},
+    ),
+    (
+        "A1 / ablation: bridges on vs off",
+        a1.run_experiment,
+        {},
+        {"m": 16, "seeds": (0,)},
+    ),
+    (
+        "A2 / ablation: dimension-order randomization",
+        a2.run_experiment,
+        {},
+        {"seeds": (0,)},
+    ),
+    (
+        "A3 / ablation: multishift vs half-shift generalization",
+        a3.run_experiment,
+        {},
+        {"configs": ((3, 16),)},
+    ),
+    (
+        "X1 / extension: online routing latency vs load",
+        x1.run_experiment,
+        {"rates": (0.01, 0.1), "steps": 150},
+        {"m": 8, "rates": (0.05,), "steps": 50},
+    ),
+    (
+        "X2 / extension: exact E[C(e)] vs Lemma 3.8",
+        x2.run_experiment,
+        {"mc_trials": 100},
+        {"sizes": (4,), "mc_trials": 20},
+    ),
+    (
+        "X3 / extension: torus vs mesh",
+        x3.run_experiment,
+        {},
+        {"m": 8},
+    ),
+    (
+        "X4 / extension: log-n scaling",
+        x4.run_experiment,
+        {"sizes": (8, 16, 32), "seeds": (0,)},
+        {"sizes": (8,), "seeds": (0,)},
+    ),
+    (
+        "X5 / extension: rectangular meshes",
+        x5.run_experiment,
+        {},
+        {"configs": ((32, 8),), "packets": 50},
+    ),
+    (
+        "X6 / extension: adversarial workload search",
+        x6.run_experiment,
+        {"budget": 120},
+        {"m": 8, "budget": 20},
+    ),
+]
 
-def main(quick: bool = False) -> None:
-    experiments = [
-        ("F1 / Figure 1: 2-D decomposition inventory (8x8)", f1.run_experiment, {}),
-        ("F2 / Figure 2: multishift shift table (16^3)", f2.run_experiment, {}),
-        (
-            "T1 / Theorem 3.4: 2-D stretch <= 64",
-            t1.run_experiment,
-            {"sizes": (8, 16, 32), "pairs_per_mesh": 200} if quick else {},
-        ),
-        (
-            "T2 / Lemma 3.3: bridge height vs log2(dist)+2",
-            t2.run_experiment,
-            {"m": 32, "samples": 1000} if quick else {},
-        ),
-        (
-            "T3 / Theorem 3.9: 2-D congestion vs C* lower bound",
-            t3.run_experiment,
-            {"m": 16, "seeds": (0,)} if quick else {},
-        ),
-        ("T4 / Theorem 4.2: stretch O(d^2)", t4.run_experiment, {}),
-        ("T5 / Theorem 4.3: d-dim congestion", t5.run_experiment, {}),
-        (
-            "T6 / Section 5.1: forced congestion of deterministic routing",
-            t6.run_experiment,
-            {"m": 32, "ls": (2, 8, 16)} if quick else {},
-        ),
-        (
-            "T6b / Lemma 5.1: kappa-choice hot-edge sweep",
-            t6.run_kappa_experiment,
-            {"m": 16, "l": 8, "ks": (1, 4, 16), "trials": 4} if quick else {},
-        ),
-        (
-            "T7 / Lemma 5.4: random bits per packet",
-            t7.run_experiment,
-            {"m": 32, "ls": (2, 8, 16)} if quick else {},
-        ),
-        ("T8 / routing time: makespan vs C+D", t8.run_experiment, {}),
-        ("A1 / ablation: bridges on vs off", a1.run_experiment, {}),
-        ("A2 / ablation: dimension-order randomization", a2.run_experiment, {}),
-        ("A3 / ablation: multishift vs half-shift generalization", a3.run_experiment, {}),
-        (
-            "X1 / extension: online routing latency vs load",
-            x1.run_experiment,
-            {"rates": (0.01, 0.1), "steps": 150} if quick else {},
-        ),
-        (
-            "X2 / extension: exact E[C(e)] vs Lemma 3.8",
-            x2.run_experiment,
-            {"mc_trials": 100} if quick else {},
-        ),
-        ("X3 / extension: torus vs mesh", x3.run_experiment, {}),
-        (
-            "X4 / extension: log-n scaling",
-            x4.run_experiment,
-            {"sizes": (8, 16, 32), "seeds": (0,)} if quick else {},
-        ),
-        ("X5 / extension: rectangular meshes", x5.run_experiment, {}),
-        (
-            "X6 / extension: adversarial workload search",
-            x6.run_experiment,
-            {"budget": 120} if quick else {},
-        ),
-    ]
-    for title, run, kwargs in experiments:
+
+def main(mode: str = "full") -> None:
+    for title, run, quick_kwargs, smoke_kwargs in EXPERIMENTS:
+        kwargs = {"quick": quick_kwargs, "smoke": smoke_kwargs}.get(mode, {})
         print_experiment(title, run(**kwargs))
 
 
 if __name__ == "__main__":
-    main(quick="--quick" in sys.argv)
+    if "--smoke" in sys.argv:
+        main("smoke")
+    elif "--quick" in sys.argv:
+        main("quick")
+    else:
+        main("full")

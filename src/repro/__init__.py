@@ -36,6 +36,7 @@ from repro.core import (
     BitCounter,
     Decomposition,
     HierarchicalRouter,
+    PathSet,
     RectDecomposition,
     RectHierarchicalRouter,
     RecycledBits,
@@ -139,6 +140,7 @@ __all__ = [
     "Router",
     "RoutingProblem",
     "RoutingResult",
+    "PathSet",
     "AccessTreeRouter",
     "DimensionOrderRouter",
     "RandomDimOrderRouter",

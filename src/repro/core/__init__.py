@@ -19,6 +19,7 @@ Modules
     Bit-counting RNG and the paper's recycled-bit scheme (Section 5.3).
 """
 
+from repro.core.pathset import PathSet
 from repro.core.decomposition import Decomposition, RegularSubmesh
 from repro.core.access_graph import AccessGraph
 from repro.core.bridges import common_ancestor_2d, find_bridge
@@ -27,6 +28,7 @@ from repro.core.rect import RectDecomposition, RectHierarchicalRouter
 from repro.core.randomness import BitCounter, RecycledBits
 
 __all__ = [
+    "PathSet",
     "Decomposition",
     "RegularSubmesh",
     "AccessGraph",

@@ -1,0 +1,233 @@
+"""The columnar path representation: one CSR structure for every layer.
+
+A path collection is ragged — ``P`` paths of different lengths — and the
+seed implementation shipped it around as ``list[np.ndarray]``, forcing
+every consumer (congestion accounting, stretch, the schedulers, the
+``.npz`` persistence) to re-loop over paths in Python.  :class:`PathSet`
+stores the whole collection in CSR form instead:
+
+* ``nodes``   — ``int64[total]``: every path's nodes, concatenated;
+* ``offsets`` — ``int64[P + 1]``: path ``i`` is ``nodes[offsets[i]:offsets[i+1]]``.
+
+Everything downstream becomes an array pass over shared, lazily cached
+views: the per-path edge counts (:attr:`lengths`), the flat edge endpoint
+streams (:attr:`edge_tails` / :attr:`edge_heads`), the per-path slices of
+the flat *edge* stream (:attr:`edge_offsets`), per-element path ids
+(:attr:`node_path_ids` / :attr:`edge_path_ids`), and the dense undirected
+edge ids of a mesh (:meth:`edge_ids`).  This is the same move that makes
+compact/semi-oblivious routing schemes practical at scale: one shared
+columnar structure, no per-path Python work.
+
+Compatibility contract
+----------------------
+``PathSet`` implements the immutable ``Sequence[np.ndarray]`` protocol —
+``len(ps)``, ``ps[i]`` (a read-only ``int64`` view of path ``i``),
+iteration, and equality array-for-array — so call sites written against
+``list[np.ndarray]`` keep working unchanged.  The arrays themselves are
+frozen (``writeable=False``); build a new ``PathSet`` instead of mutating.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mesh.mesh import Mesh
+
+__all__ = ["PathSet"]
+
+
+def _frozen(arr: np.ndarray) -> np.ndarray:
+    """A read-only int64 view (copying only when dtype/layout requires)."""
+    out = np.ascontiguousarray(arr, dtype=np.int64)
+    if out is arr or out.base is arr:
+        out = out.view()
+    out.setflags(write=False)
+    return out
+
+
+class PathSet(Sequence):
+    """An immutable CSR collection of mesh paths.
+
+    Construct with :meth:`from_paths` (any iterable of node arrays) or
+    :meth:`from_arrays` (an already-flat ``nodes`` / ``offsets`` pair, the
+    zero-copy path used by the batch engine and the ``.npz`` loader).
+    """
+
+    def __init__(self, nodes: np.ndarray, offsets: np.ndarray):
+        nodes = _frozen(np.atleast_1d(np.asarray(nodes)))
+        offsets = _frozen(np.atleast_1d(np.asarray(offsets)))
+        if nodes.ndim != 1 or offsets.ndim != 1:
+            raise ValueError("nodes and offsets must be 1-D arrays")
+        if offsets.size == 0 or offsets[0] != 0 or offsets[-1] != nodes.size:
+            raise ValueError(
+                "offsets must run from 0 to nodes.size "
+                f"(got {offsets[:1]}..{offsets[-1:]} over {nodes.size} nodes)"
+            )
+        if np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        self.nodes = nodes
+        self.offsets = offsets
+        self._edge_id_cache: dict = {}
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def from_arrays(cls, nodes: np.ndarray, offsets: np.ndarray) -> "PathSet":
+        """Wrap existing CSR arrays (no copy when already ``int64``)."""
+        return cls(nodes, offsets)
+
+    @classmethod
+    def from_lengths(cls, nodes: np.ndarray, lengths: np.ndarray) -> "PathSet":
+        """Wrap a flat node array plus per-path *node counts*."""
+        lengths = np.asarray(lengths, dtype=np.int64)
+        offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        return cls(nodes, offsets)
+
+    @classmethod
+    def from_paths(cls, paths: "PathSet" | Iterable[np.ndarray]) -> "PathSet":
+        """Convert a list of per-path node arrays (idempotent on PathSet)."""
+        if isinstance(paths, PathSet):
+            return paths
+        parts = [np.asarray(p, dtype=np.int64).reshape(-1) for p in paths]
+        lengths = np.asarray([p.size for p in parts], dtype=np.int64)
+        nodes = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+        return cls.from_lengths(nodes, lengths)
+
+    # -- shape ---------------------------------------------------------
+    @property
+    def num_paths(self) -> int:
+        return self.offsets.size - 1
+
+    @property
+    def total_nodes(self) -> int:
+        return self.nodes.size
+
+    @property
+    def nodes_per_path(self) -> np.ndarray:
+        """``int64[P]``: node count of every path."""
+        if not hasattr(self, "_nodes_per_path"):
+            self._nodes_per_path = _frozen(np.diff(self.offsets))
+        return self._nodes_per_path
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """``int64[P]``: edge count ``|p_i|`` of every path (>= 0)."""
+        if not hasattr(self, "_lengths"):
+            self._lengths = _frozen(np.maximum(self.nodes_per_path - 1, 0))
+        return self._lengths
+
+    @property
+    def total_edges(self) -> int:
+        return int(self.lengths.sum())
+
+    # -- flat edge streams ---------------------------------------------
+    @property
+    def _edge_tail_idx(self) -> np.ndarray:
+        """Indices into ``nodes`` of every edge's tail (path-order)."""
+        if not hasattr(self, "_edge_tail_idx_"):
+            mask = np.ones(self.total_nodes, dtype=bool)
+            ends = self.offsets[1:] - 1
+            mask[ends[self.nodes_per_path > 0]] = False
+            self._edge_tail_idx_ = _frozen(np.flatnonzero(mask))
+        return self._edge_tail_idx_
+
+    @property
+    def edge_tails(self) -> np.ndarray:
+        """``int64[total_edges]``: tail node of every edge, path-major."""
+        if not hasattr(self, "_edge_tails"):
+            self._edge_tails = _frozen(self.nodes[self._edge_tail_idx])
+        return self._edge_tails
+
+    @property
+    def edge_heads(self) -> np.ndarray:
+        """``int64[total_edges]``: head node of every edge, path-major."""
+        if not hasattr(self, "_edge_heads"):
+            self._edge_heads = _frozen(self.nodes[self._edge_tail_idx + 1])
+        return self._edge_heads
+
+    @property
+    def edge_offsets(self) -> np.ndarray:
+        """``int64[P + 1]``: path ``i``'s edges are the flat-edge-stream
+        slice ``[edge_offsets[i], edge_offsets[i + 1])``."""
+        if not hasattr(self, "_edge_offsets"):
+            out = np.zeros(self.num_paths + 1, dtype=np.int64)
+            np.cumsum(self.lengths, out=out[1:])
+            self._edge_offsets = _frozen(out)
+        return self._edge_offsets
+
+    @property
+    def node_path_ids(self) -> np.ndarray:
+        """``int64[total_nodes]``: owning path id of every node entry."""
+        if not hasattr(self, "_node_path_ids"):
+            self._node_path_ids = _frozen(
+                np.repeat(
+                    np.arange(self.num_paths, dtype=np.int64),
+                    self.nodes_per_path,
+                )
+            )
+        return self._node_path_ids
+
+    @property
+    def edge_path_ids(self) -> np.ndarray:
+        """``int64[total_edges]``: owning path id of every edge entry."""
+        if not hasattr(self, "_edge_path_ids"):
+            self._edge_path_ids = _frozen(
+                np.repeat(np.arange(self.num_paths, dtype=np.int64), self.lengths)
+            )
+        return self._edge_path_ids
+
+    def edge_ids(self, mesh: "Mesh") -> np.ndarray:
+        """Dense undirected edge ids of every edge on ``mesh`` (cached).
+
+        Raises ``ValueError`` if any consecutive node pair is not a mesh
+        link — the same validation contract as ``Mesh.edge_ids``.
+        """
+        key = (mesh.sides, mesh.torus)
+        ids = self._edge_id_cache.get(key)
+        if ids is None:
+            ids = _frozen(mesh.edge_ids(self.edge_tails, self.edge_heads))
+            self._edge_id_cache[key] = ids
+        return ids
+
+    # -- Sequence protocol ---------------------------------------------
+    def __len__(self) -> int:
+        return self.num_paths
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return PathSet.from_paths([self[j] for j in range(*i.indices(len(self)))])
+        i = int(i)
+        if i < 0:
+            i += self.num_paths
+        if not 0 <= i < self.num_paths:
+            raise IndexError(f"path index {i} out of range for {self.num_paths} paths")
+        return self.nodes[self.offsets[i] : self.offsets[i + 1]]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        nodes, offsets = self.nodes, self.offsets
+        for i in range(self.num_paths):
+            yield nodes[offsets[i] : offsets[i + 1]]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PathSet):
+            return np.array_equal(self.offsets, other.offsets) and np.array_equal(
+                self.nodes, other.nodes
+            )
+        return NotImplemented
+
+    __hash__ = None  # mutable-adjacent semantics: equality is by content
+
+    def to_list(self) -> list:
+        """Materialise as ``list[np.ndarray]`` (fresh writable copies)."""
+        return [np.array(p) for p in self]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PathSet({self.num_paths} paths, {self.total_nodes} nodes, "
+            f"{self.total_edges} edges)"
+        )

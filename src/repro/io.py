@@ -3,7 +3,10 @@
 Routing large instances and LP bounds can take minutes; experiments want to
 route once and analyse many times.  Results serialise to a single ``.npz``
 (paths are ragged, so they are stored as one concatenated array plus
-offsets); sweep rows export to CSV for external tooling.
+per-path lengths — exactly the CSR layout of
+:class:`~repro.core.pathset.PathSet`, so the arrays are written and read
+verbatim, no re-flattening or re-splitting); sweep rows export to CSV for
+external tooling.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.core.pathset import PathSet
 from repro.mesh.mesh import Mesh
 from repro.routing.base import RoutingProblem, RoutingResult
 
@@ -24,12 +28,7 @@ def save_result(path: str | Path, result: RoutingResult) -> None:
     """Serialise a routing result (mesh, problem, paths) to ``.npz``."""
     problem = result.problem
     mesh = problem.mesh
-    flat = (
-        np.concatenate([np.asarray(p, dtype=np.int64) for p in result.paths])
-        if result.paths
-        else np.empty(0, dtype=np.int64)
-    )
-    lengths = np.asarray([len(p) for p in result.paths], dtype=np.int64)
+    paths = PathSet.from_paths(result.paths)
     np.savez_compressed(
         Path(path),
         sides=np.asarray(mesh.sides, dtype=np.int64),
@@ -39,8 +38,8 @@ def save_result(path: str | Path, result: RoutingResult) -> None:
         problem_name=np.asarray([problem.name]),
         router_name=np.asarray([result.router_name]),
         seed=np.asarray([-1 if result.seed is None else int(result.seed)]),
-        path_data=flat,
-        path_lengths=lengths,
+        path_data=paths.nodes,
+        path_lengths=paths.nodes_per_path,
     )
 
 
@@ -54,13 +53,7 @@ def load_result(path: str | Path) -> RoutingResult:
             data["dests"],
             str(data["problem_name"][0]),
         )
-        lengths = data["path_lengths"]
-        flat = data["path_data"]
-        paths = []
-        offset = 0
-        for ln in lengths.tolist():
-            paths.append(flat[offset : offset + ln].copy())
-            offset += ln
+        paths = PathSet.from_lengths(data["path_data"], data["path_lengths"])
         seed = int(data["seed"][0])
         return RoutingResult(
             problem,

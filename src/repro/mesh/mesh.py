@@ -21,6 +21,7 @@ shortened by one on the mesh).
 from __future__ import annotations
 
 import math
+from functools import cached_property
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -146,12 +147,39 @@ class Mesh:
     # ------------------------------------------------------------------
     # Distances
     # ------------------------------------------------------------------
+    @cached_property
+    def _pow2_decode(self) -> list[tuple[int, int]] | None:
+        """Per-dimension ``(shift, mask)`` pairs when every side is a power
+        of two (then every stride is too), else ``None``.  Lets hot paths
+        decode coordinates with shifts instead of 64-bit div/mod.
+        """
+        if any(s & (s - 1) for s in self.sides):
+            return None
+        return [
+            (int(stride).bit_length() - 1, side - 1)
+            for stride, side in zip(self.strides.tolist(), self.sides)
+        ]
+
     def distance(self, u: int | np.ndarray, v: int | np.ndarray) -> np.ndarray | int:
         """Shortest-path (L1) distance ``dist(u, v)``, vectorised.
 
         On the torus the per-dimension distance is the shorter way around.
         """
         scalar = np.isscalar(u) and np.isscalar(v)
+        decode = self._pow2_decode
+        if decode is not None:
+            uu = np.atleast_1d(np.asarray(u, dtype=np.int64))
+            vv = np.atleast_1d(np.asarray(v, dtype=np.int64))
+            for ids in (uu, vv):
+                if ids.size and (int(ids.min()) < 0 or int(ids.max()) >= self.n):
+                    raise ValueError("node id out of range")
+            dist = np.zeros(max(uu.size, vv.size), dtype=np.int64)
+            for (shift, mask), side in zip(decode, self.sides):
+                term = np.abs(((uu >> shift) & mask) - ((vv >> shift) & mask))
+                if self.torus:
+                    np.minimum(term, side - term, out=term)
+                dist += term
+            return int(dist[0]) if scalar else dist
         cu = np.atleast_2d(self.flat_to_coords(u))
         cv = np.atleast_2d(self.flat_to_coords(v))
         diff = np.abs(cu - cv)
@@ -274,15 +302,43 @@ class Mesh:
         v = int(high @ self.strides)
         return (u, v)
 
+    @cached_property
+    def edge_endpoints(self) -> np.ndarray:
+        """Canonical endpoints of every edge: a read-only ``(E, 2)`` table.
+
+        Row ``e`` is ``edge_id_to_endpoints(e)`` — column 0 the canonical
+        *lower* endpoint, column 1 the higher (for a wrap edge, the node at
+        coordinate 0).  Built with one vectorised pass per dimension block,
+        so orientation lookups (``directed_edge_loads``) and CSR adjacency
+        construction never loop over edge ids in Python.
+        """
+        out = np.empty((self.num_edges, 2), dtype=np.int64)
+        for i, m_i in enumerate(self.sides):
+            cnt = int(self._edge_counts[i])
+            if cnt == 0:
+                continue
+            extent = self._sides_arr.copy()
+            if not (self.torus and m_i >= 3):
+                extent[i] = m_i - 1
+            rem = np.arange(cnt, dtype=np.int64)
+            coords = np.empty((cnt, self.d), dtype=np.int64)
+            for j in range(self.d - 1, -1, -1):
+                coords[:, j] = rem % extent[j]
+                rem //= extent[j]
+            off = int(self.edge_offsets[i])
+            out[off : off + cnt, 0] = coords @ self.strides
+            coords[:, i] = (coords[:, i] + 1) % m_i
+            out[off : off + cnt, 1] = coords @ self.strides
+        out.setflags(write=False)
+        return out
+
     def all_edges(self) -> np.ndarray:
         """All edges as an ``(E, 2)`` array of endpoint node ids.
 
-        Row ``e`` holds the endpoints of the edge with id ``e``.
+        Row ``e`` holds the endpoints of the edge with id ``e``; a writable
+        copy of :attr:`edge_endpoints`.
         """
-        out = np.empty((self.num_edges, 2), dtype=np.int64)
-        for e in range(self.num_edges):
-            out[e] = self.edge_id_to_endpoints(e)
-        return out
+        return self.edge_endpoints.copy()
 
     # ------------------------------------------------------------------
     # Interop

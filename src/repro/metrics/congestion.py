@@ -5,9 +5,11 @@ paths using any edge.  The paper's synchronous model moves at most one
 packet per edge per time step, so congestion is counted on *undirected*
 edges; directed loads are also provided for link-level analyses.
 
-All accounting is vectorised: paths are flattened into edge-id streams and
-accumulated with ``np.bincount``, so measuring congestion of tens of
-thousands of paths costs a few array passes.
+All accounting is columnar: path collections are viewed as a
+:class:`~repro.core.pathset.PathSet` (a no-op for results coming from the
+routing engine, one concatenation for raw ``list[np.ndarray]`` input) and
+every function below is a handful of array passes over its shared flat
+edge/node streams — no per-path Python loops.
 """
 
 from __future__ import annotations
@@ -16,76 +18,82 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.pathset import PathSet
 from repro.mesh.mesh import Mesh
-from repro.mesh.paths import path_edge_endpoints
 
 __all__ = ["edge_loads", "congestion", "directed_edge_loads", "node_loads"]
 
 
-def _gather_edges(mesh: Mesh, paths: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
-    """Concatenate the (tails, heads) of every edge of every path."""
-    tails_parts: list[np.ndarray] = []
-    heads_parts: list[np.ndarray] = []
-    for p in paths:
-        p = np.asarray(p, dtype=np.int64)
-        if p.size < 2:
-            continue
-        t, h = path_edge_endpoints(p)
-        tails_parts.append(t)
-        heads_parts.append(h)
-    if not tails_parts:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty
-    return np.concatenate(tails_parts), np.concatenate(heads_parts)
-
-
-def edge_loads(mesh: Mesh, paths: Sequence[np.ndarray]) -> np.ndarray:
+def edge_loads(mesh: Mesh, paths: Sequence[np.ndarray] | PathSet) -> np.ndarray:
     """Per-edge path counts ``C(e)``, indexed by undirected edge id.
 
     A path that crosses the same edge twice contributes twice — the paper
     counts "the number of times that edge e is used by the paths of all the
     packets" (Section 3.3).
     """
-    tails, heads = _gather_edges(mesh, paths)
-    if tails.size == 0:
+    ps = PathSet.from_paths(paths)
+    if ps.total_edges == 0:
         return np.zeros(mesh.num_edges, dtype=np.int64)
-    ids = mesh.edge_ids(tails, heads)
+    ids = ps.edge_ids(mesh)
     return np.bincount(ids, minlength=mesh.num_edges).astype(np.int64)
 
 
-def congestion(mesh: Mesh, paths: Sequence[np.ndarray]) -> int:
+def congestion(mesh: Mesh, paths: Sequence[np.ndarray] | PathSet) -> int:
     """The congestion ``C = max_e C(e)`` (0 for empty path sets)."""
     loads = edge_loads(mesh, paths)
     return int(loads.max()) if loads.size else 0
 
 
-def directed_edge_loads(mesh: Mesh, paths: Sequence[np.ndarray]) -> np.ndarray:
+def directed_edge_loads(
+    mesh: Mesh, paths: Sequence[np.ndarray] | PathSet
+) -> np.ndarray:
     """Per-edge loads split by traversal direction, shape ``(E, 2)``.
 
     Column 0 counts low-to-high endpoint traversals (as ordered by
-    ``Mesh.edge_id_to_endpoints``), column 1 the reverse.
+    ``Mesh.edge_id_to_endpoints``), column 1 the reverse.  Orientation is a
+    single gather into :attr:`Mesh.edge_endpoints`.
     """
-    tails, heads = _gather_edges(mesh, paths)
+    ps = PathSet.from_paths(paths)
     out = np.zeros((mesh.num_edges, 2), dtype=np.int64)
-    if tails.size == 0:
+    if ps.total_edges == 0:
         return out
-    ids = mesh.edge_ids(tails, heads)
-    # Determine orientation: compare against the canonical endpoint order.
-    canon_low = np.asarray(
-        [mesh.edge_id_to_endpoints(int(e))[0] for e in np.unique(ids)], dtype=np.int64
-    )
-    canon = dict(zip(np.unique(ids).tolist(), canon_low.tolist()))
-    forward = np.asarray([canon[int(e)] for e in ids], dtype=np.int64) == tails
+    ids = ps.edge_ids(mesh)
+    forward = mesh.edge_endpoints[ids, 0] == ps.edge_tails
     out[:, 0] = np.bincount(ids[forward], minlength=mesh.num_edges)
     out[:, 1] = np.bincount(ids[~forward], minlength=mesh.num_edges)
     return out
 
 
-def node_loads(mesh: Mesh, paths: Sequence[np.ndarray]) -> np.ndarray:
-    """How many paths visit each node (endpoints included)."""
+def node_loads(mesh: Mesh, paths: Sequence[np.ndarray] | PathSet) -> np.ndarray:
+    """How many paths visit each node (endpoints included).
+
+    A path visiting a node several times (a walk with a cycle) still counts
+    once for that node.  Paths are bucketed by length so each bucket is a
+    dense ``(k, L)`` matrix: one row-wise ``np.sort`` dedupes every path in
+    the bucket at once (sorting many short rows beats one global sort of
+    the whole node stream), then a masked ``bincount`` accumulates — no
+    per-path Python loops or length-``n`` allocations.
+    """
+    ps = PathSet.from_paths(paths)
     counts = np.zeros(mesh.n, dtype=np.int64)
-    for p in paths:
-        p = np.asarray(p, dtype=np.int64)
-        if p.size:
-            counts += np.bincount(np.unique(p), minlength=mesh.n)
+    if ps.total_nodes == 0:
+        return counts
+    npp = ps.nodes_per_path
+    starts = ps.offsets[:-1]
+    order = np.argsort(npp, kind="stable")
+    sizes = npp[order]
+    bounds = np.flatnonzero(sizes[1:] != sizes[:-1]) + 1
+    group_starts = np.concatenate(([0], bounds))
+    group_ends = np.concatenate((bounds, [sizes.size]))
+    for gs, ge in zip(group_starts.tolist(), group_ends.tolist()):
+        length = int(sizes[gs])
+        if length == 0:
+            continue
+        rows = order[gs:ge]
+        idx = starts[rows][:, None] + np.arange(length, dtype=np.int64)
+        mat = np.sort(ps.nodes[idx], axis=1)
+        first = np.empty(mat.shape, dtype=bool)
+        first[:, 0] = True
+        np.not_equal(mat[:, 1:], mat[:, :-1], out=first[:, 1:])
+        counts += np.bincount(mat[first], minlength=mesh.n)
     return counts

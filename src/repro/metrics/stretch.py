@@ -8,6 +8,9 @@
 Packets with ``s_i == t_i`` have empty paths and are excluded from stretch
 (the ratio is 0/0); the paper implicitly assumes distinct endpoints
 (Theorem 3.4 is stated "for any two distinct nodes").
+
+Path lengths come from the :class:`~repro.core.pathset.PathSet` per-path
+length view, so both metrics are pure array expressions.
 """
 
 from __future__ import annotations
@@ -16,29 +19,31 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.pathset import PathSet
 from repro.mesh.mesh import Mesh
-from repro.mesh.paths import path_length
 
 __all__ = ["dilation", "stretches", "stretch"]
 
 
-def dilation(paths: Sequence[np.ndarray]) -> int:
+def dilation(paths: Sequence[np.ndarray] | PathSet) -> int:
     """The dilation ``D = max_i |p_i|`` (0 for empty collections)."""
-    return max((path_length(p) for p in paths), default=0)
+    lengths = PathSet.from_paths(paths).lengths
+    return int(lengths.max()) if lengths.size else 0
 
 
 def stretches(
     mesh: Mesh,
     sources: np.ndarray,
     dests: np.ndarray,
-    paths: Sequence[np.ndarray],
+    paths: Sequence[np.ndarray] | PathSet,
 ) -> np.ndarray:
     """Per-packet stretch factors; ``nan`` where ``s == t``."""
     sources = np.asarray(sources, dtype=np.int64)
     dests = np.asarray(dests, dtype=np.int64)
-    if not (len(paths) == sources.size == dests.size):
+    ps = PathSet.from_paths(paths)
+    if not (len(ps) == sources.size == dests.size):
         raise ValueError("sources, dests and paths must have matching lengths")
-    lengths = np.asarray([path_length(p) for p in paths], dtype=np.float64)
+    lengths = ps.lengths.astype(np.float64)
     dists = np.asarray(mesh.distance(sources, dests), dtype=np.float64)
     out = np.full(sources.size, np.nan)
     nonzero = dists > 0
@@ -50,7 +55,7 @@ def stretch(
     mesh: Mesh,
     sources: np.ndarray,
     dests: np.ndarray,
-    paths: Sequence[np.ndarray],
+    paths: Sequence[np.ndarray] | PathSet,
 ) -> float:
     """The collection stretch ``max_i stretch(p_i)`` (0 if all trivial)."""
     vals = stretches(mesh, sources, dests, paths)

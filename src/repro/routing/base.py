@@ -22,8 +22,8 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.core.pathset import PathSet
 from repro.mesh.mesh import Mesh
-from repro.mesh.paths import is_valid_path
 from repro.metrics.congestion import congestion as _congestion
 from repro.metrics.congestion import edge_loads as _edge_loads
 from repro.metrics.stretch import dilation as _dilation
@@ -101,15 +101,22 @@ class RoutingProblem:
 
 @dataclass
 class RoutingResult:
-    """Selected paths plus lazily computed quality metrics."""
+    """Selected paths plus lazily computed quality metrics.
+
+    ``paths`` is stored as a columnar :class:`~repro.core.pathset.PathSet`
+    (any ``list[np.ndarray]`` passed in is converted); the ``Sequence``
+    protocol keeps ``result.paths[i]`` / iteration working as before while
+    metrics run as array passes over the shared CSR views.
+    """
 
     problem: RoutingProblem
-    paths: list[np.ndarray]
+    paths: PathSet
     router_name: str
     seed: int | None = None
     _cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self):
+        self.paths = PathSet.from_paths(self.paths)
         if len(self.paths) != self.problem.num_packets:
             raise ValueError("one path per packet required")
 
@@ -154,14 +161,35 @@ class RoutingResult:
 
     @property
     def total_path_length(self) -> int:
-        return int(sum(max(len(p) - 1, 0) for p in self.paths))
+        return int(self.paths.lengths.sum())
 
     def validate(self) -> bool:
-        """Every path is a mesh walk from its source to its destination."""
-        return all(
-            is_valid_path(self.problem.mesh, p, int(s), int(t))
-            for p, s, t in zip(self.paths, self.problem.sources, self.problem.dests)
-        )
+        """Every path is a mesh walk from its source to its destination.
+
+        One array pass over the CSR views: endpoint checks by gather, link
+        checks by a single vectorised ``Mesh.edge_ids`` call on the flat
+        edge streams.
+        """
+        mesh = self.problem.mesh
+        ps = self.paths
+        if np.any(ps.nodes_per_path == 0):
+            return False
+        if ps.total_nodes and (
+            int(ps.nodes.min()) < 0 or int(ps.nodes.max()) >= mesh.n
+        ):
+            return False
+        firsts = ps.nodes[ps.offsets[:-1]]
+        lasts = ps.nodes[ps.offsets[1:] - 1]
+        if not (
+            np.array_equal(firsts, self.problem.sources)
+            and np.array_equal(lasts, self.problem.dests)
+        ):
+            return False
+        try:
+            ps.edge_ids(mesh)
+        except ValueError:
+            return False
+        return True
 
     def summary(self) -> str:
         return (

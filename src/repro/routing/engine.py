@@ -42,6 +42,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.pathset import PathSet
 from repro.mesh.mesh import Mesh
 from repro.mesh.paths import concatenate_paths, dimension_order_path, remove_cycles
 from repro.routing.base import RoutingProblem, RoutingResult
@@ -145,8 +146,14 @@ def resolve_orders(spec: BatchSpec, U_ord: np.ndarray | None) -> np.ndarray:
 
 def _assemble_array(
     spec: BatchSpec, W: np.ndarray, orders: np.ndarray, profiler=None
-) -> list[np.ndarray]:
-    """Segmented-cumsum assembly of every path at once."""
+) -> PathSet:
+    """Segmented-cumsum assembly of every path at once, emitted as CSR.
+
+    The assembly *is* CSR — the flat node buffer plus per-path offsets —
+    so the result wraps those arrays directly in a
+    :class:`~repro.core.pathset.PathSet` instead of splitting into
+    ``list[np.ndarray]`` and re-flattening downstream.
+    """
     mesh = spec.mesh
     N = W.shape[0]
     deltas = np.diff(W, axis=1)  # (N, L, d)
@@ -170,20 +177,28 @@ def _assemble_array(
     nodes = np.cumsum(buf)
     flat_s = spec.coords_s @ mesh.strides
     nodes -= np.repeat(nodes[starts] - flat_s, lens)
-    paths: list[np.ndarray] = np.split(nodes, starts[1:])
     if spec.drop_cycles:
         seg_id = np.repeat(np.arange(N, dtype=np.int64), lens)
         keys = np.sort(seg_id * mesh.n + nodes)
         dup = keys[1:] == keys[:-1]
         if dup.any():
+            # Only the offending paths leave the flat buffer; the CSR is
+            # rebuilt once from the (mostly shared) segments.
+            parts: list[np.ndarray] = np.split(nodes, starts[1:])
             dup_segs = np.unique(keys[1:][dup] // mesh.n)
             for i in dup_segs.tolist():
-                paths[i] = remove_cycles(paths[i])
+                parts[i] = remove_cycles(parts[i])
             if profiler is not None:
                 profiler.count("engine.paths_decycled", dup_segs.size)
+            pathset = PathSet.from_paths(parts)
+            if profiler is not None:
+                profiler.count("engine.edges", pathset.total_nodes - N)
+            return pathset
+    offsets = np.concatenate((starts, np.asarray([total], dtype=np.int64)))
+    pathset = PathSet.from_arrays(nodes, offsets)
     if profiler is not None:
-        profiler.count("engine.edges", sum(len(p) for p in paths) - N)
-    return paths
+        profiler.count("engine.edges", total - N)
+    return pathset
 
 
 def _assemble_loop(spec: BatchSpec, W: np.ndarray, orders: np.ndarray) -> list[np.ndarray]:

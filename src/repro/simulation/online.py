@@ -109,12 +109,22 @@ def simulate_online(
     rng = np.random.default_rng(seed)
     path_rng = np.random.default_rng(None if seed is None else seed + 1)
 
-    # Active packet state (python lists: the population is modest).
-    edge_seq: list[np.ndarray] = []
-    pos: list[int] = []
+    # Packet state in flat CSR-style arrays: every packet's edge ids live in
+    # one growing stream (`eids`), sliced per packet by `starts` / `nedges`.
+    # Each step gathers the active packets' next edges with one fancy index
+    # — no per-packet Python work in the advance loop.
+    eids = np.empty(1024, dtype=np.int64)
+    eids_used = 0
+    starts: list[int] = []
+    nedges: list[int] = []
     born: list[int] = []
     dist: list[int] = []
-    active: list[int] = []  # indices into the packet arrays
+    starts_a = np.empty(0, dtype=np.int64)  # numpy mirrors, rebuilt on injection
+    nedges_a = np.empty(0, dtype=np.int64)
+    born_a = np.empty(0, dtype=np.int64)
+    dist_a = np.empty(0, dtype=np.int64)
+    pos = np.empty(0, dtype=np.int64)
+    active = np.empty(0, dtype=np.int64)  # indices into the packet arrays
     done_latency: list[int] = []
     done_distance: list[int] = []
 
@@ -130,6 +140,7 @@ def simulate_online(
         if injecting:
             with stage("online.inject"):
                 arrivals = np.nonzero(rng.random(mesh.n) < rate)[0]
+                first_new = len(starts)
                 for src in arrivals.tolist():
                     dst = dest_fn(mesh, int(src), rng)
                     path = router.select_path(
@@ -140,40 +151,58 @@ def simulate_online(
                     )
                     if len(path) < 2:
                         continue
-                    edge_seq.append(mesh.edge_ids(path[:-1], path[1:]))
-                    pos.append(0)
+                    seq = mesh.edge_ids(path[:-1], path[1:])
+                    if eids_used + seq.size > eids.size:
+                        grown = np.empty(
+                            max(eids_used + seq.size, 2 * eids.size), dtype=np.int64
+                        )
+                        grown[:eids_used] = eids[:eids_used]
+                        eids = grown
+                    eids[eids_used : eids_used + seq.size] = seq
+                    starts.append(eids_used)
+                    nedges.append(seq.size)
                     born.append(step)
                     dist.append(int(mesh.distance(int(src), dst)))
-                    active.append(len(edge_seq) - 1)
+                    eids_used += seq.size
                     injected += 1
-        if not active:
+                if len(starts) > first_new:
+                    starts_a = np.asarray(starts, dtype=np.int64)
+                    nedges_a = np.asarray(nedges, dtype=np.int64)
+                    born_a = np.asarray(born, dtype=np.int64)
+                    dist_a = np.asarray(dist, dtype=np.int64)
+                    pos = np.concatenate(
+                        (pos, np.zeros(len(starts) - first_new, dtype=np.int64))
+                    )
+                    active = np.concatenate(
+                        (active, np.arange(first_new, len(starts), dtype=np.int64))
+                    )
+        if active.size == 0:
             if not injecting:
                 break
             continue
         with stage("online.advance"):
+            # every active packet's next edge, in one gather
+            edges = eids[starts_a[active] + pos[active]]
             # queue sizes: packets waiting per next-edge tail (proxy: per edge)
-            max_queue = max(max_queue, _max_contention(edge_seq, pos, active))
+            max_queue = max(max_queue, int(np.bincount(edges).max()))
             # contention resolution
-            edges = np.asarray([edge_seq[i][pos[i]] for i in active], dtype=np.int64)
             if policy == "fifo":
-                prio = np.asarray([born[i] for i in active], dtype=np.int64)
+                prio = born_a[active]
             else:
-                prio = rng.permutation(len(active))
+                prio = rng.permutation(active.size)
             order = np.lexsort((prio, edges))
             sorted_edges = edges[order]
             first = np.ones(sorted_edges.size, dtype=bool)
             first[1:] = sorted_edges[1:] != sorted_edges[:-1]
-            winners = [active[int(j)] for j in np.asarray(order)[first]]
-            still = set(active)
-            for i in winners:
-                pos[i] += 1
-                if pos[i] == len(edge_seq[i]):
-                    still.discard(i)
-                    done_latency.append(step - born[i] + 1)
-                    done_distance.append(dist[i])
-                    if step <= steps:
-                        delivered_during_injection += 1
-            active = [i for i in active if i in still]
+            winners = active[order[first]]
+            pos[winners] += 1
+            finished = winners[pos[winners] == nedges_a[winners]]
+            if finished.size:
+                done_latency.extend((step - born_a[finished] + 1).tolist())
+                done_distance.extend(dist_a[finished].tolist())
+                if injecting:
+                    delivered_during_injection += int(finished.size)
+                active = active[pos[active] < nedges_a[active]]
 
     if profiler is not None:
         profiler.count("online.injected", injected)
@@ -191,14 +220,6 @@ def simulate_online(
         throughput=delivered_during_injection / max(steps, 1),
         latencies=lat,
     )
-
-
-def _max_contention(edge_seq, pos, active) -> int:
-    """Largest number of active packets waiting on one edge."""
-    if not active:
-        return 0
-    edges = np.asarray([edge_seq[i][pos[i]] for i in active], dtype=np.int64)
-    return int(np.bincount(edges).max())
 
 
 def latency_vs_load(

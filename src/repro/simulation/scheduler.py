@@ -13,8 +13,11 @@ priority policy:
   behind the ``O(C + D)``-style schedules the paper's ``C + D`` metric
   anticipates (delays decorrelate packets sharing edges).
 
-The whole step is vectorised: requests are (edge, priority) pairs sorted
-with ``np.lexsort``; winners are the first request per edge.
+The whole step is vectorised: paths are viewed as a
+:class:`~repro.core.pathset.PathSet` whose flat edge-id stream is computed
+once up front; each step gathers every active packet's next edge with one
+fancy index, then requests are (edge, priority) pairs sorted with
+``np.lexsort`` and winners are the first request per edge.
 
 The makespan of *any* schedule is at least ``max(C, D) >= (C + D) / 2``,
 so ``makespan / (C + D)`` in ``[0.5, ~1+]`` certifies the selected paths
@@ -28,6 +31,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.pathset import PathSet
 from repro.mesh.mesh import Mesh
 from repro.routing.base import RoutingResult
 
@@ -75,29 +79,23 @@ def simulate(
     ``RuntimeError`` if delivery takes more than ``max_steps`` (default
     ``8 * (C + D) + 64``, far above anything a greedy schedule needs).
     """
-    if isinstance(paths, RoutingResult):
-        path_list = paths.paths
-    else:
-        path_list = list(paths)
+    pathset = PathSet.from_paths(
+        paths.paths if isinstance(paths, RoutingResult) else paths
+    )
     if policy not in ("farthest-first", "fifo", "random", "random-delay"):
         raise ValueError(f"unknown policy {policy!r}")
     rng = np.random.default_rng(seed)
 
-    num = len(path_list)
-    edge_seqs: list[np.ndarray] = []
-    lengths = np.empty(num, dtype=np.int64)
-    for p in path_list:
-        p = np.asarray(p, dtype=np.int64)
-        if p.size < 2:
-            edge_seqs.append(np.empty(0, dtype=np.int64))
-            lengths[len(edge_seqs) - 1] = 0
-            continue
-        edge_seqs.append(mesh.edge_ids(p[:-1], p[1:]))
-        lengths[len(edge_seqs) - 1] = p.size - 1
+    num = len(pathset)
+    # The flat edge-id stream: packet i's remaining edges are
+    # eids[estarts[i] + pos[i] : estarts[i] + lengths[i]].
+    eids = pathset.edge_ids(mesh)
+    estarts = pathset.edge_offsets[:-1]
+    lengths = pathset.lengths
 
     from repro.metrics.congestion import congestion as _congestion
 
-    cong = _congestion(mesh, path_list)
+    cong = _congestion(mesh, pathset)
     dil = int(lengths.max()) if num else 0
     if max_steps is None:
         max_steps = 8 * (cong + dil) + 64
@@ -122,9 +120,7 @@ def simulate(
             step += 1
             continue
         idx = packet_ids[eligible]
-        edges = np.asarray(
-            [edge_seqs[i][pos[i]] for i in idx.tolist()], dtype=np.int64
-        )
+        edges = eids[estarts[idx] + pos[idx]]
         if policy == "farthest-first":
             prio = -(lengths[idx] - pos[idx])
         elif policy in ("fifo", "random-delay"):

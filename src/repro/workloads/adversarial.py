@@ -24,7 +24,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.mesh.mesh import Mesh
-from repro.mesh.paths import path_edge_endpoints
 from repro.routing.base import Router, RoutingProblem
 
 __all__ = ["block_exchange", "adversarial_for_router", "scheme_separating_pairs"]
@@ -120,12 +119,7 @@ def adversarial_for_router(
     result = router.route(problem, seed=seed)
     loads = result.edge_loads
     hot_edge = int(np.argmax(loads))
-    crossing = []
-    for i, p in enumerate(result.paths):
-        if len(p) < 2:
-            continue
-        tails, heads = path_edge_endpoints(p)
-        if hot_edge in mesh.edge_ids(tails, heads):
-            crossing.append(i)
+    eids = result.paths.edge_ids(mesh)
+    crossing = np.unique(result.paths.edge_path_ids[eids == hot_edge])
     sub = problem.subproblem(crossing, name=f"adversarial-{router.name}-l{l}")
     return sub, hot_edge

@@ -62,6 +62,51 @@ class TestResultRoundtrip:
         loaded = load_result(file)
         assert loaded.paths[0].tolist() == [7]
 
+    def test_zero_packet_roundtrip(self, tmp_path):
+        from repro.routing.base import RoutingProblem, RoutingResult
+
+        mesh = Mesh((4, 4))
+        empty = np.asarray([], dtype=np.int64)
+        problem = RoutingProblem(mesh, empty, empty, "nothing")
+        result = RoutingResult(problem, [], "x", seed=3)
+        file = tmp_path / "zero.npz"
+        save_result(file, result)
+        loaded = load_result(file)
+        assert loaded.problem.num_packets == 0
+        assert len(loaded.paths) == 0
+        assert loaded.paths == result.paths
+        assert loaded.seed == 3
+
+    def test_self_pairs_roundtrip(self, tmp_path):
+        # s == t packets mixed with real ones: single-node paths survive.
+        mesh = Mesh((8, 8))
+        problem = random_pairs(mesh, 12, seed=4)
+        dests = problem.dests.copy()
+        dests[:4] = problem.sources[:4]
+        from repro.routing.base import RoutingProblem
+
+        problem = RoutingProblem(mesh, problem.sources, dests, "self-pairs")
+        result = HierarchicalRouter().route(problem, seed=0)
+        file = tmp_path / "self.npz"
+        save_result(file, result)
+        loaded = load_result(file)
+        assert loaded.paths == result.paths
+        for i in range(4):
+            assert loaded.paths[i].tolist() == [int(problem.sources[i])]
+
+    def test_torus_pathset_roundtrip(self, tmp_path):
+        mesh = Mesh((8, 8), torus=True)
+        result = HierarchicalRouter().route(random_pairs(mesh, 10, seed=6), seed=1)
+        file = tmp_path / "torus.npz"
+        save_result(file, result)
+        loaded = load_result(file)
+        assert loaded.problem.mesh == mesh
+        # array-for-array CSR equality, not just per-path value equality
+        assert loaded.paths == result.paths
+        np.testing.assert_array_equal(loaded.paths.nodes, result.paths.nodes)
+        np.testing.assert_array_equal(loaded.paths.offsets, result.paths.offsets)
+        assert loaded.validate()
+
 
 class TestCsv:
     def test_roundtrip(self, tmp_path):

@@ -58,6 +58,18 @@ class TestEdgeLoads:
         assert edge_loads(mesh, paths).sum() == sum(len(p) - 1 for p in paths)
 
 
+def _directed_loads_brute(mesh, paths):
+    """Orientation counted edge by edge with the scalar endpoint decoder."""
+    out = np.zeros((mesh.num_edges, 2), dtype=np.int64)
+    for p in paths:
+        p = np.asarray(p, dtype=np.int64)
+        for a, b in zip(p[:-1].tolist(), p[1:].tolist()):
+            eid = int(mesh.edge_ids(np.asarray([a]), np.asarray([b]))[0])
+            low, _ = mesh.edge_id_to_endpoints(eid)
+            out[eid, 0 if a == low else 1] += 1
+    return out
+
+
 class TestDirectedLoads:
     def test_split_by_direction(self, mesh):
         fwd = np.asarray([0, 1])
@@ -72,6 +84,25 @@ class TestDirectedLoads:
         directed = directed_edge_loads(mesh, paths)
         np.testing.assert_array_equal(directed.sum(axis=1), undirected)
 
+    @pytest.mark.parametrize("torus", [False, True])
+    def test_matches_brute_force_orientation_count(self, torus):
+        m = Mesh((4, 4), torus=torus)
+        rng = np.random.default_rng(0)
+        paths = []
+        for _ in range(30):
+            s, t = rng.integers(m.n, size=2)
+            paths.append(dimension_order_path(m, int(s), int(t), tuple(rng.permutation(2))))
+        np.testing.assert_array_equal(
+            directed_edge_loads(m, paths), _directed_loads_brute(m, paths)
+        )
+
+    def test_endpoint_table_matches_scalar_decoder(self):
+        for m in (Mesh((4, 4)), Mesh((3, 5)), Mesh((4, 4), torus=True), Mesh((2, 3, 4))):
+            table = m.edge_endpoints
+            assert table.shape == (m.num_edges, 2)
+            for e in range(m.num_edges):
+                assert tuple(table[e]) == m.edge_id_to_endpoints(e)
+
 
 class TestNodeLoads:
     def test_counts_visits(self, mesh):
@@ -80,6 +111,20 @@ class TestNodeLoads:
         for v in p:
             assert loads[v] == 2
         assert loads.sum() == 2 * len(p)
+
+    def test_revisiting_path_counts_once(self, mesh):
+        # A walk that revisits nodes 0 and 1: each visited node still
+        # contributes exactly one to its load for this path.
+        p = np.asarray([0, 1, 0, 1, 2])
+        loads = node_loads(mesh, [p])
+        assert loads[0] == 1 and loads[1] == 1 and loads[2] == 1
+        assert loads.sum() == 3
+
+    def test_mixed_with_trivial_and_empty(self, mesh):
+        paths = [np.asarray([3]), np.asarray([], dtype=np.int64), np.asarray([3, 7])]
+        loads = node_loads(mesh, paths)
+        assert loads[3] == 2 and loads[7] == 1
+        assert loads.sum() == 3
 
 
 class TestStretch:

@@ -1,0 +1,256 @@
+"""PathSet conformance suite: CSR construction, the ``Sequence`` protocol,
+derived views, and metric equivalence against the pre-refactor
+list-of-arrays implementations."""
+
+import numpy as np
+import pytest
+
+from repro.core.path_selection import HierarchicalRouter
+from repro.core.pathset import PathSet
+from repro.mesh.mesh import Mesh
+from repro.mesh.paths import path_edge_endpoints, path_length
+from repro.metrics.congestion import (
+    congestion,
+    directed_edge_loads,
+    edge_loads,
+    node_loads,
+)
+from repro.metrics.stretch import dilation, stretch, stretches
+from repro.routing.baselines import ValiantRouter
+from repro.workloads.generators import random_pairs
+
+
+# ---------------------------------------------------------------------------
+# Pre-refactor reference implementations (the seed's list-of-arrays loops),
+# kept here verbatim as the behavioural contract for the columnar versions.
+# ---------------------------------------------------------------------------
+
+def _gather_edges_ref(mesh, paths):
+    tails_parts, heads_parts = [], []
+    for p in paths:
+        p = np.asarray(p, dtype=np.int64)
+        if p.size < 2:
+            continue
+        t, h = path_edge_endpoints(p)
+        tails_parts.append(t)
+        heads_parts.append(h)
+    if not tails_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(tails_parts), np.concatenate(heads_parts)
+
+
+def edge_loads_ref(mesh, paths):
+    tails, heads = _gather_edges_ref(mesh, paths)
+    if tails.size == 0:
+        return np.zeros(mesh.num_edges, dtype=np.int64)
+    ids = mesh.edge_ids(tails, heads)
+    return np.bincount(ids, minlength=mesh.num_edges).astype(np.int64)
+
+
+def node_loads_ref(mesh, paths):
+    counts = np.zeros(mesh.n, dtype=np.int64)
+    for p in paths:
+        p = np.asarray(p, dtype=np.int64)
+        if p.size:
+            counts += np.bincount(np.unique(p), minlength=mesh.n)
+    return counts
+
+
+def directed_edge_loads_ref(mesh, paths):
+    """Brute-force orientation count via the scalar endpoint decoder."""
+    out = np.zeros((mesh.num_edges, 2), dtype=np.int64)
+    for p in paths:
+        p = np.asarray(p, dtype=np.int64)
+        for a, b in zip(p[:-1].tolist(), p[1:].tolist()):
+            eid = int(mesh.edge_ids(np.asarray([a]), np.asarray([b]))[0])
+            low, _high = mesh.edge_id_to_endpoints(eid)
+            out[eid, 0 if a == low else 1] += 1
+    return out
+
+
+def dilation_ref(paths):
+    return max((path_length(p) for p in paths), default=0)
+
+
+def stretches_ref(mesh, sources, dests, paths):
+    lengths = np.asarray([path_length(p) for p in paths], dtype=np.float64)
+    dists = np.asarray(
+        mesh.distance(np.asarray(sources), np.asarray(dests)), dtype=np.float64
+    )
+    out = np.full(len(paths), np.nan)
+    nonzero = dists > 0
+    out[nonzero] = lengths[nonzero] / dists[nonzero]
+    return out
+
+
+class TestConstruction:
+    def test_from_paths_round_trip(self):
+        paths = [np.asarray([0, 1, 2]), np.asarray([7]), np.asarray([3, 4])]
+        ps = PathSet.from_paths(paths)
+        back = ps.to_list()
+        assert len(back) == 3
+        for a, b in zip(paths, back):
+            np.testing.assert_array_equal(a, b)
+
+    def test_from_paths_idempotent(self):
+        ps = PathSet.from_paths([np.asarray([0, 1])])
+        assert PathSet.from_paths(ps) is ps
+
+    def test_from_arrays_zero_copy_layout(self):
+        nodes = np.asarray([5, 6, 7, 2], dtype=np.int64)
+        offsets = np.asarray([0, 3, 4], dtype=np.int64)
+        ps = PathSet.from_arrays(nodes, offsets)
+        assert ps[0].tolist() == [5, 6, 7]
+        assert ps[1].tolist() == [2]
+
+    def test_from_lengths(self):
+        ps = PathSet.from_lengths(np.asarray([1, 2, 3]), np.asarray([2, 0, 1]))
+        assert ps[0].tolist() == [1, 2]
+        assert ps[1].tolist() == []
+        assert ps[2].tolist() == [3]
+
+    def test_empty_collection(self):
+        ps = PathSet.from_paths([])
+        assert len(ps) == 0
+        assert ps.total_nodes == 0
+        assert ps.total_edges == 0
+        assert ps.edge_tails.size == 0
+
+    def test_bad_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            PathSet(np.asarray([1, 2]), np.asarray([0, 1]))  # doesn't cover nodes
+        with pytest.raises(ValueError):
+            PathSet(np.asarray([1, 2]), np.asarray([0, 2, 1, 2]))  # decreasing
+
+    def test_arrays_frozen(self):
+        ps = PathSet.from_paths([np.asarray([0, 1, 2])])
+        with pytest.raises(ValueError):
+            ps.nodes[0] = 9
+        with pytest.raises(ValueError):
+            ps[0][0] = 9
+
+
+class TestSequenceProtocol:
+    def test_len_getitem_iter(self):
+        paths = [np.asarray([0, 1]), np.asarray([4, 5, 6])]
+        ps = PathSet.from_paths(paths)
+        assert len(ps) == 2
+        np.testing.assert_array_equal(ps[0], paths[0])
+        np.testing.assert_array_equal(ps[-1], paths[1])
+        for a, b in zip(ps, paths):
+            np.testing.assert_array_equal(a, b)
+        assert ps[0].dtype == np.int64
+
+    def test_index_out_of_range(self):
+        ps = PathSet.from_paths([np.asarray([0])])
+        with pytest.raises(IndexError):
+            ps[1]
+        with pytest.raises(IndexError):
+            ps[-2]
+
+    def test_slice_returns_pathset(self):
+        ps = PathSet.from_paths([np.asarray([i, i + 1]) for i in range(4)])
+        sliced = ps[1:3]
+        assert isinstance(sliced, PathSet)
+        assert len(sliced) == 2
+        assert sliced[0].tolist() == [1, 2]
+
+    def test_truthiness_and_equality(self):
+        a = PathSet.from_paths([np.asarray([0, 1])])
+        b = PathSet.from_paths([np.asarray([0, 1])])
+        c = PathSet.from_paths([np.asarray([0, 2])])
+        assert a == b
+        assert a != c
+        assert bool(a)
+        assert not PathSet.from_paths([])
+
+
+class TestDerivedViews:
+    def test_edge_streams_skip_path_boundaries(self):
+        ps = PathSet.from_paths(
+            [np.asarray([0, 1, 2]), np.asarray([9]), np.asarray([4, 5])]
+        )
+        assert ps.edge_tails.tolist() == [0, 1, 4]
+        assert ps.edge_heads.tolist() == [1, 2, 5]
+        assert ps.lengths.tolist() == [2, 0, 1]
+        assert ps.edge_offsets.tolist() == [0, 2, 2, 3]
+        assert ps.edge_path_ids.tolist() == [0, 0, 2]
+        assert ps.node_path_ids.tolist() == [0, 0, 0, 1, 2, 2]
+
+    def test_edge_streams_with_empty_paths(self):
+        ps = PathSet.from_lengths(
+            np.asarray([3, 4, 8]), np.asarray([0, 2, 0, 1, 0])
+        )
+        assert ps.edge_tails.tolist() == [3]
+        assert ps.edge_heads.tolist() == [4]
+        assert ps.lengths.tolist() == [0, 1, 0, 0, 0]
+
+    def test_edge_ids_cached_per_mesh(self):
+        mesh = Mesh((4, 4))
+        ps = PathSet.from_paths([np.asarray([0, 1, 2])])
+        ids1 = ps.edge_ids(mesh)
+        ids2 = ps.edge_ids(Mesh((4, 4)))
+        assert ids1 is ids2
+        np.testing.assert_array_equal(ids1, mesh.edge_ids(ps.edge_tails, ps.edge_heads))
+
+    def test_edge_ids_rejects_non_links(self):
+        mesh = Mesh((4, 4))
+        ps = PathSet.from_paths([np.asarray([0, 5])])
+        with pytest.raises(ValueError):
+            ps.edge_ids(mesh)
+
+
+class TestEngineIntegration:
+    def test_batched_route_emits_pathset(self):
+        mesh = Mesh((16, 16))
+        res = HierarchicalRouter().route(random_pairs(mesh, 50, seed=0), seed=1)
+        assert isinstance(res.paths, PathSet)
+
+    def test_legacy_route_coerced_to_pathset(self):
+        mesh = Mesh((8, 8), torus=True)  # torus forces the per-packet loop
+        res = HierarchicalRouter().route(random_pairs(mesh, 10, seed=0), seed=1)
+        assert isinstance(res.paths, PathSet)
+        assert res.validate()
+
+
+class TestMetricEquivalence:
+    """Property test: columnar metrics == the pre-refactor loops on random
+    workloads (including s == t packets and decycled Valiant paths)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize(
+        "router", [HierarchicalRouter(), ValiantRouter()], ids=lambda r: r.name
+    )
+    def test_random_workloads(self, router, seed):
+        mesh = Mesh((16, 16))
+        rng = np.random.default_rng(seed)
+        src = rng.integers(mesh.n, size=80)
+        dst = rng.integers(mesh.n, size=80)
+        dst[:5] = src[:5]  # force s == t (single-node) paths
+        from repro.routing.base import RoutingProblem
+
+        problem = RoutingProblem(mesh, src, dst)
+        result = router.route(problem, seed=seed)
+        ps = result.paths
+        as_list = ps.to_list()
+
+        np.testing.assert_array_equal(edge_loads(mesh, ps), edge_loads_ref(mesh, as_list))
+        assert congestion(mesh, ps) == int(edge_loads_ref(mesh, as_list).max())
+        np.testing.assert_array_equal(node_loads(mesh, ps), node_loads_ref(mesh, as_list))
+        np.testing.assert_array_equal(
+            directed_edge_loads(mesh, ps), directed_edge_loads_ref(mesh, as_list)
+        )
+        assert dilation(ps) == dilation_ref(as_list)
+        np.testing.assert_allclose(
+            stretches(mesh, src, dst, ps), stretches_ref(mesh, src, dst, as_list)
+        )
+
+    def test_list_input_still_accepted(self):
+        mesh = Mesh((4, 4))
+        paths = [np.asarray([0, 1, 2]), np.asarray([2, 1])]
+        np.testing.assert_array_equal(
+            edge_loads(mesh, paths), edge_loads_ref(mesh, paths)
+        )
+        assert dilation(paths) == 2
+        assert stretch(mesh, np.asarray([0, 2]), np.asarray([2, 1]), paths) == 1.0
