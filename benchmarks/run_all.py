@@ -9,11 +9,17 @@ Three parameter tiers:
 * ``--smoke`` — tiny meshes, one seed: exercises every experiment
   end-to-end in well under a minute (CI runs this on every push).
 
-Usage:  python benchmarks/run_all.py [--quick | --smoke]
+Usage:  python benchmarks/run_all.py [--quick | --smoke] [--json PATH]
+
+``--json PATH`` additionally writes every experiment's rows as one JSON
+document (``{"mode": ..., "experiments": {title: rows}}``) — CI uploads
+the smoke-tier file as a build artifact so regressions can be diffed
+without re-running anything.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 
 from common import print_experiment
@@ -29,6 +35,7 @@ import bench_t6_randomization as t6
 import bench_t7_random_bits as t7
 import bench_t8_routing_time as t8
 import bench_t9_engine_profile as t9
+import bench_t10_fault_tolerance as t10
 import bench_a1_bridge_ablation as a1
 import bench_a2_dim_order_ablation as a2
 import bench_a3_scheme_ablation as a3
@@ -120,6 +127,12 @@ EXPERIMENTS = [
         {"m": 16, "packets": 2_000},
     ),
     (
+        "T10 / extension: fault tolerance",
+        t10.run_experiment,
+        {"ps": (0.0, 0.01), "steps": 80},
+        {"m": 8, "ps": (0.0, 0.01), "steps": 40},
+    ),
+    (
         "A1 / ablation: bridges on vs off",
         a1.run_experiment,
         {},
@@ -176,16 +189,31 @@ EXPERIMENTS = [
 ]
 
 
-def main(mode: str = "full") -> None:
+def main(mode: str = "full", json_path: str | None = None) -> None:
+    results: dict[str, list] = {}
     for title, run, quick_kwargs, smoke_kwargs in EXPERIMENTS:
         kwargs = {"quick": quick_kwargs, "smoke": smoke_kwargs}.get(mode, {})
-        print_experiment(title, run(**kwargs))
+        rows = run(**kwargs)
+        results[title] = [dict(r) for r in rows]
+        print_experiment(title, rows)
+    if json_path is not None:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump({"mode": mode, "experiments": results}, fh, indent=2, default=str)
+        print(f"results written to {json_path}")
 
 
 if __name__ == "__main__":
-    if "--smoke" in sys.argv:
-        main("smoke")
-    elif "--quick" in sys.argv:
-        main("quick")
+    argv = sys.argv[1:]
+    json_path = None
+    if "--json" in argv:
+        i = argv.index("--json")
+        try:
+            json_path = argv[i + 1]
+        except IndexError:
+            raise SystemExit("--json requires a path argument")
+    if "--smoke" in argv:
+        main("smoke", json_path)
+    elif "--quick" in argv:
+        main("quick", json_path)
     else:
-        main("full")
+        main("full", json_path)

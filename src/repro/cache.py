@@ -59,12 +59,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Snapshot of the cache's accounting counters."""
+    """Snapshot of the cache's accounting counters.
+
+    ``invalidations`` counts :func:`invalidate` *calls*; ``dropped`` counts
+    the total number of entries those calls removed (one call that clears
+    three entries is ``invalidations += 1``, ``dropped += 3``).
+    """
 
     hits: int
     misses: int
     entries: int
     invalidations: int
+    dropped: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -77,6 +83,7 @@ class CacheStats:
             "misses": self.misses,
             "entries": self.entries,
             "invalidations": self.invalidations,
+            "dropped": self.dropped,
             "hit_rate": self.hit_rate,
         }
 
@@ -87,6 +94,7 @@ _enabled = True
 _hits = 0
 _misses = 0
 _invalidations = 0
+_dropped = 0
 
 
 def configure(*, enabled: bool = True) -> None:
@@ -118,21 +126,33 @@ def memo(kind: str, key: Hashable, factory: Callable[[], Any]) -> Any:
     global _hits, _misses
     full_key = (kind, key)
     with _lock:
-        if _enabled and full_key in _store:
+        # One enabled snapshot, taken under the lock: deciding to store
+        # from an unlocked re-read after the factory runs would let a call
+        # racing ``configure(enabled=False)`` insert after the disable.
+        enabled_now = _enabled
+        if enabled_now and full_key in _store:
             _hits += 1
             return _store[full_key]
         _misses += 1
     value = factory()
-    if _enabled:
+    if enabled_now:
         with _lock:
-            # Another thread may have raced us; keep the first build.
-            value = _store.setdefault(full_key, value)
+            # Re-check under the lock: a configure(enabled=False) that
+            # completed while the factory ran wins — nothing is inserted
+            # after it returns.  Another thread may also have raced us;
+            # keep the first build.
+            if _enabled:
+                value = _store.setdefault(full_key, value)
     return value
 
 
 def invalidate(kind: str | None = None) -> int:
-    """Drop cached entries (all, or only one ``kind``); returns the count."""
-    global _invalidations
+    """Drop cached entries (all, or only one ``kind``); returns the count.
+
+    Accounting: each call bumps ``stats().invalidations`` by one; the
+    number of entries removed accumulates in ``stats().dropped``.
+    """
+    global _invalidations, _dropped
     with _lock:
         if kind is None:
             dropped = len(_store)
@@ -142,7 +162,8 @@ def invalidate(kind: str | None = None) -> int:
             for k in doomed:
                 del _store[k]
             dropped = len(doomed)
-        _invalidations += dropped
+        _invalidations += 1
+        _dropped += dropped
     return dropped
 
 
@@ -154,16 +175,18 @@ def stats() -> CacheStats:
             misses=_misses,
             entries=len(_store),
             invalidations=_invalidations,
+            dropped=_dropped,
         )
 
 
 def reset_stats() -> None:
     """Zero the counters without touching the entries (test helper)."""
-    global _hits, _misses, _invalidations
+    global _hits, _misses, _invalidations, _dropped
     with _lock:
         _hits = 0
         _misses = 0
         _invalidations = 0
+        _dropped = 0
 
 
 # ----------------------------------------------------------------------

@@ -8,6 +8,8 @@ Commands
 ``decompose``   print the decomposition inventory (and 2-D level renders).
 ``simulate``    route, then schedule synchronously; print makespan vs C+D.
 ``online``      dynamic-arrival simulation; print the latency-vs-load curve.
+``faults``      fault-injection sweep: delivery ratio and degradation under
+                static / block / dynamic link failures.
 
 Examples
 --------
@@ -193,6 +195,56 @@ def _cmd_online(args) -> int:
     return 0
 
 
+def _build_faults(args, mesh):
+    from repro.faults import FaultModel
+
+    if args.mode == "static":
+        return FaultModel.static(mesh, p=args.p, node_p=args.node_p, seed=args.fault_seed)
+    if args.mode == "blocks":
+        return FaultModel.blocks(
+            mesh, num_blocks=args.blocks, block_side=args.block_side, seed=args.fault_seed
+        )
+    return FaultModel.dynamic(
+        mesh, p=args.p, repair_delay=args.repair_delay, seed=args.fault_seed
+    )
+
+
+def _cmd_faults(args) -> int:
+    mesh = parse_mesh(args.mesh, args.torus)
+    router = make_router(args.router)
+    faults = _build_faults(args, mesh)
+    from repro.simulation.online import simulate_online
+
+    print(faults.describe())
+    baseline = simulate_online(
+        make_router(args.router), mesh, rate=args.rate, steps=args.steps, seed=args.seed
+    )
+    stats = simulate_online(
+        router, mesh, rate=args.rate, steps=args.steps, seed=args.seed, faults=faults
+    )
+    rows = [
+        {
+            "run": name,
+            "injected": s.injected,
+            "delivered": s.delivered,
+            "delivery_ratio": round(s.delivery_ratio, 4),
+            "mean_latency": round(s.mean_latency, 2),
+            "p95_latency": round(s.p95_latency, 2),
+            "resamples": s.resamples,
+            "detours": s.detours,
+            "reroutes": s.reroutes,
+            "blocked": s.blocked_steps,
+            "dropped": s.dropped,
+        }
+        for name, s in (("fault-free", baseline), (args.mode, stats))
+    ]
+    print(format_table(rows, title=f"faults: {router.name} on {mesh!r}"))
+    if baseline.mean_latency:
+        tax = stats.mean_latency / baseline.mean_latency - 1.0
+        print(f"latency tax: {tax:+.1%}; delivery ratio {stats.delivery_ratio:.1%}")
+    return 0
+
+
 def _cmd_certify(args) -> int:
     mesh = parse_mesh(args.mesh, args.torus)
     router = make_router(args.router)
@@ -307,6 +359,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--packets", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_bits)
+
+    p = sub.add_parser("faults", help="fault injection: delivery under failures")
+    p.add_argument("--mesh", default="16x16")
+    p.add_argument("--torus", action="store_true")
+    p.add_argument("--router", default="hierarchical", choices=available_routers())
+    p.add_argument("--mode", default="static", choices=("static", "blocks", "dynamic"))
+    p.add_argument("--p", type=float, default=0.01,
+                   help="link failure probability (static: once; dynamic: per step)")
+    p.add_argument("--node-p", type=float, default=0.0,
+                   help="node failure probability (static only)")
+    p.add_argument("--blocks", type=int, default=2, help="failed blocks (blocks mode)")
+    p.add_argument("--block-side", type=int, default=2)
+    p.add_argument("--repair-delay", type=int, default=8, help="dynamic repair time")
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--rate", type=float, default=0.05)
+    p.add_argument("--steps", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_faults)
 
     p = sub.add_parser("online", help="dynamic arrivals: latency vs load")
     p.add_argument("--mesh", default="16x16")

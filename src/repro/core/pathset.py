@@ -40,12 +40,33 @@ __all__ = ["PathSet"]
 
 
 def _frozen(arr: np.ndarray) -> np.ndarray:
-    """A read-only int64 view (copying only when dtype/layout requires)."""
+    """A read-only int64 array that cannot alias writable caller memory.
+
+    When the input is already contiguous ``int64``, ``ascontiguousarray``
+    hands back the caller's own buffer (or a view into it); freezing a
+    *view* would leave the underlying buffer writable, so a later in-place
+    write through the source array could silently corrupt the CSR and
+    every cached derived view.  Copy whenever any buffer the result shares
+    memory with is still writable; wrap zero-copy only when the whole
+    chain is already read-only.
+    """
     out = np.ascontiguousarray(arr, dtype=np.int64)
-    if out is arr or out.base is arr:
-        out = out.view()
+    if out is arr or out.base is not None:
+        root = out
+        while isinstance(root.base, np.ndarray):
+            root = root.base
+        writable_alias = (
+            out.flags.writeable or root.flags.writeable or root.base is not None
+        )
+        out = out.copy() if writable_alias else out.view()
     out.setflags(write=False)
     return out
+
+
+def _frozen_owned(arr: np.ndarray) -> np.ndarray:
+    """Freeze a freshly computed array in place (no external references)."""
+    arr.setflags(write=False)
+    return arr
 
 
 class PathSet(Sequence):
@@ -84,6 +105,7 @@ class PathSet(Sequence):
         lengths = np.asarray(lengths, dtype=np.int64)
         offsets = np.zeros(lengths.size + 1, dtype=np.int64)
         np.cumsum(lengths, out=offsets[1:])
+        offsets.setflags(write=False)  # freshly built: freeze for zero-copy wrap
         return cls(nodes, offsets)
 
     @classmethod
@@ -96,6 +118,7 @@ class PathSet(Sequence):
         nodes = (
             np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
         )
+        nodes.setflags(write=False)  # np.concatenate always copies: ours to freeze
         return cls.from_lengths(nodes, lengths)
 
     # -- shape ---------------------------------------------------------
@@ -111,14 +134,14 @@ class PathSet(Sequence):
     def nodes_per_path(self) -> np.ndarray:
         """``int64[P]``: node count of every path."""
         if not hasattr(self, "_nodes_per_path"):
-            self._nodes_per_path = _frozen(np.diff(self.offsets))
+            self._nodes_per_path = _frozen_owned(np.diff(self.offsets))
         return self._nodes_per_path
 
     @property
     def lengths(self) -> np.ndarray:
         """``int64[P]``: edge count ``|p_i|`` of every path (>= 0)."""
         if not hasattr(self, "_lengths"):
-            self._lengths = _frozen(np.maximum(self.nodes_per_path - 1, 0))
+            self._lengths = _frozen_owned(np.maximum(self.nodes_per_path - 1, 0))
         return self._lengths
 
     @property
@@ -133,21 +156,21 @@ class PathSet(Sequence):
             mask = np.ones(self.total_nodes, dtype=bool)
             ends = self.offsets[1:] - 1
             mask[ends[self.nodes_per_path > 0]] = False
-            self._edge_tail_idx_ = _frozen(np.flatnonzero(mask))
+            self._edge_tail_idx_ = _frozen_owned(np.flatnonzero(mask))
         return self._edge_tail_idx_
 
     @property
     def edge_tails(self) -> np.ndarray:
         """``int64[total_edges]``: tail node of every edge, path-major."""
         if not hasattr(self, "_edge_tails"):
-            self._edge_tails = _frozen(self.nodes[self._edge_tail_idx])
+            self._edge_tails = _frozen_owned(self.nodes[self._edge_tail_idx])
         return self._edge_tails
 
     @property
     def edge_heads(self) -> np.ndarray:
         """``int64[total_edges]``: head node of every edge, path-major."""
         if not hasattr(self, "_edge_heads"):
-            self._edge_heads = _frozen(self.nodes[self._edge_tail_idx + 1])
+            self._edge_heads = _frozen_owned(self.nodes[self._edge_tail_idx + 1])
         return self._edge_heads
 
     @property
@@ -157,14 +180,14 @@ class PathSet(Sequence):
         if not hasattr(self, "_edge_offsets"):
             out = np.zeros(self.num_paths + 1, dtype=np.int64)
             np.cumsum(self.lengths, out=out[1:])
-            self._edge_offsets = _frozen(out)
+            self._edge_offsets = _frozen_owned(out)
         return self._edge_offsets
 
     @property
     def node_path_ids(self) -> np.ndarray:
         """``int64[total_nodes]``: owning path id of every node entry."""
         if not hasattr(self, "_node_path_ids"):
-            self._node_path_ids = _frozen(
+            self._node_path_ids = _frozen_owned(
                 np.repeat(
                     np.arange(self.num_paths, dtype=np.int64),
                     self.nodes_per_path,
@@ -176,7 +199,7 @@ class PathSet(Sequence):
     def edge_path_ids(self) -> np.ndarray:
         """``int64[total_edges]``: owning path id of every edge entry."""
         if not hasattr(self, "_edge_path_ids"):
-            self._edge_path_ids = _frozen(
+            self._edge_path_ids = _frozen_owned(
                 np.repeat(np.arange(self.num_paths, dtype=np.int64), self.lengths)
             )
         return self._edge_path_ids
@@ -190,7 +213,7 @@ class PathSet(Sequence):
         key = (mesh.sides, mesh.torus)
         ids = self._edge_id_cache.get(key)
         if ids is None:
-            ids = _frozen(mesh.edge_ids(self.edge_tails, self.edge_heads))
+            ids = _frozen_owned(mesh.edge_ids(self.edge_tails, self.edge_heads))
             self._edge_id_cache[key] = ids
         return ids
 

@@ -1,0 +1,20 @@
+"""Fault injection and fault-aware routing.
+
+* :class:`FaultModel` — deterministic, seedable link/node failure sets
+  (static random, spatially-correlated blocks, dynamic fail/repair),
+  exposed as boolean edge masks.
+* :class:`FaultAwareRouter` — wraps any oblivious router: resample on a
+  blocked edge, greedy detour as a last resort.
+* Both simulators (:func:`repro.simulation.simulate` and
+  :func:`repro.simulation.simulate_online`) accept a ``faults=`` model.
+"""
+
+from repro.faults.model import FaultModel
+from repro.faults.router import FaultAwareRouter, FaultRoutingError, shortest_alive_path
+
+__all__ = [
+    "FaultAwareRouter",
+    "FaultModel",
+    "FaultRoutingError",
+    "shortest_alive_path",
+]

@@ -1,0 +1,224 @@
+"""Deterministic, seedable fault models for mesh links and nodes.
+
+The paper's analysis assumes a pristine mesh; real interconnects lose
+links and nodes.  A :class:`FaultModel` describes *which* edges are dead
+at each time step, as a boolean mask over the mesh's dense edge ids
+(``True`` = alive) — the single surface the routers and simulators
+consume.  Three failure regimes:
+
+* ``static``  — every link fails independently with probability ``p``
+  (and optionally every node with probability ``node_p``; a dead node
+  kills all incident links).  The set is drawn once and never changes.
+* ``blocks``  — spatially correlated faults: ``num_blocks`` random
+  axis-aligned sub-boxes of side ``block_side`` fail wholesale (every
+  node inside, hence every incident link).  Models the clustered damage
+  of a failed board/rack rather than independent link loss.
+* ``dynamic`` — a fail/repair process: each step every alive link fails
+  with probability ``p``, and a failed link comes back after
+  ``repair_delay`` steps.  The per-step masks are a deterministic
+  function of the seed alone (uniforms are drawn for *all* edges every
+  step, whatever their state), so a run can be replayed exactly.
+
+``FaultModel(..., p=0)`` with no explicit fault set is *trivial*
+(:attr:`is_trivial`); every consumer checks that flag and takes the
+fault-free fast path, making a trivial model a strict no-op — byte-
+identical outputs under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+
+__all__ = ["FaultModel"]
+
+_MODES = ("static", "blocks", "dynamic")
+
+
+class FaultModel:
+    """Seeded link/node failure process exposed as per-step edge masks.
+
+    Use the classmethod constructors (:meth:`static`, :meth:`blocks`,
+    :meth:`dynamic`, :meth:`from_failed_edges`) rather than ``__init__``.
+
+    Examples
+    --------
+    >>> from repro.mesh.mesh import Mesh
+    >>> fm = FaultModel.static(Mesh((8, 8)), p=0.05, seed=0)
+    >>> alive = fm.edge_alive()
+    >>> bool(alive.all()), alive.shape == (fm.mesh.num_edges,)
+    (False, True)
+    >>> FaultModel.static(Mesh((8, 8)), p=0.0, seed=0).is_trivial
+    True
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        mode: str = "static",
+        *,
+        p: float = 0.0,
+        node_p: float = 0.0,
+        num_blocks: int = 0,
+        block_side: int = 2,
+        repair_delay: int = 8,
+        seed: int | None = 0,
+        failed_edges: np.ndarray | None = None,
+    ):
+        if mode not in _MODES:
+            raise ValueError(f"unknown fault mode {mode!r}; use one of {_MODES}")
+        if not (0.0 <= p <= 1.0 and 0.0 <= node_p <= 1.0):
+            raise ValueError("failure probabilities must be in [0, 1]")
+        if repair_delay < 1:
+            raise ValueError("repair_delay must be >= 1")
+        self.mesh = mesh
+        self.mode = mode
+        self.p = float(p)
+        self.node_p = float(node_p)
+        self.num_blocks = int(num_blocks)
+        self.block_side = int(block_side)
+        self.repair_delay = int(repair_delay)
+        self.seed = seed
+        E = mesh.num_edges
+        if failed_edges is not None:
+            explicit = np.zeros(E, dtype=bool)
+            explicit[np.asarray(failed_edges, dtype=np.int64)] = True
+        else:
+            explicit = None
+        self._explicit = explicit
+        if mode == "dynamic":
+            self._static_mask = None
+        else:
+            self._static_mask = self._draw_static()
+        # dynamic state: advanced lazily, replayable from the seed
+        self._dyn_step = -1
+        self._dyn_mask: np.ndarray | None = None
+        self._down_until: np.ndarray | None = None
+        self._dyn_rng: np.random.Generator | None = None
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def static(cls, mesh: Mesh, *, p: float, node_p: float = 0.0, seed: int | None = 0) -> "FaultModel":
+        """Independent link (and optional node) failures, drawn once."""
+        return cls(mesh, "static", p=p, node_p=node_p, seed=seed)
+
+    @classmethod
+    def blocks(
+        cls, mesh: Mesh, *, num_blocks: int, block_side: int = 2, seed: int | None = 0
+    ) -> "FaultModel":
+        """Spatially correlated failures: whole sub-boxes go dark."""
+        return cls(mesh, "blocks", num_blocks=num_blocks, block_side=block_side, seed=seed)
+
+    @classmethod
+    def dynamic(
+        cls, mesh: Mesh, *, p: float, repair_delay: int = 8, seed: int | None = 0
+    ) -> "FaultModel":
+        """Per-step fail/repair: alive links fail w.p. ``p`` each step and
+        recover after ``repair_delay`` steps."""
+        return cls(mesh, "dynamic", p=p, repair_delay=repair_delay, seed=seed)
+
+    @classmethod
+    def from_failed_edges(cls, mesh: Mesh, failed_edges: np.ndarray) -> "FaultModel":
+        """An explicit static fault set (edge ids), for tests and replays."""
+        return cls(mesh, "static", failed_edges=failed_edges)
+
+    # -- the mask ------------------------------------------------------
+    @property
+    def is_trivial(self) -> bool:
+        """True when no edge can ever fail — consumers take the fault-free
+        fast path, making the model a strict no-op."""
+        if self._explicit is not None and self._explicit.any():
+            return False
+        if self.mode == "dynamic":
+            return self.p == 0.0
+        if self.mode == "blocks":
+            return self.num_blocks == 0
+        return self.p == 0.0 and self.node_p == 0.0
+
+    @property
+    def repairs(self) -> bool:
+        """Whether a currently dead edge can come back later."""
+        return self.mode == "dynamic"
+
+    def edge_alive(self, step: int = 0) -> np.ndarray:
+        """Boolean ``(num_edges,)`` mask at ``step``: ``True`` = alive.
+
+        Static/blocks models ignore ``step``.  The dynamic model advances
+        its fail/repair process; asking for an earlier step than the last
+        one replays deterministically from the seed.
+        """
+        if self.mode != "dynamic":
+            return self._static_mask
+        if step < self._dyn_step:
+            self._dyn_step = -1  # rewind: replay from scratch
+        if self._dyn_step < 0:
+            E = self.mesh.num_edges
+            self._dyn_rng = np.random.default_rng(self.seed)
+            self._down_until = np.zeros(E, dtype=np.int64)
+            if self._explicit is not None:
+                self._down_until[self._explicit] = self.repair_delay
+            self._dyn_step = 0
+            self._dyn_mask = self._down_until <= 0
+        while self._dyn_step < step:
+            self._dyn_step += 1
+            # Draw for every edge regardless of state: the stream consumed
+            # is a function of (seed, step) alone, so runs replay exactly.
+            u = self._dyn_rng.random(self.mesh.num_edges)
+            alive = self._down_until <= self._dyn_step
+            newly_dead = alive & (u < self.p)
+            self._down_until[newly_dead] = self._dyn_step + self.repair_delay
+            self._dyn_mask = self._down_until <= self._dyn_step
+        return self._dyn_mask
+
+    def num_failed(self, step: int = 0) -> int:
+        """Number of dead edges at ``step``."""
+        return int((~self.edge_alive(step)).sum())
+
+    def describe(self) -> str:
+        alive0 = self.edge_alive(0)
+        base = f"{self.mode} faults on {self.mesh!r}: {int((~alive0).sum())}/{alive0.size} edges down"
+        if self.mode == "dynamic":
+            base += f" at t=0 (p={self.p}, repair={self.repair_delay})"
+        return base
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.mode == "blocks":
+            params = f"num_blocks={self.num_blocks}, block_side={self.block_side}"
+        else:
+            params = f"p={self.p}"
+        return f"FaultModel({self.mode}, {params}, seed={self.seed})"
+
+    # -- drawing -------------------------------------------------------
+    def _draw_static(self) -> np.ndarray:
+        mesh, E = self.mesh, self.mesh.num_edges
+        rng = np.random.default_rng(self.seed)
+        dead = np.zeros(E, dtype=bool)
+        if self._explicit is not None:
+            dead |= self._explicit
+        if self.mode == "static":
+            if self.p > 0.0:
+                dead |= rng.random(E) < self.p
+            if self.node_p > 0.0:
+                dead_nodes = rng.random(mesh.n) < self.node_p
+                ep = mesh.edge_endpoints
+                dead |= dead_nodes[ep[:, 0]] | dead_nodes[ep[:, 1]]
+        elif self.mode == "blocks" and self.num_blocks > 0:
+            side = np.minimum(
+                np.full(mesh.d, self.block_side, dtype=np.int64), mesh._sides_arr
+            )
+            ep_lo = mesh.flat_to_coords(mesh.edge_endpoints[:, 0])
+            ep_hi = mesh.flat_to_coords(mesh.edge_endpoints[:, 1])
+            for _ in range(self.num_blocks):
+                lo = np.array(
+                    [int(rng.integers(0, m - s + 1)) for m, s in zip(mesh.sides, side)],
+                    dtype=np.int64,
+                )
+                hi = lo + side  # exclusive
+                inside_lo = np.all((ep_lo >= lo) & (ep_lo < hi), axis=1)
+                inside_hi = np.all((ep_hi >= lo) & (ep_hi < hi), axis=1)
+                # a dead node kills every incident link
+                dead |= inside_lo | inside_hi
+        mask = ~dead
+        mask.setflags(write=False)
+        return mask

@@ -1,0 +1,182 @@
+"""Fault-aware path selection: resample, then detour.
+
+:class:`FaultAwareRouter` wraps any oblivious router and makes its paths
+avoid currently-failed edges.  The selection discipline stays oblivious:
+on a path that crosses a dead edge the wrapper simply *resamples* the
+inner router with fresh bits from the same per-packet stream — each
+packet still sees only its own ``(s, t)`` and its own randomness, never
+another packet's state.  After ``max_resamples`` failed draws it falls
+back to a greedy detour (:func:`shortest_alive_path`, a BFS over the
+alive subgraph), and raises :class:`FaultRoutingError` only when the
+destination is genuinely unreachable.
+
+When the fault model is trivial (``p = 0``) the wrapper delegates
+``batch_spec`` and skips every check, so it is a strict no-op: byte-
+identical paths to the bare inner router under the same seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.model import FaultModel
+from repro.mesh.mesh import Mesh
+from repro.routing.base import Router, RoutingProblem, RoutingResult
+
+__all__ = ["FaultAwareRouter", "FaultRoutingError", "shortest_alive_path"]
+
+
+class FaultRoutingError(RuntimeError):
+    """No alive path exists from the packet's position to its destination."""
+
+
+def shortest_alive_path(
+    mesh: Mesh, s: int, t: int, alive: np.ndarray
+) -> np.ndarray | None:
+    """A shortest path from ``s`` to ``t`` using only alive edges.
+
+    BFS over the alive subgraph's CSR adjacency (all edges have unit
+    length, so BFS is Dijkstra here).  Returns the node array, or ``None``
+    when ``t`` is unreachable.  Deterministic: neighbors expand in CSR
+    order, so equal-length ties always break the same way.
+    """
+    if s == t:
+        return np.asarray([s], dtype=np.int64)
+    indptr, heads, _eids = mesh.adjacency_csr(alive)
+    parent = np.full(mesh.n, -1, dtype=np.int64)
+    parent[s] = s
+    frontier = np.asarray([s], dtype=np.int64)
+    while frontier.size:
+        # expand the whole frontier in one gather per level
+        counts = indptr[frontier + 1] - indptr[frontier]
+        idx = np.repeat(indptr[frontier], counts) + (
+            np.arange(int(counts.sum())) - np.repeat(np.cumsum(counts) - counts, counts)
+        )
+        nbrs = heads[idx]
+        fresh = parent[nbrs] == -1
+        nbrs = nbrs[fresh]
+        srcs = np.repeat(frontier, counts)[fresh]
+        # first writer wins within a level (stable CSR order)
+        uniq, first = np.unique(nbrs, return_index=True)
+        parent[uniq] = srcs[first]
+        if parent[t] != -1:
+            break
+        frontier = uniq
+    if parent[t] == -1:
+        return None
+    path = [t]
+    while path[-1] != s:
+        path.append(int(parent[path[-1]]))
+    return np.asarray(path[::-1], dtype=np.int64)
+
+
+class FaultAwareRouter(Router):
+    """Wrap an oblivious router so its paths avoid failed edges.
+
+    Parameters
+    ----------
+    inner:
+        Any oblivious :class:`Router`.
+    faults:
+        The :class:`FaultModel` whose mask paths must respect.
+    max_resamples:
+        Fresh oblivious draws to attempt before the greedy detour.
+    at_step:
+        The fault-model time step selections are checked against; the
+        online simulator advances this as packets are injected.
+
+    Counters (``resamples`` / ``detours`` / ``unroutable``) accumulate on
+    the instance and mirror into the attached profiler as ``faults.*``.
+    """
+
+    def __init__(
+        self,
+        inner: Router,
+        faults: FaultModel,
+        *,
+        max_resamples: int = 8,
+        at_step: int = 0,
+    ):
+        if not inner.is_oblivious:
+            raise ValueError("FaultAwareRouter requires an oblivious inner router")
+        self.inner = inner
+        self.faults = faults
+        self.max_resamples = int(max_resamples)
+        self.at_step = int(at_step)
+        self.name = f"fault-aware({inner.name})"
+        self.is_oblivious = inner.is_oblivious
+        self.resamples = 0
+        self.detours = 0
+        self.unroutable = 0
+
+    def _count(self, key: str, n: int = 1) -> None:
+        if self.profiler is not None:
+            self.profiler.count(f"faults.{key}", n)
+
+    def batch_spec(self, problem: RoutingProblem):
+        # Trivial faults: delegate wholesale — the batched engine then
+        # produces byte-identical paths to the bare inner router.
+        if self.faults.is_trivial:
+            return self.inner.batch_spec(problem)
+        return None
+
+    def select_path(
+        self, mesh: Mesh, s: int, t: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self.faults.is_trivial:
+            return self.inner.select_path(mesh, s, t, rng)
+        alive = self.faults.edge_alive(self.at_step)
+        path = self.inner.select_path(mesh, s, t, rng)
+        for _ in range(self.max_resamples):
+            if path.size < 2 or bool(
+                alive[mesh.edge_ids(path[:-1], path[1:])].all()
+            ):
+                return path
+            # fresh bits from the same per-packet stream: obliviousness holds
+            self.resamples += 1
+            self._count("resamples")
+            path = self.inner.select_path(mesh, s, t, rng)
+        if path.size < 2 or bool(alive[mesh.edge_ids(path[:-1], path[1:])].all()):
+            return path
+        detour = shortest_alive_path(mesh, s, t, alive)
+        if detour is None:
+            self.unroutable += 1
+            self._count("unroutable")
+            raise FaultRoutingError(
+                f"no alive path from {s} to {t} at step {self.at_step}"
+            )
+        self.detours += 1
+        self._count("detours")
+        return detour
+
+    def route(
+        self,
+        problem: RoutingProblem,
+        seed: int | None = None,
+        *,
+        batch: bool | str = True,
+    ) -> RoutingResult:
+        """Route, dropping packets whose destinations are unreachable.
+
+        With non-trivial faults, unreachable packets are excluded and the
+        result is built on the routable subproblem; the number excluded
+        accumulates in :attr:`unroutable`.
+        """
+        if self.faults.is_trivial:
+            return super().route(problem, seed=seed, batch=batch)
+        root = np.random.default_rng(seed)
+        streams = root.spawn(problem.num_packets)
+        paths, kept = [], []
+        for i, ((s, t), stream) in enumerate(zip(problem.pairs(), streams)):
+            try:
+                paths.append(self.select_path(problem.mesh, int(s), int(t), stream))
+                kept.append(i)
+            except FaultRoutingError:
+                continue
+        if len(kept) == problem.num_packets:
+            return RoutingResult(problem, paths, self.name, seed)
+        sub = problem.subproblem(np.asarray(kept, dtype=np.int64))
+        return RoutingResult(sub, paths, self.name, seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultAwareRouter({self.inner!r}, {self.faults!r})"

@@ -332,6 +332,38 @@ class Mesh:
         out.setflags(write=False)
         return out
 
+    def adjacency_csr(
+        self, edge_mask: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR adjacency ``(indptr, heads, eids)`` over a subset of edges.
+
+        ``edge_mask`` is a boolean ``(num_edges,)`` mask selecting the edges
+        to keep (``None`` keeps all).  Node ``u``'s neighbors are
+        ``heads[indptr[u]:indptr[u + 1]]`` and the connecting undirected
+        edge ids are the matching slice of ``eids``.  Built in a few array
+        passes — the fault-aware detour search runs BFS on this structure
+        rather than calling :meth:`neighbors` per node.
+        """
+        ep = self.edge_endpoints
+        if edge_mask is not None:
+            mask = np.asarray(edge_mask, dtype=bool)
+            if mask.shape != (self.num_edges,):
+                raise ValueError(
+                    f"edge_mask must have shape ({self.num_edges},), got {mask.shape}"
+                )
+            ep = ep[mask]
+            kept = np.flatnonzero(mask)
+        else:
+            kept = np.arange(self.num_edges, dtype=np.int64)
+        tails = np.concatenate((ep[:, 0], ep[:, 1]))
+        heads = np.concatenate((ep[:, 1], ep[:, 0]))
+        eids = np.concatenate((kept, kept))
+        order = np.argsort(tails, kind="stable")
+        counts = np.bincount(tails, minlength=self.n)
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, heads[order], eids[order]
+
     def all_edges(self) -> np.ndarray:
         """All edges as an ``(E, 2)`` array of endpoint node ids.
 

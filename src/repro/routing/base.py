@@ -251,7 +251,7 @@ class Router(ABC):
         if not isinstance(batch, bool) and batch != "loop":
             raise ValueError(f"unknown batch mode {batch!r}; use True, False or 'loop'")
         profiler = self.profiler
-        if batch and problem.num_packets:
+        if batch:
             with profiler.stage("engine.sequence") if profiler else _nullcontext():
                 spec = self.batch_spec(problem)
             if spec is not None:

@@ -164,7 +164,7 @@ def _assemble_array(
     # == per packet, per subpath, per ordered dimension — exactly the step
     # sequence dimension_order_path emits).
     steps = np.repeat(values.reshape(-1), counts.reshape(-1))
-    lens = counts.reshape(N, -1).sum(axis=1) + 1  # nodes per path
+    lens = counts.sum(axis=(1, 2)) + 1  # nodes per path (N == 0 safe)
     starts = np.zeros(N, dtype=np.int64)
     np.cumsum(lens[:-1], out=starts[1:])
     total = int(lens.sum())
@@ -195,6 +195,10 @@ def _assemble_array(
                 profiler.count("engine.edges", pathset.total_nodes - N)
             return pathset
     offsets = np.concatenate((starts, np.asarray([total], dtype=np.int64)))
+    # Freeze the freshly built buffers so PathSet can wrap them zero-copy
+    # (a writable buffer would force a defensive copy).
+    nodes.setflags(write=False)
+    offsets.setflags(write=False)
     pathset = PathSet.from_arrays(nodes, offsets)
     if profiler is not None:
         profiler.count("engine.edges", total - N)

@@ -12,6 +12,18 @@ have low congestion sustains higher injection rates before queues blow up,
 and a router with low stretch keeps latency near the distance at light
 load.  The hierarchical router is the only one good on both ends — the
 online restatement of the paper's contribution.
+
+Fault injection
+---------------
+Pass ``faults=`` a :class:`~repro.faults.model.FaultModel` and the run
+becomes fault-aware end to end: paths are selected through a
+:class:`~repro.faults.router.FaultAwareRouter` against the mask at the
+injection step (resample with fresh bits, greedy detour as a last
+resort), in-flight packets blocked on a dead edge wait with exponential
+backoff and re-select their path from their current node after
+``max_retries`` blocked attempts, and packets that become unreachable
+under a non-repairing model are dropped.  A trivial model (``p = 0``)
+runs the fault-free code path: byte-identical statistics.
 """
 
 from __future__ import annotations
@@ -27,9 +39,20 @@ from repro.routing.base import Router
 __all__ = ["OnlineStats", "simulate_online", "latency_vs_load"]
 
 
+def _empty_i64() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
+
+
 @dataclass
 class OnlineStats:
-    """Outcome of an online simulation run."""
+    """Outcome of an online simulation run.
+
+    The fault-tolerance counters (zero on fault-free runs): ``dropped``
+    packets abandoned (unroutable at injection or in flight),
+    ``reroutes`` in-flight path re-selections, ``blocked_steps`` the
+    packet-steps spent waiting on a dead edge, ``resamples`` /
+    ``detours`` the fault-aware selection fallbacks taken.
+    """
 
     steps: int
     injected: int
@@ -42,18 +65,36 @@ class OnlineStats:
     #: delivered packets per step during the injection phase
     throughput: float
     latencies: np.ndarray = field(repr=False)
+    #: per-delivered-packet shortest distances, aligned with ``latencies``
+    distances: np.ndarray = field(default_factory=_empty_i64, repr=False)
+    dropped: int = 0
+    reroutes: int = 0
+    blocked_steps: int = 0
+    resamples: int = 0
+    detours: int = 0
 
     @property
     def mean_slowdown(self) -> float:
         """Mean latency / mean distance: the online stretch analogue."""
         return self.mean_latency / self.mean_distance if self.mean_distance else 0.0
 
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered fraction of injected packets (1.0 when none)."""
+        return self.delivered / self.injected if self.injected else 1.0
+
     def summary(self) -> str:
-        return (
+        base = (
             f"{self.delivered}/{self.injected} delivered in {self.steps} steps; "
             f"latency mean={self.mean_latency:.1f} p95={self.p95_latency:.1f} "
             f"max_queue={self.max_queue}"
         )
+        if self.dropped or self.blocked_steps:
+            base += (
+                f"; faults: dropped={self.dropped} reroutes={self.reroutes} "
+                f"blocked_steps={self.blocked_steps}"
+            )
+        return base
 
 
 def _uniform_dest(mesh: Mesh, src: int, rng: np.random.Generator) -> int:
@@ -74,6 +115,9 @@ def simulate_online(
     drain_steps: int | None = None,
     policy: str = "fifo",
     profiler=None,
+    faults=None,
+    max_retries: int = 3,
+    backoff_cap: int = 5,
 ) -> OnlineStats:
     """Inject Bernoulli(rate) packets per node per step and schedule them.
 
@@ -92,11 +136,19 @@ def simulate_online(
     profiler:
         Optional :class:`repro.obs.Profiler`: times the ``online.inject``
         (path selection) and ``online.advance`` (contention/scheduling)
-        stages and counts ``online.injected`` / ``online.delivered``.
+        stages and counts ``online.injected`` / ``online.delivered``
+        plus the ``faults.*`` counters on fault-injected runs.
+    faults:
+        Optional :class:`~repro.faults.model.FaultModel`.  Selection goes
+        through a fault-aware wrapper and blocked packets wait (with
+        exponential backoff, capped at ``2 ** backoff_cap`` steps) then
+        reroute after ``max_retries`` blocked attempts.
 
     The router must be oblivious: paths are selected at injection time with
     a per-packet spawned stream, independent of network state.
     """
+    from repro.faults.router import FaultAwareRouter, FaultRoutingError
+
     if not router.is_oblivious:
         raise ValueError("online simulation requires an oblivious router")
     if policy not in ("fifo", "random"):
@@ -105,6 +157,20 @@ def simulate_online(
 
     def stage(name):
         return profiler.stage(name) if profiler is not None else nullcontext()
+
+    if faults is None and isinstance(router, FaultAwareRouter):
+        faults = router.faults
+    faulty = faults is not None and not faults.is_trivial
+    if faulty:
+        if isinstance(router, FaultAwareRouter):
+            wrapper = router
+        else:
+            wrapper = FaultAwareRouter(router, faults)
+        wrapper.profiler = profiler
+        select = wrapper.select_path
+        endpoints = mesh.edge_endpoints
+    else:
+        select = router.select_path
 
     rng = np.random.default_rng(seed)
     path_rng = np.random.default_rng(None if seed is None else seed + 1)
@@ -127,9 +193,17 @@ def simulate_online(
     active = np.empty(0, dtype=np.int64)  # indices into the packet arrays
     done_latency: list[int] = []
     done_distance: list[int] = []
+    if faulty:
+        cur: list[int] = []  # current node per packet (for mid-flight reroute)
+        dests: list[int] = []
+        cur_a = np.empty(0, dtype=np.int64)
+        dests_a = np.empty(0, dtype=np.int64)
+        retries = np.empty(0, dtype=np.int64)
+        next_try = np.empty(0, dtype=np.int64)
 
     max_queue = 0
     injected = 0
+    dropped_n = reroutes = blocked_steps = 0
     if drain_steps is None:
         drain_steps = 8 * steps + 200
     total_steps = steps + drain_steps
@@ -139,16 +213,21 @@ def simulate_online(
         injecting = step <= steps
         if injecting:
             with stage("online.inject"):
+                if faulty:
+                    wrapper.at_step = step
                 arrivals = np.nonzero(rng.random(mesh.n) < rate)[0]
                 first_new = len(starts)
                 for src in arrivals.tolist():
                     dst = dest_fn(mesh, int(src), rng)
-                    path = router.select_path(
-                        mesh,
-                        int(src),
-                        dst,
-                        np.random.default_rng(path_rng.integers(2**63)),
-                    )
+                    pkt_rng = np.random.default_rng(path_rng.integers(2**63))
+                    try:
+                        path = select(mesh, int(src), dst, pkt_rng)
+                    except FaultRoutingError:
+                        injected += 1
+                        dropped_n += 1
+                        if profiler is not None:
+                            profiler.count("faults.dropped", 1)
+                        continue
                     if len(path) < 2:
                         continue
                     seq = mesh.edge_ids(path[:-1], path[1:])
@@ -163,6 +242,9 @@ def simulate_online(
                     nedges.append(seq.size)
                     born.append(step)
                     dist.append(int(mesh.distance(int(src), dst)))
+                    if faulty:
+                        cur.append(int(src))
+                        dests.append(dst)
                     eids_used += seq.size
                     injected += 1
                 if len(starts) > first_new:
@@ -170,31 +252,112 @@ def simulate_online(
                     nedges_a = np.asarray(nedges, dtype=np.int64)
                     born_a = np.asarray(born, dtype=np.int64)
                     dist_a = np.asarray(dist, dtype=np.int64)
-                    pos = np.concatenate(
-                        (pos, np.zeros(len(starts) - first_new, dtype=np.int64))
-                    )
+                    new = len(starts) - first_new
+                    pos = np.concatenate((pos, np.zeros(new, dtype=np.int64)))
                     active = np.concatenate(
                         (active, np.arange(first_new, len(starts), dtype=np.int64))
                     )
+                    if faulty:
+                        # cur_a mutates as packets move: append the new
+                        # packets rather than rebuilding from the birth list
+                        cur_a = np.concatenate(
+                            (cur_a, np.asarray(cur[first_new:], dtype=np.int64))
+                        )
+                        dests_a = np.asarray(dests, dtype=np.int64)
+                        retries = np.concatenate(
+                            (retries, np.zeros(new, dtype=np.int64))
+                        )
+                        next_try = np.concatenate(
+                            (next_try, np.zeros(new, dtype=np.int64))
+                        )
         if active.size == 0:
             if not injecting:
                 break
             continue
         with stage("online.advance"):
-            # every active packet's next edge, in one gather
-            edges = eids[starts_a[active] + pos[active]]
+            if faulty:
+                alive_mask = faults.edge_alive(step)
+                wrapper.at_step = step
+                ready = active[next_try[active] <= step]
+                if ready.size == 0:
+                    continue
+                edges = eids[starts_a[ready] + pos[ready]]
+                blocked = ~alive_mask[edges]
+                if np.any(blocked):
+                    bidx = ready[blocked]
+                    retries[bidx] += 1
+                    blocked_steps += int(bidx.size)
+                    if profiler is not None:
+                        profiler.count("faults.blocked_steps", int(bidx.size))
+                    next_try[bidx] = step + (
+                        1 << np.minimum(retries[bidx] - 1, backoff_cap)
+                    )
+                    drop: list[int] = []
+                    for i in bidx[retries[bidx] >= max_retries].tolist():
+                        # re-select from the current node with fresh bits
+                        pkt_rng = np.random.default_rng(path_rng.integers(2**63))
+                        try:
+                            new_path = select(
+                                mesh, int(cur_a[i]), int(dests_a[i]), pkt_rng
+                            )
+                        except FaultRoutingError:
+                            if not faults.repairs:
+                                drop.append(i)
+                            else:
+                                retries[i] = 0
+                            continue
+                        seq = mesh.edge_ids(new_path[:-1], new_path[1:])
+                        if eids_used + seq.size > eids.size:
+                            grown = np.empty(
+                                max(eids_used + seq.size, 2 * eids.size),
+                                dtype=np.int64,
+                            )
+                            grown[:eids_used] = eids[:eids_used]
+                            eids = grown
+                        eids[eids_used : eids_used + seq.size] = seq
+                        # repoint packet i's slice at the fresh suffix; the
+                        # list mirrors must stay in sync because injection
+                        # rebuilds the arrays from them
+                        starts[i] = eids_used - int(pos[i])
+                        nedges[i] = int(pos[i]) + seq.size
+                        starts_a[i] = starts[i]
+                        nedges_a[i] = nedges[i]
+                        eids_used += seq.size
+                        retries[i] = 0
+                        next_try[i] = step + 1
+                        reroutes += 1
+                        if profiler is not None:
+                            profiler.count("faults.reroutes", 1)
+                    if drop:
+                        dropped_n += len(drop)
+                        if profiler is not None:
+                            profiler.count("faults.dropped", len(drop))
+                        active = active[~np.isin(active, np.asarray(drop))]
+                    ready = ready[~blocked]
+                    if ready.size == 0:
+                        continue
+                    edges = edges[~blocked]
+                sched = ready
+            else:
+                sched = active
+                # every active packet's next edge, in one gather
+                edges = eids[starts_a[sched] + pos[sched]]
             # queue sizes: packets waiting per next-edge tail (proxy: per edge)
             max_queue = max(max_queue, int(np.bincount(edges).max()))
             # contention resolution
             if policy == "fifo":
-                prio = born_a[active]
+                prio = born_a[sched]
             else:
-                prio = rng.permutation(active.size)
+                prio = rng.permutation(sched.size)
             order = np.lexsort((prio, edges))
             sorted_edges = edges[order]
             first = np.ones(sorted_edges.size, dtype=bool)
             first[1:] = sorted_edges[1:] != sorted_edges[:-1]
-            winners = active[order[first]]
+            winners = sched[order[first]]
+            if faulty:
+                wedges = eids[starts_a[winners] + pos[winners]]
+                cur_a[winners] = endpoints[wedges].sum(axis=1) - cur_a[winners]
+                retries[winners] = 0
             pos[winners] += 1
             finished = winners[pos[winners] == nedges_a[winners]]
             if finished.size:
@@ -204,6 +367,10 @@ def simulate_online(
                     delivered_during_injection += int(finished.size)
                 active = active[pos[active] < nedges_a[active]]
 
+    if faulty:
+        resamples, detours = wrapper.resamples, wrapper.detours
+    else:
+        resamples = detours = 0
     if profiler is not None:
         profiler.count("online.injected", injected)
         profiler.count("online.delivered", len(done_latency))
@@ -219,6 +386,12 @@ def simulate_online(
         max_queue=max_queue,
         throughput=delivered_during_injection / max(steps, 1),
         latencies=lat,
+        distances=np.asarray(done_distance, dtype=np.int64),
+        dropped=dropped_n,
+        reroutes=reroutes,
+        blocked_steps=blocked_steps,
+        resamples=resamples,
+        detours=detours,
     )
 
 
@@ -230,12 +403,14 @@ def latency_vs_load(
     steps: int = 200,
     seed: int = 0,
     dest_fn: Callable[[Mesh, int, np.random.Generator], int] = _uniform_dest,
+    faults=None,
 ) -> list[dict]:
     """Sweep injection rates, one row per rate (the saturation curve)."""
     rows = []
     for rate in rates:
         stats = simulate_online(
-            router, mesh, rate=rate, steps=steps, seed=seed, dest_fn=dest_fn
+            router, mesh, rate=rate, steps=steps, seed=seed, dest_fn=dest_fn,
+            faults=faults,
         )
         rows.append(
             {
@@ -247,6 +422,7 @@ def latency_vs_load(
                 "p95_latency": stats.p95_latency,
                 "mean_slowdown": stats.mean_slowdown,
                 "max_queue": stats.max_queue,
+                "delivery_ratio": stats.delivery_ratio,
             }
         )
     return rows

@@ -22,6 +22,16 @@ fancy index, then requests are (edge, priority) pairs sorted with
 The makespan of *any* schedule is at least ``max(C, D) >= (C + D) / 2``,
 so ``makespan / (C + D)`` in ``[0.5, ~1+]`` certifies the selected paths
 are routable in near-optimal time.
+
+Fault injection
+---------------
+Pass ``faults=`` a :class:`~repro.faults.model.FaultModel` and packets
+whose next edge is dead *wait* with exponential backoff, then *reroute*
+from their current node over the alive subgraph after ``max_retries``
+blocked attempts; packets whose destination became unreachable under a
+non-repairing model are dropped (``delivery_times[i] == -1``).  A trivial
+model (``p = 0``) is a strict no-op: the fault-free code path runs and
+results are byte-identical.
 """
 
 from __future__ import annotations
@@ -40,13 +50,26 @@ __all__ = ["simulate", "SimulationResult"]
 
 @dataclass
 class SimulationResult:
-    """Outcome of a synchronous schedule."""
+    """Outcome of a synchronous schedule.
+
+    Fault-tolerance accounting (all zero on a fault-free run):
+    ``delivered`` counts packets that reached their destination,
+    ``retries_total`` the packet-steps spent blocked on a dead edge,
+    ``rerouted`` the packets that switched to an alive-subgraph detour,
+    and ``dropped`` the packets abandoned as unreachable (their
+    ``delivery_times`` entry is ``-1``).
+    """
 
     makespan: int
     delivery_times: np.ndarray  # step at which each packet arrived (0 = started there)
     congestion: int
     dilation: int
     policy: str
+    num_packets: int = 0
+    delivered: int = 0
+    retries_total: int = 0
+    rerouted: int = 0
+    dropped: int = 0
 
     @property
     def cd_bound(self) -> int:
@@ -58,11 +81,23 @@ class SimulationResult:
         """``makespan / (C + D)`` — at least 0.5 for any schedule."""
         return self.makespan / self.cd_bound if self.cd_bound else 0.0
 
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered fraction (1.0 when nothing was injected)."""
+        return self.delivered / self.num_packets if self.num_packets else 1.0
+
     def summary(self) -> str:
-        return (
+        base = (
             f"makespan={self.makespan} vs C+D={self.cd_bound} "
             f"(C={self.congestion}, D={self.dilation}, policy={self.policy})"
         )
+        if self.delivered < self.num_packets or self.retries_total:
+            base += (
+                f"; delivered {self.delivered}/{self.num_packets} "
+                f"(retries={self.retries_total}, rerouted={self.rerouted}, "
+                f"dropped={self.dropped})"
+            )
+        return base
 
 
 def simulate(
@@ -72,18 +107,29 @@ def simulate(
     policy: str = "farthest-first",
     seed: int | None = None,
     max_steps: int | None = None,
+    faults=None,
+    max_retries: int = 3,
+    backoff_cap: int = 5,
+    profiler=None,
 ) -> SimulationResult:
     """Schedule ``paths`` synchronously and measure the makespan.
 
     ``paths`` may be a raw path list or a :class:`RoutingResult`.  Raises
     ``RuntimeError`` if delivery takes more than ``max_steps`` (default
     ``8 * (C + D) + 64``, far above anything a greedy schedule needs).
+
+    With a non-trivial ``faults`` model the run degrades instead of
+    raising: blocked packets back off exponentially (capped at
+    ``2 ** backoff_cap`` steps), reroute after ``max_retries`` blocked
+    attempts, drop when unreachable, and hitting ``max_steps`` ends the
+    run with the stragglers marked undelivered rather than raising.
     """
     pathset = PathSet.from_paths(
         paths.paths if isinstance(paths, RoutingResult) else paths
     )
     if policy not in ("farthest-first", "fifo", "random", "random-delay"):
         raise ValueError(f"unknown policy {policy!r}")
+    faulty = faults is not None and not faults.is_trivial
     rng = np.random.default_rng(seed)
 
     num = len(pathset)
@@ -99,6 +145,9 @@ def simulate(
     dil = int(lengths.max()) if num else 0
     if max_steps is None:
         max_steps = 8 * (cong + dil) + 64
+        if faulty:
+            # waiting/rerouting legitimately needs more room than C + D
+            max_steps = 8 * max_steps + 8 * mesh.diameter
 
     pos = np.zeros(num, dtype=np.int64)
     delivery = np.zeros(num, dtype=np.int64)
@@ -110,17 +159,79 @@ def simulate(
         if policy == "random-delay"
         else np.zeros(num, dtype=np.int64)
     )
+    retries_total = rerouted = dropped_n = 0
+    if faulty:
+        from repro.faults.router import shortest_alive_path
+
+        # Rerouting mutates the per-packet slices, so the shared CSR views
+        # become private writable state; detours append to the edge stream.
+        eids = eids.copy()
+        estarts = estarts.copy()
+        lengths = lengths.copy()
+        ends = pathset.offsets[1:] - 1
+        cur = pathset.nodes[pathset.offsets[:-1]].copy()
+        dests = pathset.nodes[ends]
+        retries = np.zeros(num, dtype=np.int64)
+        next_try = np.zeros(num, dtype=np.int64)
+        endpoints = mesh.edge_endpoints
     while np.any(active):
         if step >= max_steps:
+            if faulty:
+                # stragglers are undelivered, not a scheduling bug
+                delivery[active] = -1
+                break
             raise RuntimeError(
                 f"schedule exceeded {max_steps} steps (C={cong}, D={dil})"
             )
         eligible = active & (delays <= step)
+        if faulty:
+            eligible &= next_try <= step
         if not np.any(eligible):
             step += 1
             continue
         idx = packet_ids[eligible]
         edges = eids[estarts[idx] + pos[idx]]
+        if faulty:
+            alive = faults.edge_alive(step)
+            blocked = ~alive[edges]
+            if np.any(blocked):
+                bidx = idx[blocked]
+                retries[bidx] += 1
+                retries_total += int(bidx.size)
+                if profiler is not None:
+                    profiler.count("faults.blocked_steps", int(bidx.size))
+                # exponential backoff before the next attempt
+                next_try[bidx] = step + (
+                    1 << np.minimum(retries[bidx] - 1, backoff_cap)
+                )
+                for i in bidx[retries[bidx] >= max_retries].tolist():
+                    detour = shortest_alive_path(mesh, int(cur[i]), int(dests[i]), alive)
+                    if detour is not None and detour.size > 1:
+                        seq = mesh.edge_ids(detour[:-1], detour[1:])
+                        at = eids.size
+                        eids = np.concatenate((eids, seq))
+                        estarts[i] = at - pos[i]
+                        lengths[i] = pos[i] + seq.size
+                        retries[i] = 0
+                        next_try[i] = step + 1
+                        rerouted += 1
+                        if profiler is not None:
+                            profiler.count("faults.reroutes", 1)
+                    elif not faults.repairs:
+                        # statically unreachable: give up on the packet
+                        active[i] = False
+                        delivery[i] = -1
+                        dropped_n += 1
+                        if profiler is not None:
+                            profiler.count("faults.dropped", 1)
+                    else:
+                        # the fault process repairs; wait out the backoff
+                        retries[i] = 0
+                idx = idx[~blocked]
+                if idx.size == 0:
+                    step += 1
+                    continue
+                edges = edges[~blocked]
         if policy == "farthest-first":
             prio = -(lengths[idx] - pos[idx])
         elif policy in ("fifo", "random-delay"):
@@ -132,15 +243,25 @@ def simulate(
         first = np.ones(sorted_edges.size, dtype=bool)
         first[1:] = sorted_edges[1:] != sorted_edges[:-1]
         winners = idx[order][first]
+        if faulty:
+            wedges = eids[estarts[winners] + pos[winners]]
+            cur[winners] = endpoints[wedges].sum(axis=1) - cur[winners]
+            retries[winners] = 0
         pos[winners] += 1
         step += 1
         arrived = winners[pos[winners] == lengths[winners]]
         delivery[arrived] = step
         active[arrived] = False
+    undelivered = int((delivery < 0).sum())
     return SimulationResult(
         makespan=step,
         delivery_times=delivery,
         congestion=cong,
         dilation=dil,
         policy=policy,
+        num_packets=num,
+        delivered=num - undelivered,
+        retries_total=retries_total,
+        rerouted=rerouted,
+        dropped=dropped_n,
     )

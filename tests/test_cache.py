@@ -43,7 +43,8 @@ class TestMemo:
         cache.memo("u", 2, lambda: "b")
         assert cache.invalidate() == 2
         assert cache.stats().entries == 0
-        assert cache.stats().invalidations == 2
+        assert cache.stats().invalidations == 1  # one call...
+        assert cache.stats().dropped == 2  # ...dropping two entries
 
     def test_invalidate_by_kind(self):
         cache.memo("t", 1, lambda: "a")
@@ -68,6 +69,96 @@ class TestMemo:
         cache.memo("t", "k", lambda: 1)
         cache.memo("t", "k", lambda: 1)
         assert cache.stats().hit_rate == pytest.approx(0.5)
+
+    def test_invalidation_counter_is_per_call(self):
+        """Regression: ``invalidations`` counts invalidate() *calls*, not
+        entries removed (``dropped`` carries the removal count)."""
+        for i in range(3):
+            cache.memo("t", i, lambda: i)
+        assert cache.invalidate() == 3
+        st = cache.stats()
+        assert st.invalidations == 1
+        assert st.dropped == 3
+        # an empty invalidate is still one call, zero drops
+        assert cache.invalidate() == 0
+        st = cache.stats()
+        assert st.invalidations == 2
+        assert st.dropped == 3
+        assert st.to_dict()["dropped"] == 3
+
+    def test_configure_disable_blocks_racing_store(self):
+        """Regression (threaded): once configure(enabled=False) returns, no
+        racing memo call may insert into the store.  Pre-fix, memo re-read
+        ``_enabled`` outside the lock after the factory ran, so an insert
+        could land after the disable completed."""
+        stop = threading.Event()
+
+        def hammer(k):
+            i = 0
+            while not stop.is_set():
+                cache.memo("race", (k, i % 4), lambda: object())
+                i += 1
+
+        threads = [threading.Thread(target=hammer, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(300):
+                cache.configure(enabled=True)
+                cache.configure(enabled=False)
+                # Entries present here were inserted while enabled: drop them.
+                cache.invalidate("race")
+                # From this point on nothing may be inserted — any entry the
+                # second sweep finds was stored *after* the disable returned.
+                assert cache.invalidate("race") == 0
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+
+    def test_disable_completed_during_factory_wins(self):
+        """Deterministic regression for the configure race: a memo call
+        whose factory is in flight when ``configure(enabled=False)``
+        *completes* must not insert afterwards.  Reproduces the exact
+        interleaving by gating the victim thread's store-side lock
+        acquisition until the disable has returned."""
+        at_gate = threading.Event()
+        proceed = threading.Event()
+        state = {"armed": False}
+        victim_holder: list = []
+        inner = threading.Lock()
+
+        class GatedLock:
+            def __enter__(self):
+                if state["armed"] and threading.current_thread() in victim_holder:
+                    state["armed"] = False
+                    at_gate.set()
+                    proceed.wait(timeout=10)
+                inner.acquire()
+
+            def __exit__(self, *exc):
+                inner.release()
+
+        def factory():
+            state["armed"] = True  # gate the *next* (store-side) acquisition
+            return "value"
+
+        original = cache._lock
+        cache._lock = GatedLock()
+        try:
+            victim = threading.Thread(target=lambda: cache.memo("race", "k", factory))
+            victim_holder.append(victim)
+            victim.start()
+            assert at_gate.wait(timeout=10)
+            # The victim is now past its unlocked work, waiting to store.
+            cache.configure(enabled=False)
+            proceed.set()
+            victim.join(timeout=10)
+        finally:
+            proceed.set()
+            cache._lock = original
+        # Nothing may have been inserted after the disable returned.
+        assert cache.invalidate("race") == 0
 
     def test_thread_shared_build(self):
         results = []

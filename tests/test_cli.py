@@ -93,6 +93,13 @@ class TestCommands:
                      "--steps", "40"]) == 0
         assert "mean_latency" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("mode", ["static", "blocks", "dynamic"])
+    def test_faults(self, mode, capsys):
+        assert main(["faults", "--mesh", "8x8", "--mode", mode,
+                     "--steps", "20", "--rate", "0.03"]) == 0
+        out = capsys.readouterr().out
+        assert "delivery_ratio" in out and "fault-free" in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

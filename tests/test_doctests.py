@@ -7,6 +7,7 @@ import pytest
 
 import repro
 import repro.cache
+import repro.faults.model
 import repro.mesh.mesh
 import repro.mesh.submesh
 import repro.obs.profiler
@@ -16,7 +17,8 @@ DOCS = pathlib.Path(__file__).resolve().parent.parent / "docs"
 
 @pytest.mark.parametrize(
     "module",
-    [repro, repro.mesh.mesh, repro.mesh.submesh, repro.cache, repro.obs.profiler],
+    [repro, repro.mesh.mesh, repro.mesh.submesh, repro.cache,
+     repro.faults.model, repro.obs.profiler],
     ids=lambda m: m.__name__,
 )
 def test_module_doctests(module):
@@ -25,7 +27,7 @@ def test_module_doctests(module):
     assert results.attempted > 0, f"no doctests found in {module.__name__}"
 
 
-@pytest.mark.parametrize("name", ["API.md", "PERFORMANCE.md"])
+@pytest.mark.parametrize("name", ["API.md", "PERFORMANCE.md", "FAULTS.md"])
 def test_docs_doctests(name):
     path = DOCS / name
     results = doctest.testfile(str(path), module_relative=False, verbose=False)

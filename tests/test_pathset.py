@@ -123,6 +123,41 @@ class TestConstruction:
         with pytest.raises(ValueError):
             PathSet(np.asarray([1, 2]), np.asarray([0, 2, 1, 2]))  # decreasing
 
+    def test_from_arrays_does_not_alias_writable_source(self):
+        """Regression: when the inputs are already contiguous int64,
+        ``ascontiguousarray`` hands back the caller's own buffer; freezing
+        a *view* of it left the source writable, so mutating the source
+        after construction silently corrupted the CSR."""
+        nodes = np.asarray([0, 1, 2, 2, 3], dtype=np.int64)
+        offsets = np.asarray([0, 3, 5], dtype=np.int64)
+        ps = PathSet.from_arrays(nodes, offsets)
+        before = [p.tolist() for p in ps]
+        nodes[0] = 99
+        offsets[1] = 1
+        assert [p.tolist() for p in ps] == before
+        assert ps.nodes.tolist() == [0, 1, 2, 2, 3]
+        assert ps.offsets.tolist() == [0, 3, 5]
+
+    def test_from_arrays_does_not_alias_writable_view(self):
+        """Same failure via a view: a slice of a writable buffer must be
+        copied, not frozen in place."""
+        backing = np.arange(10, dtype=np.int64)
+        nodes = backing[2:5]  # contiguous int64 view of writable memory
+        ps = PathSet.from_arrays(nodes, np.asarray([0, 3], dtype=np.int64))
+        backing[:] = -1
+        assert ps.nodes.tolist() == [2, 3, 4]
+
+    def test_from_arrays_read_only_input_wraps_zero_copy(self):
+        """The flip side of the aliasing fix: genuinely immutable inputs
+        (the batch engine's frozen buffers) must still wrap without a copy."""
+        nodes = np.asarray([4, 5, 6], dtype=np.int64)
+        offsets = np.asarray([0, 3], dtype=np.int64)
+        nodes.setflags(write=False)
+        offsets.setflags(write=False)
+        ps = PathSet.from_arrays(nodes, offsets)
+        assert np.shares_memory(ps.nodes, nodes)
+        assert np.shares_memory(ps.offsets, offsets)
+
     def test_arrays_frozen(self):
         ps = PathSet.from_paths([np.asarray([0, 1, 2])])
         with pytest.raises(ValueError):

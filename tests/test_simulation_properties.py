@@ -1,0 +1,134 @@
+"""Simulator invariants, checked across every policy of both simulators:
+
+* physicality — a delivered packet's latency is at least its shortest
+  distance (one hop per step, no teleporting);
+* conservation — every injected packet is exactly one of delivered,
+  dropped, or still in flight when the run ends;
+* determinism — a fixed seed reproduces the run bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.path_selection import HierarchicalRouter
+from repro.faults import FaultModel
+from repro.mesh.mesh import Mesh
+from repro.routing.baselines import ValiantRouter
+from repro.simulation.online import simulate_online
+from repro.simulation.scheduler import simulate
+from repro.workloads.generators import random_pairs
+from repro.workloads.permutations import transpose
+
+OFFLINE_POLICIES = ["farthest-first", "fifo", "random", "random-delay"]
+ONLINE_POLICIES = ["fifo", "random"]
+
+
+def _routed(mesh, seed=0):
+    problem = random_pairs(mesh, 80, seed=seed)
+    return problem, HierarchicalRouter().route(problem, seed=seed)
+
+
+class TestOfflineInvariants:
+    @pytest.mark.parametrize("policy", OFFLINE_POLICIES)
+    def test_latency_at_least_distance(self, policy):
+        mesh = Mesh((16, 16))
+        problem, result = _routed(mesh)
+        out = simulate(mesh, result, policy=policy, seed=1)
+        dists = problem.distances
+        delivered = out.delivery_times >= 0
+        assert delivered.all()  # fault-free: everything arrives
+        assert (out.delivery_times[delivered] >= dists[delivered]).all()
+        # random-delay legitimately idles before moving; the others can't
+        # beat the makespan bound either
+        assert out.makespan == int(out.delivery_times.max())
+
+    @pytest.mark.parametrize("policy", OFFLINE_POLICIES)
+    def test_delivery_conservation(self, policy):
+        mesh = Mesh((16, 16))
+        _, result = _routed(mesh)
+        out = simulate(mesh, result, policy=policy, seed=1)
+        assert out.num_packets == len(result.paths)
+        assert out.delivered + out.dropped == out.num_packets
+        assert out.delivery_ratio == 1.0
+
+    @pytest.mark.parametrize("policy", OFFLINE_POLICIES)
+    def test_fixed_seed_reproduces(self, policy):
+        mesh = Mesh((16, 16))
+        _, result = _routed(mesh)
+        a = simulate(mesh, result, policy=policy, seed=7)
+        b = simulate(mesh, result, policy=policy, seed=7)
+        assert a.makespan == b.makespan
+        np.testing.assert_array_equal(a.delivery_times, b.delivery_times)
+
+    @pytest.mark.parametrize("policy", OFFLINE_POLICIES)
+    def test_invariants_hold_under_faults(self, policy):
+        mesh = Mesh((16, 16))
+        problem = transpose(mesh)
+        result = HierarchicalRouter().route(problem, seed=0)
+        fm = FaultModel.static(mesh, p=0.01, seed=5)
+        out = simulate(mesh, result, policy=policy, seed=1, faults=fm)
+        delivered = out.delivery_times >= 0
+        dists = result.problem.distances
+        assert (out.delivery_times[delivered] >= dists[delivered]).all()
+        assert out.delivered == int(delivered.sum())
+        assert out.delivered + (out.num_packets - out.delivered) == out.num_packets
+
+    def test_empty_pathset(self):
+        mesh = Mesh((8, 8))
+        out = simulate(mesh, [], seed=0)
+        assert out.makespan == 0 and out.num_packets == 0
+        assert out.delivery_ratio == 1.0
+
+
+class TestOnlineInvariants:
+    @pytest.mark.parametrize("policy", ONLINE_POLICIES)
+    def test_latency_at_least_distance(self, policy):
+        mesh = Mesh((8, 8))
+        s = simulate_online(
+            HierarchicalRouter(), mesh, rate=0.05, steps=40, seed=2, policy=policy
+        )
+        assert s.latencies.size == s.distances.size == s.delivered
+        assert (s.latencies >= s.distances).all()
+        assert (s.distances >= 1).all()  # dest_fn never picks the source
+
+    @pytest.mark.parametrize("policy", ONLINE_POLICIES)
+    def test_delivery_conservation(self, policy):
+        mesh = Mesh((8, 8))
+        s = simulate_online(
+            HierarchicalRouter(), mesh, rate=0.05, steps=40, seed=2, policy=policy
+        )
+        # fault-free with a full drain phase: everything injected arrives
+        assert s.delivered == s.injected
+        assert s.delivery_ratio == 1.0
+
+    @pytest.mark.parametrize("policy", ONLINE_POLICIES)
+    def test_fixed_seed_reproduces(self, policy):
+        mesh = Mesh((8, 8))
+        runs = [
+            simulate_online(
+                HierarchicalRouter(), mesh, rate=0.05, steps=40, seed=9, policy=policy
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].injected == runs[1].injected
+        assert runs[0].steps == runs[1].steps
+        np.testing.assert_array_equal(runs[0].latencies, runs[1].latencies)
+        np.testing.assert_array_equal(runs[0].distances, runs[1].distances)
+
+    @pytest.mark.parametrize("policy", ONLINE_POLICIES)
+    def test_invariants_hold_under_faults(self, policy):
+        mesh = Mesh((8, 8))
+        fd = FaultModel.dynamic(mesh, p=0.01, repair_delay=4, seed=3)
+        s = simulate_online(
+            HierarchicalRouter(), mesh, rate=0.05, steps=40, seed=2,
+            policy=policy, faults=fd,
+        )
+        assert (s.latencies >= s.distances).all()
+        assert s.delivered + s.dropped <= s.injected
+        assert 0.0 <= s.delivery_ratio <= 1.0
+
+    def test_other_router_same_invariants(self):
+        mesh = Mesh((8, 8))
+        s = simulate_online(ValiantRouter(), mesh, rate=0.05, steps=30, seed=2)
+        assert (s.latencies >= s.distances).all()
+        assert s.delivered == s.injected
