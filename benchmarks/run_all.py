@@ -36,6 +36,7 @@ import bench_t7_random_bits as t7
 import bench_t8_routing_time as t8
 import bench_t9_engine_profile as t9
 import bench_t10_fault_tolerance as t10
+import bench_t11_parallel_scaling as t11
 import bench_a1_bridge_ablation as a1
 import bench_a2_dim_order_ablation as a2
 import bench_a3_scheme_ablation as a3
@@ -131,6 +132,12 @@ EXPERIMENTS = [
         t10.run_experiment,
         {"ps": (0.0, 0.01), "steps": 80},
         {"m": 8, "ps": (0.0, 0.01), "steps": 40},
+    ),
+    (
+        "T11 / engineering: parallel scaling, byte-identical shards",
+        t11.run_experiment,
+        {"m": 32, "packets": 50_000, "worker_counts": (1, 2)},
+        {"m": 16, "packets": 2_000, "worker_counts": (1, 2)},
     ),
     (
         "A1 / ablation: bridges on vs off",

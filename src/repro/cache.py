@@ -47,6 +47,7 @@ from repro.mesh.mesh import Mesh
 
 __all__ = [
     "CacheStats",
+    "absorb_worker_stats",
     "configure",
     "enabled",
     "get_decomposition",
@@ -54,6 +55,9 @@ __all__ = [
     "memo",
     "resolve_scheme",
     "stats",
+    "warm",
+    "warmup_key",
+    "worker_stats",
 ]
 
 
@@ -214,3 +218,75 @@ def get_decomposition(mesh: Mesh, scheme: str = "auto"):
     resolved = resolve_scheme(mesh, scheme)
     key = (mesh.sides, mesh.torus, resolved)
     return memo("decomposition", key, lambda: Decomposition(mesh, resolved))
+
+
+# ----------------------------------------------------------------------
+# Worker handshake (sharded execution)
+# ----------------------------------------------------------------------
+# The cache is process-wide, so a worker process starts cold (or, under
+# fork, with a copy-on-write snapshot of the parent's entries).  The parent
+# ships each worker the *keys* it will need — plain picklable tuples, never
+# the decompositions themselves — and the worker warms its own cache once
+# before routing.  Worker stat snapshots travel the other way and accumulate
+# in a parent-side rollup so the parent's ``stats()`` (its own process) and
+# ``worker_stats()`` (the fleet) stay distinguishable.
+
+_worker_hits = 0
+_worker_misses = 0
+_worker_entries = 0
+
+
+def warmup_key(mesh: Mesh, scheme: str = "auto") -> tuple:
+    """The picklable handshake key for one decomposition: ship this to a
+    worker and :func:`warm` rebuilds (or confirms) the entry there."""
+    return (tuple(mesh.sides), bool(mesh.torus), resolve_scheme(mesh, scheme))
+
+
+def warm(keys) -> int:
+    """Build the decompositions named by ``keys`` in *this* process.
+
+    Returns the number of keys that were cold (a cache miss here).  Called
+    by shard workers before routing so the build cost is paid once per
+    process, not once per shard task.
+    """
+    cold = 0
+    for sides, torus, scheme in keys:
+        before = stats().misses
+        get_decomposition(Mesh(tuple(sides), torus=bool(torus)), scheme)
+        cold += int(stats().misses > before)
+    return cold
+
+
+def absorb_worker_stats(snapshot: CacheStats | dict) -> None:
+    """Fold one worker's :func:`stats` snapshot into the parent rollup."""
+    global _worker_hits, _worker_misses, _worker_entries
+    if isinstance(snapshot, CacheStats):
+        snapshot = snapshot.to_dict()
+    with _lock:
+        _worker_hits += int(snapshot.get("hits", 0))
+        _worker_misses += int(snapshot.get("misses", 0))
+        _worker_entries = max(_worker_entries, int(snapshot.get("entries", 0)))
+
+
+def worker_stats() -> CacheStats:
+    """Accumulated cache accounting across absorbed worker snapshots.
+
+    ``entries`` is the largest single worker's entry count (entries are
+    per-process state, so summing them would double-count shared builds).
+    """
+    with _lock:
+        return CacheStats(
+            hits=_worker_hits,
+            misses=_worker_misses,
+            entries=_worker_entries,
+            invalidations=0,
+        )
+
+
+def reset_worker_stats() -> None:
+    """Zero the worker rollup (test helper)."""
+    global _worker_hits, _worker_misses, _worker_entries
+    with _lock:
+        _worker_hits = 0
+        _worker_misses = 0
+        _worker_entries = 0

@@ -107,7 +107,7 @@ def _cmd_route(args) -> int:
 
         profiler = Profiler(trace=args.trace)
         router.profiler = profiler
-    result = router.route(problem, seed=args.seed)
+    result = router.route(problem, seed=args.seed, workers=args.workers)
     from repro.metrics.bounds import congestion_lower_bound
 
     bound = congestion_lower_bound(mesh, problem.sources, problem.dests, use_lp=False)
@@ -122,6 +122,10 @@ def _cmd_route(args) -> int:
         st = cache.stats()
         print(f"cache: hits={st.hits} misses={st.misses} entries={st.entries} "
               f"hit_rate={st.hit_rate:.0%}")
+        ws = cache.worker_stats()
+        if ws.hits or ws.misses:
+            print(f"worker cache (rolled up): hits={ws.hits} misses={ws.misses} "
+                  f"entries={ws.entries}")
         if args.trace:
             profiler.write_summary()
             profiler.close()
@@ -313,6 +317,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("route", help="route one workload, print metrics")
     _add_common(p)
     p.add_argument("--router", default="hierarchical", choices=available_routers())
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="shard routing over N processes (0 = one per CPU); "
+                        "the result is byte-identical for every N")
     p.add_argument("--heatmap", action="store_true", help="ASCII edge-load heatmap (2-D)")
     p.add_argument("--show-path", type=int, default=None, metavar="I",
                    help="draw packet I's path (2-D)")

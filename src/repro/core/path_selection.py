@@ -141,6 +141,9 @@ class HierarchicalRouter(Router):
         """The (process-wide shared) decomposition for ``mesh``."""
         return cache.get_decomposition(mesh, self.scheme)
 
+    def warmup_keys(self, problem: RoutingProblem) -> tuple:
+        return (cache.warmup_key(problem.mesh, self.scheme),)
+
     def _variant_for(self, mesh: Mesh) -> str:
         if self.variant != "auto":
             return self.variant
@@ -303,6 +306,7 @@ class HierarchicalRouter(Router):
         seed: int | None = None,
         *,
         batch: bool | str = True,
+        **kwargs,
     ) -> RoutingResult:
         self.bits_log = []
-        return super().route(problem, seed, batch=batch)
+        return super().route(problem, seed, batch=batch, **kwargs)

@@ -26,7 +26,232 @@ import math
 
 import numpy as np
 
-__all__ = ["BitCounter", "RecycledBits", "bits_for_range"]
+__all__ = [
+    "BitCounter",
+    "RecycledBits",
+    "bits_for_range",
+    "resolve_entropy",
+    "packet_seed_sequence",
+    "packet_stream",
+    "packet_streams",
+    "spawn_state",
+    "packet_uniforms",
+    "SIM_ARRIVALS",
+    "SIM_PATHS",
+    "SIM_SCHED",
+    "SIM_REROUTE",
+]
+
+# ---------------------------------------------------------------------------
+# Global-index seed derivation (the sharding contract)
+# ---------------------------------------------------------------------------
+#
+# Every per-packet random stream is keyed by the packet's *global* index via
+# ``np.random.SeedSequence(entropy, spawn_key=(*prefix, index))``.  Keying by
+# global index (never by shard-local order) is what makes sharded execution
+# byte-identical to serial execution for every shard count: worker ``k``
+# routing packets ``[a, b)`` derives exactly the streams the serial engine
+# would have derived for those packets.
+#
+# Two consumers share the contract:
+#
+# * the per-packet fallback loop builds a real ``Generator(PCG64(child))``
+#   per packet (scalar ``select_path`` cannot be vectorised anyway);
+# * the batched engine needs *vectorised* per-packet uniforms, so
+#   :func:`spawn_state` re-implements SeedSequence's hash pipeline with the
+#   per-index spawn-key word as the only vectorised input.  The replica is
+#   exact — ``tests/test_parallel_properties.py`` asserts word-for-word
+#   equality against ``SeedSequence.generate_state`` — so the engine's
+#   uniforms are *defined* in terms of the public numpy primitive, not a
+#   private scheme.
+#
+# Stream-name constants keep ``simulate_online``'s independent branches
+# (arrivals, per-packet path selection, scheduler tie-breaks, mid-flight
+# reroutes) from colliding with each other; ``Router.route`` uses the bare
+# ``(index,)`` key.
+
+#: ``simulate_online`` spawn-key branches (see :mod:`repro.simulation.online`).
+SIM_ARRIVALS = 1
+SIM_PATHS = 2
+SIM_SCHED = 3
+SIM_REROUTE = 4
+
+# SeedSequence hash constants (numpy's bit_generator.pyx, after the C++
+# randutils lineage).  Note numpy's ``mix`` *subtracts* the two products —
+# it does not XOR them — which tests pin by comparing against numpy itself.
+_M32 = 0xFFFFFFFF
+_INIT_A = 0x43B0D7E5
+_MULT_A = 0x931E8875
+_INIT_B = 0x8B51F9DD
+_MULT_B = 0x58F38DED
+_MIX_L = 0xCA01F9DD
+_MIX_R = 0x4973F715
+_XSHIFT = 16
+_POOL = 4
+
+
+def resolve_entropy(seed: int | None) -> int:
+    """Resolve a user-facing seed to the concrete root entropy integer.
+
+    ``None`` draws fresh OS entropy *once*; sharded execution resolves the
+    seed in the parent and ships the same integer to every worker, so even
+    unseeded runs are internally consistent across shard counts.  The
+    resolved value is stored on :class:`~repro.routing.base.RoutingResult`
+    so any run can be replayed exactly.
+    """
+    if seed is None:
+        return int(np.random.SeedSequence().entropy)
+    if isinstance(seed, (int, np.integer)):
+        if seed < 0:
+            raise ValueError("seed must be non-negative")
+        return int(seed)
+    raise TypeError(f"seed must be an int or None, got {type(seed).__name__}")
+
+
+def packet_seed_sequence(
+    entropy: int, index: int, prefix: tuple[int, ...] = ()
+) -> np.random.SeedSequence:
+    """The canonical ``SeedSequence`` of one global packet index.
+
+    With an empty ``prefix`` this is exactly the ``index``-th child that
+    ``np.random.default_rng(entropy).spawn(n)`` would produce, for any
+    ``n > index`` — the scheme is the old per-packet ``spawn`` keyed by
+    global position instead of spawn order.
+    """
+    return np.random.SeedSequence(entropy, spawn_key=(*prefix, index))
+
+
+def packet_stream(
+    entropy: int, index: int, prefix: tuple[int, ...] = ()
+) -> np.random.Generator:
+    """A fresh per-packet generator for global packet ``index``."""
+    return np.random.default_rng(packet_seed_sequence(entropy, index, prefix))
+
+
+def packet_streams(
+    entropy: int, start: int, stop: int, prefix: tuple[int, ...] = ()
+) -> list[np.random.Generator]:
+    """Per-packet generators for the global index range ``[start, stop)``."""
+    return [packet_stream(entropy, i, prefix) for i in range(start, stop)]
+
+
+def _entropy_words(value: int) -> list[int]:
+    """``value`` as little-endian uint32 words (at least one word)."""
+    if value < 0:
+        raise ValueError("entropy words must be non-negative")
+    words = []
+    while value:
+        words.append(value & _M32)
+        value >>= 32
+    return words or [0]
+
+
+def _hashmix_scalar(value: int, const: int) -> tuple[int, int]:
+    value = (value ^ const) & _M32
+    const = (const * _MULT_A) & _M32
+    value = (value * const) & _M32
+    value ^= value >> _XSHIFT
+    return value, const
+
+
+def _mix_scalar(x: int, y: int) -> int:
+    result = ((x * _MIX_L) - (y * _MIX_R)) & _M32
+    return result ^ (result >> _XSHIFT)
+
+
+def spawn_state(
+    entropy: int,
+    indices: np.ndarray,
+    n_words: int,
+    prefix: tuple[int, ...] = (),
+) -> np.ndarray:
+    """Vectorised ``SeedSequence(entropy, spawn_key=(*prefix, i)).generate_state``.
+
+    Returns a ``(len(indices), n_words)`` uint32 array whose row ``k``
+    equals ``np.random.SeedSequence(entropy, spawn_key=(*prefix,
+    indices[k])).generate_state(n_words)`` word for word.  Everything up to
+    the final spawn-key word is index-independent and computed once; only
+    the four pool-mixing rounds of the index word and the output pass run
+    over the whole index array.
+    """
+    idx = np.ascontiguousarray(indices, dtype=np.uint64)
+    if idx.ndim != 1:
+        raise ValueError("indices must be one-dimensional")
+    if idx.size and int(idx.max()) > _M32:
+        raise ValueError("packet indices must fit in 32 bits")
+    # Assembled entropy: root words padded to the pool size (spawn keys are
+    # always present here), then one word per prefix element.  The per-index
+    # word is appended by the vectorised rounds below.
+    head = _entropy_words(entropy)
+    if len(head) < _POOL:
+        head = head + [0] * (_POOL - len(head))
+    for part in prefix:
+        if not 0 <= int(part) <= _M32:
+            raise ValueError("spawn-key prefix words must fit in 32 bits")
+        head.extend(_entropy_words(int(part)))
+
+    # Scalar phase: pool fill + inter-pool mixing + prefix words.
+    const = _INIT_A
+    pool = []
+    for i in range(_POOL):
+        value, const = _hashmix_scalar(head[i] if i < len(head) else 0, const)
+        pool.append(value)
+    for i_src in range(_POOL):
+        for i_dst in range(_POOL):
+            if i_src != i_dst:
+                value, const = _hashmix_scalar(pool[i_src], const)
+                pool[i_dst] = _mix_scalar(pool[i_dst], value)
+    for i_src in range(_POOL, len(head)):
+        for i_dst in range(_POOL):
+            value, const = _hashmix_scalar(head[i_src], const)
+            pool[i_dst] = _mix_scalar(pool[i_dst], value)
+
+    # Vectorised phase: mix the per-index word into each pool lane.  uint64
+    # wraparound then a 32-bit mask is exact mod-2^32 arithmetic.
+    lanes = np.empty((_POOL, idx.size), dtype=np.uint64)
+    for i_dst in range(_POOL):
+        value = (idx ^ np.uint64(const)) & np.uint64(_M32)
+        const = (const * _MULT_A) & _M32
+        value = (value * np.uint64(const)) & np.uint64(_M32)
+        value ^= value >> np.uint64(_XSHIFT)
+        mixed = (
+            np.uint64(pool[i_dst]) * np.uint64(_MIX_L) - value * np.uint64(_MIX_R)
+        ) & np.uint64(_M32)
+        lanes[i_dst] = mixed ^ (mixed >> np.uint64(_XSHIFT))
+
+    # Output pass (generate_state): cycle through the pool lanes.
+    out = np.empty((idx.size, n_words), dtype=np.uint32)
+    const = _INIT_B
+    for w in range(n_words):
+        value = lanes[w % _POOL] ^ np.uint64(const)
+        const = (const * _MULT_B) & _M32
+        value = (value * np.uint64(const)) & np.uint64(_M32)
+        value ^= value >> np.uint64(_XSHIFT)
+        out[:, w] = value.astype(np.uint32)
+    return out
+
+
+def packet_uniforms(
+    entropy: int,
+    indices: np.ndarray,
+    n_doubles: int,
+    prefix: tuple[int, ...] = (),
+) -> np.ndarray:
+    """Per-packet uniforms in ``[0, 1)``, keyed by global packet index.
+
+    Row ``k`` holds ``n_doubles`` uniforms derived from packet
+    ``indices[k]``'s seed sequence: ``generate_state(n_doubles,
+    dtype=np.uint64)`` mapped through the standard 53-bit conversion
+    ``(word >> 11) * 2**-53``.  Packet ``i``'s values depend only on
+    ``(entropy, prefix, i)`` — never on the batch it arrives in — which is
+    the whole sharding story.
+    """
+    idx = np.asarray(indices, dtype=np.uint64)
+    words = spawn_state(entropy, idx, 2 * n_doubles, prefix).astype(np.uint64)
+    # generate_state(dtype=uint64) is the little-endian view of uint32
+    # pairs: low word first.
+    u64 = words[:, 0::2] | (words[:, 1::2] << np.uint64(32))
+    return (u64 >> np.uint64(11)) * (2.0**-53)
 
 
 def bits_for_range(extent: int) -> int:

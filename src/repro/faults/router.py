@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.randomness import packet_streams, resolve_entropy
 from repro.faults.model import FaultModel
 from repro.mesh.mesh import Mesh
 from repro.routing.base import Router, RoutingProblem, RoutingResult
@@ -120,6 +121,9 @@ class FaultAwareRouter(Router):
             return self.inner.batch_spec(problem)
         return None
 
+    def warmup_keys(self, problem: RoutingProblem) -> tuple:
+        return self.inner.warmup_keys(problem)
+
     def select_path(
         self, mesh: Mesh, s: int, t: int, rng: np.random.Generator
     ) -> np.ndarray:
@@ -155,17 +159,41 @@ class FaultAwareRouter(Router):
         seed: int | None = None,
         *,
         batch: bool | str = True,
+        workers: int | None = 1,
+        packet_offset: int = 0,
     ) -> RoutingResult:
         """Route, dropping packets whose destinations are unreachable.
 
         With non-trivial faults, unreachable packets are excluded and the
         result is built on the routable subproblem; the number excluded
-        accumulates in :attr:`unroutable`.
+        accumulates in :attr:`unroutable`.  Whether a packet is kept
+        depends only on its own stream and the static fault state, so
+        sharded execution (``workers > 1``) keeps and routes exactly the
+        serial packet set.
         """
         if self.faults.is_trivial:
-            return super().route(problem, seed=seed, batch=batch)
-        root = np.random.default_rng(seed)
-        streams = root.spawn(problem.num_packets)
+            return super().route(
+                problem,
+                seed=seed,
+                batch=batch,
+                workers=workers,
+                packet_offset=packet_offset,
+            )
+        if workers is not None and workers != 1:
+            from repro.parallel import route_sharded
+
+            return route_sharded(
+                self,
+                problem,
+                seed,
+                workers=workers,
+                batch=batch,
+                packet_offset=packet_offset,
+            )
+        entropy = resolve_entropy(seed)
+        streams = packet_streams(
+            entropy, packet_offset, packet_offset + problem.num_packets
+        )
         paths, kept = [], []
         for i, ((s, t), stream) in enumerate(zip(problem.pairs(), streams)):
             try:
@@ -174,9 +202,10 @@ class FaultAwareRouter(Router):
             except FaultRoutingError:
                 continue
         if len(kept) == problem.num_packets:
-            return RoutingResult(problem, paths, self.name, seed)
-        sub = problem.subproblem(np.asarray(kept, dtype=np.int64))
-        return RoutingResult(sub, paths, self.name, seed)
+            return RoutingResult(problem, paths, self.name, entropy)
+        kept_idx = np.asarray(kept, dtype=np.int64)
+        sub = problem.subproblem(kept_idx)
+        return RoutingResult(sub, paths, self.name, entropy, kept_indices=kept_idx)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FaultAwareRouter({self.inner!r}, {self.faults!r})"

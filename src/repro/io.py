@@ -37,7 +37,9 @@ def save_result(path: str | Path, result: RoutingResult) -> None:
         dests=problem.dests,
         problem_name=np.asarray([problem.name]),
         router_name=np.asarray([result.router_name]),
-        seed=np.asarray([-1 if result.seed is None else int(result.seed)]),
+        # Seeds serialise as decimal strings: resolved entropy from an
+        # unseeded run is a 128-bit integer, far past int64.
+        seed=np.asarray(["-1" if result.seed is None else str(int(result.seed))]),
         path_data=paths.nodes,
         path_lengths=paths.nodes_per_path,
     )
@@ -54,7 +56,8 @@ def load_result(path: str | Path) -> RoutingResult:
             str(data["problem_name"][0]),
         )
         paths = PathSet.from_lengths(data["path_data"], data["path_lengths"])
-        seed = int(data["seed"][0])
+        # str() covers both the string format and legacy int64 files.
+        seed = int(str(data["seed"][0]))
         return RoutingResult(
             problem,
             paths,

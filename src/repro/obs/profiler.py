@@ -24,6 +24,7 @@ JSONL trace schema (one JSON object per line, see docs/PERFORMANCE.md):
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -76,6 +77,10 @@ class Profiler:
     _seq: int = field(default=0, repr=False)
     _sink: IO[str] | None = field(default=None, repr=False)
     _owns_sink: bool = field(default=False, repr=False)
+    # One profiler may be shared by several threads (sharded execution's
+    # merge path, threaded harnesses); dict read-modify-write is not atomic,
+    # so every mutation takes this lock.
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Recording
@@ -88,37 +93,57 @@ class Profiler:
             yield
         finally:
             dt = time.perf_counter() - t0
-            self.stages.setdefault(name, StageStats()).add(dt)
-            self._emit({"event": "stage", "name": name, "wall_s": dt})
+            with self._lock:
+                self.stages.setdefault(name, StageStats()).add(dt)
+                self._emit({"event": "stage", "name": name, "wall_s": dt})
 
     def count(self, name: str, delta: int = 1) -> None:
-        """Add ``delta`` to the named counter."""
-        self.counters[name] = self.counters.get(name, 0) + int(delta)
-        self._emit({"event": "counter", "name": name, "delta": int(delta)})
+        """Add ``delta`` to the named counter (thread-safe)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + int(delta)
+            self._emit({"event": "counter", "name": name, "delta": int(delta)})
 
     def merge(self, other: "Profiler") -> None:
         """Fold another profiler's stages and counters into this one."""
-        for name, st in other.stages.items():
-            mine = self.stages.setdefault(name, StageStats())
-            mine.calls += st.calls
-            mine.wall_s += st.wall_s
-        for name, v in other.counters.items():
-            self.counters[name] = self.counters.get(name, 0) + v
+        self.merge_snapshot(other.snapshot())
+
+    def merge_snapshot(self, snapshot: Mapping) -> None:
+        """Fold a :meth:`snapshot` dict into this profiler.
+
+        Snapshots are plain picklable dicts, so this is how per-worker
+        profiles cross the process boundary: each worker snapshots its own
+        profiler and the parent folds the dicts in shard order.
+        """
+        stages = snapshot.get("stages", {})
+        counters = snapshot.get("counters", {})
+        with self._lock:
+            for name, st in stages.items():
+                mine = self.stages.setdefault(name, StageStats())
+                mine.calls += int(st["calls"])
+                mine.wall_s += float(st["wall_s"])
+            for name, v in counters.items():
+                self.counters[name] = self.counters.get(name, 0) + int(v)
 
     def reset(self) -> None:
-        self.stages.clear()
-        self.counters.clear()
-        self._seq = 0
+        with self._lock:
+            self.stages.clear()
+            self.counters.clear()
+            self._seq = 0
 
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """Plain-dict view: ``{"stages": {...}, "counters": {...}}``."""
-        return {
-            "stages": {k: v.to_dict() for k, v in self.stages.items()},
-            "counters": dict(self.counters),
-        }
+        """Plain-dict view: ``{"stages": {...}, "counters": {...}}``.
+
+        Picklable and mergeable (:meth:`merge_snapshot`): the wire format
+        between worker processes and the parent profiler.
+        """
+        with self._lock:
+            return {
+                "stages": {k: v.to_dict() for k, v in self.stages.items()},
+                "counters": dict(self.counters),
+            }
 
     def stage_rows(self) -> list[dict]:
         """One row per stage (sorted by wall time, descending)."""

@@ -1,0 +1,102 @@
+""":func:`route_sharded` — the entry point behind ``Router.route(workers=)``.
+
+Splits the problem into contiguous shards, routes them on an executor
+(process pool or in-process), and merges per-shard results into the exact
+serial bytes.  The parent resolves the seed *once*
+(:func:`~repro.core.randomness.resolve_entropy`) and ships the same
+integer to every worker, so even ``seed=None`` runs are internally
+consistent across shard counts.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+
+from repro.core.randomness import resolve_entropy
+from repro.parallel.executor import make_executor, resolve_workers
+from repro.parallel.sharding import merge_shard_results, shard_bounds
+from repro.parallel.worker import ShardTask, prepare_router, route_shard
+from repro.routing.base import RoutingProblem, RoutingResult, Router
+
+__all__ = ["route_sharded"]
+
+
+def route_sharded(
+    router: Router,
+    problem: RoutingProblem,
+    seed: int | None = None,
+    *,
+    workers: int | None = None,
+    batch: bool | str = True,
+    packet_offset: int = 0,
+    executor=None,
+) -> RoutingResult:
+    """Route ``problem`` in shards; byte-identical to the serial engine.
+
+    Parameters mirror :meth:`Router.route`; ``executor`` optionally
+    injects a pre-built executor (anything with ordered ``map`` +
+    ``shutdown``) — callers routing many problems amortise pool start-up
+    by passing one in, and tests sweep shard counts on the
+    :class:`~repro.parallel.executor.SerialExecutor` without process cost.
+    The executor is only shut down when this call created it.
+    """
+    if not router.is_oblivious:
+        raise ValueError(
+            f"cannot shard non-oblivious router {router.name!r}: its paths "
+            "depend on each other; route with workers=1"
+        )
+    w = resolve_workers(workers)
+    entropy = resolve_entropy(seed)
+    n = problem.num_packets
+    if w == 1 or n == 0:
+        return router.route(
+            problem, entropy, batch=batch, workers=1, packet_offset=packet_offset
+        )
+
+    profiler = router.profiler
+    payload = prepare_router(router)
+    warm_keys = tuple(router.warmup_keys(problem))
+    bounds = shard_bounds(n, w)
+    tasks = [
+        ShardTask(
+            router=payload,
+            problem=problem.subproblem(range(a, b), name=problem.name),
+            entropy=entropy,
+            offset=packet_offset + a,
+            batch=batch,
+            warm_keys=warm_keys,
+            profile=profiler is not None,
+        )
+        for a, b in bounds
+    ]
+    own_executor = executor is None
+    pool = make_executor(w) if own_executor else executor
+    stage = profiler.stage("parallel.route") if profiler else nullcontext()
+    try:
+        with stage:
+            results = pool.map(route_shard, tasks)
+    finally:
+        if own_executor:
+            pool.shutdown()
+
+    # Fold worker telemetry back into the parent-side objects.
+    if profiler is not None:
+        profiler.count("parallel.shards", len(tasks))
+        profiler.count("parallel.workers", w)
+        for r in results:
+            if r.profile is not None:
+                profiler.merge_snapshot(r.profile)
+    for r in results:
+        if r.cache_stats is not None:
+            import repro.cache as cache
+
+            cache.absorb_worker_stats(r.cache_stats)
+        for attr, delta in r.counters.items():
+            setattr(router, attr, getattr(router, attr, 0) + delta)
+    if any(r.bits_log for r in results):
+        merged_bits: list[int] = []
+        for r in results:
+            merged_bits.extend(r.bits_log or [])
+        router.bits_log = merged_bits
+
+    return merge_shard_results(problem, router.name, entropy, results)

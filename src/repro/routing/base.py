@@ -23,6 +23,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.core.pathset import PathSet
+from repro.core.randomness import packet_streams, resolve_entropy
 from repro.mesh.mesh import Mesh
 from repro.metrics.congestion import congestion as _congestion
 from repro.metrics.congestion import edge_loads as _edge_loads
@@ -113,6 +114,10 @@ class RoutingResult:
     paths: PathSet
     router_name: str
     seed: int | None = None
+    #: when a router dropped packets (fault-aware routing), the indices of
+    #: the kept packets in the *original* problem; ``None`` = all kept.
+    #: Shard merging needs this to reassemble the global kept set.
+    kept_indices: np.ndarray | None = field(default=None, repr=False)
     _cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self):
@@ -234,22 +239,55 @@ class Router(ABC):
         """
         return None
 
+    def warmup_keys(self, problem: RoutingProblem) -> tuple:
+        """Picklable cache keys a shard worker should warm before routing.
+
+        The sharded executor (:mod:`repro.parallel`) ships these to each
+        worker process, which rebuilds the named decompositions once via
+        :func:`repro.cache.warm` instead of racing to build them mid-route.
+        Routers that consume no shared decomposition return ``()``.
+        """
+        return ()
+
     def route(
         self,
         problem: RoutingProblem,
         seed: int | None = None,
         *,
         batch: bool | str = True,
+        workers: int | None = 1,
+        packet_offset: int = 0,
     ) -> RoutingResult:
         """Route every packet of ``problem`` independently.
 
         ``batch=True`` uses the vectorised engine when :meth:`batch_spec`
         offers one; ``batch="loop"`` runs the engine's scalar reference
         assembly (byte-identical paths, for testing); ``batch=False``
-        forces the legacy per-packet spawned-stream loop.
+        forces the legacy per-packet stream loop.
+
+        ``workers`` selects sharded execution (:mod:`repro.parallel`):
+        ``1`` routes in-process, ``N > 1`` splits the problem over ``N``
+        worker processes, ``None``/``0`` uses one worker per CPU.  Every
+        per-packet stream is keyed by the packet's *global* index
+        (``packet_offset`` plus its row), so the merged result is
+        byte-identical to the serial one for every worker count.
+        ``packet_offset`` is that global base index — shard workers set it;
+        top-level callers leave it at 0.
         """
         if not isinstance(batch, bool) and batch != "loop":
             raise ValueError(f"unknown batch mode {batch!r}; use True, False or 'loop'")
+        if workers is not None and workers != 1:
+            from repro.parallel import route_sharded
+
+            return route_sharded(
+                self,
+                problem,
+                seed,
+                workers=workers,
+                batch=batch,
+                packet_offset=packet_offset,
+            )
+        entropy = resolve_entropy(seed)
         profiler = self.profiler
         if batch:
             with profiler.stage("engine.sequence") if profiler else _nullcontext():
@@ -257,10 +295,12 @@ class Router(ABC):
             if spec is not None:
                 from repro.routing.engine import run_batch
 
+                spec.packet_offset = packet_offset
                 mode = "loop" if batch == "loop" else "array"
-                return run_batch(self, spec, problem, seed, assemble=mode)
-        root = np.random.default_rng(seed)
-        streams = root.spawn(problem.num_packets)
+                return run_batch(self, spec, problem, entropy, assemble=mode)
+        streams = packet_streams(
+            entropy, packet_offset, packet_offset + problem.num_packets
+        )
         with profiler.stage("route.select_loop") if profiler else _nullcontext():
             paths = [
                 self.select_path(problem.mesh, int(s), int(t), stream)
@@ -268,7 +308,7 @@ class Router(ABC):
             ]
         if profiler is not None:
             profiler.count("route.packets", problem.num_packets)
-        return RoutingResult(problem, paths, self.name, seed)
+        return RoutingResult(problem, paths, self.name, entropy)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

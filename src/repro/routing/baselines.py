@@ -252,7 +252,16 @@ class GreedyMinCongestionRouter(Router):
 
         return cache.memo("greedy-csr", (mesh.sides, mesh.torus), build)
 
-    def route(self, problem: RoutingProblem, seed: int | None = None) -> RoutingResult:
+    def route(
+        self,
+        problem: RoutingProblem,
+        seed: int | None = None,
+        *,
+        workers: int | None = 1,
+    ) -> RoutingResult:
+        # Greedy routing is sequential by construction (each path sees the
+        # loads of every earlier one), so it cannot shard; ``workers`` is
+        # accepted for interface parity and always routes in-process.
         mesh = problem.mesh
         loads = np.zeros(mesh.num_edges, dtype=np.int64)
         rng = np.random.default_rng(seed)

@@ -11,13 +11,16 @@ path distribution as
 returns a :class:`BatchSpec` from :meth:`Router.batch_spec` and the engine
 does the rest with a handful of numpy passes over *all* packets at once:
 
-1. **draw** — one RNG call per stage: a single packet-major
-   ``rng.random((N, S_max, d))`` for the waypoint uniforms followed by one
-   call for the dimension-order uniforms.  Draw shapes depend only on the
-   mesh and router (padded to ``S_max``), never on other packets'
-   endpoints, so packet ``i``'s path is a function of ``(seed, i, s_i,
-   t_i)`` alone — the obliviousness discipline of Section 2 is preserved
-   structurally, exactly as with per-packet spawned streams.
+1. **draw** — vectorised per-packet streams: packet ``i`` (its *global*
+   index, ``spec.packet_offset`` plus its row) takes its uniforms from
+   ``SeedSequence(entropy, spawn_key=(i,))`` via
+   :func:`repro.core.randomness.packet_uniforms` — waypoint uniforms
+   first, dimension-order uniforms after, in one fixed mesh-determined
+   shape per packet (padded to ``S_max``).  Packet ``i``'s path is a
+   function of ``(seed, i, s_i, t_i)`` alone — the obliviousness
+   discipline of Section 2 is structural, and because the stream is keyed
+   by global index (never batch-local order) any shard split of the batch
+   reproduces the serial bytes exactly (see :mod:`repro.parallel`).
 2. **assemble** — signed per-dimension deltas between waypoints, ordered
    by ``argsort`` of the order uniforms, expanded to unit steps with one
    ``np.repeat``, and integrated per packet with a segmented cumulative
@@ -43,6 +46,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.pathset import PathSet
+from repro.core.randomness import packet_uniforms, resolve_entropy
 from repro.mesh.mesh import Mesh
 from repro.mesh.paths import concatenate_paths, dimension_order_path, remove_cycles
 from repro.routing.base import RoutingProblem, RoutingResult
@@ -69,6 +73,9 @@ class BatchSpec:
     dim_order: str  #: "random" (per subpath), "shared" (per packet), "fixed"
     fixed_order: tuple[int, ...] | None = None  #: ordering for "fixed"
     drop_cycles: bool = False
+    #: global index of row 0 — shard workers set this so their packets draw
+    #: the same streams the serial engine would have used
+    packet_offset: int = 0
 
     def __post_init__(self):
         if self.dim_order not in ("random", "shared", "fixed"):
@@ -92,22 +99,35 @@ class BatchSpec:
 
 
 def draw_plan(
-    rng: np.random.Generator, spec: BatchSpec
+    entropy: int, spec: BatchSpec
 ) -> tuple[np.ndarray, np.ndarray | None]:
-    """All random values for the whole batch: one RNG call per stage.
+    """All random values for the whole batch, one stream per global packet.
 
     Returns ``(U_way, U_ord)`` — waypoint uniforms ``(N, S, d)`` and
     dimension-order uniforms (``(N, L, d)`` for ``"random"``, ``(N, 1, d)``
-    for ``"shared"``, ``None`` for ``"fixed"``).  The draw order (waypoints
-    first, then orderings) is part of the canonical protocol; the loop
-    reference consumes the identical plan.
+    for ``"shared"``, ``None`` for ``"fixed"``).  Packet ``i`` consumes a
+    fixed number of uniforms — ``S*d`` waypoint values first, then its
+    ordering values — from its own global-index stream
+    (:func:`~repro.core.randomness.packet_uniforms`), so the plan row of a
+    packet is invariant under any re-batching of the problem.  The draw
+    order (waypoints first, then orderings) is part of the canonical
+    protocol; the loop reference consumes the identical plan.
     """
     N, S, d = spec.box_lo.shape
-    U_way = rng.random((N, S, d))
+    n_way = S * d
     if spec.dim_order == "random":
-        U_ord = rng.random((N, spec.num_subpaths, d))
+        n_ord = spec.num_subpaths * d
     elif spec.dim_order == "shared":
-        U_ord = rng.random((N, 1, d))
+        n_ord = d
+    else:
+        n_ord = 0
+    indices = spec.packet_offset + np.arange(N, dtype=np.int64)
+    U = packet_uniforms(entropy, indices, n_way + n_ord)
+    U_way = U[:, :n_way].reshape(N, S, d)
+    if spec.dim_order == "random":
+        U_ord = U[:, n_way:].reshape(N, spec.num_subpaths, d)
+    elif spec.dim_order == "shared":
+        U_ord = U[:, n_way:].reshape(N, 1, d)
     else:
         U_ord = None
     return U_way, U_ord
@@ -236,15 +256,20 @@ def run_batch(
     *,
     assemble: str = "array",
 ) -> RoutingResult:
-    """Route ``problem`` under ``spec``; the batched half of ``Router.route``."""
+    """Route ``problem`` under ``spec``; the batched half of ``Router.route``.
+
+    ``seed`` may be an int or ``None``; it is resolved to concrete entropy
+    (:func:`~repro.core.randomness.resolve_entropy`) and the resolved value
+    is stored on the result so every run — seeded or not — can be replayed.
+    """
     profiler = getattr(router, "profiler", None)
 
     def stage(name):
         return profiler.stage(name) if profiler is not None else nullcontext()
 
-    rng = np.random.default_rng(seed)
+    entropy = resolve_entropy(seed)
     with stage("engine.draw"):
-        U_way, U_ord = draw_plan(rng, spec)
+        U_way, U_ord = draw_plan(entropy, spec)
         W = build_waypoints(spec, U_way)
         orders = resolve_orders(spec, U_ord)
     if profiler is not None:
@@ -259,4 +284,4 @@ def run_batch(
             paths = _assemble_loop(spec, W, orders)
         else:
             raise ValueError(f"unknown assemble mode {assemble!r}")
-    return RoutingResult(problem, paths, router.name, seed)
+    return RoutingResult(problem, paths, router.name, entropy)

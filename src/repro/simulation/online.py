@@ -118,6 +118,7 @@ def simulate_online(
     faults=None,
     max_retries: int = 3,
     backoff_cap: int = 5,
+    workers: int | None = 1,
 ) -> OnlineStats:
     """Inject Bernoulli(rate) packets per node per step and schedule them.
 
@@ -134,20 +135,58 @@ def simulate_online(
     policy:
         ``"fifo"`` (oldest packet wins an edge) or ``"random"``.
     profiler:
-        Optional :class:`repro.obs.Profiler`: times the ``online.inject``
-        (path selection) and ``online.advance`` (contention/scheduling)
-        stages and counts ``online.injected`` / ``online.delivered``
-        plus the ``faults.*`` counters on fault-injected runs.
+        Optional :class:`repro.obs.Profiler`: times the ``online.arrivals``
+        (arrival enumeration), ``online.inject`` (path selection) and
+        ``online.advance`` (contention/scheduling) stages and counts
+        ``online.injected`` / ``online.delivered`` plus the ``faults.*``
+        counters on fault-injected runs.
     faults:
         Optional :class:`~repro.faults.model.FaultModel`.  Selection goes
         through a fault-aware wrapper and blocked packets wait (with
         exponential backoff, capped at ``2 ** backoff_cap`` steps) then
         reroute after ``max_retries`` blocked attempts.
+    workers:
+        Shard the path-selection phase over this many worker processes
+        (``None``/``0`` = one per CPU).  Statistics are identical for
+        every worker count.
 
-    The router must be oblivious: paths are selected at injection time with
-    a per-packet spawned stream, independent of network state.
+    The run is organised in three phases so selection can shard:
+
+    1. **arrivals** (serial) — enumerate every injected packet ``(src,
+       dst, birth step)`` from a dedicated arrival stream;
+    2. **selection** (sharded) — each packet's path is chosen obliviously
+       from its own stream, keyed by *global injection index*
+       (:mod:`repro.core.randomness`); under faults the wrapper evaluates
+       the mask at the packet's birth step.  Oblivious selection never
+       sees network state, so this phase is order-free by construction —
+       the very property the paper attributes to oblivious algorithms in
+       online settings (Section 1);
+    3. **advance** (serial) — the synchronous scheduler replays injections
+       by birth step and moves packets; scheduler tie-breaks and
+       mid-flight reroutes draw from their own streams.
+
+    The router must be oblivious: paths depend only on ``(seed, packet,
+    s, t)``, independent of network state.
     """
+    from repro.core.randomness import (
+        SIM_ARRIVALS,
+        SIM_REROUTE,
+        SIM_SCHED,
+        packet_seed_sequence,
+        packet_stream,
+        resolve_entropy,
+    )
     from repro.faults.router import FaultAwareRouter, FaultRoutingError
+    from repro.parallel.executor import make_executor, resolve_workers
+    from repro.routing.base import RoutingProblem
+    from repro.parallel.sharding import shard_bounds
+    from repro.parallel.worker import (
+        PKT_DROP,
+        PKT_OK,
+        OnlinePathTask,
+        prepare_router,
+        select_online_paths,
+    )
 
     if not router.is_oblivious:
         raise ValueError("online simulation requires an oblivious router")
@@ -168,108 +207,151 @@ def simulate_online(
             wrapper = FaultAwareRouter(router, faults)
         wrapper.profiler = profiler
         select = wrapper.select_path
+        selecting_router: Router = wrapper
         endpoints = mesh.edge_endpoints
     else:
         select = router.select_path
+        selecting_router = router
 
-    rng = np.random.default_rng(seed)
-    path_rng = np.random.default_rng(None if seed is None else seed + 1)
+    entropy = resolve_entropy(seed)
+    arrival_rng = np.random.default_rng(
+        packet_seed_sequence(entropy, SIM_ARRIVALS)
+    )
+    sched_rng = np.random.default_rng(packet_seed_sequence(entropy, SIM_SCHED))
 
-    # Packet state in flat CSR-style arrays: every packet's edge ids live in
-    # one growing stream (`eids`), sliced per packet by `starts` / `nedges`.
-    # Each step gathers the active packets' next edges with one fancy index
-    # — no per-packet Python work in the advance loop.
-    eids = np.empty(1024, dtype=np.int64)
-    eids_used = 0
-    starts: list[int] = []
-    nedges: list[int] = []
-    born: list[int] = []
-    dist: list[int] = []
-    starts_a = np.empty(0, dtype=np.int64)  # numpy mirrors, rebuilt on injection
-    nedges_a = np.empty(0, dtype=np.int64)
-    born_a = np.empty(0, dtype=np.int64)
-    dist_a = np.empty(0, dtype=np.int64)
-    pos = np.empty(0, dtype=np.int64)
+    # ------------------------------------------------------------------
+    # Phase 1 (serial): enumerate arrivals — (src, dst, birth step) per
+    # injected packet, in injection order.
+    # ------------------------------------------------------------------
+    with stage("online.arrivals"):
+        src_l: list[int] = []
+        dst_l: list[int] = []
+        born_l: list[int] = []
+        for birth in range(1, steps + 1):
+            arrivals = np.nonzero(arrival_rng.random(mesh.n) < rate)[0]
+            for src in arrivals.tolist():
+                src_l.append(int(src))
+                dst_l.append(dest_fn(mesh, int(src), arrival_rng))
+                born_l.append(birth)
+    pkt_src = np.asarray(src_l, dtype=np.int64)
+    pkt_dst = np.asarray(dst_l, dtype=np.int64)
+    pkt_born = np.asarray(born_l, dtype=np.int64)
+    total_packets = pkt_src.size
+
+    # ------------------------------------------------------------------
+    # Phase 2 (sharded): oblivious path selection, one stream per global
+    # injection index.
+    # ------------------------------------------------------------------
+    w = resolve_workers(workers)
+    with stage("online.inject"):
+        payload = prepare_router(selecting_router)
+        warm_keys = (
+            tuple(
+                selecting_router.warmup_keys(RoutingProblem(mesh, pkt_src, pkt_dst))
+            )
+            if total_packets
+            else ()
+        )
+        tasks = [
+            OnlinePathTask(
+                router=payload,
+                mesh=mesh,
+                sources=pkt_src[a:b],
+                dests=pkt_dst[a:b],
+                born=pkt_born[a:b],
+                entropy=entropy,
+                offset=a,
+                warm_keys=warm_keys,
+                profile=profiler is not None,
+            )
+            for a, b in shard_bounds(total_packets, w)
+        ]
+        pool = make_executor(w if len(tasks) > 1 else 1)
+        try:
+            shard_results = pool.map(select_online_paths, tasks)
+        finally:
+            pool.shutdown()
+    status = (
+        np.concatenate([r.status for r in shard_results])
+        if shard_results
+        else np.empty(0, dtype=np.int8)
+    )
+    for r in shard_results:
+        if r.profile is not None and profiler is not None:
+            profiler.merge_snapshot(r.profile)
+        if r.cache_stats is not None:
+            import repro.cache as _cache
+
+            _cache.absorb_worker_stats(r.cache_stats)
+        for attr, delta in r.counters.items():
+            setattr(
+                selecting_router,
+                attr,
+                getattr(selecting_router, attr, 0) + delta,
+            )
+
+    dropped_n = int(np.count_nonzero(status == PKT_DROP))
+    injected = int(np.count_nonzero(status == PKT_OK)) + dropped_n
+    if dropped_n and profiler is not None:
+        profiler.count("faults.dropped", dropped_n)
+
+    # Scheduled packets (PKT_OK only), packet-major CSR of edge ids.  The
+    # buffer stays growable: mid-flight reroutes append fresh suffixes.
+    ok = status == PKT_OK
+    nedges_a = (
+        np.concatenate([r.nedges for r in shard_results])
+        if shard_results
+        else np.empty(0, dtype=np.int64)
+    )
+    eids_used = int(nedges_a.sum())
+    eids = np.empty(max(eids_used, 1024), dtype=np.int64)
+    filled = 0
+    for r in shard_results:
+        eids[filled : filled + r.eids.size] = r.eids
+        filled += int(r.eids.size)
+    starts_a = np.zeros(nedges_a.size, dtype=np.int64)
+    np.cumsum(nedges_a[:-1], out=starts_a[1:])
+    born_a = pkt_born[ok]
+    dist_a = (
+        np.asarray(mesh.distance(pkt_src[ok], pkt_dst[ok]), dtype=np.int64).reshape(-1)
+        if born_a.size
+        else np.empty(0, dtype=np.int64)
+    )
+    num_ok = born_a.size
+    pos = np.zeros(num_ok, dtype=np.int64)
+    if faulty:
+        cur_a = pkt_src[ok].copy()
+        dests_a = pkt_dst[ok].copy()
+        retries = np.zeros(num_ok, dtype=np.int64)
+        next_try = np.zeros(num_ok, dtype=np.int64)
+        reroute_idx = 0  # global mid-flight reroute counter (its own streams)
+
     active = np.empty(0, dtype=np.int64)  # indices into the packet arrays
+    next_birth = 0  # packets [0, next_birth) have been activated
     done_latency: list[int] = []
     done_distance: list[int] = []
-    if faulty:
-        cur: list[int] = []  # current node per packet (for mid-flight reroute)
-        dests: list[int] = []
-        cur_a = np.empty(0, dtype=np.int64)
-        dests_a = np.empty(0, dtype=np.int64)
-        retries = np.empty(0, dtype=np.int64)
-        next_try = np.empty(0, dtype=np.int64)
 
     max_queue = 0
-    injected = 0
-    dropped_n = reroutes = blocked_steps = 0
+    reroutes = blocked_steps = 0
     if drain_steps is None:
         drain_steps = 8 * steps + 200
     total_steps = steps + drain_steps
     step = 0
     delivered_during_injection = 0
+
+    # ------------------------------------------------------------------
+    # Phase 3 (serial): synchronous advance — activate packets at their
+    # birth step, resolve contention, move winners one edge per step.
+    # ------------------------------------------------------------------
     for step in range(1, total_steps + 1):
         injecting = step <= steps
-        if injecting:
-            with stage("online.inject"):
-                if faulty:
-                    wrapper.at_step = step
-                arrivals = np.nonzero(rng.random(mesh.n) < rate)[0]
-                first_new = len(starts)
-                for src in arrivals.tolist():
-                    dst = dest_fn(mesh, int(src), rng)
-                    pkt_rng = np.random.default_rng(path_rng.integers(2**63))
-                    try:
-                        path = select(mesh, int(src), dst, pkt_rng)
-                    except FaultRoutingError:
-                        injected += 1
-                        dropped_n += 1
-                        if profiler is not None:
-                            profiler.count("faults.dropped", 1)
-                        continue
-                    if len(path) < 2:
-                        continue
-                    seq = mesh.edge_ids(path[:-1], path[1:])
-                    if eids_used + seq.size > eids.size:
-                        grown = np.empty(
-                            max(eids_used + seq.size, 2 * eids.size), dtype=np.int64
-                        )
-                        grown[:eids_used] = eids[:eids_used]
-                        eids = grown
-                    eids[eids_used : eids_used + seq.size] = seq
-                    starts.append(eids_used)
-                    nedges.append(seq.size)
-                    born.append(step)
-                    dist.append(int(mesh.distance(int(src), dst)))
-                    if faulty:
-                        cur.append(int(src))
-                        dests.append(dst)
-                    eids_used += seq.size
-                    injected += 1
-                if len(starts) > first_new:
-                    starts_a = np.asarray(starts, dtype=np.int64)
-                    nedges_a = np.asarray(nedges, dtype=np.int64)
-                    born_a = np.asarray(born, dtype=np.int64)
-                    dist_a = np.asarray(dist, dtype=np.int64)
-                    new = len(starts) - first_new
-                    pos = np.concatenate((pos, np.zeros(new, dtype=np.int64)))
-                    active = np.concatenate(
-                        (active, np.arange(first_new, len(starts), dtype=np.int64))
-                    )
-                    if faulty:
-                        # cur_a mutates as packets move: append the new
-                        # packets rather than rebuilding from the birth list
-                        cur_a = np.concatenate(
-                            (cur_a, np.asarray(cur[first_new:], dtype=np.int64))
-                        )
-                        dests_a = np.asarray(dests, dtype=np.int64)
-                        retries = np.concatenate(
-                            (retries, np.zeros(new, dtype=np.int64))
-                        )
-                        next_try = np.concatenate(
-                            (next_try, np.zeros(new, dtype=np.int64))
-                        )
+        if injecting and next_birth < num_ok:
+            hi = int(np.searchsorted(born_a, step, side="right"))
+            if hi > next_birth:
+                active = np.concatenate(
+                    (active, np.arange(next_birth, hi, dtype=np.int64))
+                )
+                next_birth = hi
         if active.size == 0:
             if not injecting:
                 break
@@ -295,7 +377,13 @@ def simulate_online(
                     drop: list[int] = []
                     for i in bidx[retries[bidx] >= max_retries].tolist():
                         # re-select from the current node with fresh bits
-                        pkt_rng = np.random.default_rng(path_rng.integers(2**63))
+                        # from the next reroute stream — keyed by a global
+                        # reroute counter, separate from the per-packet
+                        # selection streams
+                        pkt_rng = packet_stream(
+                            entropy, reroute_idx, prefix=(SIM_REROUTE,)
+                        )
+                        reroute_idx += 1
                         try:
                             new_path = select(
                                 mesh, int(cur_a[i]), int(dests_a[i]), pkt_rng
@@ -315,13 +403,9 @@ def simulate_online(
                             grown[:eids_used] = eids[:eids_used]
                             eids = grown
                         eids[eids_used : eids_used + seq.size] = seq
-                        # repoint packet i's slice at the fresh suffix; the
-                        # list mirrors must stay in sync because injection
-                        # rebuilds the arrays from them
-                        starts[i] = eids_used - int(pos[i])
-                        nedges[i] = int(pos[i]) + seq.size
-                        starts_a[i] = starts[i]
-                        nedges_a[i] = nedges[i]
+                        # repoint packet i's slice at the fresh suffix
+                        starts_a[i] = eids_used - int(pos[i])
+                        nedges_a[i] = int(pos[i]) + seq.size
                         eids_used += seq.size
                         retries[i] = 0
                         next_try[i] = step + 1
@@ -348,7 +432,7 @@ def simulate_online(
             if policy == "fifo":
                 prio = born_a[sched]
             else:
-                prio = rng.permutation(sched.size)
+                prio = sched_rng.permutation(sched.size)
             order = np.lexsort((prio, edges))
             sorted_edges = edges[order]
             first = np.ones(sorted_edges.size, dtype=bool)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Regenerate the golden path-hash matrix (``path_hashes.json``).
+
+Run after any *intentional* change to path selection or seed derivation:
+
+    PYTHONPATH=src python tests/golden/regenerate_goldens.py
+
+Each entry is the sha256 over the merged CSR bytes (nodes then offsets)
+of one ``router x mesh x seed`` cell, routed serially on the transpose
+workload.  ``tests/test_golden.py`` recomputes every cell and compares:
+a mismatch means the bytes a given seed produces have changed — which is
+an API break for anyone replaying stored seeds — and must be a deliberate,
+documented decision, never an accident.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+MESHES = ((8, 8), (16, 16))
+SEEDS = (0, 1, 2)
+
+
+def build_matrix() -> dict[str, str]:
+    from repro.mesh.mesh import Mesh
+    from repro.routing.registry import available_routers, make_router
+    from repro.workloads.permutations import transpose
+
+    matrix: dict[str, str] = {}
+    for name in available_routers():
+        router = make_router(name)
+        if not router.is_oblivious:
+            continue  # greedy baselines re-order work; no per-seed contract
+        for sides in MESHES:
+            problem = transpose(Mesh(sides))
+            for seed in SEEDS:
+                result = make_router(name).route(problem, seed=seed)
+                h = hashlib.sha256()
+                h.update(result.paths.nodes.tobytes())
+                h.update(result.paths.offsets.tobytes())
+                key = f"{name}|{'x'.join(map(str, sides))}|seed={seed}"
+                matrix[key] = h.hexdigest()
+    return matrix
+
+
+def main() -> None:
+    out = Path(__file__).parent / "path_hashes.json"
+    matrix = build_matrix()
+    out.write_text(json.dumps(matrix, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(matrix)} golden hashes to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Differential seed-matrix test against the committed golden hashes.
+
+Every cell of ``tests/golden/path_hashes.json`` — oblivious registry
+router x mesh x seed, transpose workload — is recomputed and compared.
+The goldens pin the *byte-level* seed contract: a stored seed must keep
+replaying the exact same paths across refactors, because results on disk
+(``repro.io``) record only the seed, not the paths.
+
+The loader checks are failing-by-design: a missing or truncated golden
+file fails loudly instead of skipping, so the matrix can never silently
+stop guarding anything.  After an intentional derivation change, rerun
+``tests/golden/regenerate_goldens.py`` and commit the diff.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from tests.golden.regenerate_goldens import MESHES, SEEDS
+from repro.mesh.mesh import Mesh
+from repro.routing.registry import available_routers, make_router
+from repro.workloads.permutations import transpose
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "path_hashes.json"
+
+
+def load_goldens() -> dict[str, str]:
+    # Deliberately no skip / xfail: if the file vanished or won't parse,
+    # every test in this module must fail, not silently pass as "skipped".
+    assert GOLDEN_PATH.exists(), (
+        f"golden file missing: {GOLDEN_PATH} — run tests/golden/regenerate_goldens.py"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+OBLIVIOUS = [n for n in available_routers() if make_router(n).is_oblivious]
+
+
+def test_goldens_are_loaded_and_cover_the_matrix():
+    goldens = load_goldens()
+    expected = len(OBLIVIOUS) * len(MESHES) * len(SEEDS)
+    assert len(goldens) == expected, (
+        f"golden matrix has {len(goldens)} entries, expected {expected} — "
+        "regenerate after adding a router/mesh/seed"
+    )
+    for value in goldens.values():
+        assert len(value) == 64 and int(value, 16) >= 0  # sha256 hex
+
+
+@pytest.mark.parametrize("sides", MESHES, ids=lambda s: "x".join(map(str, s)))
+@pytest.mark.parametrize("name", OBLIVIOUS)
+def test_paths_match_goldens(name, sides):
+    goldens = load_goldens()
+    problem = transpose(Mesh(sides))
+    for seed in SEEDS:
+        result = make_router(name).route(problem, seed=seed)
+        h = hashlib.sha256()
+        h.update(result.paths.nodes.tobytes())
+        h.update(result.paths.offsets.tobytes())
+        key = f"{name}|{'x'.join(map(str, sides))}|seed={seed}"
+        assert key in goldens, f"no golden for {key} — regenerate the matrix"
+        assert h.hexdigest() == goldens[key], (
+            f"{key}: routed bytes diverged from the committed golden — "
+            "either a regression or an intentional derivation change "
+            "(then regenerate_goldens.py and commit)"
+        )
+
+
+def test_sharded_route_matches_goldens_too():
+    """The goldens bind the parallel engine as well: workers=3 must land on
+    the same committed bytes."""
+    goldens = load_goldens()
+    problem = transpose(Mesh((8, 8)))
+    result = make_router("hierarchical").route(problem, seed=0, workers=3)
+    h = hashlib.sha256()
+    h.update(result.paths.nodes.tobytes())
+    h.update(result.paths.offsets.tobytes())
+    assert h.hexdigest() == goldens["hierarchical|8x8|seed=0"]

@@ -45,10 +45,20 @@ class TestResultRoundtrip:
         assert load_result(file).problem.mesh.torus
 
     def test_none_seed_roundtrip(self, tmp_path):
+        # route(seed=None) resolves fresh entropy and records it on the
+        # result (a 128-bit int), so the run is replayable; a result whose
+        # seed really is None still round-trips as None.
         mesh = Mesh((4, 4))
         result = HierarchicalRouter().route(random_pairs(mesh, 3, seed=3), seed=None)
+        assert result.seed is not None
         file = tmp_path / "n.npz"
         save_result(file, result)
+        assert load_result(file).seed == result.seed
+
+        from repro.routing.base import RoutingResult
+
+        bare = RoutingResult(result.problem, result.paths, "x", None)
+        save_result(file, bare)
         assert load_result(file).seed is None
 
     def test_trivial_paths_roundtrip(self, tmp_path):

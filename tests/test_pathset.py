@@ -1,9 +1,12 @@
 """PathSet conformance suite: CSR construction, the ``Sequence`` protocol,
-derived views, and metric equivalence against the pre-refactor
-list-of-arrays implementations."""
+derived views, metric equivalence against the pre-refactor list-of-arrays
+implementations, and a hypothesis fuzz layer over construction
+round-trips and shard concatenation."""
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.path_selection import HierarchicalRouter
 from repro.core.pathset import PathSet
@@ -289,3 +292,97 @@ class TestMetricEquivalence:
         )
         assert dilation(paths) == 2
         assert stretch(mesh, np.asarray([0, 2]), np.asarray([2, 1]), paths) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis fuzz layer: arbitrary path lists (empty collections, empty
+# paths, single-node paths, duplicated node ids and duplicated whole paths
+# all arise naturally from the strategy) round-trip through both
+# constructors, and concatenation of any split equals the whole.
+# ---------------------------------------------------------------------------
+
+#: lists of paths over a small id space — duplicates of both kinds are common
+path_lists = st.lists(
+    st.lists(st.integers(0, 30), min_size=0, max_size=8),
+    min_size=0,
+    max_size=12,
+)
+
+
+class TestFuzzRoundTrips:
+    @given(path_lists)
+    def test_from_paths_round_trip(self, raw):
+        paths = [np.asarray(p, dtype=np.int64) for p in raw]
+        ps = PathSet.from_paths(paths)
+        assert len(ps) == len(raw)
+        assert ps.total_nodes == sum(len(p) for p in raw)
+        for got, want in zip(ps.to_list(), raw):
+            assert got.tolist() == want
+
+    @given(path_lists)
+    def test_from_arrays_round_trip(self, raw):
+        nodes = np.asarray(
+            [x for p in raw for x in p], dtype=np.int64
+        )
+        offsets = np.cumsum([0] + [len(p) for p in raw]).astype(np.int64)
+        ps = PathSet.from_arrays(nodes, offsets)
+        assert [p.tolist() for p in ps] == raw
+
+    @given(path_lists)
+    def test_constructors_agree(self, raw):
+        a = PathSet.from_paths([np.asarray(p, dtype=np.int64) for p in raw])
+        nodes = np.asarray([x for p in raw for x in p], dtype=np.int64)
+        offsets = np.cumsum([0] + [len(p) for p in raw]).astype(np.int64)
+        b = PathSet.from_arrays(nodes, offsets)
+        assert a.nodes.tolist() == b.nodes.tolist()
+        assert a.offsets.tolist() == b.offsets.tolist()
+
+    @given(path_lists)
+    def test_lengths_and_edge_counts(self, raw):
+        ps = PathSet.from_paths([np.asarray(p, dtype=np.int64) for p in raw])
+        assert ps.lengths.tolist() == [max(len(p) - 1, 0) for p in raw]
+        assert ps.total_edges == sum(max(len(p) - 1, 0) for p in raw)
+
+    def test_single_node_and_duplicate_paths_explicit(self):
+        raw = [[3], [], [5, 5, 5], [3], [0, 1], [0, 1]]
+        ps = PathSet.from_paths([np.asarray(p, dtype=np.int64) for p in raw])
+        assert [p.tolist() for p in ps] == raw
+        assert ps.lengths.tolist() == [0, 0, 2, 0, 1, 1]
+
+
+class TestFuzzConcatenate:
+    @given(path_lists, st.integers(0, 12))
+    def test_split_then_concatenate_is_identity(self, raw, cut):
+        paths = [np.asarray(p, dtype=np.int64) for p in raw]
+        whole = PathSet.from_paths(paths)
+        cut = min(cut, len(paths))
+        parts = [PathSet.from_paths(paths[:cut]), PathSet.from_paths(paths[cut:])]
+        merged = PathSet.concatenate(parts)
+        assert merged.nodes.tobytes() == whole.nodes.tobytes()
+        assert merged.offsets.tobytes() == whole.offsets.tobytes()
+
+    @given(path_lists, st.integers(2, 5))
+    def test_many_way_split(self, raw, k):
+        paths = [np.asarray(p, dtype=np.int64) for p in raw]
+        whole = PathSet.from_paths(paths)
+        bounds = np.linspace(0, len(paths), k + 1).astype(int)
+        parts = [
+            PathSet.from_paths(paths[a:b]) for a, b in zip(bounds[:-1], bounds[1:])
+        ]
+        merged = PathSet.concatenate(parts)
+        assert merged == whole
+        assert merged.offsets[0] == 0
+
+    def test_concatenate_empty_list(self):
+        assert len(PathSet.concatenate([])) == 0
+
+    def test_concatenate_single_part_passthrough(self):
+        ps = PathSet.from_paths([np.asarray([0, 1])])
+        assert PathSet.concatenate([ps]) is ps
+
+    def test_concatenate_result_frozen(self):
+        merged = PathSet.concatenate(
+            [PathSet.from_paths([np.asarray([0, 1])]) for _ in range(2)]
+        )
+        with pytest.raises(ValueError):
+            merged.nodes[0] = 9

@@ -199,13 +199,22 @@ class TestSchemeSeparatingPairs:
 
         mesh = Mesh((32, 32, 32))
         prob = scheme_separating_pairs(mesh)
-        half = HierarchicalRouter(scheme="paper2d", variant="general").route(
-            prob, seed=0
+        # Average over a few seeds: the separation is distributional, and a
+        # single unlucky draw (6 packets) can land under the margin.
+        seeds = range(4)
+        half = sum(
+            HierarchicalRouter(scheme="paper2d", variant="general")
+            .route(prob, seed=s)
+            .stretch
+            for s in seeds
         )
-        multi = HierarchicalRouter(scheme="multishift", variant="general").route(
-            prob, seed=0
+        multi = sum(
+            HierarchicalRouter(scheme="multishift", variant="general")
+            .route(prob, seed=s)
+            .stretch
+            for s in seeds
         )
-        assert half.stretch > 1.5 * multi.stretch
+        assert half > 1.5 * multi
 
     def test_requirements(self):
         from repro.mesh.mesh import Mesh
