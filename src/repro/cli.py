@@ -307,6 +307,74 @@ def _cmd_bits(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    import json as _json
+
+    from repro.obs import Profiler
+    from repro.verify.cases import generate_cases
+    from repro.verify.runner import check_corpus, load_corpus_case, run_case, run_suite
+
+    profiler = Profiler()
+
+    def log(msg: str) -> None:
+        if not args.json:
+            print(msg, file=sys.stderr)
+
+    if args.replay is not None:
+        case = load_corpus_case(args.replay)
+        outcome = run_case(case, profiler, real_pool=args.deep)
+        payload = outcome.to_dict()
+        if args.json:
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            status = "OK" if outcome.ok else "FAIL"
+            print(f"{status} {case.label()} (case {case.case_id})")
+            for msg in outcome.mismatches:
+                print(f"  mismatch: {msg}")
+            for name, msgs in outcome.violations.items():
+                for msg in msgs:
+                    print(f"  {name}: {msg}")
+            for msg in outcome.certificate:
+                print(f"  certificate: {msg}")
+        return 0 if outcome.ok else 1
+
+    if args.check_corpus:
+        total, open_cases = check_corpus(args.corpus)
+        if open_cases:
+            print(
+                f"replay corpus has {len(open_cases)} unresolved case(s): "
+                + ", ".join(open_cases)
+            )
+            return 1
+        print(f"replay corpus clean: {total} case(s), all resolved")
+        return 0
+
+    count = args.cases if args.cases is not None else (1000 if args.deep else 220)
+    cases = generate_cases(count, seed=args.seed)
+    report = run_suite(
+        cases,
+        mode="deep" if args.deep else "smoke",
+        profiler=profiler,
+        real_pool=args.deep,
+        corpus_dir=args.corpus if args.record else None,
+        log=log,
+    )
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        d = report.to_dict()
+        print(
+            f"verify [{d['mode']}]: {d['cases']} cases, "
+            f"{d['failures']} failures ({d['mismatches']} mismatches, "
+            f"{d['violations']} invariant violations, "
+            f"{d['certificate_failures']} certificate failures), "
+            f"{d['invariants_checked']} invariant checks in {d['duration_s']:.1f}s"
+        )
+        for fail in report.failing:
+            print(f"  FAIL {fail['label']} -> corpus case {fail['case_id']}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -384,6 +452,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser(
+        "verify",
+        help="differential conformance gate: fast paths vs reference oracles",
+    )
+    tier = p.add_mutually_exclusive_group()
+    tier.add_argument("--smoke", action="store_true",
+                      help="the CI tier: 220 cases, in-process shard checks (default)")
+    tier.add_argument("--deep", action="store_true",
+                      help="the nightly tier: more cases, real worker pools")
+    p.add_argument("--cases", type=int, default=None, metavar="N",
+                   help="override the case count of the selected tier")
+    p.add_argument("--seed", type=int, default=0, help="case-generator seed")
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.add_argument("--replay", default=None, metavar="PATH",
+                   help="re-run one corpus case file and report, nothing else")
+    p.add_argument("--corpus", default="tests/corpus", metavar="DIR",
+                   help="replay-corpus directory (default: tests/corpus)")
+    p.add_argument("--record", action="store_true",
+                   help="persist shrunk failing cases into the corpus")
+    p.add_argument("--check-corpus", action="store_true",
+                   help="fail if the corpus holds unresolved cases (CI gate)")
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("online", help="dynamic arrivals: latency vs load")
     p.add_argument("--mesh", default="16x16")

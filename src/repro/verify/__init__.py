@@ -1,0 +1,87 @@
+"""Differential verification: oracles, invariants, and the conformance gate.
+
+Four PRs of optimisation (batched engine, columnar :class:`PathSet`,
+fault-aware rerouting, sharded multiprocess routing) all rest on
+"byte-identical to the reference" claims.  This package makes those claims
+*standing* instead of spot-checked:
+
+* :mod:`repro.verify.oracles` — deliberately slow, obviously-correct
+  scalar reimplementations of every hot path (engine-protocol routing,
+  metrics array passes, fault masking, BFS detours), built on numpy's
+  public ``SeedSequence`` rather than the repo's vectorised replica;
+* :mod:`repro.verify.invariants` — a registry of named, machine-checkable
+  predicates over a :class:`~repro.routing.base.RoutingResult` (walk
+  validity, bitonic envelopes, stretch ceilings, seed determinism and
+  per-packet obliviousness, CSR well-formedness, online conservation);
+* :mod:`repro.verify.certificate` — statistical congestion certificates
+  with explicit Chernoff-style tolerances instead of bare asserts;
+* :mod:`repro.verify.cases` / :mod:`repro.verify.runner` /
+  :mod:`repro.verify.shrink` — randomized case generation, the
+  differential fast-path-vs-oracle runner, shrinking, and the replayable
+  failure corpus under ``tests/corpus/``.
+
+Entry point: ``python -m repro verify [--smoke|--deep] [--json]`` (see
+``docs/VERIFICATION.md``).
+"""
+
+from repro.verify.cases import Case, build_case, generate_cases, supported
+from repro.verify.certificate import congestion_ceiling, congestion_certificate
+from repro.verify.invariants import (
+    REGISTRY,
+    Invariant,
+    VerifyContext,
+    check_invariants,
+    invariant_table,
+    register,
+)
+from repro.verify.oracles import (
+    oracle_dilation,
+    oracle_edge_loads,
+    oracle_fault_mask,
+    oracle_node_loads,
+    oracle_route,
+    oracle_stretches,
+    replay_hash,
+    result_hash,
+)
+from repro.verify.runner import (
+    CaseOutcome,
+    VerifyReport,
+    check_corpus,
+    load_corpus_case,
+    run_case,
+    run_suite,
+    save_corpus_case,
+)
+from repro.verify.shrink import shrink_case
+
+__all__ = [
+    "Case",
+    "CaseOutcome",
+    "Invariant",
+    "REGISTRY",
+    "VerifyContext",
+    "VerifyReport",
+    "build_case",
+    "check_corpus",
+    "check_invariants",
+    "congestion_ceiling",
+    "congestion_certificate",
+    "generate_cases",
+    "invariant_table",
+    "load_corpus_case",
+    "oracle_dilation",
+    "oracle_edge_loads",
+    "oracle_fault_mask",
+    "oracle_node_loads",
+    "oracle_route",
+    "oracle_stretches",
+    "register",
+    "replay_hash",
+    "result_hash",
+    "run_case",
+    "run_suite",
+    "save_corpus_case",
+    "shrink_case",
+    "supported",
+]

@@ -1,0 +1,264 @@
+"""Randomized case generation for the differential runner.
+
+A :class:`Case` is a fully serialisable description of one verification
+scenario: mesh shape, router, workload, seed, worker count, fault model,
+and (optionally) an online-simulation configuration.  Cases round-trip
+through JSON so any failure the runner ever finds can be committed to
+``tests/corpus/`` and replayed bit-exactly with ``repro verify --replay``.
+
+:func:`generate_cases` produces a deterministic mix:
+
+* a **grid core** covering every supported router on the three mesh
+  families (square, rectangular, torus) crossed with worker counts
+  {1, 4} and {no-fault, static-fault} — the acceptance matrix;
+* a **random fill** sampling the wider ladder (3-D meshes, odd sides,
+  extra workloads, block/dynamic faults, online runs) until the
+  requested count is reached.
+
+Sampling is rejection-based: a drawn combination that the codebase
+legitimately rejects (e.g. the hierarchical router on a non-power-of-two
+mesh, transpose on a rectangle) is skipped, which keeps the stream
+deterministic because validity never depends on randomness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+from repro.routing.registry import make_router
+
+__all__ = ["Case", "build_case", "generate_cases", "supported", "GRID_MESHES"]
+
+#: the acceptance-matrix mesh families: (sides, torus, label)
+GRID_MESHES = (
+    ((8, 8), False, "square"),
+    ((8, 4), False, "rect"),
+    ((8, 8), True, "torus"),
+)
+
+#: wider shapes for the random fill
+FILL_MESHES = (
+    ((4, 4), False),
+    ((8, 8), False),
+    ((8, 4), False),
+    ((6, 5), False),
+    ((4, 4, 4), False),
+    ((8, 8), True),
+    ((6, 6), True),
+)
+
+ROUTERS = (
+    "hierarchical",
+    "hierarchical-general",
+    "access-tree",
+    "dim-order",
+    "random-dim-order",
+    "valiant",
+    "shortest-path",
+    "greedy-offline",
+    "rect-hierarchical",
+)
+
+WORKLOADS = (
+    "random-pairs",
+    "transpose",
+    "bit-reversal",
+    "bit-complement",
+    "tornado",
+    "random-permutation",
+)
+
+
+@dataclass(frozen=True)
+class Case:
+    """One verification scenario; JSON-serialisable and hashable."""
+
+    sides: tuple[int, ...]
+    torus: bool
+    router: str
+    workload: str
+    seed: int
+    workers: int = 1
+    packets: int = 32  #: only honoured by the random-pairs workload
+    fault_mode: str = "none"  #: "none" | "static" | "blocks" | "dynamic"
+    fault_p: float = 0.0
+    fault_blocks: int = 0
+    fault_seed: int = 0
+    kind: str = "route"  #: "route" | "online"
+    rate: float = 0.3  #: online injection rate
+    steps: int = 40  #: online injection steps
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["sides"] = list(self.sides)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Case":
+        data = dict(data)
+        data["sides"] = tuple(int(s) for s in data["sides"])
+        return cls(**data)
+
+    @property
+    def case_id(self) -> str:
+        """Stable 12-hex-digit id over the canonical JSON encoding."""
+        blob = json.dumps(self.to_dict(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:12]
+
+    def label(self) -> str:
+        mesh = "x".join(str(s) for s in self.sides) + ("t" if self.torus else "")
+        bits = [self.router, mesh, self.workload, f"seed={self.seed}"]
+        if self.workers != 1:
+            bits.append(f"w={self.workers}")
+        if self.fault_mode != "none":
+            bits.append(f"faults={self.fault_mode}")
+        if self.kind != "route":
+            bits.append(self.kind)
+        return " ".join(bits)
+
+
+def _mesh(case: Case) -> Mesh:
+    return Mesh(case.sides, torus=case.torus)
+
+
+def _fault_model(case: Case, mesh: Mesh):
+    if case.fault_mode == "none":
+        return None
+    from repro.faults.model import FaultModel
+
+    if case.fault_mode == "static":
+        return FaultModel.static(mesh, p=case.fault_p, seed=case.fault_seed)
+    if case.fault_mode == "blocks":
+        return FaultModel.blocks(
+            mesh, num_blocks=case.fault_blocks, seed=case.fault_seed
+        )
+    if case.fault_mode == "dynamic":
+        return FaultModel.dynamic(mesh, p=case.fault_p, seed=case.fault_seed)
+    raise ValueError(f"unknown fault mode {case.fault_mode!r}")
+
+
+def build_case(case: Case):
+    """Materialise ``(router, problem, faults)`` for a case.
+
+    Raises whatever the codebase raises for invalid combinations — the
+    generator treats that as "skip", the replayer as a hard error.
+    """
+    from repro.cli import build_workload
+    from repro.faults.router import FaultAwareRouter
+
+    mesh = _mesh(case)
+    if case.workload == "random-pairs":
+        from repro.workloads import random_pairs
+
+        problem = random_pairs(mesh, case.packets, seed=case.seed)
+    else:
+        problem = build_workload(case.workload, mesh, case.seed)
+    router = make_router(case.router)
+    faults = _fault_model(case, mesh)
+    if faults is not None:
+        router = FaultAwareRouter(router, faults)
+    # reject invalid combinations eagerly (routers validate lazily)
+    if problem.num_packets:
+        router.batch_spec(problem)
+        if hasattr(router, "submesh_sequence") or hasattr(
+            getattr(router, "inner", None), "submesh_sequence"
+        ):
+            seq_router = getattr(router, "inner", router)
+            s = int(problem.sources[0])
+            t = int(problem.dests[0])
+            seq_router.submesh_sequence(mesh, s, t)
+    return router, problem, faults
+
+
+def supported(case: Case) -> bool:
+    """Whether the codebase accepts this combination at all."""
+    try:
+        build_case(case)
+        return True
+    except (ValueError, KeyError):
+        return False
+
+
+def _grid_cases(seed: int) -> list[Case]:
+    """The acceptance matrix: routers x mesh families x workers x faults."""
+    out = []
+    for sides, torus, _label in GRID_MESHES:
+        for r_i, router in enumerate(ROUTERS):
+            # rotate workloads so the grid exercises several patterns
+            workload = WORKLOADS[r_i % len(WORKLOADS)]
+            for workers in (1, 4):
+                for faulty in (False, True):
+                    if router == "greedy-offline" and (workers != 1 or faulty):
+                        continue  # non-oblivious: no sharding, no fault wrap
+                    case = Case(
+                        sides=tuple(sides),
+                        torus=torus,
+                        router=router,
+                        workload=workload,
+                        seed=seed + r_i,
+                        workers=workers,
+                        fault_mode="static" if faulty else "none",
+                        fault_p=0.06 if faulty else 0.0,
+                        fault_seed=seed + 1,
+                    )
+                    if not supported(case):
+                        # fall back to the universal workload for routers
+                        # that reject this mesh's named pattern
+                        case = replace(case, workload="random-pairs")
+                        if not supported(case):
+                            continue
+                    out.append(case)
+    return out
+
+
+def _random_case(rng: np.random.Generator, seed: int) -> Case:
+    sides, torus = FILL_MESHES[int(rng.integers(len(FILL_MESHES)))]
+    router = ROUTERS[int(rng.integers(len(ROUTERS)))]
+    workload = WORKLOADS[int(rng.integers(len(WORKLOADS)))]
+    workers = int(rng.choice((1, 1, 4)))
+    fault_mode = str(rng.choice(("none", "none", "static", "blocks", "dynamic")))
+    kind = "online" if rng.random() < 0.08 else "route"
+    if router == "greedy-offline":
+        workers = 1
+        fault_mode = "none"
+        kind = "route"
+    if kind == "online":
+        workers = 1
+        if fault_mode in ("blocks", "dynamic"):
+            fault_mode = "static"
+    return Case(
+        sides=tuple(sides),
+        torus=torus,
+        router=router,
+        workload=workload,
+        seed=seed,
+        workers=workers,
+        packets=int(rng.integers(8, 48)),
+        fault_mode=fault_mode,
+        fault_p=0.08 if fault_mode in ("static", "dynamic") else 0.0,
+        fault_blocks=2 if fault_mode == "blocks" else 0,
+        fault_seed=seed + 7,
+        kind=kind,
+        rate=float(np.round(0.1 + 0.4 * rng.random(), 2)),
+        steps=int(rng.integers(20, 50)),
+    )
+
+
+def generate_cases(count: int, seed: int = 0) -> list[Case]:
+    """``count`` deterministic cases: the grid core plus a random fill."""
+    cases = _grid_cases(seed)
+    rng = np.random.default_rng(seed)
+    draw = 0
+    while len(cases) < count:
+        case = _random_case(rng, seed + 1000 + draw)
+        draw += 1
+        if supported(case):
+            cases.append(case)
+        if draw > 50 * count:  # pragma: no cover - defensive
+            raise RuntimeError("case generator cannot reach the requested count")
+    return cases[:count] if len(cases) > count else cases

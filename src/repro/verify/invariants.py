@@ -1,0 +1,419 @@
+"""The invariant registry: named predicates every RoutingResult must obey.
+
+The paper's guarantees survive refactors only if they are executable.
+Each invariant is a small pure function over a :class:`VerifyContext`
+(the result plus how it was produced) returning a list of violation
+strings — empty means the invariant holds.  Invariants self-select via
+``applies``: a stretch ceiling only binds routers that promise one, the
+bitonic-envelope check only binds routers exposing an access-graph
+``submesh_sequence``, and fault-sensitive checks step aside when packets
+were resampled or detoured.
+
+Registered invariants (see ``docs/THEORY.md`` for the paper mapping):
+
+=========================  =================================================
+name                       property
+=========================  =================================================
+paths.valid-walk           every path is a mesh walk from s_i to t_i
+paths.bitonic-envelope     paths stay inside the bitonic submesh sequence
+paths.stretch-bound        stretch <= 64 (2-D hierarchical) / = 1 (dim-order)
+seed.replay-determinism    same entropy -> byte-identical CSR
+seed.obliviousness         packet i's path is a function of (seed, i, s, t)
+pathset.csr-wellformed     offsets monotone, buffers frozen, lengths agree
+metrics.consistent         cached metrics agree with each other
+bounds.lower-bound-holds   measured C >= congestion_lower_bound
+online.conservation        delivered + dropped <= injected; latency >= dist
+=========================  =================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.metrics.bounds import congestion_lower_bound
+from repro.routing.base import Router, RoutingProblem, RoutingResult
+from repro.verify.oracles import oracle_distance
+
+__all__ = [
+    "Invariant",
+    "VerifyContext",
+    "REGISTRY",
+    "register",
+    "check_invariants",
+    "invariant_table",
+]
+
+#: routers with a proven stretch ceiling on 2-D meshes: name -> bound.
+#: Theorem 3.4 gives 64 for the hierarchical algorithm; dimension-order
+#: and shortest-path routes are shortest by construction.
+STRETCH_BOUNDS = {
+    "hierarchical": 64.0,
+    "hierarchical-general": 64.0,
+    "dim-order": 1.0,
+    "random-dim-order": 1.0,
+    "shortest-path": 1.0,
+}
+
+
+@dataclass
+class VerifyContext:
+    """Everything an invariant may look at.
+
+    ``result`` is always the *serial* fast-path result (the runner
+    compares sharded runs against it separately); ``route_fn(workers)``
+    re-routes the original problem with the same entropy, for the
+    determinism and obliviousness probes.
+    """
+
+    result: RoutingResult
+    router: Router
+    entropy: int
+    original_problem: RoutingProblem
+    route_fn: Callable[[int], RoutingResult] | None = None
+    workers: int = 1
+    faults: object | None = None
+    online: object | None = None
+    online_params: dict | None = None
+    #: how many packets the sampled (per-packet) invariants inspect
+    sample_limit: int = 4
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+
+    @property
+    def mesh(self):
+        return self.result.problem.mesh
+
+    @property
+    def trivial_faults(self) -> bool:
+        return self.faults is None or self.faults.is_trivial
+
+    @property
+    def base_router(self) -> Router:
+        """The inner router when wrapped fault-aware, else the router."""
+        return getattr(self.router, "inner", self.router)
+
+    def sample_rows(self, n_rows: int) -> list[int]:
+        """Up to ``sample_limit`` distinct row indices, deterministic."""
+        if n_rows <= self.sample_limit:
+            return list(range(n_rows))
+        picks = self.rng.choice(n_rows, size=self.sample_limit, replace=False)
+        return sorted(int(i) for i in picks)
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A named predicate: ``applies(ctx) -> bool``, ``check(ctx) -> [msg]``."""
+
+    name: str
+    description: str
+    applies: Callable[[VerifyContext], bool]
+    check: Callable[[VerifyContext], list[str]]
+
+
+REGISTRY: dict[str, Invariant] = {}
+
+
+def register(name: str, description: str, applies=None):
+    """Decorator: add ``fn`` to the registry under ``name``."""
+
+    def wrap(fn):
+        REGISTRY[name] = Invariant(
+            name, description, applies or (lambda ctx: True), fn
+        )
+        return fn
+
+    return wrap
+
+
+def check_invariants(
+    ctx: VerifyContext, names=None
+) -> dict[str, list[str]]:
+    """Run every applicable invariant; map name -> violations (non-empty only).
+
+    A ``skipped`` entry never appears: inapplicable invariants are simply
+    not run.  An invariant that *raises* is reported as a violation too —
+    a crashing check must never pass silently.
+    """
+    out: dict[str, list[str]] = {}
+    for name, inv in REGISTRY.items():
+        if names is not None and name not in names:
+            continue
+        try:
+            if not inv.applies(ctx):
+                continue
+            msgs = inv.check(ctx)
+        except Exception as exc:  # noqa: BLE001 - any crash is a violation
+            msgs = [f"invariant raised {type(exc).__name__}: {exc}"]
+        if msgs:
+            out[name] = msgs
+    return out
+
+
+def invariant_table() -> list[tuple[str, str]]:
+    """(name, description) rows, for docs and ``--json`` reports."""
+    return [(inv.name, inv.description) for inv in REGISTRY.values()]
+
+
+# ---------------------------------------------------------------------------
+# Path-shape invariants
+# ---------------------------------------------------------------------------
+
+def _is_route(ctx: VerifyContext) -> bool:
+    return ctx.result is not None
+
+
+@register("paths.valid-walk", "every path is a mesh walk from s_i to t_i", _is_route)
+def _valid_walk(ctx: VerifyContext) -> list[str]:
+    res, mesh = ctx.result, ctx.mesh
+    out = []
+    if not res.validate():
+        out.append("RoutingResult.validate() failed")
+    # independent scalar spot-check of sampled rows
+    for i in ctx.sample_rows(len(res.paths)):
+        path = [int(x) for x in res.paths[i]]
+        if path[0] != int(res.problem.sources[i]) or path[-1] != int(
+            res.problem.dests[i]
+        ):
+            out.append(f"path {i} endpoints do not match its (s, t)")
+            continue
+        for a, b in zip(path[:-1], path[1:]):
+            if oracle_distance(mesh, a, b) != 1:
+                out.append(f"path {i} hop ({a}, {b}) is not a mesh link")
+                break
+    return out
+
+
+def _has_sequence(ctx: VerifyContext) -> bool:
+    return (
+        hasattr(ctx.base_router, "submesh_sequence")
+        and not ctx.mesh.torus
+        and ctx.trivial_faults
+    )
+
+
+@register(
+    "paths.bitonic-envelope",
+    "paths stay inside a bitonic (grow-then-shrink) submesh sequence",
+    _has_sequence,
+)
+def _bitonic_envelope(ctx: VerifyContext) -> list[str]:
+    res, mesh = ctx.result, ctx.mesh
+    router = ctx.base_router
+    out = []
+    for i in ctx.sample_rows(len(res.paths)):
+        s = int(res.problem.sources[i])
+        t = int(res.problem.dests[i])
+        seq, bridge = router.submesh_sequence(mesh, s, t)
+        # bitonicity: boxes grow up to the bridge, then shrink
+        for j in range(len(seq) - 1):
+            lo_ok = (
+                seq[j + 1].contains_submesh(seq[j])
+                if j + 1 <= bridge
+                else seq[j].contains_submesh(seq[j + 1])
+            )
+            if not lo_ok:
+                out.append(
+                    f"packet {i}: access sequence not bitonic at step {j}"
+                )
+                break
+        # envelope: every path node lies in the union's bounding box
+        big = seq[bridge]
+        env_lo = np.asarray(big.lo, dtype=np.int64)
+        env_hi = np.asarray(big.hi, dtype=np.int64)
+        coords = mesh.flat_to_coords(np.asarray(res.paths[i], dtype=np.int64))
+        if np.any(coords < env_lo) or np.any(coords > env_hi):
+            out.append(f"packet {i}: path leaves the bridge submesh envelope")
+    return out
+
+
+def _stretch_applies(ctx: VerifyContext) -> bool:
+    name = ctx.base_router.name
+    if name not in STRETCH_BOUNDS or not ctx.trivial_faults:
+        return False
+    # Theorem 3.4's constant is proved for 2-D; dimension-order routes are
+    # shortest in every dimension count.
+    if STRETCH_BOUNDS[name] > 1.0 and ctx.mesh.d > 2:
+        return False
+    return True
+
+
+@register(
+    "paths.stretch-bound",
+    "stretch <= 64 for 2-D hierarchical routing; = 1 for dimension-order",
+    _stretch_applies,
+)
+def _stretch_bound(ctx: VerifyContext) -> list[str]:
+    bound = STRETCH_BOUNDS[ctx.base_router.name]
+    measured = ctx.result.stretch
+    if measured > bound + 1e-9:
+        return [f"stretch {measured:.2f} exceeds bound {bound}"]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# Seed-discipline invariants
+# ---------------------------------------------------------------------------
+
+def _can_reroute(ctx: VerifyContext) -> bool:
+    return ctx.route_fn is not None
+
+
+@register(
+    "seed.replay-determinism",
+    "routing again under the same entropy reproduces the bytes",
+    _can_reroute,
+)
+def _replay_determinism(ctx: VerifyContext) -> list[str]:
+    again = ctx.route_fn(1)
+    out = []
+    if not np.array_equal(again.paths.nodes, ctx.result.paths.nodes):
+        out.append("replayed CSR nodes differ")
+    if not np.array_equal(again.paths.offsets, ctx.result.paths.offsets):
+        out.append("replayed CSR offsets differ")
+    ka, kb = again.kept_indices, ctx.result.kept_indices
+    if (ka is None) != (kb is None) or (
+        ka is not None and not np.array_equal(ka, kb)
+    ):
+        out.append("replayed kept_indices differ")
+    return out
+
+
+def _oblivious_applies(ctx: VerifyContext) -> bool:
+    return ctx.router.is_oblivious and ctx.original_problem.num_packets > 0
+
+
+@register(
+    "seed.obliviousness",
+    "packet i's path depends only on (entropy, i, s_i, t_i)",
+    _oblivious_applies,
+)
+def _obliviousness(ctx: VerifyContext) -> list[str]:
+    """Route sampled packets *alone* and demand the identical path.
+
+    If any path ever peeked at another packet's state, shrinking the
+    batch to one packet (at the same global index, via ``packet_offset``)
+    would change it.
+    """
+    res = ctx.result
+    out = []
+    for row in ctx.sample_rows(len(res.paths)):
+        gi = int(res.kept_indices[row]) if res.kept_indices is not None else row
+        sub = ctx.original_problem.subproblem([gi])
+        solo = ctx.router.route(sub, ctx.entropy, packet_offset=gi, workers=1)
+        if solo.problem.num_packets == 0:
+            out.append(f"packet {gi} kept in batch but dropped when routed alone")
+            continue
+        if not np.array_equal(
+            np.asarray(solo.paths[0]), np.asarray(res.paths[row])
+        ):
+            out.append(f"packet {gi} routes differently alone vs in the batch")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Representation and metric invariants
+# ---------------------------------------------------------------------------
+
+@register(
+    "pathset.csr-wellformed",
+    "CSR offsets are monotone and complete; buffers are frozen",
+    _is_route,
+)
+def _csr_wellformed(ctx: VerifyContext) -> list[str]:
+    ps = ctx.result.paths
+    out = []
+    if ps.offsets[0] != 0 or ps.offsets[-1] != ps.nodes.size:
+        out.append("offsets do not span the node buffer")
+    if np.any(np.diff(ps.offsets) < 0):
+        out.append("offsets are not non-decreasing")
+    if len(ps) != ctx.result.problem.num_packets:
+        out.append("path count does not match the problem")
+    if ps.nodes.flags.writeable or ps.offsets.flags.writeable:
+        out.append("CSR buffers are writable (PathSet must be frozen)")
+    if not np.array_equal(ps.lengths, np.diff(ps.offsets) - 1):
+        out.append("cached lengths disagree with the offsets")
+    return out
+
+
+@register(
+    "metrics.consistent",
+    "cached metrics agree: C = max edge load, D = max length, etc.",
+    _is_route,
+)
+def _metrics_consistent(ctx: VerifyContext) -> list[str]:
+    res = ctx.result
+    out = []
+    loads = res.edge_loads
+    c = int(loads.max()) if loads.size else 0
+    if res.congestion != c:
+        out.append(f"congestion {res.congestion} != max edge load {c}")
+    if int(loads.sum()) != int(res.paths.total_edges):
+        out.append("edge loads do not sum to the total edge traversals")
+    lens = res.paths.lengths
+    d = int(lens.max()) if lens.size else 0
+    if res.dilation != d:
+        out.append(f"dilation {res.dilation} != max path length {d}")
+    vals = res.stretches
+    finite = vals[np.isfinite(vals)]
+    smax = float(finite.max()) if finite.size else 0.0
+    if abs(res.stretch - smax) > 1e-12:
+        out.append(f"stretch {res.stretch} != max finite per-packet stretch")
+    return out
+
+
+@register(
+    "bounds.lower-bound-holds",
+    "measured congestion >= the C* lower bound (a theorem, not a tolerance)",
+    lambda ctx: _is_route(ctx) and ctx.result.problem.num_packets > 0,
+)
+def _lower_bound_holds(ctx: VerifyContext) -> list[str]:
+    prob = ctx.result.problem
+    bound = congestion_lower_bound(
+        prob.mesh, prob.sources, prob.dests, use_lp=False
+    )
+    if ctx.result.congestion + 1e-9 < bound:
+        return [
+            f"congestion {ctx.result.congestion} below the C* lower bound "
+            f"{bound:.3f} — the bound or the loads are wrong"
+        ]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# Online-simulation invariants
+# ---------------------------------------------------------------------------
+
+def _has_online(ctx: VerifyContext) -> bool:
+    return ctx.online is not None
+
+
+@register(
+    "online.conservation",
+    "delivered + dropped <= injected; per-packet latency >= distance",
+    _has_online,
+)
+def _online_conservation(ctx: VerifyContext) -> list[str]:
+    st = ctx.online
+    out = []
+    if st.delivered + st.dropped > st.injected:
+        out.append(
+            f"delivered {st.delivered} + dropped {st.dropped} exceeds "
+            f"injected {st.injected}"
+        )
+    if st.latencies.size != st.delivered:
+        out.append("latencies array size does not match delivered count")
+    if st.distances.size == st.latencies.size and np.any(
+        st.latencies < st.distances
+    ):
+        out.append("some delivered packet beat its shortest-path distance")
+    if not 0.0 <= st.delivery_ratio <= 1.0:
+        out.append(f"delivery ratio {st.delivery_ratio} outside [0, 1]")
+    params = ctx.online_params or {}
+    total = params.get("total_steps")
+    if total is not None and st.steps < total:
+        # the run drained early: everything injected must be accounted for
+        if st.delivered + st.dropped != st.injected:
+            out.append("drained run left packets unaccounted for")
+    return out

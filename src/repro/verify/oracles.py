@@ -1,0 +1,493 @@
+"""Reference oracles: slow, obviously-correct reimplementations of hot paths.
+
+Every function here trades speed for transparency.  The batched engine,
+the columnar metrics, the fault masking, and the sharded merge are all
+re-derived from first principles — scalar Python loops, dict-based edge
+lookups, numpy's *public* ``SeedSequence`` instead of the repo's
+vectorised :func:`~repro.core.randomness.spawn_state` replica — so that a
+bug in the optimised code and the same bug in the oracle would have to be
+introduced twice, independently, to go unnoticed.
+
+The canonical randomized-routing protocol being checked (see
+:mod:`repro.routing.engine`):
+
+* packet ``i`` (global index) draws all its uniforms from
+  ``SeedSequence(entropy, spawn_key=(i,))`` — waypoint uniforms first
+  (``S * d`` of them), ordering uniforms after;
+* a uniform ``u`` picks node ``lo + floor(u * len)`` of its inner box;
+* consecutive waypoints are joined by dimension-order subpaths whose
+  ordering is the ``argsort`` of the order uniforms;
+* with ``drop_cycles``, revisited nodes splice out the enclosed loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.core.pathset import PathSet
+from repro.mesh.mesh import Mesh
+from repro.routing.base import RoutingProblem, RoutingResult, Router
+
+__all__ = [
+    "oracle_uniforms",
+    "oracle_route",
+    "oracle_edge_loads",
+    "oracle_node_loads",
+    "oracle_stretches",
+    "oracle_dilation",
+    "oracle_distance",
+    "oracle_fault_mask",
+    "oracle_alive_bfs",
+    "oracle_remove_cycles",
+    "result_hash",
+    "replay_hash",
+]
+
+
+# ---------------------------------------------------------------------------
+# Scalar coordinate helpers (independent of Mesh's stride arithmetic)
+# ---------------------------------------------------------------------------
+
+def _coords(mesh: Mesh, node: int) -> list[int]:
+    """Flat id -> coordinate list by repeated divmod (C order)."""
+    out = [0] * mesh.d
+    rem = int(node)
+    for i in range(mesh.d - 1, -1, -1):
+        rem, out[i] = divmod(rem, mesh.sides[i])
+    return out
+
+
+def _flat(mesh: Mesh, coords: list[int]) -> int:
+    """Coordinate list -> flat id by Horner's rule."""
+    out = 0
+    for c, side in zip(coords, mesh.sides):
+        out = out * side + int(c)
+    return out
+
+
+def oracle_distance(mesh: Mesh, u: int, v: int) -> int:
+    """Scalar L1 distance, shorter-way-around per dimension on the torus."""
+    cu, cv = _coords(mesh, u), _coords(mesh, v)
+    total = 0
+    for a, b, side in zip(cu, cv, mesh.sides):
+        diff = abs(a - b)
+        if mesh.torus:
+            diff = min(diff, side - diff)
+        total += diff
+    return total
+
+
+def _edge_map(mesh: Mesh) -> dict[tuple[int, int], int]:
+    """Undirected (min, max) endpoint pair -> dense edge id.
+
+    Built scalarly from :meth:`Mesh.edge_id_to_endpoints`, the one-edge
+    inverse — never from the vectorised ``edge_ids`` being verified.
+    """
+    cache = getattr(mesh, "_verify_edge_map", None)
+    if cache is not None:
+        return cache
+    table = {}
+    for e in range(mesh.num_edges):
+        u, v = mesh.edge_id_to_endpoints(e)
+        table[(min(u, v), max(u, v))] = e
+    try:
+        mesh._verify_edge_map = table
+    except AttributeError:  # pragma: no cover - Mesh has no __slots__ today
+        pass
+    return table
+
+
+def _path_edge_ids(mesh: Mesh, path: np.ndarray) -> list[int]:
+    """Edge ids along a path via the scalar edge map (raises on non-links)."""
+    table = _edge_map(mesh)
+    out = []
+    nodes = [int(x) for x in path]
+    for a, b in zip(nodes[:-1], nodes[1:]):
+        key = (min(a, b), max(a, b))
+        if key not in table:
+            raise ValueError(f"({a}, {b}) is not a mesh link")
+        out.append(table[key])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The per-packet stream, straight from numpy's public SeedSequence
+# ---------------------------------------------------------------------------
+
+def oracle_uniforms(
+    entropy: int, index: int, n: int, prefix: tuple[int, ...] = ()
+) -> list[float]:
+    """``n`` uniforms of global packet ``index``, via the public primitive.
+
+    Definitionally what :func:`repro.core.randomness.packet_uniforms`
+    promises: ``generate_state(2n)`` uint32 words, paired little-endian
+    (low word first) into uint64, mapped through the standard 53-bit
+    conversion.  No vectorised hash replica involved.
+    """
+    ss = np.random.SeedSequence(entropy, spawn_key=(*prefix, index))
+    words = ss.generate_state(2 * n).tolist()
+    out = []
+    for k in range(n):
+        w = words[2 * k] | (words[2 * k + 1] << 32)
+        out.append((w >> 11) * 2.0**-53)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Scalar path assembly
+# ---------------------------------------------------------------------------
+
+def oracle_remove_cycles(path: list[int]) -> list[int]:
+    """Splice out loops, keeping the earliest visit of every node.
+
+    Naive quadratic restatement of :func:`repro.mesh.paths.remove_cycles`:
+    repeatedly find the first position whose node already appeared and cut
+    everything between the two visits.
+    """
+    path = list(path)
+    while True:
+        seen: dict[int, int] = {}
+        cut = None
+        for j, node in enumerate(path):
+            if node in seen:
+                cut = (seen[node], j)
+                break
+            seen[node] = j
+        if cut is None:
+            return path
+        first, again = cut
+        path = path[: first + 1] + path[again + 1 :]
+
+
+def _dim_order_walk(
+    mesh: Mesh, a: int, b: int, order: list[int]
+) -> list[int]:
+    """Dimension-order walk from ``a`` to ``b``: unit steps per dimension.
+
+    On the torus each dimension takes the shorter way around (positive on
+    ties) when the side admits wrap links (``m_i >= 3``).
+    """
+    ca, cb = _coords(mesh, a), _coords(mesh, b)
+    out = [a]
+    cur = list(ca)
+    for dim in order:
+        side = mesh.sides[dim]
+        delta = cb[dim] - cur[dim]
+        wrap = mesh.torus and side >= 3
+        if wrap:
+            fwd = delta % side
+            bwd = fwd - side
+            delta = fwd if fwd <= -bwd else bwd
+        step = 1 if delta > 0 else -1
+        for _ in range(abs(delta)):
+            cur[dim] = (cur[dim] + step) % side if wrap else cur[dim] + step
+            out.append(_flat(mesh, cur))
+    return out
+
+
+def _oracle_batch_paths(
+    spec, entropy: int
+) -> list[list[int]]:
+    """Per-packet replay of the batch protocol, one packet at a time."""
+    mesh = spec.mesh
+    N, S, d = spec.box_lo.shape
+    L = S + 1
+    if spec.dim_order == "random":
+        n_ord = L * d
+    elif spec.dim_order == "shared":
+        n_ord = d
+    else:
+        n_ord = 0
+    paths = []
+    for i in range(N):
+        u = oracle_uniforms(entropy, spec.packet_offset + i, S * d + n_ord)
+        # inner waypoints: lo + floor(u * len), one uniform per (stage, dim)
+        pts = [[int(c) for c in spec.coords_s[i]]]
+        for j in range(S):
+            pts.append(
+                [
+                    int(spec.box_lo[i, j, k])
+                    + int(u[j * d + k] * int(spec.box_len[i, j, k]))
+                    for k in range(d)
+                ]
+            )
+        pts.append([int(c) for c in spec.coords_t[i]])
+        # subpath dimension orders
+        if spec.dim_order == "fixed":
+            base = list(spec.fixed_order) if spec.fixed_order is not None else list(range(d))
+            orders = [base] * L
+        elif spec.dim_order == "shared":
+            vals = u[S * d : S * d + d]
+            shared = sorted(range(d), key=lambda k: (vals[k], k))
+            orders = [shared] * L
+        else:
+            orders = [
+                sorted(
+                    range(d),
+                    key=lambda k, j=j: (u[S * d + j * d + k], k),
+                )
+                for j in range(L)
+            ]
+        path = [_flat(mesh, pts[0])]
+        for j in range(L):
+            a = _flat(mesh, pts[j])
+            b = _flat(mesh, pts[j + 1])
+            path.extend(_dim_order_walk(mesh, a, b, orders[j])[1:])
+        if spec.drop_cycles:
+            path = oracle_remove_cycles(path)
+        paths.append(path)
+    return paths
+
+
+# ---------------------------------------------------------------------------
+# Fault masking and detours
+# ---------------------------------------------------------------------------
+
+def oracle_fault_mask(model, step: int = 0) -> np.ndarray:
+    """Recompute a :class:`~repro.faults.model.FaultModel` mask scalarly.
+
+    Consumes the generator in the documented order (explicit set, link
+    uniforms, node uniforms / block corners, then one draw per edge per
+    dynamic step) but applies the masking logic edge by edge in Python.
+    """
+    mesh = model.mesh
+    E = mesh.num_edges
+    endpoints = [mesh.edge_id_to_endpoints(e) for e in range(E)]
+    dead = [False] * E
+    if model._explicit is not None:
+        for e in range(E):
+            dead[e] = bool(model._explicit[e])
+    rng = np.random.default_rng(model.seed)
+    if model.mode == "static":
+        if model.p > 0.0:
+            u = rng.random(E)
+            for e in range(E):
+                if u[e] < model.p:
+                    dead[e] = True
+        if model.node_p > 0.0:
+            un = rng.random(mesh.n)
+            dead_nodes = {v for v in range(mesh.n) if un[v] < model.node_p}
+            for e, (a, b) in enumerate(endpoints):
+                if a in dead_nodes or b in dead_nodes:
+                    dead[e] = True
+    elif model.mode == "blocks":
+        side = [min(model.block_side, m) for m in mesh.sides]
+        for _ in range(model.num_blocks):
+            lo = [int(rng.integers(0, m - s + 1)) for m, s in zip(mesh.sides, side)]
+            hi = [a + s for a, s in zip(lo, side)]
+
+            def inside(node: int) -> bool:
+                return all(
+                    lo[k] <= c < hi[k] for k, c in enumerate(_coords(mesh, node))
+                )
+
+            for e, (a, b) in enumerate(endpoints):
+                if inside(a) or inside(b):
+                    dead[e] = True
+    elif model.mode == "dynamic":
+        down_until = [model.repair_delay if dead[e] else 0 for e in range(E)]
+        for t in range(1, step + 1):
+            u = rng.random(E)
+            # an edge repaired exactly at step t can fail again at step t
+            for e in range(E):
+                if down_until[e] <= t and u[e] < model.p:
+                    down_until[e] = t + model.repair_delay
+        dead = [down_until[e] > step for e in range(E)]
+    return np.asarray([not d for d in dead], dtype=bool)
+
+
+def oracle_alive_bfs(
+    mesh: Mesh, s: int, t: int, alive: np.ndarray
+) -> list[int] | None:
+    """Naive BFS over alive edges, matching ``shortest_alive_path``'s ties.
+
+    The fast BFS expands whole levels at once; within a level the first
+    writer wins and the next frontier is the *sorted* set of new nodes.
+    This loop reproduces that discipline with dicts and sorted lists.
+    """
+    if s == t:
+        return [s]
+    table = _edge_map(mesh)
+    alive_set = {
+        pair for pair, e in table.items() if bool(alive[e])
+    }
+    parent = {s: s}
+    frontier = [s]
+    while frontier:
+        level: dict[int, int] = {}
+        for u in frontier:
+            for v in mesh.neighbors(u):
+                if v in parent or v in level:
+                    continue
+                if (min(u, v), max(u, v)) in alive_set:
+                    level[v] = u
+        if not level:
+            return None
+        parent.update(level)
+        if t in parent:
+            break
+        frontier = sorted(level)
+    path = [t]
+    while path[-1] != s:
+        path.append(parent[path[-1]])
+    return path[::-1]
+
+
+def _oracle_fault_paths(
+    router, problem: RoutingProblem, entropy: int, packet_offset: int
+) -> tuple[list[list[int]], list[int]]:
+    """Replay of :class:`FaultAwareRouter`: resample, detour, or drop.
+
+    The inner router's draws come from the same per-packet stream the
+    fast path uses (selection *draws* are the shared contract); the mask,
+    the edge checks, the BFS detour, and the drop bookkeeping are all
+    re-derived here.
+    """
+    mesh = problem.mesh
+    alive = oracle_fault_mask(router.faults, router.at_step)
+
+    def path_ok(path: np.ndarray) -> bool:
+        if len(path) < 2:
+            return True
+        return all(bool(alive[e]) for e in _path_edge_ids(mesh, path))
+
+    paths, kept = [], []
+    for i, (s, t) in enumerate(problem.pairs()):
+        ss = np.random.SeedSequence(entropy, spawn_key=(packet_offset + i,))
+        rng = np.random.default_rng(ss)
+        path = router.inner.select_path(mesh, int(s), int(t), rng)
+        tries = 0
+        while tries < router.max_resamples and not path_ok(path):
+            path = router.inner.select_path(mesh, int(s), int(t), rng)
+            tries += 1
+        if not path_ok(path):
+            detour = oracle_alive_bfs(mesh, int(s), int(t), alive)
+            if detour is None:
+                continue
+            path = detour
+        paths.append([int(x) for x in path])
+        kept.append(i)
+    return paths, kept
+
+
+# ---------------------------------------------------------------------------
+# The routing oracle
+# ---------------------------------------------------------------------------
+
+def oracle_route(
+    router: Router,
+    problem: RoutingProblem,
+    entropy: int,
+    *,
+    packet_offset: int = 0,
+) -> tuple[PathSet, np.ndarray | None]:
+    """Route ``problem`` the slow way; returns ``(paths, kept_indices)``.
+
+    * routers with a :meth:`~repro.routing.base.Router.batch_spec` replay
+      the batch protocol packet by packet (independent waypoint building,
+      ordering, walking, and cycle removal);
+    * fault-aware routers with live faults replay the resample / detour /
+      drop discipline against a scalarly recomputed mask;
+    * everything else runs the per-packet loop with the documented
+      ``SeedSequence(entropy, spawn_key=(i,))`` streams.
+
+    ``entropy`` must be the resolved integer (a fast-path result's
+    ``seed`` attribute), so seeded and unseeded runs replay alike.
+    """
+    from repro.faults.router import FaultAwareRouter
+
+    if isinstance(router, FaultAwareRouter) and not router.faults.is_trivial:
+        paths, kept = _oracle_fault_paths(router, problem, entropy, packet_offset)
+        kept_idx = None
+        if len(kept) != problem.num_packets:
+            kept_idx = np.asarray(kept, dtype=np.int64)
+        ps = PathSet.from_paths(
+            [np.asarray(p, dtype=np.int64) for p in paths]
+        )
+        return ps, kept_idx
+
+    spec = router.batch_spec(problem)
+    if spec is not None:
+        spec.packet_offset = packet_offset
+        raw = _oracle_batch_paths(spec, entropy)
+        ps = PathSet.from_paths([np.asarray(p, dtype=np.int64) for p in raw])
+        return ps, None
+
+    # Per-packet loop reference: same generators as Router.route's legacy
+    # branch, built from the public primitive.
+    paths = []
+    for i, (s, t) in enumerate(problem.pairs()):
+        ss = np.random.SeedSequence(entropy, spawn_key=(packet_offset + i,))
+        rng = np.random.default_rng(ss)
+        paths.append(router.select_path(problem.mesh, int(s), int(t), rng))
+    return PathSet.from_paths(paths), None
+
+
+# ---------------------------------------------------------------------------
+# Metric oracles
+# ---------------------------------------------------------------------------
+
+def oracle_edge_loads(mesh: Mesh, paths) -> np.ndarray:
+    """Per-edge path counts via a dict of endpoint pairs; multiplicity kept."""
+    loads = [0] * mesh.num_edges
+    for path in paths:
+        for e in _path_edge_ids(mesh, np.asarray(path)):
+            loads[e] += 1
+    return np.asarray(loads, dtype=np.int64)
+
+
+def oracle_node_loads(mesh: Mesh, paths) -> np.ndarray:
+    """Per-node visiting-path counts; a path counts once per node."""
+    counts = [0] * mesh.n
+    for path in paths:
+        for node in set(int(x) for x in np.asarray(path)):
+            counts[node] += 1
+    return np.asarray(counts, dtype=np.int64)
+
+
+def oracle_stretches(
+    mesh: Mesh, sources, dests, paths
+) -> np.ndarray:
+    """Per-packet |p| / dist(s, t); nan where s == t."""
+    out = []
+    for s, t, path in zip(sources, dests, paths):
+        dist = oracle_distance(mesh, int(s), int(t))
+        if dist == 0:
+            out.append(float("nan"))
+        else:
+            out.append((len(np.asarray(path)) - 1) / dist)
+    return np.asarray(out, dtype=np.float64)
+
+
+def oracle_dilation(paths) -> int:
+    """Max path length (edges), 0 for empty collections."""
+    best = 0
+    for path in paths:
+        best = max(best, len(np.asarray(path)) - 1)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Hashing
+# ---------------------------------------------------------------------------
+
+def result_hash(result: RoutingResult) -> str:
+    """sha256 over the CSR bytes — the golden-matrix fingerprint."""
+    ps = result.paths
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(ps.nodes).tobytes())
+    h.update(np.ascontiguousarray(ps.offsets).tobytes())
+    return h.hexdigest()
+
+
+def replay_hash(
+    router: Router,
+    problem: RoutingProblem,
+    entropy: int,
+    *,
+    workers: int = 1,
+) -> str:
+    """Hash of a fresh route under ``entropy`` — the io round-trip check."""
+    return result_hash(router.route(problem, entropy, workers=workers))

@@ -1,0 +1,75 @@
+"""Greedy case shrinking: make a failing case as small as it will stay.
+
+Classic delta-debugging over the knobs of a :class:`~repro.verify.cases.Case`:
+each transformation simplifies one dimension (drop workers, drop faults,
+fewer packets, a smaller mesh, the plainest workload), and a
+transformation is kept only if the shrunk case *still fails*.  Repeats to
+a fixed point, so the corpus records the smallest reproduction the
+greedy pass can find rather than the sprawling original.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from repro.verify.cases import Case, supported
+
+__all__ = ["shrink_case"]
+
+#: per-knob simplification ladders, tried in order
+_MESH_LADDER = ((4, 4), (4, 2), (2, 2))
+
+
+def _candidates(case: Case):
+    """Simplified variants of ``case``, most aggressive knobs first."""
+    if case.workers != 1:
+        yield replace(case, workers=1)
+    if case.fault_mode != "none":
+        yield replace(case, fault_mode="none", fault_p=0.0, fault_blocks=0)
+    if case.kind == "online" and case.steps > 5:
+        yield replace(case, steps=max(5, case.steps // 2))
+    if case.workload != "random-pairs":
+        yield replace(case, workload="random-pairs")
+    if case.workload == "random-pairs" and case.packets > 1:
+        yield replace(case, packets=max(1, case.packets // 2))
+        yield replace(case, packets=case.packets - 1)
+    cur = math.prod(case.sides)
+    for sides in _MESH_LADDER:
+        # strictly smaller only: a non-monotone ladder would oscillate
+        # between same-size meshes and burn the round budget
+        if len(sides) == len(case.sides) and math.prod(sides) < cur:
+            yield replace(case, sides=tuple(sides), torus=False)
+
+
+def shrink_case(case: Case, *, real_pool: bool = False, max_rounds: int = 12):
+    """Shrink ``case`` while it keeps failing; returns the final outcome.
+
+    Returns ``None`` when the original case cannot be re-failed (flaky
+    infrastructure — the caller then records the unshrunk outcome).
+    """
+    from repro.verify.runner import run_case
+
+    def failing_outcome(c: Case):
+        if not supported(c):
+            return None
+        try:
+            outcome = run_case(c, real_pool=real_pool)
+        except Exception:  # infrastructure error: not a reproduction
+            return None
+        return outcome if not outcome.ok else None
+
+    best = failing_outcome(case)
+    if best is None:
+        return None
+    for _ in range(max_rounds):
+        improved = False
+        for candidate in _candidates(best.case):
+            outcome = failing_outcome(candidate)
+            if outcome is not None:
+                best = outcome
+                improved = True
+                break
+        if not improved:
+            break
+    return best

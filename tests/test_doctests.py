@@ -27,7 +27,9 @@ def test_module_doctests(module):
     assert results.attempted > 0, f"no doctests found in {module.__name__}"
 
 
-@pytest.mark.parametrize("name", ["API.md", "PERFORMANCE.md", "FAULTS.md"])
+@pytest.mark.parametrize(
+    "name", ["API.md", "PERFORMANCE.md", "FAULTS.md", "VERIFICATION.md"]
+)
 def test_docs_doctests(name):
     path = DOCS / name
     results = doctest.testfile(str(path), module_relative=False, verbose=False)

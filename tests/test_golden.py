@@ -1,7 +1,10 @@
 """Differential seed-matrix test against the committed golden hashes.
 
 Every cell of ``tests/golden/path_hashes.json`` — oblivious registry
-router x mesh x seed, transpose workload — is recomputed and compared.
+router x mesh family (square, rectangular, torus) x seed, plus
+fault-aware hierarchical cells — is recomputed and compared.  The cell
+definitions live in :func:`tests.golden.regenerate_goldens.golden_cases`,
+shared with the regeneration script so the two can never drift apart.
 The goldens pin the *byte-level* seed contract: a stored seed must keep
 replaying the exact same paths across refactors, because results on disk
 (``repro.io``) record only the seed, not the paths.
@@ -9,7 +12,8 @@ replaying the exact same paths across refactors, because results on disk
 The loader checks are failing-by-design: a missing or truncated golden
 file fails loudly instead of skipping, so the matrix can never silently
 stop guarding anything.  After an intentional derivation change, rerun
-``tests/golden/regenerate_goldens.py`` and commit the diff.
+``tests/golden/regenerate_goldens.py`` (it refuses to overwrite changed
+cells without ``--force``) and commit the diff.
 """
 
 from __future__ import annotations
@@ -20,12 +24,19 @@ from pathlib import Path
 
 import pytest
 
-from tests.golden.regenerate_goldens import MESHES, SEEDS
+from tests.golden.regenerate_goldens import (
+    MESHES,
+    SEEDS,
+    cell_hash,
+    golden_cases,
+)
 from repro.mesh.mesh import Mesh
-from repro.routing.registry import available_routers, make_router
+from repro.routing.registry import make_router
 from repro.workloads.permutations import transpose
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "path_hashes.json"
+
+CASES = dict(golden_cases())
 
 
 def load_goldens() -> dict[str, str]:
@@ -37,37 +48,32 @@ def load_goldens() -> dict[str, str]:
     return json.loads(GOLDEN_PATH.read_text())
 
 
-OBLIVIOUS = [n for n in available_routers() if make_router(n).is_oblivious]
-
-
 def test_goldens_are_loaded_and_cover_the_matrix():
     goldens = load_goldens()
-    expected = len(OBLIVIOUS) * len(MESHES) * len(SEEDS)
-    assert len(goldens) == expected, (
-        f"golden matrix has {len(goldens)} entries, expected {expected} — "
+    assert set(goldens) == set(CASES), (
+        "golden file and golden_cases() disagree — "
         "regenerate after adding a router/mesh/seed"
     )
+    # the matrix must span all mesh families and every seed
+    labels = {key.split("|")[1] for key in goldens}
+    assert labels == {label for _sides, _torus, label in MESHES}
+    seeds = {key.rsplit("=", 1)[1] for key in goldens}
+    assert seeds == {str(s) for s in SEEDS}
+    assert any("+static-faults|" in key for key in goldens)
     for value in goldens.values():
         assert len(value) == 64 and int(value, 16) >= 0  # sha256 hex
 
 
-@pytest.mark.parametrize("sides", MESHES, ids=lambda s: "x".join(map(str, s)))
-@pytest.mark.parametrize("name", OBLIVIOUS)
-def test_paths_match_goldens(name, sides):
+@pytest.mark.parametrize("key", sorted(CASES), ids=lambda k: k.replace("|", " "))
+def test_paths_match_goldens(key):
     goldens = load_goldens()
-    problem = transpose(Mesh(sides))
-    for seed in SEEDS:
-        result = make_router(name).route(problem, seed=seed)
-        h = hashlib.sha256()
-        h.update(result.paths.nodes.tobytes())
-        h.update(result.paths.offsets.tobytes())
-        key = f"{name}|{'x'.join(map(str, sides))}|seed={seed}"
-        assert key in goldens, f"no golden for {key} — regenerate the matrix"
-        assert h.hexdigest() == goldens[key], (
-            f"{key}: routed bytes diverged from the committed golden — "
-            "either a regression or an intentional derivation change "
-            "(then regenerate_goldens.py and commit)"
-        )
+    assert key in goldens, f"no golden for {key} — regenerate the matrix"
+    result = CASES[key]()
+    assert cell_hash(result) == goldens[key], (
+        f"{key}: routed bytes diverged from the committed golden — "
+        "either a regression or an intentional derivation change "
+        "(then regenerate_goldens.py --force and commit)"
+    )
 
 
 def test_sharded_route_matches_goldens_too():

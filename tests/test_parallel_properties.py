@@ -378,3 +378,46 @@ class TestTelemetryMerge:
             sharded, problem, seed=4, workers=3, executor=SerialExecutor()
         )
         assert serial.bits_log == sharded.bits_log
+
+
+# ---------------------------------------------------------------------------
+# Nightly-only exhaustive sweeps (the `deep` marker)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.deep
+class TestShardInvarianceDeep:
+    """Hypothesis with a nightly-sized budget plus wide real-pool sweeps.
+
+    Tier-1 proves the property on small samples; these runs chase the
+    tail: every router x several genuine fork-pool widths, and hundreds
+    of randomized (mesh, seed, packets, workers) draws.
+    """
+
+    @given(
+        side=st.sampled_from([4, 8, 16]),
+        seed=st.integers(0, 2**63),
+        packets=st.integers(1, 120),
+        workers=st.integers(2, 12),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_hierarchical_shard_sweep(self, side, seed, packets, workers):
+        mesh = Mesh((side, side))
+        problem = random_pairs(mesh, packets, seed=seed % 2**32)
+        router = HierarchicalRouter()
+        serial = router.route(problem, seed=seed, workers=1)
+        sharded = route_sharded(
+            router, problem, seed=seed, workers=workers, executor=SerialExecutor()
+        )
+        assert digest(sharded.paths) == digest(serial.paths)
+
+    @pytest.mark.parametrize(
+        "name", [n for n in available_routers() if n != "greedy-offline"]
+    )
+    @pytest.mark.parametrize("workers", [2, 3, 5, 8])
+    def test_every_registry_router_wide_process_pools(self, name, workers):
+        mesh = Mesh((8, 8))
+        problem = transpose(mesh)
+        router = make_router(name)
+        serial = router.route(problem, seed=17, workers=1)
+        pooled = router.route(problem, seed=17, workers=workers)
+        assert digest(pooled.paths) == digest(serial.paths)

@@ -132,3 +132,45 @@ class TestOnlineInvariants:
         s = simulate_online(ValiantRouter(), mesh, rate=0.05, steps=30, seed=2)
         assert (s.latencies >= s.distances).all()
         assert s.delivered == s.injected
+
+
+# ---------------------------------------------------------------------------
+# Nightly-only exhaustive sweeps (the `deep` marker)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.deep
+class TestOnlineInvariantsDeep:
+    """Wide rate x policy x fault sweep, checked through the verify registry."""
+
+    @pytest.mark.parametrize("policy", ONLINE_POLICIES)
+    @pytest.mark.parametrize("rate", [0.02, 0.1, 0.3, 0.6])
+    @pytest.mark.parametrize(
+        "fault", [None, ("static", 0.02), ("dynamic", 0.01)]
+    )
+    def test_conservation_across_the_load_curve(self, policy, rate, fault):
+        from repro.verify.invariants import VerifyContext, check_invariants
+
+        mesh = Mesh((8, 8))
+        fm = None
+        if fault is not None:
+            mode, p = fault
+            fm = (
+                FaultModel.static(mesh, p=p, seed=3)
+                if mode == "static"
+                else FaultModel.dynamic(mesh, p=p, repair_delay=4, seed=3)
+            )
+        steps = 60
+        stats = simulate_online(
+            HierarchicalRouter(), mesh, rate=rate, steps=steps, seed=11,
+            policy=policy, faults=fm,
+        )
+        ctx = VerifyContext(
+            result=None,
+            router=None,
+            entropy=11,
+            original_problem=None,
+            online=stats,
+            online_params={"total_steps": steps + 8 * steps + 200},
+            faults=fm,
+        )
+        assert check_invariants(ctx, names=("online.conservation",)) == {}

@@ -1,0 +1,328 @@
+"""The invariant registry must FIRE on doctored results, not just pass.
+
+A verification net that never catches anything is indistinguishable from
+one that is broken.  For every registered invariant these tests build a
+clean context (which must pass) and a deliberately corrupted one (which
+must produce a violation naming the right invariant).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.core.randomness import resolve_entropy
+from repro.mesh.paths import dimension_order_path
+from repro.routing.base import RoutingResult
+from repro.routing.registry import make_router
+from repro.verify.invariants import (
+    REGISTRY,
+    VerifyContext,
+    check_invariants,
+    invariant_table,
+    register,
+)
+from repro.workloads import random_pairs
+from repro.workloads.permutations import transpose
+
+EXPECTED_INVARIANTS = {
+    "paths.valid-walk",
+    "paths.bitonic-envelope",
+    "paths.stretch-bound",
+    "seed.replay-determinism",
+    "seed.obliviousness",
+    "pathset.csr-wellformed",
+    "metrics.consistent",
+    "bounds.lower-bound-holds",
+    "online.conservation",
+}
+
+
+def make_ctx(mesh8, router_name="hierarchical", packets=4, seed=0, **overrides):
+    # four packets so the sample_limit=4 sampled invariants see every row
+    router = make_router(router_name)
+    problem = random_pairs(mesh8, packets, seed=seed)
+    entropy = resolve_entropy(seed)
+    result = router.route(problem, entropy)
+    kwargs = dict(
+        result=result,
+        router=router,
+        entropy=entropy,
+        original_problem=problem,
+        route_fn=lambda workers: router.route(problem, entropy, workers=workers),
+        rng=np.random.default_rng(seed),
+    )
+    kwargs.update(overrides)
+    return VerifyContext(**kwargs)
+
+
+def doctored(result: RoutingResult, paths) -> RoutingResult:
+    """A copy of ``result`` with its paths replaced (caches reset)."""
+    return RoutingResult(
+        result.problem,
+        [np.asarray(p, dtype=np.int64) for p in paths],
+        result.router_name,
+        result.seed,
+        kept_indices=result.kept_indices,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry shape
+# ---------------------------------------------------------------------------
+
+def test_registry_contains_exactly_the_documented_invariants():
+    assert set(REGISTRY) == EXPECTED_INVARIANTS
+    assert {name for name, _desc in invariant_table()} == EXPECTED_INVARIANTS
+    for inv in REGISTRY.values():
+        assert inv.description  # every invariant explains itself
+
+
+def test_register_decorator_round_trips():
+    @register("test.always-fails", "fixture invariant for this test")
+    def _always(ctx):
+        return ["boom"]
+
+    try:
+        ctx = SimpleNamespace(result=None)
+        out = check_invariants(ctx, names=("test.always-fails",))
+        assert out == {"test.always-fails": ["boom"]}
+    finally:
+        del REGISTRY["test.always-fails"]
+    assert "test.always-fails" not in REGISTRY
+
+
+def test_crashing_invariant_reported_as_violation():
+    @register("test.crashes", "fixture invariant that raises")
+    def _crash(ctx):
+        raise RuntimeError("kaboom")
+
+    try:
+        out = check_invariants(SimpleNamespace(), names=("test.crashes",))
+        assert "kaboom" in out["test.crashes"][0]
+    finally:
+        del REGISTRY["test.crashes"]
+
+
+def test_clean_result_passes_all_invariants(mesh8):
+    assert check_invariants(make_ctx(mesh8)) == {}
+
+
+# ---------------------------------------------------------------------------
+# Each invariant fires on a corruption it was built to catch
+# ---------------------------------------------------------------------------
+
+def test_valid_walk_fires_on_wrong_endpoint(mesh8):
+    ctx = make_ctx(mesh8)
+    paths = [np.asarray(p) for p in ctx.result.paths]
+    bad = paths[0].copy()
+    bad[-1] = (bad[-1] + 1) % mesh8.n  # wrong destination
+    paths[0] = bad
+    ctx.result = doctored(ctx.result, paths)
+    out = check_invariants(ctx, names=("paths.valid-walk",))
+    assert out["paths.valid-walk"]
+
+
+def test_valid_walk_fires_on_teleport_hop(mesh8):
+    ctx = make_ctx(mesh8, router_name="dim-order")
+    paths = [np.asarray(p) for p in ctx.result.paths]
+    row = next(i for i, p in enumerate(paths) if len(p) >= 3)
+    bad = paths[row].copy()
+    # teleport through a non-adjacent node, keeping the endpoints
+    bad[1] = (bad[1] + 2 * mesh8.sides[-1]) % mesh8.n
+    paths[row] = bad
+    ctx.result = doctored(ctx.result, paths)
+    out = check_invariants(ctx, names=("paths.valid-walk",))
+    assert any("not a mesh link" in msg for msg in out["paths.valid-walk"])
+
+
+def test_bitonic_envelope_fires_on_escaping_path(mesh8):
+    # two adjacent nodes sit in a small bridge submesh; a path that takes
+    # the long way around the mesh must leave that envelope
+    from repro.routing.base import RoutingProblem
+
+    problem = RoutingProblem(mesh8, np.asarray([0]), np.asarray([1]), "pair")
+    router = make_router("hierarchical")
+    entropy = resolve_entropy(0)
+    result = router.route(problem, entropy)
+    detour = dimension_order_path(mesh8, 0, 63, order=(0, 1))
+    back = dimension_order_path(mesh8, 63, 1, order=(1, 0))
+    escape = np.concatenate([detour, back[1:]])
+    ctx = VerifyContext(
+        result=doctored(result, [escape]),
+        router=router,
+        entropy=entropy,
+        original_problem=problem,
+    )
+    out = check_invariants(ctx, names=("paths.bitonic-envelope",))
+    assert any("envelope" in msg for msg in out["paths.bitonic-envelope"])
+
+
+def test_stretch_bound_fires_on_inflated_path(mesh8):
+    ctx = make_ctx(mesh8, router_name="dim-order")
+    paths = [np.asarray(p) for p in ctx.result.paths]
+    row = next(i for i, p in enumerate(paths) if len(p) >= 2)
+    p = paths[row]
+    # stutter: walk to the first hop and back before continuing (stretch > 1)
+    paths[row] = np.concatenate([p[:2], p[:2][::-1], p[1:]])
+    ctx.result = doctored(ctx.result, paths)
+    out = check_invariants(ctx, names=("paths.stretch-bound",))
+    assert any("exceeds bound" in msg for msg in out["paths.stretch-bound"])
+
+
+def test_replay_determinism_fires_on_entropy_drift(mesh8):
+    router = make_router("valiant")
+    problem = random_pairs(mesh8, 12, seed=0)
+    result = router.route(problem, resolve_entropy(0))
+    ctx = VerifyContext(
+        result=result,
+        router=router,
+        entropy=resolve_entropy(0),
+        original_problem=problem,
+        # a re-route that silently uses different entropy: the exact bug
+        # this invariant exists to catch
+        route_fn=lambda workers: router.route(problem, resolve_entropy(1)),
+    )
+    out = check_invariants(ctx, names=("seed.replay-determinism",))
+    assert any("differ" in msg for msg in out["seed.replay-determinism"])
+
+
+def test_obliviousness_fires_on_batch_dependent_paths(mesh8):
+    ctx = make_ctx(mesh8, router_name="valiant")
+    paths = [np.asarray(p) for p in ctx.result.paths]
+    # stutter packet 0's start: routed alone it cannot reproduce that path
+    paths[0] = np.concatenate([paths[0][:1], paths[0]])
+    ctx.result = doctored(ctx.result, paths)
+    out = check_invariants(ctx, names=("seed.obliviousness",))
+    assert any("routes differently" in msg for msg in out["seed.obliviousness"])
+
+
+def test_csr_wellformed_fires_on_writable_buffers(mesh8):
+    ctx = make_ctx(mesh8)
+    ctx.result.paths.nodes = ctx.result.paths.nodes.copy()  # writable again
+    out = check_invariants(ctx, names=("pathset.csr-wellformed",))
+    assert any("writable" in msg for msg in out["pathset.csr-wellformed"])
+
+
+def test_metrics_consistent_fires_on_poisoned_cache(mesh8):
+    ctx = make_ctx(mesh8)
+    loads = ctx.result.edge_loads
+    ctx.result._cache["congestion"] = int(loads.max()) + 1
+    out = check_invariants(ctx, names=("metrics.consistent",))
+    assert any("congestion" in msg for msg in out["metrics.consistent"])
+
+
+def test_lower_bound_fires_on_impossibly_light_loads(mesh8):
+    # single-node "paths" carry no edges at all: C = 0 < C* for transpose
+    router = make_router("hierarchical")
+    problem = transpose(mesh8)
+    result = router.route(problem, resolve_entropy(0))
+    fake = doctored(result, [np.asarray([int(s)]) for s in problem.sources])
+    ctx = VerifyContext(
+        result=fake,
+        router=router,
+        entropy=resolve_entropy(0),
+        original_problem=problem,
+    )
+    out = check_invariants(ctx, names=("bounds.lower-bound-holds",))
+    assert any("lower bound" in msg for msg in out["bounds.lower-bound-holds"])
+
+
+def test_online_conservation_fires_on_leaky_accounting():
+    stats = SimpleNamespace(
+        injected=10,
+        delivered=9,
+        dropped=3,  # 9 + 3 > 10
+        steps=50,
+        latencies=np.asarray([5.0] * 9),
+        distances=np.asarray([6.0] * 9),  # latency < distance too
+        delivery_ratio=0.9,
+    )
+    ctx = VerifyContext(
+        result=None,
+        router=None,
+        entropy=0,
+        original_problem=None,
+        online=stats,
+    )
+    out = check_invariants(ctx, names=("online.conservation",))
+    msgs = out["online.conservation"]
+    assert any("exceeds" in m for m in msgs)
+    assert any("beat its shortest-path distance" in m for m in msgs)
+
+
+def test_online_conservation_passes_on_clean_accounting():
+    stats = SimpleNamespace(
+        injected=10,
+        delivered=8,
+        dropped=2,
+        steps=50,
+        latencies=np.asarray([7.0] * 8),
+        distances=np.asarray([6.0] * 8),
+        delivery_ratio=0.8,
+    )
+    ctx = VerifyContext(
+        result=None,
+        router=None,
+        entropy=0,
+        original_problem=None,
+        online=stats,
+        online_params={"total_steps": 100},
+    )
+    assert check_invariants(ctx, names=("online.conservation",)) == {}
+
+
+# ---------------------------------------------------------------------------
+# applies() gating
+# ---------------------------------------------------------------------------
+
+def test_stretch_bound_skips_unpromised_routers(mesh8):
+    ctx = make_ctx(mesh8, router_name="valiant")
+    assert not REGISTRY["paths.stretch-bound"].applies(ctx)
+
+
+def test_stretch_bound_binds_dim_order_in_3d():
+    from repro.mesh.mesh import Mesh
+
+    mesh = Mesh((4, 4, 4))
+    router = make_router("dim-order")
+    problem = random_pairs(mesh, 4, seed=0)
+    result = router.route(problem, resolve_entropy(0))
+    ctx = VerifyContext(
+        result=result, router=router, entropy=0, original_problem=problem
+    )
+    # dim-order promises stretch 1 in any dimension count...
+    assert REGISTRY["paths.stretch-bound"].applies(ctx)
+    # ...but Theorem 3.4's constant-64 ceiling is proved for 2-D only
+    hier = make_router("hierarchical")
+    hier_result = hier.route(problem, resolve_entropy(0))
+    hier_ctx = VerifyContext(
+        result=hier_result, router=hier, entropy=0, original_problem=problem
+    )
+    assert not REGISTRY["paths.stretch-bound"].applies(hier_ctx)
+
+
+def test_bitonic_envelope_skips_torus():
+    from repro.mesh.mesh import Mesh
+
+    mesh = Mesh((8, 8), torus=True)
+    router = make_router("hierarchical")
+    problem = random_pairs(mesh, 4, seed=0)
+    result = router.route(problem, resolve_entropy(0))
+    ctx = VerifyContext(
+        result=result, router=router, entropy=0, original_problem=problem
+    )
+    assert not REGISTRY["paths.bitonic-envelope"].applies(ctx)
+
+
+def test_names_filter_runs_before_applies(mesh8):
+    # an online-only context must be safe to pass through the full filter
+    ctx = VerifyContext(
+        result=None,
+        router=None,
+        entropy=0,
+        original_problem=None,
+        online=None,
+    )
+    assert check_invariants(ctx, names=()) == {}

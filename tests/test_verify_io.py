@@ -1,0 +1,105 @@
+"""Persistence round-trips verified through the oracle hashes.
+
+A stored ``.npz`` is only useful if the seed it records can regenerate
+the exact bytes it holds: load -> re-route from the stored seed -> the
+:func:`~repro.verify.oracles.replay_hash` must equal the stored result's
+:func:`~repro.verify.oracles.result_hash`.  Includes the unseeded case,
+where the resolved 128-bit entropy travels as a decimal string.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io import load_result, save_result
+from repro.mesh.mesh import Mesh
+from repro.routing.registry import make_router
+from repro.verify.oracles import replay_hash, result_hash
+from repro.workloads import random_pairs
+from repro.workloads.permutations import transpose
+
+
+@pytest.mark.parametrize("name", ["hierarchical", "valiant", "dim-order"])
+def test_round_trip_replays_to_identical_bytes(tmp_path, mesh8, name):
+    router = make_router(name)
+    result = router.route(transpose(mesh8), seed=7)
+    path = tmp_path / "result.npz"
+    save_result(path, result)
+
+    loaded = load_result(path)
+    assert loaded.router_name == name
+    assert loaded.seed == result.seed
+    assert result_hash(loaded) == result_hash(result)
+    # the acid test: the stored seed regenerates the stored bytes
+    assert replay_hash(
+        make_router(loaded.router_name), loaded.problem, loaded.seed
+    ) == result_hash(loaded)
+
+
+def test_round_trip_unseeded_128_bit_entropy(tmp_path, mesh8):
+    router = make_router("valiant")
+    result = router.route(random_pairs(mesh8, 16, seed=3), seed=None)
+    # an unseeded route resolves fresh OS entropy and records it
+    assert result.seed is not None
+    assert result.seed > np.iinfo(np.int64).max  # 128-bit: needs the string path
+    path = tmp_path / "unseeded.npz"
+    save_result(path, result)
+
+    loaded = load_result(path)
+    assert loaded.seed == result.seed
+    assert replay_hash(
+        make_router(loaded.router_name), loaded.problem, loaded.seed
+    ) == result_hash(result)
+
+
+def test_round_trip_torus(tmp_path):
+    mesh = Mesh((6, 6), torus=True)
+    router = make_router("dim-order")
+    result = router.route(random_pairs(mesh, 12, seed=1), seed=5)
+    path = tmp_path / "torus.npz"
+    save_result(path, result)
+    loaded = load_result(path)
+    assert loaded.problem.mesh.torus
+    assert loaded.problem.mesh.sides == (6, 6)
+    assert replay_hash(
+        make_router(loaded.router_name), loaded.problem, loaded.seed
+    ) == result_hash(loaded)
+
+
+def test_legacy_int64_seed_files_still_load(tmp_path, mesh8):
+    router = make_router("hierarchical")
+    result = router.route(transpose(mesh8), seed=7)
+    path = tmp_path / "legacy.npz"
+    save_result(path, result)
+    # rewrite the seed field as the pre-string int64 format
+    with np.load(path, allow_pickle=False) as data:
+        fields = {k: data[k] for k in data.files}
+    fields["seed"] = np.asarray([int(result.seed)], dtype=np.int64)
+    np.savez_compressed(path, **fields)
+
+    loaded = load_result(path)
+    assert loaded.seed == result.seed
+    assert replay_hash(
+        make_router(loaded.router_name), loaded.problem, loaded.seed
+    ) == result_hash(loaded)
+
+
+def test_sharded_route_replays_from_stored_seed(tmp_path, mesh8):
+    # bytes stored from a serial run must replay under any worker count
+    router = make_router("hierarchical")
+    result = router.route(random_pairs(mesh8, 24, seed=2), seed=11)
+    path = tmp_path / "sharded.npz"
+    save_result(path, result)
+    loaded = load_result(path)
+    from repro.parallel import route_sharded
+    from repro.parallel.executor import SerialExecutor
+
+    sharded = route_sharded(
+        make_router(loaded.router_name),
+        loaded.problem,
+        loaded.seed,
+        workers=4,
+        executor=SerialExecutor(),
+    )
+    assert result_hash(sharded) == result_hash(loaded)

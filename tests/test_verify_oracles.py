@@ -1,0 +1,228 @@
+"""Oracle-vs-fast-path equivalence: the foundation of `repro verify`.
+
+Every oracle in :mod:`repro.verify.oracles` is a deliberately slow scalar
+restatement of an optimised code path.  These tests pin the equivalences
+directly — uniforms, cycle removal, fault masks, BFS detours, full route
+replay, and the metric loops — so a drift in either side surfaces here
+before the differential runner ever has to shrink anything.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.randomness import packet_uniforms, resolve_entropy
+from repro.faults.model import FaultModel
+from repro.faults.router import FaultAwareRouter, shortest_alive_path
+from repro.mesh.mesh import Mesh
+from repro.mesh.paths import remove_cycles
+from repro.metrics.congestion import edge_loads, node_loads
+from repro.routing.registry import make_router
+from repro.verify.oracles import (
+    oracle_alive_bfs,
+    oracle_dilation,
+    oracle_distance,
+    oracle_edge_loads,
+    oracle_fault_mask,
+    oracle_node_loads,
+    oracle_remove_cycles,
+    oracle_route,
+    oracle_stretches,
+    oracle_uniforms,
+    replay_hash,
+    result_hash,
+)
+from repro.workloads import random_pairs
+from repro.workloads.permutations import transpose
+
+
+# ---------------------------------------------------------------------------
+# Randomness primitive
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("prefix", [(), (2,), (3, 5)])
+def test_oracle_uniforms_match_packet_uniforms(prefix):
+    entropy = resolve_entropy(1234)
+    indices = np.asarray([0, 1, 7, 63, 1000], dtype=np.int64)
+    fast = packet_uniforms(entropy, indices, 6, prefix)
+    for row, idx in enumerate(indices):
+        slow = oracle_uniforms(entropy, int(idx), 6, prefix)
+        assert fast[row].tolist() == slow
+
+
+def test_oracle_uniforms_are_per_index_not_per_row():
+    # the same global index yields the same uniforms regardless of which
+    # batch row it occupies — the sharding contract, stated scalar-side
+    entropy = resolve_entropy(9)
+    assert oracle_uniforms(entropy, 42, 4) == oracle_uniforms(entropy, 42, 4)
+    assert oracle_uniforms(entropy, 42, 4) != oracle_uniforms(entropy, 43, 4)
+
+
+# ---------------------------------------------------------------------------
+# Scalar path helpers
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "path",
+    [
+        [0],
+        [0, 1, 2, 3],
+        [0, 1, 0, 1, 2],
+        [5, 4, 3, 4, 5, 6],
+        [1, 2, 3, 1, 2, 3, 4],
+    ],
+)
+def test_oracle_remove_cycles_matches_fast(path):
+    fast = remove_cycles(np.asarray(path, dtype=np.int64))
+    assert oracle_remove_cycles(path) == fast.tolist()
+
+
+def test_oracle_distance_torus_wraps(mesh8):
+    torus = Mesh((8, 8), torus=True)
+    # corner to corner: 14 on the grid, 2 around the torus
+    assert oracle_distance(mesh8, 0, 63) == 14
+    assert oracle_distance(torus, 0, 63) == 2
+
+
+# ---------------------------------------------------------------------------
+# Fault masks
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda m: FaultModel.static(m, p=0.1, seed=3),
+        lambda m: FaultModel.static(m, p=0.05, node_p=0.05, seed=4),
+        lambda m: FaultModel.blocks(m, num_blocks=2, seed=5),
+    ],
+)
+def test_oracle_fault_mask_static_modes(mesh8, make):
+    model = make(mesh8)
+    assert np.array_equal(oracle_fault_mask(model), model.edge_alive())
+
+
+@pytest.mark.parametrize("step", [0, 1, 3, 9])
+def test_oracle_fault_mask_dynamic_steps(mesh8, step):
+    model = FaultModel.dynamic(mesh8, p=0.04, seed=6)
+    assert np.array_equal(oracle_fault_mask(model, step), model.edge_alive(step))
+
+
+def test_oracle_fault_mask_dynamic_repair_then_refail(mesh8):
+    # walk far enough that repaired edges get a chance to fail again —
+    # the eligibility rule (down_until <= t, not t-1) is what this pins
+    model = FaultModel.dynamic(mesh8, p=0.15, seed=7)
+    horizon = model.repair_delay + 4
+    for step in range(horizon + 1):
+        assert np.array_equal(
+            oracle_fault_mask(model, step), model.edge_alive(step)
+        ), f"dynamic mask diverged at step {step}"
+
+
+def test_oracle_alive_bfs_matches_fast_ties(mesh8):
+    model = FaultModel.static(mesh8, p=0.2, seed=11)
+    alive = model.edge_alive()
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        s, t = (int(x) for x in rng.integers(0, mesh8.n, size=2))
+        fast = shortest_alive_path(mesh8, s, t, alive)
+        slow = oracle_alive_bfs(mesh8, s, t, alive)
+        if fast is None:
+            assert slow is None
+        else:
+            # not just same length: the deterministic tie-break must agree
+            assert slow == fast.tolist()
+
+
+# ---------------------------------------------------------------------------
+# Full route replay
+# ---------------------------------------------------------------------------
+
+ROUTE_CASES = [
+    ("hierarchical", (8, 8), False),
+    ("hierarchical-general", (8, 8), False),
+    ("access-tree", (8, 8), False),
+    ("rect-hierarchical", (8, 4), False),
+    ("valiant", (6, 5), False),
+    ("dim-order", (8, 8), True),
+    ("random-dim-order", (4, 4, 4), False),
+    ("shortest-path", (8, 8), False),
+]
+
+
+@pytest.mark.parametrize("name,sides,torus", ROUTE_CASES)
+def test_oracle_route_byte_equals_fast(name, sides, torus):
+    mesh = Mesh(sides, torus=torus)
+    problem = random_pairs(mesh, 24, seed=2)
+    router = make_router(name)
+    entropy = resolve_entropy(5)
+    fast = router.route(problem, entropy)
+    oracle_ps, oracle_kept = oracle_route(router, problem, entropy)
+    assert np.array_equal(fast.paths.offsets, oracle_ps.offsets)
+    assert np.array_equal(fast.paths.nodes, oracle_ps.nodes)
+    assert oracle_kept is None and fast.kept_indices is None
+
+
+def test_oracle_route_respects_packet_offset(mesh8):
+    # rows routed at offset k must replay packets k.. of the zero-offset run
+    router = make_router("valiant")
+    problem = random_pairs(mesh8, 12, seed=3)
+    entropy = resolve_entropy(8)
+    full, _ = oracle_route(router, problem, entropy)
+    tail, _ = oracle_route(
+        router, problem.subproblem(range(4, 12)), entropy, packet_offset=4
+    )
+    for row in range(8):
+        assert np.array_equal(np.asarray(tail[row]), np.asarray(full[4 + row]))
+
+
+def test_oracle_route_fault_aware_matches_fast(mesh8):
+    model = FaultModel.static(mesh8, p=0.08, seed=13)
+    router = FaultAwareRouter(make_router("hierarchical"), model)
+    problem = random_pairs(mesh8, 32, seed=4)
+    entropy = resolve_entropy(21)
+    fast = router.route(problem, entropy)
+    oracle_ps, oracle_kept = oracle_route(router, problem, entropy)
+    assert np.array_equal(fast.paths.offsets, oracle_ps.offsets)
+    assert np.array_equal(fast.paths.nodes, oracle_ps.nodes)
+    assert np.array_equal(fast.kept_indices, oracle_kept)
+
+
+# ---------------------------------------------------------------------------
+# Metric loops
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def routed(mesh8):
+    router = make_router("hierarchical")
+    return router.route(transpose(mesh8), seed=0)
+
+
+def test_oracle_metrics_match_vectorised(routed, mesh8):
+    paths = list(routed.paths)
+    assert np.array_equal(oracle_edge_loads(mesh8, paths), edge_loads(mesh8, routed.paths))
+    assert np.array_equal(oracle_node_loads(mesh8, paths), node_loads(mesh8, routed.paths))
+    slow = oracle_stretches(
+        mesh8, routed.problem.sources, routed.problem.dests, paths
+    )
+    both_nan = np.isnan(slow) & np.isnan(routed.stretches)
+    assert np.all(both_nan | np.isclose(slow, routed.stretches, rtol=0, atol=0))
+    assert oracle_dilation(paths) == routed.dilation
+
+
+def test_oracle_stretches_nan_at_self_loops(mesh8):
+    slow = oracle_stretches(mesh8, [3], [3], [np.asarray([3])])
+    assert np.isnan(slow[0])
+
+
+def test_result_and_replay_hash_agree(routed, mesh8):
+    router = make_router("hierarchical")
+    entropy = resolve_entropy(0)
+    fresh = router.route(transpose(mesh8), entropy)
+    assert result_hash(fresh) == replay_hash(
+        router, transpose(mesh8), entropy
+    )
+    # a different seed must produce different bytes for a randomized router
+    assert result_hash(fresh) != replay_hash(
+        router, transpose(mesh8), resolve_entropy(1)
+    )

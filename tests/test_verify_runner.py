@@ -1,0 +1,268 @@
+"""The differential runner, shrinker, and replay corpus.
+
+Tier-1 runs a 40-case slice of the smoke matrix end to end (zero
+mismatches expected — this is the conformance gate in miniature); the
+full acceptance matrix runs under the ``deep`` marker in the nightly job.
+The shrinker is exercised against a synthetic failure predicate so its
+delta-debugging is tested without needing a real product bug.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.verify.runner as runner_mod
+from repro.obs.profiler import Profiler
+from repro.verify import (
+    Case,
+    CaseOutcome,
+    check_corpus,
+    generate_cases,
+    load_corpus_case,
+    run_case,
+    run_suite,
+    save_corpus_case,
+    shrink_case,
+    supported,
+)
+from repro.verify.cases import GRID_MESHES, ROUTERS
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+# ---------------------------------------------------------------------------
+# Case generation: the acceptance matrix really is covered
+# ---------------------------------------------------------------------------
+
+def test_generate_cases_is_deterministic():
+    a = generate_cases(60, seed=3)
+    b = generate_cases(60, seed=3)
+    assert [c.case_id for c in a] == [c.case_id for c in b]
+    assert len(a) == 60
+
+
+def test_grid_core_covers_the_acceptance_matrix():
+    cases = generate_cases(220, seed=0)
+    assert {c.router for c in cases} == set(ROUTERS)
+    mesh_keys = {(c.sides, c.torus) for c in cases}
+    for sides, torus, _label in GRID_MESHES:
+        assert (tuple(sides), torus) in mesh_keys
+    assert {c.workers for c in cases} >= {1, 4}
+    assert {c.fault_mode for c in cases} >= {"none", "static"}
+
+
+def test_case_round_trips_through_json():
+    case = generate_cases(30, seed=1)[-1]
+    again = Case.from_dict(json.loads(json.dumps(case.to_dict())))
+    assert again == case
+    assert again.case_id == case.case_id
+
+
+# ---------------------------------------------------------------------------
+# The runner on real cases
+# ---------------------------------------------------------------------------
+
+def test_smoke_slice_passes_clean():
+    profiler = Profiler()
+    cases = generate_cases(40, seed=0)
+    report = run_suite(cases, mode="smoke", profiler=profiler, shrink=False)
+    assert report.ok, report.to_dict()["failing"]
+    assert report.cases == 40
+    assert report.mismatches == 0
+    assert report.violations == 0
+    assert report.certificate_failures == 0
+    assert report.invariants_checked > 0
+    assert report.counters["verify.cases"] == 40
+    assert "verify.invariants_checked" in report.counters
+
+
+def test_run_case_online_kind():
+    case = Case(
+        sides=(6, 6),
+        torus=False,
+        router="dim-order",
+        workload="random-pairs",
+        seed=5,
+        kind="online",
+        rate=0.2,
+        steps=20,
+    )
+    outcome = run_case(case)
+    assert outcome.ok, outcome.to_dict()
+    assert outcome.invariants_checked == 1
+
+
+def test_run_case_raises_on_unbuildable_case():
+    # infrastructure errors must surface, never be swallowed as "ok"
+    case = Case(
+        sides=(6, 5),
+        torus=False,
+        router="hierarchical",  # needs equal power-of-two sides
+        workload="random-pairs",
+        seed=0,
+    )
+    assert not supported(case)
+    with pytest.raises(ValueError):
+        run_case(case)
+
+
+# ---------------------------------------------------------------------------
+# Shrinking against a synthetic failure predicate
+# ---------------------------------------------------------------------------
+
+def _fails_when(predicate):
+    def fake_run_case(case, profiler=None, *, real_pool=False):
+        outcome = CaseOutcome(case)
+        if predicate(case):
+            outcome.mismatches.append("synthetic failure")
+        return outcome
+
+    return fake_run_case
+
+
+def test_shrink_minimises_every_knob(monkeypatch):
+    monkeypatch.setattr(
+        runner_mod, "run_case", _fails_when(lambda c: c.packets >= 2)
+    )
+    big = Case(
+        sides=(8, 8),
+        torus=False,
+        router="dim-order",
+        workload="transpose",
+        seed=0,
+        workers=4,
+        packets=32,
+        fault_mode="static",
+        fault_p=0.1,
+        fault_seed=1,
+    )
+    small = shrink_case(big)
+    assert small is not None and not small.ok
+    c = small.case
+    assert c.workers == 1
+    assert c.fault_mode == "none"
+    assert c.workload == "random-pairs"
+    assert c.packets == 2  # packets=1 no longer fails, so 2 is minimal
+    assert c.sides == (2, 2)  # walked the whole mesh ladder
+
+
+def test_shrink_returns_none_for_unreproducible_case(monkeypatch):
+    monkeypatch.setattr(runner_mod, "run_case", _fails_when(lambda c: False))
+    case = Case(
+        sides=(4, 4), torus=False, router="dim-order", workload="random-pairs", seed=0
+    )
+    assert shrink_case(case) is None
+
+
+def test_suite_shrinks_and_records_failures(monkeypatch, tmp_path):
+    # everything "fails": the suite must shrink and persist each case
+    monkeypatch.setattr(runner_mod, "run_case", _fails_when(lambda c: True))
+    cases = [
+        Case(
+            sides=(8, 8),
+            torus=False,
+            router="dim-order",
+            workload="transpose",
+            seed=0,
+            workers=4,
+        )
+    ]
+    report = run_suite(cases, corpus_dir=tmp_path)
+    assert not report.ok and report.failures == 1
+    files = list(tmp_path.glob("*.json"))
+    assert len(files) == 1
+    data = json.loads(files[0].read_text())
+    assert data["status"] == "open"
+    recorded = Case.from_dict(data["case"])
+    assert recorded.workers == 1  # the *shrunk* case is what gets recorded
+    assert files[0].stem == recorded.case_id
+
+
+# ---------------------------------------------------------------------------
+# Corpus persistence and the CI gate
+# ---------------------------------------------------------------------------
+
+def test_corpus_round_trip_and_gate(tmp_path):
+    case = Case(
+        sides=(4, 4), torus=False, router="dim-order", workload="random-pairs", seed=9
+    )
+    outcome = CaseOutcome(case, mismatches=["boom"])
+    path = save_corpus_case(tmp_path, outcome)
+    assert path.name == f"{case.case_id}.json"
+    assert load_corpus_case(path) == case
+
+    total, open_cases = check_corpus(tmp_path)
+    assert total == 1 and open_cases == [path.name]
+
+    data = json.loads(path.read_text())
+    data["status"] = "resolved"
+    path.write_text(json.dumps(data))
+    assert check_corpus(tmp_path) == (1, [])
+
+
+def test_load_corpus_case_accepts_bare_case_json(tmp_path):
+    case = Case(
+        sides=(4, 4), torus=False, router="valiant", workload="random-pairs", seed=2
+    )
+    path = tmp_path / "bare.json"
+    path.write_text(json.dumps(case.to_dict()))
+    assert load_corpus_case(path) == case
+
+
+# -- the committed corpus ---------------------------------------------------
+
+def _committed_cases():
+    return sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_committed_corpus_schema():
+    files = _committed_cases()
+    assert files, "the corpus must never be emptied (see corpus/README.md)"
+    for path in files:
+        data = json.loads(path.read_text())
+        assert set(data) >= {"case", "status", "found", "note"}, path.name
+        assert data["status"] in ("open", "resolved"), path.name
+        case = Case.from_dict(data["case"])
+        assert path.stem == case.case_id, f"{path.name} is misnamed"
+
+
+def test_committed_corpus_has_no_open_cases():
+    _total, open_cases = check_corpus(CORPUS_DIR)
+    assert open_cases == [], (
+        f"unresolved corpus cases {open_cases}: fix the bug, then flip "
+        "status to 'resolved' — never delete the file"
+    )
+
+
+@pytest.mark.parametrize(
+    "path", _committed_cases(), ids=lambda p: p.stem
+)
+def test_committed_corpus_replays_clean(path):
+    # every resolved corpus case is a standing regression test
+    case = load_corpus_case(path)
+    outcome = run_case(case)
+    assert outcome.ok, outcome.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# The full acceptance matrix (nightly)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.deep
+def test_full_smoke_matrix_passes():
+    profiler = Profiler()
+    cases = generate_cases(220, seed=0)
+    report = run_suite(cases, mode="smoke", profiler=profiler, shrink=False)
+    assert report.cases >= 200
+    assert report.ok, report.to_dict()["failing"]
+
+
+@pytest.mark.deep
+def test_real_pool_slice_matches_serial():
+    # a handful of workers=4 cases on genuine fork pools
+    cases = [c for c in generate_cases(220, seed=0) if c.workers != 1][:6]
+    report = run_suite(cases, mode="deep", real_pool=True, shrink=False)
+    assert report.ok, report.to_dict()["failing"]
