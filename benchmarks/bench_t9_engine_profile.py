@@ -22,6 +22,13 @@ the cache disabled.  The qualitative claims asserted here:
 against the pre-PathSet list-of-arrays implementations, kept below as the
 baseline.  The contract recorded here: every metric is at least 5x faster
 on a 100k-packet 64x64 workload.
+
+``run_kernels_experiment`` is the kernels-on/off A/B table (PR 6): one
+full-route row per available backend (``repro.kernels``), plus a
+stage-level A/B of the dominant assembly pass — the loop-erasure kernel
+against the seed-era per-path ``remove_cycles`` Python loop, kept below
+verbatim.  Outputs are asserted byte-identical before any time is
+reported.
 """
 
 from __future__ import annotations
@@ -32,9 +39,11 @@ import numpy as np
 
 from common import main_print
 
-from repro import cache
+from repro import cache, kernels
 from repro.core.path_selection import HierarchicalRouter
+from repro.core.pathset import PathSet
 from repro.mesh.mesh import Mesh
+from repro.mesh.paths import remove_cycles
 from repro.metrics.congestion import edge_loads, node_loads
 from repro.metrics.stretch import stretches
 from repro.obs import Profiler
@@ -186,6 +195,107 @@ def run_metrics_experiment(
     return rows
 
 
+# ---------------------------------------------------------------------------
+# Kernels A/B: route per backend, plus the decycle stage vs the seed-era
+# per-path Python loop (kept verbatim — real history, not a strawman).
+# ---------------------------------------------------------------------------
+
+def _seed_decycle_baseline(mesh_n, nodes, starts, lens):
+    """The PR-4 engine's cycle handling: sorted-key dup scan, then
+    per-path ``remove_cycles`` over ``np.split`` segments."""
+    N = starts.size
+    seg_id = np.repeat(np.arange(N, dtype=np.int64), lens)
+    keys = np.sort(seg_id * mesh_n + nodes)
+    dup = keys[1:] == keys[:-1]
+    parts = np.split(nodes, starts[1:])
+    if dup.any():
+        dup_segs = np.unique(keys[1:][dup] // mesh_n)
+        for i in dup_segs.tolist():
+            parts[i] = remove_cycles(parts[i])
+    return PathSet.from_paths(parts)
+
+
+def _cyclic_assembly(m, packets, seed):
+    """The raw (pre-decycle) assembled node buffer of one routed workload."""
+    from repro.core.randomness import resolve_entropy
+    from repro.routing.engine import build_waypoints, draw_plan, resolve_orders
+
+    mesh = Mesh((m, m))
+    problem = random_pairs(mesh, packets, seed=seed)
+    router = HierarchicalRouter()
+    spec = router.batch_spec(problem)
+    U_way, U_ord = draw_plan(resolve_entropy(seed), spec)
+    W = build_waypoints(spec, U_way)
+    orders = resolve_orders(spec, U_ord)
+    deltas = np.diff(W, axis=1)
+    ordered = np.take_along_axis(deltas, orders, axis=2)
+    counts = np.abs(ordered)
+    values = np.sign(ordered) * mesh.strides[orders]
+    lens = counts.sum(axis=(1, 2)) + 1
+    starts = np.zeros(lens.size, dtype=np.int64)
+    np.cumsum(lens[:-1], out=starts[1:])
+    total = int(lens.sum())
+    flat_s = spec.coords_s @ mesh.strides
+    nodes = kernels.assemble_paths(
+        values.reshape(-1), counts.reshape(-1), flat_s, lens, starts, total
+    )
+    offsets = np.concatenate((starts, np.asarray([total], dtype=np.int64)))
+    return mesh, problem, nodes, offsets, starts, lens
+
+
+def run_kernels_experiment(
+    m: int = 64, packets: int = 200_000, seed: int = 0
+) -> list[dict]:
+    mesh, problem, nodes, offsets, starts, lens = _cyclic_assembly(m, packets, seed)
+    router = HierarchicalRouter()
+    router.route(problem, seed=seed)  # warm cache + JIT (if numba)
+
+    rows = []
+    base_digest = None
+    for backend in kernels.available_backends():
+        with kernels.use_backend(backend):
+            wall = _time(lambda: router.route(problem, seed=seed))
+            ps = router.route(problem, seed=seed).paths
+        digest = ps.nodes.tobytes() + ps.offsets.tobytes()
+        if base_digest is None:
+            base_digest = digest
+        assert digest == base_digest, f"backend {backend} changed the bytes"
+        rows.append(
+            {
+                "run": f"route [kernels={backend}]",
+                "wall_s": round(wall, 4),
+                "pkts/s": int(packets / wall),
+            }
+        )
+
+    want = _seed_decycle_baseline(mesh.n, nodes, offsets[:-1], lens)
+    for backend in kernels.available_backends():
+        with kernels.use_backend(backend):
+            out_nodes, out_offsets, _ = kernels.decycle_paths(nodes, offsets)
+            assert out_nodes.tobytes() == want.nodes.tobytes()
+            assert out_offsets.tobytes() == want.offsets.tobytes()
+            wall = _time(lambda: kernels.decycle_paths(nodes, offsets))
+        rows.append(
+            {
+                "run": f"decycle stage [kernels={backend}]",
+                "wall_s": round(wall, 4),
+                "pkts/s": int(packets / wall),
+            }
+        )
+    seed_wall = _time(
+        lambda: _seed_decycle_baseline(mesh.n, nodes, offsets[:-1], lens),
+        repeats=1,
+    )
+    rows.append(
+        {
+            "run": "decycle stage [seed-era per-path loop]",
+            "wall_s": round(seed_wall, 4),
+            "pkts/s": int(packets / seed_wall),
+        }
+    )
+    return rows
+
+
 def test_t9_batch_loop_identical():
     mesh = Mesh((16, 16))
     problem = transpose(mesh)
@@ -213,6 +323,15 @@ def test_t9_metrics_columnar_speedup():
         assert row["speedup"] >= 3.0, f"{row['metric']}: only {row['speedup']}x"
 
 
+def test_t9_kernels_ab_byte_identical():
+    # Reduced workload for pytest; the full 200k-packet 64x64 A/B is
+    # run_kernels_experiment's default.  The byte-identity asserts inside
+    # are the test — any backend divergence raises.
+    rows = run_kernels_experiment(m=16, packets=2_000)
+    assert any(r["run"].startswith("route [kernels=") for r in rows)
+    assert any("seed-era" in r["run"] for r in rows)
+
+
 def test_t9_cache_hits_accumulate():
     mesh = Mesh((16, 16))
     problem = transpose(mesh)
@@ -229,4 +348,9 @@ if __name__ == "__main__":
     main_print(
         run_metrics_experiment,
         "T9: metrics stage, PathSet vs list baseline (100k packets, 64x64)",
+    )
+    main_print(
+        run_kernels_experiment,
+        "T9: kernels A/B, route + decycle stage per backend vs seed-era "
+        "loop (200k packets, 64x64)",
     )

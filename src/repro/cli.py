@@ -98,6 +98,10 @@ def _add_common(p: argparse.ArgumentParser) -> None:
 
 
 def _cmd_route(args) -> int:
+    from repro import kernels
+
+    if args.kernels != "auto":
+        kernels.set_backend(args.kernels)
     mesh = parse_mesh(args.mesh, args.torus)
     problem = build_workload(args.workload, mesh, args.seed)
     router = make_router(args.router)
@@ -119,6 +123,9 @@ def _cmd_route(args) -> int:
 
         print()
         print(profiler.format())
+        backend = profiler.annotations.get("kernels.backend", kernels.backend())
+        print(f"kernels: backend={backend} "
+              f"(available: {', '.join(kernels.available_backends())})")
         st = cache.stats()
         print(f"cache: hits={st.hits} misses={st.misses} entries={st.entries} "
               f"hit_rate={st.hit_rate:.0%}")
@@ -395,6 +402,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print per-stage timings, counters and cache stats")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="write a JSONL event trace (implies profiling)")
+    p.add_argument("--kernels", default="auto", choices=("auto", "numba", "numpy"),
+                   help="hot-loop kernel backend (default: auto; results are "
+                        "byte-identical either way)")
     p.set_defaults(func=_cmd_route)
 
     p = sub.add_parser("compare", help="compare routers on one workload")

@@ -32,6 +32,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import cache as _cache
+from repro import kernels
 from repro.core.decomposition import Decomposition
 from repro.mesh.mesh import Mesh
 
@@ -279,23 +280,5 @@ class SequenceTables:
         box_lo = np.broadcast_to(ct[:, None, :], (N, S, d)).copy()
         box_len = np.ones((N, S, d), dtype=np.int64)
         n_inner = np.where(alive, 2 * u + 1, 0)
-        rows = np.arange(N)
-        # up chain: height j at slot j - 1
-        for j in range(1, self.k):
-            mask = alive & (u >= j)
-            if not mask.any():
-                continue
-            box_lo[mask, j - 1] = (cs[mask] >> j) << j
-            box_len[mask, j - 1] = 1 << j
-        # bridge at slot u
-        if alive.any():
-            box_lo[rows[alive], u[alive]] = blo[alive]
-            box_len[rows[alive], u[alive]] = bhi[alive] - blo[alive] + 1
-        # down chain: height j at slot 2u + 1 - j
-        for j in range(1, self.k):
-            mask = alive & (u >= j)
-            if not mask.any():
-                continue
-            box_lo[rows[mask], 2 * u[mask] + 1 - j] = (ct[mask] >> j) << j
-            box_len[rows[mask], 2 * u[mask] + 1 - j] = 1 << j
+        kernels.fill_box_chains(box_lo, box_len, cs, ct, u, blo, bhi, alive, self.k)
         return box_lo, box_len, n_inner

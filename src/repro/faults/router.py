@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.core.randomness import packet_streams, resolve_entropy
 from repro.faults.model import FaultModel
 from repro.mesh.mesh import Mesh
@@ -32,37 +33,21 @@ class FaultRoutingError(RuntimeError):
 
 
 def shortest_alive_path(
-    mesh: Mesh, s: int, t: int, alive: np.ndarray
+    mesh: Mesh, s: int, t: int, alive: np.ndarray, *, profiler=None
 ) -> np.ndarray | None:
     """A shortest path from ``s`` to ``t`` using only alive edges.
 
     BFS over the alive subgraph's CSR adjacency (all edges have unit
-    length, so BFS is Dijkstra here).  Returns the node array, or ``None``
-    when ``t`` is unreachable.  Deterministic: neighbors expand in CSR
-    order, so equal-length ties always break the same way.
+    length, so BFS is Dijkstra here), dispatched through
+    :func:`repro.kernels.bfs_parents`.  Returns the node array, or
+    ``None`` when ``t`` is unreachable.  Deterministic: within a level the
+    first writer in (ascending frontier node, CSR neighbor order) wins, so
+    equal-length ties always break the same way on either backend.
     """
     if s == t:
         return np.asarray([s], dtype=np.int64)
     indptr, heads, _eids = mesh.adjacency_csr(alive)
-    parent = np.full(mesh.n, -1, dtype=np.int64)
-    parent[s] = s
-    frontier = np.asarray([s], dtype=np.int64)
-    while frontier.size:
-        # expand the whole frontier in one gather per level
-        counts = indptr[frontier + 1] - indptr[frontier]
-        idx = np.repeat(indptr[frontier], counts) + (
-            np.arange(int(counts.sum())) - np.repeat(np.cumsum(counts) - counts, counts)
-        )
-        nbrs = heads[idx]
-        fresh = parent[nbrs] == -1
-        nbrs = nbrs[fresh]
-        srcs = np.repeat(frontier, counts)[fresh]
-        # first writer wins within a level (stable CSR order)
-        uniq, first = np.unique(nbrs, return_index=True)
-        parent[uniq] = srcs[first]
-        if parent[t] != -1:
-            break
-        frontier = uniq
+    parent = kernels.bfs_parents(indptr, heads, s, t, mesh.n, profiler=profiler)
     if parent[t] == -1:
         return None
     path = [t]
@@ -142,7 +127,7 @@ class FaultAwareRouter(Router):
             path = self.inner.select_path(mesh, s, t, rng)
         if path.size < 2 or bool(alive[mesh.edge_ids(path[:-1], path[1:])].all()):
             return path
-        detour = shortest_alive_path(mesh, s, t, alive)
+        detour = shortest_alive_path(mesh, s, t, alive, profiler=self.profiler)
         if detour is None:
             self.unroutable += 1
             self._count("unroutable")

@@ -1,0 +1,335 @@
+"""Tiered hot-path kernels: one contract, two backends.
+
+The batch engine's inner loops — segmented-cumsum path assembly, per-path
+cycle removal (loop erasure), the fault-aware BFS detour, and the metrics
+array passes — are *kernel-shaped*: tight integer loops over flat CSR
+buffers with no Python objects in sight.  This package gives each of them
+two interchangeable implementations:
+
+* ``numpy``  — pure-array passes, always available; the reference tier.
+* ``numba``  — ``@njit(cache=True)`` compiled loops, used automatically
+  when `numba <https://numba.pydata.org>`_ is importable.
+
+**The contract is byte-identity.**  For any input, both backends return
+arrays equal to the last byte; the scalar oracles in
+:mod:`repro.verify.oracles` referee both (``repro verify`` must stay at
+zero mismatches no matter which tier ran).  Because of that, backend
+choice is *pure* performance policy — it can never change a route, a
+golden hash, or a metric.  See ``docs/KERNELS.md`` for the guarantee and
+for how to add a new kernel against the referee.
+
+Selection happens at import time from the ``REPRO_KERNELS`` environment
+variable:
+
+``auto`` (default)
+    ``numba`` when importable, else ``numpy``.
+``numba``
+    Force the compiled tier.  When numba is missing the package *degrades
+    gracefully*: a :class:`RuntimeWarning` is emitted and the ``numpy``
+    tier is used (routes are identical either way, only speed differs).
+``numpy``
+    Force the fallback tier (CI runs a matrix leg this way so the
+    fallback never rots).
+
+Runtime control (tests, benchmarks, the ``repro route --kernels`` flag)
+goes through :func:`set_backend` / :func:`use_backend`.  Every dispatch
+increments a process-wide counter (:func:`dispatch_counts`) and, when the
+call site passes a profiler, a ``kernels.<backend>.<name>`` counter in
+that profiler — the per-worker snapshots merge across process boundaries
+like every other counter.
+
+Examples
+--------
+>>> from repro import kernels
+>>> kernels.backend() in kernels.available_backends()
+True
+>>> with kernels.use_backend("numpy"):
+...     kernels.backend()
+'numpy'
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import threading
+import warnings
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.kernels import _numpy as _np_impls
+
+__all__ = [
+    "available_backends",
+    "backend",
+    "set_backend",
+    "use_backend",
+    "dispatch_counts",
+    "reset_dispatch_counts",
+    "assemble_paths",
+    "decycle_paths",
+    "bfs_parents",
+    "fill_box_chains",
+    "count_loads",
+    "node_loads_csr",
+    "stretch_ratios",
+    "KERNEL_NAMES",
+]
+
+#: every kernel the tier provides, in dispatch-table order
+KERNEL_NAMES = (
+    "assemble_paths",
+    "decycle_paths",
+    "bfs_parents",
+    "fill_box_chains",
+    "count_loads",
+    "node_loads_csr",
+    "stretch_ratios",
+)
+
+
+def _numba_importable() -> bool:
+    """Whether a numba distribution is present (without importing it)."""
+    try:
+        return importlib.util.find_spec("numba") is not None
+    except (ImportError, ValueError):  # pragma: no cover - exotic paths
+        return False
+
+
+_HAVE_NUMBA = _numba_importable()
+
+_lock = threading.Lock()
+_impl_tables: dict[str, dict] = {"numpy": _np_impls.IMPLS}
+_counts: dict[str, int] = {}
+_active: str = "numpy"
+
+
+def _load_numba_table() -> dict | None:
+    """Import the compiled tier, degrading to ``None`` on any failure."""
+    global _HAVE_NUMBA
+    table = _impl_tables.get("numba")
+    if table is not None:
+        return table
+    try:
+        from repro.kernels import _numba as _nb_impls
+    except Exception as exc:  # broken install: degrade, don't crash
+        _HAVE_NUMBA = False
+        warnings.warn(
+            f"repro.kernels: numba tier failed to import ({exc!r}); "
+            "falling back to the numpy tier",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    _impl_tables["numba"] = _nb_impls.IMPLS
+    return _impl_tables["numba"]
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backends usable in this process, preferred first."""
+    return ("numba", "numpy") if _HAVE_NUMBA else ("numpy",)
+
+
+def backend() -> str:
+    """The backend dispatches currently go to (``"numba"`` or ``"numpy"``)."""
+    return _active
+
+
+def set_backend(name: str) -> str:
+    """Select the dispatch backend; returns the backend actually active.
+
+    ``"auto"`` resolves to the preferred available backend.  Requesting
+    ``"numba"`` when numba is unavailable warns and keeps ``"numpy"``
+    (graceful degradation — results are byte-identical either way).
+    Unknown names raise ``ValueError``.
+    """
+    global _active
+    name = str(name).strip().lower()
+    if name not in ("auto", "numba", "numpy"):
+        raise ValueError(
+            f"unknown kernels backend {name!r}; choose auto, numba or numpy"
+        )
+    if name == "auto":
+        name = available_backends()[0]
+    if name == "numba":
+        if (_load_numba_table() if _HAVE_NUMBA else None) is None:
+            warnings.warn(
+                "repro.kernels: REPRO_KERNELS requested the numba backend "
+                "but numba is not installed; using the numpy tier "
+                "(byte-identical, slower)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            name = "numpy"
+    with _lock:
+        _active = name
+    return _active
+
+
+@contextmanager
+def use_backend(name: str):
+    """Temporarily dispatch to ``name`` (restores the previous backend)."""
+    previous = _active
+    set_backend(name)
+    try:
+        yield _active
+    finally:
+        set_backend(previous)
+
+
+def dispatch_counts() -> dict[str, int]:
+    """Process-wide dispatch tally: ``{"<backend>.<kernel>": calls}``.
+
+    Per-process only — sharded workers tally their own processes.  For a
+    cross-process rollup, pass a profiler at the call sites (the engine
+    and fault router do): ``kernels.<backend>.<name>`` counters ride the
+    worker snapshot merge.
+    """
+    with _lock:
+        return dict(_counts)
+
+
+def reset_dispatch_counts() -> None:
+    with _lock:
+        _counts.clear()
+
+
+def _dispatch(name: str, profiler=None):
+    table = _impl_tables[_active]
+    key = f"{_active}.{name}"
+    with _lock:
+        _counts[key] = _counts.get(key, 0) + 1
+    if profiler is not None:
+        profiler.count(f"kernels.{key}")
+    return table[name]
+
+
+# ---------------------------------------------------------------------------
+# Public kernels.  Signatures are pure arrays + ints so both tiers (and any
+# future C/Cython tier) implement the same flat contract.
+# ---------------------------------------------------------------------------
+def assemble_paths(
+    values: np.ndarray,
+    counts: np.ndarray,
+    flat_s: np.ndarray,
+    lens: np.ndarray,
+    starts: np.ndarray,
+    total: int,
+    *,
+    profiler=None,
+) -> np.ndarray:
+    """Segmented-cumsum path assembly: unit steps -> flat node buffer.
+
+    ``values``/``counts`` are the flattened per-(packet, subpath, dim)
+    signed strides and step counts; ``flat_s`` the per-packet source node
+    ids; ``lens``/``starts`` the per-packet node counts and output
+    offsets (``starts = exclusive cumsum of lens``, ``total = lens.sum()``).
+    Returns the ``int64[total]`` node buffer: path ``p`` occupies
+    ``[starts[p], starts[p] + lens[p])`` and integrates ``flat_s[p]``
+    through its repeated step values.
+    """
+    return _dispatch("assemble_paths", profiler)(
+        values, counts, flat_s, lens, starts, int(total)
+    )
+
+
+def decycle_paths(
+    nodes: np.ndarray, offsets: np.ndarray, *, profiler=None
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Loop-erase every path of a CSR collection (earliest-visit semantics).
+
+    Returns ``(nodes, offsets, changed)`` where ``changed`` counts the
+    paths that contained a revisited node.  Paths without revisits are
+    preserved byte-for-byte (the numpy tier returns the input arrays
+    unchanged when ``changed == 0``).  Per path the result equals
+    :func:`repro.mesh.paths.remove_cycles` exactly — the scalar oracle
+    :func:`repro.verify.oracles.oracle_remove_cycles` referees both tiers.
+    """
+    return _dispatch("decycle_paths", profiler)(nodes, offsets)
+
+
+def bfs_parents(
+    indptr: np.ndarray,
+    heads: np.ndarray,
+    s: int,
+    t: int,
+    n: int,
+    *,
+    profiler=None,
+) -> np.ndarray:
+    """Level-synchronous BFS parents over a CSR adjacency, rooted at ``s``.
+
+    Stops once ``t``'s level is complete; ``parent[v] == -1`` marks
+    unreached nodes and ``parent[s] == s``.  Tie-breaking is part of the
+    contract: within a level the first writer in (ascending frontier
+    node, CSR neighbor order) wins, so equal-length detours are identical
+    across backends.
+    """
+    return _dispatch("bfs_parents", profiler)(indptr, heads, int(s), int(t), int(n))
+
+
+def fill_box_chains(
+    box_lo: np.ndarray,
+    box_len: np.ndarray,
+    cs: np.ndarray,
+    ct: np.ndarray,
+    u: np.ndarray,
+    blo: np.ndarray,
+    bhi: np.ndarray,
+    alive: np.ndarray,
+    k: int,
+    *,
+    profiler=None,
+) -> None:
+    """Scatter the bitonic ancestor chains + bridge into padded box arrays.
+
+    Mutates ``box_lo``/``box_len`` (``(N, S, d)``, pre-filled with the
+    destination single-node padding) in place: per alive packet, slots
+    ``0..u-1`` get the source's type-1 ancestors at heights ``1..u``,
+    slot ``u`` the bridge box ``[blo, bhi]``, slots ``u+1..2u`` the
+    destination's ancestors at heights ``u..1``.
+    """
+    _dispatch("fill_box_chains", profiler)(
+        box_lo, box_len, cs, ct, u, blo, bhi, alive, int(k)
+    )
+
+
+def count_loads(ids: np.ndarray, minlength: int, *, profiler=None) -> np.ndarray:
+    """Dense ``int64`` histogram of ``ids`` (the edge-load accumulate)."""
+    return _dispatch("count_loads", profiler)(ids, int(minlength))
+
+
+def node_loads_csr(
+    nodes: np.ndarray, offsets: np.ndarray, n: int, *, profiler=None
+) -> np.ndarray:
+    """Per-node visiting-path counts over a CSR collection.
+
+    A path visiting a node several times counts once for that node.
+    """
+    return _dispatch("node_loads_csr", profiler)(nodes, offsets, int(n))
+
+
+def stretch_ratios(
+    lengths: np.ndarray, dists: np.ndarray, *, profiler=None
+) -> np.ndarray:
+    """``lengths / dists`` with ``nan`` where ``dists <= 0`` (stretch pass)."""
+    return _dispatch("stretch_ratios", profiler)(lengths, dists)
+
+
+# ---------------------------------------------------------------------------
+# Import-time selection (REPRO_KERNELS=auto|numba|numpy).
+# ---------------------------------------------------------------------------
+def _resolve_from_env() -> str:
+    raw = os.environ.get("REPRO_KERNELS", "auto").strip().lower() or "auto"
+    if raw not in ("auto", "numba", "numpy"):
+        warnings.warn(
+            f"repro.kernels: unknown REPRO_KERNELS={raw!r}; using auto",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        raw = "auto"
+    return set_backend(raw)
+
+
+_resolve_from_env()

@@ -1,0 +1,227 @@
+"""The numba kernel tier: ``@njit(cache=True)`` loops, byte-identical.
+
+Imported lazily by :mod:`repro.kernels` only when numba is installed and
+the active backend is ``"numba"``.  Every function matches the numpy tier
+(:mod:`repro.kernels._numpy`) to the last byte — same integer arithmetic,
+same tie-breaking, same output dtypes — which ``tests/test_kernels.py``
+asserts pairwise and ``repro verify`` referees against the scalar
+oracles.  Compilation is cached on disk (``cache=True``) so the JIT cost
+is paid once per machine, not per process.
+
+The wrappers below normalise dtypes/contiguity before entering nopython
+land so the compiled signatures stay stable across call sites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+__all__ = ["IMPLS"]
+
+
+@njit(cache=True, nogil=True)
+def _assemble_paths(values, counts, flat_s, starts, total):
+    nodes = np.empty(total, dtype=np.int64)
+    n_packets = flat_s.size
+    if n_packets == 0:
+        return nodes
+    per_packet = values.size // n_packets
+    for p in range(n_packets):
+        w = starts[p]
+        cur = flat_s[p]
+        nodes[w] = cur
+        w += 1
+        for k in range(p * per_packet, (p + 1) * per_packet):
+            v = values[k]
+            for _ in range(counts[k]):
+                cur += v
+                nodes[w] = cur
+                w += 1
+    return nodes
+
+
+def assemble_paths(values, counts, flat_s, lens, starts, total):
+    values = np.ascontiguousarray(values, dtype=np.int64)
+    counts = np.ascontiguousarray(counts, dtype=np.int64)
+    flat_s = np.ascontiguousarray(flat_s, dtype=np.int64)
+    starts = np.ascontiguousarray(starts, dtype=np.int64)
+    return _assemble_paths(values, counts, flat_s, starts, int(total))
+
+
+@njit(cache=True, nogil=True)
+def _decycle_paths(nodes, offsets, n_ids):
+    n_paths = offsets.size - 1
+    out = np.empty(nodes.size, dtype=np.int64)
+    new_offsets = np.empty(n_paths + 1, dtype=np.int64)
+    new_offsets[0] = 0
+    # stamp[v] == p marks v as currently on path p's stack; stack_pos[v]
+    # is its output position (valid only while stamped).
+    stamp = np.full(n_ids, -1, dtype=np.int64)
+    stack_pos = np.empty(n_ids, dtype=np.int64)
+    wp = 0
+    changed = 0
+    for p in range(n_paths):
+        base = wp
+        for i in range(offsets[p], offsets[p + 1]):
+            v = nodes[i]
+            if stamp[v] == p:
+                # Rewind to the first visit of v, un-marking the dropped
+                # suffix so those nodes read as unseen again.
+                keep = stack_pos[v] + 1
+                for j in range(keep, wp):
+                    stamp[out[j]] = -1
+                wp = keep
+            else:
+                stamp[v] = p
+                stack_pos[v] = wp
+                out[wp] = v
+                wp += 1
+        new_offsets[p + 1] = wp
+        if wp - base != offsets[p + 1] - offsets[p]:
+            changed += 1
+    return out[:wp].copy(), new_offsets, changed
+
+
+def decycle_paths(nodes, offsets):
+    if offsets.size <= 1 or nodes.size == 0:
+        return nodes, offsets, 0
+    nodes_c = np.ascontiguousarray(nodes, dtype=np.int64)
+    offsets_c = np.ascontiguousarray(offsets, dtype=np.int64)
+    n_ids = int(nodes_c.max()) + 1
+    out, new_offsets, changed = _decycle_paths(nodes_c, offsets_c, n_ids)
+    if changed == 0:
+        # Preserve the numpy tier's identity fast path (same objects out).
+        return nodes, offsets, 0
+    return out, new_offsets, int(changed)
+
+
+@njit(cache=True, nogil=True)
+def _bfs_parents(indptr, heads, s, t, n):
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[s] = s
+    if s == t:
+        return parent
+    frontier = np.empty(n, dtype=np.int64)
+    discovered = np.empty(n, dtype=np.int64)
+    frontier[0] = s
+    fsize = 1
+    while fsize > 0 and parent[t] == -1:
+        nsize = 0
+        for fi in range(fsize):
+            u = frontier[fi]
+            for e in range(indptr[u], indptr[u + 1]):
+                v = heads[e]
+                if parent[v] == -1:
+                    parent[v] = u
+                    discovered[nsize] = v
+                    nsize += 1
+        if nsize == 0:
+            break
+        # The numpy tier expands the next level in ascending node order
+        # (np.unique); sorting here keeps the first-writer ties identical.
+        nxt = np.sort(discovered[:nsize])
+        for i in range(nsize):
+            frontier[i] = nxt[i]
+        fsize = nsize
+    return parent
+
+
+def bfs_parents(indptr, heads, s, t, n):
+    indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+    heads = np.ascontiguousarray(heads, dtype=np.int64)
+    return _bfs_parents(indptr, heads, int(s), int(t), int(n))
+
+
+@njit(cache=True, nogil=True)
+def _fill_box_chains(box_lo, box_len, cs, ct, u, blo, bhi, alive, k):
+    n_packets, _, d = box_lo.shape
+    for p in range(n_packets):
+        if not alive[p]:
+            continue
+        up = u[p]
+        for j in range(1, k):
+            if up < j:
+                break
+            for x in range(d):
+                box_lo[p, j - 1, x] = (cs[p, x] >> j) << j
+                box_len[p, j - 1, x] = 1 << j
+                box_lo[p, 2 * up + 1 - j, x] = (ct[p, x] >> j) << j
+                box_len[p, 2 * up + 1 - j, x] = 1 << j
+        for x in range(d):
+            box_lo[p, up, x] = blo[p, x]
+            box_len[p, up, x] = bhi[p, x] - blo[p, x] + 1
+
+
+def fill_box_chains(box_lo, box_len, cs, ct, u, blo, bhi, alive, k):
+    _fill_box_chains(
+        box_lo,
+        box_len,
+        np.ascontiguousarray(cs, dtype=np.int64),
+        np.ascontiguousarray(ct, dtype=np.int64),
+        np.ascontiguousarray(u, dtype=np.int64),
+        np.ascontiguousarray(blo, dtype=np.int64),
+        np.ascontiguousarray(bhi, dtype=np.int64),
+        np.ascontiguousarray(alive, dtype=np.bool_),
+        int(k),
+    )
+
+
+@njit(cache=True, nogil=True)
+def _count_loads(ids, minlength):
+    out = np.zeros(minlength, dtype=np.int64)
+    for i in range(ids.size):
+        out[ids[i]] += 1
+    return out
+
+
+def count_loads(ids, minlength):
+    return _count_loads(np.ascontiguousarray(ids, dtype=np.int64), int(minlength))
+
+
+@njit(cache=True, nogil=True)
+def _node_loads_csr(nodes, offsets, n):
+    counts = np.zeros(n, dtype=np.int64)
+    stamp = np.full(n, -1, dtype=np.int64)
+    for p in range(offsets.size - 1):
+        for i in range(offsets[p], offsets[p + 1]):
+            v = nodes[i]
+            if stamp[v] != p:
+                stamp[v] = p
+                counts[v] += 1
+    return counts
+
+
+def node_loads_csr(nodes, offsets, n):
+    return _node_loads_csr(
+        np.ascontiguousarray(nodes, dtype=np.int64),
+        np.ascontiguousarray(offsets, dtype=np.int64),
+        int(n),
+    )
+
+
+@njit(cache=True, nogil=True)
+def _stretch_ratios(lengths, dists):
+    out = np.empty(lengths.size, dtype=np.float64)
+    for i in range(lengths.size):
+        d = dists[i]
+        out[i] = lengths[i] / d if d > 0 else np.nan
+    return out
+
+
+def stretch_ratios(lengths, dists):
+    return _stretch_ratios(
+        np.ascontiguousarray(lengths, dtype=np.float64),
+        np.ascontiguousarray(dists, dtype=np.float64),
+    )
+
+
+IMPLS = {
+    "assemble_paths": assemble_paths,
+    "decycle_paths": decycle_paths,
+    "bfs_parents": bfs_parents,
+    "fill_box_chains": fill_box_chains,
+    "count_loads": count_loads,
+    "node_loads_csr": node_loads_csr,
+    "stretch_ratios": stretch_ratios,
+}

@@ -1,0 +1,246 @@
+"""The pure-numpy kernel tier: always available, the reference backend.
+
+Every function here is the *definition* of its kernel's behaviour; the
+numba tier (:mod:`repro.kernels._numba`) must match it byte-for-byte and
+the scalar oracles in :mod:`repro.verify.oracles` referee both.  The
+implementations are vectorised array passes — no per-packet Python loops
+— so the fallback tier is itself fast enough to carry production load
+when numba is absent.
+
+The interesting kernel is :func:`decycle_paths`.  The scalar contract
+(:func:`repro.mesh.paths.remove_cycles`) is the classic stack algorithm:
+walk the path, and on meeting a node already on the stack, pop back to
+its first visit.  That is exactly chronological *loop erasure*, and loop
+erasure has an equivalent **last-exit** characterisation::
+
+    erase(w) = [w[0]] + erase(w[last_occurrence_of(w[0]) + 1 :])
+
+(when ``w[0]`` is seen again the stack rewinds to position 0, so only the
+walk *after its last visit* survives; no later rewind can cross below it
+because ``w[0]`` never reappears).  The last-exit form vectorises: one
+bucketed row-sort pass precomputes, for every position, the position of
+its node's last occurrence within the path, and a lockstep pointer-chase
+over all cyclic paths at once emits the erased nodes — O(total) work,
+no per-path Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["IMPLS"]
+
+
+def assemble_paths(values, counts, flat_s, lens, starts, total):
+    """Repeat-expand unit steps and integrate per segment (one cumsum)."""
+    steps = np.repeat(values, counts)
+    buf = np.zeros(total, dtype=np.int64)
+    mask = np.ones(total, dtype=bool)
+    mask[starts] = False
+    buf[mask] = steps
+    # Segmented integration: global cumsum, then re-anchor each segment to
+    # its source node.
+    nodes = np.cumsum(buf)
+    nodes -= np.repeat(nodes[starts] - flat_s, lens)
+    return nodes
+
+
+def _last_occurrence(nodes, offsets, lens, starts):
+    """Per-position last occurrence of the position's node within its path.
+
+    Returns ``(jump, has_dup)``: ``jump[g]`` is the *path-local* index of
+    the last occurrence of ``nodes[g]``'s value inside its own path, and
+    ``has_dup[p]`` whether path ``p`` contains any revisited node.
+    Computed per length-bucket so each bucket is a dense ``(k, L)`` matrix
+    sorted row-wise — many small-row sorts beat one global sort of the
+    whole node stream.
+    """
+    N = offsets.size - 1
+    jump = np.empty(nodes.size, dtype=np.int64)
+    has_dup = np.zeros(N, dtype=bool)
+    order = np.argsort(lens, kind="stable")
+    sizes = lens[order]
+    bounds = np.flatnonzero(sizes[1:] != sizes[:-1]) + 1
+    group_starts = np.concatenate(([0], bounds))
+    group_ends = np.concatenate((bounds, [sizes.size]))
+    for gs, ge in zip(group_starts.tolist(), group_ends.tolist()):
+        L = int(sizes[gs])
+        rows = order[gs:ge]
+        if L == 0:
+            continue
+        if L == 1:
+            jump[starts[rows]] = 0
+            continue
+        idx = starts[rows][:, None] + np.arange(L, dtype=np.int64)
+        mat = nodes[idx]
+        srt = np.argsort(mat, axis=1, kind="stable")
+        sm = np.take_along_axis(mat, srt, axis=1)
+        same = sm[:, 1:] == sm[:, :-1]  # sorted col i == col i+1
+        has_dup[rows] = same.any(axis=1)
+        # Walk sorted columns right-to-left carrying each value-group's
+        # last original position (stable sort => group max is rightmost).
+        lastpos = np.empty_like(srt)
+        cur = srt[:, L - 1]
+        lastpos[:, L - 1] = cur
+        for i in range(L - 2, -1, -1):
+            cur = np.where(same[:, i], cur, srt[:, i])
+            lastpos[:, i] = cur
+        local = np.empty_like(srt)
+        np.put_along_axis(local, srt, lastpos, axis=1)
+        jump[idx] = local
+    return jump, has_dup
+
+
+def decycle_paths(nodes, offsets):
+    """Loop-erase every path; identity (same arrays) when none is cyclic."""
+    N = offsets.size - 1
+    if N == 0 or nodes.size == 0:
+        return nodes, offsets, 0
+    lens = np.diff(offsets)
+    starts = offsets[:-1]
+    jump, has_dup = _last_occurrence(nodes, offsets, lens, starts)
+    ndup = int(np.count_nonzero(has_dup))
+    if ndup == 0:
+        return nodes, offsets, 0
+    dup_idx = np.flatnonzero(has_dup)
+
+    # Phase 1: erased length of every cyclic path (lockstep pointer chase;
+    # iteration t keeps only the paths still emitting at position t).
+    new_lens = lens.copy()
+    act = dup_idx
+    pos = np.zeros(act.size, dtype=np.int64)
+    emitted = 1
+    while True:
+        j = jump[starts[act] + pos]
+        done = j == lens[act] - 1
+        new_lens[act[done]] = emitted
+        keep = ~done
+        if not keep.any():
+            break
+        act = act[keep]
+        pos = j[keep] + 1
+        emitted += 1
+
+    new_offsets = np.zeros(N + 1, dtype=np.int64)
+    np.cumsum(new_lens, out=new_offsets[1:])
+    out = np.empty(int(new_offsets[-1]), dtype=np.int64)
+
+    # Acyclic paths copy over verbatim in one masked move.
+    clean = ~has_dup
+    if clean.any():
+        out[np.repeat(clean, new_lens)] = nodes[np.repeat(clean, lens)]
+
+    # Phase 2: re-chase the cyclic paths, writing erased nodes in place.
+    act = dup_idx
+    pos = np.zeros(act.size, dtype=np.int64)
+    base = new_offsets[:-1]
+    t = 0
+    while act.size:
+        g = starts[act] + pos
+        out[base[act] + t] = nodes[g]
+        j = jump[g]
+        keep = j != lens[act] - 1
+        act = act[keep]
+        pos = j[keep] + 1
+        t += 1
+    return out, new_offsets, ndup
+
+
+def bfs_parents(indptr, heads, s, t, n):
+    """Level-synchronous BFS: expand the whole frontier in one gather.
+
+    First writer wins within a level under (ascending frontier node, CSR
+    neighbor order) — ``np.unique``'s first index over the level's gather
+    — which pins the tie-breaking both tiers share.
+    """
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[s] = s
+    if s == t:
+        return parent
+    frontier = np.asarray([s], dtype=np.int64)
+    while frontier.size:
+        counts = indptr[frontier + 1] - indptr[frontier]
+        idx = np.repeat(indptr[frontier], counts) + (
+            np.arange(int(counts.sum())) - np.repeat(np.cumsum(counts) - counts, counts)
+        )
+        nbrs = heads[idx]
+        fresh = parent[nbrs] == -1
+        nbrs = nbrs[fresh]
+        srcs = np.repeat(frontier, counts)[fresh]
+        uniq, first = np.unique(nbrs, return_index=True)
+        parent[uniq] = srcs[first]
+        if parent[t] != -1:
+            break
+        frontier = uniq
+    return parent
+
+
+def fill_box_chains(box_lo, box_len, cs, ct, u, blo, bhi, alive, k):
+    """Masked scatters per height: up chain, bridge slot, down chain."""
+    rows = np.arange(cs.shape[0])
+    # up chain: height j at slot j - 1
+    for j in range(1, k):
+        mask = alive & (u >= j)
+        if not mask.any():
+            continue
+        box_lo[mask, j - 1] = (cs[mask] >> j) << j
+        box_len[mask, j - 1] = 1 << j
+    # bridge at slot u
+    if alive.any():
+        box_lo[rows[alive], u[alive]] = blo[alive]
+        box_len[rows[alive], u[alive]] = bhi[alive] - blo[alive] + 1
+    # down chain: height j at slot 2u + 1 - j
+    for j in range(1, k):
+        mask = alive & (u >= j)
+        if not mask.any():
+            continue
+        box_lo[rows[mask], 2 * u[mask] + 1 - j] = (ct[mask] >> j) << j
+        box_len[rows[mask], 2 * u[mask] + 1 - j] = 1 << j
+
+
+def count_loads(ids, minlength):
+    return np.bincount(ids, minlength=minlength).astype(np.int64)
+
+
+def node_loads_csr(nodes, offsets, n):
+    """Bucket paths by length; one row-wise sort dedupes each bucket."""
+    counts = np.zeros(n, dtype=np.int64)
+    if nodes.size == 0:
+        return counts
+    npp = np.diff(offsets)
+    starts = offsets[:-1]
+    order = np.argsort(npp, kind="stable")
+    sizes = npp[order]
+    bounds = np.flatnonzero(sizes[1:] != sizes[:-1]) + 1
+    group_starts = np.concatenate(([0], bounds))
+    group_ends = np.concatenate((bounds, [sizes.size]))
+    for gs, ge in zip(group_starts.tolist(), group_ends.tolist()):
+        length = int(sizes[gs])
+        if length == 0:
+            continue
+        rows = order[gs:ge]
+        idx = starts[rows][:, None] + np.arange(length, dtype=np.int64)
+        mat = np.sort(nodes[idx], axis=1)
+        first = np.empty(mat.shape, dtype=bool)
+        first[:, 0] = True
+        np.not_equal(mat[:, 1:], mat[:, :-1], out=first[:, 1:])
+        counts += np.bincount(mat[first], minlength=n)
+    return counts
+
+
+def stretch_ratios(lengths, dists):
+    out = np.full(lengths.size, np.nan)
+    nonzero = dists > 0
+    out[nonzero] = lengths[nonzero] / dists[nonzero]
+    return out
+
+
+IMPLS = {
+    "assemble_paths": assemble_paths,
+    "decycle_paths": decycle_paths,
+    "bfs_parents": bfs_parents,
+    "fill_box_chains": fill_box_chains,
+    "count_loads": count_loads,
+    "node_loads_csr": node_loads_csr,
+    "stretch_ratios": stretch_ratios,
+}

@@ -18,6 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.core.pathset import PathSet
 from repro.mesh.mesh import Mesh
 
@@ -35,7 +36,7 @@ def edge_loads(mesh: Mesh, paths: Sequence[np.ndarray] | PathSet) -> np.ndarray:
     if ps.total_edges == 0:
         return np.zeros(mesh.num_edges, dtype=np.int64)
     ids = ps.edge_ids(mesh)
-    return np.bincount(ids, minlength=mesh.num_edges).astype(np.int64)
+    return kernels.count_loads(ids, mesh.num_edges)
 
 
 def congestion(mesh: Mesh, paths: Sequence[np.ndarray] | PathSet) -> int:
@@ -59,8 +60,8 @@ def directed_edge_loads(
         return out
     ids = ps.edge_ids(mesh)
     forward = mesh.edge_endpoints[ids, 0] == ps.edge_tails
-    out[:, 0] = np.bincount(ids[forward], minlength=mesh.num_edges)
-    out[:, 1] = np.bincount(ids[~forward], minlength=mesh.num_edges)
+    out[:, 0] = kernels.count_loads(ids[forward], mesh.num_edges)
+    out[:, 1] = kernels.count_loads(ids[~forward], mesh.num_edges)
     return out
 
 
@@ -68,32 +69,10 @@ def node_loads(mesh: Mesh, paths: Sequence[np.ndarray] | PathSet) -> np.ndarray:
     """How many paths visit each node (endpoints included).
 
     A path visiting a node several times (a walk with a cycle) still counts
-    once for that node.  Paths are bucketed by length so each bucket is a
-    dense ``(k, L)`` matrix: one row-wise ``np.sort`` dedupes every path in
-    the bucket at once (sorting many short rows beats one global sort of
-    the whole node stream), then a masked ``bincount`` accumulates — no
-    per-path Python loops or length-``n`` allocations.
+    once for that node.  Dispatches to :func:`repro.kernels.node_loads_csr`
+    (numba loop, or the numpy tier's bucketed row-wise sort-and-dedupe).
     """
     ps = PathSet.from_paths(paths)
-    counts = np.zeros(mesh.n, dtype=np.int64)
     if ps.total_nodes == 0:
-        return counts
-    npp = ps.nodes_per_path
-    starts = ps.offsets[:-1]
-    order = np.argsort(npp, kind="stable")
-    sizes = npp[order]
-    bounds = np.flatnonzero(sizes[1:] != sizes[:-1]) + 1
-    group_starts = np.concatenate(([0], bounds))
-    group_ends = np.concatenate((bounds, [sizes.size]))
-    for gs, ge in zip(group_starts.tolist(), group_ends.tolist()):
-        length = int(sizes[gs])
-        if length == 0:
-            continue
-        rows = order[gs:ge]
-        idx = starts[rows][:, None] + np.arange(length, dtype=np.int64)
-        mat = np.sort(ps.nodes[idx], axis=1)
-        first = np.empty(mat.shape, dtype=bool)
-        first[:, 0] = True
-        np.not_equal(mat[:, 1:], mat[:, :-1], out=first[:, 1:])
-        counts += np.bincount(mat[first], minlength=mesh.n)
-    return counts
+        return np.zeros(mesh.n, dtype=np.int64)
+    return kernels.node_loads_csr(ps.nodes, ps.offsets, mesh.n)

@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.core.pathset import PathSet
 from repro.mesh.mesh import Mesh
 
@@ -45,10 +46,7 @@ def stretches(
         raise ValueError("sources, dests and paths must have matching lengths")
     lengths = ps.lengths.astype(np.float64)
     dists = np.asarray(mesh.distance(sources, dests), dtype=np.float64)
-    out = np.full(sources.size, np.nan)
-    nonzero = dists > 0
-    out[nonzero] = lengths[nonzero] / dists[nonzero]
-    return out
+    return kernels.stretch_ratios(lengths, dists)
 
 
 def stretch(

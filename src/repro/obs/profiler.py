@@ -16,9 +16,12 @@ JSONL trace schema (one JSON object per line, see docs/PERFORMANCE.md):
     Emitted when a stage context exits (only when a trace sink is set).
 ``{"event": "counter", "name": str, "delta": int, "seq": int}``
     Emitted on every :meth:`Profiler.count` call with a trace sink.
-``{"event": "summary", "stages": {...}, "counters": {...}}``
+``{"event": "annotation", "key": str, "value": ..., "seq": int}``
+    Emitted on every :meth:`Profiler.annotate` call with a trace sink.
+``{"event": "summary", "stages": {...}, "counters": {...}, "annotations": {...}}``
     Emitted by :meth:`write_trace` / :meth:`write_summary`; ``stages``
-    maps stage name to ``{"calls": int, "wall_s": float}``.
+    maps stage name to ``{"calls": int, "wall_s": float}``;
+    ``annotations`` carries run facts such as ``kernels.backend``.
 """
 
 from __future__ import annotations
@@ -74,6 +77,9 @@ class Profiler:
     trace: str | IO[str] | None = None
     stages: dict[str, StageStats] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
+    #: run facts, not measurements — e.g. ``kernels.backend`` (last writer
+    #: wins on merge; workers report through snapshots like counters do)
+    annotations: dict[str, object] = field(default_factory=dict)
     _seq: int = field(default=0, repr=False)
     _sink: IO[str] | None = field(default=None, repr=False)
     _owns_sink: bool = field(default=False, repr=False)
@@ -103,6 +109,12 @@ class Profiler:
             self.counters[name] = self.counters.get(name, 0) + int(delta)
             self._emit({"event": "counter", "name": name, "delta": int(delta)})
 
+    def annotate(self, key: str, value) -> None:
+        """Record a run fact (e.g. ``kernels.backend``); last writer wins."""
+        with self._lock:
+            self.annotations[key] = value
+            self._emit({"event": "annotation", "key": key, "value": value})
+
     def merge(self, other: "Profiler") -> None:
         """Fold another profiler's stages and counters into this one."""
         self.merge_snapshot(other.snapshot())
@@ -116,6 +128,7 @@ class Profiler:
         """
         stages = snapshot.get("stages", {})
         counters = snapshot.get("counters", {})
+        annotations = snapshot.get("annotations", {})
         with self._lock:
             for name, st in stages.items():
                 mine = self.stages.setdefault(name, StageStats())
@@ -123,11 +136,13 @@ class Profiler:
                 mine.wall_s += float(st["wall_s"])
             for name, v in counters.items():
                 self.counters[name] = self.counters.get(name, 0) + int(v)
+            self.annotations.update(annotations)
 
     def reset(self) -> None:
         with self._lock:
             self.stages.clear()
             self.counters.clear()
+            self.annotations.clear()
             self._seq = 0
 
     # ------------------------------------------------------------------
@@ -143,6 +158,7 @@ class Profiler:
             return {
                 "stages": {k: v.to_dict() for k, v in self.stages.items()},
                 "counters": dict(self.counters),
+                "annotations": dict(self.annotations),
             }
 
     def stage_rows(self) -> list[dict]:
@@ -171,6 +187,10 @@ class Profiler:
         if self.counters:
             lines.append("counters: " + ", ".join(
                 f"{k}={v}" for k, v in sorted(self.counters.items())
+            ))
+        if self.annotations:
+            lines.append("annotations: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.annotations.items())
             ))
         return "\n".join(lines)
 

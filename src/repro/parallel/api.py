@@ -53,6 +53,8 @@ def route_sharded(
             problem, entropy, batch=batch, workers=1, packet_offset=packet_offset
         )
 
+    from repro import kernels
+
     profiler = router.profiler
     payload = prepare_router(router)
     warm_keys = tuple(router.warmup_keys(problem))
@@ -66,6 +68,7 @@ def route_sharded(
             batch=batch,
             warm_keys=warm_keys,
             profile=profiler is not None,
+            kernels_backend=kernels.backend(),
         )
         for a, b in bounds
     ]

@@ -37,6 +37,20 @@ __all__ = [
 _COUNTER_ATTRS = ("resamples", "detours", "unroutable")
 
 
+def _pin_kernels(backend: str | None) -> None:
+    """Align this worker's kernel backend with the parent's choice.
+
+    A spawned worker re-resolves ``REPRO_KERNELS`` at import, which already
+    matches the parent's environment; this covers the runtime-override case
+    (``set_backend`` / ``use_backend`` in the parent after import).
+    """
+    if backend is not None:
+        from repro import kernels
+
+        if kernels.backend() != backend:
+            kernels.set_backend(backend)
+
+
 def prepare_router(router: Router) -> Router:
     """A shallow copy of ``router`` safe and cheap to pickle.
 
@@ -65,6 +79,9 @@ class ShardTask:
     batch: bool | str
     warm_keys: tuple = ()
     profile: bool = False
+    #: parent's kernel backend — workers pin theirs to match (results are
+    #: byte-identical regardless; this keeps *telemetry* comparable)
+    kernels_backend: str | None = None
 
 
 @dataclass
@@ -108,6 +125,8 @@ class OnlinePathTask:
     offset: int  #: global injection index of the shard's first packet
     warm_keys: tuple = ()
     profile: bool = False
+    #: parent's kernel backend — workers pin theirs to match
+    kernels_backend: str | None = None
 
 
 @dataclass
@@ -134,6 +153,7 @@ def select_online_paths(task: OnlinePathTask) -> OnlinePathResult:
     from repro.core.randomness import SIM_PATHS, packet_stream
     from repro.faults.router import FaultRoutingError
 
+    _pin_kernels(task.kernels_backend)
     cache.warm(task.warm_keys)
     router = task.router
     if task.profile:
@@ -186,6 +206,7 @@ def select_online_paths(task: OnlinePathTask) -> OnlinePathResult:
 
 def route_shard(task: ShardTask) -> ShardResult:
     """Route one shard in the current process (the worker entry point)."""
+    _pin_kernels(task.kernels_backend)
     cold = cache.warm(task.warm_keys)
     router = task.router
     if task.profile:

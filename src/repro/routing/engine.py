@@ -45,6 +45,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels
 from repro.core.pathset import PathSet
 from repro.core.randomness import packet_uniforms, resolve_entropy
 from repro.mesh.mesh import Mesh
@@ -172,7 +173,10 @@ def _assemble_array(
     The assembly *is* CSR — the flat node buffer plus per-path offsets —
     so the result wraps those arrays directly in a
     :class:`~repro.core.pathset.PathSet` instead of splitting into
-    ``list[np.ndarray]`` and re-flattening downstream.
+    ``list[np.ndarray]`` and re-flattening downstream.  The two hot
+    passes — step integration and loop erasure — dispatch through
+    :mod:`repro.kernels` (numba when available, vectorised numpy
+    otherwise; byte-identical either way).
     """
     mesh = spec.mesh
     N = W.shape[0]
@@ -180,48 +184,37 @@ def _assemble_array(
     ordered = np.take_along_axis(deltas, orders, axis=2)
     counts = np.abs(ordered)
     values = np.sign(ordered) * mesh.strides[orders]
-    # Unit steps of every packet, concatenated in path order (C-order ravel
-    # == per packet, per subpath, per ordered dimension — exactly the step
+    # Unit steps of every packet, in path order (C-order ravel == per
+    # packet, per subpath, per ordered dimension — exactly the step
     # sequence dimension_order_path emits).
-    steps = np.repeat(values.reshape(-1), counts.reshape(-1))
     lens = counts.sum(axis=(1, 2)) + 1  # nodes per path (N == 0 safe)
     starts = np.zeros(N, dtype=np.int64)
     np.cumsum(lens[:-1], out=starts[1:])
     total = int(lens.sum())
-    buf = np.zeros(total, dtype=np.int64)
-    mask = np.ones(total, dtype=bool)
-    mask[starts] = False
-    buf[mask] = steps
-    # Segmented integration: global cumsum, then re-anchor each segment to
-    # its source node.
-    nodes = np.cumsum(buf)
     flat_s = spec.coords_s @ mesh.strides
-    nodes -= np.repeat(nodes[starts] - flat_s, lens)
-    if spec.drop_cycles:
-        seg_id = np.repeat(np.arange(N, dtype=np.int64), lens)
-        keys = np.sort(seg_id * mesh.n + nodes)
-        dup = keys[1:] == keys[:-1]
-        if dup.any():
-            # Only the offending paths leave the flat buffer; the CSR is
-            # rebuilt once from the (mostly shared) segments.
-            parts: list[np.ndarray] = np.split(nodes, starts[1:])
-            dup_segs = np.unique(keys[1:][dup] // mesh.n)
-            for i in dup_segs.tolist():
-                parts[i] = remove_cycles(parts[i])
-            if profiler is not None:
-                profiler.count("engine.paths_decycled", dup_segs.size)
-            pathset = PathSet.from_paths(parts)
-            if profiler is not None:
-                profiler.count("engine.edges", pathset.total_nodes - N)
-            return pathset
+    nodes = kernels.assemble_paths(
+        values.reshape(-1),
+        counts.reshape(-1),
+        flat_s,
+        lens,
+        starts,
+        total,
+        profiler=profiler,
+    )
     offsets = np.concatenate((starts, np.asarray([total], dtype=np.int64)))
+    if spec.drop_cycles:
+        nodes, offsets, decycled = kernels.decycle_paths(
+            nodes, offsets, profiler=profiler
+        )
+        if decycled and profiler is not None:
+            profiler.count("engine.paths_decycled", decycled)
     # Freeze the freshly built buffers so PathSet can wrap them zero-copy
     # (a writable buffer would force a defensive copy).
     nodes.setflags(write=False)
     offsets.setflags(write=False)
     pathset = PathSet.from_arrays(nodes, offsets)
     if profiler is not None:
-        profiler.count("engine.edges", total - N)
+        profiler.count("engine.edges", pathset.total_nodes - N)
     return pathset
 
 
@@ -273,6 +266,7 @@ def run_batch(
         W = build_waypoints(spec, U_way)
         orders = resolve_orders(spec, U_ord)
     if profiler is not None:
+        profiler.annotate("kernels.backend", kernels.backend())
         profiler.count("engine.packets", spec.num_packets)
         profiler.count(
             "engine.rng_values", U_way.size + (U_ord.size if U_ord is not None else 0)

@@ -1,0 +1,60 @@
+"""The docs must not rot against each other: every intra-doc link resolves.
+
+The checker itself lives in ``tools/check_doc_links.py`` (runnable
+standalone); this test is the tier-1/CI gate over it.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_doc_links  # noqa: E402
+
+
+def test_doc_set_is_nonempty_and_present():
+    docs = check_doc_links.doc_files()
+    assert any(d.name == "README.md" for d in docs)
+    assert any(d.name == "KERNELS.md" for d in docs)
+    for doc in docs:
+        assert doc.exists(), doc
+
+
+def test_no_broken_intra_doc_links():
+    problems = check_doc_links.broken_links()
+    assert not problems, "\n".join(problems)
+
+
+def test_docs_actually_contain_links():
+    total = sum(
+        1 for doc in check_doc_links.doc_files()
+        for _ in check_doc_links.iter_links(doc)
+    )
+    assert total >= 10, f"only {total} links found; checker may be blind"
+
+
+@pytest.mark.parametrize(
+    "heading,slug",
+    [
+        ("The kernel tier (`repro.kernels`)", "the-kernel-tier-reprokernels"),
+        ("Backend selection", "backend-selection"),
+        ("API reference", "api-reference"),
+    ],
+)
+def test_github_slugging(heading, slug):
+    assert check_doc_links.github_slug(heading) == slug
+
+
+def test_checker_catches_a_planted_break(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "see [missing](docs/NOPE.md) and [ok](docs/OK.md#real)\n"
+    )
+    (tmp_path / "docs" / "OK.md").write_text("# Real\n[bad](OK.md#fake)\n")
+    problems = check_doc_links.broken_links(tmp_path)
+    assert len(problems) == 2
+    assert any("NOPE.md" in p for p in problems)
+    assert any("'fake'" in p for p in problems)

@@ -8,6 +8,7 @@ import pytest
 import repro
 import repro.cache
 import repro.faults.model
+import repro.kernels
 import repro.mesh.mesh
 import repro.mesh.submesh
 import repro.obs.profiler
@@ -18,7 +19,7 @@ DOCS = pathlib.Path(__file__).resolve().parent.parent / "docs"
 @pytest.mark.parametrize(
     "module",
     [repro, repro.mesh.mesh, repro.mesh.submesh, repro.cache,
-     repro.faults.model, repro.obs.profiler],
+     repro.faults.model, repro.obs.profiler, repro.kernels],
     ids=lambda m: m.__name__,
 )
 def test_module_doctests(module):
@@ -28,7 +29,7 @@ def test_module_doctests(module):
 
 
 @pytest.mark.parametrize(
-    "name", ["API.md", "PERFORMANCE.md", "FAULTS.md", "VERIFICATION.md"]
+    "name", ["API.md", "PERFORMANCE.md", "KERNELS.md", "FAULTS.md", "VERIFICATION.md"]
 )
 def test_docs_doctests(name):
     path = DOCS / name

@@ -1,0 +1,112 @@
+"""Intra-doc link checker for the repository's markdown.
+
+Scans ``README.md`` and ``docs/*.md`` for inline markdown links
+(``[text](target)``) and verifies every *relative* target: the file must
+exist, and when the link carries a ``#fragment`` the target file must
+contain a heading whose GitHub-style slug matches.  External links
+(``http(s)://``, ``mailto:``) are ignored — this gate is about the docs
+not rotting against each other, not about the internet.
+
+Run standalone (exit code 1 on any broken link)::
+
+    python tools/check_doc_links.py
+
+or through the tier-1 suite (``tests/test_docs_links.py``), which is how
+CI fails the docs job on a broken link.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: inline links; [text](target) — code spans are stripped before matching
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_CODE_SPAN_RE = re.compile(r"`[^`]*`")
+_FENCE_RE = re.compile(r"^(```|~~~)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files(root: pathlib.Path = REPO_ROOT) -> list[pathlib.Path]:
+    """The markdown set under the gate: README plus everything in docs/."""
+    return [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line (lowercase, dashes, bare)."""
+    text = _CODE_SPAN_RE.sub(lambda m: m.group(0)[1:-1], heading)
+    text = re.sub(r"[^\w\- ]", "", text.lower())
+    return re.sub(r" ", "-", text.strip())
+
+
+def heading_slugs(path: pathlib.Path) -> set[str]:
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING_RE.match(line)
+        if m:
+            slugs.add(github_slug(m.group(1)))
+    return slugs
+
+
+def iter_links(path: pathlib.Path):
+    """Yield (line_number, target) for every inline link outside code."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in _LINK_RE.finditer(_CODE_SPAN_RE.sub("", line)):
+            yield lineno, m.group(1)
+
+
+def broken_links(root: pathlib.Path = REPO_ROOT) -> list[str]:
+    """Every broken relative link, as ``file:line: message`` strings."""
+    problems: list[str] = []
+    for doc in doc_files(root):
+        if not doc.exists():
+            problems.append(f"{doc.relative_to(root)}: file missing")
+            continue
+        for lineno, target in iter_links(doc):
+            if target.startswith(_EXTERNAL):
+                continue
+            where = f"{doc.relative_to(root)}:{lineno}"
+            raw, _, fragment = target.partition("#")
+            dest = doc if not raw else (doc.parent / raw).resolve()
+            if not dest.exists():
+                problems.append(f"{where}: target does not exist: {target!r}")
+                continue
+            if fragment and dest.suffix == ".md":
+                if fragment.lower() not in heading_slugs(dest):
+                    problems.append(
+                        f"{where}: no heading {fragment!r} in "
+                        f"{dest.relative_to(root)}"
+                    )
+    return problems
+
+
+def main() -> int:
+    problems = broken_links()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = sum(1 for doc in doc_files() for _ in iter_links(doc))
+    print(f"checked {checked} links in {len(doc_files())} files: "
+          f"{len(problems)} broken")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
