@@ -37,6 +37,7 @@ import bench_t8_routing_time as t8
 import bench_t9_engine_profile as t9
 import bench_t10_fault_tolerance as t10
 import bench_t11_parallel_scaling as t11
+import bench_t14_randomness_frontier as t14
 import bench_a1_bridge_ablation as a1
 import bench_a2_dim_order_ablation as a2
 import bench_a3_scheme_ablation as a3
@@ -138,6 +139,12 @@ EXPERIMENTS = [
         t11.run_experiment,
         {"m": 32, "packets": 50_000, "worker_counts": (1, 2)},
         {"m": 16, "packets": 2_000, "worker_counts": (1, 2)},
+    ),
+    (
+        "T14 / Theorems 5.2+5.5: the bits/congestion frontier",
+        t14.run_experiment,
+        {"m": 16, "seeds": (0,), "budgets": (0, 16, 24, None)},
+        {"m": 16, "seeds": (0,), "budgets": (0, 16, None)},
     ),
     (
         "A1 / ablation: bridges on vs off",

@@ -111,13 +111,38 @@ def _cmd_route(args) -> int:
 
         profiler = Profiler(trace=args.trace)
         router.profiler = profiler
-    result = router.route(problem, seed=args.seed, workers=args.workers)
+    budget = None
+    if args.budget_mode is not None or args.budget_bits is not None:
+        from repro.core.budget import BudgetParams
+
+        budget = BudgetParams(
+            mode=args.budget_mode or "enforce", bits=args.budget_bits
+        )
+    result = router.route(
+        problem, seed=args.seed, workers=args.workers, budget=budget
+    )
     from repro.metrics.bounds import congestion_lower_bound
 
     bound = congestion_lower_bound(mesh, problem.sources, problem.dests, use_lp=False)
     print(problem.describe())
     print(result.summary())
     print(f"C* lower bound = {bound:.2f}; C / bound = {result.congestion / max(bound, 1e-9):.2f}")
+    if result.budget is not None:
+        b = result.budget
+        line = (
+            f"budget: mode={b.mode} metered={b.metered}/{b.packets} "
+            f"bits/packet={b.bits_per_packet:.1f} max={b.max_bits}"
+        )
+        if b.limit is not None:
+            line += f" limit={b.limit}"
+        if b.fallbacks:
+            line += (
+                f" fallbacks={b.fallbacks_recycled} recycled"
+                f" + {b.fallbacks_dimorder} dim-order"
+            )
+        print(line)
+    if hasattr(router, "state_bits_per_node"):
+        print(f"compact state: {router.state_bits_per_node(mesh)} bits/node")
     if profiler is not None:
         from repro import cache
 
@@ -405,6 +430,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernels", default="auto", choices=("auto", "numba", "numpy"),
                    help="hot-loop kernel backend (default: auto; results are "
                         "byte-identical either way)")
+    p.add_argument("--budget-mode", default=None,
+                   choices=("off", "measure", "enforce"),
+                   help="randomness budget: measure meters planned bits, "
+                        "enforce degrades over-budget packets "
+                        "(default: the REPRO_BUDGET environment variable)")
+    p.add_argument("--budget-bits", type=int, default=None, metavar="N",
+                   help="per-packet bit cap (implies --budget-mode enforce; "
+                        "default cap: a structural ceiling no fresh "
+                        "selection exceeds)")
     p.set_defaults(func=_cmd_route)
 
     p = sub.add_parser("compare", help="compare routers on one workload")

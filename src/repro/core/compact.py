@@ -1,0 +1,329 @@
+"""Compact per-node routing state (Section 5 discussion; Theorem 5.5).
+
+The paper's estimate of the routing state is information-theoretic: a node
+needs only the *shift schedule* of the hierarchical decomposition — ``O(k)``
+offsets of ``O(log m)`` bits each — plus its own address to reconstruct, by
+pure arithmetic, every regular submesh on any packet's bitonic sequence.
+That is ``O(d \\log^2 n)`` bits per node, not a global table.
+
+This module makes that claim executable:
+
+:class:`CompactNodeTable`
+    The serialized per-node state: the node's coordinates, the mesh
+    geometry (sides / torus flag), the resolved decomposition scheme and
+    the per-level shift offsets.  ``to_bytes`` / ``from_bytes`` round-trip
+    a compact binary encoding and ``state_bits`` measures it exactly.
+
+:class:`CompactHierarchicalRouter`
+    A :class:`~repro.core.path_selection.HierarchicalRouter` whose path
+    selection runs entirely from a table-backed local decomposition — the
+    shared process-wide decomposition cache and the vectorised
+    :class:`~repro.core.tables.SequenceTables` are never consulted.  The
+    table is round-tripped through its byte encoding before use, so routing
+    provably depends on nothing outside the serialized state.  Paths are
+    byte-identical to :class:`HierarchicalRouter` under the same seed: both
+    reduce to the same shift arithmetic, and this is pinned by the
+    ``compact.state-equivalent`` verify invariant and the golden corpus.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.decomposition import Decomposition
+from repro.core.path_selection import HierarchicalRouter
+from repro.mesh.mesh import Mesh
+from repro.routing.base import RoutingProblem
+
+__all__ = [
+    "CompactNodeTable",
+    "CompactHierarchicalRouter",
+    "build_node_table",
+]
+
+#: serialization magic: "Repro Compact Table", format version 1
+_MAGIC = b"RCT1"
+_SCHEMES = ("paper2d", "multishift")
+
+
+@dataclass(frozen=True)
+class CompactNodeTable:
+    """One node's complete routable state, independently serializable.
+
+    ``shifts[level]`` holds the translation offsets of every type at that
+    level (index 0 is the unshifted type-1 grid), exactly as produced by
+    :meth:`Decomposition.shifts`.  Everything else the router needs —
+    type-1 ancestors, shifted boxes, bridges — is arithmetic over these
+    offsets and the mesh geometry.
+
+    Examples
+    --------
+    >>> from repro.mesh.mesh import Mesh
+    >>> t = build_node_table(Mesh((8, 8)), 13)
+    >>> t.coords, t.scheme, t.shifts
+    ((1, 5), 'paper2d', ((0,), (0, 2), (0, 1), (0,)))
+    >>> CompactNodeTable.from_bytes(t.to_bytes()) == t
+    True
+    """
+
+    coords: tuple[int, ...]
+    sides: tuple[int, ...]
+    torus: bool
+    scheme: str
+    shifts: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self):
+        if self.scheme not in _SCHEMES:
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+        if len(self.coords) != len(self.sides):
+            raise ValueError("coords and sides must have equal dimension")
+        if len(self.shifts) != self.k + 1:
+            raise ValueError(
+                f"need {self.k + 1} shift levels, got {len(self.shifts)}"
+            )
+
+    @property
+    def d(self) -> int:
+        return len(self.sides)
+
+    @property
+    def k(self) -> int:
+        return (self.sides[0] - 1).bit_length()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Compact binary encoding (the measured routing state)."""
+        flags = (1 if self.torus else 0) | (
+            2 if self.scheme == "multishift" else 0
+        )
+        out = [struct.pack("<4sBBB", _MAGIC, self.d, self.k, flags)]
+        out.append(struct.pack(f"<{self.d}I", *self.sides))
+        out.append(struct.pack(f"<{self.d}I", *self.coords))
+        for level_shifts in self.shifts:
+            out.append(struct.pack("<B", len(level_shifts)))
+            if level_shifts:
+                out.append(struct.pack(f"<{len(level_shifts)}I", *level_shifts))
+        return b"".join(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "CompactNodeTable":
+        """Decode a table written by :meth:`to_bytes`."""
+        magic, d, k, flags = struct.unpack_from("<4sBBB", blob, 0)
+        if magic != _MAGIC:
+            raise ValueError(f"bad compact-table magic {magic!r}")
+        off = 7
+        sides = struct.unpack_from(f"<{d}I", blob, off)
+        off += 4 * d
+        coords = struct.unpack_from(f"<{d}I", blob, off)
+        off += 4 * d
+        shifts = []
+        for _ in range(k + 1):
+            (count,) = struct.unpack_from("<B", blob, off)
+            off += 1
+            level = struct.unpack_from(f"<{count}I", blob, off)
+            off += 4 * count
+            shifts.append(tuple(int(x) for x in level))
+        if off != len(blob):
+            raise ValueError("trailing bytes in compact-table encoding")
+        return cls(
+            coords=tuple(int(c) for c in coords),
+            sides=tuple(int(s) for s in sides),
+            torus=bool(flags & 1),
+            scheme="multishift" if flags & 2 else "paper2d",
+            shifts=tuple(shifts),
+        )
+
+    def state_bits(self) -> int:
+        """Exact size of the serialized state in bits (polylog in ``n``)."""
+        return 8 * len(self.to_bytes())
+
+
+def build_node_table(
+    mesh: Mesh, node: int, scheme: str = "auto"
+) -> CompactNodeTable:
+    """Build one node's :class:`CompactNodeTable` (offline construction).
+
+    The shift schedule is computed once through the reference
+    :class:`~repro.core.decomposition.Decomposition` arithmetic — this is
+    the *offline* step a deployment would run when programming the node;
+    at route time only the table is consulted.
+    """
+    dec = Decomposition(mesh, scheme)
+    return CompactNodeTable(
+        coords=tuple(int(c) for c in mesh.flat_to_coords(int(node))),
+        sides=tuple(int(s) for s in mesh.sides),
+        torus=bool(mesh.torus),
+        scheme=dec.scheme,
+        shifts=tuple(
+            tuple(int(s) for s in dec.shifts(level))
+            for level in range(dec.k + 1)
+        ),
+    )
+
+
+class _TableDecomposition(Decomposition):
+    """A decomposition whose shift schedule comes from a node table.
+
+    Every :class:`Decomposition` query is deterministic arithmetic over the
+    mesh geometry and :meth:`shifts`; overriding the latter to read the
+    stored schedule makes the table the single source of routable state
+    while inheriting the reference arithmetic verbatim — which is exactly
+    why the compact router is byte-identical to the global one.
+    """
+
+    def __init__(self, mesh: Mesh, table: CompactNodeTable):
+        super().__init__(mesh, table.scheme)
+        if table.sides != mesh.sides or table.torus != mesh.torus:
+            raise ValueError(
+                f"table geometry {table.sides} (torus={table.torus}) does "
+                f"not match mesh {mesh.sides} (torus={mesh.torus})"
+            )
+        self._table_shifts = table.shifts
+
+    def shifts(self, level: int) -> list[int]:
+        self._check_level(level)
+        return list(self._table_shifts[level])
+
+
+class CompactHierarchicalRouter(HierarchicalRouter):
+    """Algorithm ``H`` routed from compact per-node state only.
+
+    Identical constructor and path distribution to
+    :class:`HierarchicalRouter`; the differences are *where the routing
+    state lives*:
+
+    * :meth:`decomposition` returns a :class:`_TableDecomposition` rebuilt
+      from a serialized :class:`CompactNodeTable` (round-tripped through
+      ``to_bytes``/``from_bytes``), never the shared cache;
+    * :meth:`batch_spec` constructs the engine's box arrays per packet from
+      that local state instead of the global
+      :class:`~repro.core.tables.SequenceTables`;
+    * :meth:`state_bits_per_node` reports the exact serialized state size,
+      pinned to a polylog envelope by the verify layer.
+    """
+
+    def __init__(self, *, name: str | None = None, **kwargs):
+        super().__init__(name=name or "compact-hierarchical", **kwargs)
+        #: per-mesh table-backed decompositions (stripped before pickling
+        #: to workers — see :func:`repro.parallel.worker.prepare_router`)
+        self._dec_cache: dict[Mesh, _TableDecomposition] = {}
+
+    # ------------------------------------------------------------------
+    # Local state
+    # ------------------------------------------------------------------
+    def node_table(self, mesh: Mesh, node: int) -> CompactNodeTable:
+        """The compact state programmed into ``node`` for ``mesh``."""
+        return build_node_table(mesh, node, self.scheme)
+
+    def state_bits_per_node(self, mesh: Mesh) -> int:
+        """Bits of routing state per node (exact serialized size)."""
+        return self.node_table(mesh, 0).state_bits()
+
+    def decomposition(self, mesh: Mesh) -> Decomposition:
+        dec = self._dec_cache.get(mesh)
+        if dec is None:
+            # Round-trip through the byte encoding: route-time state is
+            # provably what from_bytes can reconstruct.  The shift schedule
+            # is shared by all nodes, so any node's table works here.
+            table = CompactNodeTable.from_bytes(
+                self.node_table(mesh, 0).to_bytes()
+            )
+            dec = _TableDecomposition(mesh, table)
+            self._dec_cache[mesh] = dec
+            if self.profiler is not None:
+                self.profiler.count("compact.state_bits", table.state_bits())
+        return dec
+
+    def warmup_keys(self, problem: RoutingProblem) -> tuple:
+        # Nothing in the shared cache to warm: state is per-instance.
+        return ()
+
+    # ------------------------------------------------------------------
+    # Batched engine support (from local tables, not SequenceTables)
+    # ------------------------------------------------------------------
+    def batch_spec(self, problem: RoutingProblem):
+        """Engine spec built per packet from the local decomposition.
+
+        Same slot layout as :meth:`SequenceTables.batch_boxes` — ``S_max =
+        max(2k-1, 1)`` inner slots, unused slots padded with the
+        destination's single-node box — so the batched engine produces
+        byte-identical paths to the global router's spec.
+        """
+        mesh = problem.mesh
+        if self.bit_mode is not None or mesh.torus or not mesh.is_power_of_two_cube:
+            return None
+        from repro.routing.engine import BatchSpec
+
+        k = mesh.k
+        d = mesh.d
+        S = max(2 * k - 1, 1)
+        sources = np.atleast_1d(np.asarray(problem.sources))
+        dests = np.atleast_1d(np.asarray(problem.dests))
+        N = sources.size
+        cs = np.atleast_2d(mesh.flat_to_coords(sources))
+        ct = np.atleast_2d(mesh.flat_to_coords(dests))
+        box_lo = np.broadcast_to(ct[:, None, :], (N, S, d)).copy()
+        box_len = np.ones((N, S, d), dtype=np.int64)
+        n_inner = np.zeros(N, dtype=np.int64)
+        for i in range(N):
+            s, t = int(sources[i]), int(dests[i])
+            if s == t:
+                continue
+            seq, _ = self.submesh_sequence(mesh, s, t)
+            inner = seq[1:-1]
+            n_inner[i] = len(inner)
+            for j, box in enumerate(inner):
+                box_lo[i, j] = box.lo
+                box_len[i, j] = box.sides
+        return BatchSpec(
+            mesh=mesh,
+            coords_s=cs,
+            coords_t=ct,
+            box_lo=box_lo,
+            box_len=box_len,
+            dim_order=self.dim_order,
+            fixed_order=tuple(range(d)) if self.dim_order == "fixed" else None,
+            drop_cycles=self.drop_cycles,
+            n_inner=n_inner,
+        )
+
+    # ------------------------------------------------------------------
+    # Randomness-budget support
+    # ------------------------------------------------------------------
+    def planned_bits(self, problem: RoutingProblem, mode: str | None = None):
+        """Planned bits via the local tables (no shared SequenceTables)."""
+        from repro.core.budget import (
+            sequence_fresh_bits,
+            sequence_recycled_bits,
+        )
+
+        mesh = problem.mesh
+        eff = mode or ("recycled" if self.bit_mode == "recycled" else "fresh")
+        if eff not in ("fresh", "recycled"):
+            raise ValueError(f"unknown planned-bits mode {mode!r}")
+        out = np.zeros(problem.num_packets, dtype=np.int64)
+        for i, (s, t) in enumerate(problem.pairs()):
+            if s == t:
+                continue
+            seq, bridge_idx = self.submesh_sequence(mesh, s, t)
+            if eff == "recycled":
+                out[i] = sequence_recycled_bits(seq[bridge_idx].sides, mesh.d)
+            else:
+                out[i] = sequence_fresh_bits(seq[1:-1], self.dim_order, mesh.d)
+        return out
+
+    def budget_fallback_router(self) -> "CompactHierarchicalRouter":
+        """A recycled-bit compact clone (degradation stays table-local)."""
+        return CompactHierarchicalRouter(
+            scheme=self.scheme,
+            variant=self.variant,
+            use_bridges=self.use_bridges,
+            dim_order="shared",
+            bit_mode="recycled",
+            drop_cycles=self.drop_cycles,
+        )

@@ -282,7 +282,7 @@ class HierarchicalRouter(Router):
         from repro.routing.engine import BatchSpec
 
         tables = SequenceTables.for_mesh(mesh, self.scheme)
-        box_lo, box_len, _ = tables.batch_boxes(
+        box_lo, box_len, n_inner = tables.batch_boxes(
             problem.sources,
             problem.dests,
             variant=self._variant_for(mesh),
@@ -296,6 +296,74 @@ class HierarchicalRouter(Router):
             box_len=box_len,
             dim_order=self.dim_order,
             fixed_order=tuple(range(mesh.d)) if self.dim_order == "fixed" else None,
+            drop_cycles=self.drop_cycles,
+            n_inner=n_inner,
+        )
+
+    # ------------------------------------------------------------------
+    # Randomness-budget support (:mod:`repro.core.budget`)
+    # ------------------------------------------------------------------
+    def planned_bits(self, problem: RoutingProblem, mode: str | None = None):
+        """Deterministic planned bits per packet of this router's draws.
+
+        ``mode=None`` prices the router's own scheme (``bit_mode="recycled"``
+        already pays recycled prices); ``mode="recycled"`` prices the budget
+        ladder's degraded scheme.  Vectorised through
+        :class:`~repro.core.tables.SequenceTables` when the mesh supports
+        them; otherwise (torus / non-power-of-two) a scalar pass over
+        :meth:`submesh_sequence`.
+        """
+        from repro.core.budget import (
+            planned_fresh_bits,
+            planned_recycled_bits,
+            sequence_fresh_bits,
+            sequence_recycled_bits,
+        )
+
+        mesh = problem.mesh
+        eff = mode or ("recycled" if self.bit_mode == "recycled" else "fresh")
+        if eff not in ("fresh", "recycled"):
+            raise ValueError(f"unknown planned-bits mode {mode!r}")
+        if not mesh.torus and mesh.is_power_of_two_cube:
+            from repro.core.tables import SequenceTables
+
+            tables = SequenceTables.for_mesh(mesh, self.scheme)
+            _, box_len, n_inner = tables.batch_boxes(
+                problem.sources,
+                problem.dests,
+                variant=self._variant_for(mesh),
+                use_bridges=self.use_bridges,
+            )
+            alive = problem.sources != problem.dests
+            if eff == "recycled":
+                return planned_recycled_bits(box_len, alive)
+            return planned_fresh_bits(
+                box_len, self.dim_order, alive, n_inner=n_inner
+            )
+        out = np.zeros(problem.num_packets, dtype=np.int64)
+        for i, (s, t) in enumerate(problem.pairs()):
+            if s == t:
+                continue
+            seq, bridge_idx = self.submesh_sequence(mesh, s, t)
+            if eff == "recycled":
+                out[i] = sequence_recycled_bits(seq[bridge_idx].sides, mesh.d)
+            else:
+                out[i] = sequence_fresh_bits(seq[1:-1], self.dim_order, mesh.d)
+        return out
+
+    def budget_fallback_router(self) -> "HierarchicalRouter":
+        """A recycled-bit clone of this router for budget degradation.
+
+        Same decomposition, variant and cycle policy; ``bit_mode`` switched
+        to ``"recycled"`` (which fixes one shared ordering), so a degraded
+        packet pays exactly the Lemma 5.4 price on its own stream.
+        """
+        return HierarchicalRouter(
+            scheme=self.scheme,
+            variant=self.variant,
+            use_bridges=self.use_bridges,
+            dim_order="shared",
+            bit_mode="recycled",
             drop_cycles=self.drop_cycles,
         )
 

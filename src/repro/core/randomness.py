@@ -117,7 +117,16 @@ def packet_seed_sequence(
     ``np.random.default_rng(entropy).spawn(n)`` would produce, for any
     ``n > index`` — the scheme is the old per-packet ``spawn`` keyed by
     global position instead of spawn order.
+
+    Indices are bounded to 32 bits, matching :func:`spawn_state`'s guard:
+    ``SeedSequence`` would silently split a wider index into *two*
+    spawn-key words, so the scalar loop and the vectorised engine would
+    derive different streams for the same packet.  Rejecting the index in
+    both keeps the contract single-worded everywhere.
     """
+    index = int(index)
+    if not 0 <= index <= _M32:
+        raise ValueError("packet indices must fit in 32 bits and be non-negative")
     return np.random.SeedSequence(entropy, spawn_key=(*prefix, index))
 
 
@@ -174,11 +183,21 @@ def spawn_state(
     the four pool-mixing rounds of the index word and the output pass run
     over the whole index array.
     """
-    idx = np.ascontiguousarray(indices, dtype=np.uint64)
-    if idx.ndim != 1:
+    idx_in = np.asarray(indices)
+    if idx_in.ndim != 1:
         raise ValueError("indices must be one-dimensional")
+    # Validate *before* the unsigned cast: a negative index would wrap to a
+    # huge uint64 and be rejected with a misleading width message (or, worse,
+    # slip through on platforms whose cast saturates).
+    if (
+        idx_in.size
+        and np.issubdtype(idx_in.dtype, np.signedinteger)
+        and int(idx_in.min()) < 0
+    ):
+        raise ValueError("packet indices must fit in 32 bits and be non-negative")
+    idx = np.ascontiguousarray(idx_in, dtype=np.uint64)
     if idx.size and int(idx.max()) > _M32:
-        raise ValueError("packet indices must fit in 32 bits")
+        raise ValueError("packet indices must fit in 32 bits and be non-negative")
     # Assembled entropy: root words padded to the pool size (spawn keys are
     # always present here), then one word per prefix element.  The per-index
     # word is appended by the vectorised rounds below.
@@ -246,8 +265,9 @@ def packet_uniforms(
     ``(entropy, prefix, i)`` — never on the batch it arrives in — which is
     the whole sharding story.
     """
-    idx = np.asarray(indices, dtype=np.uint64)
-    words = spawn_state(entropy, idx, 2 * n_doubles, prefix).astype(np.uint64)
+    # No unsigned pre-cast here: hand the raw indices to spawn_state so its
+    # sign/width validation sees them before any wraparound can occur.
+    words = spawn_state(entropy, indices, 2 * n_doubles, prefix).astype(np.uint64)
     # generate_state(dtype=uint64) is the little-endian view of uint32
     # pairs: low word first.
     u64 = words[:, 0::2] | (words[:, 1::2] << np.uint64(32))

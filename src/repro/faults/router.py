@@ -20,9 +20,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro import kernels
+from repro.core.budget import BudgetParams, degradation_plan, note_budget
 from repro.core.randomness import packet_streams, resolve_entropy
 from repro.faults.model import FaultModel
 from repro.mesh.mesh import Mesh
+from repro.mesh.paths import dimension_order_path
 from repro.routing.base import Router, RoutingProblem, RoutingResult
 
 __all__ = ["FaultAwareRouter", "FaultRoutingError", "shortest_alive_path"]
@@ -109,34 +111,69 @@ class FaultAwareRouter(Router):
     def warmup_keys(self, problem: RoutingProblem) -> tuple:
         return self.inner.warmup_keys(problem)
 
+    def planned_bits(self, problem: RoutingProblem, mode: str | None = None):
+        # Budget costs are the inner router's: resampling re-pays the same
+        # planned cost per extra selection (accounted in :meth:`route`).
+        return self.inner.planned_bits(problem, mode)
+
+    def budget_fallback_router(self):
+        return self.inner.budget_fallback_router()
+
     def select_path(
         self, mesh: Mesh, s: int, t: int, rng: np.random.Generator
     ) -> np.ndarray:
         if self.faults.is_trivial:
             return self.inner.select_path(mesh, s, t, rng)
+        path, _ = self._guarded(self.inner.select_path, mesh, s, t, rng)
+        return path
+
+    def _guarded(
+        self,
+        select,
+        mesh: Mesh,
+        s: int,
+        t: int,
+        rng: np.random.Generator,
+        *,
+        deterministic: bool = False,
+    ) -> tuple[np.ndarray, int]:
+        """Resample-then-detour around dead edges; returns ``(path, draws)``.
+
+        ``draws`` counts the randomness-consuming selections made (budget
+        accounting multiplies it by the packet's planned per-selection
+        cost).  ``deterministic`` skips the resample loop — redrawing a
+        deterministic path would yield the same dead edge — and goes
+        straight from a blocked path to the BFS detour, consuming no bits.
+        """
         alive = self.faults.edge_alive(self.at_step)
-        path = self.inner.select_path(mesh, s, t, rng)
-        for _ in range(self.max_resamples):
-            if path.size < 2 or bool(
-                alive[mesh.edge_ids(path[:-1], path[1:])].all()
-            ):
-                return path
-            # fresh bits from the same per-packet stream: obliviousness holds
-            self.resamples += 1
-            self._count("resamples")
-            path = self.inner.select_path(mesh, s, t, rng)
+        path = select(mesh, s, t, rng)
+        draws = 0 if deterministic else 1
+        if not deterministic:
+            for _ in range(self.max_resamples):
+                if path.size < 2 or bool(
+                    alive[mesh.edge_ids(path[:-1], path[1:])].all()
+                ):
+                    return path, draws
+                # fresh bits from the same per-packet stream:
+                # obliviousness holds
+                self.resamples += 1
+                self._count("resamples")
+                path = select(mesh, s, t, rng)
+                draws += 1
         if path.size < 2 or bool(alive[mesh.edge_ids(path[:-1], path[1:])].all()):
-            return path
+            return path, draws
         detour = shortest_alive_path(mesh, s, t, alive, profiler=self.profiler)
         if detour is None:
             self.unroutable += 1
             self._count("unroutable")
-            raise FaultRoutingError(
+            err = FaultRoutingError(
                 f"no alive path from {s} to {t} at step {self.at_step}"
             )
+            err.draws = draws
+            raise err
         self.detours += 1
         self._count("detours")
-        return detour
+        return detour, draws
 
     def route(
         self,
@@ -146,6 +183,7 @@ class FaultAwareRouter(Router):
         batch: bool | str = True,
         workers: int | None = 1,
         packet_offset: int = 0,
+        budget=None,
     ) -> RoutingResult:
         """Route, dropping packets whose destinations are unreachable.
 
@@ -155,7 +193,16 @@ class FaultAwareRouter(Router):
         depends only on its own stream and the static fault state, so
         sharded execution (``workers > 1``) keeps and routes exactly the
         serial packet set.
+
+        Budget semantics under faults: degradation decisions are made
+        *once* from the inner router's planned costs; every selection —
+        including resamples — re-pays the packet's planned per-selection
+        cost in ``bits_drawn``, while ``max_bits`` (what ``enforce``
+        bounds) tracks the per-selection maximum.  Dimension-order-degraded
+        packets are deterministic, so a blocked one goes straight to the
+        zero-bit BFS detour instead of resampling.
         """
+        params = BudgetParams.resolve(budget)
         if self.faults.is_trivial:
             return super().route(
                 problem,
@@ -163,6 +210,7 @@ class FaultAwareRouter(Router):
                 batch=batch,
                 workers=workers,
                 packet_offset=packet_offset,
+                budget=params,
             )
         if workers is not None and workers != 1:
             from repro.parallel import route_sharded
@@ -174,23 +222,81 @@ class FaultAwareRouter(Router):
                 workers=workers,
                 batch=batch,
                 packet_offset=packet_offset,
+                budget=params,
             )
         entropy = resolve_entropy(seed)
+        n = problem.num_packets
+        ledger = None
+        plan = rec = None
+        use_rec = use_dim = None
+        fallback = None
+        if params.active:
+            ledger = params.make_ledger(problem.mesh, n)
+            plan = self.inner.planned_bits(problem)
+            if plan is None:
+                ledger.unmetered = n
+            else:
+                plan = np.asarray(plan)
+                ledger.metered = n
+                if params.enforcing:
+                    limit = params.limit_for(problem.mesh)
+                    if bool((plan > limit).any()):
+                        fallback = self.inner.budget_fallback_router()
+                        rec = (
+                            self.inner.planned_bits(problem, mode="recycled")
+                            if fallback is not None
+                            else None
+                        )
+                        _, use_rec, use_dim = degradation_plan(plan, rec, limit)
+                        ledger.fallbacks_recycled = int(use_rec.sum())
+                        ledger.fallbacks_dimorder = int(use_dim.sum())
         streams = packet_streams(
             entropy, packet_offset, packet_offset + problem.num_packets
         )
+        mesh = problem.mesh
+        order0 = tuple(range(mesh.d))
+
+        def dim_select(m, a, b, _rng):
+            return dimension_order_path(m, a, b, order0)
+
         paths, kept = [], []
         for i, ((s, t), stream) in enumerate(zip(problem.pairs(), streams)):
+            if use_dim is not None and use_dim[i]:
+                select, cost, det = dim_select, 0, True
+            elif use_rec is not None and use_rec[i]:
+                select, cost, det = fallback.select_path, int(rec[i]), False
+            else:
+                select = self.inner.select_path
+                cost = int(plan[i]) if plan is not None and ledger.metered else 0
+                det = False
             try:
-                paths.append(self.select_path(problem.mesh, int(s), int(t), stream))
-                kept.append(i)
-            except FaultRoutingError:
+                path, draws = self._guarded(
+                    select, mesh, int(s), int(t), stream, deterministic=det
+                )
+            except FaultRoutingError as err:
+                draws = getattr(err, "draws", 0)
+                if ledger is not None and ledger.metered:
+                    ledger.bits_drawn += cost * draws
+                    if cost and draws:
+                        ledger.max_bits = max(ledger.max_bits, cost)
                 continue
+            if ledger is not None and ledger.metered:
+                ledger.bits_drawn += cost * draws
+                if cost and draws:
+                    ledger.max_bits = max(ledger.max_bits, cost)
+            paths.append(path)
+            kept.append(i)
+        note_budget(self.profiler, ledger)
         if len(kept) == problem.num_packets:
-            return RoutingResult(problem, paths, self.name, entropy)
-        kept_idx = np.asarray(kept, dtype=np.int64)
-        sub = problem.subproblem(kept_idx)
-        return RoutingResult(sub, paths, self.name, entropy, kept_indices=kept_idx)
+            result = RoutingResult(problem, paths, self.name, entropy)
+        else:
+            kept_idx = np.asarray(kept, dtype=np.int64)
+            sub = problem.subproblem(kept_idx)
+            result = RoutingResult(
+                sub, paths, self.name, entropy, kept_indices=kept_idx
+            )
+        result.budget = ledger
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FaultAwareRouter({self.inner!r}, {self.faults!r})"

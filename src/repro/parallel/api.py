@@ -30,6 +30,7 @@ def route_sharded(
     batch: bool | str = True,
     packet_offset: int = 0,
     executor=None,
+    budget=None,
 ) -> RoutingResult:
     """Route ``problem`` in shards; byte-identical to the serial engine.
 
@@ -45,12 +46,20 @@ def route_sharded(
             f"cannot shard non-oblivious router {router.name!r}: its paths "
             "depend on each other; route with workers=1"
         )
+    from repro.core.budget import BudgetParams
+
+    params = BudgetParams.resolve(budget)
     w = resolve_workers(workers)
     entropy = resolve_entropy(seed)
     n = problem.num_packets
     if w == 1 or n == 0:
         return router.route(
-            problem, entropy, batch=batch, workers=1, packet_offset=packet_offset
+            problem,
+            entropy,
+            batch=batch,
+            workers=1,
+            packet_offset=packet_offset,
+            budget=params,
         )
 
     from repro import kernels
@@ -69,6 +78,7 @@ def route_sharded(
             warm_keys=warm_keys,
             profile=profiler is not None,
             kernels_backend=kernels.backend(),
+            budget=params,
         )
         for a, b in bounds
     ]
@@ -102,4 +112,11 @@ def route_sharded(
             merged_bits.extend(r.bits_log or [])
         router.bits_log = merged_bits
 
-    return merge_shard_results(problem, router.name, entropy, results)
+    merged = merge_shard_results(problem, router.name, entropy, results)
+    ledgers = [r.budget for r in results if r.budget is not None]
+    if ledgers:
+        total = ledgers[0]
+        for extra in ledgers[1:]:
+            total.merge(extra)
+        merged.budget = total
+    return merged

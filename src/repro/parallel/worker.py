@@ -82,6 +82,9 @@ class ShardTask:
     #: parent's kernel backend — workers pin theirs to match (results are
     #: byte-identical regardless; this keeps *telemetry* comparable)
     kernels_backend: str | None = None
+    #: resolved :class:`~repro.core.budget.BudgetParams` (or ``None``) —
+    #: resolved once in the parent so every shard enforces identically
+    budget: object | None = None
 
 
 @dataclass
@@ -98,6 +101,9 @@ class ShardResult:
     counters: dict = field(default_factory=dict)
     profile: dict | None = None
     cache_stats: dict | None = None
+    #: the shard's :class:`~repro.core.budget.BitBudget` ledger; the parent
+    #: folds these additively into the merged result's ledger
+    budget: object | None = None
 
 
 #: per-packet selection outcomes of :func:`select_online_paths`
@@ -222,6 +228,7 @@ def route_shard(task: ShardTask) -> ShardResult:
         batch=task.batch,
         workers=1,
         packet_offset=task.offset,
+        budget=task.budget,
     )
     stats_after = cache.stats()
     counters = {
@@ -234,6 +241,7 @@ def route_shard(task: ShardTask) -> ShardResult:
         offsets=result.paths.offsets,
         kept=result.kept_indices,
         bits_log=list(router.bits_log) if getattr(router, "bits_log", None) else None,
+        budget=result.budget,
         counters={k: v for k, v in counters.items() if v},
         profile=router.profiler.snapshot() if task.profile else None,
         cache_stats={

@@ -22,6 +22,12 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.core.budget import (
+    BitBudget,
+    BudgetParams,
+    degradation_plan,
+    note_budget,
+)
 from repro.core.pathset import PathSet
 from repro.core.randomness import packet_streams, resolve_entropy
 from repro.mesh.mesh import Mesh
@@ -118,6 +124,9 @@ class RoutingResult:
     #: the kept packets in the *original* problem; ``None`` = all kept.
     #: Shard merging needs this to reassemble the global kept set.
     kept_indices: np.ndarray | None = field(default=None, repr=False)
+    #: randomness-budget ledger (:class:`~repro.core.budget.BitBudget`)
+    #: when the run was metered; ``None`` under budget mode ``off``
+    budget: BitBudget | None = field(default=None, repr=False)
     _cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self):
@@ -239,6 +248,26 @@ class Router(ABC):
         """
         return None
 
+    def planned_bits(self, problem: RoutingProblem, mode: str | None = None):
+        """Deterministic planned random-bit cost per packet, or ``None``.
+
+        ``mode=None`` asks for the cost of this router's *own* randomness
+        scheme; ``mode="recycled"`` for the cost it would pay degraded to
+        the Section 5.3 recycled scheme.  The default ``None`` marks the
+        router *unmetered*: budget accounting records its packets in the
+        ``unmetered`` column and never enforces against them (the
+        documented fallback mode).
+        """
+        return None
+
+    def budget_fallback_router(self):
+        """A recycled-bit clone for budget degradation, or ``None``.
+
+        Routers with no recycled scheme return ``None``; over-budget
+        packets then degrade straight to dimension-order.
+        """
+        return None
+
     def warmup_keys(self, problem: RoutingProblem) -> tuple:
         """Picklable cache keys a shard worker should warm before routing.
 
@@ -257,6 +286,7 @@ class Router(ABC):
         batch: bool | str = True,
         workers: int | None = 1,
         packet_offset: int = 0,
+        budget=None,
     ) -> RoutingResult:
         """Route every packet of ``problem`` independently.
 
@@ -273,9 +303,18 @@ class Router(ABC):
         byte-identical to the serial one for every worker count.
         ``packet_offset`` is that global base index — shard workers set it;
         top-level callers leave it at 0.
+
+        ``budget`` makes the per-packet randomness budget first class
+        (:mod:`repro.core.budget`): ``None`` reads ``REPRO_BUDGET`` from
+        the environment, a mode string or int bit ceiling or
+        :class:`~repro.core.budget.BudgetParams` configures it directly.
+        Metered runs attach a :class:`~repro.core.budget.BitBudget` ledger
+        to the result; ``enforce`` degrades over-budget packets down the
+        deterministic recycled/dimension-order ladder.
         """
         if not isinstance(batch, bool) and batch != "loop":
             raise ValueError(f"unknown batch mode {batch!r}; use True, False or 'loop'")
+        params = BudgetParams.resolve(budget)
         if workers is not None and workers != 1:
             from repro.parallel import route_sharded
 
@@ -286,6 +325,7 @@ class Router(ABC):
                 workers=workers,
                 batch=batch,
                 packet_offset=packet_offset,
+                budget=params,
             )
         entropy = resolve_entropy(seed)
         profiler = self.profiler
@@ -297,18 +337,84 @@ class Router(ABC):
 
                 spec.packet_offset = packet_offset
                 mode = "loop" if batch == "loop" else "array"
-                return run_batch(self, spec, problem, entropy, assemble=mode)
+                return run_batch(
+                    self, spec, problem, entropy, assemble=mode, budget=params
+                )
+
+        # Per-packet scalar branch, with the same metering/enforcement the
+        # engine applies array-wise.
+        ledger = None
+        decisions = None
+        fallback = None
+        if params.active:
+            n = problem.num_packets
+            ledger = params.make_ledger(problem.mesh, n)
+            plan = self.planned_bits(problem)
+            if plan is None:
+                ledger.unmetered = n
+            else:
+                plan = np.asarray(plan)
+                ledger.metered = n
+                paid = plan
+                if params.enforcing:
+                    limit = params.limit_for(problem.mesh)
+                    ledger.limit = limit
+                    if bool((plan > limit).any()):
+                        fallback = self.budget_fallback_router()
+                        recycled = (
+                            self.planned_bits(problem, mode="recycled")
+                            if fallback is not None
+                            else None
+                        )
+                        decisions = degradation_plan(plan, recycled, limit)
+                        ok, use_rec, use_dim = decisions
+                        paid = np.where(
+                            ok,
+                            plan,
+                            np.where(use_rec, recycled, 0)
+                            if recycled is not None
+                            else 0,
+                        )
+                        ledger.fallbacks_recycled = int(use_rec.sum())
+                        ledger.fallbacks_dimorder = int(use_dim.sum())
+                ledger.bits_drawn = int(np.sum(paid))
+                ledger.max_bits = int(np.max(paid)) if n else 0
+            note_budget(profiler, ledger)
         streams = packet_streams(
             entropy, packet_offset, packet_offset + problem.num_packets
         )
         with profiler.stage("route.select_loop") if profiler else _nullcontext():
-            paths = [
-                self.select_path(problem.mesh, int(s), int(t), stream)
-                for (s, t), stream in zip(problem.pairs(), streams)
-            ]
+            if decisions is None:
+                paths = [
+                    self.select_path(problem.mesh, int(s), int(t), stream)
+                    for (s, t), stream in zip(problem.pairs(), streams)
+                ]
+            else:
+                from repro.mesh.paths import dimension_order_path
+
+                ok, use_rec, use_dim = decisions
+                order0 = tuple(range(problem.mesh.d))
+                paths = []
+                for i, ((s, t), stream) in enumerate(
+                    zip(problem.pairs(), streams)
+                ):
+                    if use_rec[i]:
+                        paths.append(
+                            fallback.select_path(problem.mesh, int(s), int(t), stream)
+                        )
+                    elif use_dim[i]:
+                        paths.append(
+                            dimension_order_path(problem.mesh, int(s), int(t), order0)
+                        )
+                    else:
+                        paths.append(
+                            self.select_path(problem.mesh, int(s), int(t), stream)
+                        )
         if profiler is not None:
             profiler.count("route.packets", problem.num_packets)
-        return RoutingResult(problem, paths, self.name, entropy)
+        result = RoutingResult(problem, paths, self.name, entropy)
+        result.budget = ledger
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

@@ -83,6 +83,10 @@ class DimensionOrderRouter(Router):
             return None
         return _stageless_spec(problem, "fixed", fixed_order=self.order)
 
+    def planned_bits(self, problem: RoutingProblem, mode: str | None = None):
+        # Deterministic: zero random bits in every mode.
+        return np.zeros(problem.num_packets, dtype=np.int64)
+
 
 class RandomDimOrderRouter(Router):
     """Dimension-order routing with a random permutation per packet."""
@@ -100,6 +104,12 @@ class RandomDimOrderRouter(Router):
         # "shared" = one random ordering per packet; with a single subpath
         # that is exactly "a random permutation per packet".
         return _stageless_spec(problem, "shared")
+
+    def planned_bits(self, problem: RoutingProblem, mode: str | None = None):
+        from repro.core.budget import perm_bits
+
+        pb = perm_bits(problem.mesh.d)
+        return np.where(problem.sources != problem.dests, pb, 0).astype(np.int64)
 
 
 class ValiantRouter(Router):
@@ -170,6 +180,17 @@ class ValiantRouter(Router):
             drop_cycles=self.drop_cycles,
         )
 
+    def planned_bits(self, problem: RoutingProblem, mode: str | None = None):
+        from repro.core.budget import perm_bits
+        from repro.core.randomness import bits_for_range
+
+        mesh = problem.mesh
+        # One uniform waypoint in the whole mesh + two fresh orderings.
+        cost = sum(bits_for_range(side) for side in mesh.sides) + 2 * perm_bits(
+            mesh.d
+        )
+        return np.where(problem.sources != problem.dests, cost, 0).astype(np.int64)
+
 
 class AccessTreeRouter(HierarchicalRouter):
     """The access-tree algorithm of Maggs et al. [9]: no bridge submeshes.
@@ -209,6 +230,10 @@ class ShortestPathRouter(Router):
 
         path = nx.bidirectional_shortest_path(self._graph(mesh), s, t)
         return np.asarray(path, dtype=np.int64)
+
+    def planned_bits(self, problem: RoutingProblem, mode: str | None = None):
+        # Deterministic tie-breaking: zero random bits.
+        return np.zeros(problem.num_packets, dtype=np.int64)
 
 
 class GreedyMinCongestionRouter(Router):
@@ -258,10 +283,29 @@ class GreedyMinCongestionRouter(Router):
         seed: int | None = None,
         *,
         workers: int | None = 1,
+        budget=None,
     ) -> RoutingResult:
         # Greedy routing is sequential by construction (each path sees the
         # loads of every earlier one), so it cannot shard; ``workers`` is
         # accepted for interface parity and always routes in-process.
+        # ``budget`` likewise: the router draws no per-packet oblivious
+        # randomness, so an active budget records every packet as unmetered
+        # (the documented fallback mode) and never degrades anything.
+        from repro.core.budget import BudgetParams, note_budget
+
+        params = BudgetParams.resolve(budget)
+        ledger = None
+        if params.active:
+            ledger = params.make_ledger(problem.mesh, problem.num_packets)
+            ledger.unmetered = problem.num_packets
+            note_budget(self.profiler, ledger)
+        result = self._route_greedy(problem, seed)
+        result.budget = ledger
+        return result
+
+    def _route_greedy(
+        self, problem: RoutingProblem, seed: int | None
+    ) -> RoutingResult:
         mesh = problem.mesh
         loads = np.zeros(mesh.num_edges, dtype=np.int64)
         rng = np.random.default_rng(seed)

@@ -46,8 +46,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import kernels
+from repro.core.budget import (
+    BitBudget,
+    degradation_plan,
+    note_budget,
+    planned_fresh_bits,
+    planned_recycled_bits,
+)
 from repro.core.pathset import PathSet
-from repro.core.randomness import packet_uniforms, resolve_entropy
+from repro.core.randomness import packet_stream, packet_uniforms, resolve_entropy
 from repro.mesh.mesh import Mesh
 from repro.mesh.paths import concatenate_paths, dimension_order_path, remove_cycles
 from repro.routing.base import RoutingProblem, RoutingResult
@@ -77,6 +84,13 @@ class BatchSpec:
     #: global index of row 0 — shard workers set this so their packets draw
     #: the same streams the serial engine would have used
     packet_offset: int = 0
+    #: (N,) real (unpadded) inner-box count per packet, when the router
+    #: knows it — budget metering derives it from ``box_len`` otherwise
+    n_inner: np.ndarray | None = None
+    #: (N,) explicit global packet indices, overriding ``packet_offset +
+    #: arange(N)`` — set on sliced specs (budget enforcement routes the
+    #: within-budget rows through the engine with their original streams)
+    packet_indices: np.ndarray | None = None
 
     def __post_init__(self):
         if self.dim_order not in ("random", "shared", "fixed"):
@@ -122,7 +136,10 @@ def draw_plan(
         n_ord = d
     else:
         n_ord = 0
-    indices = spec.packet_offset + np.arange(N, dtype=np.int64)
+    if spec.packet_indices is not None:
+        indices = np.asarray(spec.packet_indices, dtype=np.int64)
+    else:
+        indices = spec.packet_offset + np.arange(N, dtype=np.int64)
     U = packet_uniforms(entropy, indices, n_way + n_ord)
     U_way = U[:, :n_way].reshape(N, S, d)
     if spec.dim_order == "random":
@@ -241,6 +258,68 @@ def _assemble_loop(spec: BatchSpec, W: np.ndarray, orders: np.ndarray) -> list[n
     return paths
 
 
+def _sliced_spec(spec: BatchSpec, rows: np.ndarray, indices: np.ndarray) -> BatchSpec:
+    """``spec`` restricted to ``rows``, pinned to their global indices."""
+    return BatchSpec(
+        mesh=spec.mesh,
+        coords_s=spec.coords_s[rows],
+        coords_t=spec.coords_t[rows],
+        box_lo=spec.box_lo[rows],
+        box_len=spec.box_len[rows],
+        dim_order=spec.dim_order,
+        fixed_order=spec.fixed_order,
+        drop_cycles=spec.drop_cycles,
+        packet_offset=spec.packet_offset,
+        n_inner=None if spec.n_inner is None else np.asarray(spec.n_inner)[rows],
+        packet_indices=np.asarray(indices)[rows],
+    )
+
+
+def _run_degraded(
+    router,
+    spec: BatchSpec,
+    entropy: int,
+    indices: np.ndarray,
+    plan: tuple[np.ndarray, np.ndarray, np.ndarray],
+    fallback,
+    profiler,
+) -> list[np.ndarray]:
+    """Assemble a partially degraded batch (the ``enforce`` slow lane).
+
+    Within-budget rows still go through the vectorised engine — on a
+    sliced spec carrying their original global indices, so their bytes are
+    untouched.  Recycled rows route scalar-by-scalar on the packet's own
+    stream via the router's recycled-bit clone; dimension-order rows pay
+    zero random bits.
+    """
+    ok, use_rec, use_dim = plan
+    mesh = spec.mesh
+    strides = mesh.strides
+    flat_s = spec.coords_s @ strides
+    flat_t = spec.coords_t @ strides
+    paths: list = [None] * spec.num_packets
+    rows_ok = np.flatnonzero(ok)
+    if rows_ok.size:
+        sub = _sliced_spec(spec, rows_ok, indices)
+        U_way, U_ord = draw_plan(entropy, sub)
+        W = build_waypoints(sub, U_way)
+        orders = resolve_orders(sub, U_ord)
+        kept = _assemble_array(sub, W, orders, profiler)
+        for j, row in enumerate(rows_ok):
+            paths[row] = kept[j]
+    for row in np.flatnonzero(use_rec):
+        stream = packet_stream(entropy, int(indices[row]))
+        paths[row] = fallback.select_path(
+            mesh, int(flat_s[row]), int(flat_t[row]), stream
+        )
+    order0 = tuple(range(mesh.d))
+    for row in np.flatnonzero(use_dim):
+        paths[row] = dimension_order_path(
+            mesh, int(flat_s[row]), int(flat_t[row]), order0
+        )
+    return paths
+
+
 def run_batch(
     router,
     spec: BatchSpec,
@@ -248,12 +327,20 @@ def run_batch(
     seed: int | None = None,
     *,
     assemble: str = "array",
+    budget=None,
 ) -> RoutingResult:
     """Route ``problem`` under ``spec``; the batched half of ``Router.route``.
 
     ``seed`` may be an int or ``None``; it is resolved to concrete entropy
     (:func:`~repro.core.randomness.resolve_entropy`) and the resolved value
     is stored on the result so every run — seeded or not — can be replayed.
+
+    ``budget`` is a resolved :class:`~repro.core.budget.BudgetParams` (or
+    ``None``).  When active, the engine meters every packet's planned bits
+    in one vectorised pass; under ``enforce``, packets over the ceiling
+    are degraded down the deterministic ladder (recycled scheme, then
+    dimension-order) while the remaining rows keep their exact engine
+    bytes.
     """
     profiler = getattr(router, "profiler", None)
 
@@ -261,6 +348,53 @@ def run_batch(
         return profiler.stage(name) if profiler is not None else nullcontext()
 
     entropy = resolve_entropy(seed)
+    N = spec.num_packets
+    ledger = None
+    degraded = None
+    fallback = None
+    indices = None
+    if budget is not None and budget.active:
+        with stage("engine.budget"):
+            alive = (spec.coords_s != spec.coords_t).any(axis=1)
+            fresh = planned_fresh_bits(
+                spec.box_len, spec.dim_order, alive, n_inner=spec.n_inner
+            )
+            ledger = budget.make_ledger(spec.mesh, N)
+            ledger.metered = N
+            paid = fresh
+            if budget.enforcing:
+                limit = budget.limit_for(spec.mesh)
+                if bool((fresh > limit).any()):
+                    fallback = router.budget_fallback_router()
+                    recycled = (
+                        planned_recycled_bits(spec.box_len, alive)
+                        if fallback is not None
+                        else None
+                    )
+                    degraded = degradation_plan(fresh, recycled, limit)
+                    ok, use_rec, use_dim = degraded
+                    paid = np.where(
+                        ok, fresh, np.where(use_rec, recycled, 0) if recycled is not None else 0
+                    )
+                    ledger.fallbacks_recycled = int(use_rec.sum())
+                    ledger.fallbacks_dimorder = int(use_dim.sum())
+            ledger.bits_drawn = int(paid.sum())
+            ledger.max_bits = int(paid.max()) if N else 0
+            if spec.packet_indices is not None:
+                indices = np.asarray(spec.packet_indices, dtype=np.int64)
+            else:
+                indices = spec.packet_offset + np.arange(N, dtype=np.int64)
+        note_budget(profiler, ledger)
+
+    if degraded is not None:
+        with stage("engine.assemble"):
+            paths = _run_degraded(
+                router, spec, entropy, indices, degraded, fallback, profiler
+            )
+        result = RoutingResult(problem, paths, router.name, entropy)
+        result.budget = ledger
+        return result
+
     with stage("engine.draw"):
         U_way, U_ord = draw_plan(entropy, spec)
         W = build_waypoints(spec, U_way)
@@ -278,4 +412,6 @@ def run_batch(
             paths = _assemble_loop(spec, W, orders)
         else:
             raise ValueError(f"unknown assemble mode {assemble!r}")
-    return RoutingResult(problem, paths, router.name, entropy)
+    result = RoutingResult(problem, paths, router.name, entropy)
+    result.budget = ledger
+    return result

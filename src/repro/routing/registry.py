@@ -10,6 +10,7 @@ __all__ = ["available_routers", "make_router"]
 
 
 def _factories() -> dict[str, Callable[..., Router]]:
+    from repro.core.compact import CompactHierarchicalRouter
     from repro.core.path_selection import HierarchicalRouter
     from repro.core.rect import RectHierarchicalRouter
     from repro.routing.baselines import (
@@ -26,6 +27,7 @@ def _factories() -> dict[str, Callable[..., Router]]:
         "hierarchical-general": lambda **kw: HierarchicalRouter(
             variant="general", name="hierarchical-general", **kw
         ),
+        "compact-hierarchical": CompactHierarchicalRouter,
         "access-tree": AccessTreeRouter,
         "dim-order": DimensionOrderRouter,
         "random-dim-order": RandomDimOrderRouter,

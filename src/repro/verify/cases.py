@@ -55,6 +55,7 @@ FILL_MESHES = (
 ROUTERS = (
     "hierarchical",
     "hierarchical-general",
+    "compact-hierarchical",
     "access-tree",
     "dim-order",
     "random-dim-order",
@@ -92,10 +93,18 @@ class Case:
     kind: str = "route"  #: "route" | "online"
     rate: float = 0.3  #: online injection rate
     steps: int = 40  #: online injection steps
+    budget_mode: str = "off"  #: "off" | "measure" | "enforce"
+    budget_bits: int | None = None  #: per-packet cap; None = default ceiling
 
     def to_dict(self) -> dict:
         out = asdict(self)
         out["sides"] = list(self.sides)
+        # Budget-off cases encode exactly as they did before the budget
+        # fields existed, so every pre-budget corpus case_id stays valid.
+        if out["budget_mode"] == "off":
+            del out["budget_mode"]
+        if out["budget_bits"] is None:
+            del out["budget_bits"]
         return out
 
     @classmethod
@@ -119,6 +128,9 @@ class Case:
             bits.append(f"faults={self.fault_mode}")
         if self.kind != "route":
             bits.append(self.kind)
+        if self.budget_mode != "off":
+            cap = "" if self.budget_bits is None else f"={self.budget_bits}"
+            bits.append(f"budget={self.budget_mode}{cap}")
         return " ".join(bits)
 
 
@@ -213,7 +225,41 @@ def _grid_cases(seed: int) -> list[Case]:
                         if not supported(case):
                             continue
                     out.append(case)
+    out.extend(_budget_cases(seed))
     return out
+
+
+def _budget_cases(seed: int) -> list[Case]:
+    """Dedicated budget cells: measure, default enforce, and tight caps.
+
+    The tight 24-bit cap forces the degradation ladder (recycled fallback,
+    then dimension-order) on 8x8 meshes, where fresh hierarchical
+    selections plan up to ~40 bits; the default enforce ceiling degrades
+    nothing, so those cells double as byte-identity probes.
+    """
+    base = dict(workload="random-pairs", seed=seed + 500)
+    cells = [
+        Case(sides=(8, 8), torus=False, router="hierarchical",
+             budget_mode="measure", **base),
+        Case(sides=(8, 8), torus=False, router="hierarchical",
+             budget_mode="enforce", **base),
+        Case(sides=(8, 8), torus=False, router="hierarchical",
+             budget_mode="enforce", budget_bits=24, **base),
+        Case(sides=(8, 8), torus=True, router="hierarchical",
+             budget_mode="enforce", budget_bits=24, **base),
+        Case(sides=(8, 8), torus=False, router="compact-hierarchical",
+             budget_mode="enforce", budget_bits=24, **base),
+        Case(sides=(8, 8), torus=False, router="valiant",
+             budget_mode="measure", **base),
+        Case(sides=(8, 8), torus=False, router="hierarchical",
+             budget_mode="enforce", budget_bits=24, workers=4,
+             workload="random-pairs", seed=seed + 501),
+        Case(sides=(8, 8), torus=False, router="hierarchical",
+             budget_mode="enforce", budget_bits=24,
+             fault_mode="static", fault_p=0.06, fault_seed=seed + 1,
+             workload="random-pairs", seed=seed + 502),
+    ]
+    return [c for c in cells if supported(c)]
 
 
 def _random_case(rng: np.random.Generator, seed: int) -> Case:
@@ -223,12 +269,18 @@ def _random_case(rng: np.random.Generator, seed: int) -> Case:
     workers = int(rng.choice((1, 1, 4)))
     fault_mode = str(rng.choice(("none", "none", "static", "blocks", "dynamic")))
     kind = "online" if rng.random() < 0.08 else "route"
+    budget_mode = str(rng.choice(("off", "off", "off", "measure", "enforce")))
+    budget_bits = None
+    if budget_mode == "enforce" and rng.random() < 0.5:
+        budget_bits = int(rng.integers(16, 40))
     if router == "greedy-offline":
         workers = 1
         fault_mode = "none"
         kind = "route"
     if kind == "online":
         workers = 1
+        budget_mode = "off"
+        budget_bits = None
         if fault_mode in ("blocks", "dynamic"):
             fault_mode = "static"
     return Case(
@@ -246,6 +298,8 @@ def _random_case(rng: np.random.Generator, seed: int) -> Case:
         kind=kind,
         rate=float(np.round(0.1 + 0.4 * rng.random(), 2)),
         steps=int(rng.integers(20, 50)),
+        budget_mode=budget_mode,
+        budget_bits=budget_bits,
     )
 
 

@@ -23,6 +23,9 @@ pathset.csr-wellformed     offsets monotone, buffers frozen, lengths agree
 metrics.consistent         cached metrics agree with each other
 bounds.lower-bound-holds   measured C >= congestion_lower_bound
 online.conservation        delivered + dropped <= injected; latency >= dist
+budget.respected           ledger accounts every packet; enforce caps max_bits
+budget.envelope            recycled bits/packet <= the Theorem 5.5 envelope
+compact.state-equivalent   compact router == global router, polylog state
 =========================  =================================================
 """
 
@@ -77,6 +80,9 @@ class VerifyContext:
     faults: object | None = None
     online: object | None = None
     online_params: dict | None = None
+    #: resolved :class:`~repro.core.budget.BudgetParams` the result was
+    #: routed under (``None`` when the case never touched the budget API)
+    budget: object | None = None
     #: how many packets the sampled (per-packet) invariants inspect
     sample_limit: int = 4
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
@@ -301,7 +307,9 @@ def _obliviousness(ctx: VerifyContext) -> list[str]:
     for row in ctx.sample_rows(len(res.paths)):
         gi = int(res.kept_indices[row]) if res.kept_indices is not None else row
         sub = ctx.original_problem.subproblem([gi])
-        solo = ctx.router.route(sub, ctx.entropy, packet_offset=gi, workers=1)
+        solo = ctx.router.route(
+            sub, ctx.entropy, packet_offset=gi, workers=1, budget=ctx.budget
+        )
         if solo.problem.num_packets == 0:
             out.append(f"packet {gi} kept in batch but dropped when routed alone")
             continue
@@ -416,4 +424,172 @@ def _online_conservation(ctx: VerifyContext) -> list[str]:
         # the run drained early: everything injected must be accounted for
         if st.delivered + st.dropped != st.injected:
             out.append("drained run left packets unaccounted for")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Randomness-budget and compact-state invariants
+# ---------------------------------------------------------------------------
+
+def _has_ledger(ctx: VerifyContext) -> bool:
+    return (
+        ctx.result is not None
+        and getattr(ctx.result, "budget", None) is not None
+    )
+
+
+@register(
+    "budget.respected",
+    "the bit ledger accounts every packet; enforce caps per-packet bits",
+    _has_ledger,
+)
+def _budget_respected(ctx: VerifyContext) -> list[str]:
+    from repro.core.budget import MODES
+    from repro.verify.oracles import oracle_metered_bits
+
+    ledger = ctx.result.budget
+    out = []
+    if ledger.mode not in MODES:
+        out.append(f"ledger mode {ledger.mode!r} is not a known budget mode")
+    if ledger.packets != ctx.original_problem.num_packets:
+        out.append(
+            f"ledger covers {ledger.packets} packets, problem has "
+            f"{ctx.original_problem.num_packets}"
+        )
+    if ledger.metered + ledger.unmetered != ledger.packets:
+        out.append(
+            f"metered {ledger.metered} + unmetered {ledger.unmetered} != "
+            f"packets {ledger.packets}"
+        )
+    if min(ledger.bits_drawn, ledger.max_bits, ledger.fallbacks) < 0:
+        out.append("negative entries in the bit ledger")
+    if ledger.mode == "enforce":
+        if ledger.limit is None:
+            out.append("enforce-mode ledger carries no limit")
+        elif ledger.max_bits > ledger.limit:
+            out.append(
+                f"enforce violated: a selection drew {ledger.max_bits} bits "
+                f"over the {ledger.limit}-bit budget"
+            )
+    # Independent recount: on a clean engine run (no faults, no fallbacks,
+    # every packet metered) the drawn total must equal the scalar oracle's
+    # price of the batch spec, packet by packet.
+    if (
+        ctx.trivial_faults
+        and ledger.metered == ledger.packets
+        and ledger.fallbacks == 0
+        and ledger.packets > 0
+    ):
+        spec = ctx.router.batch_spec(ctx.original_problem)
+        if spec is not None:
+            recount = oracle_metered_bits(spec)
+            if sum(recount) != ledger.bits_drawn:
+                out.append(
+                    f"bits_drawn {ledger.bits_drawn} != oracle recount "
+                    f"{sum(recount)}"
+                )
+            if max(recount) != ledger.max_bits:
+                out.append(
+                    f"max_bits {ledger.max_bits} != oracle recount max "
+                    f"{max(recount)}"
+                )
+    return out
+
+
+def _envelope_applies(ctx: VerifyContext) -> bool:
+    from repro.core.path_selection import HierarchicalRouter
+
+    return (
+        ctx.result is not None
+        and isinstance(ctx.base_router, HierarchicalRouter)
+        and getattr(ctx.base_router, "use_bridges", False)
+        and ctx.mesh.is_power_of_two_cube
+        and ctx.trivial_faults
+        and ctx.result.problem.num_packets > 0
+    )
+
+
+@register(
+    "budget.envelope",
+    "recycled bits per packet stay within the Theorem 5.5 envelope "
+    "O(d log(D d))",
+    _envelope_applies,
+)
+def _budget_envelope(ctx: VerifyContext) -> list[str]:
+    import math
+
+    from repro.core.budget import sequence_recycled_bits
+
+    res, mesh = ctx.result, ctx.mesh
+    router = ctx.base_router
+    out = []
+    for i in ctx.sample_rows(res.problem.num_packets):
+        s = int(res.problem.sources[i])
+        t = int(res.problem.dests[i])
+        if s == t:
+            continue
+        seq, bridge_idx = router.submesh_sequence(mesh, s, t)
+        cost = sequence_recycled_bits(seq[bridge_idx].sides, mesh.d)
+        dist = oracle_distance(mesh, s, t)
+        bound = 4 * mesh.d * (math.log2(max(2, dist) * mesh.d) + 4)
+        if cost > bound:
+            out.append(
+                f"packet {i}: recycled cost {cost} bits exceeds the "
+                f"envelope {bound:.1f} (dist {dist})"
+            )
+    return out
+
+
+def _compact_applies(ctx: VerifyContext) -> bool:
+    from repro.core.compact import CompactHierarchicalRouter
+
+    return (
+        ctx.result is not None
+        and isinstance(ctx.base_router, CompactHierarchicalRouter)
+        and ctx.trivial_faults
+    )
+
+
+@register(
+    "compact.state-equivalent",
+    "compact per-node routing is byte-identical to the global router and "
+    "its state stays polylogarithmic",
+    _compact_applies,
+)
+def _compact_state_equivalent(ctx: VerifyContext) -> list[str]:
+    from repro.core.compact import CompactNodeTable
+    from repro.core.path_selection import HierarchicalRouter
+
+    res, mesh = ctx.result, ctx.mesh
+    compact = ctx.base_router
+    out = []
+    reference = HierarchicalRouter(
+        scheme=compact.scheme,
+        variant=compact.variant,
+        use_bridges=compact.use_bridges,
+        dim_order=compact.dim_order,
+        bit_mode=compact.bit_mode,
+        drop_cycles=compact.drop_cycles,
+    )
+    ref = reference.route(
+        ctx.original_problem, ctx.entropy, workers=1, budget=ctx.budget
+    )
+    if not np.array_equal(ref.paths.nodes, res.paths.nodes) or not np.array_equal(
+        ref.paths.offsets, res.paths.offsets
+    ):
+        out.append("compact router bytes differ from the global router")
+    # state accounting: serialization round-trips and stays polylog
+    node = int(res.problem.sources[0]) if res.problem.num_packets else 0
+    table = compact.node_table(mesh, node)
+    if CompactNodeTable.from_bytes(table.to_bytes()) != table:
+        out.append("compact node table does not round-trip through bytes")
+    bits = compact.state_bits_per_node(mesh)
+    if bits != 8 * len(table.to_bytes()):
+        out.append("state_bits_per_node disagrees with the serialized size")
+    ceiling = 512 * (mesh.k + 1) * (mesh.d + 1) + 1024
+    if bits > ceiling:
+        out.append(
+            f"per-node state {bits} bits exceeds the polylog ceiling "
+            f"{ceiling}"
+        )
     return out

@@ -32,6 +32,7 @@ from repro.routing.base import RoutingProblem, RoutingResult, Router
 
 __all__ = [
     "oracle_uniforms",
+    "oracle_metered_bits",
     "oracle_route",
     "oracle_edge_loads",
     "oracle_node_loads",
@@ -187,12 +188,17 @@ def _dim_order_walk(
     return out
 
 
-def _oracle_batch_paths(
-    spec, entropy: int
-) -> list[list[int]]:
-    """Per-packet replay of the batch protocol, one packet at a time."""
+def _batch_packet_index(spec, i: int) -> int:
+    """Global stream index of batch row ``i`` (honours explicit indices)."""
+    if getattr(spec, "packet_indices", None) is not None:
+        return int(spec.packet_indices[i])
+    return spec.packet_offset + i
+
+
+def _oracle_batch_path(spec, entropy: int, i: int) -> list[int]:
+    """Replay of the batch protocol for one packet (row ``i``)."""
     mesh = spec.mesh
-    N, S, d = spec.box_lo.shape
+    _, S, d = spec.box_lo.shape
     L = S + 1
     if spec.dim_order == "random":
         n_ord = L * d
@@ -200,45 +206,91 @@ def _oracle_batch_paths(
         n_ord = d
     else:
         n_ord = 0
-    paths = []
-    for i in range(N):
-        u = oracle_uniforms(entropy, spec.packet_offset + i, S * d + n_ord)
-        # inner waypoints: lo + floor(u * len), one uniform per (stage, dim)
-        pts = [[int(c) for c in spec.coords_s[i]]]
-        for j in range(S):
-            pts.append(
-                [
-                    int(spec.box_lo[i, j, k])
-                    + int(u[j * d + k] * int(spec.box_len[i, j, k]))
-                    for k in range(d)
-                ]
-            )
-        pts.append([int(c) for c in spec.coords_t[i]])
-        # subpath dimension orders
-        if spec.dim_order == "fixed":
-            base = list(spec.fixed_order) if spec.fixed_order is not None else list(range(d))
-            orders = [base] * L
-        elif spec.dim_order == "shared":
-            vals = u[S * d : S * d + d]
-            shared = sorted(range(d), key=lambda k: (vals[k], k))
-            orders = [shared] * L
-        else:
-            orders = [
-                sorted(
-                    range(d),
-                    key=lambda k, j=j: (u[S * d + j * d + k], k),
-                )
-                for j in range(L)
+    u = oracle_uniforms(entropy, _batch_packet_index(spec, i), S * d + n_ord)
+    # inner waypoints: lo + floor(u * len), one uniform per (stage, dim)
+    pts = [[int(c) for c in spec.coords_s[i]]]
+    for j in range(S):
+        pts.append(
+            [
+                int(spec.box_lo[i, j, k])
+                + int(u[j * d + k] * int(spec.box_len[i, j, k]))
+                for k in range(d)
             ]
-        path = [_flat(mesh, pts[0])]
-        for j in range(L):
-            a = _flat(mesh, pts[j])
-            b = _flat(mesh, pts[j + 1])
-            path.extend(_dim_order_walk(mesh, a, b, orders[j])[1:])
-        if spec.drop_cycles:
-            path = oracle_remove_cycles(path)
-        paths.append(path)
-    return paths
+        )
+    pts.append([int(c) for c in spec.coords_t[i]])
+    # subpath dimension orders
+    if spec.dim_order == "fixed":
+        base = list(spec.fixed_order) if spec.fixed_order is not None else list(range(d))
+        orders = [base] * L
+    elif spec.dim_order == "shared":
+        vals = u[S * d : S * d + d]
+        shared = sorted(range(d), key=lambda k: (vals[k], k))
+        orders = [shared] * L
+    else:
+        orders = [
+            sorted(
+                range(d),
+                key=lambda k, j=j: (u[S * d + j * d + k], k),
+            )
+            for j in range(L)
+        ]
+    path = [_flat(mesh, pts[0])]
+    for j in range(L):
+        a = _flat(mesh, pts[j])
+        b = _flat(mesh, pts[j + 1])
+        path.extend(_dim_order_walk(mesh, a, b, orders[j])[1:])
+    if spec.drop_cycles:
+        path = oracle_remove_cycles(path)
+    return path
+
+
+def _oracle_batch_paths(spec, entropy: int) -> list[list[int]]:
+    """Per-packet replay of the batch protocol, one packet at a time."""
+    N = spec.box_lo.shape[0]
+    return [_oracle_batch_path(spec, entropy, i) for i in range(N)]
+
+
+def oracle_metered_bits(spec) -> list[int]:
+    """Independent scalar recount of the planned fresh bits per batch row.
+
+    Re-derives the information-theoretic price the budget layer meters
+    (:func:`repro.core.budget.planned_fresh_bits`) from the batch spec
+    alone: ``ceil(log2 side)`` per inner-box dimension (padded single-node
+    slots price 0 since ``bit_length(0) == 0``) plus the dimension-order
+    cost — ``sum_{i=2..d} ceil(log2 i)`` per consumed ordering.  A bug in
+    the vectorised metering and the same bug here would have to be written
+    twice to agree.
+    """
+    N, S, d = spec.box_lo.shape
+    perm = sum((i - 1).bit_length() for i in range(2, d + 1))
+    out = []
+    for i in range(N):
+        alive = any(
+            int(spec.coords_s[i][k]) != int(spec.coords_t[i][k])
+            for k in range(d)
+        )
+        if not alive:
+            out.append(0)
+            continue
+        total = sum(
+            (int(spec.box_len[i, j, k]) - 1).bit_length()
+            for j in range(S)
+            for k in range(d)
+        )
+        if spec.n_inner is not None:
+            n_inner = int(spec.n_inner[i])
+        else:
+            n_inner = sum(
+                1
+                for j in range(S)
+                if any(int(spec.box_len[i, j, k]) > 1 for k in range(d))
+            )
+        if spec.dim_order == "random":
+            total += (n_inner + 1) * perm
+        elif spec.dim_order == "shared":
+            total += perm
+        out.append(total)
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -336,17 +388,25 @@ def oracle_alive_bfs(
 
 
 def _oracle_fault_paths(
-    router, problem: RoutingProblem, entropy: int, packet_offset: int
+    router,
+    problem: RoutingProblem,
+    entropy: int,
+    packet_offset: int,
+    degraded=None,
 ) -> tuple[list[list[int]], list[int]]:
     """Replay of :class:`FaultAwareRouter`: resample, detour, or drop.
 
     The inner router's draws come from the same per-packet stream the
     fast path uses (selection *draws* are the shared contract); the mask,
     the edge checks, the BFS detour, and the drop bookkeeping are all
-    re-derived here.
+    re-derived here.  ``degraded`` optionally carries the budget ladder's
+    ``(use_rec, use_dim, fallback)`` decisions: recycled packets select
+    through the fallback router on the same stream, dimension-order
+    packets are deterministic and skip the resample loop entirely.
     """
     mesh = problem.mesh
     alive = oracle_fault_mask(router.faults, router.at_step)
+    use_rec, use_dim, fallback = degraded or (None, None, None)
 
     def path_ok(path: np.ndarray) -> bool:
         if len(path) < 2:
@@ -355,13 +415,25 @@ def _oracle_fault_paths(
 
     paths, kept = [], []
     for i, (s, t) in enumerate(problem.pairs()):
-        ss = np.random.SeedSequence(entropy, spawn_key=(packet_offset + i,))
-        rng = np.random.default_rng(ss)
-        path = router.inner.select_path(mesh, int(s), int(t), rng)
-        tries = 0
-        while tries < router.max_resamples and not path_ok(path):
-            path = router.inner.select_path(mesh, int(s), int(t), rng)
-            tries += 1
+        if use_dim is not None and use_dim[i]:
+            # deterministic: redrawing cannot dodge a dead edge
+            path = np.asarray(
+                _dim_order_walk(mesh, int(s), int(t), list(range(mesh.d))),
+                dtype=np.int64,
+            )
+        else:
+            select = (
+                fallback.select_path
+                if use_rec is not None and use_rec[i]
+                else router.inner.select_path
+            )
+            ss = np.random.SeedSequence(entropy, spawn_key=(packet_offset + i,))
+            rng = np.random.default_rng(ss)
+            path = select(mesh, int(s), int(t), rng)
+            tries = 0
+            while tries < router.max_resamples and not path_ok(path):
+                path = select(mesh, int(s), int(t), rng)
+                tries += 1
         if not path_ok(path):
             detour = oracle_alive_bfs(mesh, int(s), int(t), alive)
             if detour is None:
@@ -376,12 +448,43 @@ def _oracle_fault_paths(
 # The routing oracle
 # ---------------------------------------------------------------------------
 
+def _oracle_degradation(router, problem: RoutingProblem, params):
+    """The budget ladder's decisions, replayed from planned costs.
+
+    Reuses the router's deterministic :meth:`planned_bits` (the shared
+    contract, like ``select_path`` in the fault replay — the costs are
+    pinned separately by :func:`oracle_metered_bits`) and re-derives the
+    ok / recycled / dimension-order split.  Returns ``None`` when nothing
+    degrades.
+    """
+    from repro.core.budget import degradation_plan
+
+    if not params.enforcing:
+        return None
+    plan = router.planned_bits(problem)
+    if plan is None:
+        return None
+    plan = np.asarray(plan)
+    limit = params.limit_for(problem.mesh)
+    if not bool((plan > limit).any()):
+        return None
+    fallback = router.budget_fallback_router()
+    rec = (
+        router.planned_bits(problem, mode="recycled")
+        if fallback is not None
+        else None
+    )
+    _, use_rec, use_dim = degradation_plan(plan, rec, limit)
+    return use_rec, use_dim, fallback
+
+
 def oracle_route(
     router: Router,
     problem: RoutingProblem,
     entropy: int,
     *,
     packet_offset: int = 0,
+    budget=None,
 ) -> tuple[PathSet, np.ndarray | None]:
     """Route ``problem`` the slow way; returns ``(paths, kept_indices)``.
 
@@ -393,13 +496,26 @@ def oracle_route(
     * everything else runs the per-packet loop with the documented
       ``SeedSequence(entropy, spawn_key=(i,))`` streams.
 
+    ``budget`` (anything :meth:`BudgetParams.resolve` accepts; ``None``
+    reads ``REPRO_BUDGET`` exactly like the fast path) replays the
+    enforcement ladder: over-budget packets select through the recycled
+    fallback on their own stream, or walk the deterministic zero-bit
+    dimension-order path.
+
     ``entropy`` must be the resolved integer (a fast-path result's
     ``seed`` attribute), so seeded and unseeded runs replay alike.
     """
+    from repro.core.budget import BudgetParams
     from repro.faults.router import FaultAwareRouter
 
+    params = BudgetParams.resolve(budget)
+    degraded = _oracle_degradation(router, problem, params)
+    mesh = problem.mesh
+
     if isinstance(router, FaultAwareRouter) and not router.faults.is_trivial:
-        paths, kept = _oracle_fault_paths(router, problem, entropy, packet_offset)
+        paths, kept = _oracle_fault_paths(
+            router, problem, entropy, packet_offset, degraded
+        )
         kept_idx = None
         if len(kept) != problem.num_packets:
             kept_idx = np.asarray(kept, dtype=np.int64)
@@ -408,10 +524,34 @@ def oracle_route(
         )
         return ps, kept_idx
 
+    use_rec, use_dim, fallback = degraded or (None, None, None)
     spec = router.batch_spec(problem)
     if spec is not None:
         spec.packet_offset = packet_offset
-        raw = _oracle_batch_paths(spec, entropy)
+        raw = []
+        for i in range(problem.num_packets):
+            if use_dim is not None and use_dim[i]:
+                raw.append(
+                    _dim_order_walk(
+                        mesh,
+                        int(problem.sources[i]),
+                        int(problem.dests[i]),
+                        list(range(mesh.d)),
+                    )
+                )
+            elif use_rec is not None and use_rec[i]:
+                ss = np.random.SeedSequence(
+                    entropy, spawn_key=(packet_offset + i,)
+                )
+                path = fallback.select_path(
+                    mesh,
+                    int(problem.sources[i]),
+                    int(problem.dests[i]),
+                    np.random.default_rng(ss),
+                )
+                raw.append([int(x) for x in path])
+            else:
+                raw.append(_oracle_batch_path(spec, entropy, i))
         ps = PathSet.from_paths([np.asarray(p, dtype=np.int64) for p in raw])
         return ps, None
 
@@ -419,9 +559,22 @@ def oracle_route(
     # branch, built from the public primitive.
     paths = []
     for i, (s, t) in enumerate(problem.pairs()):
+        if use_dim is not None and use_dim[i]:
+            paths.append(
+                np.asarray(
+                    _dim_order_walk(mesh, int(s), int(t), list(range(mesh.d))),
+                    dtype=np.int64,
+                )
+            )
+            continue
         ss = np.random.SeedSequence(entropy, spawn_key=(packet_offset + i,))
         rng = np.random.default_rng(ss)
-        paths.append(router.select_path(problem.mesh, int(s), int(t), rng))
+        select = (
+            fallback.select_path
+            if use_rec is not None and use_rec[i]
+            else router.select_path
+        )
+        paths.append(select(mesh, int(s), int(t), rng))
     return PathSet.from_paths(paths), None
 
 

@@ -126,15 +126,24 @@ def _run_route_case(case: Case, profiler, real_pool: bool) -> CaseOutcome:
     if profiler is not None:
         router.profiler = profiler
     entropy = resolve_entropy(case.seed)
+    # "off" passes None so REPRO_BUDGET still applies (the CI enforce leg);
+    # explicit modes pin the params for fast path, shards and oracle alike.
+    budget = None
+    if case.budget_mode != "off":
+        from repro.core.budget import BudgetParams
+
+        budget = BudgetParams(mode=case.budget_mode, bits=case.budget_bits)
 
     def route_fn(workers: int):
-        return router.route(problem, entropy, workers=workers)
+        return router.route(problem, entropy, workers=workers, budget=budget)
 
     serial = route_fn(1)
 
     if case.workers != 1:
         if real_pool:
-            sharded = router.route(problem, entropy, workers=case.workers)
+            sharded = router.route(
+                problem, entropy, workers=case.workers, budget=budget
+            )
         else:
             sharded = route_sharded(
                 router,
@@ -142,6 +151,7 @@ def _run_route_case(case: Case, profiler, real_pool: bool) -> CaseOutcome:
                 entropy,
                 workers=case.workers,
                 executor=SerialExecutor(),
+                budget=budget,
             )
         if not (
             np.array_equal(sharded.paths.nodes, serial.paths.nodes)
@@ -155,9 +165,16 @@ def _run_route_case(case: Case, profiler, real_pool: bool) -> CaseOutcome:
             sk is not None and not np.array_equal(sk, ek)
         ):
             outcome.mismatches.append("sharded kept_indices differ from serial")
+        sb, eb = sharded.budget, serial.budget
+        if (sb is None) != (eb is None) or (
+            sb is not None and sb.to_dict() != eb.to_dict()
+        ):
+            outcome.mismatches.append("sharded bit ledger differs from serial")
 
     if router.is_oblivious:
-        oracle_ps, oracle_kept = oracle_route(router, problem, entropy)
+        oracle_ps, oracle_kept = oracle_route(
+            router, problem, entropy, budget=budget
+        )
         _diff_paths(serial, oracle_ps, oracle_kept, outcome.mismatches)
     _diff_metrics(serial, outcome.mismatches)
 
@@ -169,6 +186,7 @@ def _run_route_case(case: Case, profiler, real_pool: bool) -> CaseOutcome:
         route_fn=route_fn,
         workers=case.workers,
         faults=faults,
+        budget=budget,
         rng=np.random.default_rng(case.seed + 99),
     )
     outcome.violations = check_invariants(ctx)

@@ -41,6 +41,12 @@ FAULT_MESH_LABELS = ("8x8", "8x8t")
 FAULT_P = 0.05
 FAULT_SEED = 1
 
+#: randomness-budget cells: bit-metered scalar runs (fresh / recycled)
+#: on both 8x8 families, plus a tight enforced cap on the square that
+#: pins the degradation ladder's bytes (recycled + dim-order fallbacks)
+BUDGET_MESH_LABELS = ("8x8", "8x8t")
+BUDGET_ENFORCE_BITS = 16
+
 
 def _workload(mesh):
     """Transpose where it is defined; bit-complement on rectangles."""
@@ -98,6 +104,29 @@ def golden_cases():
                     return router.route(problem, seed=seed)
 
                 yield f"hierarchical+static-faults|{label}|seed={seed}", route_faulty
+        if label in BUDGET_MESH_LABELS:
+            for mode in ("fresh", "recycled"):
+                for seed in SEEDS:
+
+                    def route_bits(problem=problem, seed=seed, mode=mode):
+                        return make_router("hierarchical", bit_mode=mode).route(
+                            problem, seed=seed
+                        )
+
+                    yield f"hierarchical+bits-{mode}|{label}|seed={seed}", route_bits
+        if label == "8x8":
+            for seed in SEEDS:
+
+                def route_budget(problem=problem, seed=seed):
+                    return make_router("hierarchical").route(
+                        problem, seed=seed, budget=BUDGET_ENFORCE_BITS
+                    )
+
+                yield (
+                    f"hierarchical+budget-enforce{BUDGET_ENFORCE_BITS}"
+                    f"|{label}|seed={seed}",
+                    route_budget,
+                )
 
 
 def cell_hash(result) -> str:

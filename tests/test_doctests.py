@@ -29,7 +29,8 @@ def test_module_doctests(module):
 
 
 @pytest.mark.parametrize(
-    "name", ["API.md", "PERFORMANCE.md", "KERNELS.md", "FAULTS.md", "VERIFICATION.md"]
+    "name", ["API.md", "PERFORMANCE.md", "KERNELS.md", "FAULTS.md",
+             "VERIFICATION.md", "RANDOMNESS.md"]
 )
 def test_docs_doctests(name):
     path = DOCS / name

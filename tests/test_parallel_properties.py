@@ -24,8 +24,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.budget import BudgetParams
 from repro.core.path_selection import HierarchicalRouter
 from repro.core.randomness import (
+    packet_seed_sequence,
     packet_stream,
     packet_uniforms,
     resolve_entropy,
@@ -123,6 +125,26 @@ class TestSeedDerivation:
             resolve_entropy(-1)
         with pytest.raises(TypeError):
             resolve_entropy(1.5)
+
+    def test_index_guards_agree_between_scalar_and_vectorised(self):
+        """Spawn keys are 32-bit words: both derivation paths reject out-of-
+        range packet indices with the same message instead of silently
+        wrapping (which would alias two packets onto one stream)."""
+        for bad in (2**32, -1):
+            with pytest.raises(ValueError, match="fit in 32 bits"):
+                packet_seed_sequence(0, bad)
+            with pytest.raises(ValueError, match="fit in 32 bits"):
+                spawn_state(0, np.asarray([bad], dtype=np.int64), 4)
+        with pytest.raises(ValueError, match="fit in 32 bits"):
+            spawn_state(0, np.asarray([2**40], dtype=np.uint64), 4)
+
+    def test_boundary_index_matches_numpy(self):
+        """The largest legal index, 2^32 - 1, still derives identically on
+        the scalar and vectorised paths."""
+        top = 2**32 - 1
+        got = spawn_state(5, np.asarray([top], dtype=np.uint64), 4)[0]
+        want = packet_seed_sequence(5, top).generate_state(4)
+        np.testing.assert_array_equal(got, want)
 
 
 # ---------------------------------------------------------------------------
@@ -305,6 +327,62 @@ class TestFaultSharding:
         )
         assert digest(a.paths) == digest(b.paths)
         np.testing.assert_array_equal(a.problem.sources, b.problem.sources)
+
+
+class TestBudgetSharding:
+    """Satellite property: the bit ledger is shard-invariant.
+
+    Planned costs are per-packet deterministic, so the merged shard
+    ledgers must equal the serial ledger field-for-field — packets,
+    metered counts, total and max bits, fallback tallies — for every
+    worker count, budget mode and cap."""
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        packets=st.integers(1, 60),
+        workers=st.sampled_from([2, 3, 5, 9]),
+        mode=st.sampled_from(["measure", "enforce"]),
+        bits=st.one_of(st.none(), st.integers(0, 48)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ledger_shard_invariant(self, seed, packets, workers, mode, bits):
+        mesh = Mesh((8, 8))
+        problem = random_pairs(mesh, packets, seed=seed)
+        budget = BudgetParams(mode=mode, bits=bits)
+        router = HierarchicalRouter()
+        serial = router.route(problem, seed=seed, workers=1, budget=budget)
+        sharded = route_sharded(
+            router, problem, seed=seed, workers=workers,
+            executor=SerialExecutor(), budget=budget,
+        )
+        assert digest(sharded.paths) == digest(serial.paths)
+        assert sharded.budget.to_dict() == serial.budget.to_dict()
+
+    @pytest.mark.parametrize("workers", [2, 3, 7])
+    def test_faulty_ledger_shard_invariant(self, workers):
+        mesh = Mesh((8, 8))
+        problem = random_pairs(mesh, 60, seed=2)
+        faults = FaultModel(mesh, p=0.15, seed=4)
+        budget = BudgetParams(mode="enforce", bits=20)
+        a = FaultAwareRouter(HierarchicalRouter(), faults).route(
+            problem, seed=6, workers=1, budget=budget
+        )
+        b = route_sharded(
+            FaultAwareRouter(HierarchicalRouter(), faults), problem, seed=6,
+            workers=workers, executor=SerialExecutor(), budget=budget,
+        )
+        assert digest(a.paths) == digest(b.paths)
+        assert a.budget.to_dict() == b.budget.to_dict()
+        assert a.budget.fallbacks > 0  # the cap actually exercised the ladder
+
+    def test_ledger_survives_process_pool(self):
+        mesh = Mesh((8, 8))
+        problem = transpose(mesh)
+        router = HierarchicalRouter()
+        serial = router.route(problem, seed=3, workers=1, budget=16)
+        pooled = router.route(problem, seed=3, workers=4, budget=16)
+        assert digest(pooled.paths) == digest(serial.paths)
+        assert pooled.budget.to_dict() == serial.budget.to_dict()
 
 
 class TestOnlineSharding:

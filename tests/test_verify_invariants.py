@@ -36,6 +36,9 @@ EXPECTED_INVARIANTS = {
     "metrics.consistent",
     "bounds.lower-bound-holds",
     "online.conservation",
+    "budget.respected",
+    "budget.envelope",
+    "compact.state-equivalent",
 }
 
 
