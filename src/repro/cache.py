@@ -50,6 +50,7 @@ __all__ = [
     "absorb_worker_stats",
     "configure",
     "enabled",
+    "epoch",
     "get_decomposition",
     "invalidate",
     "memo",
@@ -99,6 +100,9 @@ _hits = 0
 _misses = 0
 _invalidations = 0
 _dropped = 0
+#: bumped by every :func:`invalidate` call — the warm-up handshake uses it
+#: to detect an invalidation that landed while a warm() pass was in flight
+_epoch = 0
 
 
 def configure(*, enabled: bool = True) -> None:
@@ -156,8 +160,9 @@ def invalidate(kind: str | None = None) -> int:
     Accounting: each call bumps ``stats().invalidations`` by one; the
     number of entries removed accumulates in ``stats().dropped``.
     """
-    global _invalidations, _dropped
+    global _invalidations, _dropped, _epoch
     with _lock:
+        _epoch += 1
         if kind is None:
             dropped = len(_store)
             _store.clear()
@@ -169,6 +174,18 @@ def invalidate(kind: str | None = None) -> int:
         _invalidations += 1
         _dropped += dropped
     return dropped
+
+
+def epoch() -> int:
+    """Monotonic invalidation counter.
+
+    Every :func:`invalidate` call bumps it, whatever it dropped.  Multi-step
+    consumers (the :func:`warm` handshake) snapshot the epoch before a pass
+    and re-check it after: an unchanged epoch proves no invalidation raced
+    the pass, so everything the pass built is still resident.
+    """
+    with _lock:
+        return _epoch
 
 
 def stats() -> CacheStats:
@@ -242,18 +259,33 @@ def warmup_key(mesh: Mesh, scheme: str = "auto") -> tuple:
     return (tuple(mesh.sides), bool(mesh.torus), resolve_scheme(mesh, scheme))
 
 
-def warm(keys) -> int:
+def warm(keys, *, max_retries: int = 4) -> int:
     """Build the decompositions named by ``keys`` in *this* process.
 
     Returns the number of keys that were cold (a cache miss here).  Called
     by shard workers before routing so the build cost is paid once per
     process, not once per shard task.
+
+    The handshake is epoch-checked: an :func:`invalidate` that lands while
+    a pass is in flight can drop entries the pass already built, which
+    would let ``warm`` return with some of its keys cold again — the exact
+    stale-``warmup_key`` race this guard exists for.  Each pass snapshots
+    :func:`epoch` first and re-runs (up to ``max_retries`` times) whenever
+    the epoch moved mid-pass, so on a clean return every key is resident.
+    Under a sustained invalidation storm the last pass's count is returned
+    best-effort rather than livelocking.
     """
+    keys = list(keys)
     cold = 0
-    for sides, torus, scheme in keys:
-        before = stats().misses
-        get_decomposition(Mesh(tuple(sides), torus=bool(torus)), scheme)
-        cold += int(stats().misses > before)
+    for _attempt in range(max_retries + 1):
+        e0 = epoch()
+        cold = 0
+        for sides, torus, scheme in keys:
+            before = stats().misses
+            get_decomposition(Mesh(tuple(sides), torus=bool(torus)), scheme)
+            cold += int(stats().misses > before)
+        if epoch() == e0:
+            break
     return cold
 
 

@@ -104,6 +104,8 @@ def _cmd_route(args) -> int:
         kernels.set_backend(args.kernels)
     mesh = parse_mesh(args.mesh, args.torus)
     problem = build_workload(args.workload, mesh, args.seed)
+    if args.via is not None:
+        return _route_via_service(args, mesh, problem)
     router = make_router(args.router)
     profiler = None
     if args.profile or args.trace:
@@ -177,6 +179,51 @@ def _cmd_route(args) -> int:
         else:
             print()
             print(draw_path(mesh, result.paths[i]))
+    return 0
+
+
+def _route_via_service(args, mesh: Mesh, problem) -> int:
+    """``repro route --via SOCKET``: route through a live daemon."""
+    if args.budget_mode is not None or args.budget_bits is not None:
+        print("--via does not carry budget options", file=sys.stderr)
+        return 2
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.via) as client:
+        result = client.route(problem, router=args.router, seed=args.seed)
+    print(problem.describe())
+    print(result.summary())
+    print(f"(routed via service at {args.via})")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """``repro serve``: run the routing daemon until stopped."""
+    import signal
+
+    from repro import kernels
+    from repro.service.server import RoutingService
+
+    if args.kernels != "auto":
+        kernels.set_backend(args.kernels)
+    prewarm = tuple(s for s in (args.prewarm or "").split(",") if s)
+    service = RoutingService(
+        args.socket,
+        workers=args.workers,
+        context=args.context,
+        max_batch=args.max_batch,
+        flush_ms=args.flush_ms,
+        shard_threshold=args.shard_threshold,
+        prewarm=prewarm,
+    )
+    signal.signal(signal.SIGTERM, lambda *_: service.stop())
+    service.start()
+    print(
+        f"repro service: {service.pool.workers} warm worker(s) on "
+        f"{args.socket} (pid {__import__('os').getpid()})",
+        flush=True,
+    )
+    service.serve_forever()
     return 0
 
 
@@ -439,7 +486,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-packet bit cap (implies --budget-mode enforce; "
                         "default cap: a structural ceiling no fresh "
                         "selection exceeds)")
+    p.add_argument("--via", default=None, metavar="SOCKET",
+                   help="route through a running 'repro serve' daemon at "
+                        "this unix socket (byte-identical to local routing)")
     p.set_defaults(func=_cmd_route)
+
+    p = sub.add_parser(
+        "serve", help="persistent routing daemon with a warm worker pool"
+    )
+    p.add_argument("--socket", default="/tmp/repro.sock", metavar="PATH",
+                   help="unix socket to listen on (default: /tmp/repro.sock)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="warm worker processes (0 = one per CPU)")
+    p.add_argument("--context", default="auto",
+                   choices=("auto", "fork", "spawn", "serial"),
+                   help="worker start method (default: auto)")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="micro-batch size cap (default: 16)")
+    p.add_argument("--flush-ms", type=float, default=2.0,
+                   help="micro-batch flush deadline in ms (default: 2)")
+    p.add_argument("--shard-threshold", type=int, default=1 << 16,
+                   help="requests with at least this many packets shard "
+                        "across all warm workers instead of batching")
+    p.add_argument("--prewarm", default="", metavar="MESHES",
+                   help="comma-separated mesh specs to warm at boot, e.g. "
+                        "'16x16,8x8x8:torus'")
+    p.add_argument("--kernels", default="auto", choices=("auto", "numba", "numpy"))
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("compare", help="compare routers on one workload")
     _add_common(p)

@@ -29,6 +29,7 @@ frozen (``writeable=False``); build a new ``PathSet`` instead of mutating.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
@@ -36,7 +37,34 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mesh.mesh import Mesh
 
-__all__ = ["PathSet"]
+__all__ = ["PathSet", "SharedCSR"]
+
+
+@dataclass(frozen=True)
+class SharedCSR:
+    """A picklable handle to a :class:`PathSet` parked in shared memory.
+
+    Produced by :meth:`PathSet.to_shared`, consumed by
+    :meth:`PathSet.from_shared`.  The handle is tiny (a segment name plus
+    two counts) and crosses process boundaries for free — the CSR payload
+    itself never goes through pickle.  Whoever holds the handle owns the
+    segment (:mod:`repro.core.shm` ownership protocol) and must either
+    consume it or :meth:`discard` it.
+    """
+
+    name: str
+    num_paths: int
+    num_nodes: int
+
+    @property
+    def nbytes(self) -> int:
+        return 8 * (self.num_paths + 1 + self.num_nodes)
+
+    def discard(self) -> bool:
+        """Unlink the segment unconsumed (error-path cleanup)."""
+        from repro.core import shm as _shm
+
+        return _shm.discard(self.name)
 
 
 def _frozen(arr: np.ndarray) -> np.ndarray:
@@ -55,8 +83,16 @@ def _frozen(arr: np.ndarray) -> np.ndarray:
         root = out
         while isinstance(root.base, np.ndarray):
             root = root.base
+        # A read-only memoryview root (``np.frombuffer(mv.toreadonly())``,
+        # the shared-memory wrap) cannot be written through any alias, so
+        # it is safe to reference zero-copy; any other non-ndarray base is
+        # treated as a writable alias and copied.
+        base = root.base
+        base_safe = base is None or (
+            isinstance(base, memoryview) and base.readonly
+        )
         writable_alias = (
-            out.flags.writeable or root.flags.writeable or root.base is not None
+            out.flags.writeable or root.flags.writeable or not base_safe
         )
         out = out.copy() if writable_alias else out.view()
     out.setflags(write=False)
@@ -131,6 +167,93 @@ class PathSet(Sequence):
         nodes.setflags(write=False)
         offsets.setflags(write=False)
         return cls(nodes, offsets)
+
+    # -- shared-memory interchange -------------------------------------
+    def to_shared(self) -> SharedCSR:
+        """Park this CSR in a fresh shared-memory segment; hand off ownership.
+
+        Layout: ``offsets`` (``num_paths + 1`` int64) then ``nodes``,
+        little meta beyond the returned :class:`SharedCSR` handle.  The
+        calling process gives up its claim immediately
+        (:func:`repro.core.shm.handoff`), so the receiver of the handle —
+        typically the other side of a process boundary — is the sole owner
+        and must unlink after consuming (:meth:`from_shared` +
+        :meth:`close_shared`, or :meth:`SharedCSR.discard`).
+        """
+        from repro.core import shm as _shm
+
+        off, nod = self.offsets, self.nodes
+        seg = _shm.create_segment(8 * (off.size + nod.size))
+        buf = np.frombuffer(seg.buf, dtype=np.int64, count=off.size + nod.size)
+        buf[: off.size] = off
+        buf[off.size :] = nod
+        desc = SharedCSR(seg.name, self.num_paths, self.total_nodes)
+        del buf  # drop the buffer export before closing the mapping
+        _shm.handoff(seg)
+        return desc
+
+    @classmethod
+    def from_shared(cls, desc: SharedCSR, *, copy: bool = False) -> "PathSet":
+        """Open a :class:`SharedCSR` handle as a PathSet.
+
+        ``copy=False`` (the zero-copy path) wraps read-only views straight
+        over the segment: no bytes move, but the PathSet now *owns* the
+        segment and must be released with :meth:`close_shared` when done.
+        ``copy=True`` copies out, closes the mapping immediately, and
+        leaves the segment linked for other consumers (call
+        :meth:`SharedCSR.discard` when the handle is retired).
+        """
+        from repro.core import shm as _shm
+
+        seg = _shm.attach(desc.name)
+        ro = seg.buf.toreadonly()
+        off = np.frombuffer(ro, dtype=np.int64, count=desc.num_paths + 1)
+        nod = np.frombuffer(
+            ro, dtype=np.int64, count=desc.num_nodes, offset=8 * (desc.num_paths + 1)
+        )
+        if copy:
+            ps = cls(nod.copy(), off.copy())
+            del nod, off, ro
+            seg.close()
+            return ps
+        ps = cls(nod, off)
+        ps._shm = seg
+        return ps
+
+    def close_shared(self, *, unlink: bool = False) -> bool:
+        """Release the shared segment backing this PathSet.
+
+        Terminal: every array of the PathSet (and every cached derived
+        view) is dropped so the mapping can actually be released — the
+        object must not be used afterwards.  ``unlink=True`` additionally
+        removes the segment itself, the final act of ownership.  Returns
+        ``False`` (and does nothing) when this PathSet is not
+        shared-memory backed, so unconditional cleanup is safe.
+        """
+        seg = self.__dict__.pop("_shm", None)
+        if seg is None:
+            return False
+        self.__dict__.clear()  # nodes/offsets + caches alias the mapping
+        self.nodes = _frozen_owned(np.empty(0, dtype=np.int64))
+        self.offsets = _frozen_owned(np.zeros(1, dtype=np.int64))
+        self._edge_id_cache = {}
+        try:
+            seg.close()
+        except BufferError as exc:  # pragma: no cover - caller kept a view
+            raise BufferError(
+                "cannot release shared PathSet segment: views of its arrays "
+                "escaped; copy them (or use from_shared(copy=True)) first"
+            ) from exc
+        if unlink:
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                # Already reclaimed — e.g. an orphan sweep unlinked the name
+                # after this PathSet attached.  The mapping was still valid
+                # (POSIX keeps unlinked segments alive while mapped), so
+                # nothing was lost; unlink is simply done.
+                pass
+        return True
 
     @classmethod
     def from_paths(cls, paths: "PathSet" | Iterable[np.ndarray]) -> "PathSet":

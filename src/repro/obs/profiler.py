@@ -18,6 +18,8 @@ JSONL trace schema (one JSON object per line, see docs/PERFORMANCE.md):
     Emitted on every :meth:`Profiler.count` call with a trace sink.
 ``{"event": "annotation", "key": str, "value": ..., "seq": int}``
     Emitted on every :meth:`Profiler.annotate` call with a trace sink.
+``{"event": "observation", "name": str, "value": float, "seq": int}``
+    Emitted on every :meth:`Profiler.observe` call with a trace sink.
 ``{"event": "summary", "stages": {...}, "counters": {...}, "annotations": {...}}``
     Emitted by :meth:`write_trace` / :meth:`write_summary`; ``stages``
     maps stage name to ``{"calls": int, "wall_s": float}``;
@@ -34,6 +36,40 @@ from dataclasses import dataclass, field
 from typing import IO, Iterator, Mapping
 
 __all__ = ["Profiler", "StageStats", "NULL_PROFILER"]
+
+
+@dataclass
+class ObservationStats:
+    """Streaming summary of one named observation series (no samples kept).
+
+    Backs :meth:`Profiler.observe` — per-request latencies, queue depths
+    and other *measured values* that are neither monotone counters nor
+    stage wall times.  Mergeable across workers: count/total/min/max fold
+    exactly, so fleet-level summaries stay correct.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
 
 
 @dataclass
@@ -80,6 +116,9 @@ class Profiler:
     #: run facts, not measurements — e.g. ``kernels.backend`` (last writer
     #: wins on merge; workers report through snapshots like counters do)
     annotations: dict[str, object] = field(default_factory=dict)
+    #: streaming value summaries (:meth:`observe`) — e.g. per-request
+    #: latency ``service.request_s``, sampled queue depth
+    observations: dict[str, ObservationStats] = field(default_factory=dict)
     _seq: int = field(default=0, repr=False)
     _sink: IO[str] | None = field(default=None, repr=False)
     _owns_sink: bool = field(default=False, repr=False)
@@ -115,6 +154,17 @@ class Profiler:
             self.annotations[key] = value
             self._emit({"event": "annotation", "key": key, "value": value})
 
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of a measured value (latency, queue depth).
+
+        Unlike :meth:`count` these are *values*, not increments: the
+        profiler keeps a streaming count/total/min/max summary per name
+        (:class:`ObservationStats`), never the raw samples.
+        """
+        with self._lock:
+            self.observations.setdefault(name, ObservationStats()).add(float(value))
+            self._emit({"event": "observation", "name": name, "value": float(value)})
+
     def merge(self, other: "Profiler") -> None:
         """Fold another profiler's stages and counters into this one."""
         self.merge_snapshot(other.snapshot())
@@ -129,6 +179,7 @@ class Profiler:
         stages = snapshot.get("stages", {})
         counters = snapshot.get("counters", {})
         annotations = snapshot.get("annotations", {})
+        observations = snapshot.get("observations", {})
         with self._lock:
             for name, st in stages.items():
                 mine = self.stages.setdefault(name, StageStats())
@@ -137,12 +188,19 @@ class Profiler:
             for name, v in counters.items():
                 self.counters[name] = self.counters.get(name, 0) + int(v)
             self.annotations.update(annotations)
+            for name, ob in observations.items():
+                mine = self.observations.setdefault(name, ObservationStats())
+                mine.count += int(ob["count"])
+                mine.total += float(ob["total"])
+                mine.min = min(mine.min, float(ob["min"]))
+                mine.max = max(mine.max, float(ob["max"]))
 
     def reset(self) -> None:
         with self._lock:
             self.stages.clear()
             self.counters.clear()
             self.annotations.clear()
+            self.observations.clear()
             self._seq = 0
 
     # ------------------------------------------------------------------
@@ -159,6 +217,9 @@ class Profiler:
                 "stages": {k: v.to_dict() for k, v in self.stages.items()},
                 "counters": dict(self.counters),
                 "annotations": dict(self.annotations),
+                "observations": {
+                    k: v.to_dict() for k, v in self.observations.items()
+                },
             }
 
     def stage_rows(self) -> list[dict]:
@@ -187,6 +248,11 @@ class Profiler:
         if self.counters:
             lines.append("counters: " + ", ".join(
                 f"{k}={v}" for k, v in sorted(self.counters.items())
+            ))
+        if self.observations:
+            lines.append("observations: " + ", ".join(
+                f"{k}: n={o.count} mean={o.mean:.4g} max={o.max:.4g}"
+                for k, o in sorted(self.observations.items())
             ))
         if self.annotations:
             lines.append("annotations: " + ", ".join(

@@ -31,21 +31,35 @@ def route_sharded(
     packet_offset: int = 0,
     executor=None,
     budget=None,
+    context: str = "auto",
+    transport: str = "auto",
 ) -> RoutingResult:
     """Route ``problem`` in shards; byte-identical to the serial engine.
 
     Parameters mirror :meth:`Router.route`; ``executor`` optionally
     injects a pre-built executor (anything with ordered ``map`` +
     ``shutdown``) — callers routing many problems amortise pool start-up
-    by passing one in, and tests sweep shard counts on the
+    by passing one in (the warm service pool does exactly this), and tests
+    sweep shard counts on the
     :class:`~repro.parallel.executor.SerialExecutor` without process cost.
-    The executor is only shut down when this call created it.
+    An executor this call created is always shut down before returning —
+    success, worker exception or merge failure alike — so a failing
+    sharded route can never leak a pool or its child processes.
+
+    ``context`` picks the start method for an owned pool (see
+    :func:`~repro.parallel.executor.make_executor`).  ``transport``
+    selects how shard CSRs come back: ``"pickle"`` ships arrays inline,
+    ``"shm"`` parks them in shared-memory segments
+    (:meth:`PathSet.to_shared`), and ``"auto"`` uses shm exactly when the
+    shards actually run in other processes.
     """
     if not router.is_oblivious:
         raise ValueError(
             f"cannot shard non-oblivious router {router.name!r}: its paths "
             "depend on each other; route with workers=1"
         )
+    if transport not in ("auto", "pickle", "shm"):
+        raise ValueError(f"unknown transport {transport!r}")
     from repro.core.budget import BudgetParams
 
     params = BudgetParams.resolve(budget)
@@ -67,56 +81,81 @@ def route_sharded(
     profiler = router.profiler
     payload = prepare_router(router)
     warm_keys = tuple(router.warmup_keys(problem))
-    bounds = shard_bounds(n, w)
-    tasks = [
-        ShardTask(
-            router=payload,
-            problem=problem.subproblem(range(a, b), name=problem.name),
-            entropy=entropy,
-            offset=packet_offset + a,
-            batch=batch,
-            warm_keys=warm_keys,
-            profile=profiler is not None,
-            kernels_backend=kernels.backend(),
-            budget=params,
-        )
-        for a, b in bounds
-    ]
     own_executor = executor is None
-    pool = make_executor(w) if own_executor else executor
-    stage = profiler.stage("parallel.route") if profiler else nullcontext()
+    pool = (
+        make_executor(
+            w,
+            context=context,
+            warm_keys=warm_keys,
+            kernels_backend=kernels.backend(),
+        )
+        if own_executor
+        else executor
+    )
     try:
+        is_process_pool = bool(getattr(pool, "is_process_pool", False))
+        if not is_process_pool and profiler is not None:
+            # workers > 1 was requested but the shards run in-process —
+            # either a platform degradation or an injected SerialExecutor
+            profiler.count("parallel.fallback_serial", 1)
+        use_shm = transport == "shm" or (
+            transport == "auto" and is_process_pool
+        )
+        bounds = shard_bounds(n, w)
+        tasks = [
+            ShardTask(
+                router=payload,
+                problem=problem.subproblem(range(a, b), name=problem.name),
+                entropy=entropy,
+                offset=packet_offset + a,
+                batch=batch,
+                warm_keys=warm_keys,
+                profile=profiler is not None,
+                kernels_backend=kernels.backend(),
+                budget=params,
+                use_shm=use_shm,
+            )
+            for a, b in bounds
+        ]
+        stage = profiler.stage("parallel.route") if profiler else nullcontext()
         with stage:
             results = pool.map(route_shard, tasks)
+
+        # Merge first: it consumes (and unlinks) any shared-memory
+        # segments the workers handed over, so a failure in the telemetry
+        # fold below cannot strand them.
+        merged = merge_shard_results(problem, router.name, entropy, results)
+
+        # Fold worker telemetry back into the parent-side objects.
+        if profiler is not None:
+            profiler.count("parallel.shards", len(tasks))
+            profiler.count("parallel.workers", w)
+            for r in results:
+                if r.profile is not None:
+                    profiler.merge_snapshot(r.profile)
+        for r in results:
+            if r.cache_stats is not None:
+                import repro.cache as cache
+
+                cache.absorb_worker_stats(r.cache_stats)
+            for attr, delta in r.counters.items():
+                setattr(router, attr, getattr(router, attr, 0) + delta)
+        if any(r.bits_log for r in results):
+            merged_bits: list[int] = []
+            for r in results:
+                merged_bits.extend(r.bits_log or [])
+            router.bits_log = merged_bits
+
+        ledgers = [r.budget for r in results if r.budget is not None]
+        if ledgers:
+            total = ledgers[0]
+            for extra in ledgers[1:]:
+                total.merge(extra)
+            merged.budget = total
+        return merged
     finally:
+        # Owned pools are torn down on *every* exit path: a worker
+        # exception or a failure propagating out of the merge used to
+        # leak the pool and its fork children.
         if own_executor:
             pool.shutdown()
-
-    # Fold worker telemetry back into the parent-side objects.
-    if profiler is not None:
-        profiler.count("parallel.shards", len(tasks))
-        profiler.count("parallel.workers", w)
-        for r in results:
-            if r.profile is not None:
-                profiler.merge_snapshot(r.profile)
-    for r in results:
-        if r.cache_stats is not None:
-            import repro.cache as cache
-
-            cache.absorb_worker_stats(r.cache_stats)
-        for attr, delta in r.counters.items():
-            setattr(router, attr, getattr(router, attr, 0) + delta)
-    if any(r.bits_log for r in results):
-        merged_bits: list[int] = []
-        for r in results:
-            merged_bits.extend(r.bits_log or [])
-        router.bits_log = merged_bits
-
-    merged = merge_shard_results(problem, router.name, entropy, results)
-    ledgers = [r.budget for r in results if r.budget is not None]
-    if ledgers:
-        total = ledgers[0]
-        for extra in ledgers[1:]:
-            total.merge(extra)
-        merged.budget = total
-    return merged

@@ -46,10 +46,33 @@ def merge_shard_results(
     (fault-aware routing), the kept sets are lifted to global indices and
     the result is built on the same subproblem the serial route would have
     produced.
+
+    Shards that travelled by shared memory (``r.shared`` set) are opened
+    zero-copy, concatenated, and their segments unlinked here — the merge
+    is the consuming end of the ownership hand-off, so a completed merge
+    leaves no segment behind.
     """
-    paths = PathSet.concatenate(
-        [PathSet.from_arrays(r.nodes, r.offsets) for r in shard_results]
-    )
+    opened: list[PathSet] = []
+    parts: list[PathSet] = []
+    for r in shard_results:
+        if getattr(r, "shared", None) is not None:
+            ps = PathSet.from_shared(r.shared)
+            opened.append(ps)
+            parts.append(ps)
+        else:
+            parts.append(PathSet.from_arrays(r.nodes, r.offsets))
+    try:
+        paths = PathSet.concatenate(parts)
+        if opened and any(paths is ps for ps in opened):
+            # single-shard merge: concatenate returned the shm-backed part
+            # itself; copy out so the segment can still be released below
+            paths = PathSet.from_arrays(
+                np.array(paths.nodes), np.array(paths.offsets)
+            )
+    finally:
+        del parts
+        for ps in opened:
+            ps.close_shared(unlink=True)
     any_dropped = any(r.kept is not None for r in shard_results)
     if not any_dropped:
         return RoutingResult(problem, paths, router_name, entropy)

@@ -28,6 +28,7 @@ __all__ = [
     "prepare_router",
     "route_shard",
     "select_online_paths",
+    "warm_worker",
     "PKT_OK",
     "PKT_SKIP",
     "PKT_DROP",
@@ -49,6 +50,19 @@ def _pin_kernels(backend: str | None) -> None:
 
         if kernels.backend() != backend:
             kernels.set_backend(backend)
+
+
+def warm_worker(warm_keys: tuple = (), kernels_backend: str | None = None) -> None:
+    """Pool-initializer warm-up: runs once per worker process at start-up.
+
+    Pins the kernels backend to the parent's choice and rebuilds the named
+    decomposition cache entries, so even a ``spawn`` worker (which inherits
+    nothing) is warm before its first shard task arrives.  Fork workers run
+    it too — it is idempotent and confirms the copy-on-write entries.
+    """
+    _pin_kernels(kernels_backend)
+    if warm_keys:
+        cache.warm(warm_keys)
 
 
 def prepare_router(router: Router) -> Router:
@@ -85,16 +99,28 @@ class ShardTask:
     #: resolved :class:`~repro.core.budget.BudgetParams` (or ``None``) —
     #: resolved once in the parent so every shard enforces identically
     budget: object | None = None
+    #: ship the shard's CSR back through a shared-memory segment
+    #: (:class:`~repro.core.pathset.SharedCSR`) instead of pickling the
+    #: arrays — the zero-copy transport the warm service pool uses
+    use_shm: bool = False
 
 
 @dataclass
 class ShardResult:
-    """One worker's routed shard, as raw picklable arrays + telemetry."""
+    """One worker's routed shard, as raw picklable arrays + telemetry.
+
+    Exactly one of (``nodes``/``offsets``, ``shared``) carries the CSR:
+    pickle transport ships the arrays inline; shm transport parks them in
+    a shared segment and ships only the :class:`SharedCSR` handle, with
+    segment ownership handed to the parent.
+    """
 
     offset: int
     num_packets: int
-    nodes: np.ndarray
-    offsets: np.ndarray
+    nodes: np.ndarray | None
+    offsets: np.ndarray | None
+    #: shared-memory handle when the task asked for ``use_shm``
+    shared: object | None = None
     #: kept packet indices local to the shard (fault drops); ``None`` = all
     kept: np.ndarray | None = None
     bits_log: list | None = None
@@ -234,11 +260,18 @@ def route_shard(task: ShardTask) -> ShardResult:
     counters = {
         a: int(getattr(router, a)) - int(v) for a, v in before.items()
     }
+    shared = None
+    nodes: np.ndarray | None = result.paths.nodes
+    offsets: np.ndarray | None = result.paths.offsets
+    if task.use_shm:
+        shared = result.paths.to_shared()
+        nodes = offsets = None
     return ShardResult(
         offset=task.offset,
         num_packets=task.problem.num_packets,
-        nodes=result.paths.nodes,
-        offsets=result.paths.offsets,
+        nodes=nodes,
+        offsets=offsets,
+        shared=shared,
         kept=result.kept_indices,
         bits_log=list(router.bits_log) if getattr(router, "bits_log", None) else None,
         budget=result.budget,

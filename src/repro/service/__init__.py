@@ -1,0 +1,49 @@
+"""Long-lived routing service: warm worker pool behind a unix socket.
+
+``python -m repro serve --socket /tmp/repro.sock`` boots a daemon whose
+worker processes pre-resolve the kernels backend and hold the
+decomposition cache resident, so a small routing request costs a warm
+dispatch instead of a pool boot plus a cold cache build.  Requests and
+results cross process boundaries through named shared-memory segments
+(:mod:`repro.core.shm`), never by pickling CSR arrays.
+
+Layering: ``core``/``routing``/``parallel`` know nothing about the
+service; the service composes them.  Clients talk the length-prefixed
+protocol of :mod:`repro.service.proto` — most simply via
+:class:`~repro.service.client.ServiceClient`.
+
+The determinism guarantee (documented in ``docs/SERVICE.md``): a request
+routed through the service is byte-identical to ``router.route(problem,
+seed)`` in-process, for any worker count, batch composition or restart
+history.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MicroBatcher",
+    "RoutingService",
+    "ServiceClient",
+    "WarmPool",
+    "serve",
+]
+
+
+def __getattr__(name: str):
+    if name == "RoutingService" or name == "serve":
+        from repro.service import server
+
+        return getattr(server, name)
+    if name == "ServiceClient":
+        from repro.service.client import ServiceClient
+
+        return ServiceClient
+    if name == "WarmPool":
+        from repro.service.pool import WarmPool
+
+        return WarmPool
+    if name == "MicroBatcher":
+        from repro.service.batching import MicroBatcher
+
+        return MicroBatcher
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,170 @@
+"""Deadline-flushed admission queue for small routing requests.
+
+Small requests are individually cheap but dispatch-dominated: shipping
+each one to a pool worker alone pays the full submit/pickle/wake cost per
+request.  The :class:`MicroBatcher` coalesces them — the first request
+opens a batch, the collector then waits up to ``flush_ms`` (the deadline)
+for more, and flushes early when ``max_batch`` fills.  A flushed batch is
+dispatched on a small thread pool so several batches can be in flight
+across the warm workers at once.
+
+Batching is a *transport* optimisation only: the dispatch function routes
+each request of a batch independently (own entropy, ``packet_offset=0``),
+so batch composition never changes any request's bytes.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+__all__ = ["MicroBatcher", "PendingRequest"]
+
+_STOP = object()
+
+
+@dataclass
+class PendingRequest:
+    """One admitted request waiting for its reply.
+
+    The handler thread creates it, submits it, and blocks on ``done``;
+    the dispatch thread calls :meth:`finish` or :meth:`fail`.  A handler
+    that gives up (client gone, deadline passed) calls :meth:`abandon`,
+    after which a late ``finish`` releases the reply's resources instead
+    of stranding them.
+    """
+
+    payload: object  #: opaque to the batcher; the dispatch fn interprets it
+    enqueued: float = field(default_factory=time.monotonic)
+    done: threading.Event = field(default_factory=threading.Event)
+    reply: object = None
+    error: str | None = None
+    _cleanup: object = None
+    _abandoned: bool = False
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def finish(self, reply, cleanup=None) -> None:
+        """Deliver ``reply``; ``cleanup()`` releases its resources."""
+        with self._lock:
+            if self._abandoned:
+                if cleanup is not None:
+                    cleanup()
+                return
+            self.reply = reply
+            self._cleanup = cleanup
+        self.done.set()
+
+    def fail(self, error: str) -> None:
+        with self._lock:
+            if self._abandoned:
+                return
+            self.error = error
+        self.done.set()
+
+    def abandon(self) -> None:
+        """Renounce the reply (handler timed out / client disconnected)."""
+        with self._lock:
+            self._abandoned = True
+            cleanup, self._cleanup = self._cleanup, None
+        if cleanup is not None:
+            cleanup()
+
+    def release(self) -> None:
+        """Run the reply's cleanup (handler's final act after replying)."""
+        with self._lock:
+            cleanup, self._cleanup = self._cleanup, None
+        if cleanup is not None:
+            cleanup()
+
+
+class MicroBatcher:
+    """Collects :class:`PendingRequest`\\ s into deadline-flushed batches.
+
+    ``dispatch(batch)`` runs on a dispatcher thread and must resolve every
+    pending in the batch (finish or fail); an exception from it fails the
+    whole batch rather than hanging the handlers.
+    """
+
+    def __init__(
+        self,
+        dispatch,
+        *,
+        max_batch: int = 16,
+        flush_ms: float = 2.0,
+        max_inflight: int = 4,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.dispatch = dispatch
+        self.max_batch = int(max_batch)
+        self.flush_s = float(flush_ms) / 1000.0
+        self._queue: queue.Queue = queue.Queue()
+        self._dispatchers = ThreadPoolExecutor(
+            max_workers=max(1, int(max_inflight)),
+            thread_name_prefix="repro-dispatch",
+        )
+        self._stopping = False
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-batcher", daemon=True
+        )
+        self._collector.start()
+
+    def submit(self, pending: PendingRequest) -> PendingRequest:
+        """Admit one request; returns it so callers can wait on ``done``."""
+        if self._stopping:
+            pending.fail("service is shutting down")
+            return pending
+        self._queue.put(pending)
+        return pending
+
+    def qsize(self) -> int:
+        """Requests admitted but not yet collected into a batch."""
+        return self._queue.qsize()
+
+    def _collect(self) -> None:
+        while True:
+            head = self._queue.get()
+            if head is _STOP:
+                return
+            batch = [head]
+            deadline = time.monotonic() + self.flush_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is _STOP:
+                    self._dispatchers.submit(self._run_batch, batch)
+                    return
+                batch.append(nxt)
+            self._dispatchers.submit(self._run_batch, batch)
+
+    def _run_batch(self, batch: list) -> None:
+        try:
+            self.dispatch(batch)
+        except Exception as exc:  # noqa: BLE001 - handlers must not hang
+            msg = f"{type(exc).__name__}: {exc}"
+            for pending in batch:
+                pending.fail(msg)
+
+    def stop(self) -> None:
+        """Flush what is queued, dispatch it, and stop accepting work."""
+        if self._stopping:
+            return
+        self._stopping = True
+        self._queue.put(_STOP)
+        self._collector.join(timeout=30)
+        self._dispatchers.shutdown(wait=True)
+        while True:  # anything that raced in after the sentinel
+            try:
+                leftover = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if leftover is not _STOP:
+                leftover.fail("service stopped before dispatch")

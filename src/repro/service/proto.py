@@ -1,0 +1,95 @@
+"""Wire protocol: length-prefixed JSON headers plus raw int64 frames.
+
+Every message is::
+
+    [4-byte big-endian header length] [JSON header] [array frames...]
+
+The header's ``"arrays"`` entry lists ``[name, count]`` pairs; each frame
+is exactly ``8 * count`` bytes of little-endian int64 (numpy's native
+layout on every platform this repo targets).  Arrays therefore cross the
+socket without pickling — and without version skew, since the header is
+plain JSON.
+
+Used by :mod:`repro.service.server` and
+:class:`~repro.service.client.ServiceClient`; both ends of any repo
+socket speak only this.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+__all__ = ["ProtocolError", "recv_msg", "send_msg"]
+
+#: sanity bound on the JSON header — a desynchronised stream otherwise
+#: asks us to allocate whatever garbage the first four bytes decode to
+MAX_HEADER_BYTES = 1 << 20
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(ConnectionError):
+    """The peer sent bytes that do not parse as a protocol message."""
+
+
+def send_msg(sock, header: dict, arrays: dict | None = None) -> None:
+    """Send one message: ``header`` (JSON-able) plus named int64 arrays."""
+    frames: list[bytes] = []
+    meta: list[list] = []
+    for name, arr in (arrays or {}).items():
+        a = np.ascontiguousarray(arr, dtype=np.int64)
+        meta.append([name, int(a.size)])
+        frames.append(a.tobytes())
+    h = dict(header)
+    h["arrays"] = meta
+    payload = json.dumps(h, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header too large ({len(payload)} bytes)")
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+    for frame in frames:
+        sock.sendall(frame)
+
+
+def _recv_exact(sock, n: int) -> bytes | None:
+    """Exactly ``n`` bytes, or ``None`` on a clean EOF before any byte."""
+    buf = bytearray(n)
+    view = memoryview(buf)
+    got = 0
+    while got < n:
+        k = sock.recv_into(view[got:])
+        if k == 0:
+            if got == 0:
+                return None
+            raise ProtocolError(f"connection closed mid-message ({got}/{n} bytes)")
+        got += k
+    return bytes(buf)
+
+
+def recv_msg(sock) -> tuple[dict, dict] | None:
+    """Receive one message; ``None`` when the peer closed cleanly.
+
+    Returns ``(header, arrays)`` with each array a fresh int64 ndarray.
+    """
+    raw_len = _recv_exact(sock, _LEN.size)
+    if raw_len is None:
+        return None
+    (hlen,) = _LEN.unpack(raw_len)
+    if hlen > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header length {hlen} exceeds protocol bound")
+    payload = _recv_exact(sock, hlen)
+    if payload is None:
+        raise ProtocolError("connection closed before header")
+    try:
+        header = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad header: {exc}") from exc
+    arrays: dict[str, np.ndarray] = {}
+    for name, count in header.pop("arrays", []):
+        blob = _recv_exact(sock, 8 * int(count))
+        if blob is None and count:
+            raise ProtocolError(f"connection closed before array {name!r}")
+        arrays[name] = np.frombuffer(blob or b"", dtype=np.int64).copy()
+    return header, arrays

@@ -1,0 +1,429 @@
+"""The routing daemon: unix-socket front end over the warm pool.
+
+``repro serve`` boots a :class:`RoutingService`: a listener thread
+accepts connections, a handler thread per connection speaks
+:mod:`repro.service.proto`, and routing requests flow through the
+:class:`~repro.service.batching.MicroBatcher` to the
+:class:`~repro.service.pool.WarmPool`.  Oversized requests bypass the
+batcher and shard across the warm workers via
+:func:`~repro.parallel.api.route_sharded` (with the pool injected, so no
+per-request pool boot there either).
+
+Observability: the service profiler counts ``service.requests``,
+``service.batches``, ``service.batched_requests``,
+``service.sharded_requests`` and ``service.worker_restarts``, observes
+``service.queue_depth`` (at admission), ``service.batch_size`` and
+``service.request_s`` (admission-to-reply latency), and brackets pool
+dispatches in the ``service.worker_batch`` / ``service.sharded`` stages.
+``op=stats`` returns a full snapshot.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro.cache as cache
+from repro.core.pathset import PathSet
+from repro.core.randomness import resolve_entropy
+from repro.obs import Profiler
+from repro.service.batching import MicroBatcher, PendingRequest
+from repro.service.pool import WarmPool
+from repro.service.proto import ProtocolError, recv_msg, send_msg
+from repro.service.shm import share_pairs
+from repro.service.worker import RouteRequest, route_request_batch
+
+__all__ = ["RoutingService", "serve"]
+
+
+@dataclass
+class _RoutePayload:
+    """One admitted request's parameters, parent-side."""
+
+    sides: tuple
+    torus: bool
+    router: str
+    entropy: int
+    batch: bool | str
+    sources: np.ndarray
+    dests: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return int(self.sources.size)
+
+
+def _parse_prewarm(spec: str):
+    """``"16x16"`` / ``"8x8x8:torus"`` → a warm-up handshake key."""
+    from repro.cli import parse_mesh
+
+    base, _, flag = spec.partition(":")
+    torus = flag == "torus"
+    if flag and not torus:
+        raise ValueError(f"bad prewarm spec {spec!r} (suffix must be ':torus')")
+    return cache.warmup_key(parse_mesh(base, torus))
+
+
+class RoutingService:
+    """A persistent routing daemon on a unix socket.
+
+    Determinism guarantee: every request is routed with its own resolved
+    entropy and ``packet_offset=0`` — never merged into a batch-mate's
+    engine call — so the reply is byte-identical to
+    ``make_router(name).route(problem, seed)`` run locally, regardless of
+    batching, worker count, or crash/restart history.
+    """
+
+    def __init__(
+        self,
+        socket_path: str,
+        *,
+        workers: int | None = 2,
+        context: str = "auto",
+        max_batch: int = 16,
+        flush_ms: float = 2.0,
+        shard_threshold: int = 1 << 16,
+        pairs_shm_min: int = 2048,
+        prewarm: tuple = (),
+        kernels_backend: str | None = None,
+        profiler: Profiler | None = None,
+        request_timeout_s: float = 120.0,
+    ):
+        from repro import kernels
+
+        self.socket_path = str(socket_path)
+        self.profiler = profiler if profiler is not None else Profiler()
+        self.shard_threshold = int(shard_threshold)
+        self.pairs_shm_min = int(pairs_shm_min)
+        self.request_timeout_s = float(request_timeout_s)
+        self.warm_keys = tuple(_parse_prewarm(s) for s in prewarm)
+        self.pool = WarmPool(
+            workers,
+            context=context,
+            warm_keys=self.warm_keys,
+            kernels_backend=kernels_backend or kernels.backend(),
+            profiler=self.profiler,
+        )
+        self.batcher = MicroBatcher(
+            self._dispatch_batch,
+            max_batch=max_batch,
+            flush_ms=flush_ms,
+            max_inflight=max(2, self.pool.workers),
+        )
+        self._sock: socket.socket | None = None
+        self._stop = threading.Event()
+        self._stop_lock = threading.Lock()
+        self._stopped = False
+        self._accept_thread: threading.Thread | None = None
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "RoutingService":
+        """Prewarm the pool, bind the socket, begin accepting."""
+        if self._started:
+            return self
+        self.pool.prewarm()
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(self.socket_path)
+        sock.listen(64)
+        self._sock = sock
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._started = True
+        return self
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`stop` (or Ctrl-C, which stops cleanly)."""
+        self.start()
+        try:
+            while not self._stop.wait(0.5):
+                pass
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Stop accepting, drain the batcher, shut the pool down.
+
+        Blocking and idempotent: every caller returns only after teardown
+        has fully completed, even when another thread started it first.
+        """
+        self._stop.set()
+        with self._stop_lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            self._teardown()
+
+    def _teardown(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=10)
+        self.batcher.stop()
+        self.pool.shutdown()
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+
+    close = stop
+
+    def __enter__(self) -> "RoutingService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- connection handling -------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._sock is not None
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:  # listener closed by stop()
+                return
+            threading.Thread(
+                target=self._handle_connection,
+                args=(conn,),
+                name="repro-handler",
+                daemon=True,
+            ).start()
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        with conn:
+            while not self._stop.is_set():
+                try:
+                    msg = recv_msg(conn)
+                except (ProtocolError, OSError):
+                    return
+                if msg is None:
+                    return
+                header, arrays = msg
+                op = header.get("op")
+                try:
+                    if op == "ping":
+                        send_msg(conn, {"ok": True, "pid": os.getpid()})
+                    elif op == "stats":
+                        send_msg(conn, {"ok": True, **self._stats()})
+                    elif op == "shutdown":
+                        send_msg(conn, {"ok": True})
+                        threading.Thread(target=self.stop, daemon=True).start()
+                        return
+                    elif op == "route":
+                        self._handle_route(conn, header, arrays)
+                    else:
+                        send_msg(
+                            conn, {"ok": False, "error": f"unknown op {op!r}"}
+                        )
+                except (BrokenPipeError, ConnectionError, OSError):
+                    return
+                except Exception as exc:  # noqa: BLE001 - reply, don't die
+                    try:
+                        send_msg(
+                            conn,
+                            {"ok": False, "error": f"{type(exc).__name__}: {exc}"},
+                        )
+                    except OSError:
+                        return
+
+    def _stats(self) -> dict:
+        return {
+            "workers": self.pool.workers,
+            "is_process_pool": self.pool.is_process_pool,
+            "worker_restarts": self.pool.worker_restarts,
+            "pids": list(self.pool.pids()),
+            "queue_depth": self.batcher.qsize(),
+            "profile": self.profiler.snapshot(),
+        }
+
+    # -- routing -------------------------------------------------------
+
+    def _handle_route(self, conn, header: dict, arrays: dict) -> None:
+        sources = arrays.get("sources")
+        dests = arrays.get("dests")
+        if sources is None or dests is None or sources.size != dests.size:
+            send_msg(
+                conn,
+                {"ok": False, "error": "route needs equal-length sources/dests"},
+            )
+            return
+        payload = _RoutePayload(
+            sides=tuple(int(s) for s in header.get("mesh", ())),
+            torus=bool(header.get("torus", False)),
+            router=str(header.get("router", "hierarchical")),
+            entropy=resolve_entropy(header.get("seed")),
+            batch=header.get("batch", True),
+            sources=sources,
+            dests=dests,
+        )
+        self.profiler.count("service.requests", 1)
+        if payload.n >= self.shard_threshold and self.pool.is_process_pool:
+            self._route_sharded(conn, payload)
+            return
+        self.profiler.observe("service.queue_depth", self.batcher.qsize())
+        pending = self.batcher.submit(PendingRequest(payload=payload))
+        if not pending.done.wait(timeout=self.request_timeout_s):
+            pending.abandon()
+            send_msg(
+                conn,
+                {"ok": False, "error": "request timed out in the service"},
+            )
+            return
+        if pending.error is not None:
+            send_msg(conn, {"ok": False, "error": pending.error})
+            return
+        reply = pending.reply
+        try:
+            send_msg(
+                conn,
+                {
+                    "ok": True,
+                    "entropy": reply["entropy"],
+                    "num_packets": reply["num_packets"],
+                    "elapsed_s": reply["elapsed_s"],
+                },
+                {"nodes": reply["nodes"], "offsets": reply["offsets"]},
+            )
+        finally:
+            pending.release()
+
+    def _route_sharded(self, conn, payload: _RoutePayload) -> None:
+        """Oversized request: shard across the warm pool, skip the batcher."""
+        from repro.mesh.mesh import Mesh
+        from repro.parallel.api import route_sharded
+        from repro.routing.base import RoutingProblem
+        from repro.routing.registry import make_router
+
+        t0 = time.perf_counter()
+        mesh = Mesh(payload.sides, torus=payload.torus)
+        problem = RoutingProblem(
+            mesh, payload.sources, payload.dests, name="service"
+        )
+        router = make_router(payload.router)
+        router.profiler = self.profiler
+        with self.profiler.stage("service.sharded"):
+            result = route_sharded(
+                router,
+                problem,
+                payload.entropy,
+                workers=self.pool.workers,
+                batch=payload.batch,
+                executor=self.pool,
+            )
+        self.profiler.count("service.sharded_requests", 1)
+        self.profiler.observe("service.request_s", time.perf_counter() - t0)
+        send_msg(
+            conn,
+            {
+                "ok": True,
+                "entropy": payload.entropy,
+                "num_packets": problem.num_packets,
+                "elapsed_s": time.perf_counter() - t0,
+            },
+            {"nodes": result.paths.nodes, "offsets": result.paths.offsets},
+        )
+
+    def _dispatch_batch(self, batch: list) -> None:
+        """Ship one micro-batch to a warm worker; resolve every pending."""
+        self.profiler.count("service.batches", 1)
+        self.profiler.count("service.batched_requests", len(batch))
+        self.profiler.observe("service.batch_size", len(batch))
+        use_shm = self.pool.is_process_pool
+
+        def build() -> list[RouteRequest]:
+            reqs = []
+            for i, pending in enumerate(batch):
+                p = pending.payload
+                pairs = None
+                sources, dests = p.sources, p.dests
+                if use_shm and p.n >= self.pairs_shm_min:
+                    pairs = share_pairs(sources, dests)
+                    sources = dests = None
+                reqs.append(
+                    RouteRequest(
+                        req_id=i,
+                        sides=p.sides,
+                        torus=p.torus,
+                        router=p.router,
+                        entropy=p.entropy,
+                        batch=p.batch,
+                        sources=sources,
+                        dests=dests,
+                        pairs=pairs,
+                        reply_shm=use_shm,
+                    )
+                )
+            return reqs
+
+        reqs = build()
+
+        def rebuild() -> list:
+            # A retry after a worker crash must not reuse request segments
+            # the dead worker may have consumed — discard leftovers and
+            # park fresh ones.
+            nonlocal reqs
+            for r in reqs:
+                if r.pairs is not None:
+                    r.pairs.discard()
+            reqs = build()
+            return [reqs]
+
+        try:
+            with self.profiler.stage("service.worker_batch"):
+                replies = self.pool.map(
+                    route_request_batch, [reqs], rebuild=rebuild
+                )[0]
+        finally:
+            # Workers consume request segments as their first act; anything
+            # still linked here (crash before take, exhausted retries) is
+            # an orphan.  discard() is a no-op for consumed segments.
+            for r in reqs:
+                if r.pairs is not None:
+                    r.pairs.discard()
+
+        by_id = {r.req_id: r for r in replies}
+        now = time.monotonic()
+        for i, pending in enumerate(batch):
+            r = by_id.get(i)
+            if r is None or not r.ok:
+                pending.fail(r.error if r is not None else "no reply from worker")
+                continue
+            if r.shared is not None:
+                # Attach promptly (the parent owns the segment from this
+                # instant), copy the CSR out, and release before the reply
+                # can escape to a handler thread — so the segment's
+                # lifetime never depends on who reads the reply when.
+                ps = PathSet.from_shared(r.shared)
+                nodes, offsets = np.array(ps.nodes), np.array(ps.offsets)
+                ps.close_shared(unlink=True)
+            else:
+                nodes, offsets = r.nodes, r.offsets
+            self.profiler.observe("service.request_s", now - pending.enqueued)
+            pending.finish(
+                {
+                    "entropy": r.entropy,
+                    "num_packets": r.num_packets,
+                    "elapsed_s": r.elapsed_s,
+                    "nodes": nodes,
+                    "offsets": offsets,
+                }
+            )
+
+
+def serve(socket_path: str, **kwargs) -> RoutingService:
+    """Build, start and return a :class:`RoutingService` (non-blocking)."""
+    return RoutingService(socket_path, **kwargs).start()

@@ -95,16 +95,22 @@ class Case:
     steps: int = 40  #: online injection steps
     budget_mode: str = "off"  #: "off" | "measure" | "enforce"
     budget_bits: int | None = None  #: per-packet cap; None = default ceiling
+    #: additionally route through a live ``repro serve`` daemon and demand
+    #: byte-identity with the serial route (the service acceptance cells)
+    via_service: bool = False
 
     def to_dict(self) -> dict:
         out = asdict(self)
         out["sides"] = list(self.sides)
-        # Budget-off cases encode exactly as they did before the budget
-        # fields existed, so every pre-budget corpus case_id stays valid.
+        # Default-valued late additions are dropped from the encoding, so
+        # every pre-existing corpus case_id stays valid (the budget fields
+        # set the precedent; via_service follows it).
         if out["budget_mode"] == "off":
             del out["budget_mode"]
         if out["budget_bits"] is None:
             del out["budget_bits"]
+        if not out["via_service"]:
+            del out["via_service"]
         return out
 
     @classmethod
@@ -131,6 +137,8 @@ class Case:
         if self.budget_mode != "off":
             cap = "" if self.budget_bits is None else f"={self.budget_bits}"
             bits.append(f"budget={self.budget_mode}{cap}")
+        if self.via_service:
+            bits.append("service")
         return " ".join(bits)
 
 
@@ -226,7 +234,44 @@ def _grid_cases(seed: int) -> list[Case]:
                             continue
                     out.append(case)
     out.extend(_budget_cases(seed))
+    out.extend(_service_cases(seed))
     return out
+
+
+def _service_cases(seed: int) -> list[Case]:
+    """Service acceptance cells: the same route through a live daemon.
+
+    Every cell demands byte-identity between ``repro serve`` output and
+    the serial route.  Faults and budgets stay off — the service protocol
+    carries (mesh, pairs, router, seed) only — so these cells isolate the
+    transport: batching, shared memory and worker warm-up must all be
+    invisible in the bytes.
+    """
+    cells = []
+    for i, (router, sides, torus) in enumerate(
+        (
+            ("hierarchical", (8, 8), False),
+            ("hierarchical", (8, 8), True),
+            ("rect-hierarchical", (8, 4), False),
+            ("access-tree", (8, 8), False),
+            ("dim-order", (8, 4), False),
+            ("valiant", (8, 8), False),
+        )
+    ):
+        case = Case(
+            sides=sides,
+            torus=torus,
+            router=router,
+            workload=WORKLOADS[i % len(WORKLOADS)],
+            seed=seed + 700 + i,
+            via_service=True,
+        )
+        if not supported(case):
+            case = replace(case, workload="random-pairs")
+            if not supported(case):
+                continue
+        cells.append(case)
+    return cells
 
 
 def _budget_cases(seed: int) -> list[Case]:

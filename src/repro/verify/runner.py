@@ -16,6 +16,11 @@ byte-identical to the serial engine — on an in-process
 merge logic is identical; only process start-up is skipped) and on a real
 fork pool in the deep tier.
 
+``via_service`` cases route a third time through a live ``repro serve``
+daemon (booted lazily, shared across the suite, torn down at exit) and
+demand byte-identity with the serial route — the acceptance cells for
+the warm-pool/shared-memory transport.
+
 Failures are shrunk (:mod:`~repro.verify.shrink`) and persisted as JSON
 to the replay corpus, so every bug the runner ever finds stays
 reproducible with ``repro verify --replay <case-file>``.
@@ -116,6 +121,56 @@ def _diff_metrics(result, mismatches: list[str]) -> None:
         mismatches.append("dilation differs from the loop oracle")
 
 
+_SERVICE: tuple | None = None
+
+
+def _live_service():
+    """The suite-shared ``repro serve`` daemon, booted on first use.
+
+    One daemon serves every ``via_service`` cell of a verify run — that
+    is the point: the cells must stay byte-identical on a *warm*, shared,
+    batching service, not on a fresh one per case.
+    """
+    global _SERVICE
+    if _SERVICE is None:
+        import atexit
+        import os
+        import tempfile
+
+        from repro.service.server import serve
+
+        path = os.path.join(
+            tempfile.mkdtemp(prefix="repro-verify-"), "service.sock"
+        )
+        svc = serve(path, workers=2, flush_ms=1.0)
+        atexit.register(svc.stop)
+        _SERVICE = (svc, path)
+    return _SERVICE
+
+
+def _diff_service(case: Case, serial, entropy: int, mismatches: list[str]) -> None:
+    """Route the case through the live daemon; demand serial bytes."""
+    from repro.service.client import ServiceClient
+
+    if case.fault_mode != "none" or case.budget_mode != "off":
+        # the service protocol carries (mesh, pairs, router, seed) only
+        mismatches.append(
+            "via_service cells must be fault-free and unbudgeted"
+        )
+        return
+    _svc, path = _live_service()
+    problem = serial.problem
+    with ServiceClient(path) as client:
+        via = client.route(problem, router=case.router, seed=entropy)
+    if not (
+        np.array_equal(via.paths.nodes, serial.paths.nodes)
+        and np.array_equal(via.paths.offsets, serial.paths.offsets)
+    ):
+        mismatches.append("service route differs from serial bytes")
+    if via.seed != entropy:
+        mismatches.append("service echoed a different entropy")
+
+
 def _run_route_case(case: Case, profiler, real_pool: bool) -> CaseOutcome:
     from repro.core.randomness import resolve_entropy
     from repro.parallel import route_sharded
@@ -170,6 +225,11 @@ def _run_route_case(case: Case, profiler, real_pool: bool) -> CaseOutcome:
             sb is not None and sb.to_dict() != eb.to_dict()
         ):
             outcome.mismatches.append("sharded bit ledger differs from serial")
+
+    if case.via_service:
+        _diff_service(case, serial, entropy, outcome.mismatches)
+        if profiler is not None:
+            profiler.count("verify.service_cells", 1)
 
     if router.is_oblivious:
         oracle_ps, oracle_kept = oracle_route(

@@ -218,3 +218,98 @@ class TestGetDecomposition:
         cache.invalidate("decomposition")
         d2 = cache.get_decomposition(mesh)
         assert d1 is not d2
+
+
+class TestEpochAndWarm:
+    """The warm-up handshake vs invalidate() (the PR 3 race, service era)."""
+
+    def test_epoch_bumps_on_every_invalidate(self):
+        e0 = cache.epoch()
+        cache.invalidate()
+        cache.invalidate("anything")
+        assert cache.epoch() == e0 + 2
+
+    def test_warm_builds_and_reports_cold_keys(self):
+        mesh = Mesh((8, 8))
+        key = cache.warmup_key(mesh)
+        assert cache.warm([key]) == 1  # cold: built here
+        assert cache.warm([key]) == 0  # resident now
+
+    def test_invalidate_during_warm_pass_triggers_repass(self, monkeypatch):
+        """Deterministic interleaving: an invalidate() lands after warm()
+        built its keys but before its epoch re-check.  The handshake must
+        detect the moved epoch and re-run, so on return every key is
+        actually resident (a single-pass warm would return with the cache
+        empty again — the stale-warm-up race)."""
+        mesh = Mesh((8, 8))
+        key = cache.warmup_key(mesh)
+        original = cache.get_decomposition
+        passes = []
+
+        def racing(mesh_arg, scheme="auto"):
+            value = original(mesh_arg, scheme)
+            if not passes:  # first pass only: invalidate mid-flight
+                passes.append(1)
+                cache.invalidate()
+            return value
+
+        monkeypatch.setattr(cache, "get_decomposition", racing)
+        cache.warm([key])
+        monkeypatch.undo()
+        # the repass happened and left the entry resident
+        assert passes == [1]
+        assert cache.warm([key]) == 0
+
+    def test_sustained_invalidation_returns_best_effort(self, monkeypatch):
+        """An invalidation storm must not livelock warm()."""
+        mesh = Mesh((8, 8))
+        key = cache.warmup_key(mesh)
+        original = cache.get_decomposition
+        calls = []
+
+        def always_racing(mesh_arg, scheme="auto"):
+            value = original(mesh_arg, scheme)
+            calls.append(1)
+            cache.invalidate()
+            return value
+
+        monkeypatch.setattr(cache, "get_decomposition", always_racing)
+        cold = cache.warm([key], max_retries=3)
+        monkeypatch.undo()
+        assert len(calls) == 4  # initial pass + 3 retries, then gave up
+        assert cold == 1  # honest: the key was cold in the last pass too
+
+    def test_gated_invalidate_between_build_and_epoch_check(self):
+        """GatedLock-style regression mirroring the configure() races: the
+        victim thread's warm() pass completes its builds, then an
+        invalidate from the main thread wins the epoch before the
+        re-check.  warm() must do a second pass rather than return with
+        stale keys."""
+        mesh = Mesh((8, 8))
+        key = cache.warmup_key(mesh)
+        built = threading.Event()
+        proceed = threading.Event()
+        original = cache.get_decomposition
+        state = {"pass": 0}
+
+        def gated(mesh_arg, scheme="auto"):
+            value = original(mesh_arg, scheme)
+            if state["pass"] == 0:
+                state["pass"] = 1
+                built.set()  # pass 1 done building; hold before epoch check
+                assert proceed.wait(timeout=10)
+            return value
+
+        cache.get_decomposition = gated
+        try:
+            victim = threading.Thread(target=lambda: cache.warm([key]))
+            victim.start()
+            assert built.wait(timeout=10)
+            cache.invalidate()  # lands between build and epoch re-check
+            proceed.set()
+            victim.join(timeout=10)
+            assert not victim.is_alive()
+        finally:
+            proceed.set()
+            cache.get_decomposition = original
+        assert cache.warm([key]) == 0  # the repass left it resident

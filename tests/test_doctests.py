@@ -30,7 +30,7 @@ def test_module_doctests(module):
 
 @pytest.mark.parametrize(
     "name", ["API.md", "PERFORMANCE.md", "KERNELS.md", "FAULTS.md",
-             "VERIFICATION.md", "RANDOMNESS.md"]
+             "VERIFICATION.md", "RANDOMNESS.md", "SERVICE.md"]
 )
 def test_docs_doctests(name):
     path = DOCS / name

@@ -1,0 +1,197 @@
+"""Executor lifecycle regressions: pool teardown, fallback, spawn, shm.
+
+These pin the two per-call lifecycle bugs the service work exposed:
+
+1. a failing sharded route used to leak its process pool (the try/finally
+   covered only the map, not the merge/telemetry fold) — now an owned
+   pool is torn down on *every* exit path;
+2. ``make_executor`` used to degrade to the in-process executor silently
+   — now it warns once per process and the sharding layer counts
+   ``parallel.fallback_serial``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.cli import build_workload, parse_mesh
+from repro.obs import Profiler
+from repro.parallel import executor as executor_mod
+from repro.parallel.api import route_sharded
+from repro.parallel.executor import SerialExecutor, make_executor, resolve_context
+from repro.routing.base import Router
+from repro.routing.registry import make_router
+
+FORK = "fork" in multiprocessing.get_all_start_methods()
+SPAWN = "spawn" in multiprocessing.get_all_start_methods()
+
+
+class ExplodingRouter(Router):
+    """An oblivious router whose route() always fails (in the worker)."""
+
+    name = "exploding"
+    is_oblivious = True
+
+    def select_path(self, mesh, s, t, rng):  # pragma: no cover - not reached
+        raise AssertionError("select_path should not run")
+
+    def route(self, problem, seed=None, **kwargs):
+        raise RuntimeError("boom: injected worker failure")
+
+
+def _problem(spec: str = "8x8", workload: str = "transpose"):
+    mesh = parse_mesh(spec)
+    return build_workload(workload, mesh, 0)
+
+
+@pytest.fixture(autouse=True)
+def _reset_fallback_warning():
+    executor_mod._warned_fallback = False
+    yield
+    executor_mod._warned_fallback = False
+
+
+@pytest.mark.skipif(not FORK, reason="needs fork pools")
+class TestPoolTeardown:
+    def test_failing_sharded_route_leaves_no_live_children(self):
+        """The regression: a worker exception must tear the owned pool
+        down, leaving no live child processes behind."""
+        problem = _problem()
+        before = set(p.pid for p in multiprocessing.active_children())
+        with pytest.raises(RuntimeError, match="boom"):
+            route_sharded(ExplodingRouter(), problem, 0, workers=2)
+        leaked = [
+            p
+            for p in multiprocessing.active_children()
+            if p.pid not in before and p.is_alive()
+        ]
+        assert not leaked, f"failing sharded route leaked children: {leaked}"
+
+    def test_successful_sharded_route_leaves_no_live_children(self):
+        problem = _problem()
+        router = make_router("hierarchical")
+        before = set(p.pid for p in multiprocessing.active_children())
+        result = route_sharded(router, problem, 0, workers=2)
+        assert result.problem.num_packets == problem.num_packets
+        leaked = [
+            p
+            for p in multiprocessing.active_children()
+            if p.pid not in before and p.is_alive()
+        ]
+        assert not leaked
+
+    def test_injected_executor_is_not_shut_down(self):
+        pool = make_executor(2, context="fork")
+        try:
+            problem = _problem()
+            router = make_router("hierarchical")
+            a = route_sharded(router, problem, 0, workers=2, executor=pool)
+            b = route_sharded(router, problem, 0, workers=2, executor=pool)
+            assert a.paths.nodes.tobytes() == b.paths.nodes.tobytes()
+        finally:
+            pool.shutdown()
+
+
+class TestSerialFallback:
+    def test_unavailable_context_warns_once_and_degrades(self, monkeypatch):
+        monkeypatch.setattr(
+            executor_mod.multiprocessing, "get_all_start_methods", lambda: []
+        )
+        with pytest.warns(RuntimeWarning, match="parallel.fallback_serial"):
+            ex = make_executor(4, context="fork")
+        assert isinstance(ex, SerialExecutor)
+        # second request: same degradation, no second warning
+        import warnings as _w
+
+        with _w.catch_warnings():
+            _w.simplefilter("error")
+            assert isinstance(make_executor(4, context="fork"), SerialExecutor)
+
+    def test_fallback_counts_and_stays_byte_identical(self, monkeypatch):
+        monkeypatch.setattr(
+            executor_mod.multiprocessing, "get_all_start_methods", lambda: []
+        )
+        problem = _problem()
+        router = make_router("hierarchical")
+        serial = router.route(problem, 3)
+        profiler = Profiler()
+        router.profiler = profiler
+        with pytest.warns(RuntimeWarning):
+            sharded = route_sharded(router, problem, 3, workers=4)
+        assert sharded.paths.nodes.tobytes() == serial.paths.nodes.tobytes()
+        assert profiler.snapshot()["counters"]["parallel.fallback_serial"] == 1
+
+    def test_injected_serial_executor_counts_fallback(self):
+        problem = _problem()
+        router = make_router("hierarchical")
+        profiler = Profiler()
+        router.profiler = profiler
+        route_sharded(
+            router, problem, 0, workers=4, executor=SerialExecutor()
+        )
+        assert profiler.snapshot()["counters"]["parallel.fallback_serial"] == 1
+
+    def test_explicit_serial_context_does_not_warn(self):
+        import warnings as _w
+
+        with _w.catch_warnings():
+            _w.simplefilter("error")
+            assert isinstance(
+                make_executor(4, context="serial"), SerialExecutor
+            )
+
+    def test_resolve_context(self):
+        assert resolve_context("serial") == "serial"
+        assert resolve_context("auto") in ("fork", "spawn")
+        with pytest.raises(ValueError):
+            resolve_context("threads")
+
+
+@pytest.mark.skipif(not SPAWN, reason="needs spawn pools")
+class TestSpawnContext:
+    def test_spawn_pool_byte_identical(self):
+        """Spawn workers inherit nothing — the warm-up initializer must
+        rebuild their state, and the bytes must still match serial."""
+        problem = _problem()
+        router = make_router("hierarchical")
+        serial = router.route(problem, 5)
+        spawned = route_sharded(
+            router, problem, 5, workers=2, context="spawn"
+        )
+        assert spawned.paths.nodes.tobytes() == serial.paths.nodes.tobytes()
+        assert spawned.paths.offsets.tobytes() == serial.paths.offsets.tobytes()
+
+
+@pytest.mark.skipif(not FORK, reason="needs fork pools")
+class TestShmTransport:
+    def test_shm_transport_byte_identical_and_clean(self):
+        from repro.core import shm as core_shm
+
+        problem = _problem("16x16")
+        router = make_router("hierarchical")
+        serial = router.route(problem, 9)
+        before = set(core_shm.active_segments())
+        shm_result = route_sharded(
+            router, problem, 9, workers=3, transport="shm"
+        )
+        assert shm_result.paths.nodes.tobytes() == serial.paths.nodes.tobytes()
+        assert set(core_shm.active_segments()) - before == set()
+
+    def test_pickle_transport_still_available(self):
+        problem = _problem()
+        router = make_router("hierarchical")
+        serial = router.route(problem, 9)
+        pickled = route_sharded(
+            router, problem, 9, workers=2, transport="pickle"
+        )
+        assert pickled.paths.nodes.tobytes() == serial.paths.nodes.tobytes()
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            route_sharded(
+                make_router("hierarchical"), _problem(), 0,
+                workers=2, transport="carrier-pigeon",
+            )

@@ -386,3 +386,108 @@ class TestFuzzConcatenate:
         )
         with pytest.raises(ValueError):
             merged.nodes[0] = 9
+
+
+class TestSharedMemory:
+    """to_shared / from_shared: the ownership hand-off protocol."""
+
+    @staticmethod
+    def _sample() -> PathSet:
+        return PathSet.from_paths(
+            [np.asarray([0, 1, 2, 3]), np.asarray([7]), np.asarray([4, 5])]
+        )
+
+    def test_roundtrip_zero_copy_bytes(self):
+        from repro.core import shm as core_shm
+
+        ps = self._sample()
+        desc = ps.to_shared()
+        assert desc.name in core_shm.active_segments()
+        assert desc.num_paths == 3 and desc.num_nodes == 7
+        opened = PathSet.from_shared(desc)
+        assert opened == ps
+        # zero-copy: the arrays wrap the mapping read-only, no writable alias
+        assert not opened.nodes.flags.writeable
+        assert isinstance(opened.nodes.base.base, memoryview)
+        assert opened.close_shared(unlink=True) is True
+        assert desc.name not in core_shm.active_segments()
+
+    def test_from_shared_copy_leaves_segment_linked(self):
+        from repro.core import shm as core_shm
+
+        ps = self._sample()
+        desc = ps.to_shared()
+        copied = PathSet.from_shared(desc, copy=True)
+        assert copied == ps
+        assert copied.close_shared() is False  # not shm-backed
+        assert desc.name in core_shm.active_segments()  # other consumers may read
+        assert desc.discard() is True
+        assert desc.name not in core_shm.active_segments()
+
+    def test_empty_pathset_roundtrip(self):
+        empty = PathSet.from_paths([])
+        desc = empty.to_shared()
+        opened = PathSet.from_shared(desc)
+        assert len(opened) == 0
+        assert opened.offsets.tolist() == [0]
+        assert opened.close_shared(unlink=True) is True
+
+    def test_close_shared_is_terminal_and_idempotent(self):
+        ps = self._sample()
+        opened = PathSet.from_shared(ps.to_shared())
+        assert opened.close_shared(unlink=True) is True
+        assert opened.close_shared(unlink=True) is False  # second call: no-op
+        assert len(opened) == 0  # reset to a valid empty CSR
+
+    def test_close_shared_with_escaped_view_raises_guidance(self):
+        import gc
+
+        from repro.core import shm as core_shm
+
+        ps = self._sample()
+        desc = ps.to_shared()
+        opened = PathSet.from_shared(desc)
+        view = opened.nodes[1:]  # escapes the mapping
+        with pytest.raises(BufferError, match="escaped") as excinfo:
+            opened.close_shared(unlink=True)
+        # release the view before the mapping object is collected, then
+        # reclaim the name the failed close left behind
+        del view, excinfo
+        gc.collect()
+        assert core_shm.discard(desc.name) is True
+
+    def test_unlink_tolerates_external_sweep(self):
+        """An orphan sweep may unlink the name while a consumer still maps
+        it; close_shared must treat that as already-done, not an error."""
+        from repro.core import shm as core_shm
+
+        ps = self._sample()
+        desc = ps.to_shared()
+        opened = PathSet.from_shared(desc)
+        assert core_shm.discard(desc.name) is True  # external sweep wins
+        assert opened.close_shared(unlink=True) is True  # no FileNotFoundError
+
+    def test_survives_producer_exit(self):
+        """The hand-off: a segment created in a child process stays alive
+        (resource tracker unregistered) for the parent to consume."""
+        import multiprocessing as mp
+
+        ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        queue = ctx.Queue()
+        proc = ctx.Process(target=_produce_shared_pathset, args=(queue,))
+        proc.start()
+        desc = queue.get(timeout=30)
+        proc.join(timeout=30)
+        assert proc.exitcode == 0  # producer exited before we consume
+        opened = PathSet.from_shared(desc)
+        assert opened.nodes.tolist() == [0, 1, 2, 3, 7, 4, 5]
+        assert opened.close_shared(unlink=True) is True
+
+
+def _produce_shared_pathset(queue) -> None:
+    ps = PathSet.from_paths(
+        [np.asarray([0, 1, 2, 3]), np.asarray([7]), np.asarray([4, 5])]
+    )
+    queue.put(ps.to_shared())

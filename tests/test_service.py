@@ -1,0 +1,381 @@
+"""Service-tier tests: determinism, recovery, admission edges, leaks.
+
+The contract under test is the one ``docs/SERVICE.md`` documents: a
+request routed through ``repro serve`` is byte-identical to the same
+route run locally — regardless of micro-batch composition, worker count,
+shared-memory transport, or worker crash/restart history — and a stopped
+service leaves nothing behind: no child processes, no ``/dev/shm``
+segments, no socket file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import build_workload, parse_mesh
+from repro.core import shm as core_shm
+from repro.routing.registry import make_router
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.pool import WarmPool
+from repro.service.server import RoutingService
+from repro.service.shm import SharedPairs, share_pairs, sweep_worker_segments
+from repro.workloads import random_pairs
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "path_hashes.json"
+
+
+def _local_bytes(problem, router: str, seed: int) -> tuple[bytes, bytes]:
+    result = make_router(router).route(problem, seed)
+    return result.paths.nodes.tobytes(), result.paths.offsets.tobytes()
+
+
+def _live_children() -> list[int]:
+    """Child pids of this process, excluding multiprocessing's trackers."""
+    out = subprocess.run(
+        ["ps", "--ppid", str(os.getpid()), "-o", "pid=,cmd="],
+        capture_output=True,
+        text=True,
+    ).stdout
+    pids = []
+    for line in out.splitlines():
+        pid, _, cmd = line.strip().partition(" ")
+        if "resource_tracker" in cmd or cmd.strip().startswith("ps"):
+            continue
+        pids.append(int(pid))
+    return pids
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    """One warm daemon shared by the read-only tests of this module."""
+    sock = str(tmp_path_factory.mktemp("svc") / "repro.sock")
+    svc = RoutingService(
+        sock,
+        workers=2,
+        flush_ms=1.0,
+        shard_threshold=2000,
+        pairs_shm_min=32,
+        prewarm=("8x8",),
+    ).start()
+    yield svc
+    svc.stop()
+
+
+class TestServiceDeterminism:
+    def test_small_request_byte_identical(self, service):
+        mesh = parse_mesh("8x8")
+        problem = build_workload("transpose", mesh, 0)
+        with ServiceClient(service.socket_path) as client:
+            via = client.route(problem, router="hierarchical", seed=7)
+        nodes, offsets = _local_bytes(problem, "hierarchical", 7)
+        assert via.paths.nodes.tobytes() == nodes
+        assert via.paths.offsets.tobytes() == offsets
+        assert via.seed == 7
+
+    def test_unseeded_request_echoes_resolved_entropy(self, service):
+        mesh = parse_mesh("8x8")
+        problem = build_workload("transpose", mesh, 0)
+        with ServiceClient(service.socket_path) as client:
+            via = client.route(problem, router="hierarchical", seed=None)
+        # replaying the echoed entropy locally reproduces the bytes
+        local = make_router("hierarchical").route(problem, via.seed)
+        assert via.paths.nodes.tobytes() == local.paths.nodes.tobytes()
+
+    def test_concurrent_clients_each_byte_identical(self, service):
+        """Batch composition must be invisible: concurrent requests with
+        different seeds land in shared micro-batches, yet each reply
+        matches its own serial route."""
+        mesh = parse_mesh("8x8")
+        problem = build_workload("transpose", mesh, 0)
+        results: dict[int, bytes] = {}
+        errors: list[Exception] = []
+
+        def one(seed: int) -> None:
+            try:
+                with ServiceClient(service.socket_path) as client:
+                    r = client.route(problem, router="hierarchical", seed=seed)
+                results[seed] = r.paths.nodes.tobytes()
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=one, args=(s,)) for s in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert len(results) == 10
+        for seed, nodes in results.items():
+            assert nodes == _local_bytes(problem, "hierarchical", seed)[0]
+
+    def test_golden_matrix_sample_through_service(self, service):
+        """A sample of committed golden cells, recomputed via the daemon."""
+        from tests.golden.regenerate_goldens import _workload, cell_hash
+
+        golden = json.loads(GOLDEN_PATH.read_text())
+        sample = [
+            k
+            for k in golden
+            if "|8x8|" in k and "+" not in k.split("|")[0]
+        ][:8]
+        assert sample, "golden matrix has no plain 8x8 cells?"
+        mesh = parse_mesh("8x8")
+        problem = _workload(mesh)
+        with ServiceClient(service.socket_path) as client:
+            for key in sample:
+                router, _label, seed_part = key.split("|")
+                seed = int(seed_part.removeprefix("seed="))
+                via = client.route(problem, router=router, seed=seed)
+                assert cell_hash(via) == golden[key], f"cell {key} differs"
+
+
+class TestAdmissionEdges:
+    def test_zero_packet_request(self, service):
+        mesh = parse_mesh("8x8")
+        empty = np.empty(0, dtype=np.int64)
+        with ServiceClient(service.socket_path) as client:
+            r = client.route(mesh, empty, empty, seed=1)
+        assert len(r.paths) == 0
+        assert r.paths.offsets.tolist() == [0]
+
+    def test_oversized_request_shards_across_pool(self, service):
+        """Requests at the shard threshold bypass the batcher and still
+        produce serial bytes."""
+        mesh = parse_mesh("16x16")
+        problem = random_pairs(mesh, 2500, seed=3)  # above shard_threshold
+        with ServiceClient(service.socket_path) as client:
+            before = client.stats()["profile"]["counters"].get(
+                "service.sharded_requests", 0
+            )
+            via = client.route(problem, router="hierarchical", seed=5)
+            after = client.stats()["profile"]["counters"]["service.sharded_requests"]
+        assert after == before + 1
+        nodes, offsets = _local_bytes(problem, "hierarchical", 5)
+        assert via.paths.nodes.tobytes() == nodes
+        assert via.paths.offsets.tobytes() == offsets
+
+    def test_mismatched_arrays_rejected(self, service):
+        # the client validates first, so probe the server's own guard raw
+        with ServiceClient(service.socket_path) as client:
+            with pytest.raises(ServiceError, match="equal-length"):
+                client._rpc(
+                    {"op": "route", "mesh": [8, 8], "router": "hierarchical"},
+                    {
+                        "sources": np.zeros(3, np.int64),
+                        "dests": np.zeros(2, np.int64),
+                    },
+                )
+
+    def test_unknown_router_fails_that_request_only(self, service):
+        mesh = parse_mesh("8x8")
+        problem = build_workload("transpose", mesh, 0)
+        with ServiceClient(service.socket_path) as client:
+            with pytest.raises(ServiceError):
+                client.route(problem, router="no-such-router")
+            ok = client.route(problem, router="hierarchical", seed=2)
+        assert ok.paths.nodes.tobytes() == _local_bytes(problem, "hierarchical", 2)[0]
+
+    def test_unknown_op_and_ping_and_stats(self, service):
+        with ServiceClient(service.socket_path) as client:
+            assert client.ping()["ok"]
+            stats = client.stats()
+            assert stats["workers"] == 2
+            assert "service.requests" in stats["profile"]["counters"]
+            with pytest.raises(ServiceError, match="unknown op"):
+                client._rpc({"op": "bogus"})
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery
+# ---------------------------------------------------------------------------
+
+_SENTINELS = {}
+
+
+def _die_once_then_pid(sentinel: str) -> int:
+    """Worker task: SIGKILL ourselves the first time, return pid after."""
+    if os.path.exists(sentinel):
+        os.unlink(sentinel)
+        os.kill(os.getpid(), signal.SIGKILL)
+    return os.getpid()
+
+
+@pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="needs fork pools",
+)
+class TestCrashRecovery:
+    def test_warmpool_retries_task_killed_mid_request(self, tmp_path):
+        """A worker killed *while running the task* breaks the pool; the
+        retried task runs on a fresh worker and succeeds."""
+        sentinel = str(tmp_path / "die-once")
+        open(sentinel, "w").close()
+        pool = WarmPool(2, context="fork")
+        try:
+            pids = pool.map(_die_once_then_pid, [sentinel])
+            assert len(pids) == 1 and pids[0] > 0
+            assert pool.worker_restarts == 1
+        finally:
+            pool.shutdown()
+        assert not os.path.exists(sentinel)
+
+    def test_warmpool_rebuild_hook_regenerates_tasks(self, tmp_path):
+        sentinel = str(tmp_path / "die-once-2")
+        open(sentinel, "w").close()
+        calls = []
+
+        def rebuild():
+            calls.append(1)
+            return [sentinel]
+
+        pool = WarmPool(2, context="fork")
+        try:
+            pool.map(_die_once_then_pid, [sentinel], rebuild=rebuild)
+        finally:
+            pool.shutdown()
+        assert calls == [1]
+
+    def test_service_survives_worker_kill_byte_identical(self, tmp_path):
+        """Kill a warm worker; the next request is retried on a fresh
+        worker, returns serial bytes, and the restart is counted."""
+        sock = str(tmp_path / "crash.sock")
+        svc = RoutingService(sock, workers=1, context="fork").start()
+        try:
+            mesh = parse_mesh("8x8")
+            problem = build_workload("transpose", mesh, 0)
+            with ServiceClient(sock) as client:
+                first = client.route(problem, seed=4)
+                victims = client.stats()["pids"]
+                assert victims
+                for pid in victims:
+                    os.kill(pid, signal.SIGKILL)
+                time.sleep(0.2)
+                second = client.route(problem, seed=4)
+                stats = client.stats()
+            assert first.paths.nodes.tobytes() == second.paths.nodes.tobytes()
+            assert stats["worker_restarts"] >= 1
+            assert (
+                stats["profile"]["counters"]["service.worker_restarts"] >= 1
+            )
+        finally:
+            svc.stop()
+
+    def test_dead_worker_segments_swept_on_restart(self, tmp_path):
+        """Segments a dead worker produced but never delivered are
+        reclaimed by the restart sweep."""
+        pool = WarmPool(1, context="fork")
+        try:
+            pool.prewarm()
+            (victim,) = pool.pids()
+            # a segment the victim "produced": same name shape the sweep keys on
+            seg = core_shm.create_segment(64)
+            orphan = seg.name.replace(str(os.getpid()), str(victim), 1)
+            core_shm.handoff(seg)
+            src = Path("/dev/shm") / seg.name
+            src.rename(Path("/dev/shm") / orphan)
+            os.kill(victim, signal.SIGKILL)
+            # next dispatch hits the broken pool, rebuilds, retries fine
+            (pid,) = pool.map(_die_once_then_pid, ["/nonexistent-sentinel"])
+            assert pid != victim
+            assert pool.worker_restarts >= 1
+            # ... and the dead pid's undelivered segment was swept
+            assert orphan not in core_shm.active_segments()
+        finally:
+            pool.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle hygiene
+# ---------------------------------------------------------------------------
+
+class TestLifecycleHygiene:
+    def test_full_lifecycle_leaks_nothing(self, tmp_path):
+        """Boot, route (batched + sharded + shm pairs), stop: no children,
+        no segments, no socket file."""
+        before_children = set(_live_children())
+        before_segments = set(core_shm.active_segments())
+        sock = str(tmp_path / "clean.sock")
+        svc = RoutingService(
+            sock, workers=2, shard_threshold=500, pairs_shm_min=16
+        ).start()
+        mesh = parse_mesh("8x8")
+        small = build_workload("transpose", mesh, 0)
+        big = random_pairs(mesh, 800, seed=1)
+        with ServiceClient(sock) as client:
+            client.route(small, seed=0)
+            client.route(big, seed=0)
+        svc.stop()
+        assert set(core_shm.active_segments()) - before_segments == set()
+        assert not os.path.exists(sock)
+        leaked = set(_live_children()) - before_children
+        assert not leaked, f"service left children behind: {leaked}"
+
+    def test_stop_is_idempotent_and_blocking(self, tmp_path):
+        sock = str(tmp_path / "stop.sock")
+        svc = RoutingService(sock, workers=1).start()
+        svc.stop()
+        svc.stop()  # second call returns immediately, no error
+        assert not os.path.exists(sock)
+
+    def test_shutdown_op_stops_the_daemon(self, tmp_path):
+        sock = str(tmp_path / "op.sock")
+        svc = RoutingService(sock, workers=1).start()
+        with ServiceClient(sock) as client:
+            client.shutdown_server()
+        deadline = time.monotonic() + 10
+        while os.path.exists(sock) and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not os.path.exists(sock)
+        svc.stop()  # idempotent with the op-initiated stop
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory request transport units
+# ---------------------------------------------------------------------------
+
+class TestSharedPairs:
+    def test_roundtrip_consumes_segment(self):
+        s = np.arange(10, dtype=np.int64)
+        d = s[::-1].copy()
+        pairs = share_pairs(s, d)
+        assert pairs.name in core_shm.active_segments()
+        s2, d2 = pairs.take()
+        assert np.array_equal(s, s2) and np.array_equal(d, d2)
+        assert pairs.name not in core_shm.active_segments()
+        assert pairs.discard() is False  # already consumed
+
+    def test_discard_unconsumed(self):
+        pairs = share_pairs(
+            np.zeros(4, dtype=np.int64), np.ones(4, dtype=np.int64)
+        )
+        assert pairs.discard() is True
+        assert pairs.name not in core_shm.active_segments()
+
+    def test_sweep_targets_only_named_pids(self):
+        keep = share_pairs(
+            np.zeros(2, dtype=np.int64), np.zeros(2, dtype=np.int64)
+        )
+        try:
+            removed = sweep_worker_segments([999999999])
+            assert removed == []
+            assert keep.name in core_shm.active_segments()
+            removed = sweep_worker_segments([os.getpid()])
+            assert keep.name in removed
+        finally:
+            keep.discard()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            share_pairs(
+                np.zeros(3, dtype=np.int64), np.zeros(2, dtype=np.int64)
+            )
+        assert SharedPairs("x", 5).nbytes == 80
