@@ -39,6 +39,7 @@ import bench_t10_fault_tolerance as t10
 import bench_t11_parallel_scaling as t11
 import bench_t14_randomness_frontier as t14
 import bench_t15_service_latency as t15
+import bench_t16_competitor_frontier as t16
 import bench_a1_bridge_ablation as a1
 import bench_a2_dim_order_ablation as a2
 import bench_a3_scheme_ablation as a3
@@ -152,6 +153,12 @@ EXPERIMENTS = [
         t15.run_experiment,
         {"requests": 8, "big_packets": 70_000, "big_m": 32},
         {"requests": 4, "big_packets": 20_000, "big_m": 16},
+    ),
+    (
+        "T16 / competitors: congestion x stretch x bits frontier",
+        t16.run_experiment,
+        {"m": 16, "seeds": (0,)},
+        {"m": 8, "seeds": (0,)},
     ),
     (
         "A1 / ablation: bridges on vs off",

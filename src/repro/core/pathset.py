@@ -356,8 +356,12 @@ class PathSet(Sequence):
 
         Raises ``ValueError`` if any consecutive node pair is not a mesh
         link — the same validation contract as ``Mesh.edge_ids``.
+
+        Keyed by the mesh object itself (``Mesh`` hashes by shape, a
+        ``GeneralGraph`` by content digest), so same-shaped topologies with
+        different edge tables never collide in the cache.
         """
-        key = (mesh.sides, mesh.torus)
+        key = mesh
         ids = self._edge_id_cache.get(key)
         if ids is None:
             ids = _frozen_owned(mesh.edge_ids(self.edge_tails, self.edge_heads))

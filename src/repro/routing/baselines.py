@@ -275,7 +275,7 @@ class GreedyMinCongestionRouter(Router):
             np.cumsum(np.bincount(tails, minlength=mesh.n), out=indptr[1:])
             return indptr, heads, eid2
 
-        return cache.memo("greedy-csr", (mesh.sides, mesh.torus), build)
+        return cache.memo("greedy-csr", mesh, build)
 
     def route(
         self,

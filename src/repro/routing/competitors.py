@@ -1,0 +1,427 @@
+"""Competitor oblivious routers on general weighted graphs.
+
+The paper's hierarchical scheme is optimal on the mesh; this module
+implements the two successor schemes ROADMAP item 3 benchmarks it
+against, both behind the standard :class:`~repro.routing.base.Router`
+interface and both topology-generic (they run on any
+:class:`~repro.mesh.graph.GeneralGraph` as well as on ``Mesh``/torus):
+
+* :class:`SemiObliviousRouter` — the "few random paths suffice" regime
+  (Zuzic et al.): per packet, sample ``candidates`` perturbed-weight
+  shortest paths from the packet's seeded stream and keep the one with
+  the smallest shortest-path load potential.  Every sampled candidate is
+  a shortest path under weights inflated by at most ``1 + eps``, so the
+  *weighted* stretch is bounded by ``1 + eps`` by construction.
+* :class:`RackeTreeRouter` — Räcke–Schmid-style compact tree routing: a
+  recursive balanced bipartition of the node set is built once per graph
+  (cached through :mod:`repro.cache`), every node stores only its
+  root-to-leaf chain of cluster centers (:class:`RackeNodeTable`,
+  serialized in the :mod:`repro.core.compact` style), and ``s -> t``
+  routes along the tree-induced waypoint sequence.  Fully deterministic:
+  zero random bits per packet.
+
+Both routers key every random draw off the per-packet stream handed in by
+``Router.route`` (global-index spawn protocol), so results are
+byte-identical across worker counts and replayable by the differential
+oracles in :mod:`repro.verify.oracles`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.randomness import bits_for_range
+from repro.mesh.paths import remove_cycles
+from repro.routing.base import Router, RoutingProblem
+
+__all__ = [
+    "SemiObliviousRouter",
+    "RackeTreeRouter",
+    "RackeNodeTable",
+    "node_table",
+    "state_bits_per_node",
+    "graph_weights",
+]
+
+#: splitmix64-style mixing constants for the per-salt weight perturbation
+_GOLD = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+_MASK64 = (1 << 64) - 1
+
+
+def graph_weights(mesh) -> np.ndarray:
+    """Edge length vector of any topology: ``weights`` if present (a
+    ``GeneralGraph``), else all-ones (a unit-weight ``Mesh``)."""
+    w = getattr(mesh, "weights", None)
+    if w is None:
+        return np.ones(mesh.num_edges, dtype=np.float64)
+    return np.asarray(w, dtype=np.float64)
+
+
+def _salt_uniforms(eids: np.ndarray, salt: int) -> np.ndarray:
+    """Deterministic uniforms in ``[0, 1)`` per (edge id, salt).
+
+    A splitmix64-style finalizer over the pair — *not* a stream from the
+    packet rng, so two packets drawing the same salt perturb the weights
+    identically (the obliviousness contract: the path depends only on the
+    drawn salt, never on hidden per-packet state).  The scalar oracle in
+    :mod:`repro.verify.oracles` reimplements this with plain ints.
+    """
+    e = eids.astype(np.uint64)
+    r = np.uint64((salt + 1) & _MASK64)
+    with np.errstate(over="ignore"):
+        x = (e + np.uint64(1)) * np.uint64(_GOLD)
+        x = x ^ (r * np.uint64(_MIX1))
+        x = x ^ (x >> np.uint64(30))
+        x = x * np.uint64(_MIX1)
+        x = x ^ (x >> np.uint64(27))
+        x = x * np.uint64(_MIX2)
+        x = x ^ (x >> np.uint64(31))
+    return (x >> np.uint64(11)).astype(np.float64) * (2.0 ** -53)
+
+
+class _GraphTables:
+    """Per-topology derived state shared by both competitor routers.
+
+    Built lazily and memoised per graph object via :func:`_tables`; holds
+    the weighted sparse matrix, the base all-pairs Dijkstra distances, the
+    deterministic shortest-path load potential, and per-salt perturbation
+    caches.  Everything here is a pure function of ``(graph, weights)``.
+    """
+
+    def __init__(self, mesh):
+        self.mesh = mesh
+        self.weights = graph_weights(mesh)
+        self.indptr, self.heads, self.eids = mesh.adjacency_csr()
+        ep = mesh.edge_endpoints
+        self._rows = np.concatenate((ep[:, 0], ep[:, 1]))
+        self._cols = np.concatenate((ep[:, 1], ep[:, 0]))
+        self._salt_weights: dict[int, np.ndarray] = {}
+        self._dist_rows: dict[tuple[int, int], np.ndarray] = {}
+        self._leg_cache: dict[tuple[int, int], list[int]] = {}
+        self._dist = None
+        self._potential = None
+        self._chains = None
+
+    def _sparse(self, undirected_weights: np.ndarray):
+        from scipy.sparse import csr_matrix
+
+        data = np.concatenate((undirected_weights, undirected_weights))
+        return csr_matrix(
+            (data, (self._rows, self._cols)), shape=(self.mesh.n, self.mesh.n)
+        )
+
+    @property
+    def dist(self) -> np.ndarray:
+        """Base-weight all-pairs shortest-path distances (float64)."""
+        if self._dist is None:
+            from scipy.sparse.csgraph import dijkstra
+
+            self._dist = dijkstra(self._sparse(self.weights))
+        return self._dist
+
+    def salt_weights(self, salt: int) -> np.ndarray:
+        """Undirected edge weights perturbed by ``salt``:
+        ``w' = w * (1 + eps_max * u(e, salt))`` with ``eps_max = 0.25``."""
+        w = self._salt_weights.get(salt)
+        if w is None:
+            u = _salt_uniforms(np.arange(self.mesh.num_edges), salt)
+            w = self.weights * (1.0 + 0.25 * u)
+            self._salt_weights[salt] = w
+        return w
+
+    def dist_row(self, salt: int, s: int) -> np.ndarray:
+        """Single-source Dijkstra distances under the salted weights."""
+        key = (salt, s)
+        row = self._dist_rows.get(key)
+        if row is None:
+            from scipy.sparse.csgraph import dijkstra
+
+            row = dijkstra(self._sparse(self.salt_weights(salt)), indices=s)
+            self._dist_rows[key] = row
+        return row
+
+    def walk_back(
+        self, dist: np.ndarray, edge_w: np.ndarray, s: int, t: int
+    ) -> list[int]:
+        """Min-id shortest path ``s -> t`` from a distance row.
+
+        At every step pick the smallest-id neighbor ``u`` of the current
+        node with ``dist[u] < dist[cur]`` and ``dist[u] + w(u, cur) ==
+        dist[cur]``; ``dist`` strictly decreases, so the walk terminates.
+        The float comparison is exact: each candidate is the very
+        ``fl(dist[u] + w)`` the Dijkstra relaxation computed.
+        """
+        rev = [t]
+        cur = t
+        while cur != s:
+            lo, hi = self.indptr[cur], self.indptr[cur + 1]
+            nbrs = self.heads[lo:hi]
+            ws = edge_w[self.eids[lo:hi]]
+            ok = (dist[nbrs] < dist[cur]) & (dist[nbrs] + ws == dist[cur])
+            if not ok.any():  # pragma: no cover - guarded by connectivity
+                raise RuntimeError("no shortest-path predecessor found")
+            cur = int(nbrs[ok].min())
+            rev.append(cur)
+        return rev[::-1]
+
+    @property
+    def potential(self) -> np.ndarray:
+        """Shortest-path load potential: ``pot[e]`` counts ordered pairs
+        ``(s, t)`` whose canonical min-id shortest path crosses ``e``.
+
+        A deterministic, integer-valued stand-in for edge betweenness —
+        no float accumulation and no dependence on library internals, so
+        golden hashes over it are stable everywhere.  Computed per source
+        by min-id predecessor trees plus subtree-count accumulation.
+        """
+        if self._potential is not None:
+            return self._potential
+        mesh = self.mesh
+        n = mesh.n
+        tails = self._rows
+        heads = self._cols
+        dw = np.concatenate((self.weights, self.weights))
+        pot = np.zeros(mesh.num_edges, dtype=np.int64)
+        nodes = np.arange(n, dtype=np.int64)
+        for s in range(n):
+            d = self.dist[s]
+            ok = (d[tails] < d[heads]) & (d[tails] + dw == d[heads])
+            parent = np.full(n, n, dtype=np.int64)
+            np.minimum.at(parent, heads[ok], tails[ok])
+            parent[s] = -1
+            if int(parent.max()) >= n:  # pragma: no cover
+                raise RuntimeError("disconnected shortest-path tree")
+            count = np.ones(n, dtype=np.int64)
+            count[s] = 0
+            for v in np.argsort(-d, kind="stable").tolist():
+                p = parent[v]
+                if p >= 0:
+                    count[p] += count[v]
+            nonroot = nodes != s
+            pe = mesh.edge_ids(parent[nonroot], nodes[nonroot])
+            np.add.at(pot, pe, count[nonroot])
+        self._potential = pot
+        return pot
+
+    @property
+    def chains(self) -> list[tuple[int, ...]]:
+        """Root-to-leaf center chains of the balanced decomposition tree.
+
+        Each cluster's *center* is its member minimizing the maximum
+        base-weight distance to the cluster (ties: smallest id).  Clusters
+        split in half around the member farthest from the center, members
+        sorted by (distance-to-pivot, id) — a deterministic balanced-cut
+        recursion with depth ``O(log n)``.  ``chains[v][-1] == v``.
+        """
+        if self._chains is not None:
+            return self._chains
+        dist = self.dist
+        chains: list[tuple[int, ...]] = [()] * self.mesh.n
+
+        def recurse(cluster: list[int], ancestors: tuple[int, ...]) -> None:
+            sub = dist[np.ix_(cluster, cluster)]
+            center = cluster[
+                int(np.lexsort((cluster, sub.max(axis=1)))[0])
+            ]
+            chain = ancestors + (center,)
+            if len(cluster) == 1:
+                chains[cluster[0]] = chain
+                return
+            ci = cluster.index(center)
+            pivot = cluster[int(np.lexsort((cluster, -sub[ci]))[0])]
+            pi = cluster.index(pivot)
+            order = np.lexsort((cluster, sub[pi]))
+            half = (len(cluster) + 1) // 2
+            left = [cluster[i] for i in order[:half].tolist()]
+            right = [cluster[i] for i in order[half:].tolist()]
+            recurse(left, chain)
+            recurse(right, chain)
+
+        recurse(list(range(self.mesh.n)), ())
+        self._chains = chains
+        return chains
+
+    def tree_leg(self, a: int, b: int) -> list[int]:
+        """Canonical min-id base-weight shortest path ``a -> b`` (cached)."""
+        leg = self._leg_cache.get((a, b))
+        if leg is None:
+            leg = self.walk_back(self.dist[a], self.weights, a, b)
+            self._leg_cache[(a, b)] = leg
+        return leg
+
+
+def _tables(mesh) -> _GraphTables:
+    from repro import cache
+
+    return cache.memo("competitor-tables", mesh, lambda: _GraphTables(mesh))
+
+
+def tree_waypoints(mesh, s: int, t: int) -> list[int]:
+    """The decomposition-tree waypoint sequence ``s -> ... -> t``:
+    cluster centers up from ``s``'s leaf to the lowest common cluster,
+    then down to ``t``'s leaf, consecutive duplicates removed."""
+    tbl = _tables(mesh)
+    cs, ct = tbl.chains[s], tbl.chains[t]
+    pre = 0
+    for a, b in zip(cs, ct):
+        if a != b:
+            break
+        pre += 1
+    raw = list(cs[pre - 1 :][::-1]) + list(ct[pre:])
+    way = [raw[0]]
+    for w in raw[1:]:
+        if w != way[-1]:
+            way.append(w)
+    return way
+
+
+class SemiObliviousRouter(Router):
+    """Sparse semi-oblivious routing: few random paths suffice.
+
+    Per packet, draw ``candidates`` salts from the packet stream; each
+    salt deterministically perturbs every edge weight by a factor in
+    ``[1, 1 + eps)``, and the candidate is the canonical min-id shortest
+    path under the salted weights.  The router keeps the candidate whose
+    edges carry the smallest precomputed shortest-path load potential
+    (max, then sum, then draw order) — the congestion-aware *selection*
+    is offline state, the randomness is purely in the sampling, so packet
+    ``i``'s path still depends only on ``(seed, i, s_i, t_i)``.
+    """
+
+    name = "semi-oblivious"
+    is_oblivious = True
+
+    def __init__(self, *, candidates: int = 4, eps: float = 0.25):
+        if candidates < 1:
+            raise ValueError("need at least one candidate")
+        self.candidates = int(candidates)
+        self.eps = float(eps)
+
+    def select_path(self, mesh, s: int, t: int, rng: np.random.Generator):
+        if s == t:
+            return np.asarray([s], dtype=np.int64)
+        tbl = _tables(mesh)
+        salts = rng.integers(0, mesh.n, size=self.candidates)
+        pot = tbl.potential
+        best = None
+        best_path = None
+        for j, salt in enumerate(salts.tolist()):
+            salt = int(salt)
+            path = tbl.walk_back(
+                tbl.dist_row(salt, s), tbl.salt_weights(salt), s, t
+            )
+            arr = np.asarray(path, dtype=np.int64)
+            loads = pot[mesh.edge_ids(arr[:-1], arr[1:])]
+            score = (int(loads.max()), int(loads.sum()), j)
+            if best is None or score < best:
+                best = score
+                best_path = arr
+        return best_path
+
+    def planned_bits(self, problem: RoutingProblem, mode: str | None = None):
+        if mode == "recycled":
+            # The degradation ladder re-routes over-budget packets through
+            # the zero-bit tree router, so the recycled cost is 0.
+            return np.zeros(problem.num_packets, dtype=np.int64)
+        cost = self.candidates * bits_for_range(problem.mesh.n)
+        return np.where(
+            problem.sources != problem.dests, cost, 0
+        ).astype(np.int64)
+
+    def budget_fallback_router(self):
+        return RackeTreeRouter()
+
+
+class RackeTreeRouter(Router):
+    """Räcke-style compact tree routing: deterministic, zero random bits.
+
+    ``s -> t`` walks the decomposition tree's waypoint sequence
+    (:func:`tree_waypoints`); each consecutive waypoint pair is joined by
+    the canonical min-id shortest path under the base weights, and any
+    revisits are shortcut out.  The per-node routing state is just the
+    root-to-leaf center chain — ``O(log n)`` node ids, serialized by
+    :class:`RackeNodeTable`.
+    """
+
+    name = "racke-tree"
+    is_oblivious = True
+
+    def select_path(self, mesh, s: int, t: int, rng=None):
+        if s == t:
+            return np.asarray([s], dtype=np.int64)
+        tbl = _tables(mesh)
+        path: list[int] = [s]
+        way = tree_waypoints(mesh, s, t)
+        for a, b in zip(way, way[1:]):
+            path.extend(tbl.tree_leg(a, b)[1:])
+        return remove_cycles(np.asarray(path, dtype=np.int64))
+
+    def planned_bits(self, problem: RoutingProblem, mode: str | None = None):
+        return np.zeros(problem.num_packets, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# Compact per-node state (mirrors repro.core.compact)
+# ----------------------------------------------------------------------
+_MAGIC = b"RKT1"
+
+
+@dataclass(frozen=True)
+class RackeNodeTable:
+    """The complete per-node routing state of :class:`RackeTreeRouter`.
+
+    A node stores only its root-to-leaf chain of cluster centers; two
+    tables suffice to reconstruct the waypoint sequence between their
+    nodes (longest common prefix = lowest common cluster).
+
+    >>> t = RackeNodeTable(n=8, node=3, centers=(0, 2, 3))
+    >>> RackeNodeTable.from_bytes(t.to_bytes()) == t
+    True
+    """
+
+    n: int
+    node: int
+    centers: tuple[int, ...]
+
+    def __post_init__(self):
+        if not self.centers or self.centers[-1] != self.node:
+            raise ValueError("chain must end at the node itself")
+
+    def to_bytes(self) -> bytes:
+        depth = len(self.centers)
+        out = [struct.pack("<4sIIH", _MAGIC, self.n, self.node, depth)]
+        out.append(struct.pack(f"<{depth}I", *self.centers))
+        return b"".join(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "RackeNodeTable":
+        head = struct.calcsize("<4sIIH")
+        magic, n, node, depth = struct.unpack_from("<4sIIH", blob, 0)
+        if magic != _MAGIC:
+            raise ValueError("bad magic: not a RackeNodeTable blob")
+        centers = struct.unpack_from(f"<{depth}I", blob, head)
+        if len(blob) != head + struct.calcsize(f"<{depth}I"):
+            raise ValueError("trailing bytes after RackeNodeTable blob")
+        return cls(n=n, node=node, centers=tuple(int(c) for c in centers))
+
+
+def node_table(mesh, node: int) -> RackeNodeTable:
+    """The serialized routing state :class:`RackeTreeRouter` keeps at
+    ``node`` on this topology."""
+    if not (0 <= node < mesh.n):
+        raise ValueError("node id out of range")
+    return RackeNodeTable(
+        n=mesh.n, node=node, centers=_tables(mesh).chains[node]
+    )
+
+
+def state_bits_per_node(mesh) -> int:
+    """Worst-case serialized size (in bits) of any node's routing state."""
+    return 8 * max(
+        len(node_table(mesh, v).to_bytes()) for v in range(mesh.n)
+    )

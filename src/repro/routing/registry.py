@@ -21,6 +21,7 @@ def _factories() -> dict[str, Callable[..., Router]]:
         ShortestPathRouter,
         ValiantRouter,
     )
+    from repro.routing.competitors import RackeTreeRouter, SemiObliviousRouter
 
     return {
         "hierarchical": HierarchicalRouter,
@@ -35,6 +36,8 @@ def _factories() -> dict[str, Callable[..., Router]]:
         "shortest-path": ShortestPathRouter,
         "greedy-offline": GreedyMinCongestionRouter,
         "rect-hierarchical": RectHierarchicalRouter,
+        "semi-oblivious": SemiObliviousRouter,
+        "racke-tree": RackeTreeRouter,
     }
 
 

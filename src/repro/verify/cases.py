@@ -63,7 +63,16 @@ ROUTERS = (
     "shortest-path",
     "greedy-offline",
     "rect-hierarchical",
+    # appended at the end so the workload rotation of every pre-existing
+    # grid cell (and with it every committed corpus case_id) is unchanged
+    "semi-oblivious",
+    "racke-tree",
 )
+
+#: named general-graph topologies competitor cells run on (see
+#: ``repro.mesh.graph.NAMED_GRAPHS``); only coordinate-free workloads
+#: (random-pairs / random-permutation) are valid here
+GRAPHS = ("random-regular-24", "dumbbell-16")
 
 WORKLOADS = (
     "random-pairs",
@@ -98,19 +107,25 @@ class Case:
     #: additionally route through a live ``repro serve`` daemon and demand
     #: byte-identity with the serial route (the service acceptance cells)
     via_service: bool = False
+    #: topology selector: "mesh" builds ``Mesh(sides, torus)``; any other
+    #: value names a fixed :data:`repro.mesh.graph.NAMED_GRAPHS` instance
+    #: (``sides``/``torus`` are then informational only)
+    graph: str = "mesh"
 
     def to_dict(self) -> dict:
         out = asdict(self)
         out["sides"] = list(self.sides)
         # Default-valued late additions are dropped from the encoding, so
         # every pre-existing corpus case_id stays valid (the budget fields
-        # set the precedent; via_service follows it).
+        # set the precedent; via_service and graph follow it).
         if out["budget_mode"] == "off":
             del out["budget_mode"]
         if out["budget_bits"] is None:
             del out["budget_bits"]
         if not out["via_service"]:
             del out["via_service"]
+        if out["graph"] == "mesh":
+            del out["graph"]
         return out
 
     @classmethod
@@ -126,7 +141,12 @@ class Case:
         return hashlib.sha256(blob).hexdigest()[:12]
 
     def label(self) -> str:
-        mesh = "x".join(str(s) for s in self.sides) + ("t" if self.torus else "")
+        if self.graph != "mesh":
+            mesh = self.graph
+        else:
+            mesh = "x".join(str(s) for s in self.sides) + (
+                "t" if self.torus else ""
+            )
         bits = [self.router, mesh, self.workload, f"seed={self.seed}"]
         if self.workers != 1:
             bits.append(f"w={self.workers}")
@@ -142,7 +162,11 @@ class Case:
         return " ".join(bits)
 
 
-def _mesh(case: Case) -> Mesh:
+def _mesh(case: Case):
+    if case.graph != "mesh":
+        from repro.mesh.graph import named_graph
+
+        return named_graph(case.graph)
     return Mesh(case.sides, torus=case.torus)
 
 
@@ -235,7 +259,53 @@ def _grid_cases(seed: int) -> list[Case]:
                     out.append(case)
     out.extend(_budget_cases(seed))
     out.extend(_service_cases(seed))
+    out.extend(_graph_cases(seed))
     return out
+
+
+def _graph_cases(seed: int) -> list[Case]:
+    """Competitor cells on the named general graphs.
+
+    Both competitor routers on both fixed graphs, serial and sharded,
+    plus budget cells: a measure ledger and a deliberately tight enforce
+    cap that pushes every semi-oblivious packet down the recycled
+    (zero-bit tree) rung of the degradation ladder.
+    """
+    from repro.mesh.graph import named_graph
+
+    cells = []
+    for g_i, gname in enumerate(GRAPHS):
+        n = named_graph(gname).n
+        for r_i, router in enumerate(("semi-oblivious", "racke-tree")):
+            workload = ("random-pairs", "random-permutation")[(g_i + r_i) % 2]
+            for workers in (1, 4):
+                cells.append(
+                    Case(
+                        sides=(n,),
+                        torus=False,
+                        router=router,
+                        workload=workload,
+                        seed=seed + 40 + g_i,
+                        workers=workers,
+                        graph=gname,
+                    )
+                )
+    cells.append(
+        Case(sides=(24,), torus=False, router="semi-oblivious",
+             workload="random-pairs", seed=seed + 44,
+             budget_mode="measure", graph="random-regular-24")
+    )
+    cells.append(
+        Case(sides=(24,), torus=False, router="semi-oblivious",
+             workload="random-pairs", seed=seed + 45,
+             budget_mode="enforce", budget_bits=10, graph="random-regular-24")
+    )
+    cells.append(
+        Case(sides=(16,), torus=False, router="racke-tree",
+             workload="random-pairs", seed=seed + 46,
+             budget_mode="enforce", graph="dumbbell-16")
+    )
+    return [c for c in cells if supported(c)]
 
 
 def _service_cases(seed: int) -> list[Case]:

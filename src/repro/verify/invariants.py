@@ -51,13 +51,20 @@ __all__ = [
 
 #: routers with a proven stretch ceiling on 2-D meshes: name -> bound.
 #: Theorem 3.4 gives 64 for the hierarchical algorithm; dimension-order
-#: and shortest-path routes are shortest by construction.
+#: and shortest-path routes are shortest by construction.  The competitor
+#: routers carry *per-router* bounds in a different metric: semi-oblivious
+#: candidates are shortest paths under weights inflated by at most
+#: ``1 + eps``, so their bound (``1 + eps``, default 1.25) applies to the
+#: weighted path length; the Räcke tree's bound is the per-packet sum of
+#: waypoint leg distances (checked structurally, no single constant).
 STRETCH_BOUNDS = {
     "hierarchical": 64.0,
     "hierarchical-general": 64.0,
     "dim-order": 1.0,
     "random-dim-order": 1.0,
     "shortest-path": 1.0,
+    "semi-oblivious": 1.25,
+    "racke-tree": float("inf"),
 }
 
 
@@ -234,10 +241,16 @@ def _bitonic_envelope(ctx: VerifyContext) -> list[str]:
     return out
 
 
+_COMPETITORS = ("semi-oblivious", "racke-tree")
+
+
 def _stretch_applies(ctx: VerifyContext) -> bool:
     name = ctx.base_router.name
     if name not in STRETCH_BOUNDS or not ctx.trivial_faults:
         return False
+    if name in _COMPETITORS:
+        # the weighted/structural bounds below hold on every topology
+        return ctx.result.problem.num_packets > 0
     # Theorem 3.4's constant is proved for 2-D; dimension-order routes are
     # shortest in every dimension count.
     if STRETCH_BOUNDS[name] > 1.0 and ctx.mesh.d > 2:
@@ -247,12 +260,68 @@ def _stretch_applies(ctx: VerifyContext) -> bool:
 
 @register(
     "paths.stretch-bound",
-    "stretch <= 64 for 2-D hierarchical routing; = 1 for dimension-order",
+    "per-router stretch ceilings: 64 for 2-D hierarchical, 1 for "
+    "dimension-order, 1+eps weighted for semi-oblivious, waypoint-leg sum "
+    "for the Räcke tree",
     _stretch_applies,
 )
 def _stretch_bound(ctx: VerifyContext) -> list[str]:
-    bound = STRETCH_BOUNDS[ctx.base_router.name]
-    measured = ctx.result.stretch
+    from repro.verify.oracles import (
+        oracle_weighted_distance,
+        oracle_weighted_length,
+    )
+
+    name = ctx.base_router.name
+    res = ctx.result
+    if name == "semi-oblivious":
+        from repro.core.randomness import bits_for_range
+
+        bound = 1.0 + ctx.base_router.eps
+        # packets over an enforced bit budget fall back to the zero-bit
+        # tree router; the 1+eps bound only covers sampled candidates
+        degrade_limit = None
+        if ctx.budget is not None and getattr(ctx.budget, "enforcing", False):
+            degrade_limit = ctx.budget.limit_for(ctx.mesh)
+        per_packet = ctx.base_router.candidates * bits_for_range(ctx.mesh.n)
+        out = []
+        for i in ctx.sample_rows(len(res.paths)):
+            s = int(res.problem.sources[i])
+            t = int(res.problem.dests[i])
+            if s == t:
+                continue
+            if degrade_limit is not None and per_packet > degrade_limit:
+                continue
+            got = oracle_weighted_length(ctx.mesh, res.paths[i])
+            opt = oracle_weighted_distance(ctx.mesh, s, t)
+            if got > bound * opt + 1e-9:
+                out.append(
+                    f"packet {i}: weighted length {got:.4f} exceeds "
+                    f"{bound} x weighted distance {opt:.4f}"
+                )
+        return out
+    if name == "racke-tree":
+        from repro.routing.competitors import tree_waypoints
+
+        out = []
+        for i in ctx.sample_rows(len(res.paths)):
+            s = int(res.problem.sources[i])
+            t = int(res.problem.dests[i])
+            if s == t:
+                continue
+            way = tree_waypoints(ctx.mesh, s, t)
+            ceiling = sum(
+                oracle_weighted_distance(ctx.mesh, a, b)
+                for a, b in zip(way, way[1:])
+            )
+            got = oracle_weighted_length(ctx.mesh, res.paths[i])
+            if got > ceiling + 1e-9:
+                out.append(
+                    f"packet {i}: weighted length {got:.4f} exceeds the "
+                    f"tree waypoint ceiling {ceiling:.4f}"
+                )
+        return out
+    bound = STRETCH_BOUNDS[name]
+    measured = res.stretch
     if measured > bound + 1e-9:
         return [f"stretch {measured:.2f} exceeds bound {bound}"]
     return []
@@ -371,10 +440,22 @@ def _metrics_consistent(ctx: VerifyContext) -> list[str]:
     return out
 
 
+def _lower_bound_applies(ctx: VerifyContext) -> bool:
+    from repro.mesh.mesh import Mesh
+
+    # The C* window argument is grid-coordinate geometry; on a
+    # GeneralGraph there is no boundary-counting analogue to check.
+    return (
+        _is_route(ctx)
+        and ctx.result.problem.num_packets > 0
+        and isinstance(ctx.result.problem.mesh, Mesh)
+    )
+
+
 @register(
     "bounds.lower-bound-holds",
     "measured congestion >= the C* lower bound (a theorem, not a tolerance)",
-    lambda ctx: _is_route(ctx) and ctx.result.problem.num_packets > 0,
+    _lower_bound_applies,
 )
 def _lower_bound_holds(ctx: VerifyContext) -> list[str]:
     prob = ctx.result.problem
@@ -536,6 +617,67 @@ def _budget_envelope(ctx: VerifyContext) -> list[str]:
             out.append(
                 f"packet {i}: recycled cost {cost} bits exceeds the "
                 f"envelope {bound:.1f} (dist {dist})"
+            )
+    return out
+
+
+def _competitor_applies(ctx: VerifyContext) -> bool:
+    return (
+        ctx.result is not None
+        and ctx.base_router.name in _COMPETITORS
+        and ctx.trivial_faults
+        and ctx.result.problem.num_packets > 0
+    )
+
+
+@register(
+    "competitors.path-oracle",
+    "competitor paths match the independent scalar sampling / serialized "
+    "tree oracles byte for byte",
+    _competitor_applies,
+)
+def _competitor_path_oracle(ctx: VerifyContext) -> list[str]:
+    from repro.core.randomness import bits_for_range
+    from repro.verify.oracles import (
+        oracle_semi_oblivious_path,
+        oracle_tree_path,
+    )
+
+    res = ctx.result
+    name = ctx.base_router.name
+    degrade_limit = None
+    if ctx.budget is not None and getattr(ctx.budget, "enforcing", False):
+        degrade_limit = ctx.budget.limit_for(ctx.mesh)
+    out = []
+    for row in ctx.sample_rows(len(res.paths)):
+        gi = (
+            int(res.kept_indices[row])
+            if res.kept_indices is not None
+            else row
+        )
+        s = int(res.problem.sources[row])
+        t = int(res.problem.dests[row])
+        if name == "semi-oblivious":
+            k = ctx.base_router.candidates
+            # replay the enforcement ladder: an over-budget packet must
+            # have been routed by the zero-bit tree fallback instead
+            degraded = (
+                s != t
+                and degrade_limit is not None
+                and k * bits_for_range(ctx.mesh.n) > degrade_limit
+            )
+            expect = (
+                oracle_tree_path(ctx.mesh, s, t)
+                if degraded
+                else oracle_semi_oblivious_path(
+                    ctx.mesh, ctx.entropy, gi, s, t, candidates=k
+                )
+            )
+        else:
+            expect = oracle_tree_path(ctx.mesh, s, t)
+        if [int(x) for x in res.paths[row]] != expect:
+            out.append(
+                f"packet {gi}: {name} path differs from the scalar oracle"
             )
     return out
 

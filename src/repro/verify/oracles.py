@@ -42,6 +42,10 @@ __all__ = [
     "oracle_fault_mask",
     "oracle_alive_bfs",
     "oracle_remove_cycles",
+    "oracle_semi_oblivious_path",
+    "oracle_tree_path",
+    "oracle_weighted_length",
+    "oracle_weighted_distance",
     "result_hash",
     "replay_hash",
 ]
@@ -69,7 +73,17 @@ def _flat(mesh: Mesh, coords: list[int]) -> int:
 
 
 def oracle_distance(mesh: Mesh, u: int, v: int) -> int:
-    """Scalar L1 distance, shorter-way-around per dimension on the torus."""
+    """Scalar L1 distance, shorter-way-around per dimension on the torus.
+
+    On a :class:`~repro.mesh.graph.GeneralGraph` (no coordinate
+    structure), the hop distance from a scalar breadth-first search over
+    the edge map instead — still fully independent of the topology's own
+    vectorised ``distance``.
+    """
+    from repro.mesh.graph import GeneralGraph
+
+    if isinstance(mesh, GeneralGraph):
+        return _oracle_bfs_hops(mesh, int(u))[int(v)]
     cu, cv = _coords(mesh, u), _coords(mesh, v)
     total = 0
     for a, b, side in zip(cu, cv, mesh.sides):
@@ -111,6 +125,256 @@ def _path_edge_ids(mesh: Mesh, path: np.ndarray) -> list[int]:
             raise ValueError(f"({a}, {b}) is not a mesh link")
         out.append(table[key])
     return out
+
+
+# ---------------------------------------------------------------------------
+# Competitor-router oracles (semi-oblivious + Räcke tree), all scalar
+# ---------------------------------------------------------------------------
+
+def _scalar_adjacency(mesh) -> dict[int, list[tuple[int, int]]]:
+    """Node -> sorted ``(neighbor, edge id)`` list, from the edge map."""
+    adj = getattr(mesh, "_verify_adj", None)
+    if adj is None:
+        adj = {v: [] for v in range(mesh.n)}
+        for (a, b), e in _edge_map(mesh).items():
+            adj[a].append((b, e))
+            adj[b].append((a, e))
+        for v in adj:
+            adj[v].sort()
+        mesh._verify_adj = adj
+    return adj
+
+
+def _oracle_bfs_hops(mesh, s: int) -> list[int]:
+    """Hop distances from ``s`` by plain breadth-first search (cached)."""
+    from collections import deque
+
+    cache = getattr(mesh, "_verify_bfs", None)
+    if cache is None:
+        cache = {}
+        mesh._verify_bfs = cache
+    row = cache.get(s)
+    if row is None:
+        adj = _scalar_adjacency(mesh)
+        row = [-1] * mesh.n
+        row[s] = 0
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for v, _e in adj[u]:
+                if row[v] < 0:
+                    row[v] = row[u] + 1
+                    queue.append(v)
+        cache[s] = row
+    return row
+
+
+def _oracle_base_weights(mesh) -> list[float]:
+    """Per-edge-id lengths: the graph's ``weights``, or all 1.0 on a mesh."""
+    w = getattr(mesh, "weights", None)
+    if w is None:
+        return [1.0] * mesh.num_edges
+    return [float(x) for x in w]
+
+
+# the same splitmix64-style constants the router documents; all arithmetic
+# here is plain-int with explicit 64-bit masking
+_GOLD = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+_M64 = (1 << 64) - 1
+
+
+def _oracle_salt_uniform(e: int, salt: int) -> float:
+    x = ((e + 1) * _GOLD) & _M64
+    x ^= ((salt + 1) & _M64) * _MIX1 & _M64
+    x ^= x >> 30
+    x = (x * _MIX1) & _M64
+    x ^= x >> 27
+    x = (x * _MIX2) & _M64
+    x ^= x >> 31
+    return (x >> 11) * 2.0**-53
+
+
+def _oracle_salt_weights(mesh, salt: int) -> list[float]:
+    base = _oracle_base_weights(mesh)
+    return [
+        w * (1.0 + 0.25 * _oracle_salt_uniform(e, salt))
+        for e, w in enumerate(base)
+    ]
+
+
+def _oracle_dijkstra_row(mesh, weights: list[float], s: int) -> list[float]:
+    """Textbook heapq Dijkstra.  Each relaxation is the single float add
+    ``dist[u] + w`` — identical operands to any other implementation on
+    the same weights, so the final row is bitwise reproducible."""
+    import heapq
+
+    adj = _scalar_adjacency(mesh)
+    dist = [float("inf")] * mesh.n
+    dist[s] = 0.0
+    heap = [(0.0, s)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, e in adj[u]:
+            nd = d + weights[e]
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def _oracle_wdist_row(mesh, salt: int | None, s: int) -> list[float]:
+    """Cached Dijkstra row under the base (``salt=None``) or salted weights."""
+    cache = getattr(mesh, "_verify_wdist", None)
+    if cache is None:
+        cache = {}
+        mesh._verify_wdist = cache
+    row = cache.get((salt, s))
+    if row is None:
+        w = (
+            _oracle_base_weights(mesh)
+            if salt is None
+            else _oracle_salt_weights(mesh, salt)
+        )
+        row = _oracle_dijkstra_row(mesh, w, s)
+        cache[(salt, s)] = row
+    return row
+
+
+def oracle_weighted_distance(mesh, s: int, t: int) -> float:
+    """Scalar shortest-path distance under the edge-length metric."""
+    return _oracle_wdist_row(mesh, None, int(s))[int(t)]
+
+
+def oracle_weighted_length(mesh, path) -> float:
+    """Total edge length of a path, summed front to back."""
+    w = _oracle_base_weights(mesh)
+    total = 0.0
+    for e in _path_edge_ids(mesh, np.asarray(path, dtype=np.int64)):
+        total += w[e]
+    return total
+
+
+def _oracle_min_id_walk(
+    mesh, dist: list[float], weights: list[float], s: int, t: int
+) -> list[int]:
+    """The canonical min-id shortest path from a distance row: step to the
+    smallest-id predecessor satisfying the exact relaxation equality."""
+    adj = _scalar_adjacency(mesh)
+    rev = [t]
+    cur = t
+    while cur != s:
+        nxt = None
+        for v, e in adj[cur]:  # sorted by id: first hit is the minimum
+            if dist[v] < dist[cur] and dist[v] + weights[e] == dist[cur]:
+                nxt = v
+                break
+        if nxt is None:
+            raise RuntimeError(f"no shortest-path predecessor at node {cur}")
+        rev.append(nxt)
+        cur = nxt
+    return rev[::-1]
+
+
+def _oracle_potential(mesh) -> list[int]:
+    """Scalar shortest-path load potential: for each source, the min-id
+    predecessor tree plus bottom-up subtree counts (the vectorised twin
+    lives in ``repro.routing.competitors``)."""
+    pot = getattr(mesh, "_verify_potential", None)
+    if pot is not None:
+        return pot
+    adj = _scalar_adjacency(mesh)
+    w = _oracle_base_weights(mesh)
+    pot = [0] * mesh.num_edges
+    for s in range(mesh.n):
+        dist = _oracle_wdist_row(mesh, None, s)
+        parent: dict[int, tuple[int, int]] = {}
+        for v in range(mesh.n):
+            if v == s:
+                continue
+            for u, e in adj[v]:
+                if dist[u] < dist[v] and dist[u] + w[e] == dist[v]:
+                    parent[v] = (u, e)
+                    break
+        if len(parent) != mesh.n - 1:
+            raise RuntimeError("incomplete shortest-path tree")
+        count = [1] * mesh.n
+        count[s] = 0
+        for v in sorted(range(mesh.n), key=lambda x: (-dist[x], x)):
+            if v != s:
+                count[parent[v][0]] += count[v]
+        for v in range(mesh.n):
+            if v != s:
+                pot[parent[v][1]] += count[v]
+    mesh._verify_potential = pot
+    return pot
+
+
+def oracle_semi_oblivious_path(
+    mesh, entropy: int, index: int, s: int, t: int, candidates: int = 4
+) -> list[int]:
+    """Independent replay of ``SemiObliviousRouter.select_path``.
+
+    Salts come off the packet's public ``SeedSequence`` stream exactly as
+    the router draws them (one vectorised ``integers(0, n, size=k)``
+    call); everything downstream — perturbation hash, Dijkstra, min-id
+    walk-back, potential scoring — is scalar reimplementation.
+    """
+    s, t = int(s), int(t)
+    if s == t:
+        return [s]
+    ss = np.random.SeedSequence(entropy, spawn_key=(index,))
+    salts = [
+        int(x)
+        for x in np.random.default_rng(ss).integers(
+            0, mesh.n, size=candidates
+        )
+    ]
+    pot = _oracle_potential(mesh)
+    best = None
+    best_path: list[int] | None = None
+    for j, salt in enumerate(salts):
+        weights = _oracle_salt_weights(mesh, salt)
+        dist = _oracle_wdist_row(mesh, salt, s)
+        path = _oracle_min_id_walk(mesh, dist, weights, s, t)
+        loads = [pot[e] for e in _path_edge_ids(mesh, np.asarray(path))]
+        score = (max(loads), sum(loads), j)
+        if best is None or score < best:
+            best, best_path = score, path
+    return best_path
+
+
+def oracle_tree_path(mesh, s: int, t: int) -> list[int]:
+    """Independent replay of ``RackeTreeRouter.select_path`` from the
+    *serialized* per-node state: deserialize both endpoints' node tables,
+    derive the waypoint sequence from their center chains, and join the
+    waypoints by scalar min-id shortest paths under the base weights."""
+    from repro.routing.competitors import RackeNodeTable, node_table
+
+    s, t = int(s), int(t)
+    if s == t:
+        return [s]
+    cs = RackeNodeTable.from_bytes(node_table(mesh, s).to_bytes()).centers
+    ct = RackeNodeTable.from_bytes(node_table(mesh, t).to_bytes()).centers
+    pre = 0
+    for a, b in zip(cs, ct):
+        if a != b:
+            break
+        pre += 1
+    raw = list(cs[pre - 1 :][::-1]) + list(ct[pre:])
+    way = [raw[0]]
+    for v in raw[1:]:
+        if v != way[-1]:
+            way.append(v)
+    w = _oracle_base_weights(mesh)
+    path = [s]
+    for a, b in zip(way, way[1:]):
+        dist = _oracle_wdist_row(mesh, None, a)
+        path.extend(_oracle_min_id_walk(mesh, dist, w, a, b)[1:])
+    return oracle_remove_cycles(path)
 
 
 # ---------------------------------------------------------------------------

@@ -47,6 +47,11 @@ FAULT_SEED = 1
 BUDGET_MESH_LABELS = ("8x8", "8x8t")
 BUDGET_ENFORCE_BITS = 16
 
+#: one fixed general graph (see repro.mesh.graph.NAMED_GRAPHS): both
+#: topology-generic competitor routers, pinned at the same three seeds
+GRAPH_LABEL = "random-regular-24"
+GRAPH_ROUTERS = ("semi-oblivious", "racke-tree")
+
 
 def _workload(mesh):
     """Transpose where it is defined; bit-complement on rectangles."""
@@ -127,6 +132,19 @@ def golden_cases():
                     f"|{label}|seed={seed}",
                     route_budget,
                 )
+
+    # general-graph cells: a fixed random permutation on the named graph
+    from repro.mesh.graph import named_graph
+    from repro.workloads.permutations import random_permutation
+
+    gproblem = random_permutation(named_graph(GRAPH_LABEL), seed=0)
+    for name in GRAPH_ROUTERS:
+        for seed in SEEDS:
+
+            def route_graph(name=name, problem=gproblem, seed=seed):
+                return make_router(name).route(problem, seed=seed)
+
+            yield f"{name}|{GRAPH_LABEL}|seed={seed}", route_graph
 
 
 def cell_hash(result) -> str:

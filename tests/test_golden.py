@@ -25,6 +25,7 @@ from pathlib import Path
 import pytest
 
 from tests.golden.regenerate_goldens import (
+    GRAPH_LABEL,
     MESHES,
     SEEDS,
     cell_hash,
@@ -54,9 +55,10 @@ def test_goldens_are_loaded_and_cover_the_matrix():
         "golden file and golden_cases() disagree — "
         "regenerate after adding a router/mesh/seed"
     )
-    # the matrix must span all mesh families and every seed
+    # the matrix must span all mesh families, the fixed general graph,
+    # and every seed
     labels = {key.split("|")[1] for key in goldens}
-    assert labels == {label for _sides, _torus, label in MESHES}
+    assert labels == {label for _sides, _torus, label in MESHES} | {GRAPH_LABEL}
     seeds = {key.rsplit("=", 1)[1] for key in goldens}
     assert seeds == {str(s) for s in SEEDS}
     assert any("+static-faults|" in key for key in goldens)

@@ -39,6 +39,7 @@ EXPECTED_INVARIANTS = {
     "budget.respected",
     "budget.envelope",
     "compact.state-equivalent",
+    "competitors.path-oracle",
 }
 
 
