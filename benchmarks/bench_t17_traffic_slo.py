@@ -1,0 +1,164 @@
+"""Experiment T17 — traffic realism: SLO telemetry, capacity, admission.
+
+ROADMAP item 4 asks the online simulator to face service-style load and
+report like a service.  This experiment is that dashboard, in three
+regimes sharing one row schema:
+
+* ``capacity`` — a Poisson offered-load sweep (five points spanning
+  under-load to past the knee) for three routers including the
+  ``semi-oblivious`` competitor: each row carries the latency percentile
+  ladder (p50/p99/p999 from the exact-merge histogram), delivery-SLO
+  attainment against a ``4m``-step deadline, makespan and p99 backlog —
+  the saturation curve that locates each router's capacity knee;
+* ``faults`` — the same service metrics under a static link-failure
+  regime, where attainment accounts dropped packets against the
+  *injected* population (an SLO miss, not a statistical footnote);
+* ``admission`` — an A/B pair at hotspot overload: token-bucket +
+  backpressure admission on vs. off, byte-identical path selection in
+  both arms.  Admission trades ingress delay for a hard cap on
+  in-network pressure, so the ``on`` arm's p99 backlog must sit far
+  below the ``off`` arm's.
+"""
+
+from __future__ import annotations
+
+from common import main_print
+
+from repro.faults.model import FaultModel
+from repro.mesh.mesh import Mesh
+from repro.routing.registry import make_router
+from repro.simulation import AdmissionParams, SLOParams, capacity_curve
+from repro.workloads.traffic import HotspotTraffic
+
+#: the capacity sweep covers the paper's scheme, the deterministic
+#: baseline it beats, and the sparse-sampling competitor
+CAPACITY_ROUTERS = ("hierarchical", "dim-order", "semi-oblivious")
+#: five offered-load points: comfortably under-loaded to past the knee
+RATES = (0.02, 0.05, 0.1, 0.2, 0.35)
+
+_COLUMNS = (
+    "regime",
+    "router",
+    "offered_rate",
+    "injected",
+    "delivered",
+    "makespan",
+    "p50",
+    "p99",
+    "p999",
+    "attainment",
+    "backlog_p99",
+    "admission_dropped",
+)
+
+
+def _shape(regime: str, row: dict) -> dict:
+    """Project a capacity_curve row onto the shared T17 schema."""
+    return {"regime": regime, **{k: row.get(k, 0) for k in _COLUMNS if k != "regime"}}
+
+
+def run_experiment(
+    m: int = 16,
+    rates=RATES,
+    steps: int = 100,
+    seed: int = 0,
+    fault_p: float = 0.02,
+    overload_rate: float = 0.6,
+) -> list[dict]:
+    """One row per (regime, router, offered rate) on the ``m x m`` mesh.
+
+    The deadline is ``4m`` steps — loose enough that an uncongested mesh
+    meets it trivially (max distance ``2(m-1)``), tight enough that the
+    saturated points visibly miss it.  The admission pair runs a skewed
+    hotspot at ``overload_rate`` with a token bucket sized well under
+    the offered rate plus a backpressure cap, so the in-network p99
+    backlog collapses while path selection stays byte-identical.
+    """
+    mesh = Mesh((m, m))
+    slo = SLOParams(deadline=4 * m)
+    rows: list[dict] = []
+
+    for name in CAPACITY_ROUTERS:
+        for row in capacity_curve(
+            make_router(name), mesh, rates, steps=steps, seed=seed, slo=slo
+        ):
+            rows.append(_shape("capacity", row))
+
+    faults = FaultModel.static(mesh, p=fault_p, seed=seed)
+    for row in capacity_curve(
+        make_router("hierarchical"),
+        mesh,
+        (rates[2],),
+        steps=steps,
+        seed=seed,
+        slo=slo,
+        faults=faults,
+    ):
+        rows.append(_shape(f"faults-static-{fault_p}", row))
+
+    hotspot = lambda rate: HotspotTraffic(rate=rate, hot_frac=0.05, hot_weight=0.9)
+    # token bucket well under the offered rate, a hard in-network cap,
+    # and staleness shedding so overload ends in counted admission drops
+    # rather than an unbounded ingress queue
+    admission = AdmissionParams(rate_limit=m, max_backlog=8 * m, max_wait=16 * m)
+    for regime, adm in (("admission-off", None), ("admission-on", admission)):
+        for row in capacity_curve(
+            make_router("hierarchical"),
+            mesh,
+            (overload_rate,),
+            steps=steps,
+            seed=seed,
+            traffic_factory=hotspot,
+            slo=slo,
+            admission=adm,
+        ):
+            rows.append(_shape(regime, row))
+    return rows
+
+
+def test_traffic_slo(benchmark):
+    rows = benchmark.pedantic(
+        run_experiment,
+        kwargs={"m": 8, "steps": 60, "overload_rate": 0.6},
+        rounds=1,
+        iterations=1,
+    )
+    capacity = [r for r in rows if r["regime"] == "capacity"]
+    routers = {r["router"] for r in capacity}
+
+    # The sweep covers >= 3 routers including the competitor, at >= 5
+    # offered-load points each, and every row carries the full ladder.
+    assert routers >= set(CAPACITY_ROUTERS) and "semi-oblivious" in routers
+    for name in CAPACITY_ROUTERS:
+        points = [r for r in capacity if r["router"] == name]
+        assert len({r["offered_rate"] for r in points}) >= 5
+        for r in points:
+            assert r["p50"] <= r["p99"] <= r["p999"]
+            assert 0.0 <= r["attainment"] <= 1.0
+    # Offered load is monotone in injections and saturates attainment:
+    # the lightest point meets the deadline at least as often as the
+    # heaviest (strictly more once past the knee).
+    for name in CAPACITY_ROUTERS:
+        points = sorted(
+            (r for r in capacity if r["router"] == name),
+            key=lambda r: r["offered_rate"],
+        )
+        assert points[0]["injected"] < points[-1]["injected"]
+        assert points[0]["attainment"] >= points[-1]["attainment"]
+
+    # The fault regime reports attainment against injected packets and
+    # actually exercises drops-or-misses accounting.
+    fault = [r for r in rows if r["regime"].startswith("faults-")]
+    assert len(fault) == 1 and 0.0 <= fault[0]["attainment"] <= 1.0
+    assert fault[0]["delivered"] <= fault[0]["injected"]
+
+    # Admission A/B at overload: identical arrivals, byte-identical path
+    # selection — and a hard, measurable cap on in-network p99 backlog.
+    off = next(r for r in rows if r["regime"] == "admission-off")
+    on = next(r for r in rows if r["regime"] == "admission-on")
+    assert on["injected"] == off["injected"]
+    assert on["backlog_p99"] < off["backlog_p99"]
+
+
+if __name__ == "__main__":
+    main_print(run_experiment, "T17 / service: traffic, SLO telemetry, admission")

@@ -40,6 +40,7 @@ import bench_t11_parallel_scaling as t11
 import bench_t14_randomness_frontier as t14
 import bench_t15_service_latency as t15
 import bench_t16_competitor_frontier as t16
+import bench_t17_traffic_slo as t17
 import bench_a1_bridge_ablation as a1
 import bench_a2_dim_order_ablation as a2
 import bench_a3_scheme_ablation as a3
@@ -159,6 +160,12 @@ EXPERIMENTS = [
         t16.run_experiment,
         {"m": 16, "seeds": (0,)},
         {"m": 8, "seeds": (0,)},
+    ),
+    (
+        "T17 / service: traffic, SLO telemetry, admission",
+        t17.run_experiment,
+        {"m": 8, "steps": 60},
+        {"m": 8, "rates": (0.02, 0.05, 0.1, 0.2, 0.35), "steps": 30},
     ),
     (
         "A1 / ablation: bridges on vs off",

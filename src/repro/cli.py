@@ -278,6 +278,75 @@ def _cmd_online(args) -> int:
     return 0
 
 
+def _build_traffic(args, mesh, rate: float):
+    from repro.workloads import traffic as tr
+
+    if args.traffic == "adversarial":
+        return tr.adversarial_replay(
+            mesh, args.adv_router, l=args.adv_l, rate=rate
+        )
+    kwargs: dict = {}
+    if args.traffic in ("poisson", "hotspot", "shifting-hotspot"):
+        kwargs["rate"] = rate
+    elif args.traffic == "mmpp":
+        kwargs["rate_on"] = rate
+    elif args.traffic == "diurnal":
+        kwargs["peak_rate"] = rate
+    elif args.traffic == "flash-crowd":
+        kwargs["spike_rate"] = rate
+    return tr.make_traffic(args.traffic, **kwargs)
+
+
+def _build_admission(args):
+    if not (args.admit_rate or args.max_backlog or args.max_wait):
+        return None
+    from repro.simulation.admission import AdmissionParams
+
+    return AdmissionParams(
+        rate_limit=args.admit_rate,
+        burst=args.admit_burst,
+        max_backlog=args.max_backlog,
+        max_wait=args.max_wait,
+    )
+
+
+def _cmd_traffic(args) -> int:
+    mesh = parse_mesh(args.mesh, args.torus)
+    router = make_router(args.router)
+    from repro.simulation.slo import SLOParams, capacity_curve
+
+    slo = SLOParams(deadline=args.deadline)
+    admission = _build_admission(args)
+    faults = None
+    if args.fault_mode != "none":
+        from repro.faults import FaultModel
+
+        if args.fault_mode == "static":
+            faults = FaultModel.static(mesh, p=args.fault_p, seed=args.fault_seed)
+        else:
+            faults = FaultModel.dynamic(mesh, p=args.fault_p, seed=args.fault_seed)
+    rates = [float(r) for r in args.rates.split(",")]
+    rows = capacity_curve(
+        router,
+        mesh,
+        rates,
+        steps=args.steps,
+        seed=args.seed,
+        traffic_factory=lambda rate: _build_traffic(args, mesh, rate),
+        slo=slo,
+        admission=admission,
+        faults=faults,
+        workers=args.workers,
+    )
+    title = (
+        f"traffic: {args.traffic} x {router.name} on {mesh!r}"
+        + (" +admission" if admission is not None else "")
+        + (f" +faults:{args.fault_mode}" if faults is not None else "")
+    )
+    print(format_table(rows, title=title))
+    return 0
+
+
 def _build_faults(args, mesh):
     from repro.faults import FaultModel
 
@@ -601,6 +670,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_online)
+
+    p = sub.add_parser(
+        "traffic",
+        help="trace-driven load: capacity curves, SLO percentiles, admission",
+    )
+    p.add_argument("--mesh", default="16x16")
+    p.add_argument("--torus", action="store_true")
+    p.add_argument("--router", default="hierarchical", choices=available_routers())
+    from repro.workloads.traffic import TRAFFIC as _TRAFFIC
+
+    p.add_argument(
+        "--traffic",
+        default="poisson",
+        choices=sorted(_TRAFFIC) + ["adversarial"],
+        help="arrival process (docs/WORKLOADS.md); 'adversarial' replays Pi_A",
+    )
+    p.add_argument(
+        "--rates",
+        default="0.05,0.1,0.2",
+        help="offered per-node loads, one capacity-curve row each",
+    )
+    p.add_argument("--steps", type=int, default=120)
+    p.add_argument("--seed", default=0, help="int or decimal-string entropy")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--deadline", type=int, default=None, help="latency SLO (steps)")
+    p.add_argument("--admit-rate", type=float, default=None,
+                   help="token-bucket admissions/step (enables admission)")
+    p.add_argument("--admit-burst", type=float, default=None)
+    p.add_argument("--max-backlog", type=int, default=None,
+                   help="in-network packet ceiling (backpressure)")
+    p.add_argument("--max-wait", type=int, default=None,
+                   help="shed packets queued longer than this")
+    p.add_argument("--fault-mode", default="none", choices=["none", "static", "dynamic"])
+    p.add_argument("--fault-p", type=float, default=0.01)
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--adv-router", default="dim-order", choices=available_routers(),
+                   help="router the adversarial replay is mined against")
+    p.add_argument("--adv-l", type=int, default=4)
+    p.set_defaults(func=_cmd_traffic)
 
     return parser
 

@@ -40,6 +40,7 @@ __all__ = [
     "SIM_PATHS",
     "SIM_SCHED",
     "SIM_REROUTE",
+    "SIM_TRAFFIC",
 ]
 
 # ---------------------------------------------------------------------------
@@ -75,6 +76,10 @@ SIM_ARRIVALS = 1
 SIM_PATHS = 2
 SIM_SCHED = 3
 SIM_REROUTE = 4
+#: traffic-process arrival streams (see :mod:`repro.workloads.traffic`);
+#: keyed per *step*, not per packet, so arrival generation is independent
+#: of batch/chunk boundaries.
+SIM_TRAFFIC = 5
 
 # SeedSequence hash constants (numpy's bit_generator.pyx, after the C++
 # randutils lineage).  Note numpy's ``mix`` *subtracts* the two products —
@@ -90,7 +95,7 @@ _XSHIFT = 16
 _POOL = 4
 
 
-def resolve_entropy(seed: int | None) -> int:
+def resolve_entropy(seed: int | str | None) -> int:
     """Resolve a user-facing seed to the concrete root entropy integer.
 
     ``None`` draws fresh OS entropy *once*; sharded execution resolves the
@@ -98,14 +103,29 @@ def resolve_entropy(seed: int | None) -> int:
     unseeded runs are internally consistent across shard counts.  The
     resolved value is stored on :class:`~repro.routing.base.RoutingResult`
     so any run can be replayed exactly.
+
+    Decimal strings are accepted as well — the on-disk convention from
+    ``repro.io``, which stores the (up to 128-bit) resolved entropy as a
+    decimal string because HDF5/int64 cannot hold it.  ``"42"`` and ``42``
+    resolve identically, so replaying a saved result's seed field is a
+    straight round-trip.
     """
     if seed is None:
         return int(np.random.SeedSequence().entropy)
+    if isinstance(seed, str):
+        text = seed.strip()
+        if not text.isdigit():
+            raise ValueError(
+                f"string seeds must be non-negative decimal integers, got {seed!r}"
+            )
+        return int(text)
     if isinstance(seed, (int, np.integer)):
         if seed < 0:
             raise ValueError("seed must be non-negative")
         return int(seed)
-    raise TypeError(f"seed must be an int or None, got {type(seed).__name__}")
+    raise TypeError(
+        f"seed must be an int, a decimal string, or None, got {type(seed).__name__}"
+    )
 
 
 def packet_seed_sequence(

@@ -27,6 +27,7 @@ Quick use::
 See ``docs/PERFORMANCE.md`` for the JSONL schema.
 """
 
+from repro.obs.histogram import Histogram
 from repro.obs.profiler import NULL_PROFILER, Profiler, StageStats
 
-__all__ = ["Profiler", "StageStats", "NULL_PROFILER"]
+__all__ = ["Histogram", "Profiler", "StageStats", "NULL_PROFILER"]

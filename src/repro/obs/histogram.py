@@ -1,0 +1,176 @@
+"""Fixed-bin streaming histogram with *exact* shard merges.
+
+The SLO layer (``repro.simulation.slo``) needs latency percentiles
+(p50/p99/p999) over tens of millions of samples, computed incrementally
+and merged across worker shards without approximation.  Sketches
+(t-digest, DDSketch) merge approximately; a fixed-bin histogram merges
+*exactly* — bin counts add — at the price of a bounded quantisation
+error of at most one ``bin_width``.
+
+The intended use is integer step latencies with ``bin_width=1``: every
+sample lands on a bin edge, quantisation error is zero, and every
+percentile equals ``numpy.percentile(raw, q, method="inverted_cdf")``
+on the raw sample array (the nearest-rank definition).  Tests pin both
+the exact integer case and the ≤ one-bin bound for fractional samples.
+
+Bins are kept sparse (``dict`` keyed by bin index), so memory is
+O(distinct latencies), not O(max latency).
+
+Examples
+--------
+>>> h = Histogram()
+>>> for v in [1, 2, 2, 3, 100]:
+...     h.add(v)
+>>> h.count, h.min, h.max
+(5, 1.0, 100.0)
+>>> h.percentile(50)
+2.0
+>>> other = Histogram(); other.add(7)
+>>> h.merge(other); h.count
+6
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = ["Histogram"]
+
+
+@dataclass
+class Histogram:
+    """Sparse fixed-bin histogram; counts merge exactly across shards.
+
+    A value ``v`` lands in bin ``floor(v / bin_width)`` and is reported
+    back as that bin's lower edge — exact whenever samples are multiples
+    of ``bin_width`` (integer latencies with the default width), and at
+    most one bin low otherwise.
+    """
+
+    bin_width: float = 1.0
+    bins: dict[int, int] = field(default_factory=dict)
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        if not (self.bin_width > 0):
+            raise ValueError("bin_width must be positive")
+
+    # ------------------------------------------------------------------
+    # Recording + merging
+    # ------------------------------------------------------------------
+    def add(self, value: float, count: int = 1) -> None:
+        """Record ``count`` samples of ``value``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError("histogram samples must be finite")
+        idx = math.floor(value / self.bin_width)
+        self.bins[idx] = self.bins.get(idx, 0) + int(count)
+        self.count += int(count)
+        self.total += value * count
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def add_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in; bin counts add, so the merge is
+        exact — shard-order and shard-count invariant."""
+        self.merge_dict(other.to_dict())
+
+    def merge_dict(self, snapshot: Mapping) -> None:
+        """Fold a :meth:`to_dict` snapshot in (the picklable wire format
+        between worker processes and the parent)."""
+        if float(snapshot["bin_width"]) != float(self.bin_width):
+            raise ValueError(
+                "cannot merge histograms with different bin widths: "
+                f"{self.bin_width} vs {snapshot['bin_width']}"
+            )
+        for idx, c in snapshot["bins"].items():
+            idx = int(idx)  # JSON round-trips keys as strings
+            self.bins[idx] = self.bins.get(idx, 0) + int(c)
+        self.count += int(snapshot["count"])
+        self.total += float(snapshot["total"])
+        self.min = min(self.min, float(snapshot["min"]))
+        self.max = max(self.max, float(snapshot["max"]))
+
+    # ------------------------------------------------------------------
+    # Quantiles
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``numpy``'s ``method="inverted_cdf"``).
+
+        Returns the lower edge of the bin holding the ``ceil(q/100 * n)``-th
+        smallest sample (``q=0`` returns the minimum bin edge).  ``nan`` on
+        an empty histogram — there is no sample to report.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return float("nan")
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        acc = 0
+        for idx in sorted(self.bins):
+            acc += self.bins[idx]
+            if acc >= rank:
+                return idx * self.bin_width
+        # Unreachable when counts are consistent; guard for safety.
+        return max(self.bins) * self.bin_width  # pragma: no cover
+
+    def percentiles(self, qs: Iterable[float]) -> list[float]:
+        """Several percentiles in one sorted pass over the bins."""
+        qs = list(qs)
+        if self.count == 0:
+            return [float("nan")] * len(qs)
+        order = sorted(range(len(qs)), key=lambda i: qs[i])
+        out = [0.0] * len(qs)
+        ranks = []
+        for i in order:
+            q = qs[i]
+            if not 0 <= q <= 100:
+                raise ValueError("percentile must be in [0, 100]")
+            ranks.append(max(1, math.ceil(q / 100.0 * self.count)))
+        acc = 0
+        pos = 0
+        for idx in sorted(self.bins):
+            acc += self.bins[idx]
+            while pos < len(order) and acc >= ranks[pos]:
+                out[order[pos]] = idx * self.bin_width
+                pos += 1
+            if pos == len(order):
+                break
+        return out
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain picklable/JSON-able snapshot (merged by :meth:`merge_dict`)."""
+        return {
+            "bin_width": self.bin_width,
+            "bins": dict(self.bins),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, snapshot: Mapping) -> "Histogram":
+        h = cls(bin_width=float(snapshot["bin_width"]))
+        h.merge_dict(snapshot)
+        return h

@@ -35,6 +35,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import IO, Iterator, Mapping
 
+from repro.obs.histogram import Histogram
+
 __all__ = ["Profiler", "StageStats", "NULL_PROFILER"]
 
 
@@ -119,6 +121,9 @@ class Profiler:
     #: streaming value summaries (:meth:`observe`) — e.g. per-request
     #: latency ``service.request_s``, sampled queue depth
     observations: dict[str, ObservationStats] = field(default_factory=dict)
+    #: fixed-bin distributions (:meth:`record_hist`) — e.g. per-packet
+    #: step latency; bin counts add, so shard merges are exact
+    histograms: dict[str, Histogram] = field(default_factory=dict)
     _seq: int = field(default=0, repr=False)
     _sink: IO[str] | None = field(default=None, repr=False)
     _owns_sink: bool = field(default=False, repr=False)
@@ -165,6 +170,22 @@ class Profiler:
             self.observations.setdefault(name, ObservationStats()).add(float(value))
             self._emit({"event": "observation", "name": name, "value": float(value)})
 
+    def record_hist(
+        self, name: str, value: float, count: int = 1, bin_width: float = 1.0
+    ) -> None:
+        """Record ``count`` samples of ``value`` into the named histogram.
+
+        Like :meth:`observe` but keeps the full fixed-bin distribution
+        (:class:`~repro.obs.histogram.Histogram`), so percentiles survive
+        worker-shard merges exactly.  ``bin_width`` only matters on the
+        call that creates the histogram; later calls must agree.
+        """
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram(bin_width=bin_width)
+            hist.add(value, count)
+
     def merge(self, other: "Profiler") -> None:
         """Fold another profiler's stages and counters into this one."""
         self.merge_snapshot(other.snapshot())
@@ -180,6 +201,7 @@ class Profiler:
         counters = snapshot.get("counters", {})
         annotations = snapshot.get("annotations", {})
         observations = snapshot.get("observations", {})
+        histograms = snapshot.get("histograms", {})
         with self._lock:
             for name, st in stages.items():
                 mine = self.stages.setdefault(name, StageStats())
@@ -194,6 +216,13 @@ class Profiler:
                 mine.total += float(ob["total"])
                 mine.min = min(mine.min, float(ob["min"]))
                 mine.max = max(mine.max, float(ob["max"]))
+            for name, hd in histograms.items():
+                mine_h = self.histograms.get(name)
+                if mine_h is None:
+                    mine_h = self.histograms[name] = Histogram(
+                        bin_width=float(hd["bin_width"])
+                    )
+                mine_h.merge_dict(hd)
 
     def reset(self) -> None:
         with self._lock:
@@ -201,6 +230,7 @@ class Profiler:
             self.counters.clear()
             self.annotations.clear()
             self.observations.clear()
+            self.histograms.clear()
             self._seq = 0
 
     # ------------------------------------------------------------------
@@ -219,6 +249,9 @@ class Profiler:
                 "annotations": dict(self.annotations),
                 "observations": {
                     k: v.to_dict() for k, v in self.observations.items()
+                },
+                "histograms": {
+                    k: v.to_dict() for k, v in self.histograms.items()
                 },
             }
 
@@ -253,6 +286,12 @@ class Profiler:
             lines.append("observations: " + ", ".join(
                 f"{k}: n={o.count} mean={o.mean:.4g} max={o.max:.4g}"
                 for k, o in sorted(self.observations.items())
+            ))
+        if self.histograms:
+            lines.append("histograms: " + ", ".join(
+                f"{k}: n={h.count} p50={h.percentile(50):.4g} "
+                f"p99={h.percentile(99):.4g}"
+                for k, h in sorted(self.histograms.items())
             ))
         if self.annotations:
             lines.append("annotations: " + ", ".join(

@@ -217,6 +217,11 @@ def select_online_paths(task: OnlinePathTask) -> OnlinePathResult:
         seq = mesh.edge_ids(path[:-1], path[1:])
         seqs.append(seq)
         nedges.append(int(seq.size))
+        if task.profile:
+            # per-shard hop-count distribution; fixed-bin histograms
+            # merge exactly in the parent, so the fleet-level view is
+            # shard-count invariant (tests/test_traffic_properties.py)
+            router.profiler.record_hist("online.path_hops", int(seq.size))
     stats_after = cache.stats()
     counters = {a: int(getattr(router, a)) - int(v) for a, v in before.items()}
     return OnlinePathResult(

@@ -11,6 +11,8 @@ experiments compare against ``C + D``.
 
 from repro.simulation.scheduler import SimulationResult, simulate
 from repro.simulation.online import OnlineStats, latency_vs_load, simulate_online
+from repro.simulation.admission import AdmissionParams, AdmissionState
+from repro.simulation.slo import SLOParams, SLOStats, capacity_curve
 
 __all__ = [
     "simulate",
@@ -18,4 +20,9 @@ __all__ = [
     "simulate_online",
     "latency_vs_load",
     "OnlineStats",
+    "AdmissionParams",
+    "AdmissionState",
+    "SLOParams",
+    "SLOStats",
+    "capacity_curve",
 ]

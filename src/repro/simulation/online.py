@@ -73,6 +73,14 @@ class OnlineStats:
     blocked_steps: int = 0
     resamples: int = 0
     detours: int = 0
+    #: admission-control accounting (zero with ``admission=None``):
+    #: packets shed by the ``max_wait`` rule / packet-steps spent in the
+    #: ingress queue / peak of in-network + queued packets over the run
+    admission_dropped: int = 0
+    admission_delayed_steps: int = 0
+    peak_backlog: int = 0
+    #: :class:`~repro.simulation.slo.SLOStats` when ``slo=`` was passed
+    slo: object | None = None
 
     @property
     def mean_slowdown(self) -> float:
@@ -109,9 +117,9 @@ def simulate_online(
     router: Router,
     mesh: Mesh,
     *,
-    rate: float,
+    rate: float | None = None,
     steps: int,
-    seed: int | None = 0,
+    seed: int | str | None = 0,
     dest_fn: Callable[[Mesh, int, np.random.Generator], int] = _uniform_dest,
     drain_steps: int | None = None,
     policy: str = "fifo",
@@ -120,13 +128,37 @@ def simulate_online(
     max_retries: int = 3,
     backoff_cap: int = 5,
     workers: int | None = 1,
+    traffic=None,
+    slo=None,
+    admission=None,
 ) -> OnlineStats:
-    """Inject Bernoulli(rate) packets per node per step and schedule them.
+    """Inject packets over time and schedule them synchronously.
 
     Parameters
     ----------
     rate:
-        Per-node per-step injection probability.
+        Per-node per-step Bernoulli injection probability (the classic
+        synthetic load).  Mutually exclusive with ``traffic``.
+    traffic:
+        A :class:`~repro.workloads.traffic.TrafficProcess`: arrivals for
+        birth step ``b`` come from ``traffic.arrivals_at(mesh, b - 1,
+        entropy)`` — seeded, chunk-invariant production traffic shapes
+        (Poisson, bursty, diurnal, flash crowds, hotspots, adversarial
+        replay).  ``dest_fn`` is ignored; the process draws both ends.
+    slo:
+        Optional :class:`~repro.simulation.slo.SLOParams`; the result's
+        ``slo`` field then carries :class:`~repro.simulation.slo.SLOStats`
+        — exact-merge latency percentile histograms, per-step backlog
+        distribution and delivery-SLO attainment.
+    admission:
+        Optional :class:`~repro.simulation.admission.AdmissionParams`:
+        token-bucket admission + queue-depth backpressure between birth
+        and network entry.  Paths are selected *before* admission from
+        per-packet streams, so ``admission=None`` is byte-identical to a
+        run without the feature, and an enabled policy changes only
+        *when* packets enter, never which path they take.  Latency keeps
+        counting from birth, so ingress queueing is visible in every
+        percentile.
     steps:
         Injection phase length; afterwards the network drains for
         ``drain_steps`` (default ``8 * steps + 200``) or until empty.
@@ -193,6 +225,8 @@ def simulate_online(
         raise ValueError("online simulation requires an oblivious router")
     if policy not in ("fifo", "random"):
         raise ValueError(f"unknown policy {policy!r}")
+    if (rate is None) == (traffic is None):
+        raise ValueError("pass exactly one of rate= or traffic=")
     from contextlib import nullcontext
 
     def stage(name):
@@ -225,18 +259,41 @@ def simulate_online(
     # injected packet, in injection order.
     # ------------------------------------------------------------------
     with stage("online.arrivals"):
-        src_l: list[int] = []
-        dst_l: list[int] = []
-        born_l: list[int] = []
-        for birth in range(1, steps + 1):
-            arrivals = np.nonzero(arrival_rng.random(mesh.n) < rate)[0]
-            for src in arrivals.tolist():
-                src_l.append(int(src))
-                dst_l.append(dest_fn(mesh, int(src), arrival_rng))
-                born_l.append(birth)
-    pkt_src = np.asarray(src_l, dtype=np.int64)
-    pkt_dst = np.asarray(dst_l, dtype=np.int64)
-    pkt_born = np.asarray(born_l, dtype=np.int64)
+        if traffic is not None:
+            # Trace-driven arrivals: birth step b replays traffic step
+            # b - 1, so the injected stream is exactly rows [0, steps) of
+            # ``traffic.stream(mesh, steps, seed)`` — chunk-invariant and
+            # regenerable in isolation (the golden-hash contract).
+            srcs_l: list[np.ndarray] = []
+            dsts_l: list[np.ndarray] = []
+            borns_l: list[np.ndarray] = []
+            for birth in range(1, steps + 1):
+                t_src, t_dst = traffic.arrivals_at(mesh, birth - 1, entropy)
+                srcs_l.append(t_src)
+                dsts_l.append(t_dst)
+                borns_l.append(np.full(t_src.size, birth, dtype=np.int64))
+            pkt_src = (
+                np.concatenate(srcs_l) if srcs_l else np.empty(0, np.int64)
+            )
+            pkt_dst = (
+                np.concatenate(dsts_l) if dsts_l else np.empty(0, np.int64)
+            )
+            pkt_born = (
+                np.concatenate(borns_l) if borns_l else np.empty(0, np.int64)
+            )
+        else:
+            src_l: list[int] = []
+            dst_l: list[int] = []
+            born_l: list[int] = []
+            for birth in range(1, steps + 1):
+                arrivals = np.nonzero(arrival_rng.random(mesh.n) < rate)[0]
+                for src in arrivals.tolist():
+                    src_l.append(int(src))
+                    dst_l.append(dest_fn(mesh, int(src), arrival_rng))
+                    born_l.append(birth)
+            pkt_src = np.asarray(src_l, dtype=np.int64)
+            pkt_dst = np.asarray(dst_l, dtype=np.int64)
+            pkt_born = np.asarray(born_l, dtype=np.int64)
     total_packets = pkt_src.size
 
     # ------------------------------------------------------------------
@@ -333,7 +390,19 @@ def simulate_online(
     done_latency: list[int] = []
     done_distance: list[int] = []
 
+    adm = None
+    if admission is not None:
+        from repro.simulation.admission import AdmissionState
+
+        adm = AdmissionState(admission)
+    slo_stats = None
+    if slo is not None:
+        from repro.simulation.slo import SLOStats
+
+        slo_stats = SLOStats(params=slo)
+
     max_queue = 0
+    peak_backlog = 0
     reroutes = blocked_steps = 0
     if drain_steps is None:
         drain_steps = 8 * steps + 200
@@ -350,12 +419,34 @@ def simulate_online(
         if injecting and next_birth < num_ok:
             hi = int(np.searchsorted(born_a, step, side="right"))
             if hi > next_birth:
-                active = np.concatenate(
-                    (active, np.arange(next_birth, hi, dtype=np.int64))
-                )
+                fresh = np.arange(next_birth, hi, dtype=np.int64)
                 next_birth = hi
+                if adm is None:
+                    active = np.concatenate((active, fresh))
+                else:
+                    adm.push(fresh)
+        if adm is not None:
+            admitted, shed = adm.step_admit(step, int(active.size), born_a)
+            if shed:
+                # shed before entering the network: injected but never
+                # scheduled — the admission analogue of a fault drop
+                for i in shed:
+                    pos[i] = nedges_a[i]  # mark consumed, never active
+            if admitted:
+                active = np.concatenate(
+                    (active, np.asarray(admitted, dtype=np.int64))
+                )
+        # backlog = packets *inside* the network: the pressure backpressure
+        # caps.  Ingress-queue depth is reported separately (``admission.
+        # delayed_steps`` / ``admission_delayed_steps``) — at fixed
+        # arrivals, total unserved work is conserved, so folding the
+        # ingress queue in here would make the cap invisible.
+        backlog = int(active.size)
+        peak_backlog = max(peak_backlog, backlog)
+        if slo_stats is not None:
+            slo_stats.record_backlog(backlog)
         if active.size == 0:
-            if not injecting:
+            if not injecting and (adm is None or len(adm) == 0):
                 break
             continue
         with stage("online.advance"):
@@ -457,10 +548,26 @@ def simulate_online(
         resamples, detours = wrapper.resamples, wrapper.detours
     else:
         resamples = detours = 0
+    admission_dropped = adm.dropped if adm is not None else 0
+    admission_delayed = adm.delayed_steps if adm is not None else 0
     if profiler is not None:
         profiler.count("online.injected", injected)
         profiler.count("online.delivered", len(done_latency))
+        if adm is not None:
+            for name, value in adm.counters().items():
+                profiler.count(name, value)
     lat = np.asarray(done_latency, dtype=np.int64)
+    if profiler is not None and lat.size:
+        # exact-merge latency distribution (bin width 1 step): the same
+        # histogram SLOStats reports, exposed as streaming telemetry
+        for v, c in zip(*np.unique(lat, return_counts=True)):
+            profiler.record_hist("online.latency", int(v), int(c))
+    if slo_stats is not None:
+        slo_stats.injected = injected
+        slo_stats.dropped = dropped_n
+        slo_stats.admission_dropped = admission_dropped
+        for latency in done_latency:
+            slo_stats.record_delivery(latency)
     return OnlineStats(
         steps=step,
         injected=injected,
@@ -478,6 +585,10 @@ def simulate_online(
         blocked_steps=blocked_steps,
         resamples=resamples,
         detours=detours,
+        admission_dropped=admission_dropped,
+        admission_delayed_steps=admission_delayed,
+        peak_backlog=peak_backlog,
+        slo=slo_stats,
     )
 
 

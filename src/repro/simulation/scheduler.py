@@ -70,6 +70,9 @@ class SimulationResult:
     retries_total: int = 0
     rerouted: int = 0
     dropped: int = 0
+    #: admission-control accounting (zero with ``admission=None``)
+    admission_dropped: int = 0
+    admission_delayed_steps: int = 0
 
     @property
     def cd_bound(self) -> int:
@@ -111,6 +114,7 @@ def simulate(
     max_retries: int = 3,
     backoff_cap: int = 5,
     profiler=None,
+    admission=None,
 ) -> SimulationResult:
     """Schedule ``paths`` synchronously and measure the makespan.
 
@@ -123,6 +127,14 @@ def simulate(
     ``2 ** backoff_cap`` steps), reroute after ``max_retries`` blocked
     attempts, drop when unreachable, and hitting ``max_steps`` ends the
     run with the stragglers marked undelivered rather than raising.
+
+    With ``admission=`` an :class:`~repro.simulation.admission.
+    AdmissionParams`, packets enter the network from a FIFO ingress
+    queue under token-bucket + backpressure control instead of all at
+    step 0; ``delivery_times`` keep counting from step 0, so queueing
+    shows up in the makespan, and stragglers at ``max_steps`` are marked
+    undelivered rather than raising.  ``admission=None`` runs the
+    byte-identical pre-admission code path.
     """
     pathset = PathSet.from_paths(
         paths.paths if isinstance(paths, RoutingResult) else paths
@@ -148,10 +160,26 @@ def simulate(
         if faulty:
             # waiting/rerouting legitimately needs more room than C + D
             max_steps = 8 * max_steps + 8 * mesh.diameter
+        if admission is not None:
+            # queueing legitimately stretches the schedule: budget the
+            # worst-case release time on top of the scheduling bound
+            if admission.rate_limit is not None:
+                max_steps += int(np.ceil(num / admission.rate_limit)) + 64
+            if admission.max_backlog is not None:
+                waves = int(np.ceil(num / admission.max_backlog))
+                max_steps += waves * (cong + dil + 1)
 
     pos = np.zeros(num, dtype=np.int64)
     delivery = np.zeros(num, dtype=np.int64)
     active = lengths > 0
+    adm = None
+    released = None
+    if admission is not None:
+        from repro.simulation.admission import AdmissionState
+
+        adm = AdmissionState(admission)
+        adm.push(np.nonzero(active)[0])  # FIFO by packet index
+        released = np.zeros(num, dtype=bool)
     step = 0
     packet_ids = np.arange(num, dtype=np.int64)
     delays = (
@@ -176,14 +204,24 @@ def simulate(
         endpoints = mesh.edge_endpoints
     while np.any(active):
         if step >= max_steps:
-            if faulty:
+            if faulty or adm is not None:
                 # stragglers are undelivered, not a scheduling bug
                 delivery[active] = -1
                 break
             raise RuntimeError(
                 f"schedule exceeded {max_steps} steps (C={cong}, D={dil})"
             )
+        if adm is not None:
+            admitted, shed = adm.step_admit(step, int((active & released).sum()))
+            if admitted:
+                released[np.asarray(admitted, dtype=np.int64)] = True
+            if shed:
+                shed_a = np.asarray(shed, dtype=np.int64)
+                active[shed_a] = False
+                delivery[shed_a] = -1
         eligible = active & (delays <= step)
+        if adm is not None:
+            eligible &= released
         if faulty:
             eligible &= next_try <= step
         if not np.any(eligible):
@@ -253,6 +291,9 @@ def simulate(
         delivery[arrived] = step
         active[arrived] = False
     undelivered = int((delivery < 0).sum())
+    if adm is not None and profiler is not None:
+        for name, value in adm.counters().items():
+            profiler.count(name, value)
     return SimulationResult(
         makespan=step,
         delivery_times=delivery,
@@ -264,4 +305,6 @@ def simulate(
         retries_total=retries_total,
         rerouted=rerouted,
         dropped=dropped_n,
+        admission_dropped=adm.dropped if adm is not None else 0,
+        admission_delayed_steps=adm.delayed_steps if adm is not None else 0,
     )

@@ -1,0 +1,199 @@
+"""Service-level telemetry for the online simulator.
+
+ROADMAP item 4 asks the simulator to *report like a service*: latency
+percentiles (p50/p99/p999), delivery-SLO attainment under fault regimes,
+and offered-load vs. makespan/backlog capacity curves.  This module is
+that reporting layer.
+
+Percentiles come from the exact-merge fixed-bin
+:class:`~repro.obs.histogram.Histogram` over the integer step latencies
+(``bin_width=1`` makes every percentile equal nearest-rank
+``numpy.percentile(..., method="inverted_cdf")`` on the raw array, and
+bin counts add, so per-shard histograms fold without approximation).
+Attainment is measured against the *injected* population — a packet
+dropped by faults or shed by admission control missed its SLO; hiding it
+from the denominator would be SLO theater.
+
+:func:`capacity_curve` sweeps offered load and emits one row per point:
+the classic saturation plot (offered load vs. delivered throughput,
+latency percentiles, backlog) that locates a router's capacity knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.histogram import Histogram
+
+__all__ = ["SLOParams", "SLOStats", "capacity_curve"]
+
+#: the headline percentiles every summary reports
+_HEADLINE = (50.0, 99.0, 99.9)
+
+
+@dataclass(frozen=True)
+class SLOParams:
+    """What to measure: the deadline and the percentile ladder.
+
+    ``deadline`` is an absolute latency budget in scheduler steps; a
+    delivered packet *meets* the SLO iff ``latency <= deadline``.
+    ``None`` keeps the latency histogram but scores attainment on
+    delivery alone (every delivered packet counts as met).
+    """
+
+    deadline: int | None = None
+    percentiles: tuple[float, ...] = _HEADLINE
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and self.deadline < 1:
+            raise ValueError("deadline must be >= 1 step (or None)")
+        for q in self.percentiles:
+            if not 0 <= q <= 100:
+                raise ValueError("percentiles must be in [0, 100]")
+
+
+@dataclass
+class SLOStats:
+    """Streaming SLO telemetry of one online run.
+
+    ``latency_hist`` holds every delivered packet's latency (bin width
+    1 step — exact percentiles); ``backlog_hist`` samples the
+    *in-network* packet count once per scheduler step, so its
+    percentiles describe the sustained pressure admission backpressure
+    caps (ingress-queue depth is reported separately via the
+    ``admission.*`` counters — at fixed arrivals total unserved work is
+    conserved, so folding the queue in would hide the cap).
+    """
+
+    params: SLOParams = field(default_factory=SLOParams)
+    latency_hist: Histogram = field(default_factory=Histogram)
+    backlog_hist: Histogram = field(default_factory=Histogram)
+    injected: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    admission_dropped: int = 0
+    met_deadline: int = 0
+
+    def record_delivery(self, latency: int) -> None:
+        self.latency_hist.add(int(latency))
+        self.delivered += 1
+        if self.params.deadline is None or latency <= self.params.deadline:
+            self.met_deadline += 1
+
+    def record_backlog(self, depth: int) -> None:
+        self.backlog_hist.add(int(depth))
+
+    # ------------------------------------------------------------------
+    # Derived service metrics
+    # ------------------------------------------------------------------
+    @property
+    def attainment(self) -> float:
+        """Fraction of *injected* packets that met the SLO (1.0 if none)."""
+        return self.met_deadline / self.injected if self.injected else 1.0
+
+    @property
+    def p50(self) -> float:
+        return self.latency_hist.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.latency_hist.percentile(99)
+
+    @property
+    def p999(self) -> float:
+        return self.latency_hist.percentile(99.9)
+
+    @property
+    def backlog_p99(self) -> float:
+        return self.backlog_hist.percentile(99)
+
+    def percentile_row(self) -> dict[str, float]:
+        return {
+            f"p{str(q).rstrip('0').rstrip('.').replace('.', '')}": (
+                self.latency_hist.percentile(q)
+            )
+            for q in self.params.percentiles
+        }
+
+    def to_row(self) -> dict:
+        """One flat dict — the service dashboard row."""
+        row = {
+            "injected": self.injected,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "admission_dropped": self.admission_dropped,
+            "attainment": self.attainment,
+            "backlog_p99": self.backlog_p99,
+        }
+        row.update(self.percentile_row())
+        return row
+
+    def merge(self, other: "SLOStats") -> None:
+        """Exact fold of another shard's telemetry (counts + histograms)."""
+        self.latency_hist.merge(other.latency_hist)
+        self.backlog_hist.merge(other.backlog_hist)
+        self.injected += other.injected
+        self.delivered += other.delivered
+        self.dropped += other.dropped
+        self.admission_dropped += other.admission_dropped
+        self.met_deadline += other.met_deadline
+
+
+def capacity_curve(
+    router,
+    mesh,
+    rates,
+    *,
+    steps: int = 120,
+    seed: int | str | None = 0,
+    traffic_factory=None,
+    slo: SLOParams | None = None,
+    admission=None,
+    faults=None,
+    workers: int | None = 1,
+) -> list[dict]:
+    """Offered load vs. makespan/backlog: one row per offered rate.
+
+    ``traffic_factory(rate)`` builds the arrival process for each point
+    (default: :class:`~repro.workloads.traffic.PoissonTraffic`), so the
+    same sweep runs under any traffic shape.  Each row reports the
+    offered per-node load, realised injections/deliveries, the makespan
+    (total steps until drained), the latency percentile ladder, backlog
+    pressure, and SLO attainment — the saturation curve that locates the
+    capacity knee.
+    """
+    from repro.simulation.online import simulate_online
+    from repro.workloads.traffic import PoissonTraffic
+
+    if traffic_factory is None:
+        traffic_factory = PoissonTraffic
+    slo = slo or SLOParams()
+    rows = []
+    for rate in rates:
+        stats = simulate_online(
+            router,
+            mesh,
+            traffic=traffic_factory(rate),
+            steps=steps,
+            seed=seed,
+            slo=slo,
+            admission=admission,
+            faults=faults,
+            workers=workers,
+        )
+        s = stats.slo
+        row = {
+            "router": router.name,
+            "offered_rate": float(rate),
+            "injected": stats.injected,
+            "delivered": stats.delivered,
+            "makespan": stats.steps,
+            "throughput": stats.throughput,
+            "peak_backlog": stats.peak_backlog,
+            "mean_latency": stats.mean_latency,
+        }
+        row.update(s.to_row() if s is not None else {})
+        rows.append(row)
+    return rows

@@ -480,17 +480,20 @@ def _has_online(ctx: VerifyContext) -> bool:
 
 @register(
     "online.conservation",
-    "delivered + dropped <= injected; per-packet latency >= distance",
+    "delivered + dropped + admission drops <= injected; latency >= distance",
     _has_online,
 )
 def _online_conservation(ctx: VerifyContext) -> list[str]:
     st = ctx.online
     out = []
-    if st.delivered + st.dropped > st.injected:
+    adm_dropped = getattr(st, "admission_dropped", 0)
+    if st.delivered + st.dropped + adm_dropped > st.injected:
         out.append(
-            f"delivered {st.delivered} + dropped {st.dropped} exceeds "
-            f"injected {st.injected}"
+            f"delivered {st.delivered} + dropped {st.dropped} + admission "
+            f"drops {adm_dropped} exceeds injected {st.injected}"
         )
+    if adm_dropped < 0:
+        out.append(f"negative admission drop count {adm_dropped}")
     if st.latencies.size != st.delivered:
         out.append("latencies array size does not match delivered count")
     if st.distances.size == st.latencies.size and np.any(
@@ -499,11 +502,31 @@ def _online_conservation(ctx: VerifyContext) -> list[str]:
         out.append("some delivered packet beat its shortest-path distance")
     if not 0.0 <= st.delivery_ratio <= 1.0:
         out.append(f"delivery ratio {st.delivery_ratio} outside [0, 1]")
+    slo = getattr(st, "slo", None)
+    if slo is not None:
+        # SLO telemetry must agree with the run's own ledger: the latency
+        # histogram holds exactly the delivered packets, attainment is a
+        # fraction of injections, and no packet met a deadline it missed.
+        if slo.latency_hist.count != st.delivered:
+            out.append(
+                f"SLO latency histogram holds {slo.latency_hist.count} "
+                f"samples but {st.delivered} packets were delivered"
+            )
+        if not 0.0 <= slo.attainment <= 1.0:
+            out.append(f"SLO attainment {slo.attainment} outside [0, 1]")
+        if slo.met_deadline > slo.delivered:
+            out.append(
+                f"SLO met_deadline {slo.met_deadline} exceeds delivered "
+                f"{slo.delivered}"
+            )
+        if slo.admission_dropped != adm_dropped:
+            out.append("SLO admission-drop count disagrees with the run's")
     params = ctx.online_params or {}
     total = params.get("total_steps")
     if total is not None and st.steps < total:
-        # the run drained early: everything injected must be accounted for
-        if st.delivered + st.dropped != st.injected:
+        # the run drained early: everything injected must be accounted
+        # for (admission-shed packets count as accounted)
+        if st.delivered + st.dropped + adm_dropped != st.injected:
             out.append("drained run left packets unaccounted for")
     return out
 

@@ -1,8 +1,10 @@
 """Routing-problem generators.
 
 Standard mesh traffic patterns (:mod:`permutations`), random/parametric
-traffic (:mod:`generators`), and the adversarial constructions of
-Section 5.1 (:mod:`adversarial`).
+traffic (:mod:`generators`), the adversarial constructions of
+Section 5.1 (:mod:`adversarial`), and trace-driven arrival processes
+for the online simulator (:mod:`traffic` — see docs/WORKLOADS.md for
+the full taxonomy).
 """
 
 from repro.workloads.permutations import (
@@ -24,6 +26,20 @@ from repro.workloads.adversarial import (
     block_exchange,
     scheme_separating_pairs,
 )
+from repro.workloads.traffic import (
+    TRAFFIC,
+    DiurnalTraffic,
+    FlashCrowdTraffic,
+    HotspotTraffic,
+    MMPPTraffic,
+    PoissonTraffic,
+    ReplayTraffic,
+    ShiftingHotspotTraffic,
+    TrafficProcess,
+    adversarial_replay,
+    make_traffic,
+    stream_hash,
+)
 
 __all__ = [
     "transpose",
@@ -39,6 +55,18 @@ __all__ = [
     "block_exchange",
     "adversarial_for_router",
     "scheme_separating_pairs",
+    "TrafficProcess",
+    "PoissonTraffic",
+    "MMPPTraffic",
+    "DiurnalTraffic",
+    "FlashCrowdTraffic",
+    "HotspotTraffic",
+    "ShiftingHotspotTraffic",
+    "ReplayTraffic",
+    "adversarial_replay",
+    "make_traffic",
+    "stream_hash",
+    "TRAFFIC",
 ]
 
 WORKLOADS = {

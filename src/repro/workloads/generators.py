@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.randomness import resolve_entropy
 from repro.mesh.mesh import Mesh
 from repro.routing.base import RoutingProblem
 
@@ -16,7 +17,19 @@ __all__ = [
 ]
 
 
-def r_relation(mesh: Mesh, r: int, seed: int | None = None) -> RoutingProblem:
+def _rng(seed: int | str | None) -> np.random.Generator:
+    """Seeded generator accepting the decimal-string entropy convention.
+
+    ``repro.io`` persists resolved entropy as a decimal string (it can be
+    128 bits — past int64); routing every generator seed through
+    :func:`resolve_entropy` lets a saved seed replay a workload directly.
+    Integer seeds are untouched (``resolve_entropy(i) == i``), so existing
+    streams are byte-identical.
+    """
+    return np.random.default_rng(resolve_entropy(seed))
+
+
+def r_relation(mesh: Mesh, r: int, seed: int | str | None = None) -> RoutingProblem:
     """A random ``r``-relation: every node sends and receives ``r`` packets.
 
     The standard generalisation of permutation routing (r = 1 recovers a
@@ -27,7 +40,7 @@ def r_relation(mesh: Mesh, r: int, seed: int | None = None) -> RoutingProblem:
     """
     if r < 1:
         raise ValueError("r must be >= 1")
-    rng = np.random.default_rng(seed)
+    rng = _rng(seed)
     sources = []
     dests = []
     for _ in range(r):
@@ -45,10 +58,10 @@ def r_relation(mesh: Mesh, r: int, seed: int | None = None) -> RoutingProblem:
 
 
 def random_pairs(
-    mesh: Mesh, num_packets: int, seed: int | None = None
+    mesh: Mesh, num_packets: int, seed: int | str | None = None
 ) -> RoutingProblem:
     """``num_packets`` independent uniform (source, dest) pairs, s != t."""
-    rng = np.random.default_rng(seed)
+    rng = _rng(seed)
     if mesh.n < 2:
         raise ValueError("need at least two nodes")
     sources = rng.integers(mesh.n, size=num_packets).astype(np.int64)
@@ -75,14 +88,14 @@ def all_to_one(mesh: Mesh, target: int | None = None) -> RoutingProblem:
     return RoutingProblem(mesh, sources, dests, "all-to-one")
 
 
-def nearest_neighbor(mesh: Mesh, seed: int | None = None) -> RoutingProblem:
+def nearest_neighbor(mesh: Mesh, seed: int | str | None = None) -> RoutingProblem:
     """Every node sends to a uniformly random neighbor.
 
     Short-haul traffic: any constant-stretch router keeps paths local,
     while Valiant-style routers blow every packet across the mesh — the
     motivating scenario of the paper's introduction.
     """
-    rng = np.random.default_rng(seed)
+    rng = _rng(seed)
     sources = np.arange(mesh.n, dtype=np.int64)
     dests = np.asarray(
         [mesh.neighbors(int(v))[int(rng.integers(mesh.degree(int(v))))] for v in sources],
@@ -92,7 +105,7 @@ def nearest_neighbor(mesh: Mesh, seed: int | None = None) -> RoutingProblem:
 
 
 def local_traffic(
-    mesh: Mesh, radius: int, seed: int | None = None
+    mesh: Mesh, radius: int, seed: int | str | None = None
 ) -> RoutingProblem:
     """Every node sends to a random node within L1 distance ``radius``.
 
@@ -101,7 +114,7 @@ def local_traffic(
     """
     if radius < 1:
         raise ValueError("radius must be >= 1")
-    rng = np.random.default_rng(seed)
+    rng = _rng(seed)
     coords = mesh.flat_to_coords(np.arange(mesh.n, dtype=np.int64))
     sides = np.asarray(mesh.sides, dtype=np.int64)
     dests = np.empty(mesh.n, dtype=np.int64)

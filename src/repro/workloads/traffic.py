@@ -1,0 +1,546 @@
+"""Trace-driven arrival processes: production traffic shapes as streams.
+
+Everything before this module routes *one-shot matrices*: a fixed batch
+of (source, dest) pairs handed to ``Router.route``.  A service shaped
+like the ROADMAP north star sees none of that — it sees *arrival
+processes*: sustained Poisson background load, bursty on/off sources,
+diurnal rate curves, flash crowds toward a handful of destinations,
+hotspots that drift across the mesh, and (because the paper is about
+adversarial demand) replayed matrices mined to be bad for a specific
+router.
+
+Every process here is **seeded and chunk-invariant**: the arrivals of
+step ``s`` are a pure function of ``(entropy, s)``, drawn from the
+dedicated spawn-key branch ``packet_stream(entropy, s,
+prefix=(SIM_TRAFFIC, ...))``.  No draw ever depends on how the stream is
+batched or which steps were queried before, so
+
+* any window of the stream can be regenerated in isolation (replay a
+  single bad step from a multi-day trace),
+* sharded consumers observe byte-identical arrivals for every worker
+  count and chunk size, and
+* :func:`stream_hash` is a well-defined fingerprint of the whole trace
+  (the golden matrix in ``tests/golden/traffic_hashes.json`` pins it).
+
+The processes only require ``graph.n`` (plus ``distance`` for nothing —
+destinations are node ids), so they run unchanged on :class:`Mesh`,
+torus and :class:`~repro.mesh.graph.GeneralGraph` topologies.
+
+Examples
+--------
+>>> from repro.mesh.mesh import Mesh
+>>> from repro.workloads.traffic import make_traffic
+>>> proc = make_traffic("poisson", rate=0.5)
+>>> src, dst = proc.arrivals_at(Mesh((4, 4)), step=3, entropy=42)
+>>> bool((src != dst).all())
+True
+>>> src2, _ = proc.arrivals_at(Mesh((4, 4)), step=3, entropy=42)
+>>> bool((src == src2).all())
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.randomness import SIM_TRAFFIC, packet_stream, resolve_entropy
+
+__all__ = [
+    "TrafficProcess",
+    "PoissonTraffic",
+    "MMPPTraffic",
+    "DiurnalTraffic",
+    "FlashCrowdTraffic",
+    "HotspotTraffic",
+    "ShiftingHotspotTraffic",
+    "ReplayTraffic",
+    "adversarial_replay",
+    "make_traffic",
+    "stream_hash",
+    "TRAFFIC",
+]
+
+#: spawn-key sub-branches under ``SIM_TRAFFIC`` (second prefix word):
+#: per-step arrival draws, per-epoch hot-set draws, modulating-chain
+#: uniforms.  Keeping them distinct keeps e.g. a hot-set redraw from
+#: shifting every later arrival draw.
+_SUB_ARRIVALS = 0
+_SUB_HOTSET = 1
+_SUB_CHAIN = 2
+
+
+def _step_rng(entropy: int, step: int, sub: int = _SUB_ARRIVALS) -> np.random.Generator:
+    """The canonical generator of one traffic step (chunk-invariance)."""
+    return packet_stream(entropy, step, prefix=(SIM_TRAFFIC, sub))
+
+
+def _uniform_pairs(
+    rng: np.random.Generator, n: int, count: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """``count`` uniform (src, dst) pairs with ``src != dst``."""
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    src = rng.integers(n, size=count).astype(np.int64)
+    dst = rng.integers(n, size=count).astype(np.int64)
+    clash = src == dst
+    while np.any(clash):
+        dst[clash] = rng.integers(n, size=int(clash.sum()))
+        clash = src == dst
+    return src, dst
+
+
+def _retarget(
+    rng: np.random.Generator, src: np.ndarray, dst: np.ndarray, n: int
+) -> np.ndarray:
+    """Resample ``dst`` entries that collide with ``src`` (uniformly)."""
+    clash = src == dst
+    while np.any(clash):
+        dst[clash] = rng.integers(n, size=int(clash.sum()))
+        clash = src == dst
+    return dst
+
+
+class TrafficProcess:
+    """Base class: a seeded, chunk-invariant (step, source, dest) stream.
+
+    Subclasses implement :meth:`offered_load` (the expected number of
+    whole-graph arrivals at a step — the contract the rate-conservation
+    property tests check) and :meth:`arrivals_at` (the actual draw).
+    """
+
+    name: str = "traffic"
+
+    # -- the per-step contract ------------------------------------------
+    def offered_load(self, graph, step: int) -> float:
+        """Expected number of arrivals (whole graph) at ``step``."""
+        raise NotImplementedError
+
+    def arrivals_at(
+        self, graph, step: int, entropy: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(sources, dests) int64 arrays for ``step``; pure in (entropy, step)."""
+        raise NotImplementedError
+
+    # -- derived streaming views ----------------------------------------
+    def mean_load(self, graph, steps: int) -> float:
+        """Expected arrivals over ``steps`` steps (whole graph)."""
+        return float(sum(self.offered_load(graph, s) for s in range(steps)))
+
+    def stream(
+        self, graph, steps: int, seed: int | str | None = 0, start: int = 0
+    ) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(step, sources, dests)`` for steps ``[start, start+steps)``.
+
+        Steps with zero arrivals are yielded with empty arrays, so
+        consumers can track wall-clock time without bookkeeping.
+        """
+        entropy = resolve_entropy(seed)
+        for step in range(start, start + steps):
+            src, dst = self.arrivals_at(graph, step, entropy)
+            yield step, src, dst
+
+    def batches(
+        self,
+        graph,
+        steps: int,
+        seed: int | str | None = 0,
+        chunk_steps: int = 64,
+        start: int = 0,
+    ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield ``(step, sources, dests)`` triples batched over step windows.
+
+        The concatenation of all batches is independent of
+        ``chunk_steps`` — the chunk-invariance guarantee that makes
+        :func:`stream_hash` meaningful.
+        """
+        if chunk_steps < 1:
+            raise ValueError("chunk_steps must be >= 1")
+        entropy = resolve_entropy(seed)
+        for lo in range(start, start + steps, chunk_steps):
+            hi = min(lo + chunk_steps, start + steps)
+            cols: list[np.ndarray] = []
+            srcs: list[np.ndarray] = []
+            dsts: list[np.ndarray] = []
+            for step in range(lo, hi):
+                src, dst = self.arrivals_at(graph, step, entropy)
+                cols.append(np.full(src.size, step, dtype=np.int64))
+                srcs.append(src)
+                dsts.append(dst)
+            yield (
+                np.concatenate(cols) if cols else np.empty(0, np.int64),
+                np.concatenate(srcs) if srcs else np.empty(0, np.int64),
+                np.concatenate(dsts) if dsts else np.empty(0, np.int64),
+            )
+
+
+@dataclass
+class PoissonTraffic(TrafficProcess):
+    """Memoryless background load: ``Poisson(rate * n)`` uniform pairs/step.
+
+    ``rate`` is the per-node offered load in packets per step, the same
+    unit ``simulate_online(rate=...)``'s Bernoulli injectors use — at
+    equal rates the two offer equal load, Poisson just allows >1 arrival
+    per node per step (a real ingress queue does too).
+    """
+
+    rate: float = 0.1
+    name: str = "poisson"
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be non-negative")
+
+    def offered_load(self, graph, step: int) -> float:
+        return self.rate * graph.n
+
+    def arrivals_at(self, graph, step, entropy):
+        rng = _step_rng(entropy, step)
+        count = int(rng.poisson(self.rate * graph.n))
+        return _uniform_pairs(rng, graph.n, count)
+
+
+@dataclass
+class MMPPTraffic(TrafficProcess):
+    """Bursty on/off load: a 2-state Markov-modulated Poisson process.
+
+    A hidden chain alternates between an *on* state offering
+    ``rate_on`` and an *off* state offering ``rate_off`` (per node,
+    per step); it flips on→off with probability ``p_exit_on`` and
+    off→on with ``p_exit_off`` each step, giving geometric burst and
+    gap lengths.  The chain's uniforms come from their own spawn-key
+    branch keyed by step, so state ``s`` is a pure function of
+    ``(entropy, s)`` — computed by folding the flip decisions, memoised
+    per entropy so streaming consumption stays O(1) amortised per step.
+    """
+
+    rate_on: float = 0.3
+    rate_off: float = 0.02
+    p_exit_on: float = 0.1
+    p_exit_off: float = 0.1
+    name: str = "mmpp"
+    _states: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for p in (self.p_exit_on, self.p_exit_off):
+            if not 0 < p <= 1:
+                raise ValueError("chain exit probabilities must be in (0, 1]")
+        if min(self.rate_on, self.rate_off) < 0:
+            raise ValueError("rates must be non-negative")
+
+    def _state(self, entropy: int, step: int) -> bool:
+        """Chain state at ``step`` (True = on); state 0 is *on*."""
+        states = self._states.get(entropy)
+        if states is None or states.size <= step:
+            grow_to = max(step + 1, 256 if states is None else 2 * states.size)
+            known = 0 if states is None else states.size
+            new = np.empty(grow_to, dtype=bool)
+            if known:
+                new[:known] = states
+            cur = bool(new[known - 1]) if known else True
+            for s in range(max(known, 1), grow_to):
+                # the flip uniform of step s-1 decides the state of step s
+                u = float(_step_rng(entropy, s - 1, _SUB_CHAIN).random())
+                exit_p = self.p_exit_on if cur else self.p_exit_off
+                cur = (not cur) if u < exit_p else cur
+                new[s] = cur
+            if known == 0:
+                new[0] = True
+            states = self._states[entropy] = new
+        return bool(states[step])
+
+    def _rate(self, entropy: int, step: int) -> float:
+        return self.rate_on if self._state(entropy, step) else self.rate_off
+
+    def offered_load(self, graph, step: int) -> float:
+        """Expected arrivals under the chain's *stationary* mix.
+
+        The realised per-step rate depends on the hidden state, so rate
+        conservation holds in expectation over the stationary
+        distribution ``pi_on = p_exit_off / (p_exit_on + p_exit_off)``.
+        """
+        pi_on = self.p_exit_off / (self.p_exit_on + self.p_exit_off)
+        return (pi_on * self.rate_on + (1 - pi_on) * self.rate_off) * graph.n
+
+    def arrivals_at(self, graph, step, entropy):
+        rng = _step_rng(entropy, step)
+        count = int(rng.poisson(self._rate(entropy, step) * graph.n))
+        return _uniform_pairs(rng, graph.n, count)
+
+
+@dataclass
+class DiurnalTraffic(TrafficProcess):
+    """A smooth day/night rate curve: raised-cosine between base and peak.
+
+    ``rate(s) = base + (peak - base) * (1 - cos(2 pi s / period)) / 2``
+    — the load starts at ``base`` (midnight), peaks halfway through the
+    period, and returns.  The canonical shape behind every service
+    capacity plan.
+    """
+
+    base_rate: float = 0.05
+    peak_rate: float = 0.4
+    period: int = 200
+    name: str = "diurnal"
+
+    def __post_init__(self) -> None:
+        if self.period < 2:
+            raise ValueError("period must be >= 2")
+        if not 0 <= self.base_rate <= self.peak_rate:
+            raise ValueError("need 0 <= base_rate <= peak_rate")
+
+    def rate_at(self, step: int) -> float:
+        phase = (1 - math.cos(2 * math.pi * (step % self.period) / self.period)) / 2
+        return self.base_rate + (self.peak_rate - self.base_rate) * phase
+
+    def offered_load(self, graph, step: int) -> float:
+        return self.rate_at(step) * graph.n
+
+    def arrivals_at(self, graph, step, entropy):
+        rng = _step_rng(entropy, step)
+        count = int(rng.poisson(self.rate_at(step) * graph.n))
+        return _uniform_pairs(rng, graph.n, count)
+
+
+@dataclass
+class FlashCrowdTraffic(TrafficProcess):
+    """Baseline load plus a sudden crowd converging on few destinations.
+
+    Outside the spike window this is :class:`PoissonTraffic` at
+    ``base_rate``.  During ``[spike_start, spike_start + spike_len)``
+    the offered load jumps to ``spike_rate`` and a ``hot_weight``
+    fraction of the extra demand targets a ``hot_frac`` sliver of the
+    nodes (drawn once per entropy from the hot-set branch) — the
+    thundering-herd shape that breaks shortest-path-greedy schemes.
+    """
+
+    base_rate: float = 0.05
+    spike_rate: float = 0.6
+    spike_start: int = 50
+    spike_len: int = 30
+    hot_frac: float = 0.05
+    hot_weight: float = 0.8
+    name: str = "flash-crowd"
+
+    def __post_init__(self) -> None:
+        if self.spike_len < 1:
+            raise ValueError("spike_len must be >= 1")
+        if not 0 < self.hot_frac <= 1:
+            raise ValueError("hot_frac must be in (0, 1]")
+        if not 0 <= self.hot_weight <= 1:
+            raise ValueError("hot_weight must be in [0, 1]")
+
+    def _hot_nodes(self, graph, entropy: int) -> np.ndarray:
+        k = max(1, int(round(self.hot_frac * graph.n)))
+        rng = _step_rng(entropy, 0, _SUB_HOTSET)
+        return np.sort(rng.choice(graph.n, size=k, replace=False)).astype(np.int64)
+
+    def _in_spike(self, step: int) -> bool:
+        return self.spike_start <= step < self.spike_start + self.spike_len
+
+    def rate_at(self, step: int) -> float:
+        return self.spike_rate if self._in_spike(step) else self.base_rate
+
+    def offered_load(self, graph, step: int) -> float:
+        return self.rate_at(step) * graph.n
+
+    def arrivals_at(self, graph, step, entropy):
+        rng = _step_rng(entropy, step)
+        count = int(rng.poisson(self.rate_at(step) * graph.n))
+        src, dst = _uniform_pairs(rng, graph.n, count)
+        if count and self._in_spike(step) and self.hot_weight > 0:
+            hot = self._hot_nodes(graph, entropy)
+            to_hot = rng.random(count) < self.hot_weight
+            dst[to_hot] = hot[rng.integers(hot.size, size=int(to_hot.sum()))]
+            dst = _retarget(rng, src, dst, graph.n)
+        return src, dst
+
+
+@dataclass
+class HotspotTraffic(TrafficProcess):
+    """Stationary hotspot: a fixed sliver of nodes receives most traffic.
+
+    A ``hot_weight`` fraction of destinations is drawn uniformly from a
+    ``hot_frac`` subset (fixed per entropy), the rest uniformly from the
+    whole graph — the all-to-one pattern of
+    :func:`repro.workloads.generators.all_to_one`, softened into a
+    sustained arrival process.
+    """
+
+    rate: float = 0.1
+    hot_frac: float = 0.1
+    hot_weight: float = 0.7
+    name: str = "hotspot"
+
+    def __post_init__(self) -> None:
+        if not 0 < self.hot_frac <= 1:
+            raise ValueError("hot_frac must be in (0, 1]")
+        if not 0 <= self.hot_weight <= 1:
+            raise ValueError("hot_weight must be in [0, 1]")
+
+    def _hot_nodes(self, graph, entropy: int, epoch: int = 0) -> np.ndarray:
+        k = max(1, int(round(self.hot_frac * graph.n)))
+        rng = _step_rng(entropy, epoch, _SUB_HOTSET)
+        return np.sort(rng.choice(graph.n, size=k, replace=False)).astype(np.int64)
+
+    def _epoch(self, step: int) -> int:
+        return 0
+
+    def offered_load(self, graph, step: int) -> float:
+        return self.rate * graph.n
+
+    def arrivals_at(self, graph, step, entropy):
+        rng = _step_rng(entropy, step)
+        count = int(rng.poisson(self.rate * graph.n))
+        src, dst = _uniform_pairs(rng, graph.n, count)
+        if count and self.hot_weight > 0:
+            hot = self._hot_nodes(graph, entropy, self._epoch(step))
+            to_hot = rng.random(count) < self.hot_weight
+            dst[to_hot] = hot[rng.integers(hot.size, size=int(to_hot.sum()))]
+            dst = _retarget(rng, src, dst, graph.n)
+        return src, dst
+
+
+@dataclass
+class ShiftingHotspotTraffic(HotspotTraffic):
+    """Hotspot whose hot set is re-drawn every ``period`` steps.
+
+    The epoch's hot set is keyed by ``step // period`` on the hot-set
+    spawn branch, so it shifts deterministically without any cross-step
+    state — a moving target no static placement can pre-provision for,
+    and the regime where oblivious load balancing earns its keep.
+    """
+
+    period: int = 50
+    name: str = "shifting-hotspot"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.period < 1:
+            raise ValueError("period must be >= 1")
+
+    def _epoch(self, step: int) -> int:
+        return step // self.period
+
+
+@dataclass
+class ReplayTraffic(TrafficProcess):
+    """Replay of a fixed (source, dest) matrix as a sustained process.
+
+    Each step offers ``Poisson(rate * n)`` arrivals sampled uniformly
+    (with replacement) from the pair list — turning any one-shot matrix
+    (a mined adversarial ``Π_A``, a captured production trace) into an
+    arrival process at a controllable load.  Build from a
+    :class:`~repro.routing.base.RoutingProblem` with
+    :meth:`from_problem`, or mine a fresh adversary with
+    :func:`adversarial_replay`.
+    """
+
+    pairs_src: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    pairs_dst: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    rate: float = 0.1
+    name: str = "replay"
+
+    def __post_init__(self) -> None:
+        self.pairs_src = np.asarray(self.pairs_src, dtype=np.int64)
+        self.pairs_dst = np.asarray(self.pairs_dst, dtype=np.int64)
+        if self.pairs_src.size != self.pairs_dst.size:
+            raise ValueError("source and dest pair arrays must align")
+        if self.pairs_src.size == 0:
+            raise ValueError("replay needs at least one (source, dest) pair")
+        if np.any(self.pairs_src == self.pairs_dst):
+            raise ValueError("replay pairs must have source != dest")
+
+    @classmethod
+    def from_problem(cls, problem, rate: float = 0.1, name: str | None = None):
+        return cls(
+            pairs_src=problem.sources,
+            pairs_dst=problem.dests,
+            rate=rate,
+            name=name or f"replay:{problem.name}",
+        )
+
+    def offered_load(self, graph, step: int) -> float:
+        return self.rate * graph.n
+
+    def arrivals_at(self, graph, step, entropy):
+        if int(self.pairs_src.max()) >= graph.n or int(self.pairs_dst.max()) >= graph.n:
+            raise ValueError("replay pairs reference nodes outside the graph")
+        rng = _step_rng(entropy, step)
+        count = int(rng.poisson(self.rate * graph.n))
+        pick = rng.integers(self.pairs_src.size, size=count)
+        return self.pairs_src[pick].copy(), self.pairs_dst[pick].copy()
+
+
+def adversarial_replay(
+    mesh, router_name: str = "dim-order", l: int = 4, rate: float = 0.1
+) -> ReplayTraffic:
+    """Replay the paper's ``Π_A`` adversary mined against ``router_name``.
+
+    Uses :func:`repro.workloads.adversarial.adversarial_for_router` (the
+    construction behind bench_x6's hill-climbing search) to build the
+    worst-case block-exchange matrix for the named router, then streams
+    it at ``rate`` — sustained adversarial demand, the regime the
+    paper's oblivious guarantees are *for*.
+    """
+    from repro.routing.registry import make_router
+    from repro.workloads.adversarial import adversarial_for_router
+
+    problem, _hot = adversarial_for_router(make_router(router_name), mesh, l)
+    return ReplayTraffic.from_problem(
+        problem, rate=rate, name=f"adversarial:{router_name}-l{l}"
+    )
+
+
+#: name -> zero-config factory (replay variants need a matrix, so the
+#: registry carries the synthetic family; see :func:`adversarial_replay`).
+TRAFFIC = {
+    "poisson": PoissonTraffic,
+    "mmpp": MMPPTraffic,
+    "diurnal": DiurnalTraffic,
+    "flash-crowd": FlashCrowdTraffic,
+    "hotspot": HotspotTraffic,
+    "shifting-hotspot": ShiftingHotspotTraffic,
+}
+
+
+def make_traffic(name: str, **params) -> TrafficProcess:
+    """Instantiate a registered traffic process by name.
+
+    >>> make_traffic("diurnal", period=100).period
+    100
+    """
+    try:
+        factory = TRAFFIC[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown traffic process {name!r}; known: {sorted(TRAFFIC)}"
+        ) from None
+    return factory(**params)
+
+
+def stream_hash(
+    process: TrafficProcess,
+    graph,
+    steps: int,
+    seed: int | str | None = 0,
+    chunk_steps: int = 64,
+) -> str:
+    """sha256 fingerprint of the emitted arrival stream.
+
+    Hashes the row-packed little-endian int64 ``(step, source, dest)``
+    triples in step order, so the digest is invariant to ``chunk_steps``
+    (pinned by a property test) and to the consumer's sharding.  Golden
+    values live in ``tests/golden/traffic_hashes.json``.
+    """
+    digest = hashlib.sha256()
+    for step_col, src, dst in process.batches(
+        graph, steps, seed=seed, chunk_steps=chunk_steps
+    ):
+        rows = np.column_stack((step_col, src, dst)).astype("<i8")
+        digest.update(np.ascontiguousarray(rows).tobytes())
+    return digest.hexdigest()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Regenerate the golden traffic-trace matrix (``traffic_hashes.json``).
+
+Run after any *intentional* change to the arrival processes or the
+``SIM_TRAFFIC`` seed derivation:
+
+    PYTHONPATH=src python tests/golden/regenerate_traffic_goldens.py [--force]
+
+Each entry is the sha256 over the packed ``(step, source, target)``
+``int64`` rows (:func:`repro.workloads.traffic.stream_hash`) of one cell:
+every registry traffic process plus the adversarial replay, on the 8x8
+mesh and the 8x8 torus, at two seeds.  The horizon (96 steps) exceeds
+the shifting-hotspot period so the shifting and static hotspot cells
+cannot silently collapse into the same trace.
+
+``tests/test_traffic.py`` recomputes every cell and compares: a mismatch
+means a stored seed now replays a *different* load history — an API
+break for every recorded experiment — and must be a deliberate,
+documented decision.  Like ``regenerate_goldens.py``, this script prints
+an added/removed/changed diff and refuses to overwrite changed hashes
+without ``--force``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: (torus, label) on an 8x8 footprint — big enough for hot sets and the
+#: adversarial construction, small enough to regenerate in seconds
+MESHES = ((False, "8x8"), (True, "8x8t"))
+SEEDS = (0, 1)
+#: longer than ShiftingHotspotTraffic's default period (50) — see module
+#: docstring
+STEPS = 96
+ADV_L = 4
+
+
+def traffic_golden_cases():
+    """Yield ``(key, hash_fn)`` for every cell of the traffic matrix.
+
+    Shared with ``tests/test_traffic.py`` so the test and this script can
+    never disagree about what the matrix contains.
+    """
+    from repro.mesh.mesh import Mesh
+    from repro.workloads.traffic import TRAFFIC, adversarial_replay, make_traffic, stream_hash
+
+    for torus, label in MESHES:
+        mesh = Mesh((8, 8), torus=torus)
+        for name in sorted(TRAFFIC):
+            for seed in SEEDS:
+
+                def cell(name=name, mesh=mesh, seed=seed):
+                    return stream_hash(make_traffic(name), mesh, STEPS, seed=seed)
+
+                yield f"{name}|{label}|seed={seed}", cell
+        for seed in SEEDS:
+
+            def cell_adv(mesh=mesh, seed=seed):
+                traffic = adversarial_replay(mesh, "dim-order", l=ADV_L)
+                return stream_hash(traffic, mesh, STEPS, seed=seed)
+
+            yield f"adversarial-dim-order-l{ADV_L}|{label}|seed={seed}", cell_adv
+
+
+def build_matrix() -> dict[str, str]:
+    return {key: cell() for key, cell in traffic_golden_cases()}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    force = "--force" in argv
+    out = Path(__file__).parent / "traffic_hashes.json"
+    old = json.loads(out.read_text()) if out.exists() else {}
+    new = build_matrix()
+
+    added = sorted(set(new) - set(old))
+    removed = sorted(set(old) - set(new))
+    changed = sorted(k for k in set(new) & set(old) if new[k] != old[k])
+    for key in added:
+        print(f"  added:   {key}")
+    for key in removed:
+        print(f"  removed: {key}")
+    for key in changed:
+        print(f"  CHANGED: {key}")
+    print(
+        f"{len(new)} cells: {len(added)} added, {len(removed)} removed, "
+        f"{len(changed)} changed"
+    )
+    if changed and not force:
+        print(
+            "refusing to overwrite changed hashes — changed cells replay "
+            "different load histories for every stored seed; rerun with "
+            "--force if that is intentional",
+            file=sys.stderr,
+        )
+        return 1
+    out.write_text(json.dumps(new, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(new)} golden traffic hashes to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,7 +31,7 @@ def test_module_doctests(module):
 @pytest.mark.parametrize(
     "name", ["API.md", "PERFORMANCE.md", "KERNELS.md", "FAULTS.md",
              "VERIFICATION.md", "RANDOMNESS.md", "SERVICE.md",
-             "COMPETITORS.md"]
+             "COMPETITORS.md", "WORKLOADS.md"]
 )
 def test_docs_doctests(name):
     path = DOCS / name

@@ -1,0 +1,194 @@
+"""The SLO telemetry layer: exact percentiles, exact merges, honest rows.
+
+The streaming :class:`~repro.obs.histogram.Histogram` is pinned against
+``numpy.percentile(..., method="inverted_cdf")`` — *equality* for integer
+samples at ``bin_width=1`` (the latency/backlog case), a one-bin error
+bound otherwise — and its merge is exact by construction, so shard
+telemetry can fold without approximation.  :class:`SLOStats` and
+:func:`capacity_curve` sit on top; their accounting (attainment against
+the injected population) is checked here and cross-checked against the
+simulator by ``repro verify``'s ``online.conservation`` invariant.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.mesh import Mesh
+from repro.obs.histogram import Histogram
+from repro.routing.registry import make_router
+from repro.simulation import SLOParams, SLOStats, capacity_curve
+from repro.workloads.traffic import PoissonTraffic
+
+QS = (0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0)
+
+
+class TestHistogramVsNumpy:
+    @given(st.lists(st.integers(0, 500), min_size=1, max_size=300))
+    def test_integer_samples_match_inverted_cdf_exactly(self, values):
+        h = Histogram()
+        h.add_many(values)
+        arr = np.asarray(values)
+        for q in QS:
+            want = float(np.percentile(arr, q, method="inverted_cdf"))
+            assert h.percentile(q) == want, (q, values)
+
+    @given(
+        st.lists(
+            st.floats(0, 100, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=200,
+        ),
+        st.sampled_from((0.5, 1.0, 2.5)),
+    )
+    def test_fractional_samples_within_one_bin(self, values, bin_width):
+        h = Histogram(bin_width=bin_width)
+        h.add_many(values)
+        arr = np.asarray(values)
+        for q in QS:
+            want = float(np.percentile(arr, q, method="inverted_cdf"))
+            # the bin floor can undershoot by at most one bin width
+            assert want - bin_width < h.percentile(q) <= want + bin_width
+
+    def test_empty_histogram_is_nan(self):
+        h = Histogram()
+        assert math.isnan(h.percentile(50))
+        assert math.isnan(h.mean)
+        assert h.count == 0
+
+    def test_one_sample_is_every_percentile(self):
+        h = Histogram()
+        h.add(7)
+        for q in QS:
+            assert h.percentile(q) == 7.0
+
+    @given(
+        st.lists(st.integers(0, 99), min_size=1, max_size=120),
+        st.integers(1, 6),
+    )
+    def test_merge_is_shard_invariant(self, values, shards):
+        whole = Histogram()
+        whole.add_many(values)
+        parts = [Histogram() for _ in range(shards)]
+        for i, v in enumerate(values):
+            parts[i % shards].add(v)
+        merged = Histogram()
+        for p in parts:
+            merged.merge(p)
+        assert merged.to_dict() == whole.to_dict()
+        for q in QS:
+            assert merged.percentile(q) == whole.percentile(q)
+
+    def test_merge_dict_roundtrip_and_width_mismatch(self):
+        h = Histogram(bin_width=2.0)
+        h.add_many([1, 3, 9])
+        again = Histogram.from_dict(h.to_dict())
+        assert again.percentile(50) == h.percentile(50)
+        with pytest.raises(ValueError):
+            Histogram(bin_width=1.0).merge(h)
+
+
+class TestSLOStats:
+    def test_attainment_counts_against_injected(self):
+        s = SLOStats(params=SLOParams(deadline=10))
+        s.injected = 4
+        s.record_delivery(5)   # met
+        s.record_delivery(10)  # met (boundary)
+        s.record_delivery(11)  # missed
+        # the fourth packet was dropped: it never records a delivery
+        assert s.delivered == 3 and s.met_deadline == 2
+        assert s.attainment == pytest.approx(2 / 4)
+
+    def test_no_deadline_scores_delivery(self):
+        s = SLOStats()
+        s.injected = 2
+        s.record_delivery(1_000)
+        assert s.met_deadline == 1
+        assert s.attainment == pytest.approx(1 / 2)
+
+    def test_percentile_row_keys(self):
+        s = SLOStats()
+        s.record_delivery(4)
+        row = s.to_row()
+        assert {"p50", "p99", "p999"} <= set(row)
+        assert row["p50"] == row["p99"] == row["p999"] == 4.0
+
+    def test_merge_folds_counts_and_bins(self):
+        a, b = SLOStats(), SLOStats()
+        a.injected, b.injected = 2, 3
+        a.record_delivery(1)
+        b.record_delivery(9)
+        b.record_backlog(5)
+        a.merge(b)
+        assert a.injected == 5 and a.delivered == 2
+        assert a.latency_hist.count == 2
+        assert a.backlog_hist.count == 1
+
+
+class TestProfilerHistograms:
+    def test_online_run_emits_latency_and_hop_histograms(self):
+        from repro.obs import Profiler
+        from repro.simulation import simulate_online
+
+        mesh = Mesh((8, 8))
+
+        def run(workers):
+            profiler = Profiler()
+            stats = simulate_online(
+                make_router("hierarchical"),
+                mesh,
+                traffic=PoissonTraffic(rate=0.2),
+                steps=12,
+                seed=4,
+                profiler=profiler,
+                workers=workers,
+            )
+            return stats, profiler
+
+        stats, prof = run(1)
+        assert prof.histograms["online.latency"].count == stats.delivered
+        assert prof.histograms["online.path_hops"].count == stats.injected
+        # worker snapshots fold exactly: same bins from any shard count
+        _, prof2 = run(2)
+        assert (
+            prof2.histograms["online.path_hops"].to_dict()
+            == prof.histograms["online.path_hops"].to_dict()
+        )
+
+
+class TestCapacityCurve:
+    def test_one_row_per_rate_with_the_full_ladder(self):
+        rows = capacity_curve(
+            make_router("dim-order"),
+            Mesh((4, 4)),
+            rates=(0.05, 0.3),
+            steps=20,
+            slo=SLOParams(deadline=16),
+        )
+        assert [r["offered_rate"] for r in rows] == [0.05, 0.3]
+        for row in rows:
+            assert {"router", "injected", "delivered", "makespan", "p50",
+                    "p99", "p999", "attainment", "backlog_p99"} <= set(row)
+            assert row["router"] == "dim-order"
+            assert row["delivered"] <= row["injected"]
+            assert 0.0 <= row["attainment"] <= 1.0
+
+    def test_default_traffic_is_poisson(self):
+        mesh = Mesh((4, 4))
+        rows = capacity_curve(
+            make_router("dim-order"), mesh, rates=(0.2,), steps=15
+        )
+        explicit = capacity_curve(
+            make_router("dim-order"),
+            mesh,
+            rates=(0.2,),
+            steps=15,
+            traffic_factory=PoissonTraffic,
+        )
+        assert rows[0]["injected"] == explicit[0]["injected"]
+        assert rows[0]["p99"] == explicit[0]["p99"]

@@ -1,0 +1,222 @@
+"""Unit + golden tests for the trace-driven arrival processes.
+
+Covers the concrete behaviour of every generator in
+:mod:`repro.workloads.traffic` (rates, hot sets, epochs, replay), the
+committed golden trace matrix (``tests/golden/traffic_hashes.json``),
+and the decimal-string seed convention shared with :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from tests.golden.regenerate_traffic_goldens import (
+    MESHES,
+    SEEDS,
+    STEPS,
+    traffic_golden_cases,
+)
+
+from repro.mesh.mesh import Mesh
+from repro.workloads.traffic import (
+    TRAFFIC,
+    DiurnalTraffic,
+    FlashCrowdTraffic,
+    HotspotTraffic,
+    MMPPTraffic,
+    PoissonTraffic,
+    ReplayTraffic,
+    ShiftingHotspotTraffic,
+    adversarial_replay,
+    make_traffic,
+    stream_hash,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "traffic_hashes.json"
+
+CASES = dict(traffic_golden_cases())
+
+
+def load_goldens() -> dict[str, str]:
+    assert GOLDEN_PATH.exists(), (
+        f"golden file missing: {GOLDEN_PATH} — run "
+        "tests/golden/regenerate_traffic_goldens.py"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenTraces:
+    def test_goldens_cover_the_matrix(self):
+        goldens = load_goldens()
+        assert set(goldens) == set(CASES), (
+            "golden matrix out of sync with traffic_golden_cases() — run "
+            "tests/golden/regenerate_traffic_goldens.py"
+        )
+        # every registry generator, both meshes, both seeds
+        assert len(goldens) == (len(TRAFFIC) + 1) * len(MESHES) * len(SEEDS)
+
+    @pytest.mark.parametrize("key", sorted(CASES), ids=lambda k: k.replace("|", ","))
+    def test_golden_cell(self, key):
+        assert CASES[key]() == load_goldens()[key], (
+            f"traffic trace changed for {key}: a stored seed now replays a "
+            "different load history (regenerate_traffic_goldens.py --force "
+            "if intentional)"
+        )
+
+
+class TestGenerators:
+    def test_registry_builds_every_process(self, mesh8):
+        for name in TRAFFIC:
+            process = make_traffic(name)
+            src, dst = process.arrivals_at(mesh8, 0, entropy=7)
+            assert src.dtype == np.int64 and dst.dtype == np.int64
+            assert src.shape == dst.shape
+
+    def test_make_traffic_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="tsunami"):
+            make_traffic("tsunami")
+
+    def test_poisson_offered_load_is_rate_times_n(self, mesh8):
+        t = PoissonTraffic(rate=0.25)
+        assert t.offered_load(mesh8, 0) == pytest.approx(0.25 * 64)
+        assert t.mean_load(mesh8, 10) == pytest.approx(0.25 * 64 * 10)
+
+    def test_mmpp_offered_load_uses_stationary_mix(self, mesh8):
+        t = MMPPTraffic(rate_on=0.4, rate_off=0.0, p_exit_on=0.5, p_exit_off=0.5)
+        # stationary P(on) = 0.5 -> expected rate 0.2 per node
+        assert t.offered_load(mesh8, 3) == pytest.approx(0.2 * 64)
+
+    def test_diurnal_peaks_mid_period(self, mesh8):
+        t = DiurnalTraffic(base_rate=0.1, peak_rate=0.5, period=100)
+        assert t.rate_at(50) == pytest.approx(0.5)
+        assert t.rate_at(0) == pytest.approx(0.1)
+        assert t.rate_at(0) == pytest.approx(t.rate_at(100))
+
+    def test_flash_crowd_spike_window(self, mesh8):
+        t = FlashCrowdTraffic(
+            base_rate=0.05, spike_rate=0.8, spike_start=10, spike_len=5
+        )
+        assert t.rate_at(9) == pytest.approx(0.05)
+        assert t.rate_at(10) == pytest.approx(0.8)
+        assert t.rate_at(14) == pytest.approx(0.8)
+        assert t.rate_at(15) == pytest.approx(0.05)
+        # the spike aims at the hot set: arrivals during it favour hot dests
+        hot = set(t._hot_nodes(mesh8, 0).tolist())
+        _, dst = t.arrivals_at(mesh8, 12, entropy=0)
+        if dst.size:
+            frac = sum(d in hot for d in dst.tolist()) / dst.size
+            assert frac > 0.3
+
+    def test_hotspot_concentrates_destinations(self, mesh8):
+        t = HotspotTraffic(rate=0.5, hot_frac=0.1, hot_weight=0.9)
+        hot = set(t._hot_nodes(mesh8, 0).tolist())
+        assert len(hot) == max(1, int(0.1 * 64))
+        dsts = np.concatenate(
+            [t.arrivals_at(mesh8, s, entropy=0)[1] for s in range(30)]
+        )
+        frac = sum(d in hot for d in dsts.tolist()) / dsts.size
+        assert frac > 0.6  # nominal 0.9 with sampling slack
+
+    def test_shifting_hotspot_moves_the_hot_set(self, mesh8):
+        t = ShiftingHotspotTraffic(rate=0.5, hot_frac=0.1, period=10)
+        assert t._epoch(9) == 0 and t._epoch(10) == 1
+        first = set(t._hot_nodes(mesh8, 0, epoch=0).tolist())
+        later = set(t._hot_nodes(mesh8, 0, epoch=1).tolist())
+        assert first != later
+
+    def test_replay_cycles_problem_pairs(self, mesh8):
+        from repro.workloads.permutations import transpose
+
+        problem = transpose(mesh8)
+        t = ReplayTraffic.from_problem(problem, rate=0.2)
+        src, dst = t.arrivals_at(mesh8, 0, entropy=0)
+        pairs = set(zip(problem.sources.tolist(), problem.dests.tolist()))
+        assert set(zip(src.tolist(), dst.tolist())) <= pairs
+
+    def test_adversarial_replay_targets_dim_order_pairs(self, mesh8):
+        t = adversarial_replay(mesh8, "dim-order", l=4, rate=0.3)
+        total = sum(
+            t.arrivals_at(mesh8, s, entropy=1)[0].size for s in range(40)
+        )
+        assert total > 0
+
+    def test_stream_yields_every_step(self, mesh8):
+        steps = [s for s, _, _ in PoissonTraffic(rate=0.01).stream(mesh8, 20)]
+        assert steps == list(range(20))
+
+    def test_batches_concatenate_to_the_stream(self, mesh8):
+        t = PoissonTraffic(rate=0.3)
+        whole = [np.concatenate(cols) for cols in zip(*t.batches(mesh8, 40, seed=5, chunk_steps=40))]
+        chunked = [
+            np.concatenate(cols)
+            for cols in zip(*t.batches(mesh8, 40, seed=5, chunk_steps=7))
+        ]
+        for a, b in zip(whole, chunked):
+            np.testing.assert_array_equal(a, b)
+
+    def test_stream_hash_is_chunk_invariant(self, mesh8):
+        t = make_traffic("mmpp")
+        assert stream_hash(t, mesh8, 50, seed=3, chunk_steps=50) == stream_hash(
+            t, mesh8, 50, seed=3, chunk_steps=11
+        )
+
+    def test_arrivals_are_pure_in_entropy_and_step(self, mesh8):
+        t = make_traffic("flash-crowd")
+        for step in (0, 13, 51):
+            a = t.arrivals_at(mesh8, step, entropy=9)
+            b = t.arrivals_at(mesh8, step, entropy=9)
+            np.testing.assert_array_equal(a[0], b[0])
+            np.testing.assert_array_equal(a[1], b[1])
+
+
+class TestDecimalStringSeeds:
+    """The 128-bit decimal-string seed convention shared with repro.io."""
+
+    BIG = (1 << 100) + 12345  # past int64: only the string form survives text
+
+    def test_generators_accept_decimal_strings(self, mesh8):
+        from repro.workloads.generators import local_traffic, random_pairs
+
+        for factory in (lambda s: random_pairs(mesh8, 40, seed=s),
+                        lambda s: local_traffic(mesh8, 3, seed=s)):
+            by_int = factory(self.BIG)
+            by_str = factory(str(self.BIG))
+            np.testing.assert_array_equal(by_int.sources, by_str.sources)
+            np.testing.assert_array_equal(by_int.dests, by_str.dests)
+
+    def test_generators_reject_non_decimal_strings(self, mesh8):
+        from repro.workloads.generators import random_pairs
+
+        with pytest.raises(ValueError):
+            random_pairs(mesh8, 4, seed="0xdeadbeef")
+
+    def test_traffic_accepts_decimal_strings(self, mesh8):
+        t = make_traffic("poisson")
+        assert stream_hash(t, mesh8, 20, seed=self.BIG) == stream_hash(
+            t, mesh8, 20, seed=str(self.BIG)
+        )
+
+    def test_roundtrip_through_io(self, mesh8, tmp_path):
+        """Route with a 128-bit seed, persist, reload, replay from the
+        stored decimal string — byte-identical paths and workload."""
+        from repro.io import load_result, save_result
+        from repro.routing.registry import make_router
+        from repro.workloads.generators import random_pairs
+
+        problem = random_pairs(mesh8, 30, seed=self.BIG)
+        result = make_router("dim-order").route(problem, seed=self.BIG)
+        save_result(tmp_path / "r.npz", result)
+        loaded = load_result(tmp_path / "r.npz")
+        assert loaded.seed == self.BIG  # survived the decimal-string format
+
+        replayed_problem = random_pairs(mesh8, 30, seed=str(loaded.seed))
+        np.testing.assert_array_equal(problem.sources, replayed_problem.sources)
+        replayed = make_router("dim-order").route(
+            replayed_problem, seed=str(loaded.seed)
+        )
+        np.testing.assert_array_equal(result.paths.nodes, replayed.paths.nodes)
+        np.testing.assert_array_equal(result.paths.offsets, replayed.paths.offsets)
